@@ -1,0 +1,194 @@
+"""E12 — ablations of the design choices DESIGN.md calls out.
+
+Three ablations of the paper's pipeline:
+
+* **Filtering** (§3.3): round the raw LP solution without the
+  alpha-filtering step.  The Theorem 3.7 delay guarantee
+  ``alpha/(alpha-1) * Z*`` is only proven *with* filtering; the table
+  reports how often the unfiltered variant escapes that bound (and that
+  the filtered one never does).
+* **Candidate sources** (Theorem 3.3): sweep all sources vs only the
+  network median.  Full sweep is what the theorem needs; the table
+  measures the delay cost of the cheap heuristic.
+* **Local search vs LP**: random start + local search, LP + rounding,
+  and LP + rounding + local-search polish, on the QPP objective.  The
+  polish can only help; pure local search carries no guarantee.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import (
+    average_max_delay,
+    improve_max_delay,
+    random_placement,
+    solve_qpp,
+    solve_ssqpp,
+)
+from repro.core.placement import Placement, expected_max_delay
+from repro.core.ssqpp import build_ssqpp_lp
+from repro.experiments import small_suite, standard_suite
+from repro.gap import FractionalAssignment, GAPInstance, round_fractional_assignment
+
+ALPHA = 2.0
+
+
+def _round_without_filtering(system, strategy, network, source):
+    """The §3.3 pipeline minus the filtering step (ablation arm)."""
+    model, x_element, _, ordered_nodes, distances = build_ssqpp_lp(
+        system, strategy, network, source
+    )
+    solution = model.solve()
+    universe = list(system.universe)
+    n = len(ordered_nodes)
+    raw = np.zeros((n, len(universe)))
+    for j, u in enumerate(universe):
+        for t in range(n):
+            variable = x_element.get((t, u))
+            if variable is not None:
+                raw[t, j] = max(solution.value(variable), 0.0)
+    raw = raw / raw.sum(axis=0, keepdims=True)
+
+    loads = strategy.load_array()
+    costs = np.full((n, len(universe)), math.inf)
+    gap_loads = np.full((n, len(universe)), math.inf)
+    for j in range(len(universe)):
+        for t in range(n):
+            if raw[t, j] > 1e-12:
+                costs[t, j] = distances[t]
+                gap_loads[t, j] = loads[j]
+    instance = GAPInstance(
+        jobs=tuple(universe),
+        machines=tuple(ordered_nodes),
+        costs=costs,
+        loads=gap_loads,
+        capacities=np.array([network.capacity(v) for v in ordered_nodes]),
+    )
+    fractional = FractionalAssignment(
+        instance=instance, fractions=raw, cost=float(solution.objective)
+    )
+    rounded = round_fractional_assignment(fractional)
+    placement = Placement(system, network, rounded.assignment)
+    return placement, float(solution.objective)
+
+
+def _filtering_table():
+    table = ResultTable(
+        "E12a ablation - filtering step of section 3.3 (alpha=2)",
+        ["instance", "lp_value", "filtered_delay", "unfiltered_delay",
+         "bound", "filtered_within", "unfiltered_within"],
+    )
+    for instance in standard_suite(1201)[:6]:
+        source = instance.network.nodes[0]
+        filtered = solve_ssqpp(
+            instance.system, instance.strategy, instance.network, source, alpha=ALPHA
+        )
+        unfiltered_placement, lp_value = _round_without_filtering(
+            instance.system, instance.strategy, instance.network, source
+        )
+        unfiltered_delay = expected_max_delay(
+            unfiltered_placement, instance.strategy, source
+        )
+        bound = (ALPHA / (ALPHA - 1.0)) * lp_value
+        table.add_row(
+            instance=instance.name,
+            lp_value=lp_value,
+            filtered_delay=filtered.delay,
+            unfiltered_delay=unfiltered_delay,
+            bound=bound,
+            filtered_within=filtered.delay <= bound + 1e-6,
+            unfiltered_within=unfiltered_delay <= bound + 1e-6,
+        )
+    return table
+
+
+def _source_sweep_table():
+    table = ResultTable(
+        "E12b ablation - relay-candidate sweep (all sources vs median only)",
+        ["instance", "full_sweep_delay", "median_only_delay", "penalty_pct"],
+    )
+    for instance in small_suite(1202)[:5]:
+        full = solve_qpp(
+            instance.system, instance.strategy, instance.network, alpha=ALPHA
+        )
+        median = instance.network.metric().median()
+        pruned = solve_qpp(
+            instance.system,
+            instance.strategy,
+            instance.network,
+            alpha=ALPHA,
+            candidate_sources=[median],
+        )
+        penalty = (
+            100.0 * (pruned.average_delay - full.average_delay) / full.average_delay
+            if full.average_delay > 0
+            else 0.0
+        )
+        table.add_row(
+            instance=instance.name,
+            full_sweep_delay=full.average_delay,
+            median_only_delay=pruned.average_delay,
+            penalty_pct=penalty,
+        )
+    return table
+
+
+def _local_search_table():
+    rng = np.random.default_rng(1203)
+    table = ResultTable(
+        "E12c ablation - local search vs LP pipeline (QPP objective)",
+        ["instance", "random_start", "local_search", "lp_round",
+         "lp_round_polished", "polish_helps_or_ties"],
+    )
+    for instance in small_suite(1203)[:5]:
+        start = random_placement(
+            instance.system, instance.strategy, instance.network, rng=rng
+        )
+        start_delay = average_max_delay(start, instance.strategy)
+        searched = improve_max_delay(start, instance.strategy)
+        lp = solve_qpp(
+            instance.system, instance.strategy, instance.network, alpha=ALPHA
+        )
+        # Polish in the same (alpha+1)-relaxed capacity regime the LP
+        # solution is entitled to, so moves are not vacuously blocked.
+        relaxed = instance.network.with_capacities(
+            {v: (ALPHA + 1) * instance.network.capacity(v)
+             for v in instance.network.nodes}
+        )
+        relaxed_start = Placement(
+            instance.system, relaxed, lp.placement.as_dict()
+        )
+        polished = improve_max_delay(relaxed_start, instance.strategy)
+        table.add_row(
+            instance=instance.name,
+            random_start=start_delay,
+            local_search=searched.objective,
+            lp_round=lp.average_delay,
+            lp_round_polished=polished.objective,
+            polish_helps_or_ties=polished.objective <= lp.average_delay + 1e-9,
+        )
+    return table
+
+
+def test_ablations(benchmark, report):
+    filtering = _filtering_table()
+    sources = _source_sweep_table()
+    search = _local_search_table()
+    report(filtering)
+    report(sources)
+    report(search)
+    # The paper's pipeline must stay within its bound on every instance.
+    assert filtering.all_rows_pass("filtered_within")
+    assert search.all_rows_pass("polish_helps_or_ties")
+
+    instance = small_suite(1203)[0]
+    rng = np.random.default_rng(4)
+    start = random_placement(
+        instance.system, instance.strategy, instance.network, rng=rng
+    )
+    benchmark.pedantic(
+        lambda: improve_max_delay(start, instance.strategy), rounds=3, iterations=1
+    )

@@ -1,0 +1,65 @@
+"""E17 — extension: the max-delay / total-delay Pareto frontier.
+
+Both paper objectives are linear in the placement LP's variables, so a
+convex scalarization runs through the §3.3 pipeline unchanged.  The
+bench regenerates the frontier on a fixed instance: as the weight moves
+from total-delay to max-delay, ``Delta`` falls while ``Gamma`` rises,
+and the ``(alpha+1)·cap`` load guarantee holds at every point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import max_vs_total_frontier, solve_scalarized_placement
+from repro.network import random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, grid, majority
+
+
+def _instance():
+    rng = np.random.default_rng(1701)
+    network = uniform_capacities(random_geometric_network(10, 0.5, rng=rng), 0.9)
+    system = majority(5)
+    return system, AccessStrategy.uniform(system), network
+
+
+def _run_table():
+    system, strategy, network = _instance()
+    table = ResultTable(
+        "E17 bi-objective frontier (max-delay vs total-delay, alpha=2)",
+        ["weight", "max_delay", "total_delay", "load_factor", "load_ok"],
+    )
+    front = max_vs_total_frontier(
+        system, strategy, network, 0,
+        weights=[0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+    )
+    for point in front:
+        table.add_row(
+            weight=point.weight,
+            max_delay=point.max_delay,
+            total_delay=point.total_delay,
+            load_factor=point.max_load_factor,
+            load_ok=point.max_load_factor <= 3.0 + 1e-6,
+        )
+    return table, front
+
+
+def test_biobjective_frontier(benchmark, report):
+    table, front = _run_table()
+    report(table)
+    assert table.all_rows_pass("load_ok")
+    assert len(front) >= 2, "the two objectives should genuinely trade off"
+    # Frontier shape: sorted by max-delay, total-delay decreasing.
+    max_delays = [p.max_delay for p in front]
+    total_delays = [p.total_delay for p in front]
+    assert max_delays == sorted(max_delays)
+    assert total_delays == sorted(total_delays, reverse=True)
+
+    system, strategy, network = _instance()
+    benchmark.pedantic(
+        lambda: solve_scalarized_placement(
+            system, strategy, network, 0, weight=0.5
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,131 @@
+"""E10 — §6 extensions: non-uniform access rates and per-client strategies.
+
+Regenerates the two §6 claims operationally:
+
+* **Rates**: with skewed client rates, the rate-aware QPP solver produces
+  a placement whose rate-weighted delay beats (or ties) the rate-oblivious
+  one, and Lemma 3.1's bound continues to hold under the weighted average.
+* **Per-client strategies**: replacing heterogeneous client strategies by
+  their rate-weighted average preserves the average relay delay exactly
+  (the identity behind the §6 reduction).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import (
+    average_max_delay,
+    average_strategy,
+    random_placement,
+    relay_analysis,
+    solve_qpp,
+)
+from repro.core.placement import _client_weights, _per_client_expected_max_delay
+from repro.network import random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, majority
+
+
+def _network(seed):
+    rng = np.random.default_rng(seed)
+    return uniform_capacities(random_geometric_network(9, 0.5, rng=rng), 0.9)
+
+
+def _rates_table():
+    table = ResultTable(
+        "E10a section 6 - rate-aware placement beats rate-oblivious",
+        ["seed", "skew", "aware_delay", "oblivious_delay", "aware_wins_or_ties",
+         "relay_factor", "relay_within_5"],
+    )
+    system = majority(5)
+    strategy = AccessStrategy.uniform(system)
+    for seed in (1, 2, 3):
+        network = _network(seed)
+        rng = np.random.default_rng(seed + 100)
+        hot = network.nodes[int(rng.integers(network.size))]
+        rates = {v: 0.05 for v in network.nodes}
+        rates[hot] = 10.0
+        aware = solve_qpp(system, strategy, network, rates=rates)
+        oblivious = solve_qpp(system, strategy, network)
+        aware_delay = average_max_delay(aware.placement, strategy, rates=rates)
+        oblivious_delay = average_max_delay(oblivious.placement, strategy, rates=rates)
+        relay = relay_analysis(aware.placement, strategy, rates=rates)
+        table.add_row(
+            seed=seed,
+            skew="10.0 vs 0.05",
+            aware_delay=aware_delay,
+            oblivious_delay=oblivious_delay,
+            aware_wins_or_ties=aware_delay <= oblivious_delay + 1e-9,
+            relay_factor=relay.factor,
+            relay_within_5=relay.factor <= 5.0 + 1e-9,
+        )
+    return table
+
+
+def _mixture_table():
+    table = ResultTable(
+        "E10b section 6 - averaged strategy preserves relay delay",
+        ["seed", "per_client_relay_delay", "averaged_relay_delay", "identical"],
+    )
+    system = majority(5)
+    for seed in (4, 5, 6):
+        network = _network(seed)
+        rng = np.random.default_rng(seed + 200)
+        per_client = {
+            v: AccessStrategy.from_weights(
+                system, rng.uniform(0.1, 1.0, len(system))
+            )
+            for v in network.nodes
+        }
+        averaged = average_strategy(per_client, network)
+        placement = random_placement(system, averaged, network, rng=rng)
+        metric = network.metric()
+        v0 = network.nodes[0]
+        weights = _client_weights(network, None)
+        to_v0 = float(weights @ metric.distances_from(v0))
+        # Relay delay with per-client strategies: each client pays
+        # d(v, v0) + Delta^{p_v}_f(v0); averaging over clients equals
+        # to_v0 + Delta^{avg p}_f(v0) by linearity of Delta in p.
+        per_client_value = to_v0 + float(
+            np.mean(
+                [
+                    _per_client_expected_max_delay(placement, per_client[v])[
+                        network.node_index(v0)
+                    ]
+                    for v in network.nodes
+                ]
+            )
+        )
+        averaged_value = to_v0 + float(
+            _per_client_expected_max_delay(placement, averaged)[
+                network.node_index(v0)
+            ]
+        )
+        table.add_row(
+            seed=seed,
+            per_client_relay_delay=per_client_value,
+            averaged_relay_delay=averaged_value,
+            identical=abs(per_client_value - averaged_value) < 1e-9,
+        )
+    return table
+
+
+def test_extensions_section_6(benchmark, report):
+    rates = _rates_table()
+    mixtures = _mixture_table()
+    report(rates)
+    report(mixtures)
+    assert rates.all_rows_pass("aware_wins_or_ties")
+    assert rates.all_rows_pass("relay_within_5")
+    assert mixtures.all_rows_pass("identical")
+
+    system = majority(5)
+    strategy = AccessStrategy.uniform(system)
+    network = _network(9)
+    benchmark.pedantic(
+        lambda: solve_qpp(
+            system, strategy, network, rates={network.nodes[0]: 2.0, network.nodes[1]: 1.0}
+        ),
+        rounds=2,
+        iterations=1,
+    )

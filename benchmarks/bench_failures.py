@@ -1,0 +1,93 @@
+"""E15 — extension: delay under failure injection.
+
+The paper motivates capacity limits with load dispersion and fault
+tolerance; this bench quantifies the trade on the co-location spectrum.
+For collapsed / LP-rounded / fully-spread placements of Majority(5), a
+crash-rate sweep measures the empirical success rate (cross-checked
+against the exact placement availability) and the effective delay of
+successful accesses with greedy failover.
+
+Shape to regenerate: the collapsed placement wins on delay but its
+success rate is exactly the survival of one node; spreading trades delay
+for availability.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable, placement_availability
+from repro.core import Placement, single_node_placement, solve_qpp
+from repro.experiments import simulate_with_failures
+from repro.network import random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, majority
+
+FAILURE_RATES = [0.05, 0.15, 0.3]
+
+
+def _setting():
+    rng = np.random.default_rng(1501)
+    system = majority(5)
+    strategy = AccessStrategy.uniform(system)
+    network = uniform_capacities(
+        random_geometric_network(9, 0.5, rng=rng), 0.7
+    )
+    placements = {
+        "collapsed": single_node_placement(system, network),
+        "lp(alpha=1.2)": solve_qpp(system, strategy, network, alpha=1.2).placement,
+        "spread": Placement(
+            system,
+            network,
+            {u: network.nodes[i] for i, u in enumerate(system.universe)},
+        ),
+    }
+    return system, strategy, network, placements
+
+
+def _run_table():
+    system, strategy, network, placements = _setting()
+    table = ResultTable(
+        "E15 failure injection - success rate and effective delay",
+        ["placement", "p_fail", "success_rate", "exact_availability",
+         "match", "effective_delay", "baseline_delay"],
+    )
+    for name, placement in placements.items():
+        for p_fail in FAILURE_RATES:
+            exact = placement_availability(placement, p_fail)
+            result = simulate_with_failures(
+                placement,
+                strategy,
+                failure_probability=p_fail,
+                rng=np.random.default_rng(7),
+                epochs=300,
+                accesses_per_client=3,
+            )
+            table.add_row(
+                placement=name,
+                p_fail=p_fail,
+                success_rate=result.success_rate,
+                exact_availability=exact,
+                match=abs(result.success_rate - exact) < 0.05,
+                effective_delay=result.effective_delay,
+                baseline_delay=result.baseline_delay,
+            )
+    return table
+
+
+def test_failure_injection(benchmark, report):
+    table = _run_table()
+    report(table)
+    assert table.all_rows_pass("match")
+
+    system, strategy, network, placements = _setting()
+    benchmark.pedantic(
+        lambda: simulate_with_failures(
+            placements["spread"],
+            strategy,
+            failure_probability=0.15,
+            rng=np.random.default_rng(0),
+            epochs=50,
+            accesses_per_client=3,
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,73 @@
+"""E9 — Theorem 3.11 (Shmoys-Tardos): GAP rounding quality at scale.
+
+Regenerates, across random GAP instances of growing size: the integral
+cost vs the LP bound (ratio must be <= 1) and the worst machine load vs
+the ``T_i + p_i^max`` guarantee.  Also compares against the exact optimum
+where enumeration is feasible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.exceptions import InfeasibleError
+from repro.gap import GAPInstance, solve_gap, solve_gap_exact
+
+SIZES = [(3, 5), (4, 8), (6, 12), (8, 20), (10, 40)]
+
+
+def _random_instance(rng, machines, jobs):
+    return GAPInstance(
+        tuple(range(jobs)),
+        tuple(f"m{i}" for i in range(machines)),
+        rng.uniform(1, 10, (machines, jobs)),
+        rng.uniform(0.1, 1.0, (machines, jobs)),
+        rng.uniform(1.0, 2.5, machines),
+    )
+
+
+def _run_table():
+    rng = np.random.default_rng(909)
+    table = ResultTable(
+        "E9 Theorem 3.11 - Shmoys-Tardos rounding quality",
+        ["machines", "jobs", "cost_over_lp", "worst_load_over_bound",
+         "cost_over_opt", "within"],
+    )
+    for machines, jobs in SIZES:
+        instance = _random_instance(rng, machines, jobs)
+        try:
+            solution = solve_gap(instance)
+        except InfeasibleError:
+            continue
+        cost_ratio = solution.cost / solution.lp_cost if solution.lp_cost > 0 else 1.0
+        load_ratio = 0.0
+        for i, machine in enumerate(instance.machines):
+            bound = instance.capacities[i] + instance.max_load_on_machine(i)
+            load_ratio = max(load_ratio, solution.machine_loads[machine] / bound)
+        if machines * jobs <= 40:
+            try:
+                exact = solve_gap_exact(instance)
+                opt_ratio = solution.cost / exact.cost if exact.cost > 0 else 1.0
+            except InfeasibleError:
+                opt_ratio = float("nan")
+        else:
+            opt_ratio = float("nan")
+        table.add_row(
+            machines=machines,
+            jobs=jobs,
+            cost_over_lp=cost_ratio,
+            worst_load_over_bound=load_ratio,
+            cost_over_opt=opt_ratio,
+            within=cost_ratio <= 1.0 + 1e-6 and load_ratio <= 1.0 + 1e-6,
+        )
+    return table
+
+
+def test_gap_rounding_theorem_3_11(benchmark, report):
+    table = _run_table()
+    report(table)
+    assert table.all_rows_pass("within")
+
+    rng = np.random.default_rng(2)
+    instance = _random_instance(rng, 6, 12)
+    benchmark.pedantic(lambda: solve_gap(instance), rounds=5, iterations=1)

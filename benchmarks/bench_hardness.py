@@ -1,0 +1,53 @@
+"""E8 — Theorem 3.6: correctness of the NP-hardness reduction.
+
+For a family of Woeginger-form scheduling instances, solves both sides
+exactly and regenerates the affine cost/delay correspondence: the optimal
+schedule cost must map exactly onto the optimal placement delay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import reduce_scheduling_to_ssqpp, solve_ssqpp_exact
+from repro.scheduling import random_woeginger_instance, solve_scheduling_exact
+
+SHAPES = [(2, 2), (3, 2), (3, 3), (4, 2), (4, 3), (2, 4)]
+
+
+def _run_table():
+    rng = np.random.default_rng(808)
+    table = ResultTable(
+        "E8 Theorem 3.6 - scheduling <-> placement equivalence",
+        ["unit_time", "unit_weight", "opt_schedule_cost", "opt_placement_delay",
+         "mapped_delay", "exact_match"],
+    )
+    for unit_time, unit_weight in SHAPES:
+        instance = random_woeginger_instance(
+            unit_time, unit_weight, rng=rng, edge_probability=0.5
+        )
+        reduction = reduce_scheduling_to_ssqpp(instance)
+        schedule = solve_scheduling_exact(instance)
+        placement = solve_ssqpp_exact(
+            reduction.system, reduction.strategy, reduction.network, 0
+        )
+        mapped = reduction.delay_of_schedule_cost(schedule.cost)
+        table.add_row(
+            unit_time=unit_time,
+            unit_weight=unit_weight,
+            opt_schedule_cost=schedule.cost,
+            opt_placement_delay=placement.objective,
+            mapped_delay=mapped,
+            exact_match=abs(mapped - placement.objective) < 1e-9,
+        )
+    return table
+
+
+def test_hardness_reduction_theorem_3_6(benchmark, report):
+    table = _run_table()
+    report(table)
+    assert table.all_rows_pass("exact_match")
+
+    rng = np.random.default_rng(1)
+    instance = random_woeginger_instance(3, 3, rng=rng)
+    benchmark(lambda: reduce_scheduling_to_ssqpp(instance))

@@ -1,0 +1,71 @@
+"""E4 — Claim A.1 and Figure 1: integrality gaps of the LP (9)-(14).
+
+Regenerates both gap families:
+
+* the general-metric star (gap -> n as the far distance M grows), and
+* the Figure 1 unit-length broom with k^2 nodes (gap Omega(sqrt(n))).
+
+The *shape* to reproduce: the star gap climbs toward n with M; the broom
+gap grows linearly in k = sqrt(n) while the LP value stays near 3/2.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable, broom_gap_instance, general_metric_gap_instance
+
+STAR_N = 8
+STAR_MS = [10.0, 100.0, 1000.0, 10000.0]
+BROOM_KS = [2, 3, 4, 5, 6, 7]
+
+
+def _star_table():
+    table = ResultTable(
+        "E4a Claim A.1 - general-metric gap (approaches n)",
+        ["n", "M", "lp_value", "integral_opt", "gap", "gap_le_n"],
+    )
+    for M in STAR_MS:
+        instance = general_metric_gap_instance(STAR_N, M)
+        table.add_row(
+            n=STAR_N,
+            M=M,
+            lp_value=instance.lp_value,
+            integral_opt=instance.integral_optimum,
+            gap=instance.gap,
+            gap_le_n=instance.gap <= STAR_N + 1e-6,
+        )
+    return table
+
+
+def _broom_table():
+    table = ResultTable(
+        "E4b Figure 1 - broom gap (Omega(sqrt(n)))",
+        ["k", "n", "lp_value", "integral_opt", "gap", "gap_ge_k_half"],
+    )
+    for k in BROOM_KS:
+        instance = broom_gap_instance(k)
+        table.add_row(
+            k=k,
+            n=k * k,
+            lp_value=instance.lp_value,
+            integral_opt=instance.integral_optimum,
+            gap=instance.gap,
+            gap_ge_k_half=instance.gap >= 0.5 * k,
+        )
+    return table
+
+
+def test_integrality_gaps_claim_a1(benchmark, report):
+    star = _star_table()
+    broom = _broom_table()
+    report(star)
+    report(broom)
+    assert star.all_rows_pass("gap_le_n")
+    assert broom.all_rows_pass("gap_ge_k_half")
+
+    # Star gaps must be increasing in M; broom gaps increasing in k.
+    star_gaps = [float(row["gap"]) for row in star.rows]
+    assert star_gaps == sorted(star_gaps)
+    broom_gaps = [float(row["gap"]) for row in broom.rows]
+    assert broom_gaps == sorted(broom_gaps)
+
+    benchmark.pedantic(lambda: broom_gap_instance(4), rounds=3, iterations=1)

@@ -1,0 +1,73 @@
+"""E6 — §4.2 equation (19): the Majority delay formula.
+
+Regenerates, for a sweep of (n, t):
+
+* the closed-form (19) vs the directly evaluated ``Delta_f(v0)`` of the
+  produced placement (must agree to machine precision), and
+* the placement-invariance claim: random permutations of the elements
+  over the same slots all have identical delay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import (
+    Placement,
+    expected_max_delay,
+    majority_delay_formula,
+    optimal_majority_placement,
+)
+from repro.network import random_geometric_network, uniform_capacities
+
+SWEEP = [(5, 3), (5, 4), (7, 4), (9, 5), (9, 7), (11, 6)]
+
+
+def _network():
+    rng = np.random.default_rng(606)
+    return uniform_capacities(random_geometric_network(14, 0.45, rng=rng), 1.0)
+
+
+def _run_table():
+    network = _network()
+    rng = np.random.default_rng(607)
+    table = ResultTable(
+        "E6 Equation (19) - Majority delay formula and invariance",
+        ["n", "t", "formula", "measured", "agree", "permutations_identical"],
+    )
+    for n, t in SWEEP:
+        result = optimal_majority_placement(network, network.nodes[0], n, t=t)
+        agree = abs(result.delay - result.formula_delay) < 1e-9
+
+        # Invariance: shuffle the element -> slot assignment 5 times.
+        system = result.placement.system
+        slots = [result.placement[u] for u in system.universe]
+        identical = True
+        for _ in range(5):
+            shuffled = list(slots)
+            rng.shuffle(shuffled)
+            permuted = Placement(
+                system, network, dict(zip(system.universe, shuffled))
+            )
+            delay = expected_max_delay(permuted, result.strategy, network.nodes[0])
+            if abs(delay - result.delay) > 1e-9:
+                identical = False
+        table.add_row(
+            n=n,
+            t=t,
+            formula=result.formula_delay,
+            measured=result.delay,
+            agree=agree,
+            permutations_identical=identical,
+        )
+    return table
+
+
+def test_majority_formula_eq19(benchmark, report):
+    table = _run_table()
+    report(table)
+    assert table.all_rows_pass("agree")
+    assert table.all_rows_pass("permutations_identical")
+
+    distances = list(np.random.default_rng(2).uniform(0, 10, 101))
+    benchmark(lambda: majority_delay_formula(101, 51, distances))

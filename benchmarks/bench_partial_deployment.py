@@ -1,0 +1,79 @@
+"""E16 — related work (§2): the Gilbert-Malewicz partial deployment.
+
+The paper notes its Section 5 machinery generalizes the partial quorum
+deployment problem (bijective placement + one distinct quorum per
+client).  This bench regenerates the restricted problem itself: the
+alternating-Hungarian heuristic vs the exhaustive optimum across seeded
+instances, reporting the heuristic's gap (usually zero) and iteration
+counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import (
+    solve_partial_deployment,
+    solve_partial_deployment_exact,
+)
+from repro.network import cycle_network, path_network, random_geometric_network
+from repro.quorums import QuorumSystem, wheel
+
+SEEDS = [0, 1, 2, 3]
+
+
+def _instances():
+    anchored = QuorumSystem(
+        [{0, 1}, {0, 2}, {0, 3}, {0, 1, 2}], universe=range(4), check=False
+    )
+    result = [
+        ("wheel(5)@geo", wheel(5), lambda seed: random_geometric_network(
+            5, 0.7, rng=np.random.default_rng(seed))),
+        ("anchored@cycle", anchored, lambda seed: cycle_network(4)),
+        ("wheel(5)@path", wheel(5), lambda seed: path_network(5)),
+    ]
+    return result
+
+
+def _run_table():
+    table = ResultTable(
+        "E16 partial deployment - alternating Hungarian vs exact",
+        ["instance", "seed", "alternating", "exact", "gap_pct", "iterations",
+         "never_below_exact"],
+    )
+    for name, system, make_network in _instances():
+        for seed in SEEDS:
+            network = make_network(seed)
+            alternating = solve_partial_deployment(system, network)
+            exact = solve_partial_deployment_exact(system, network)
+            gap = (
+                100.0 * (alternating.average_delay - exact.average_delay)
+                / exact.average_delay
+                if exact.average_delay > 0
+                else 0.0
+            )
+            table.add_row(
+                instance=name,
+                seed=seed,
+                alternating=alternating.average_delay,
+                exact=exact.average_delay,
+                gap_pct=gap,
+                iterations=alternating.iterations,
+                never_below_exact=(
+                    alternating.average_delay >= exact.average_delay - 1e-9
+                ),
+            )
+    return table
+
+
+def test_partial_deployment(benchmark, report):
+    table = _run_table()
+    report(table)
+    assert table.all_rows_pass("never_below_exact")
+    gaps = [float(row["gap_pct"]) for row in table.rows]
+    # The alternation should find the optimum on most instances.
+    assert sum(1 for g in gaps if g < 1e-6) >= len(gaps) * 0.6
+
+    system = wheel(5)
+    network = random_geometric_network(5, 0.7, rng=np.random.default_rng(0))
+    benchmark(lambda: solve_partial_deployment(system, network))

@@ -1,0 +1,64 @@
+"""E1 — Theorem 1.2: the QPP algorithm's delay is within
+``5 alpha/(alpha-1)`` of the optimum and its load within ``(alpha+1) cap``.
+
+Regenerates, for every exhaustively solvable instance in the small suite:
+the algorithm's average max-delay, the true optimum, the realized ratio,
+the paper bound, and the realized/allowed load factors.  The *shape* the
+paper promises — ratio well under the bound, load factor under alpha+1 —
+must hold on every row.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import (
+    capacity_violation_factor,
+    solve_qpp,
+    solve_qpp_exact,
+)
+from repro.experiments import small_suite
+
+ALPHA = 2.0
+
+
+def _run_table():
+    table = ResultTable(
+        "E1 Theorem 1.2 - QPP approximation (alpha=2, bound 10x)",
+        ["instance", "alg_delay", "opt_delay", "ratio", "bound", "load_factor",
+         "load_bound", "within"],
+    )
+    for instance in small_suite(101)[:8]:
+        result = solve_qpp(instance.system, instance.strategy, instance.network, alpha=ALPHA)
+        exact = solve_qpp_exact(instance.system, instance.strategy, instance.network)
+        ratio = result.average_delay / exact.objective if exact.objective > 0 else 1.0
+        load_factor = capacity_violation_factor(result.placement, instance.strategy)
+        within = (
+            ratio <= result.approximation_factor + 1e-6
+            and load_factor <= result.load_factor_bound + 1e-6
+        )
+        table.add_row(
+            instance=instance.name,
+            alg_delay=result.average_delay,
+            opt_delay=exact.objective,
+            ratio=ratio,
+            bound=result.approximation_factor,
+            load_factor=load_factor,
+            load_bound=result.load_factor_bound,
+            within=within,
+        )
+    return table
+
+
+def test_qpp_theorem_1_2(benchmark, report):
+    table = _run_table()
+    report(table)
+    assert table.all_rows_pass("within")
+
+    instance = small_suite(101)[0]
+    benchmark.pedantic(
+        lambda: solve_qpp(
+            instance.system, instance.strategy, instance.network, alpha=ALPHA
+        ),
+        rounds=3,
+        iterations=1,
+    )

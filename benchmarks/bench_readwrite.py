@@ -1,0 +1,69 @@
+"""E14 — extension: read/write quorum workloads.
+
+Sweeps the read fraction of the Grid's read/write split (rows read,
+row+column writes) and regenerates the expected shape: as the workload
+becomes read-heavier, the placed average delay and the per-element load
+both fall (rows are smaller and spread thinner than writes), while the
+Theorem 3.7 load guarantee — which never uses the intersection property
+— keeps holding for every mix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import capacity_violation_factor, solve_rw_placement, solve_rw_ssqpp
+from repro.network import random_geometric_network, uniform_capacities
+from repro.quorums import grid_rw
+
+READ_FRACTIONS = [0.0, 0.25, 0.5, 0.75, 0.95]
+
+
+def _network():
+    rng = np.random.default_rng(1401)
+    return uniform_capacities(random_geometric_network(11, 0.5, rng=rng), 1.0)
+
+
+def _run_table():
+    network = _network()
+    rw = grid_rw(3)
+    table = ResultTable(
+        "E14 read/write Grid workload sweep (alpha=2)",
+        ["read_fraction", "avg_delay", "expected_quorum_size", "load_factor",
+         "load_bound", "within"],
+    )
+    previous_delay = float("inf")
+    monotone = True
+    for rho in READ_FRACTIONS:
+        result = solve_rw_placement(
+            rw, network, read_fraction=rho, alpha=2.0,
+            candidate_sources=list(network.nodes)[:4],
+        )
+        violation = capacity_violation_factor(result.placement, result.strategy)
+        table.add_row(
+            read_fraction=rho,
+            avg_delay=result.average_delay,
+            expected_quorum_size=result.strategy.expected_quorum_size(),
+            load_factor=violation,
+            load_bound=result.load_factor_bound,
+            within=violation <= result.load_factor_bound + 1e-6,
+        )
+        monotone = monotone and result.average_delay <= previous_delay + 0.25
+        previous_delay = result.average_delay
+    return table, monotone
+
+
+def test_readwrite_workloads(benchmark, report):
+    table, roughly_monotone = _run_table()
+    report(table)
+    assert table.all_rows_pass("within")
+    # Shape check: read-heavier mixes should not get meaningfully slower.
+    assert roughly_monotone
+
+    network = _network()
+    rw = grid_rw(3)
+    benchmark.pedantic(
+        lambda: solve_rw_ssqpp(rw, network, 0, read_fraction=0.5),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,77 @@
+"""E2 — Lemma 3.1: the relay-via-v0 detour costs at most 5x.
+
+Measures the relay factor over many (system, network, placement) triples,
+including adversarial cluster-straddling placements, and reports the
+worst factor observed per family.  The paper's bound is 5; the measured
+shape is that typical factors sit well below it (usually < 2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import Placement, random_placement, relay_analysis
+from repro.network import (
+    random_geometric_network,
+    two_cluster_network,
+    uniform_capacities,
+)
+from repro.quorums import AccessStrategy, grid, majority, wheel
+
+TRIALS_PER_FAMILY = 12
+
+
+def _families(rng):
+    geometric = uniform_capacities(random_geometric_network(12, 0.45, rng=rng), 2.0)
+    clusters = uniform_capacities(two_cluster_network(6, bridge_length=30.0), 2.0)
+    return [
+        ("majority(5)@geo", majority(5), geometric),
+        ("grid(3)@geo", grid(3), geometric),
+        ("wheel(5)@geo", wheel(5), geometric),
+        ("majority(5)@clusters", majority(5), clusters),
+        ("grid(3)@clusters", grid(3), clusters),
+    ]
+
+
+def _run_table():
+    rng = np.random.default_rng(202)
+    table = ResultTable(
+        "E2 Lemma 3.1 - relay-via-v0 factor (bound 5)",
+        ["family", "trials", "mean_factor", "max_factor", "bound", "within"],
+    )
+    for name, system, network in _families(rng):
+        strategy = AccessStrategy.uniform(system)
+        factors = []
+        for _ in range(TRIALS_PER_FAMILY):
+            placement = random_placement(system, strategy, network, rng=rng)
+            factors.append(relay_analysis(placement, strategy).factor)
+        # One adversarial spread placement per family.
+        nodes = list(network.nodes)
+        spread = Placement(
+            system,
+            network,
+            {u: nodes[i % len(nodes)] for i, u in enumerate(system.universe)},
+        )
+        factors.append(relay_analysis(spread, strategy).factor)
+        table.add_row(
+            family=name,
+            trials=len(factors),
+            mean_factor=float(np.mean(factors)),
+            max_factor=float(np.max(factors)),
+            bound=5.0,
+            within=max(factors) <= 5.0 + 1e-9,
+        )
+    return table
+
+
+def test_relay_factor_lemma_3_1(benchmark, report):
+    table = _run_table()
+    report(table)
+    assert table.all_rows_pass("within")
+
+    rng = np.random.default_rng(7)
+    network = uniform_capacities(random_geometric_network(12, 0.45, rng=rng), 2.0)
+    system = majority(5)
+    strategy = AccessStrategy.uniform(system)
+    placement = random_placement(system, strategy, network, rng=rng)
+    benchmark(lambda: relay_analysis(placement, strategy))

@@ -1,0 +1,63 @@
+"""E3 — Theorem 3.7: the alpha trade-off for the single-source algorithm.
+
+Sweeps alpha over a fixed instance suite and regenerates the trade-off
+curve the theorem describes: the delay guarantee ``alpha/(alpha-1) * Z*``
+falls with alpha while the permitted load ``(alpha+1) cap`` rises.  Both
+realized quantities must stay inside their bounds at every alpha.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import solve_ssqpp
+from repro.network import random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, grid, majority
+
+ALPHAS = [1.25, 1.5, 2.0, 3.0, 5.0]
+
+
+def _instances():
+    rng = np.random.default_rng(303)
+    network = uniform_capacities(random_geometric_network(11, 0.5, rng=rng), 0.9)
+    return [
+        ("majority(7)", majority(7), network),
+        ("grid(3)", grid(3), network),
+    ]
+
+
+def _run_table():
+    table = ResultTable(
+        "E3 Theorem 3.7 - SSQPP alpha trade-off",
+        ["instance", "alpha", "lp_value", "delay", "delay_bound",
+         "load_factor", "load_bound", "within"],
+    )
+    for name, system, network in _instances():
+        strategy = AccessStrategy.uniform(system)
+        for alpha in ALPHAS:
+            result = solve_ssqpp(system, strategy, network, 0, alpha=alpha)
+            table.add_row(
+                instance=name,
+                alpha=alpha,
+                lp_value=result.lp_value,
+                delay=result.delay,
+                delay_bound=result.delay_bound,
+                load_factor=result.max_load_factor,
+                load_bound=result.load_factor_bound,
+                within=result.within_guarantees,
+            )
+    return table
+
+
+def test_ssqpp_alpha_tradeoff(benchmark, report):
+    table = _run_table()
+    report(table)
+    assert table.all_rows_pass("within")
+
+    name, system, network = _instances()[0]
+    strategy = AccessStrategy.uniform(system)
+    benchmark.pedantic(
+        lambda: solve_ssqpp(system, strategy, network, 0, alpha=2.0),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,74 @@
+"""E13 — extension: post-placement strategy re-weighting.
+
+For a fixed placement, the access strategy itself is a knob: an LP
+minimizes expected delay subject to a per-element load budget L
+(:mod:`repro.core.strategy_opt`).  The bench regenerates the delay/load
+Pareto frontier — at L = system load the strategy can only re-balance
+among load-optimal strategies; at L = 1 it collapses onto the closest
+quorum, the degenerate hot-spot the paper's related-work section warns
+about.  The frontier must be monotone (looser budget, weakly lower
+delay) on every instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import (
+    delay_optimal_strategy,
+    random_placement,
+    strategy_delay_frontier,
+)
+from repro.core.placement import expected_max_delay
+from repro.network import random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, grid, majority, system_load
+
+
+def _instances():
+    rng = np.random.default_rng(1301)
+    network = uniform_capacities(random_geometric_network(10, 0.5, rng=rng), 2.0)
+    result = []
+    for system in (majority(5), grid(3)):
+        strategy = AccessStrategy.uniform(system)
+        placement = random_placement(system, strategy, network, rng=rng)
+        result.append((system, strategy, network, placement))
+    return result
+
+
+def _run_table():
+    table = ResultTable(
+        "E13 strategy re-weighting frontier (fixed placement)",
+        ["system", "budget", "delay", "uniform_delay", "max_load", "monotone"],
+    )
+    for system, uniform, network, placement in _instances():
+        source = network.nodes[0]
+        floor = system_load(system)
+        budgets = [floor, (2 * floor + 1) / 3, (floor + 2) / 3, 1.0]
+        frontier = strategy_delay_frontier(placement, budgets, source=source)
+        uniform_delay = expected_max_delay(placement, uniform, source)
+        previous = float("inf")
+        for point in frontier:
+            monotone = point.delay <= previous + 1e-9
+            previous = point.delay
+            table.add_row(
+                system=system.name,
+                budget=point.load_budget,
+                delay=point.delay,
+                uniform_delay=uniform_delay,
+                max_load=point.max_load,
+                monotone=monotone,
+            )
+    return table
+
+
+def test_strategy_frontier(benchmark, report):
+    table = _run_table()
+    report(table)
+    assert table.all_rows_pass("monotone")
+
+    system, uniform, network, placement = _instances()[0]
+    benchmark(
+        lambda: delay_optimal_strategy(
+            placement, load_budget=1.0, source=network.nodes[0]
+        )
+    )

@@ -1,0 +1,126 @@
+"""E11 — substrate throughput: the building blocks at realistic sizes.
+
+Times the substrates the placement algorithms lean on — all-pairs
+metric computation, quorum construction, the Naor-Wool strategy LP, the
+SSQPP LP build+solve, and the access simulator — and regenerates a
+scaling table (construction sizes vs wall time is in the pytest-benchmark
+output; the table records the problem sizes exercised).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import random_placement, solve_ssqpp
+from repro.core.ssqpp import build_ssqpp_lp
+from repro.experiments import simulate_accesses
+from repro.network import random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, grid, majority, optimal_strategy, projective_plane
+
+
+def test_metric_all_pairs(benchmark):
+    rng = np.random.default_rng(11)
+    network = random_geometric_network(80, 0.25, rng=rng)
+
+    def compute():
+        from repro.network import Metric
+
+        return Metric.from_network(network)
+
+    metric = benchmark(compute)
+    assert metric.size == 80
+
+
+def test_quorum_construction_grid(benchmark):
+    system = benchmark(lambda: grid(12))
+    assert system.universe_size == 144
+
+
+def test_quorum_construction_fpp(benchmark):
+    system = benchmark(lambda: projective_plane(7))
+    assert system.universe_size == 57
+
+
+def test_naor_wool_lp(benchmark):
+    system = grid(6)
+    result = benchmark.pedantic(
+        lambda: optimal_strategy(system), rounds=3, iterations=1
+    )
+    assert result.load == pytest.approx((2 * 6 - 1) / 36, abs=1e-6)
+
+
+def test_ssqpp_lp_build(benchmark):
+    rng = np.random.default_rng(12)
+    network = uniform_capacities(random_geometric_network(16, 0.4, rng=rng), 1.0)
+    system = grid(3)
+    strategy = AccessStrategy.uniform(system)
+    model, *_ = benchmark.pedantic(
+        lambda: build_ssqpp_lp(system, strategy, network, 0), rounds=3, iterations=1
+    )
+    assert model.num_variables > 0
+
+
+def test_ssqpp_full_solve(benchmark):
+    rng = np.random.default_rng(13)
+    network = uniform_capacities(random_geometric_network(14, 0.4, rng=rng), 1.0)
+    system = majority(9)
+    strategy = AccessStrategy.uniform(system)
+    result = benchmark.pedantic(
+        lambda: solve_ssqpp(system, strategy, network, 0), rounds=3, iterations=1
+    )
+    assert result.within_guarantees
+
+
+def test_ssqpp_lp_cumulative_formulation(benchmark):
+    """The sparse encoding of (14): build + solve under 'cumulative'."""
+    rng = np.random.default_rng(12)
+    network = uniform_capacities(random_geometric_network(16, 0.4, rng=rng), 1.0)
+    system = grid(3)
+    strategy = AccessStrategy.uniform(system)
+
+    def build_and_solve():
+        model, *_ = build_ssqpp_lp(
+            system, strategy, network, 0, formulation="cumulative"
+        )
+        return model.solve().objective
+
+    value = benchmark.pedantic(build_and_solve, rounds=3, iterations=1)
+    reference_model, *_ = build_ssqpp_lp(
+        system, strategy, network, 0, formulation="prefix"
+    )
+    assert value == pytest.approx(reference_model.solve().objective, abs=1e-7)
+
+
+def test_access_simulation_throughput(benchmark):
+    rng = np.random.default_rng(14)
+    network = uniform_capacities(random_geometric_network(12, 0.5, rng=rng), 2.0)
+    system = majority(7)
+    strategy = AccessStrategy.uniform(system)
+    placement = random_placement(system, strategy, network, rng=rng)
+    result = benchmark.pedantic(
+        lambda: simulate_accesses(
+            placement, strategy, rng=np.random.default_rng(0), accesses_per_client=200
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.accesses == 200 * network.size
+
+
+def test_substrate_size_table(benchmark, report):
+    def build():
+        table = ResultTable(
+            "E11 substrate scales exercised",
+            ["substrate", "size"],
+        )
+        return table
+
+    table = benchmark(build)
+    table.add_row(substrate="metric all-pairs", size="80 nodes")
+    table.add_row(substrate="grid construction", size="k=12 (144 elements)")
+    table.add_row(substrate="projective plane", size="q=7 (57 elements)")
+    table.add_row(substrate="Naor-Wool LP", size="grid(6): 36 quorums")
+    table.add_row(substrate="SSQPP LP build", size="grid(3) x 16 nodes")
+    table.add_row(substrate="SSQPP full solve", size="majority(9) x 14 nodes")
+    table.add_row(substrate="access simulator", size="2400 accesses")
+    report(table)

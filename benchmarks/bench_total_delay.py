@@ -1,0 +1,52 @@
+"""E7 — Theorems 1.4 / 5.1: total-delay placement via GAP.
+
+Regenerates, on the exhaustively solvable suite: the algorithm's average
+total delay vs the true capacity-respecting optimum (the algorithm must
+be <= OPT, the paper's headline), and the realized load factor vs the 2x
+bound.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import solve_total_delay, solve_total_delay_exact
+from repro.experiments import small_suite
+
+
+def _run_table():
+    table = ResultTable(
+        "E7 Theorem 5.1 - total delay <= OPT with load <= 2 cap",
+        ["instance", "alg_delay", "opt_delay", "alg_le_opt", "load_factor",
+         "load_bound", "within"],
+    )
+    for instance in small_suite(707)[:8]:
+        result = solve_total_delay(instance.system, instance.strategy, instance.network)
+        exact = solve_total_delay_exact(
+            instance.system, instance.strategy, instance.network
+        )
+        table.add_row(
+            instance=instance.name,
+            alg_delay=result.delay,
+            opt_delay=exact.objective,
+            alg_le_opt=result.delay <= exact.objective + 1e-6,
+            load_factor=result.max_load_factor,
+            load_bound=2.0,
+            within=result.within_guarantees,
+        )
+    return table
+
+
+def test_total_delay_theorem_5_1(benchmark, report):
+    table = _run_table()
+    report(table)
+    assert table.all_rows_pass("alg_le_opt")
+    assert table.all_rows_pass("within")
+
+    instance = small_suite(707)[0]
+    benchmark.pedantic(
+        lambda: solve_total_delay(
+            instance.system, instance.strategy, instance.network
+        ),
+        rounds=5,
+        iterations=1,
+    )

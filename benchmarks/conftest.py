@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (a theorem bound, a figure
+family, or a closed form) as a :class:`repro.analysis.ResultTable`, then
+times a representative unit of the computation with pytest-benchmark.
+
+Tables are printed (visible with ``pytest -s``) *and* written to
+``benchmarks/results/<title>.txt`` so the regenerated numbers survive the
+run regardless of output capture.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Emit a ResultTable: print it and persist it under results/."""
+
+    def emit(table):
+        table.print()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", table.title).strip("_")
+        (RESULTS_DIR / f"{slug}.txt").write_text(table.render() + "\n")
+
+    return emit

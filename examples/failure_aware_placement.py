@@ -1,0 +1,88 @@
+"""Fault tolerance vs delay: why capacities matter beyond load.
+
+The paper's related-work section criticizes Lin's delay-optimal solution
+for "eliminating the advantages (such as load dispersion and fault
+tolerance) of any distributed quorum-based algorithm".  This example
+quantifies that criticism: it compares placements of a Majority system
+along the co-location spectrum — fully collapsed, capacity-respecting LP
+placement, and fully spread — on three axes at once:
+
+* average max-delay (the paper's objective),
+* placement resilience (node crashes always survivable), and
+* availability under 10% independent node failures.
+
+Run:  python examples/failure_aware_placement.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    ResultTable,
+    placement_availability,
+    placement_resilience,
+)
+from repro.core import (
+    Placement,
+    average_max_delay,
+    capacity_violation_factor,
+    single_node_placement,
+    solve_qpp,
+)
+from repro.network import random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, majority, resilience
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    system = majority(5)
+    strategy = AccessStrategy.uniform(system)
+    print(
+        f"logical system: {system} — element-level resilience "
+        f"{resilience(system)} (best any placement can preserve)"
+    )
+
+    network = uniform_capacities(
+        random_geometric_network(9, 0.5, rng=rng, scale=50.0), 0.7
+    )
+
+    placements = {}
+    placements["collapsed (Lin)"] = single_node_placement(system, network)
+    # A small alpha keeps the capacity violation (and hence co-location)
+    # low: the placement stays dispersed.
+    qpp = solve_qpp(system, strategy, network, alpha=1.2)
+    placements["LP rounding (thm 1.2, alpha=1.2)"] = qpp.placement
+    # Fully spread: one element per distinct node.
+    nodes = list(network.nodes)
+    placements["fully spread"] = Placement(
+        system, network, {u: nodes[i] for i, u in enumerate(system.universe)}
+    )
+
+    table = ResultTable(
+        "co-location spectrum: delay vs fault tolerance",
+        ["placement", "avg_max_delay_ms", "load_factor", "node_resilience",
+         "availability@10%"],
+    )
+    for name, placement in placements.items():
+        table.add_row(
+            placement=name,
+            avg_max_delay_ms=average_max_delay(placement, strategy),
+            load_factor=capacity_violation_factor(placement, strategy),
+            node_resilience=placement_resilience(placement),
+            **{"availability@10%": placement_availability(placement, 0.1)},
+        )
+    table.print()
+
+    collapsed = placements["collapsed (Lin)"]
+    spread = placements["fully spread"]
+    print(
+        "the collapsed placement minimizes delay but one crash kills the "
+        f"service (resilience {placement_resilience(collapsed)}); spreading "
+        f"recovers resilience {placement_resilience(spread)} at "
+        f"{average_max_delay(spread, strategy) / average_max_delay(collapsed, strategy):.1f}x "
+        "the delay — the dispersion/delay tension the paper's capacity "
+        "constraints are designed to manage."
+    )
+
+
+if __name__ == "__main__":
+    main()

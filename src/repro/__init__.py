@@ -1,0 +1,100 @@
+"""repro — a reproduction of *Quorum Placement in Networks to Minimize
+Access Delays* (Gupta, Maggs, Oprea, Reiter; PODC 2005).
+
+The library implements the paper end to end:
+
+* **Quorum systems** (:mod:`repro.quorums`): the :class:`QuorumSystem` /
+  :class:`AccessStrategy` types, the classical constructions (Grid,
+  Majority, projective planes, trees, crumbling walls, ...), and the
+  Naor-Wool load-optimal strategy LP.
+* **Networks** (:mod:`repro.network`): capacitated weighted graphs, exact
+  shortest-path metrics, and topology generators including the paper's
+  Figure 1 "broom".
+* **Placement algorithms** (:mod:`repro.core`): the Theorem 1.2 QPP
+  solver, the §3.3 single-source LP-rounding algorithm (Theorem 3.7),
+  the §4 optimal Grid/Majority layouts (Theorem 1.3), the §5 total-delay
+  algorithm (Theorem 1.4), Lemma 3.1 relay analysis, exact brute-force
+  optima, baselines, and the Theorem 3.6 NP-hardness reduction.
+* **Substrates**: a declarative LP layer (:mod:`repro.lp`), Generalized
+  Assignment with Shmoys-Tardos rounding (:mod:`repro.gap`), and
+  precedence scheduling (:mod:`repro.scheduling`).
+* **Analysis & experiments** (:mod:`repro.analysis`,
+  :mod:`repro.experiments`): Appendix A integrality-gap instances,
+  result tables, workload suites, and an access simulator.
+
+Quickstart::
+
+    import numpy as np
+    from repro.quorums import grid, AccessStrategy
+    from repro.network import random_geometric_network
+    from repro.core import solve_qpp
+
+    net = random_geometric_network(12, 0.5, rng=np.random.default_rng(0))
+    net = net.with_capacities(1.0)
+    system = grid(3)
+    result = solve_qpp(system, AccessStrategy.uniform(system), net, alpha=2.0)
+    print(result.average_delay, result.approximation_factor)
+"""
+
+from . import analysis, core, experiments, gap, lp, network, quorums, scheduling
+from .core import (
+    Placement,
+    QPPResult,
+    SSQPPResult,
+    TotalDelayResult,
+    average_max_delay,
+    average_total_delay,
+    optimal_grid_placement,
+    optimal_majority_placement,
+    relay_analysis,
+    solve_qpp,
+    solve_ssqpp,
+    solve_total_delay,
+)
+from .exceptions import (
+    CapacityError,
+    InfeasibleError,
+    IntersectionError,
+    ReproError,
+    SolverError,
+    UnboundedError,
+    ValidationError,
+)
+from .network import Network
+from .quorums import AccessStrategy, QuorumSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessStrategy",
+    "CapacityError",
+    "InfeasibleError",
+    "IntersectionError",
+    "Network",
+    "Placement",
+    "QPPResult",
+    "QuorumSystem",
+    "ReproError",
+    "SSQPPResult",
+    "SolverError",
+    "TotalDelayResult",
+    "UnboundedError",
+    "ValidationError",
+    "analysis",
+    "average_max_delay",
+    "average_total_delay",
+    "core",
+    "experiments",
+    "gap",
+    "lp",
+    "network",
+    "optimal_grid_placement",
+    "optimal_majority_placement",
+    "quorums",
+    "relay_analysis",
+    "scheduling",
+    "solve_qpp",
+    "solve_ssqpp",
+    "solve_total_delay",
+    "__version__",
+]

@@ -1,0 +1,110 @@
+"""Internal validation helpers shared across the package.
+
+These helpers keep precondition checks uniform: every public entry point
+validates its inputs eagerly and raises :class:`repro.exceptions.ValidationError`
+with an actionable message, rather than failing deep inside numpy/scipy
+with an inscrutable traceback.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from .exceptions import ValidationError
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_probability_vector",
+    "check_integer_in_range",
+    "check_finite",
+]
+
+#: Tolerance used when validating probability vectors and comparing loads.
+PROBABILITY_TOLERANCE = 1e-9
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_finite(value: float, name: str) -> float:
+    """Validate that *value* is a finite real number and return it as float."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a real number, got {value!r}") from exc
+    if not math.isfinite(result):
+        raise ValidationError(f"{name} must be finite, got {result!r}")
+    return result
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that *value* is a finite number strictly greater than zero."""
+    result = check_finite(value, name)
+    if result <= 0:
+        raise ValidationError(f"{name} must be positive, got {result!r}")
+    return result
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate that *value* is a finite number greater than or equal to zero."""
+    result = check_finite(value, name)
+    if result < 0:
+        raise ValidationError(f"{name} must be non-negative, got {result!r}")
+    return result
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    result = check_finite(value, name)
+    if not -PROBABILITY_TOLERANCE <= result <= 1 + PROBABILITY_TOLERANCE:
+        raise ValidationError(f"{name} must lie in [0, 1], got {result!r}")
+    return min(max(result, 0.0), 1.0)
+
+
+def check_probability_vector(values: Sequence[float], name: str) -> list[float]:
+    """Validate that *values* are non-negative and sum to one.
+
+    Returns the values normalized exactly (dividing by their sum) so that
+    downstream arithmetic can rely on an exact unit total.
+    """
+    cleaned = [check_nonnegative(v, f"{name}[{i}]") for i, v in enumerate(values)]
+    total = sum(cleaned)
+    if abs(total - 1.0) > 1e-6:
+        raise ValidationError(
+            f"{name} must sum to 1 (got {total!r}); normalize weights with "
+            "AccessStrategy.from_weights if they are unnormalized"
+        )
+    return [v / total for v in cleaned]
+
+
+def check_integer_in_range(
+    value: Any, name: str, *, low: int | None = None, high: int | None = None
+) -> int:
+    """Validate that *value* is an integer within the inclusive range [low, high]."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    if low is not None and value < low:
+        raise ValidationError(f"{name} must be >= {low}, got {value}")
+    if high is not None and value > high:
+        raise ValidationError(f"{name} must be <= {high}, got {value}")
+    return value
+
+
+def unique_items(items: Iterable[Any], name: str) -> list[Any]:
+    """Return *items* as a list, raising if any item appears more than once."""
+    seen: set[Any] = set()
+    result: list[Any] = []
+    for item in items:
+        if item in seen:
+            raise ValidationError(f"{name} contains duplicate item {item!r}")
+        seen.add(item)
+        result.append(item)
+    return result

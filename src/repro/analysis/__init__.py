@@ -1,0 +1,32 @@
+"""Analysis tooling: integrality gaps, fault tolerance, report tables."""
+
+from .fault_tolerance import (
+    placement_availability,
+    placement_availability_monte_carlo,
+    placement_resilience,
+    survivors,
+)
+from .pareto import ParetoPoint, pareto_front
+from .integrality import (
+    GapInstance,
+    broom_gap_instance,
+    general_metric_gap_instance,
+    solve_gap_instance_lp,
+)
+from .reporting import ResultTable, check_mark, format_value
+
+__all__ = [
+    "GapInstance",
+    "ParetoPoint",
+    "ResultTable",
+    "broom_gap_instance",
+    "check_mark",
+    "format_value",
+    "general_metric_gap_instance",
+    "pareto_front",
+    "placement_availability",
+    "placement_availability_monte_carlo",
+    "placement_resilience",
+    "solve_gap_instance_lp",
+    "survivors",
+]

@@ -1,0 +1,161 @@
+"""Placement-aware fault tolerance.
+
+The paper motivates capacity limits with load dispersion and fault
+tolerance: Lin's single-node collapse is "not very desirable, since it
+eliminates the advantages (such as load dispersion and fault tolerance)
+of any distributed quorum-based algorithm".  This module quantifies that
+argument for concrete placements.
+
+When quorum elements are placed on physical nodes, a *node* crash kills
+every element hosted there.  Co-location therefore trades delay not only
+against load but against survivability:
+
+* :func:`placement_resilience` — the largest number of **node** crashes
+  that always leaves some quorum fully alive (0 for the single-node
+  collapse, up to the logical resilience for an injective placement).
+* :func:`placement_availability` — the probability a live quorum remains
+  when each node fails independently (exact for small networks, seeded
+  Monte Carlo otherwise).
+* :func:`survivors` — which quorums survive a given crash set; useful
+  for what-if analysis in operational tooling.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from .._validation import check_integer_in_range, check_probability
+from ..core.placement import Placement
+from ..exceptions import ValidationError
+from ..network.graph import Node
+
+__all__ = [
+    "survivors",
+    "placement_resilience",
+    "placement_availability",
+    "placement_availability_monte_carlo",
+]
+
+_MAX_EXACT_NODES = 20
+
+
+def _hosted_quorum_nodes(placement: Placement) -> list[frozenset]:
+    """For each quorum, the set of nodes hosting at least one member."""
+    system = placement.system
+    return [
+        frozenset(placement[u] for u in quorum) for quorum in system.quorums
+    ]
+
+
+def survivors(placement: Placement, failed_nodes: set[Node]) -> list[int]:
+    """Indices of quorums whose hosts all survive *failed_nodes*.
+
+    A quorum survives iff none of its members' hosting nodes failed.
+    """
+    for node in failed_nodes:
+        placement.network.node_index(node)
+    failed = frozenset(failed_nodes)
+    return [
+        index
+        for index, hosts in enumerate(_hosted_quorum_nodes(placement))
+        if hosts.isdisjoint(failed)
+    ]
+
+
+def placement_resilience(placement: Placement) -> int:
+    """Largest ``f`` such that any ``f`` node crashes leave a live quorum.
+
+    Equals ``(minimum node hitting set of the hosted quorums) - 1``.
+    Exhaustive over crash sets in increasing size; networks are limited
+    to 20 nodes (same guard as the element-level
+    :func:`repro.quorums.analysis.resilience`).
+    """
+    network = placement.network
+    if network.size > _MAX_EXACT_NODES:
+        raise ValidationError(
+            f"placement_resilience supports at most {_MAX_EXACT_NODES} nodes "
+            f"(got {network.size})"
+        )
+    hosted = _hosted_quorum_nodes(placement)
+    used_nodes = sorted(
+        {node for hosts in hosted for node in hosts},
+        key=network.node_index,
+    )
+    for size in range(1, len(used_nodes) + 1):
+        for crash in combinations(used_nodes, size):
+            failed = frozenset(crash)
+            if all(not hosts.isdisjoint(failed) for hosts in hosted):
+                return size - 1
+    raise AssertionError("no node hitting set found; placement is malformed")
+
+
+def placement_availability(placement: Placement, failure_probability: float) -> float:
+    """Exact probability that some quorum survives independent node
+    crashes at rate *failure_probability*.
+
+    Exponential in the number of *distinct hosting nodes*; guarded to 20.
+    """
+    p_fail = check_probability(failure_probability, "failure_probability")
+    hosted = _hosted_quorum_nodes(placement)
+    used_nodes = sorted(
+        {node for hosts in hosted for node in hosts},
+        key=placement.network.node_index,
+    )
+    n = len(used_nodes)
+    if n > _MAX_EXACT_NODES:
+        raise ValidationError(
+            f"placement_availability is exact and supports at most "
+            f"{_MAX_EXACT_NODES} hosting nodes (got {n}); use "
+            "placement_availability_monte_carlo"
+        )
+    index = {node: i for i, node in enumerate(used_nodes)}
+    quorum_masks = []
+    for hosts in hosted:
+        mask = 0
+        for node in hosts:
+            mask |= 1 << index[node]
+        quorum_masks.append(mask)
+    total = 0.0
+    for alive_mask in range(1 << n):
+        if any(mask & alive_mask == mask for mask in quorum_masks):
+            alive = bin(alive_mask).count("1")
+            total += (1 - p_fail) ** alive * p_fail ** (n - alive)
+    return total
+
+
+def placement_availability_monte_carlo(
+    placement: Placement,
+    failure_probability: float,
+    *,
+    samples: int = 10_000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Monte-Carlo estimate of :func:`placement_availability`."""
+    p_fail = check_probability(failure_probability, "failure_probability")
+    check_integer_in_range(samples, "samples", low=1)
+    generator = rng if rng is not None else np.random.default_rng(0)
+    hosted = _hosted_quorum_nodes(placement)
+    used_nodes = sorted(
+        {node for hosts in hosted for node in hosts},
+        key=placement.network.node_index,
+    )
+    n = len(used_nodes)
+    index = {node: i for i, node in enumerate(used_nodes)}
+    quorum_masks = []
+    for hosts in hosted:
+        mask = 0
+        for node in hosts:
+            mask |= 1 << index[node]
+        quorum_masks.append(mask)
+    successes = 0
+    for _ in range(samples):
+        draws = generator.random(n)
+        alive_mask = 0
+        for i in range(n):
+            if draws[i] >= p_fail:
+                alive_mask |= 1 << i
+        if any(mask & alive_mask == mask for mask in quorum_masks):
+            successes += 1
+    return successes / samples

@@ -1,0 +1,93 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every benchmark regenerates a paper artifact as a table of rows —
+instance parameters, the measured quantity, the paper's bound, and a
+pass/fail check — printed in aligned columns so the bench output reads
+like the claims in the paper.  Nothing here depends on the rest of the
+library; it is deliberately dumb formatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ResultTable", "check_mark", "format_value"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Human formatting: floats rounded, bools as yes/NO, rest via str."""
+    if isinstance(value, (bool, np.bool_)):
+        return check_mark(bool(value))
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def check_mark(ok: bool) -> str:
+    """``yes`` when a bound holds, a loud ``NO`` when it does not."""
+    return "yes" if ok else "NO"
+
+
+@dataclass
+class ResultTable:
+    """An aligned text table with a title and fixed columns.
+
+    Examples
+    --------
+    >>> table = ResultTable("demo", ["x", "ok"])
+    >>> table.add_row(x=1.5, ok=True)
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    == demo ==
+    x   | ok
+    ----+----
+    1.5 | yes
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[dict[str, str]] = field(default_factory=list)
+    precision: int = 4
+
+    def add_row(self, **values: Any) -> None:
+        """Add a row; every column must be supplied as a keyword."""
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row is missing columns {missing}")
+        unknown = [c for c in values if c not in self.columns]
+        if unknown:
+            raise ValueError(f"row has unknown columns {unknown}")
+        self.rows.append(
+            {c: format_value(values[c], self.precision) for c in self.columns}
+        )
+
+    def render(self) -> str:
+        widths = {
+            c: max(len(c), *(len(r[c]) for r in self.rows)) if self.rows else len(c)
+            for c in self.columns
+        }
+        header = " | ".join(c.ljust(widths[c]) for c in self.columns)
+        rule = "-+-".join("-" * widths[c] for c in self.columns)
+        lines = [f"== {self.title} ==", header, rule]
+        lines.extend(
+            " | ".join(row[c].ljust(widths[c]) for c in self.columns)
+            for row in self.rows
+        )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print with surrounding blank lines (benchmark-friendly)."""
+        print()
+        print(self.render())
+        print()
+
+    def all_rows_pass(self, column: str) -> bool:
+        """Whether every row shows ``yes`` in the given check column."""
+        return all(row[column] == "yes" for row in self.rows)

@@ -1,0 +1,373 @@
+"""Command-line interface.
+
+Exposes the library's planning loop to shells and scripts::
+
+    python -m repro system grid:3                 # inspect a construction
+    python -m repro place grid:3 geometric:12:0.5 --capacity 1.0 \\
+        --objective max --alpha 2 --out placement.json
+    python -m repro evaluate placement.json       # delays/loads of a saved placement
+    python -m repro gap --k 5                     # Figure 1 numbers
+
+Spec mini-language (shared by ``system`` and ``place``):
+
+* systems — ``grid:K``, ``majority:N``, ``threshold:N:T``, ``fpp:Q``,
+  ``wheel:N``, ``tree:H``, ``cwlog:ROWS``, ``star:N``
+* networks — ``path:N``, ``cycle:N``, ``star:N``, ``complete:N``,
+  ``lattice:R:C``, ``geometric:N:RADIUS``, ``er:N:P``, ``waxman:N``,
+  ``twocluster:SIZE:BRIDGE``, ``broom:K``
+
+Random networks take ``--seed`` (default 0) and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from . import io
+from .analysis.integrality import broom_gap_instance
+from .analysis.reporting import ResultTable
+from .core import (
+    average_max_delay,
+    average_total_delay,
+    capacity_violation_factor,
+    node_loads,
+    solve_qpp,
+    solve_total_delay,
+)
+from .exceptions import ReproError, ValidationError
+from .network import generators
+from .network.graph import Network
+from .quorums import (
+    AccessStrategy,
+    QuorumSystem,
+    cw_log,
+    degree_statistics,
+    grid,
+    majority,
+    optimal_strategy,
+    projective_plane,
+    resilience,
+    star,
+    threshold,
+    tree_quorum_system,
+    wheel,
+)
+
+__all__ = ["main", "parse_system_spec", "parse_network_spec"]
+
+
+def _int_args(parts: list[str], count: int, spec: str) -> list[int]:
+    if len(parts) != count:
+        raise ValidationError(f"spec {spec!r}: expected {count} integer parameter(s)")
+    try:
+        return [int(p) for p in parts]
+    except ValueError as exc:
+        raise ValidationError(f"spec {spec!r}: parameters must be integers") from exc
+
+
+def parse_system_spec(spec: str) -> QuorumSystem:
+    """Build a quorum system from a ``name:params`` spec string."""
+    kind, _, rest = spec.partition(":")
+    parts = rest.split(":") if rest else []
+    if kind == "grid":
+        (k,) = _int_args(parts, 1, spec)
+        return grid(k)
+    if kind == "majority":
+        (n,) = _int_args(parts, 1, spec)
+        return majority(n)
+    if kind == "threshold":
+        n, t = _int_args(parts, 2, spec)
+        return threshold(n, t)
+    if kind == "fpp":
+        (q,) = _int_args(parts, 1, spec)
+        return projective_plane(q)
+    if kind == "wheel":
+        (n,) = _int_args(parts, 1, spec)
+        return wheel(n)
+    if kind == "tree":
+        (h,) = _int_args(parts, 1, spec)
+        return tree_quorum_system(h)
+    if kind == "cwlog":
+        (rows,) = _int_args(parts, 1, spec)
+        return cw_log(rows)
+    if kind == "star":
+        (n,) = _int_args(parts, 1, spec)
+        return star(n)
+    raise ValidationError(
+        f"unknown system spec {spec!r}; see `python -m repro --help`"
+    )
+
+
+def parse_network_spec(spec: str, *, seed: int = 0) -> Network:
+    """Build a network from a ``name:params`` spec string."""
+    kind, _, rest = spec.partition(":")
+    parts = rest.split(":") if rest else []
+    rng = np.random.default_rng(seed)
+    if kind == "path":
+        (n,) = _int_args(parts, 1, spec)
+        return generators.path_network(n)
+    if kind == "cycle":
+        (n,) = _int_args(parts, 1, spec)
+        return generators.cycle_network(n)
+    if kind == "star":
+        (n,) = _int_args(parts, 1, spec)
+        return generators.star_network(n)
+    if kind == "complete":
+        (n,) = _int_args(parts, 1, spec)
+        return generators.complete_network(n)
+    if kind == "lattice":
+        rows, columns = _int_args(parts, 2, spec)
+        return generators.grid_network(rows, columns)
+    if kind == "geometric":
+        if len(parts) != 2:
+            raise ValidationError(f"spec {spec!r}: expected geometric:N:RADIUS")
+        n = int(parts[0])
+        radius = float(parts[1])
+        return generators.random_geometric_network(n, radius, rng=rng)
+    if kind == "er":
+        if len(parts) != 2:
+            raise ValidationError(f"spec {spec!r}: expected er:N:P")
+        n = int(parts[0])
+        p = float(parts[1])
+        return generators.erdos_renyi_network(n, p, rng=rng)
+    if kind == "waxman":
+        (n,) = _int_args(parts, 1, spec)
+        return generators.waxman_network(n, rng=rng)
+    if kind == "twocluster":
+        if len(parts) != 2:
+            raise ValidationError(f"spec {spec!r}: expected twocluster:SIZE:BRIDGE")
+        size = int(parts[0])
+        bridge = float(parts[1])
+        return generators.two_cluster_network(size, bridge_length=bridge)
+    if kind == "broom":
+        (k,) = _int_args(parts, 1, spec)
+        return generators.broom_network(k)
+    raise ValidationError(
+        f"unknown network spec {spec!r}; see `python -m repro --help`"
+    )
+
+
+# -- subcommands ------------------------------------------------------------------
+
+
+def _cmd_system(args: argparse.Namespace) -> int:
+    system = parse_system_spec(args.spec)
+    stats = degree_statistics(system)
+    uniform = AccessStrategy.uniform(system)
+    table = ResultTable(f"system {args.spec}", ["property", "value"])
+    table.add_row(property="quorums", value=len(system))
+    table.add_row(property="universe", value=system.universe_size)
+    table.add_row(property="quorum size (min/mean/max)",
+                  value=f"{stats.min_quorum_size}/{stats.mean_quorum_size:.2f}/{stats.max_quorum_size}")
+    table.add_row(property="element degree (min/max)",
+                  value=f"{stats.min_degree}/{stats.max_degree}")
+    table.add_row(property="uniform max load", value=uniform.max_load())
+    if args.optimal_load:
+        table.add_row(property="optimal (Naor-Wool) load",
+                      value=optimal_strategy(system).load)
+    if system.universe_size <= 16:
+        table.add_row(property="resilience", value=resilience(system))
+    if args.dual and system.universe_size <= 15:
+        from .quorums import is_non_dominated, minimal_transversals
+
+        transversals = minimal_transversals(system)
+        table.add_row(property="minimal transversals", value=len(transversals))
+        table.add_row(
+            property="non-dominated (self-dual)",
+            value=is_non_dominated(system),
+        )
+    table.print()
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    system = parse_system_spec(args.system)
+    network = parse_network_spec(args.network, seed=args.seed)
+    if args.capacity is not None:
+        network = network.with_capacities(float(args.capacity))
+    if args.strategy == "uniform":
+        strategy = AccessStrategy.uniform(system)
+    else:
+        strategy = optimal_strategy(system).strategy
+
+    if args.objective == "max":
+        result = solve_qpp(system, strategy, network, alpha=args.alpha)
+        placement = result.placement
+        objective_value = result.average_delay
+        extra = [
+            ("approx factor (proven)", result.approximation_factor),
+            ("certified OPT lower bound", result.optimum_lower_bound),
+        ]
+    else:
+        total = solve_total_delay(system, strategy, network)
+        placement = total.placement
+        objective_value = total.delay
+        extra = [("LP bound (>= this placement)", total.lp_value)]
+
+    table = ResultTable(
+        f"placement of {args.system} on {args.network}", ["metric", "value"]
+    )
+    table.add_row(metric=f"avg {args.objective}-delay", value=objective_value)
+    table.add_row(
+        metric="worst load/capacity",
+        value=capacity_violation_factor(placement, strategy),
+    )
+    for name, value in extra:
+        table.add_row(metric=name, value=value)
+    table.print()
+
+    if args.out:
+        io.save_json(io.placement_to_dict(placement), args.out)
+        print(f"placement written to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    placement = io.placement_from_dict(io.load_json(args.placement))
+    strategy = AccessStrategy.uniform(placement.system)
+    table = ResultTable(f"evaluation of {args.placement}", ["metric", "value"])
+    table.add_row(metric="avg max-delay", value=average_max_delay(placement, strategy))
+    table.add_row(
+        metric="avg total-delay", value=average_total_delay(placement, strategy)
+    )
+    table.add_row(
+        metric="worst load/capacity",
+        value=capacity_violation_factor(placement, strategy),
+    )
+    loads = node_loads(placement, strategy)
+    busiest = max(loads.items(), key=lambda kv: kv[1])
+    table.add_row(metric="busiest node", value=f"{busiest[0]!r} ({busiest[1]:.4f})")
+    table.print()
+    return 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    table = ResultTable(
+        "Figure 1 integrality gaps", ["k", "n", "lp_value", "integral_opt", "gap"]
+    )
+    for k in range(2, args.k + 1):
+        instance = broom_gap_instance(k)
+        table.add_row(
+            k=k,
+            n=k * k,
+            lp_value=instance.lp_value,
+            integral_opt=instance.integral_optimum,
+            gap=instance.gap,
+        )
+    table.print()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .experiments.suite_runner import compare_algorithms
+    from .experiments.workloads import PlacementInstance, feasible_uniform_capacity
+
+    system = parse_system_spec(args.system)
+    network = parse_network_spec(args.network, seed=args.seed)
+    strategy = AccessStrategy.uniform(system)
+    if args.capacity is not None:
+        network = network.with_capacities(float(args.capacity))
+    else:
+        network = feasible_uniform_capacity(system, strategy, network)
+    instance = PlacementInstance(
+        name=f"{args.system}@{args.network}",
+        system=system,
+        strategy=strategy,
+        network=network,
+    )
+    comparison = compare_algorithms(
+        instance, rng=np.random.default_rng(args.seed), alpha=args.alpha
+    )
+    table = ResultTable(
+        f"algorithm comparison on {instance.name}",
+        ["algorithm", "avg_max_delay", "avg_total_delay", "load_factor"],
+    )
+    for score in comparison.scores:
+        table.add_row(
+            algorithm=score.name if not score.failed else f"{score.name} (failed)",
+            avg_max_delay=score.max_delay,
+            avg_total_delay=score.total_delay,
+            load_factor=score.load_factor,
+        )
+    table.print()
+    if comparison.optimal_max_delay is not None:
+        print(f"exact optimal avg max-delay: {comparison.optimal_max_delay:.4g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quorum placement (PODC 2005) planning tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_system = sub.add_parser("system", help="inspect a quorum construction")
+    p_system.add_argument("spec", help="e.g. grid:3, majority:5, fpp:3")
+    p_system.add_argument(
+        "--optimal-load",
+        action="store_true",
+        help="also solve the Naor-Wool LP for the optimal load",
+    )
+    p_system.add_argument(
+        "--dual",
+        action="store_true",
+        help="also report transversal count and non-domination "
+        "(universes up to 15 elements)",
+    )
+    p_system.set_defaults(func=_cmd_system)
+
+    p_place = sub.add_parser("place", help="compute a placement")
+    p_place.add_argument("system", help="system spec, e.g. grid:3")
+    p_place.add_argument("network", help="network spec, e.g. geometric:12:0.5")
+    p_place.add_argument("--seed", type=int, default=0)
+    p_place.add_argument("--capacity", type=float, default=None,
+                         help="uniform node capacity (default: uncapacitated)")
+    p_place.add_argument("--alpha", type=float, default=2.0)
+    p_place.add_argument("--objective", choices=("max", "total"), default="max")
+    p_place.add_argument("--strategy", choices=("uniform", "optimal"),
+                         default="uniform")
+    p_place.add_argument("--out", default=None, help="write placement JSON here")
+    p_place.set_defaults(func=_cmd_place)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a saved placement")
+    p_eval.add_argument("placement", help="path to a placement JSON file")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_gap = sub.add_parser("gap", help="regenerate the Figure 1 gap series")
+    p_gap.add_argument("--k", type=int, default=5, help="largest broom parameter")
+    p_gap.set_defaults(func=_cmd_gap)
+
+    p_compare = sub.add_parser(
+        "compare", help="run all placement algorithms on one instance"
+    )
+    p_compare.add_argument("system", help="system spec, e.g. majority:5")
+    p_compare.add_argument("network", help="network spec, e.g. geometric:10:0.5")
+    p_compare.add_argument("--seed", type=int, default=0)
+    p_compare.add_argument("--capacity", type=float, default=None,
+                           help="uniform node capacity (default: auto-feasible)")
+    p_compare.add_argument("--alpha", type=float, default=2.0)
+    p_compare.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The paper's contribution: quorum placement algorithms and evaluators.
+
+Layout of the subpackage:
+
+* :mod:`~repro.core.placement` — the :class:`Placement` type and the
+  delay/load evaluators (equations (1), (2) and the Section 5 measure).
+* :mod:`~repro.core.relay` — Lemma 3.1 (relay-via-v0).
+* :mod:`~repro.core.ssqpp` — Problem 3.2 and the §3.3 LP-rounding
+  algorithm (Theorems 3.7 / 3.12).
+* :mod:`~repro.core.qpp` — Problem 1.1 via Theorem 3.3 (Theorem 1.2).
+* :mod:`~repro.core.grid_layout` / :mod:`~repro.core.majority_layout` —
+  the §4 optimal single-source layouts (Theorem 1.3 ingredients).
+* :mod:`~repro.core.total_delay` — Section 5 (Theorems 1.4 / 5.1).
+* :mod:`~repro.core.exact` — exhaustive optima for small instances.
+* :mod:`~repro.core.baselines` — comparison placements.
+* :mod:`~repro.core.hardness` — the Theorem 3.6 NP-hardness reduction.
+"""
+
+from .baselines import greedy_placement, random_placement, single_node_placement
+from .biobjective import (
+    ScalarizedResult,
+    max_vs_total_frontier,
+    solve_scalarized_placement,
+)
+from .exact import (
+    ExactPlacement,
+    solve_qpp_exact,
+    solve_ssqpp_exact,
+    solve_total_delay_exact,
+)
+from .grid_layout import (
+    GridLayoutResult,
+    concentric_matrix,
+    concentric_positions,
+    grid_matrix_delay,
+    nearest_slots,
+    optimal_grid_placement,
+)
+from .hardness import ANCHOR, HardnessReduction, reduce_scheduling_to_ssqpp
+from .local_search import (
+    LocalSearchResult,
+    improve_max_delay,
+    improve_total_delay,
+    local_search,
+)
+from .majority_layout import (
+    MajorityLayoutResult,
+    majority_delay_formula,
+    optimal_majority_placement,
+)
+from .partial_deployment import (
+    PartialDeployment,
+    solve_partial_deployment,
+    solve_partial_deployment_exact,
+)
+from .placement import (
+    Placement,
+    average_max_delay,
+    average_total_delay,
+    capacity_violation_factor,
+    expected_max_delay,
+    expected_total_delay,
+    is_capacity_respecting,
+    make_placement,
+    max_delay,
+    node_loads,
+    total_delay_cost,
+)
+from .qpp import QPPResult, average_strategy, solve_qpp
+from .rw_placement import RWPlacementResult, solve_rw_placement, solve_rw_ssqpp
+from .relay import (
+    RELAY_FACTOR_BOUND,
+    RelayAnalysis,
+    best_relay_node,
+    relay_analysis,
+    relay_delay,
+)
+from .sensitivity import CapacitySensitivity, capacity_sensitivity
+from .ssqpp import SSQPPResult, build_ssqpp_lp, solve_ssqpp
+from .strategy_opt import (
+    DelayOptimalStrategy,
+    alternating_optimization,
+    delay_optimal_strategy,
+    strategy_delay_frontier,
+)
+from .total_delay import TotalDelayResult, solve_total_delay
+
+__all__ = [
+    "ANCHOR",
+    "CapacitySensitivity",
+    "DelayOptimalStrategy",
+    "ExactPlacement",
+    "GridLayoutResult",
+    "HardnessReduction",
+    "LocalSearchResult",
+    "MajorityLayoutResult",
+    "PartialDeployment",
+    "Placement",
+    "QPPResult",
+    "RWPlacementResult",
+    "RELAY_FACTOR_BOUND",
+    "RelayAnalysis",
+    "SSQPPResult",
+    "ScalarizedResult",
+    "TotalDelayResult",
+    "alternating_optimization",
+    "average_max_delay",
+    "average_strategy",
+    "average_total_delay",
+    "best_relay_node",
+    "build_ssqpp_lp",
+    "capacity_sensitivity",
+    "capacity_violation_factor",
+    "concentric_matrix",
+    "concentric_positions",
+    "delay_optimal_strategy",
+    "expected_max_delay",
+    "expected_total_delay",
+    "greedy_placement",
+    "grid_matrix_delay",
+    "improve_max_delay",
+    "improve_total_delay",
+    "is_capacity_respecting",
+    "local_search",
+    "majority_delay_formula",
+    "make_placement",
+    "max_vs_total_frontier",
+    "max_delay",
+    "nearest_slots",
+    "node_loads",
+    "optimal_grid_placement",
+    "optimal_majority_placement",
+    "random_placement",
+    "reduce_scheduling_to_ssqpp",
+    "relay_analysis",
+    "relay_delay",
+    "single_node_placement",
+    "solve_partial_deployment",
+    "solve_partial_deployment_exact",
+    "solve_qpp",
+    "solve_qpp_exact",
+    "solve_rw_placement",
+    "solve_scalarized_placement",
+    "solve_rw_ssqpp",
+    "solve_ssqpp",
+    "solve_ssqpp_exact",
+    "solve_total_delay",
+    "solve_total_delay_exact",
+    "strategy_delay_frontier",
+    "total_delay_cost",
+]

@@ -1,0 +1,127 @@
+"""Baseline placements the paper argues against (or that bracket the
+algorithms from below/above in benchmarks).
+
+* :func:`single_node_placement` — Lin's delay-optimal but load-oblivious
+  solution from the related-work discussion: collapse everything onto the
+  network 1-median.  Delay is excellent; the load on that node equals
+  the *entire* access traffic.
+* :func:`random_placement` — a random capacity-respecting placement
+  (first-fit over a random order); the "no optimization" control.
+* :func:`greedy_placement` — heavy-elements-first greedy packing onto the
+  closest-to-median nodes; a natural heuristic practitioners would try
+  before solving LPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import CapacityError
+from ..network.graph import Network, Node
+from ..quorums.base import QuorumSystem
+from ..quorums.strategy import AccessStrategy
+from .placement import Placement
+
+__all__ = ["single_node_placement", "random_placement", "greedy_placement"]
+
+
+def single_node_placement(
+    system: QuorumSystem, network: Network, *, node: Node | None = None
+) -> Placement:
+    """Everything on one node (Lin's load-oblivious solution).
+
+    Defaults to the network 1-median (the node minimizing the summed
+    distance to all clients), which is delay-optimal for this shape of
+    placement.  Ignores capacities by design — that is its advertised
+    flaw.
+    """
+    target = node if node is not None else network.metric().median()
+    network.node_index(target)
+    return Placement(system, network, {u: target for u in system.universe})
+
+
+def random_placement(
+    system: QuorumSystem,
+    strategy: AccessStrategy,
+    network: Network,
+    *,
+    rng: np.random.Generator,
+    attempts: int = 200,
+) -> Placement:
+    """A uniformly random capacity-respecting placement.
+
+    Shuffles elements and nodes and first-fits; retries up to *attempts*
+    times before concluding the instance is too tight for naive packing.
+
+    Raises
+    ------
+    CapacityError
+        If no attempt produced a feasible packing (the instance may still
+        be feasible for smarter algorithms).
+    """
+    universe = list(system.universe)
+    nodes = list(network.nodes)
+    for _ in range(attempts):
+        order = list(rng.permutation(len(universe)))
+        node_order = list(rng.permutation(len(nodes)))
+        remaining = {v: network.capacity(v) for v in nodes}
+        mapping = {}
+        feasible = True
+        for index in order:
+            element = universe[index]
+            load = strategy.load(element)
+            placed = False
+            for node_index in node_order:
+                node = nodes[node_index]
+                if load <= remaining[node] + 1e-12:
+                    mapping[element] = node
+                    remaining[node] -= load
+                    placed = True
+                    break
+            if not placed:
+                feasible = False
+                break
+        if feasible:
+            return Placement(system, network, mapping)
+    raise CapacityError(
+        f"random first-fit failed to pack the system within {attempts} attempts"
+    )
+
+
+def greedy_placement(
+    system: QuorumSystem,
+    strategy: AccessStrategy,
+    network: Network,
+    *,
+    center: Node | None = None,
+) -> Placement:
+    """Greedy packing: heaviest elements onto the closest feasible nodes.
+
+    Nodes are visited in increasing distance from *center* (default: the
+    1-median); each element (heaviest first) goes to the nearest node
+    with enough remaining capacity.
+
+    Raises
+    ------
+    CapacityError
+        When greedy packing fails (which can happen on feasible
+        instances — greedy is a baseline, not an algorithm with
+        guarantees).
+    """
+    metric = network.metric()
+    anchor = center if center is not None else metric.median()
+    node_order = metric.nodes_by_distance(anchor)
+    remaining = {v: network.capacity(v) for v in node_order}
+    mapping = {}
+    for element in sorted(system.universe, key=lambda u: -strategy.load(u)):
+        load = strategy.load(element)
+        for node in node_order:
+            if load <= remaining[node] + 1e-12:
+                mapping[element] = node
+                remaining[node] -= load
+                break
+        else:
+            raise CapacityError(
+                f"greedy packing stuck on element {element!r} (load {load:.4f})"
+            )
+    return Placement(system, network, mapping)

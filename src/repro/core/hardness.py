@@ -1,0 +1,205 @@
+"""The NP-hardness reduction of Theorem 3.6.
+
+The Single-Source Quorum Placement Problem is NP-hard by reduction from
+``1|prec|sum w_j C_j`` in Woeginger special form (Theorem 3.5(b)): every
+job has either ``T=1, w=0`` (*unit-time*) or ``T=0, w=1`` (*unit-weight*)
+and precedences run unit-time -> unit-weight.
+
+Construction (following the proof verbatim):
+
+* one universe element ``e_j`` per unit-time job, plus an anchor ``e0``;
+* a *type-1* quorum per unit-weight job ``J``: ``{e0} union {e_j : J_j
+  precedes J}``, accessed with probability ``eps/m``;
+* a *type-2* quorum ``{u, e0}`` per element ``u != e0``, accessed with
+  probability ``(1-eps)/(n-m)``;
+* the network is a unit-length path ``v0 - v1 - ... - v_{n-m}``;
+* ``cap(v0) = 1`` (so only ``e0`` fits there),
+  ``cap(v_j) = 2(1-eps)/(n-m) - eps`` otherwise — large enough for any
+  single element, too small for two or for ``e0``.
+
+With ``eps`` small enough (we take ``eps = 1/(3(n-m)+1)``, which
+satisfies the proof's requirement ``eps < (1-eps)/(n-m)`` with the slack
+the capacity argument needs), feasible placements are exactly the
+bijections from ``U \\ {e0}`` to ``v_1..v_{n-m}``, and
+
+    Delta_f(v0) = (eps/m) * cost(schedule of f)
+                  + ((1-eps)/(n-m)) * sum_{i=1}^{n-m} i,
+
+so placement delay and schedule cost are minimized together.
+
+Two departures from the paper's prose, both harmless:
+
+* distinct jobs can yield *identical* type-1 quorums (same predecessor
+  set); we merge duplicates and sum their probabilities, which leaves
+  ``Delta_f`` unchanged;
+* a type-1 quorum with exactly one predecessor coincides with a type-2
+  quorum; merged likewise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ValidationError
+from ..network.generators import path_network
+from ..network.graph import Network, Node
+from ..quorums.base import QuorumSystem
+from ..quorums.strategy import AccessStrategy
+from ..scheduling.precedence import Job, SchedulingInstance
+from .placement import Placement, expected_max_delay
+
+__all__ = ["HardnessReduction", "reduce_scheduling_to_ssqpp"]
+
+#: Anchor element shared by all quorums in the reduction.
+ANCHOR = "e0"
+
+
+@dataclass(frozen=True)
+class HardnessReduction:
+    """A scheduling instance transformed into a single-source placement
+    instance, with the conversions used in the proof of Theorem 3.6."""
+
+    scheduling: SchedulingInstance
+    system: QuorumSystem
+    strategy: AccessStrategy
+    network: Network
+    source: Node
+    epsilon: float
+    #: element label for each unit-time job
+    element_of_job: dict[Job, str]
+
+    # -- the affine delay/cost correspondence ----------------------------------------
+
+    @property
+    def num_unit_weight(self) -> int:
+        return len(self.scheduling.unit_weight_jobs())
+
+    @property
+    def num_unit_time(self) -> int:
+        return len(self.scheduling.unit_time_jobs())
+
+    def delay_of_schedule_cost(self, cost: float) -> float:
+        """Map a schedule cost to the delay of its corresponding placement."""
+        m = self.num_unit_weight
+        q = self.num_unit_time  # the proof's n - m
+        constant = (1.0 - self.epsilon) / q * (q * (q + 1) / 2.0)
+        return self.epsilon / m * cost + constant
+
+    def schedule_cost_of_delay(self, delay: float) -> float:
+        """Inverse of :meth:`delay_of_schedule_cost`."""
+        m = self.num_unit_weight
+        q = self.num_unit_time
+        constant = (1.0 - self.epsilon) / q * (q * (q + 1) / 2.0)
+        return (delay - constant) * m / self.epsilon
+
+    # -- conversions -----------------------------------------------------------------
+
+    def placement_to_schedule(self, placement: Placement) -> tuple[Job, ...]:
+        """The schedule ``pi_f`` of the proof: the unit-time job whose
+        element sits on ``v_t`` runs in slot ``t``; unit-weight jobs run
+        as early as their predecessors allow."""
+        position: dict[Job, int] = {}
+        used: set[int] = set()
+        for job, element in self.element_of_job.items():
+            node = placement[element]
+            t = self.network.node_index(node)
+            if t == 0 or t in used:
+                raise ValidationError(
+                    "placement is not a feasible bijection onto the path"
+                )
+            used.add(t)
+            position[job] = t
+        order: list[Job] = []
+        scheduled: set[Job] = set()
+        unit_weight = self.scheduling.unit_weight_jobs()
+
+        def flush_ready() -> None:
+            for job in unit_weight:
+                if job in scheduled:
+                    continue
+                if set(self.scheduling.predecessors(job)) <= scheduled:
+                    order.append(job)
+                    scheduled.add(job)
+
+        flush_ready()
+        for job in sorted(position, key=lambda j: position[j]):
+            order.append(job)
+            scheduled.add(job)
+            flush_ready()
+        return tuple(order)
+
+    def schedule_to_placement(self, order: tuple[Job, ...]) -> Placement:
+        """The placement corresponding to a feasible schedule: the
+        ``t``-th unit-time job to run hosts its element on ``v_t``."""
+        if not self.scheduling.is_feasible_order(order):
+            raise ValidationError("order is not a feasible linear extension")
+        mapping: dict[str, Node] = {ANCHOR: self.network.nodes[0]}
+        slot = 0
+        for job in order:
+            if job in self.element_of_job:
+                slot += 1
+                mapping[self.element_of_job[job]] = self.network.nodes[slot]
+        return Placement(self.system, self.network, mapping)
+
+    def placement_delay(self, placement: Placement) -> float:
+        """``Delta_f(v0)`` of a placement under the reduction's strategy."""
+        return expected_max_delay(placement, self.strategy, self.source)
+
+
+def reduce_scheduling_to_ssqpp(instance: SchedulingInstance) -> HardnessReduction:
+    """Build the Theorem 3.6 placement instance for *instance*.
+
+    Raises
+    ------
+    ValidationError
+        If *instance* is not in Woeginger special form.
+    """
+    if not instance.is_woeginger_form():
+        raise ValidationError(
+            "the reduction requires an instance in Woeginger special form "
+            "(Theorem 3.5(b)); see SchedulingInstance.is_woeginger_form"
+        )
+    unit_time = instance.unit_time_jobs()
+    unit_weight = instance.unit_weight_jobs()
+    m = len(unit_weight)
+    q = len(unit_time)  # the proof's n - m
+
+    element_of_job = {job: f"e{i + 1}" for i, job in enumerate(unit_time)}
+    universe = [ANCHOR, *element_of_job.values()]
+
+    epsilon = 1.0 / (3 * q + 1)
+
+    weighted: dict[frozenset, float] = {}
+
+    def add_quorum(quorum: frozenset, probability: float) -> None:
+        weighted[quorum] = weighted.get(quorum, 0.0) + probability
+
+    for job in unit_weight:  # type-1 quorums
+        members = {ANCHOR}
+        members.update(
+            element_of_job[pred] for pred in instance.predecessors(job)
+        )
+        add_quorum(frozenset(members), epsilon / m)
+    for element in element_of_job.values():  # type-2 quorums
+        add_quorum(frozenset({ANCHOR, element}), (1.0 - epsilon) / q)
+
+    quorums = list(weighted)
+    system = QuorumSystem(quorums, universe=universe, name="hardness", check=False)
+    # Align weights with the system's quorum order.
+    weights = [weighted[quorum] for quorum in system.quorums]
+    strategy = AccessStrategy.from_weights(system, weights)
+
+    capacity_other = 2.0 * (1.0 - epsilon) / q - epsilon
+    capacities = {0: 1.0}
+    capacities.update({t: capacity_other for t in range(1, q + 1)})
+    network = path_network(q + 1).with_capacities(capacities)
+
+    return HardnessReduction(
+        scheduling=instance,
+        system=system,
+        strategy=strategy,
+        network=network,
+        source=0,
+        epsilon=epsilon,
+        element_of_job=element_of_job,
+    )

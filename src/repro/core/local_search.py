@@ -1,0 +1,193 @@
+"""Local-search refinement of placements (ablation baseline).
+
+The paper's algorithms come with worst-case guarantees; practitioners
+often ask how much a cheap local search recovers without any LP.  This
+module provides the standard move/swap neighborhood:
+
+* **move** — relocate one element to another node with spare capacity;
+* **swap** — exchange the hosts of two elements (feasible when each fits
+  in the other's freed capacity).
+
+:func:`local_search` descends until no improving neighbor exists (or an
+iteration budget runs out) and works for any objective expressible as a
+function of the placement, so the same code ablates both the max-delay
+and total-delay objectives in ``benchmarks/bench_ablation.py``.
+
+This is *not* part of the paper's algorithmic contribution — it exists to
+measure how much of the LP machinery's value survives when you replace
+it with the obvious heuristic (answer, per the bench: local search from
+a random start is good but can stall above the LP+rounding solution, and
+carries no guarantee).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from .._validation import check_integer_in_range
+from ..network.graph import Node
+from ..quorums.base import Element
+from ..quorums.strategy import AccessStrategy
+from .placement import Placement, average_max_delay, average_total_delay
+
+__all__ = ["LocalSearchResult", "local_search", "improve_max_delay", "improve_total_delay"]
+
+
+@dataclass(frozen=True)
+class LocalSearchResult:
+    """Outcome of a local-search descent.
+
+    Attributes
+    ----------
+    placement:
+        The locally optimal placement.
+    objective:
+        Its objective value.
+    initial_objective:
+        The starting placement's objective, for improvement reporting.
+    iterations:
+        Number of improving steps taken.
+    converged:
+        False when the iteration budget stopped the descent early.
+    """
+
+    placement: Placement
+    objective: float
+    initial_objective: float
+    iterations: int
+    converged: bool
+
+    @property
+    def improvement(self) -> float:
+        """Relative improvement over the start (0 when already optimal)."""
+        if self.initial_objective <= 0:
+            return 0.0
+        return 1.0 - self.objective / self.initial_objective
+
+
+def _remaining_capacity(
+    placement: Placement, strategy: AccessStrategy
+) -> dict[Node, float]:
+    remaining = {
+        node: placement.network.capacity(node) for node in placement.network.nodes
+    }
+    for element, node in placement.as_dict().items():
+        remaining[node] -= strategy.load(element)
+    return remaining
+
+
+def local_search(
+    placement: Placement,
+    strategy: AccessStrategy,
+    objective: Callable[[Placement], float],
+    *,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+) -> LocalSearchResult:
+    """First-improvement descent over the move/swap neighborhood.
+
+    Every step keeps the placement capacity-feasible: a move requires the
+    target node to have enough remaining capacity, a swap requires both
+    nodes to absorb the exchanged loads, so a feasible starting placement
+    stays feasible throughout the descent.
+
+    Parameters
+    ----------
+    placement:
+        Starting point (typically a baseline or an algorithm's output).
+    strategy:
+        Access strategy supplying element loads.
+    objective:
+        Any placement-level objective to minimize.
+    max_iterations:
+        Cap on improving steps; each step scans the full neighborhood.
+    """
+    check_integer_in_range(max_iterations, "max_iterations", low=1)
+    system = placement.system
+    network = placement.network
+    current = placement.as_dict()
+    current_value = objective(placement)
+    initial_value = current_value
+    loads: Mapping[Element, float] = {u: strategy.load(u) for u in system.universe}
+
+    iterations = 0
+    converged = False
+    while iterations < max_iterations:
+        remaining = _remaining_capacity(Placement(system, network, current), strategy)
+        best_candidate: dict[Element, Node] | None = None
+        best_value = current_value - tolerance
+
+        universe = list(system.universe)
+        # Move neighborhood.
+        for element in universe:
+            origin = current[element]
+            for node in network.nodes:
+                if node == origin:
+                    continue
+                if loads[element] > remaining[node] + 1e-12:
+                    continue
+                candidate = dict(current)
+                candidate[element] = node
+                value = objective(Placement(system, network, candidate))
+                if value < best_value:
+                    best_value = value
+                    best_candidate = candidate
+        # Swap neighborhood.
+        for i, first in enumerate(universe):
+            for second in universe[i + 1 :]:
+                a, b = current[first], current[second]
+                if a == b:
+                    continue
+                slack_a = remaining[a] + loads[first] - loads[second]
+                slack_b = remaining[b] + loads[second] - loads[first]
+                if slack_a < -1e-12 or slack_b < -1e-12:
+                    continue
+                candidate = dict(current)
+                candidate[first], candidate[second] = b, a
+                value = objective(Placement(system, network, candidate))
+                if value < best_value:
+                    best_value = value
+                    best_candidate = candidate
+
+        if best_candidate is None:
+            converged = True
+            break
+        current = best_candidate
+        current_value = objective(Placement(system, network, current))
+        iterations += 1
+    else:
+        converged = False
+
+    final = Placement(system, network, current)
+    return LocalSearchResult(
+        placement=final,
+        objective=current_value,
+        initial_objective=initial_value,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def improve_max_delay(
+    placement: Placement, strategy: AccessStrategy, **kwargs
+) -> LocalSearchResult:
+    """Local search on the QPP objective ``Avg_v Delta_f(v)``."""
+    return local_search(
+        placement,
+        strategy,
+        lambda p: average_max_delay(p, strategy),
+        **kwargs,
+    )
+
+
+def improve_total_delay(
+    placement: Placement, strategy: AccessStrategy, **kwargs
+) -> LocalSearchResult:
+    """Local search on the Section 5 objective ``Avg_v Gamma_f(v)``."""
+    return local_search(
+        placement,
+        strategy,
+        lambda p: average_total_delay(p, strategy),
+        **kwargs,
+    )

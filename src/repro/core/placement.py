@@ -1,0 +1,313 @@
+"""Placements and the paper's delay/load evaluators.
+
+A *placement* is a map ``f : U -> V`` from the logical universe of a
+quorum system onto the physical nodes of a network.  This module defines
+the :class:`Placement` value type and the quantities of Section 1.2:
+
+* max-delay access cost        ``delta_f(v, Q) = max_{u in Q} d(v, f(u))``   (1)
+* expected max-delay           ``Delta_f(v) = sum_Q p(Q) delta_f(v, Q)``      (2)
+* average max-delay            ``Avg_v Delta_f(v)`` (optionally rate-weighted)
+* total-delay access cost      ``gamma_f(v, Q) = sum_{u in Q} d(v, f(u))``
+* expected total delay         ``Gamma_f(v) = sum_Q p(Q) gamma_f(v, Q)``
+* node load                    ``load_f(v) = sum_{u: f(u)=v} load(u)``
+
+All evaluators are exact (no sampling) and vectorized over clients.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .._validation import require
+from ..exceptions import ValidationError
+from ..network.graph import Network, Node
+from ..quorums.base import Element, QuorumSystem
+from ..quorums.strategy import AccessStrategy
+
+__all__ = [
+    "Placement",
+    "max_delay",
+    "expected_max_delay",
+    "average_max_delay",
+    "total_delay_cost",
+    "expected_total_delay",
+    "average_total_delay",
+    "node_loads",
+    "capacity_violation_factor",
+    "is_capacity_respecting",
+]
+
+
+class Placement:
+    """An immutable map from universe elements to network nodes.
+
+    Parameters
+    ----------
+    system:
+        The quorum system whose universe is being placed.
+    network:
+        The target network; every image node must belong to it.
+    mapping:
+        ``{element: node}`` covering the entire universe.  The map need
+        not be injective — co-locating elements is exactly how placements
+        trade delay for load.
+
+    Examples
+    --------
+    >>> from repro.quorums import majority
+    >>> from repro.network import path_network
+    >>> qs = majority(3)
+    >>> net = path_network(4)
+    >>> f = Placement(qs, net, {0: 0, 1: 0, 2: 1})
+    >>> f[2]
+    1
+    """
+
+    __slots__ = ("_system", "_network", "_mapping", "_node_indices")
+
+    def __init__(
+        self,
+        system: QuorumSystem,
+        network: Network,
+        mapping: Mapping[Element, Node],
+    ) -> None:
+        require(isinstance(system, QuorumSystem), "system must be a QuorumSystem")
+        require(isinstance(network, Network), "network must be a Network")
+        missing = [u for u in system.universe if u not in mapping]
+        if missing:
+            raise ValidationError(
+                f"placement is missing universe elements {missing[:5]!r}"
+            )
+        cleaned: dict[Element, Node] = {}
+        for element in system.universe:
+            node = mapping[element]
+            if not network.has_node(node):
+                raise ValidationError(
+                    f"placement sends {element!r} to unknown node {node!r}"
+                )
+            cleaned[element] = node
+        self._system = system
+        self._network = network
+        self._mapping = cleaned
+        # Node index of f(u) for each u, aligned with system.universe order.
+        self._node_indices = np.array(
+            [network.node_index(cleaned[u]) for u in system.universe], dtype=int
+        )
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def system(self) -> QuorumSystem:
+        return self._system
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def __getitem__(self, element: Element) -> Node:
+        try:
+            return self._mapping[element]
+        except KeyError:
+            raise ValidationError(f"{element!r} is not in the universe") from None
+
+    def as_dict(self) -> dict[Element, Node]:
+        return dict(self._mapping)
+
+    def image_node_indices(self) -> np.ndarray:
+        """Node index of ``f(u)`` per universe element, in universe order."""
+        return self._node_indices
+
+    def quorum_node_indices(self, quorum_index: int) -> np.ndarray:
+        """Indices of the (distinct) nodes hosting quorum *quorum_index*."""
+        quorum = self._system.quorums[quorum_index]
+        indices = {self._network.node_index(self._mapping[u]) for u in quorum}
+        return np.fromiter(indices, dtype=int, count=len(indices))
+
+    def __repr__(self) -> str:
+        distinct = len(set(self._mapping.values()))
+        return (
+            f"Placement({self._system.name!r} -> {self._network.name!r}, "
+            f"{self._system.universe_size} elements on {distinct} nodes)"
+        )
+
+
+def _client_weights(network: Network, rates: Mapping[Node, float] | None) -> np.ndarray:
+    """Normalized client weights: uniform, or proportional to access rates.
+
+    The paper's §6 remarks that all results survive non-uniform client
+    access rates; operationally that means averaging client delays with
+    weights proportional to the rates.
+    """
+    n = network.size
+    if rates is None:
+        return np.full(n, 1.0 / n)
+    weights = np.zeros(n)
+    for node, rate in rates.items():
+        value = float(rate)
+        if value < 0:
+            raise ValidationError(f"access rate of {node!r} must be non-negative")
+        weights[network.node_index(node)] = value
+    total = weights.sum()
+    if total <= 0:
+        raise ValidationError("at least one client access rate must be positive")
+    return weights / total
+
+
+# -- max-delay quantities ------------------------------------------------------------
+
+
+def max_delay(placement: Placement, client: Node, quorum_index: int) -> float:
+    """``delta_f(v, Q)``: distance from *client* to the farthest member of
+    the placed quorum (equation (1))."""
+    metric = placement.network.metric()
+    row = metric.distances_from(client)
+    return float(row[placement.quorum_node_indices(quorum_index)].max())
+
+
+def expected_max_delay(
+    placement: Placement, strategy: AccessStrategy, client: Node
+) -> float:
+    """``Delta_f(v)``: expected max-delay for *client* under *strategy*
+    (equation (2))."""
+    _check_strategy(placement, strategy)
+    metric = placement.network.metric()
+    row = metric.distances_from(client)
+    total = 0.0
+    for index in strategy.support():
+        total += strategy.probability(index) * float(
+            row[placement.quorum_node_indices(index)].max()
+        )
+    return total
+
+
+def _per_client_expected_max_delay(
+    placement: Placement, strategy: AccessStrategy
+) -> np.ndarray:
+    """``Delta_f(v)`` for every client ``v``, vectorized (one matrix slice
+    and max-reduction per supported quorum)."""
+    _check_strategy(placement, strategy)
+    metric = placement.network.metric()
+    matrix = metric.matrix
+    result = np.zeros(placement.network.size)
+    for index in strategy.support():
+        nodes = placement.quorum_node_indices(index)
+        result += strategy.probability(index) * matrix[:, nodes].max(axis=1)
+    return result
+
+
+def average_max_delay(
+    placement: Placement,
+    strategy: AccessStrategy,
+    *,
+    rates: Mapping[Node, float] | None = None,
+) -> float:
+    """``Avg_v Delta_f(v)`` — the objective of the Quorum Placement
+    Problem (Problem 1.1), optionally weighted by client access rates."""
+    per_client = _per_client_expected_max_delay(placement, strategy)
+    weights = _client_weights(placement.network, rates)
+    return float(per_client @ weights)
+
+
+# -- total-delay quantities -------------------------------------------------------------
+
+
+def total_delay_cost(placement: Placement, client: Node, quorum_index: int) -> float:
+    """``gamma_f(v, Q)``: sum of distances from *client* to every placed
+    member of the quorum (Section 5)."""
+    metric = placement.network.metric()
+    row = metric.distances_from(client)
+    quorum = placement.system.quorums[quorum_index]
+    indices = placement.image_node_indices()
+    return float(
+        sum(row[indices[placement.system.element_index(u)]] for u in quorum)
+    )
+
+
+def expected_total_delay(
+    placement: Placement, strategy: AccessStrategy, client: Node
+) -> float:
+    """``Gamma_f(v) = sum_Q p(Q) gamma_f(v, Q)``.
+
+    Computed through the identity ``Gamma_f(v) = sum_u load(u) d(v, f(u))``
+    — each element contributes its distance weighted by its load.
+    """
+    _check_strategy(placement, strategy)
+    metric = placement.network.metric()
+    row = metric.distances_from(client)
+    loads = strategy.load_array()
+    return float(np.dot(loads, row[placement.image_node_indices()]))
+
+
+def average_total_delay(
+    placement: Placement,
+    strategy: AccessStrategy,
+    *,
+    rates: Mapping[Node, float] | None = None,
+) -> float:
+    """``Avg_v Gamma_f(v)`` — the objective of Section 5 (Theorem 1.4)."""
+    _check_strategy(placement, strategy)
+    metric = placement.network.metric()
+    weights = _client_weights(placement.network, rates)
+    # Avg_v Gamma_f(v) = sum_u load(u) * (weighted avg over v of d(v, f(u))).
+    weighted_distance_to = weights @ metric.matrix  # row vector over nodes
+    loads = strategy.load_array()
+    return float(np.dot(loads, weighted_distance_to[placement.image_node_indices()]))
+
+
+# -- loads and capacities ----------------------------------------------------------------
+
+
+def node_loads(placement: Placement, strategy: AccessStrategy) -> dict[Node, float]:
+    """``load_f(v)`` for every node ``v`` (zero where nothing is placed)."""
+    _check_strategy(placement, strategy)
+    loads = {node: 0.0 for node in placement.network.nodes}
+    for element, node in placement.as_dict().items():
+        loads[node] += strategy.load(element)
+    return loads
+
+
+def capacity_violation_factor(placement: Placement, strategy: AccessStrategy) -> float:
+    """The largest ``load_f(v) / cap(v)`` over nodes with positive load.
+
+    Returns 0.0 for an empty placement; ``inf`` if a zero-capacity node
+    received load.  A value of at most 1 means the placement is feasible;
+    Theorem 1.2 guarantees at most ``alpha + 1``.
+    """
+    factor = 0.0
+    for node, load in node_loads(placement, strategy).items():
+        if load <= 0:
+            continue
+        capacity = placement.network.capacity(node)
+        if capacity == 0:
+            return float("inf")
+        factor = max(factor, load / capacity)
+    return factor
+
+
+def is_capacity_respecting(
+    placement: Placement, strategy: AccessStrategy, *, tolerance: float = 1e-9
+) -> bool:
+    """Whether ``load_f(v) <= cap(v)`` holds everywhere (within tolerance)."""
+    return capacity_violation_factor(placement, strategy) <= 1.0 + tolerance
+
+
+def _check_strategy(placement: Placement, strategy: AccessStrategy) -> None:
+    if strategy.system != placement.system:
+        raise ValidationError(
+            "strategy and placement refer to different quorum systems"
+        )
+
+
+def make_placement(
+    system: QuorumSystem, network: Network, nodes: Sequence[Node]
+) -> Placement:
+    """Place ``system.universe[i]`` on ``nodes[i]`` — a convenience for
+    tests and layout algorithms that think in universe order."""
+    universe = system.universe
+    if len(nodes) != len(universe):
+        raise ValidationError(
+            f"need exactly {len(universe)} nodes, got {len(nodes)}"
+        )
+    return Placement(system, network, dict(zip(universe, nodes)))

@@ -1,0 +1,181 @@
+"""The Quorum Placement Problem (Problem 1.1) via the single-source
+reduction (Theorem 3.3), giving the paper's main result, Theorem 1.2.
+
+Algorithm
+---------
+Lemma 3.1 guarantees some node ``v0`` for which the "relay-via-v0"
+strategy costs at most 5x the optimum; Theorem 3.3 turns any
+``beta``-approximate single-source solution at that ``v0`` into a
+``5 beta``-approximation for QPP.  Since ``v0`` is unknown, the paper
+prescribes running the single-source algorithm from *every* node and
+keeping the best placement — which is what :func:`solve_qpp` does
+(optionally over a restricted candidate set for speed).
+
+The returned result also carries a *certified lower bound* on the QPP
+optimum: by the proof of Theorem 3.3, for the (unknown) right relay node
+
+    Avg_v d(v, v0) + Z*(v0) <= Avg_v d(v, v0) + Delta_{f*}(v0) <= 5 OPT,
+
+so ``min over candidates of (Avg_v d(v, v0) + Z*(v0)) / 5 <= OPT``.  The
+benchmarks use it to report honest measured-vs-optimal ratios when
+exhaustive search is out of reach.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive, require
+from ..network.graph import Network, Node
+from ..quorums.base import QuorumSystem
+from ..quorums.strategy import AccessStrategy
+from .placement import Placement, _client_weights, average_max_delay
+from .ssqpp import SSQPPResult, solve_ssqpp
+
+__all__ = ["QPPResult", "solve_qpp", "average_strategy"]
+
+
+@dataclass(frozen=True)
+class QPPResult:
+    """Output of :func:`solve_qpp`.
+
+    Attributes
+    ----------
+    placement:
+        The best placement found.
+    average_delay:
+        Its realized QPP objective ``Avg_v Delta_f(v)``.
+    source:
+        The relay candidate whose single-source solution won.
+    alpha:
+        The load/delay trade-off parameter forwarded to the single-source
+        solver.
+    approximation_factor:
+        The proven factor ``5 * alpha / (alpha - 1)`` of Theorem 1.2.
+    load_factor_bound:
+        The proven load bound ``alpha + 1`` (Theorem 1.2).
+    optimum_lower_bound:
+        A certified lower bound on the optimal capacity-respecting
+        average delay (see module docstring).
+    per_source:
+        The single-source result obtained from every candidate source,
+        keyed by source node (useful for diagnostics and ablations).
+    """
+
+    placement: Placement
+    average_delay: float
+    source: Node
+    alpha: float
+    approximation_factor: float
+    load_factor_bound: float
+    optimum_lower_bound: float
+    per_source: dict[Node, SSQPPResult]
+
+    @property
+    def certified_ratio(self) -> float:
+        """``average_delay / optimum_lower_bound`` — an upper bound on the
+        realized approximation ratio (infinite when the bound is zero
+        while the delay is positive)."""
+        if self.optimum_lower_bound > 0:
+            return self.average_delay / self.optimum_lower_bound
+        return 0.0 if self.average_delay == 0 else float("inf")
+
+
+def solve_qpp(
+    system: QuorumSystem,
+    strategy: AccessStrategy,
+    network: Network,
+    *,
+    alpha: float = 2.0,
+    candidate_sources: Sequence[Node] | None = None,
+    rates: Mapping[Node, float] | None = None,
+    lp_method: str = "highs",
+    formulation: str = "prefix",
+) -> QPPResult:
+    """Solve the Quorum Placement Problem (Theorem 1.2).
+
+    Runs :func:`repro.core.ssqpp.solve_ssqpp` from every candidate source
+    and returns the placement with the smallest realized average
+    max-delay.  The placement satisfies
+    ``load_f(v) <= (alpha + 1) cap(v)`` and
+    ``Avg_v Delta_f(v) <= 5 alpha/(alpha-1) * OPT``.
+
+    Parameters
+    ----------
+    candidate_sources:
+        Restrict the relay-candidate sweep (default: all nodes).  The
+        Theorem 1.2 guarantee formally needs all nodes; a restricted sweep
+        retains the load bound and the certified lower bound but may lose
+        the delay guarantee.
+    rates:
+        Optional per-client access rates (§6 extension); both the
+        objective and the lower bound become rate-weighted averages.
+    """
+    check_positive(alpha - 1.0, "alpha - 1")
+    candidates = list(candidate_sources) if candidate_sources is not None else list(network.nodes)
+    require(len(candidates) > 0, "at least one candidate source is required")
+    for node in candidates:
+        network.node_index(node)
+
+    metric = network.metric()
+    weights = _client_weights(network, rates)
+
+    best: SSQPPResult | None = None
+    best_delay = float("inf")
+    best_source: Node | None = None
+    lower_bound = float("inf")
+    per_source: dict[Node, SSQPPResult] = {}
+
+    for source in candidates:
+        result = solve_ssqpp(
+            system,
+            strategy,
+            network,
+            source,
+            alpha=alpha,
+            lp_method=lp_method,
+            formulation=formulation,
+        )
+        per_source[source] = result
+        to_source = float(weights @ metric.distances_from(source))
+        lower_bound = min(lower_bound, (to_source + result.lp_value) / 5.0)
+        realized = average_max_delay(result.placement, strategy, rates=rates)
+        if realized < best_delay:
+            best_delay = realized
+            best = result
+            best_source = source
+
+    assert best is not None and best_source is not None
+    return QPPResult(
+        placement=best.placement,
+        average_delay=best_delay,
+        source=best_source,
+        alpha=alpha,
+        approximation_factor=5.0 * alpha / (alpha - 1.0),
+        load_factor_bound=alpha + 1.0,
+        optimum_lower_bound=lower_bound,
+        per_source=per_source,
+    )
+
+
+def average_strategy(
+    per_client: Mapping[Node, AccessStrategy],
+    network: Network,
+    *,
+    rates: Mapping[Node, float] | None = None,
+) -> AccessStrategy:
+    """The §6 reduction for per-client access strategies.
+
+    When each client ``v`` uses its own strategy ``p_v``, assigning every
+    client the (rate-weighted) average strategy preserves the average
+    delay analysis of Lemma 3.1; the placement algorithms can then run
+    unchanged on the averaged strategy.
+    """
+    missing = [v for v in network.nodes if v not in per_client]
+    require(not missing, f"missing strategies for clients {missing[:5]!r}")
+    weights = _client_weights(network, rates)
+    strategies = [per_client[v] for v in network.nodes]
+    return AccessStrategy.mixture(strategies, list(np.asarray(weights)))

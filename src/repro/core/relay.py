@@ -1,0 +1,113 @@
+"""The relay-via-v0 structural lemma (Lemma 3.1).
+
+For any placement ``f`` there is a node ``v0`` — the minimizer of
+``Delta_f`` — such that routing every access through ``v0`` multiplies the
+average max-delay by at most 5:
+
+    Avg_v [ sum_Q p(Q) (d(v, v0) + delta_f(v0, Q)) ]  <=  5 Avg_v Delta_f(v).
+
+The left-hand side simplifies to ``Avg_v d(v, v0) + Delta_f(v0)``
+(equation (8)), which is what :func:`relay_delay` computes.  The lemma is
+what reduces the Quorum Placement Problem to its single-source variant
+(Theorem 3.3); :func:`relay_analysis` measures the actual factor so the
+benchmarks can show how loose the worst-case 5 is in practice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.graph import Node
+from ..quorums.strategy import AccessStrategy
+from .placement import (
+    Placement,
+    _client_weights,
+    _per_client_expected_max_delay,
+    average_max_delay,
+)
+
+__all__ = ["RelayAnalysis", "best_relay_node", "relay_delay", "relay_analysis"]
+
+#: The worst-case relay factor proven by Lemma 3.1.
+RELAY_FACTOR_BOUND = 5.0
+
+
+@dataclass(frozen=True)
+class RelayAnalysis:
+    """Measured relay-via-v0 quality for one placement.
+
+    Attributes
+    ----------
+    v0:
+        The relay node (argmin of ``Delta_f``).
+    direct_delay:
+        ``Avg_v Delta_f(v)`` with shortest-path routing.
+    relayed_delay:
+        ``Avg_v d(v, v0) + Delta_f(v0)`` with every access detouring
+        through ``v0``.
+    factor:
+        ``relayed_delay / direct_delay``; Lemma 3.1 proves ``<= 5``.
+        Reported as 1.0 when the direct delay is zero (then the relayed
+        delay is provably zero too: ``v0`` can be any node hosting the
+        whole placement).
+    """
+
+    v0: Node
+    direct_delay: float
+    relayed_delay: float
+    factor: float
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the measured factor respects the proven bound of 5."""
+        return self.factor <= RELAY_FACTOR_BOUND + 1e-9
+
+
+def best_relay_node(
+    placement: Placement,
+    strategy: AccessStrategy,
+) -> Node:
+    """The node ``v0 = argmin_v Delta_f(v)`` used by Lemma 3.1.
+
+    Computable in polynomial time by evaluating ``Delta_f`` at every node
+    (as the paper notes after equation (5)); ties break toward the
+    smallest node index for determinism.
+    """
+    per_client = _per_client_expected_max_delay(placement, strategy)
+    return placement.network.nodes[int(np.argmin(per_client))]
+
+
+def relay_delay(
+    placement: Placement,
+    strategy: AccessStrategy,
+    v0: Node,
+    *,
+    rates: Mapping[Node, float] | None = None,
+) -> float:
+    """Average delay of the "relay-via-v0" strategy (equation (8)).
+
+    ``Avg_v d(v, v0) + Delta_f(v0)``, with the client average optionally
+    weighted by access rates (the §6 extension).
+    """
+    metric = placement.network.metric()
+    weights = _client_weights(placement.network, rates)
+    to_v0 = float(weights @ metric.distances_from(v0))
+    per_client = _per_client_expected_max_delay(placement, strategy)
+    return to_v0 + float(per_client[placement.network.node_index(v0)])
+
+
+def relay_analysis(
+    placement: Placement,
+    strategy: AccessStrategy,
+    *,
+    rates: Mapping[Node, float] | None = None,
+) -> RelayAnalysis:
+    """Measure the relay factor of Lemma 3.1 for a concrete placement."""
+    v0 = best_relay_node(placement, strategy)
+    direct = average_max_delay(placement, strategy, rates=rates)
+    relayed = relay_delay(placement, strategy, v0, rates=rates)
+    factor = relayed / direct if direct > 0 else 1.0
+    return RelayAnalysis(v0=v0, direct_delay=direct, relayed_delay=relayed, factor=factor)

@@ -1,0 +1,413 @@
+"""The Single-Source Quorum Placement Problem (Problem 3.2) and the
+LP-rounding algorithm of Section 3.3 (Theorems 3.7 and 3.12).
+
+Given a quorum system ``Q`` with access strategy ``p0``, a network with a
+distinguished source ``v0``, and per-node capacities, find a placement
+minimizing ``Delta_f(v0)`` subject to ``load_f(v) <= cap(v)``.  The
+problem is NP-hard (Theorem 3.6, see :mod:`repro.core.hardness`); the
+algorithm here is the paper's bicriteria approximation:
+
+1. **LP.**  Solve the relaxation (9)-(14): variables ``x_tu`` ("element
+   ``u`` sits on the ``t``-th closest node to ``v0``") and ``x_tQ``
+   ("quorum ``Q`` is fully contained in the ``t`` closest nodes"), with
+   assignment, capacity and prefix-consistency constraints.
+2. **Filtering** (Claim 3.8 / Lemma 3.9, generalized to ``alpha``).
+   Scale each element's fractional assignment by ``alpha`` and truncate
+   the cumulative mass at 1 — "moving mass toward the source" — so that
+   any node still fractionally carrying ``u`` satisfies
+   ``d_t <= alpha/(alpha-1) * D_Q`` for every quorum ``Q`` containing
+   ``u``.
+3. **GAP rounding** (Theorem 3.11).  Interpret the filtered solution as
+   a fractional Generalized Assignment: jobs = elements, machines =
+   nodes, load = ``load(u)``, cost = ``d_t``, machine budget
+   ``alpha * cap(v_t)``.  Shmoys-Tardos rounding yields an integral
+   placement with cost (delay) at most the fractional cost and load at
+   most ``alpha*cap + max-allowed-load <= (alpha+1) * cap``.
+
+The result object reports both the realized quantities and the proven
+bounds, so callers (and benchmarks) can check Theorem 3.7 mechanically:
+``Delta_f(v0) <= alpha/(alpha-1) * Z*`` and
+``load_f(v) <= (alpha+1) * cap(v)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive, require
+from ..exceptions import InfeasibleError, ValidationError
+from ..gap.instance import GAPInstance
+from ..gap.lp import FractionalAssignment
+from ..gap.rounding import round_fractional_assignment
+from ..lp import Model
+from ..network.graph import Network, Node
+from ..quorums.base import Element, QuorumSystem
+from ..quorums.strategy import AccessStrategy
+from .placement import Placement, expected_max_delay, node_loads
+
+__all__ = ["SSQPPResult", "solve_ssqpp", "build_ssqpp_lp"]
+
+_ZERO = 1e-12
+
+
+@dataclass(frozen=True)
+class SSQPPResult:
+    """Output of :func:`solve_ssqpp`.
+
+    Attributes
+    ----------
+    placement:
+        The integral placement ``f``.
+    delay:
+        The realized objective ``Delta_f(v0)``.
+    lp_value:
+        ``Z*``, the LP optimum — a lower bound on the delay of every
+        capacity-respecting placement.
+    alpha:
+        The trade-off parameter used.
+    delay_bound:
+        The proven guarantee ``alpha/(alpha-1) * Z*``; always
+        ``delay <= delay_bound`` (up to numerical tolerance).
+    load_factor_bound:
+        ``alpha + 1``: the proven per-node capacity violation cap.
+    max_load_factor:
+        The realized worst ``load_f(v)/cap(v)``.
+    source:
+        The source node ``v0``.
+    """
+
+    placement: Placement
+    delay: float
+    lp_value: float
+    alpha: float
+    delay_bound: float
+    load_factor_bound: float
+    max_load_factor: float
+    source: Node
+
+    @property
+    def within_guarantees(self) -> bool:
+        """Whether both Theorem 3.7 bounds hold for the realized solution."""
+        return (
+            self.delay <= self.delay_bound + 1e-6
+            and self.max_load_factor <= self.load_factor_bound + 1e-6
+        )
+
+
+def _supported_quorums(strategy: AccessStrategy) -> list[int]:
+    return list(strategy.support())
+
+
+def build_ssqpp_lp(
+    system: QuorumSystem,
+    strategy: AccessStrategy,
+    network: Network,
+    source: Node,
+    *,
+    formulation: str = "prefix",
+):
+    """Build the LP relaxation (9)-(14).
+
+    Returns ``(model, x_element, x_quorum, ordered_nodes, distances)``
+    where ``x_element[(t, u)]`` and ``x_quorum[(t, q)]`` map to model
+    variables, ``ordered_nodes`` is ``v_0, v_1, ...`` sorted by distance
+    from the source (the renaming at the start of §3.3), and
+    ``distances[t] = d(v0, v_t)``.
+
+    Variables fixed to zero by constraint (13) — pairs with
+    ``load(u) > cap(v_t)`` — are simply omitted.  Quorum variables are
+    created only for quorums in the strategy's support: zero-probability
+    quorums contribute nothing to the objective and need no containment
+    bookkeeping.
+
+    ``formulation`` selects how the prefix constraints (14) are encoded:
+
+    * ``"prefix"`` — the paper's literal form: one inequality per
+      ``(quorum, member, t)`` whose left/right sides are explicit prefix
+      sums.  ``O(n)`` terms per constraint, ``O(n^2)`` nonzeros per
+      (quorum, member) pair.
+    * ``"cumulative"`` — auxiliary running-sum variables
+      ``C_t = C_{t-1} + x_t`` per element and per quorum, making every
+      (14) inequality a 2-term comparison.  Same optimum, far fewer
+      nonzeros on large instances; equivalence is covered by tests.
+    """
+    if formulation not in ("prefix", "cumulative"):
+        raise ValidationError(
+            f"unknown formulation {formulation!r}; use 'prefix' or 'cumulative'"
+        )
+    require(strategy.system == system, "strategy does not match the quorum system")
+    metric = network.metric()
+    ordered_nodes = metric.nodes_by_distance(source)
+    distances = [metric.distance(source, node) for node in ordered_nodes]
+    n = len(ordered_nodes)
+    universe = system.universe
+    loads = {u: strategy.load(u) for u in universe}
+    capacities = [network.capacity(node) for node in ordered_nodes]
+
+    for u in universe:
+        if loads[u] > _ZERO and not any(loads[u] <= cap + _ZERO for cap in capacities):
+            raise InfeasibleError(
+                f"element {u!r} has load {loads[u]:.4f} exceeding every node capacity"
+            )
+
+    model = Model(name="ssqpp-lp")
+    x_element: dict[tuple[int, Element], object] = {}
+    for t in range(n):
+        for u in universe:
+            if loads[u] <= capacities[t] + _ZERO:  # constraint (13) by omission
+                x_element[(t, u)] = model.variable(f"x[{t},{u!r}]", lb=0.0, ub=1.0)
+
+    support = _supported_quorums(strategy)
+    x_quorum: dict[tuple[int, int], object] = {}
+    for t in range(n):
+        for q in support:
+            x_quorum[(t, q)] = model.variable(f"xQ[{t},{q}]", lb=0.0, ub=1.0)
+
+    # (10): every element placed exactly once.
+    for u in universe:
+        terms = [x_element[(t, u)] for t in range(n) if (t, u) in x_element]
+        if not terms:
+            raise InfeasibleError(f"element {u!r} fits on no node")
+        expr = terms[0].to_expr()
+        for variable in terms[1:]:
+            expr = expr + variable
+        model.add_constraint(expr == 1, name=f"place[{u!r}]")
+
+    # (11): every supported quorum completed at exactly one prefix length.
+    for q in support:
+        expr = x_quorum[(0, q)].to_expr()
+        for t in range(1, n):
+            expr = expr + x_quorum[(t, q)]
+        model.add_constraint(expr == 1, name=f"complete[{q}]")
+
+    # (12): fractional load within capacity (vacuous for uncapacitated
+    # nodes, so those constraints are omitted).
+    for t in range(n):
+        if not math.isfinite(capacities[t]):
+            continue
+        terms = [
+            (x_element[(t, u)], loads[u])
+            for u in universe
+            if (t, u) in x_element and loads[u] > 0
+        ]
+        if not terms:
+            continue
+        expr = terms[0][0] * terms[0][1]
+        for variable, coefficient in terms[1:]:
+            expr = expr + variable * coefficient
+        model.add_constraint(expr <= capacities[t], name=f"cap[{t}]")
+
+    # (14): prefix consistency — a quorum cannot finish before its members.
+    if formulation == "prefix":
+        for q in support:
+            quorum = system.quorums[q]
+            for u in quorum:
+                quorum_prefix = None
+                element_prefix = None
+                for t in range(n):
+                    quorum_prefix = (
+                        x_quorum[(t, q)].to_expr()
+                        if quorum_prefix is None
+                        else quorum_prefix + x_quorum[(t, q)]
+                    )
+                    if (t, u) in x_element:
+                        element_prefix = (
+                            x_element[(t, u)].to_expr()
+                            if element_prefix is None
+                            else element_prefix + x_element[(t, u)]
+                        )
+                    if element_prefix is None:
+                        # No placement of u at distance <= d_t: quorum q
+                        # cannot complete within the first t+1 nodes either.
+                        model.add_constraint(
+                            quorum_prefix <= 0, name=f"prefix[{q},{u!r},{t}]"
+                        )
+                    else:
+                        model.add_constraint(
+                            quorum_prefix - element_prefix <= 0,
+                            name=f"prefix[{q},{u!r},{t}]",
+                        )
+    else:
+        # Cumulative variables: cum_t = cum_{t-1} + x_t, one chain per
+        # element and per supported quorum; (14) becomes 2-term rows.
+        element_cumulative: dict[Element, list] = {}
+        for u in universe:
+            chain = []
+            previous = None
+            for t in range(n):
+                cum = model.variable(f"cum[{t},{u!r}]", lb=0.0, ub=1.0)
+                terms = cum.to_expr()
+                if previous is not None:
+                    terms = terms - previous
+                if (t, u) in x_element:
+                    terms = terms - x_element[(t, u)]
+                model.add_constraint(terms == 0, name=f"chain[{t},{u!r}]")
+                chain.append(cum)
+                previous = cum
+            element_cumulative[u] = chain
+        for q in support:
+            previous = None
+            chain_q = []
+            for t in range(n):
+                cum = model.variable(f"cumQ[{t},{q}]", lb=0.0, ub=1.0)
+                terms = cum.to_expr() - x_quorum[(t, q)]
+                if previous is not None:
+                    terms = terms - previous
+                model.add_constraint(terms == 0, name=f"chainQ[{t},{q}]")
+                chain_q.append(cum)
+                previous = cum
+            for u in system.quorums[q]:
+                for t in range(n):
+                    model.add_constraint(
+                        chain_q[t] - element_cumulative[u][t] <= 0,
+                        name=f"prefix[{q},{u!r},{t}]",
+                    )
+
+    # (9): expected max-delay objective.
+    objective = None
+    for q in support:
+        probability = strategy.probability(q)
+        for t in range(n):
+            if distances[t] == 0:
+                continue
+            term = x_quorum[(t, q)] * (probability * distances[t])
+            objective = term if objective is None else objective + term
+    if objective is None:
+        # Degenerate but legal: every supported quorum can sit at distance 0.
+        objective = next(iter(x_element.values())) * 0.0
+    model.minimize(objective)
+    return model, x_element, x_quorum, ordered_nodes, distances
+
+
+def _filter_fractions(
+    raw: np.ndarray, alpha: float
+) -> np.ndarray:
+    """The filtering step, generalized from the paper's alpha = 2.
+
+    ``raw`` has shape (n_positions, n_items), columns summing to 1.
+    Column by column, set ``x~_t = min(alpha * x_t, remaining mass to 1)``
+    scanning positions in increasing-``t`` order, zeroing everything after
+    the cumulative total reaches 1.
+    """
+    n, items = raw.shape
+    filtered = np.zeros_like(raw)
+    for j in range(items):
+        cumulative = 0.0
+        for t in range(n):
+            if cumulative >= 1.0 - _ZERO:
+                break
+            scaled = alpha * raw[t, j]
+            take = min(scaled, 1.0 - cumulative)
+            if take > _ZERO:
+                filtered[t, j] = take
+                cumulative += take
+        # Guard against columns that fail to reach 1 due to solver noise.
+        total = filtered[:, j].sum()
+        if total < 1.0 - 1e-6:
+            raise ValidationError(
+                "filtering failed to accumulate unit mass; LP solution is "
+                f"malformed (column {j}, total {total:.8f})"
+            )
+        filtered[:, j] /= total
+    return filtered
+
+
+def solve_ssqpp(
+    system: QuorumSystem,
+    strategy: AccessStrategy,
+    network: Network,
+    source: Node,
+    *,
+    alpha: float = 2.0,
+    lp_method: str = "highs",
+    formulation: str = "prefix",
+) -> SSQPPResult:
+    """Solve the Single-Source Quorum Placement Problem approximately.
+
+    Implements Theorem 3.7: the returned placement has
+
+    * ``Delta_f(v0) <= alpha/(alpha-1) * Z* <= alpha/(alpha-1) * OPT``,
+    * ``load_f(v) <= (alpha + 1) * cap(v)`` for every node.
+
+    ``alpha = 2`` recovers Theorem 3.12 (delay within twice the LP bound,
+    load within three times capacity).
+
+    Raises
+    ------
+    InfeasibleError
+        When no capacity-respecting placement exists even fractionally.
+    """
+    check_positive(alpha - 1.0, "alpha - 1")
+    network.node_index(source)
+
+    model, x_element, x_quorum, ordered_nodes, distances = build_ssqpp_lp(
+        system, strategy, network, source, formulation=formulation
+    )
+    solution = model.solve(method=lp_method)
+    lp_value = float(solution.objective)
+
+    universe = list(system.universe)
+    n = len(ordered_nodes)
+    raw = np.zeros((n, len(universe)))
+    for j, u in enumerate(universe):
+        for t in range(n):
+            variable = x_element.get((t, u))
+            if variable is not None:
+                raw[t, j] = max(solution.value(variable), 0.0)
+    filtered = _filter_fractions(raw, alpha)
+
+    loads = strategy.load_array()
+    capacities = np.array([network.capacity(node) for node in ordered_nodes])
+    # GAP view: machines are nodes in distance order, jobs are elements.
+    costs = np.full((n, len(universe)), math.inf)
+    gap_loads = np.full((n, len(universe)), math.inf)
+    for j in range(len(universe)):
+        for t in range(n):
+            if filtered[t, j] > _ZERO:
+                costs[t, j] = distances[t]
+                gap_loads[t, j] = loads[j]
+    instance = GAPInstance(
+        jobs=tuple(universe),
+        machines=tuple(ordered_nodes),
+        costs=costs,
+        loads=gap_loads,
+        capacities=alpha * capacities,
+    )
+    fractional_cost = float(
+        sum(
+            filtered[t, j] * distances[t]
+            for j in range(len(universe))
+            for t in range(n)
+            if filtered[t, j] > _ZERO
+        )
+    )
+    fractional = FractionalAssignment(
+        instance=instance, fractions=filtered, cost=fractional_cost
+    )
+    rounded = round_fractional_assignment(fractional)
+
+    placement = Placement(system, network, rounded.assignment)
+    delay = expected_max_delay(placement, strategy, source)
+
+    max_factor = 0.0
+    for node, load in node_loads(placement, strategy).items():
+        if load <= 0:
+            continue
+        capacity = network.capacity(node)
+        max_factor = max(
+            max_factor, load / capacity if capacity > 0 else float("inf")
+        )
+
+    return SSQPPResult(
+        placement=placement,
+        delay=delay,
+        lp_value=lp_value,
+        alpha=alpha,
+        delay_bound=(alpha / (alpha - 1.0)) * lp_value,
+        load_factor_bound=alpha + 1.0,
+        max_load_factor=max_factor,
+        source=source,
+    )

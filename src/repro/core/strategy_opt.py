@@ -1,0 +1,212 @@
+"""Optimizing the access strategy *after* placement.
+
+The paper treats the access strategy ``p`` as an input "chosen from the
+existing literature to achieve good load-balancing".  Once a placement
+``f`` is fixed, however, there is a second natural knob: re-weighting the
+strategy to prefer the quorums that happen to have landed close to the
+clients, subject to a load budget.  That is a linear program:
+
+    minimize   sum_Q p(Q) * delta_f(v0, Q)          (single source), or
+               sum_Q p(Q) * Avg_v delta_f(v, Q)     (all clients)
+    subject to sum_Q p(Q) = 1
+               load_p(u) <= L   for every element u
+               p >= 0
+
+With ``L = 1`` the LP is unconstrained by load and collapses onto the
+single closest quorum (the degenerate hot-spot the paper warns about);
+with ``L`` equal to the system load it can only re-balance among
+load-optimal strategies.  Sweeping ``L`` traces the delay/load Pareto
+frontier for a fixed placement.
+
+:func:`alternating_optimization` composes this with the placement
+algorithms: alternately re-place for the current strategy and re-weight
+for the current placement.  Each step is non-increasing in delay; the
+function is an *experimental extension* (not a paper algorithm) used by
+the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_integer_in_range, check_probability
+from ..exceptions import ValidationError
+from ..lp import Model
+from ..network.graph import Node
+from ..quorums.strategy import AccessStrategy
+from .placement import Placement, average_max_delay, max_delay
+from .ssqpp import solve_ssqpp
+
+__all__ = [
+    "DelayOptimalStrategy",
+    "delay_optimal_strategy",
+    "strategy_delay_frontier",
+    "alternating_optimization",
+]
+
+
+@dataclass(frozen=True)
+class DelayOptimalStrategy:
+    """A strategy minimizing expected delay under a load budget.
+
+    Attributes
+    ----------
+    strategy:
+        The optimizing strategy.
+    delay:
+        Its expected delay for the requested client scope.
+    load_budget:
+        The per-element load cap ``L`` that was enforced.
+    max_load:
+        The realized maximum element load (``<= load_budget``).
+    """
+
+    strategy: AccessStrategy
+    delay: float
+    load_budget: float
+    max_load: float
+
+
+def _quorum_delay_coefficients(
+    placement: Placement, source: Node | None
+) -> np.ndarray:
+    """Per-quorum delay coefficient: ``delta_f(v0, Q)`` or the average
+    over all clients."""
+    system = placement.system
+    if source is not None:
+        return np.array(
+            [max_delay(placement, source, q) for q in range(len(system))]
+        )
+    matrix = placement.network.metric().matrix
+    coefficients = np.empty(len(system))
+    for q in range(len(system)):
+        nodes = placement.quorum_node_indices(q)
+        coefficients[q] = float(matrix[:, nodes].max(axis=1).mean())
+    return coefficients
+
+
+def delay_optimal_strategy(
+    placement: Placement,
+    *,
+    load_budget: float,
+    source: Node | None = None,
+) -> DelayOptimalStrategy:
+    """Minimize expected (max-)delay over strategies with load ≤ budget.
+
+    Parameters
+    ----------
+    placement:
+        The fixed placement whose quorum distances define the objective.
+    load_budget:
+        Per-element load cap ``L`` in ``(0, 1]``.  Must be at least the
+        system load of the quorum system or the LP is infeasible.
+    source:
+        Optimize ``Delta(source)`` when given, else the all-clients
+        average ``Avg_v Delta(v)``.
+    """
+    budget = check_probability(load_budget, "load_budget")
+    if budget <= 0:
+        raise ValidationError("load_budget must be positive")
+    system = placement.system
+    coefficients = _quorum_delay_coefficients(placement, source)
+
+    model = Model(name="delay-optimal-strategy")
+    p = model.variables(len(system), prefix="p", ub=1.0)
+    total = p[0].to_expr()
+    for variable in p[1:]:
+        total = total + variable
+    model.add_constraint(total == 1, name="distribution")
+    for element in system.universe:
+        indices = system.quorums_containing(element)
+        if not indices:
+            continue
+        load_expr = p[indices[0]].to_expr()
+        for index in indices[1:]:
+            load_expr = load_expr + p[index]
+        model.add_constraint(load_expr <= budget, name=f"load[{element!r}]")
+    objective = p[0] * float(coefficients[0])
+    for q in range(1, len(system)):
+        objective = objective + p[q] * float(coefficients[q])
+    model.minimize(objective)
+    solution = model.solve()
+
+    weights = [max(solution.value(variable), 0.0) for variable in p]
+    strategy = AccessStrategy.from_weights(system, weights)
+    return DelayOptimalStrategy(
+        strategy=strategy,
+        delay=float(solution.objective),
+        load_budget=budget,
+        max_load=strategy.max_load(),
+    )
+
+
+def strategy_delay_frontier(
+    placement: Placement,
+    budgets: list[float],
+    *,
+    source: Node | None = None,
+) -> list[DelayOptimalStrategy]:
+    """The delay/load Pareto frontier of a fixed placement.
+
+    Solves :func:`delay_optimal_strategy` for each budget; infeasible
+    budgets (below the system load) are skipped.
+    """
+    from ..exceptions import InfeasibleError
+
+    frontier = []
+    for budget in budgets:
+        try:
+            frontier.append(
+                delay_optimal_strategy(placement, load_budget=budget, source=source)
+            )
+        except InfeasibleError:
+            continue
+    return frontier
+
+
+def alternating_optimization(
+    placement: Placement,
+    strategy: AccessStrategy,
+    source: Node,
+    *,
+    load_budget: float,
+    rounds: int = 3,
+    alpha: float = 2.0,
+) -> tuple[Placement, AccessStrategy, float]:
+    """Alternately re-place (Theorem 3.7) and re-weight (strategy LP).
+
+    Returns the final ``(placement, strategy, single-source delay)``.
+    Every accepted step is non-increasing in ``Delta_f(v0)``; a step that
+    fails to improve stops the loop early.
+    """
+    check_integer_in_range(rounds, "rounds", low=1)
+    network = placement.network
+    system = placement.system
+    current_placement = placement
+    current_strategy = strategy
+    from .placement import expected_max_delay
+
+    best = expected_max_delay(current_placement, current_strategy, source)
+    for _ in range(rounds):
+        improved = False
+        # Re-weight the strategy for the current placement.
+        reweighted = delay_optimal_strategy(
+            current_placement, load_budget=load_budget, source=source
+        )
+        if reweighted.delay < best - 1e-12:
+            current_strategy = reweighted.strategy
+            best = reweighted.delay
+            improved = True
+        # Re-place for the current strategy.
+        replaced = solve_ssqpp(
+            system, current_strategy, network, source, alpha=alpha
+        )
+        if replaced.delay < best - 1e-12:
+            current_placement = replaced.placement
+            best = replaced.delay
+            improved = True
+        if not improved:
+            break
+    return current_placement, current_strategy, best

@@ -1,0 +1,119 @@
+"""The total-delay placement problem (Section 5, Theorems 1.4 / 5.1).
+
+Under the total-delay access cost ``gamma_f(v, Q) = sum_{u in Q}
+d(v, f(u))``, the average objective decomposes per element:
+
+    Avg_v Gamma_f(v) = sum_u load(u) * Avg_v d(v, f(u)),
+
+so placing element ``u`` on node ``w`` contributes the *fixed* cost
+``load(u) * Avg_v d(v, w)`` regardless of the other elements.  That is
+exactly a Generalized Assignment Problem: jobs = elements with load
+``load(u)``, machines = nodes with budget ``cap(v)``, assignment cost as
+above.  Solving the GAP LP and rounding (Theorem 3.11) yields Theorem
+5.1: average total delay **no worse than the true optimum** among
+capacity-respecting placements, with loads at most ``2 cap(v)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gap.instance import GAPInstance
+from ..gap.solver import GAPSolution, solve_gap
+from ..network.graph import Network, Node
+from ..quorums.base import QuorumSystem
+from ..quorums.strategy import AccessStrategy
+from .placement import Placement, _client_weights, average_total_delay, node_loads
+
+__all__ = ["TotalDelayResult", "solve_total_delay"]
+
+_ZERO = 1e-12
+
+
+@dataclass(frozen=True)
+class TotalDelayResult:
+    """Output of :func:`solve_total_delay`.
+
+    Theorem 5.1 guarantees ``delay <= optimum`` (the LP bound
+    ``lp_value`` certifies it: ``delay <= lp_value <= OPT``) and
+    ``load_f(v) <= 2 cap(v)`` on every node.
+    """
+
+    placement: Placement
+    delay: float
+    lp_value: float
+    max_load_factor: float
+    load_factor_bound: float
+
+    @property
+    def within_guarantees(self) -> bool:
+        return (
+            self.delay <= self.lp_value + 1e-6
+            and self.max_load_factor <= self.load_factor_bound + 1e-6
+        )
+
+
+def solve_total_delay(
+    system: QuorumSystem,
+    strategy: AccessStrategy,
+    network: Network,
+    *,
+    rates: Mapping[Node, float] | None = None,
+    lp_method: str = "highs-ds",
+) -> TotalDelayResult:
+    """Place *system* minimizing the average total delay (Theorem 5.1).
+
+    Supports the §6 extension of rate-weighted client averages through
+    *rates*.  Raises :class:`repro.exceptions.InfeasibleError` when no
+    capacity-respecting placement exists even fractionally.
+    """
+    metric = network.metric()
+    weights = _client_weights(network, rates)
+    # Avg (weighted) distance from all clients to each node w.
+    average_distance = weights @ metric.matrix
+
+    universe = list(system.universe)
+    loads = np.array([strategy.load(u) for u in universe])
+    nodes = list(network.nodes)
+    capacities = np.array([network.capacity(v) for v in nodes])
+
+    costs = np.full((len(nodes), len(universe)), math.inf)
+    gap_loads = np.full((len(nodes), len(universe)), math.inf)
+    for i in range(len(nodes)):
+        for j in range(len(universe)):
+            # Pairs with load above capacity are forbidden, mirroring the
+            # paper's constraint (13); the optimum never uses them either,
+            # so the LP bound still certifies optimality.
+            if loads[j] <= capacities[i] + _ZERO:
+                costs[i, j] = loads[j] * average_distance[i]
+                gap_loads[i, j] = loads[j]
+    instance = GAPInstance(
+        jobs=tuple(universe),
+        machines=tuple(nodes),
+        costs=costs,
+        loads=gap_loads,
+        capacities=capacities,
+    )
+    gap_solution: GAPSolution = solve_gap(instance, method=lp_method)
+
+    placement = Placement(system, network, gap_solution.assignment)
+    delay = average_total_delay(placement, strategy, rates=rates)
+
+    max_factor = 0.0
+    for node, load in node_loads(placement, strategy).items():
+        if load <= 0:
+            continue
+        capacity = network.capacity(node)
+        max_factor = max(max_factor, load / capacity if capacity > 0 else float("inf"))
+
+    return TotalDelayResult(
+        placement=placement,
+        delay=delay,
+        lp_value=gap_solution.lp_cost,
+        max_load_factor=max_factor,
+        load_factor_bound=2.0,
+    )

@@ -1,0 +1,25 @@
+"""Experiment harness: seeded workload suites and access simulation."""
+
+from .failures import FailureSimulationResult, simulate_with_failures
+from .simulate import SimulationResult, simulate_accesses
+from .suite_runner import AlgorithmScore, InstanceComparison, compare_algorithms
+from .workloads import (
+    PlacementInstance,
+    feasible_uniform_capacity,
+    small_suite,
+    standard_suite,
+)
+
+__all__ = [
+    "AlgorithmScore",
+    "FailureSimulationResult",
+    "InstanceComparison",
+    "PlacementInstance",
+    "SimulationResult",
+    "feasible_uniform_capacity",
+    "compare_algorithms",
+    "simulate_accesses",
+    "simulate_with_failures",
+    "small_suite",
+    "standard_suite",
+]

@@ -1,0 +1,144 @@
+"""Access simulation under node failures (failure injection).
+
+The delay objective the paper optimizes assumes every quorum is
+reachable; operationally, nodes crash and clients *fail over* to another
+quorum.  This simulator measures what a placement actually delivers under
+independent node crashes:
+
+* in each *epoch* a crash set is drawn (every node fails independently);
+* each client performs accesses: it samples its quorum from the access
+  strategy; if any member's host is down it falls back to the
+  lowest-max-delay fully-alive quorum (the natural greedy failover);
+* an access with no alive quorum fails.
+
+Reported: success rate, the effective average max-delay of successful
+accesses, and how often failover was needed.  Together with
+:mod:`repro.analysis.fault_tolerance` this quantifies the paper's
+dispersion argument — a collapsed placement has great delay until its
+host dies, after which *every* access fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_integer_in_range, check_probability
+from ..core.placement import Placement
+from ..network.graph import Node
+from ..quorums.strategy import AccessStrategy
+
+__all__ = ["FailureSimulationResult", "simulate_with_failures"]
+
+
+@dataclass(frozen=True)
+class FailureSimulationResult:
+    """Aggregates from a failure-injection run.
+
+    Attributes
+    ----------
+    epochs / accesses:
+        Crash-set draws and total attempted accesses.
+    success_rate:
+        Fraction of accesses that found some fully-alive quorum.
+    effective_delay:
+        Average max-delay over *successful* accesses (failed accesses
+        contribute no delay; see ``success_rate`` for their frequency).
+    failover_rate:
+        Fraction of successful accesses that could not use their sampled
+        quorum and fell back to an alternative.
+    baseline_delay:
+        The no-failure analytic average max-delay, for comparison.
+    """
+
+    epochs: int
+    accesses: int
+    success_rate: float
+    effective_delay: float
+    failover_rate: float
+    baseline_delay: float
+
+    @property
+    def delay_inflation(self) -> float:
+        """``effective_delay / baseline_delay`` (1.0 when failures never
+        push clients to worse quorums; NaN if nothing succeeded)."""
+        if self.baseline_delay > 0 and self.effective_delay == self.effective_delay:
+            return self.effective_delay / self.baseline_delay
+        return float("nan")
+
+
+def simulate_with_failures(
+    placement: Placement,
+    strategy: AccessStrategy,
+    *,
+    failure_probability: float,
+    rng: np.random.Generator,
+    epochs: int = 50,
+    accesses_per_client: int = 20,
+) -> FailureSimulationResult:
+    """Run the failure-injection simulation (see module docstring).
+
+    Deterministic given *rng*.  Cost is roughly
+    ``epochs * clients * accesses_per_client`` plus one alive-quorum scan
+    per (epoch, client).
+    """
+    p_fail = check_probability(failure_probability, "failure_probability")
+    check_integer_in_range(epochs, "epochs", low=1)
+    check_integer_in_range(accesses_per_client, "accesses_per_client", low=1)
+
+    network = placement.network
+    metric = network.metric()
+    system = placement.system
+    nodes: list[Node] = list(network.nodes)
+    quorum_hosts = [
+        placement.quorum_node_indices(q) for q in range(len(system))
+    ]
+
+    from ..core.placement import average_max_delay
+
+    baseline = average_max_delay(placement, strategy)
+
+    attempted = 0
+    succeeded = 0
+    failovers = 0
+    delay_sum = 0.0
+
+    for _ in range(epochs):
+        alive = rng.random(len(nodes)) >= p_fail
+        alive_quorums = [
+            q for q, hosts in enumerate(quorum_hosts) if bool(alive[hosts].all())
+        ]
+        alive_set = set(alive_quorums)
+        for client in nodes:
+            row = metric.distances_from(client)
+            best_alive: int | None = None
+            best_alive_delay = np.inf
+            for q in alive_quorums:
+                delay = float(row[quorum_hosts[q]].max())
+                if delay < best_alive_delay:
+                    best_alive_delay = delay
+                    best_alive = q
+            samples = strategy.sample(rng, size=accesses_per_client)
+            for sampled in np.asarray(samples).ravel():
+                attempted += 1
+                sampled = int(sampled)
+                if sampled in alive_set:
+                    succeeded += 1
+                    delay_sum += float(row[quorum_hosts[sampled]].max())
+                elif best_alive is not None:
+                    succeeded += 1
+                    failovers += 1
+                    delay_sum += best_alive_delay
+
+    success_rate = succeeded / attempted if attempted else 0.0
+    effective = delay_sum / succeeded if succeeded else float("nan")
+    failover_rate = failovers / succeeded if succeeded else 0.0
+    return FailureSimulationResult(
+        epochs=epochs,
+        accesses=attempted,
+        success_rate=success_rate,
+        effective_delay=effective,
+        failover_rate=failover_rate,
+        baseline_delay=baseline,
+    )

@@ -1,0 +1,137 @@
+"""Discrete simulation of quorum accesses.
+
+The analytic evaluators in :mod:`repro.core.placement` compute expected
+delays exactly; this module *simulates* the access process — every client
+repeatedly samples a quorum from the access strategy and contacts its
+placed members — and measures the empirical average max- and total-delay
+plus per-node request loads.
+
+Examples use it to show the measured system behavior converging to the
+analytic objective the placement algorithms optimize; tests use it as an
+independent check of the evaluators (law of large numbers, seeded).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_integer_in_range
+from ..core.placement import (
+    Placement,
+    average_max_delay,
+    average_total_delay,
+    node_loads,
+)
+from ..network.graph import Node
+from ..quorums.strategy import AccessStrategy
+
+__all__ = ["SimulationResult", "simulate_accesses"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Empirical quantities from a seeded access simulation.
+
+    Attributes
+    ----------
+    accesses:
+        Total number of simulated quorum accesses.
+    measured_max_delay / measured_total_delay:
+        Empirical averages over all simulated accesses.
+    analytic_max_delay / analytic_total_delay:
+        The exact expectations, for comparison.
+    measured_node_loads:
+        Fraction of accesses that touched each node (the empirical
+        counterpart of ``load_f(v)``).
+    analytic_node_loads:
+        ``load_f(v)`` from the strategy.
+    """
+
+    accesses: int
+    measured_max_delay: float
+    measured_total_delay: float
+    analytic_max_delay: float
+    analytic_total_delay: float
+    measured_node_loads: dict[Node, float]
+    analytic_node_loads: dict[Node, float]
+
+    @property
+    def max_delay_error(self) -> float:
+        """Relative error of the measured vs analytic max-delay."""
+        if self.analytic_max_delay == 0:
+            return abs(self.measured_max_delay)
+        return abs(self.measured_max_delay - self.analytic_max_delay) / self.analytic_max_delay
+
+
+def simulate_accesses(
+    placement: Placement,
+    strategy: AccessStrategy,
+    *,
+    rng: np.random.Generator,
+    accesses_per_client: int = 200,
+    rates: Mapping[Node, float] | None = None,
+) -> SimulationResult:
+    """Simulate quorum accesses from every client.
+
+    Each client performs *accesses_per_client* accesses (scaled by its
+    relative rate when *rates* is given), sampling quorums independently
+    from *strategy*.  Deterministic given *rng*.
+    """
+    check_integer_in_range(accesses_per_client, "accesses_per_client", low=1)
+    network = placement.network
+    metric = network.metric()
+    nodes = network.nodes
+
+    if rates is None:
+        per_client = {v: accesses_per_client for v in nodes}
+    else:
+        values = np.array([max(float(rates.get(v, 0.0)), 0.0) for v in nodes])
+        if values.sum() <= 0:
+            raise ValueError("at least one client rate must be positive")
+        scaled = values / values.max() * accesses_per_client
+        per_client = {v: int(round(s)) for v, s in zip(nodes, scaled)}
+
+    total_accesses = 0
+    sum_max = 0.0
+    sum_total = 0.0
+    touch_counts = {v: 0 for v in nodes}
+
+    quorum_nodes = [
+        placement.quorum_node_indices(index) for index in range(len(placement.system))
+    ]
+    for client in nodes:
+        count = per_client[client]
+        if count == 0:
+            continue
+        row = metric.distances_from(client)
+        samples = strategy.sample(rng, size=count)
+        for quorum_index in np.asarray(samples).ravel():
+            indices = quorum_nodes[int(quorum_index)]
+            distances = row[indices]
+            sum_max += float(distances.max())
+            sum_total_members = 0.0
+            # Per-element accounting: total delay and load both count every
+            # element of the quorum, even when elements share a node.
+            for element in placement.system.quorums[int(quorum_index)]:
+                host = placement[element]
+                sum_total_members += float(row[network.node_index(host)])
+                touch_counts[host] += 1
+            sum_total += sum_total_members
+            total_accesses += 1
+
+    measured_loads = {
+        v: touch_counts[v] / total_accesses if total_accesses else 0.0 for v in nodes
+    }
+    analytic_loads = node_loads(placement, strategy)
+    return SimulationResult(
+        accesses=total_accesses,
+        measured_max_delay=sum_max / total_accesses,
+        measured_total_delay=sum_total / total_accesses,
+        analytic_max_delay=average_max_delay(placement, strategy, rates=rates),
+        analytic_total_delay=average_total_delay(placement, strategy, rates=rates),
+        measured_node_loads=measured_loads,
+        analytic_node_loads=analytic_loads,
+    )

@@ -1,0 +1,134 @@
+"""Programmatic algorithm comparison across workload instances.
+
+Wraps the "run everything on one instance" loop the examples and some
+benches need: given a :class:`~repro.experiments.workloads.PlacementInstance`,
+run the paper's two solvers plus the baselines, score every placement on
+both objectives, and return a structured record.  Exact optima are
+attached when the instance is small enough to brute-force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.baselines import greedy_placement, random_placement
+from ..core.exact import solve_qpp_exact
+from ..core.placement import (
+    Placement,
+    average_max_delay,
+    average_total_delay,
+    capacity_violation_factor,
+)
+from ..core.qpp import solve_qpp
+from ..core.total_delay import solve_total_delay
+from ..exceptions import ReproError
+from .workloads import PlacementInstance
+
+__all__ = ["AlgorithmScore", "InstanceComparison", "compare_algorithms"]
+
+#: Brute force is attempted below this state-count estimate.
+_EXACT_THRESHOLD = 2_000_000
+
+
+@dataclass(frozen=True)
+class AlgorithmScore:
+    """One algorithm's placement scored on both paper objectives."""
+
+    name: str
+    max_delay: float
+    total_delay: float
+    load_factor: float
+    failed: bool = False
+
+    @classmethod
+    def failure(cls, name: str) -> "AlgorithmScore":
+        nan = float("nan")
+        return cls(name=name, max_delay=nan, total_delay=nan, load_factor=nan, failed=True)
+
+
+@dataclass(frozen=True)
+class InstanceComparison:
+    """All algorithm scores for one instance, plus the exact optimum
+    (max-delay objective) when brute force was feasible."""
+
+    instance: PlacementInstance
+    scores: list[AlgorithmScore] = field(default_factory=list)
+    optimal_max_delay: float | None = None
+
+    def score(self, name: str) -> AlgorithmScore:
+        for entry in self.scores:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def ratio_to_optimal(self, name: str) -> float:
+        """``max_delay / OPT`` for the named algorithm (NaN without OPT)."""
+        if self.optimal_max_delay is None or self.optimal_max_delay <= 0:
+            return float("nan")
+        return self.score(name).max_delay / self.optimal_max_delay
+
+
+def _score(name: str, placement: Placement, instance: PlacementInstance) -> AlgorithmScore:
+    return AlgorithmScore(
+        name=name,
+        max_delay=average_max_delay(placement, instance.strategy),
+        total_delay=average_total_delay(placement, instance.strategy),
+        load_factor=capacity_violation_factor(placement, instance.strategy),
+    )
+
+
+def compare_algorithms(
+    instance: PlacementInstance,
+    *,
+    rng: np.random.Generator,
+    alpha: float = 2.0,
+    candidate_sources: int | None = 4,
+    include_exact: bool = True,
+) -> InstanceComparison:
+    """Run the standard algorithm roster on *instance*.
+
+    Parameters
+    ----------
+    candidate_sources:
+        Limit the Theorem 1.2 relay sweep to the first ``k`` nodes
+        (None = all; the full sweep is what the theorem requires but the
+        restricted one is much faster for surveys).
+    include_exact:
+        Attach the brute-force optimum when the search space allows.
+    """
+    system, strategy, network = instance.system, instance.strategy, instance.network
+    scores: list[AlgorithmScore] = []
+
+    sources = (
+        list(network.nodes)[:candidate_sources]
+        if candidate_sources is not None
+        else None
+    )
+    qpp = solve_qpp(system, strategy, network, alpha=alpha, candidate_sources=sources)
+    scores.append(_score("qpp", qpp.placement, instance))
+
+    total = solve_total_delay(system, strategy, network)
+    scores.append(_score("total_delay", total.placement, instance))
+
+    try:
+        scores.append(_score("greedy", greedy_placement(system, strategy, network), instance))
+    except ReproError:
+        scores.append(AlgorithmScore.failure("greedy"))
+    try:
+        scores.append(
+            _score("random", random_placement(system, strategy, network, rng=rng), instance)
+        )
+    except ReproError:
+        scores.append(AlgorithmScore.failure("random"))
+
+    optimal: float | None = None
+    if include_exact:
+        states = float(network.size) ** system.universe_size
+        if states <= _EXACT_THRESHOLD:
+            optimal = solve_qpp_exact(system, strategy, network).objective
+
+    return InstanceComparison(
+        instance=instance, scores=scores, optimal_max_delay=optimal
+    )

@@ -1,0 +1,136 @@
+"""Shared workload generation for benchmarks and integration tests.
+
+A *placement instance* bundles everything the paper's algorithms consume:
+a quorum system, an access strategy, and a capacitated network.  The
+suites here are seeded and deterministic, span the quorum constructions
+and topology families the benchmarks sweep over, and are sized so that
+exhaustive optimal search stays feasible where a benchmark needs ground
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .._validation import check_nonnegative, check_positive
+from ..network.generators import (
+    cycle_network,
+    erdos_renyi_network,
+    grid_network,
+    random_geometric_network,
+    two_cluster_network,
+)
+from ..network.graph import Network
+from ..quorums.base import QuorumSystem
+from ..quorums.crumbling_walls import crumbling_wall
+from ..quorums.grid import grid
+from ..quorums.majority import majority, threshold
+from ..quorums.strategy import AccessStrategy
+from ..quorums.wheel import wheel
+
+__all__ = ["PlacementInstance", "feasible_uniform_capacity", "standard_suite", "small_suite"]
+
+
+@dataclass(frozen=True)
+class PlacementInstance:
+    """A named (system, strategy, network) triple ready for placement."""
+
+    name: str
+    system: QuorumSystem
+    strategy: AccessStrategy
+    network: Network
+
+
+def feasible_uniform_capacity(
+    system: QuorumSystem,
+    strategy: AccessStrategy,
+    network: Network,
+    *,
+    slack: float = 1.5,
+) -> Network:
+    """Uniform capacities guaranteeing a feasible packing exists.
+
+    Every node gets ``max(max element load, slack * total load / n)``:
+    each element fits on every node, and the aggregate budget exceeds the
+    total load by the slack factor, so first-fit always succeeds.
+    """
+    check_positive(slack, "slack")
+    loads = strategy.load_array()
+    per_node = max(float(loads.max()), slack * float(loads.sum()) / network.size)
+    return network.with_capacities(per_node)
+
+
+def _tighten(
+    system: QuorumSystem,
+    strategy: AccessStrategy,
+    network: Network,
+    slack: float,
+) -> PlacementInstance:
+    capped = feasible_uniform_capacity(system, strategy, network, slack=slack)
+    return PlacementInstance(
+        name=f"{system.name}@{network.name}",
+        system=system,
+        strategy=strategy,
+        network=capped,
+    )
+
+
+def small_suite(seed: int = 0, *, slack: float = 1.5) -> list[PlacementInstance]:
+    """Instances small enough for exhaustive optimal search.
+
+    Universe sizes <= 6 and networks <= 7 nodes keep the brute-force
+    solvers within a few hundred thousand states.
+    """
+    rng = np.random.default_rng(seed)
+    check_nonnegative(slack, "slack")
+    instances: list[PlacementInstance] = []
+
+    geo = random_geometric_network(6, 0.6, rng=rng)
+    er = erdos_renyi_network(7, 0.45, rng=rng, length_range=(1.0, 4.0))
+    ring = cycle_network(6)
+
+    for system in (majority(5), threshold(5, 4), grid(2), wheel(4)):
+        strategy = AccessStrategy.uniform(system)
+        for network in (geo, er, ring):
+            instances.append(_tighten(system, strategy, network, slack))
+    return instances
+
+
+def standard_suite(seed: int = 0, *, slack: float = 1.5) -> list[PlacementInstance]:
+    """The default benchmark suite: medium instances (LP-sized, not
+    brute-force-sized) across system and topology families."""
+    rng = np.random.default_rng(seed)
+    instances: list[PlacementInstance] = []
+
+    geo = random_geometric_network(14, 0.45, rng=rng)
+    er = erdos_renyi_network(12, 0.35, rng=rng, length_range=(1.0, 5.0))
+    lattice = grid_network(4, 4)
+    clusters = two_cluster_network(6, bridge_length=8.0)
+
+    systems = [
+        grid(3),
+        majority(7),
+        wheel(6),
+        crumbling_wall([1, 2, 3]),
+    ]
+    for system in systems:
+        strategy = AccessStrategy.uniform(system)
+        for network in (geo, er, lattice, clusters):
+            instances.append(_tighten(system, strategy, network, slack))
+
+    # A second wave broadening family coverage: structured voting systems
+    # on Internet-like and datacenter topologies.
+    from ..network.generators import barabasi_albert_network, fat_tree_network
+    from ..quorums.fpp import projective_plane
+    from ..quorums.paths import paths_system
+
+    ba = barabasi_albert_network(13, 2, rng=rng, length_range=(1.0, 3.0))
+    fat_tree = fat_tree_network(3)
+    for system in (projective_plane(2), paths_system(2)):
+        strategy = AccessStrategy.uniform(system)
+        for network in (ba, fat_tree):
+            instances.append(_tighten(system, strategy, network, slack))
+    return instances

@@ -1,0 +1,25 @@
+"""Generalized Assignment Problem: LP relaxation and Shmoys-Tardos rounding.
+
+This is the workhorse substrate behind both placement algorithms:
+Theorem 3.7 (single-source max-delay) rounds its filtered LP through GAP,
+and Theorem 5.1 (total delay) *is* a GAP instance.
+"""
+
+from .greedy import GreedyAssignment, solve_gap_greedy
+from .instance import GAPInstance
+from .lp import FractionalAssignment, solve_gap_lp
+from .rounding import RoundedAssignment, round_fractional_assignment
+from .solver import GAPSolution, solve_gap, solve_gap_exact
+
+__all__ = [
+    "FractionalAssignment",
+    "GAPInstance",
+    "GAPSolution",
+    "GreedyAssignment",
+    "RoundedAssignment",
+    "round_fractional_assignment",
+    "solve_gap",
+    "solve_gap_exact",
+    "solve_gap_greedy",
+    "solve_gap_lp",
+]

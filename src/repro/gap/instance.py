@@ -1,0 +1,175 @@
+"""Generalized Assignment Problem instances.
+
+Definition 3.10 of the paper: jobs ``U`` and machines ``V``; assigning
+job ``j`` to machine ``i`` costs ``c_ij`` and adds load ``p_ij`` to the
+machine, whose total load must stay within ``T_i``.  The objective is a
+minimum-cost assignment of every job.
+
+Both placement algorithms in the paper reduce to GAP:
+
+* §3.3 rounds the filtered single-source LP through GAP with machine
+  capacities ``alpha * cap(v)``;
+* §5 phrases the total-delay problem *directly* as GAP.
+
+Forbidden job/machine pairs (``load(u) > cap(v)`` in the placement
+setting) are modeled with infinite cost and load.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import require
+from ..exceptions import ValidationError
+
+__all__ = ["GAPInstance"]
+
+Label = Hashable
+
+
+@dataclass(frozen=True)
+class GAPInstance:
+    """An immutable GAP instance.
+
+    Attributes
+    ----------
+    jobs, machines:
+        Ordered labels; matrix rows are machines, columns are jobs.
+    costs:
+        ``costs[i, j]`` = cost of putting job ``j`` on machine ``i``;
+        ``inf`` marks a forbidden pair.
+    loads:
+        ``loads[i, j]`` = load job ``j`` imposes on machine ``i``; must be
+        ``inf`` exactly where costs are ``inf``.
+    capacities:
+        ``capacities[i]`` = load bound ``T_i`` of machine ``i``.
+    """
+
+    jobs: tuple[Label, ...]
+    machines: tuple[Label, ...]
+    costs: np.ndarray = field(repr=False)
+    loads: np.ndarray = field(repr=False)
+    capacities: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        jobs = tuple(self.jobs)
+        machines = tuple(self.machines)
+        require(len(jobs) > 0, "GAP instance needs at least one job")
+        require(len(machines) > 0, "GAP instance needs at least one machine")
+        if len(set(jobs)) != len(jobs):
+            raise ValidationError("duplicate job labels")
+        if len(set(machines)) != len(machines):
+            raise ValidationError("duplicate machine labels")
+        costs = np.asarray(self.costs, dtype=float)
+        loads = np.asarray(self.loads, dtype=float)
+        capacities = np.asarray(self.capacities, dtype=float)
+        shape = (len(machines), len(jobs))
+        if costs.shape != shape or loads.shape != shape:
+            raise ValidationError(
+                f"costs and loads must have shape {shape}, got "
+                f"{costs.shape} and {loads.shape}"
+            )
+        if capacities.shape != (len(machines),):
+            raise ValidationError(
+                f"capacities must have shape ({len(machines)},), got {capacities.shape}"
+            )
+        if np.any(np.isnan(costs)) or np.any(np.isnan(loads)) or np.any(np.isnan(capacities)):
+            raise ValidationError("NaN entries are not allowed")
+        finite_costs = np.isfinite(costs)
+        finite_loads = np.isfinite(loads)
+        if not np.array_equal(finite_costs, finite_loads):
+            raise ValidationError(
+                "forbidden pairs must have BOTH cost and load infinite"
+            )
+        if np.any(costs[finite_costs] < 0) or np.any(loads[finite_loads] < 0):
+            raise ValidationError("finite costs and loads must be non-negative")
+        if np.any(capacities < 0) or np.any(np.isinf(capacities) & (capacities < 0)):
+            raise ValidationError("capacities must be non-negative")
+        costs.setflags(write=False)
+        loads.setflags(write=False)
+        capacities.setflags(write=False)
+        object.__setattr__(self, "jobs", jobs)
+        object.__setattr__(self, "machines", machines)
+        object.__setattr__(self, "costs", costs)
+        object.__setattr__(self, "loads", loads)
+        object.__setattr__(self, "capacities", capacities)
+
+    # -- constructors --------------------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls,
+        jobs: Sequence[Label],
+        machines: Sequence[Label],
+        cost: dict[tuple[Label, Label], float],
+        load: dict[tuple[Label, Label], float],
+        capacity: dict[Label, float],
+    ) -> "GAPInstance":
+        """Build an instance from sparse dictionaries keyed ``(machine, job)``.
+
+        Pairs absent from *cost* are forbidden.
+        """
+        machine_list = tuple(machines)
+        job_list = tuple(jobs)
+        costs = np.full((len(machine_list), len(job_list)), math.inf)
+        loads = np.full((len(machine_list), len(job_list)), math.inf)
+        for (machine, job), value in cost.items():
+            i = machine_list.index(machine)
+            j = job_list.index(job)
+            costs[i, j] = value
+            if (machine, job) not in load:
+                raise ValidationError(f"cost given for {(machine, job)!r} but no load")
+            loads[i, j] = load[(machine, job)]
+        capacities = np.array([capacity[m] for m in machine_list], dtype=float)
+        return cls(job_list, machine_list, costs, loads, capacities)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    def allowed(self, machine_index: int, job_index: int) -> bool:
+        return bool(np.isfinite(self.costs[machine_index, job_index]))
+
+    def allowed_machines(self, job_index: int) -> list[int]:
+        return [i for i in range(self.num_machines) if self.allowed(i, job_index)]
+
+    def max_load_on_machine(self, machine_index: int) -> float:
+        """``p_i^max``: the largest finite load any job can impose on the
+        machine (0 when no job is allowed there).  This is the slack term
+        in the Shmoys-Tardos guarantee ``T_i + p_i^max``."""
+        row = self.loads[machine_index]
+        finite = row[np.isfinite(row)]
+        return float(finite.max()) if finite.size else 0.0
+
+    def assignment_cost(self, assignment: dict[Label, Label]) -> float:
+        """Total cost of a complete assignment ``{job: machine}``."""
+        total = 0.0
+        for j, job in enumerate(self.jobs):
+            if job not in assignment:
+                raise ValidationError(f"assignment is missing job {job!r}")
+            machine = assignment[job]
+            i = self.machines.index(machine)
+            value = self.costs[i, j]
+            if not np.isfinite(value):
+                raise ValidationError(f"assignment uses forbidden pair ({machine!r}, {job!r})")
+            total += float(value)
+        return total
+
+    def machine_loads(self, assignment: dict[Label, Label]) -> dict[Label, float]:
+        """Per-machine total load of a complete assignment."""
+        totals = {machine: 0.0 for machine in self.machines}
+        for j, job in enumerate(self.jobs):
+            machine = assignment[job]
+            i = self.machines.index(machine)
+            totals[machine] += float(self.loads[i, j])
+        return totals

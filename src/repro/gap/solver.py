@@ -1,0 +1,143 @@
+"""End-to-end GAP solving: LP relaxation + Shmoys-Tardos rounding.
+
+Also provides an exhaustive exact solver for small instances, used by the
+test suite and benchmarks to measure true approximation quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from .._validation import check_integer_in_range
+from ..exceptions import InfeasibleError, ValidationError
+from .instance import GAPInstance, Label
+from .lp import FractionalAssignment, solve_gap_lp
+from .rounding import RoundedAssignment, round_fractional_assignment
+
+__all__ = ["GAPSolution", "solve_gap", "solve_gap_exact"]
+
+_MAX_EXACT_STATES = 5_000_000
+
+
+@dataclass(frozen=True)
+class GAPSolution:
+    """Result of :func:`solve_gap`.
+
+    The Theorem 3.11 guarantees, restated on the result:
+
+    * ``cost <= lp_cost`` (and ``lp_cost`` lower-bounds every integral
+      solution respecting the capacities exactly);
+    * load on machine ``i`` at most ``capacities[i] + p_i^max``.
+    """
+
+    assignment: dict[Label, Label]
+    cost: float
+    lp_cost: float
+    machine_loads: dict[Label, float]
+    fractional: FractionalAssignment
+
+    def load_violation_factors(self, instance: GAPInstance) -> dict[Label, float]:
+        """Per-machine ``realized load / T_i`` (0 when ``T_i`` is 0 and
+        the machine is empty; infinite when loaded beyond a zero bound)."""
+        factors: dict[Label, float] = {}
+        for i, machine in enumerate(instance.machines):
+            bound = float(instance.capacities[i])
+            load = self.machine_loads[machine]
+            if bound > 0:
+                factors[machine] = load / bound
+            else:
+                factors[machine] = 0.0 if load == 0 else float("inf")
+        return factors
+
+
+def solve_gap(instance: GAPInstance, *, method: str = "highs-ds") -> GAPSolution:
+    """Solve *instance* approximately: LP + rounding.
+
+    Raises :class:`InfeasibleError` when even the relaxation is
+    infeasible (a job fits nowhere, or fractional capacity is exceeded).
+    """
+    fractional = solve_gap_lp(instance, method=method)
+    rounded: RoundedAssignment = round_fractional_assignment(fractional)
+    return GAPSolution(
+        assignment=rounded.assignment,
+        cost=rounded.cost,
+        lp_cost=fractional.cost,
+        machine_loads=rounded.machine_loads,
+        fractional=fractional,
+    )
+
+
+def solve_gap_exact(instance: GAPInstance) -> GAPSolution:
+    """Exhaustive optimal GAP solution (capacities respected exactly).
+
+    Enumerates all machine choices per job with early pruning; intended
+    for instances with at most a few million candidate states (roughly
+    ``machines ** jobs``).  Raises :class:`InfeasibleError` when no
+    capacity-respecting assignment exists.
+    """
+    num_jobs = instance.num_jobs
+    allowed = [
+        [
+            i
+            for i in instance.allowed_machines(j)
+            if instance.loads[i, j] <= instance.capacities[i]
+        ]
+        for j in range(num_jobs)
+    ]
+    states = 1
+    for options in allowed:
+        if not options:
+            raise InfeasibleError("a job fits on no machine")
+        states *= len(options)
+        if states > _MAX_EXACT_STATES:
+            raise ValidationError(
+                f"exact GAP search would enumerate over {_MAX_EXACT_STATES} states"
+            )
+
+    best_cost = np.inf
+    best_choice: tuple[int, ...] | None = None
+    capacities = instance.capacities
+
+    def recurse(job: int, choice: list[int], loads: np.ndarray, cost: float) -> None:
+        nonlocal best_cost, best_choice
+        if cost >= best_cost:
+            return
+        if job == num_jobs:
+            best_cost = cost
+            best_choice = tuple(choice)
+            return
+        for machine in allowed[job]:
+            extra = float(instance.loads[machine, job])
+            if loads[machine] + extra > capacities[machine] + 1e-12:
+                continue
+            loads[machine] += extra
+            choice.append(machine)
+            recurse(job + 1, choice, loads, cost + float(instance.costs[machine, job]))
+            choice.pop()
+            loads[machine] -= extra
+
+    recurse(0, [], np.zeros(instance.num_machines), 0.0)
+    if best_choice is None:
+        raise InfeasibleError("no capacity-respecting assignment exists")
+
+    assignment = {
+        instance.jobs[j]: instance.machines[best_choice[j]] for j in range(num_jobs)
+    }
+    machine_loads = instance.machine_loads(assignment)
+    # Exact solutions are their own certificate: report cost as lp_cost too.
+    fractions = np.zeros((instance.num_machines, instance.num_jobs))
+    for j, machine_index in enumerate(best_choice):
+        fractions[machine_index, j] = 1.0
+    fractional = FractionalAssignment(
+        instance=instance, fractions=fractions, cost=float(best_cost)
+    )
+    return GAPSolution(
+        assignment=assignment,
+        cost=float(best_cost),
+        lp_cost=float(best_cost),
+        machine_loads=machine_loads,
+        fractional=fractional,
+    )

@@ -1,0 +1,209 @@
+"""JSON serialization for the library's value types.
+
+Operational users need to persist and exchange networks, quorum systems,
+strategies and placements (e.g. ship a placement from a planning job to a
+deployment job).  This module provides deterministic, dependency-free
+JSON round-trips:
+
+* :func:`network_to_dict` / :func:`network_from_dict`
+* :func:`system_to_dict` / :func:`system_from_dict`
+* :func:`strategy_to_dict` / :func:`strategy_from_dict`
+* :func:`placement_to_dict` / :func:`placement_from_dict`
+* :func:`save_json` / :func:`load_json` — thin file helpers.
+
+Labels (universe elements, node names) may be strings, ints, floats,
+bools, or (nested) tuples of those — tuples are encoded as
+``{"t": [...]}`` objects since JSON has no tuple type.  Other label types
+are rejected eagerly with a clear error.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from .core.placement import Placement
+from .exceptions import ValidationError
+from .network.graph import Network
+from .quorums.base import QuorumSystem
+from .quorums.strategy import AccessStrategy
+
+__all__ = [
+    "encode_label",
+    "decode_label",
+    "network_to_dict",
+    "network_from_dict",
+    "system_to_dict",
+    "system_from_dict",
+    "strategy_to_dict",
+    "strategy_from_dict",
+    "placement_to_dict",
+    "placement_from_dict",
+    "save_json",
+    "load_json",
+]
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def encode_label(label: Any) -> Any:
+    """Encode a node/element label into a JSON-compatible value.
+
+    >>> encode_label(("a", 1))
+    {'t': ['a', 1]}
+    >>> decode_label({'t': ['a', 1]})
+    ('a', 1)
+    """
+    if isinstance(label, tuple):
+        return {"t": [encode_label(item) for item in label]}
+    if isinstance(label, _SCALAR_TYPES):
+        return label
+    raise ValidationError(
+        f"label {label!r} of type {type(label).__name__} is not serializable; "
+        "use strings, numbers, bools, or tuples of those"
+    )
+
+
+def decode_label(value: Any) -> Any:
+    """Inverse of :func:`encode_label`."""
+    if isinstance(value, dict):
+        if set(value) != {"t"}:
+            raise ValidationError(f"malformed encoded label {value!r}")
+        return tuple(decode_label(item) for item in value["t"])
+    if isinstance(value, _SCALAR_TYPES) or value is None:
+        return value
+    raise ValidationError(f"malformed encoded label {value!r}")
+
+
+# -- Network -----------------------------------------------------------------------
+
+
+def network_to_dict(network: Network) -> dict:
+    """Serialize a network (nodes, edges, capacities, name)."""
+    capacities = {}
+    finite = {}
+    for node in network.nodes:
+        value = network.capacity(node)
+        finite[node] = None if math.isinf(value) else value
+    return {
+        "kind": "network",
+        "name": network.name,
+        "nodes": [encode_label(v) for v in network.nodes],
+        "edges": [
+            [encode_label(u), encode_label(v), length]
+            for u, v, length in network.edges()
+        ],
+        "capacities": [finite[v] for v in network.nodes],
+    }
+
+
+def network_from_dict(data: dict) -> Network:
+    """Deserialize a network produced by :func:`network_to_dict`."""
+    if data.get("kind") != "network":
+        raise ValidationError("not a serialized network")
+    nodes = [decode_label(v) for v in data["nodes"]]
+    edges = [
+        (decode_label(u), decode_label(v), float(length))
+        for u, v, length in data["edges"]
+    ]
+    raw_capacities = data["capacities"]
+    if len(raw_capacities) != len(nodes):
+        raise ValidationError("capacities length does not match nodes")
+    capacities = {
+        node: (math.inf if value is None else float(value))
+        for node, value in zip(nodes, raw_capacities)
+    }
+    return Network(nodes, edges, capacities=capacities, name=data.get("name", "network"))
+
+
+# -- QuorumSystem -------------------------------------------------------------------
+
+
+def system_to_dict(system: QuorumSystem) -> dict:
+    """Serialize a quorum system (universe + quorums, sorted for
+    determinism)."""
+    index = {u: i for i, u in enumerate(system.universe)}
+    return {
+        "kind": "quorum_system",
+        "name": system.name,
+        "universe": [encode_label(u) for u in system.universe],
+        "quorums": [
+            sorted(index[u] for u in quorum) for quorum in system.quorums
+        ],
+    }
+
+
+def system_from_dict(data: dict) -> QuorumSystem:
+    """Deserialize a quorum system; re-verifies the intersection property."""
+    if data.get("kind") != "quorum_system":
+        raise ValidationError("not a serialized quorum system")
+    universe = [decode_label(u) for u in data["universe"]]
+    quorums = [
+        frozenset(universe[i] for i in quorum) for quorum in data["quorums"]
+    ]
+    return QuorumSystem(
+        quorums, universe=universe, name=data.get("name", "quorum system"), check=True
+    )
+
+
+# -- AccessStrategy -------------------------------------------------------------------
+
+
+def strategy_to_dict(strategy: AccessStrategy) -> dict:
+    """Serialize a strategy together with its system."""
+    return {
+        "kind": "access_strategy",
+        "system": system_to_dict(strategy.system),
+        "probabilities": [float(p) for p in strategy.probabilities],
+    }
+
+
+def strategy_from_dict(data: dict) -> AccessStrategy:
+    """Deserialize a strategy produced by :func:`strategy_to_dict`."""
+    if data.get("kind") != "access_strategy":
+        raise ValidationError("not a serialized access strategy")
+    system = system_from_dict(data["system"])
+    return AccessStrategy(system, data["probabilities"])
+
+
+# -- Placement ----------------------------------------------------------------------
+
+
+def placement_to_dict(placement: Placement) -> dict:
+    """Serialize a placement with its system and network context."""
+    return {
+        "kind": "placement",
+        "system": system_to_dict(placement.system),
+        "network": network_to_dict(placement.network),
+        "mapping": [
+            [encode_label(element), encode_label(node)]
+            for element, node in placement.as_dict().items()
+        ],
+    }
+
+
+def placement_from_dict(data: dict) -> Placement:
+    """Deserialize a placement produced by :func:`placement_to_dict`."""
+    if data.get("kind") != "placement":
+        raise ValidationError("not a serialized placement")
+    system = system_from_dict(data["system"])
+    network = network_from_dict(data["network"])
+    mapping = {
+        decode_label(element): decode_label(node) for element, node in data["mapping"]
+    }
+    return Placement(system, network, mapping)
+
+
+# -- files -------------------------------------------------------------------------
+
+
+def save_json(obj: dict, path: str | Path) -> None:
+    """Write a serialized object as pretty JSON."""
+    Path(path).write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path: str | Path) -> dict:
+    """Read a JSON file produced by :func:`save_json`."""
+    return json.loads(Path(path).read_text())

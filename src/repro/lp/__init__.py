@@ -1,0 +1,16 @@
+"""Declarative linear-programming layer over scipy's HiGHS solver.
+
+Public surface:
+
+* :class:`~repro.lp.model.Model` — build LPs with variables, expressions
+  and constraints.
+* :class:`~repro.lp.model.Variable`, :class:`~repro.lp.model.LinExpr`,
+  :class:`~repro.lp.model.Constraint` — the modeling primitives.
+* :func:`~repro.lp.solve.solve_model` / :class:`~repro.lp.solve.Solution`
+  — solving and reading back results.
+"""
+
+from .model import Constraint, LinExpr, Model, Variable
+from .solve import Solution, solve_model
+
+__all__ = ["Constraint", "LinExpr", "Model", "Variable", "Solution", "solve_model"]

@@ -1,0 +1,308 @@
+"""A small declarative linear-programming modeling layer.
+
+The paper's algorithms repeatedly need linear programs: the single-source
+quorum placement LP (9)-(14), the GAP relaxation (15)-(18), and the
+Naor-Wool load-optimal access strategy LP.  scipy's
+:func:`scipy.optimize.linprog` wants raw matrices, which makes those
+formulations error-prone to write directly.  This module provides the thin
+modeling language the rest of the package builds on:
+
+>>> from repro.lp import Model
+>>> m = Model(name="example")
+>>> x = m.variable("x", lb=0)
+>>> y = m.variable("y", lb=0)
+>>> _ = m.add_constraint(x + 2 * y >= 4, name="demand")
+>>> m.minimize(3 * x + y)
+>>> solution = m.solve()
+>>> round(solution.objective, 6)
+2.0
+>>> round(solution.value(y), 6)
+2.0
+
+The layer is deliberately small: continuous variables, linear expressions,
+``<=``/``>=``/``==`` constraints, and a single linear objective.  It
+compiles to sparse matrices so the quorum-placement LPs (which have tens of
+thousands of prefix constraints) stay cheap to build and solve.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Union
+
+from .._validation import require
+from ..exceptions import ValidationError
+
+__all__ = ["Variable", "LinExpr", "Constraint", "Model"]
+
+Number = Union[int, float]
+
+
+class LinExpr:
+    """An immutable-ish linear expression ``sum(coef_i * var_i) + constant``.
+
+    Expressions support ``+``, ``-``, scalar ``*`` and ``/``, and comparison
+    operators that build :class:`Constraint` objects.  Variables are referred
+    to by their integer index within a model; mixing variables from different
+    models is detected when the constraint or objective is added.
+    """
+
+    __slots__ = ("coefficients", "constant")
+
+    def __init__(
+        self, coefficients: Mapping[int, float] | None = None, constant: float = 0.0
+    ) -> None:
+        self.coefficients: dict[int, float] = dict(coefficients or {})
+        self.constant = float(constant)
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def from_terms(terms: Iterable[tuple["Variable", Number]], constant: float = 0.0) -> "LinExpr":
+        """Build an expression from ``(variable, coefficient)`` pairs."""
+        coefficients: dict[int, float] = {}
+        for var, coef in terms:
+            coefficients[var.index] = coefficients.get(var.index, 0.0) + float(coef)
+        return LinExpr(coefficients, constant)
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.coefficients, self.constant)
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def _add_inplace(self, other: "LinExpr | Variable | Number", sign: float) -> "LinExpr":
+        result = self.copy()
+        if isinstance(other, LinExpr):
+            for index, coef in other.coefficients.items():
+                result.coefficients[index] = result.coefficients.get(index, 0.0) + sign * coef
+            result.constant += sign * other.constant
+        elif isinstance(other, Variable):
+            result.coefficients[other.index] = result.coefficients.get(other.index, 0.0) + sign
+        elif isinstance(other, (int, float)):
+            result.constant += sign * other
+        else:
+            return NotImplemented
+        return result
+
+    def __add__(self, other: "LinExpr | Variable | Number") -> "LinExpr":
+        return self._add_inplace(other, 1.0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "LinExpr | Variable | Number") -> "LinExpr":
+        return self._add_inplace(other, -1.0)
+
+    def __rsub__(self, other: "LinExpr | Variable | Number") -> "LinExpr":
+        return (-self)._add_inplace(other, 1.0)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({i: -c for i, c in self.coefficients.items()}, -self.constant)
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            return NotImplemented
+        return LinExpr(
+            {i: c * scalar for i, c in self.coefficients.items()}, self.constant * scalar
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            return NotImplemented
+        if scalar == 0:
+            raise ZeroDivisionError("division of linear expression by zero")
+        return self * (1.0 / scalar)
+
+    # -- comparisons build constraints ------------------------------------------
+
+    def __le__(self, other: "LinExpr | Variable | Number") -> "Constraint":
+        return Constraint(self - other, "<=")
+
+    def __ge__(self, other: "LinExpr | Variable | Number") -> "Constraint":
+        return Constraint(self - other, ">=")
+
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        if isinstance(other, (LinExpr, Variable, int, float)):
+            return Constraint(self - other, "==")
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # expressions are mutable accumulators
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coefficients.items()))
+        return f"LinExpr({terms or '0'} + {self.constant:g})"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A continuous decision variable belonging to a :class:`Model`.
+
+    Instances are created via :meth:`Model.variable`; the dataclass is
+    frozen so variables can be used as dictionary keys.
+    """
+
+    index: int
+    name: str
+
+    def to_expr(self) -> LinExpr:
+        return LinExpr({self.index: 1.0})
+
+    # Delegate arithmetic to LinExpr so `2 * x + y <= 3` works naturally.
+    def __add__(self, other):
+        return self.to_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.to_expr() - other
+
+    def __rsub__(self, other):
+        return -self.to_expr() + other
+
+    def __neg__(self):
+        return -self.to_expr()
+
+    def __mul__(self, scalar):
+        return self.to_expr() * scalar
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar):
+        return self.to_expr() / scalar
+
+    def __le__(self, other):
+        return self.to_expr() <= other
+
+    def __ge__(self, other):
+        return self.to_expr() >= other
+
+    # NOTE: == on variables intentionally retains identity semantics from the
+    # frozen dataclass so variables behave well in dicts and sets.  Build
+    # equality constraints from expressions, e.g. ``x + 0 == 1`` or
+    # ``x.to_expr() == 1``, or use Model.add_constraint(expr == rhs).
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0`` in normalized form."""
+
+    expr: LinExpr
+    sense: str
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        require(self.sense in ("<=", ">=", "=="), f"invalid constraint sense {self.sense!r}")
+
+
+@dataclass
+class _VariableRecord:
+    name: str
+    lb: float
+    ub: float
+
+
+@dataclass
+class Model:
+    """A linear program under construction.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable model name used in error messages.
+    """
+
+    name: str = "model"
+    _variables: list[_VariableRecord] = field(default_factory=list)
+    _constraints: list[Constraint] = field(default_factory=list)
+    _objective: LinExpr | None = None
+    _sense: str = "min"
+
+    # -- building ---------------------------------------------------------------
+
+    def variable(
+        self, name: str = "", *, lb: float = 0.0, ub: float = math.inf
+    ) -> Variable:
+        """Add a continuous variable with bounds ``lb <= x <= ub``.
+
+        The default bounds (``0 <= x``) match the non-negativity convention
+        of every LP in the paper.
+        """
+        if lb > ub:
+            raise ValidationError(
+                f"variable {name!r}: lower bound {lb} exceeds upper bound {ub}"
+            )
+        index = len(self._variables)
+        record = _VariableRecord(name or f"x{index}", float(lb), float(ub))
+        self._variables.append(record)
+        return Variable(index, record.name)
+
+    def variables(self, count: int, prefix: str = "x", **bounds) -> list[Variable]:
+        """Add *count* variables named ``{prefix}0 .. {prefix}{count-1}``."""
+        return [self.variable(f"{prefix}{i}", **bounds) for i in range(count)]
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built via expression comparison operators."""
+        if not isinstance(constraint, Constraint):
+            raise ValidationError(
+                "add_constraint expects a Constraint (built from a comparison "
+                f"such as `expr <= 1`), got {constraint!r}"
+            )
+        self._check_indices(constraint.expr)
+        if name:
+            constraint.name = name
+        self._constraints.append(constraint)
+        return constraint
+
+    def minimize(self, objective: LinExpr | Variable) -> None:
+        """Set a minimization objective."""
+        self._set_objective(objective, "min")
+
+    def maximize(self, objective: LinExpr | Variable) -> None:
+        """Set a maximization objective."""
+        self._set_objective(objective, "max")
+
+    def _set_objective(self, objective: LinExpr | Variable, sense: str) -> None:
+        expr = objective.to_expr() if isinstance(objective, Variable) else objective
+        if not isinstance(expr, LinExpr):
+            raise ValidationError(f"objective must be a linear expression, got {objective!r}")
+        self._check_indices(expr)
+        self._objective = expr
+        self._sense = sense
+
+    def _check_indices(self, expr: LinExpr) -> None:
+        n = len(self._variables)
+        for index in expr.coefficients:
+            if not 0 <= index < n:
+                raise ValidationError(
+                    f"expression references variable index {index}, but model "
+                    f"{self.name!r} has only {n} variables; variables from a "
+                    "different model were probably mixed in"
+                )
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    def variable_name(self, index: int) -> str:
+        return self._variables[index].name
+
+    def bounds(self) -> list[tuple[float, float]]:
+        """Bounds for every variable, in index order."""
+        return [(record.lb, record.ub) for record in self._variables]
+
+    # -- solving -----------------------------------------------------------------
+
+    def solve(self, method: str = "highs"):
+        """Solve the model; see :func:`repro.lp.solve.solve_model`."""
+        from .solve import solve_model
+
+        return solve_model(self, method=method)

@@ -1,0 +1,49 @@
+"""Physical-network substrate: graphs, metrics, and topology generators."""
+
+from .generators import (
+    balanced_tree_network,
+    barabasi_albert_network,
+    broom_network,
+    caterpillar_network,
+    complete_network,
+    cycle_network,
+    erdos_renyi_network,
+    fat_tree_network,
+    grid_network,
+    path_network,
+    proportional_capacities,
+    random_capacities,
+    random_geometric_network,
+    ring_of_clusters_network,
+    star_network,
+    two_cluster_network,
+    uniform_capacities,
+    waxman_network,
+)
+from .graph import Network, Node
+from .metric import Metric, dijkstra
+
+__all__ = [
+    "Metric",
+    "Network",
+    "Node",
+    "balanced_tree_network",
+    "barabasi_albert_network",
+    "broom_network",
+    "caterpillar_network",
+    "complete_network",
+    "cycle_network",
+    "dijkstra",
+    "erdos_renyi_network",
+    "fat_tree_network",
+    "grid_network",
+    "path_network",
+    "proportional_capacities",
+    "random_capacities",
+    "random_geometric_network",
+    "ring_of_clusters_network",
+    "star_network",
+    "two_cluster_network",
+    "uniform_capacities",
+    "waxman_network",
+]

@@ -1,0 +1,404 @@
+"""Topology generators.
+
+Structured topologies (paths, cycles, stars, trees, grids), random models
+commonly used for wide-area networks (Erdos-Renyi, random geometric,
+Waxman), and the special instance families the paper's appendix uses
+(the "broom" of Figure 1, caterpillars, the general-metric gap star).
+
+Every generator returns a :class:`repro.network.graph.Network` with unit
+capacities unless stated otherwise; capacity *policies* for experiments
+live at the bottom of this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from .._validation import check_integer_in_range, check_positive, check_probability
+from ..exceptions import ValidationError
+from .graph import Network, Node
+
+__all__ = [
+    "path_network",
+    "cycle_network",
+    "star_network",
+    "complete_network",
+    "grid_network",
+    "balanced_tree_network",
+    "erdos_renyi_network",
+    "random_geometric_network",
+    "waxman_network",
+    "barabasi_albert_network",
+    "fat_tree_network",
+    "ring_of_clusters_network",
+    "broom_network",
+    "caterpillar_network",
+    "two_cluster_network",
+    "uniform_capacities",
+    "proportional_capacities",
+    "random_capacities",
+]
+
+
+def path_network(n: int, *, length: float = 1.0) -> Network:
+    """A path ``v0 - v1 - ... - v_{n-1}`` with uniform edge lengths.
+
+    The NP-hardness reduction of Theorem 3.6 embeds scheduling instances
+    on exactly this topology.
+    """
+    check_integer_in_range(n, "n", low=1)
+    check_positive(length, "length")
+    edges = [(i, i + 1, length) for i in range(n - 1)]
+    return Network(range(n), edges, name=f"path({n})")
+
+
+def cycle_network(n: int, *, length: float = 1.0) -> Network:
+    """A cycle on ``n >= 3`` nodes with uniform edge lengths."""
+    check_integer_in_range(n, "n", low=3)
+    check_positive(length, "length")
+    edges = [(i, (i + 1) % n, length) for i in range(n)]
+    return Network(range(n), edges, name=f"cycle({n})")
+
+
+def star_network(n: int, *, length: float = 1.0) -> Network:
+    """A star: node 0 is the hub, nodes ``1..n-1`` are leaves."""
+    check_integer_in_range(n, "n", low=1)
+    check_positive(length, "length")
+    edges = [(0, i, length) for i in range(1, n)]
+    return Network(range(n), edges, name=f"star({n})")
+
+
+def complete_network(n: int, *, length: float = 1.0) -> Network:
+    """The complete graph (uniform metric) on ``n`` nodes."""
+    check_integer_in_range(n, "n", low=1)
+    check_positive(length, "length")
+    edges = [(i, j, length) for i in range(n) for j in range(i + 1, n)]
+    return Network(range(n), edges, name=f"complete({n})")
+
+
+def grid_network(rows: int, columns: int, *, length: float = 1.0) -> Network:
+    """A 2-D lattice with 4-neighbor connectivity; nodes are ``(r, c)``."""
+    check_integer_in_range(rows, "rows", low=1)
+    check_integer_in_range(columns, "columns", low=1)
+    check_positive(length, "length")
+    nodes = [(r, c) for r in range(rows) for c in range(columns)]
+    edges = []
+    for r, c in nodes:
+        if r + 1 < rows:
+            edges.append(((r, c), (r + 1, c), length))
+        if c + 1 < columns:
+            edges.append(((r, c), (r, c + 1), length))
+    return Network(nodes, edges, name=f"lattice({rows}x{columns})")
+
+
+def balanced_tree_network(branching: int, height: int, *, length: float = 1.0) -> Network:
+    """A complete ``branching``-ary tree of the given height (heap labels)."""
+    check_integer_in_range(branching, "branching", low=1)
+    check_integer_in_range(height, "height", low=0)
+    check_positive(length, "length")
+    count = sum(branching**level for level in range(height + 1))
+    edges = []
+    for node in range(1, count):
+        parent = (node - 1) // branching
+        edges.append((parent, node, length))
+    return Network(range(count), edges, name=f"tree(b={branching},h={height})")
+
+
+def _connect_if_needed(
+    n: int, edges: list[tuple[int, int, float]], rng: np.random.Generator, length: float
+) -> list[tuple[int, int, float]]:
+    """Add minimum random edges to make the node set connected."""
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v, _ in edges:
+        parent[find(u)] = find(v)
+    roots = sorted({find(i) for i in range(n)})
+    extra = list(edges)
+    while len(roots) > 1:
+        a_root, b_root = roots[0], roots[1]
+        members_a = [i for i in range(n) if find(i) == a_root]
+        members_b = [i for i in range(n) if find(i) == b_root]
+        u = int(rng.choice(members_a))
+        v = int(rng.choice(members_b))
+        extra.append((u, v, length))
+        parent[find(u)] = find(v)
+        roots = sorted({find(i) for i in range(n)})
+    return extra
+
+
+def erdos_renyi_network(
+    n: int,
+    p: float,
+    *,
+    rng: np.random.Generator,
+    length_range: tuple[float, float] = (1.0, 1.0),
+) -> Network:
+    """A connected Erdos-Renyi ``G(n, p)`` graph with random edge lengths.
+
+    Edges not sampled by the model are added minimally (random
+    spanning connections) so the result is always connected — the paper
+    assumes finite distances between all pairs.
+    """
+    check_integer_in_range(n, "n", low=1)
+    check_probability(p, "p")
+    low, high = length_range
+    check_positive(low, "length_range[0]")
+    if high < low:
+        raise ValidationError("length_range must satisfy low <= high")
+
+    def draw_length() -> float:
+        return float(rng.uniform(low, high)) if high > low else low
+
+    edges = [
+        (i, j, draw_length())
+        for i, j in itertools.combinations(range(n), 2)
+        if rng.random() < p
+    ]
+    edges = _connect_if_needed(n, edges, rng, draw_length())
+    return Network(range(n), edges, name=f"er({n},{p:g})")
+
+
+def random_geometric_network(
+    n: int,
+    radius: float,
+    *,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+) -> Network:
+    """Random geometric graph on the unit square; edge length = Euclidean
+    distance times *scale*, connecting points within *radius*.
+
+    This is the stand-in for "nodes spread over a wide-area network":
+    lengths are real latencies in arbitrary units and honor the triangle
+    inequality by construction.
+    """
+    check_integer_in_range(n, "n", low=1)
+    check_positive(radius, "radius")
+    check_positive(scale, "scale")
+    points = rng.random((n, 2))
+    edges: list[tuple[int, int, float]] = []
+    for i, j in itertools.combinations(range(n), 2):
+        distance = float(np.linalg.norm(points[i] - points[j]))
+        if distance <= radius:
+            edges.append((i, j, max(distance, 1e-9) * scale))
+    fallback = max(radius, 0.05) * scale
+    edges = _connect_if_needed(n, edges, rng, fallback)
+    return Network(range(n), edges, name=f"geometric({n},r={radius:g})")
+
+
+def waxman_network(
+    n: int,
+    *,
+    rng: np.random.Generator,
+    alpha: float = 0.4,
+    beta: float = 0.4,
+    scale: float = 1.0,
+) -> Network:
+    """Waxman's classic random-internet model.
+
+    Points are uniform on the unit square; an edge ``(i, j)`` appears with
+    probability ``alpha * exp(-d_ij / (beta * L))`` where ``L`` is the
+    maximum inter-point distance, with edge length equal to the Euclidean
+    distance.  Connectivity is patched in like the other random models.
+    """
+    check_integer_in_range(n, "n", low=1)
+    check_probability(alpha, "alpha")
+    check_positive(beta, "beta")
+    check_positive(scale, "scale")
+    points = rng.random((n, 2))
+    pairwise = [
+        (i, j, float(np.linalg.norm(points[i] - points[j])))
+        for i, j in itertools.combinations(range(n), 2)
+    ]
+    max_distance = max((d for _, _, d in pairwise), default=1.0) or 1.0
+    edges = [
+        (i, j, max(d, 1e-9) * scale)
+        for i, j, d in pairwise
+        if rng.random() < alpha * math.exp(-d / (beta * max_distance))
+    ]
+    edges = _connect_if_needed(n, edges, rng, 0.5 * max_distance * scale)
+    return Network(range(n), edges, name=f"waxman({n})")
+
+
+def barabasi_albert_network(
+    n: int,
+    attachments: int,
+    *,
+    rng: np.random.Generator,
+    length_range: tuple[float, float] = (1.0, 1.0),
+) -> Network:
+    """Barabasi-Albert preferential attachment (Internet-like degrees).
+
+    Each arriving node attaches to *attachments* existing nodes chosen
+    with probability proportional to their current degree.  Always
+    connected by construction.
+    """
+    check_integer_in_range(n, "n", low=2)
+    check_integer_in_range(attachments, "attachments", low=1, high=n - 1)
+    low, high = length_range
+    check_positive(low, "length_range[0]")
+    if high < low:
+        raise ValidationError("length_range must satisfy low <= high")
+
+    def draw_length() -> float:
+        return float(rng.uniform(low, high)) if high > low else low
+
+    edges: list[tuple[int, int, float]] = []
+    # Degree-weighted sampling via the repeated-endpoints trick.
+    endpoints: list[int] = []
+    start = attachments + 1
+    for i in range(start):
+        for j in range(i + 1, start):
+            edges.append((i, j, draw_length()))
+            endpoints.extend((i, j))
+    for node in range(start, n):
+        targets: set[int] = set()
+        while len(targets) < attachments:
+            targets.add(int(endpoints[int(rng.integers(len(endpoints)))]))
+        for target in targets:
+            edges.append((node, target, draw_length()))
+            endpoints.extend((node, target))
+    return Network(range(n), edges, name=f"ba({n},m={attachments})")
+
+
+def fat_tree_network(pods: int, *, core_length: float = 4.0, pod_length: float = 1.0) -> Network:
+    """A simplified datacenter fat tree: one core switch, *pods* pod
+    switches, and ``pods`` hosts per pod.
+
+    Host-to-host latency is 2 hops inside a pod and 2 pod links + 2 core
+    links across pods — the canonical hierarchy placements must respect.
+    """
+    check_integer_in_range(pods, "pods", low=1)
+    check_positive(core_length, "core_length")
+    check_positive(pod_length, "pod_length")
+    nodes: list[Node] = ["core"]
+    edges: list[tuple[Node, Node, float]] = []
+    for pod in range(pods):
+        switch = ("pod", pod)
+        nodes.append(switch)
+        edges.append(("core", switch, core_length))
+        for host in range(pods):
+            leaf = ("host", pod, host)
+            nodes.append(leaf)
+            edges.append((switch, leaf, pod_length))
+    return Network(nodes, edges, name=f"fat_tree({pods})")
+
+
+def ring_of_clusters_network(
+    clusters: int,
+    cluster_size: int,
+    *,
+    local_length: float = 1.0,
+    ring_length: float = 10.0,
+) -> Network:
+    """Complete clusters whose gateways form a ring (regional WAN motif)."""
+    check_integer_in_range(clusters, "clusters", low=3)
+    check_integer_in_range(cluster_size, "cluster_size", low=1)
+    check_positive(local_length, "local_length")
+    check_positive(ring_length, "ring_length")
+    nodes: list[Node] = []
+    edges: list[tuple[Node, Node, float]] = []
+    for c in range(clusters):
+        members = [(c, i) for i in range(cluster_size)]
+        nodes.extend(members)
+        for i in range(cluster_size):
+            for j in range(i + 1, cluster_size):
+                edges.append((members[i], members[j], local_length))
+    for c in range(clusters):
+        edges.append(((c, 0), ((c + 1) % clusters, 0), ring_length))
+    return Network(
+        nodes, edges, name=f"ring_of_clusters({clusters}x{cluster_size})"
+    )
+
+
+def broom_network(k: int) -> Network:
+    """The Figure 1 instance: ``k^2`` nodes showing the sqrt(n) LP gap.
+
+    Node 0 is ``v0``.  A unit-length path ``v0 - p1 - ... - pk`` supplies
+    one node at each distance ``1..k``, and ``k^2 - k - 1`` extra leaves
+    hang off ``v0`` at distance 1.  The resulting distance multiset from
+    ``v0`` is ``{0} + {1 x (k^2 - k)} + {2, 3, .., k}``, exactly as in
+    Appendix A.
+    """
+    check_integer_in_range(k, "k", low=2)
+    n = k * k
+    # Nodes: 0 = v0; 1..k = path nodes p1..pk; k+1..n-1 = star leaves.
+    edges: list[tuple[int, int, float]] = [(i, i + 1, 1.0) for i in range(k)]
+    edges.extend((0, leaf, 1.0) for leaf in range(k + 1, n))
+    return Network(range(n), edges, name=f"broom(k={k})")
+
+
+def caterpillar_network(spine: int, legs_per_node: int, *, length: float = 1.0) -> Network:
+    """A caterpillar: a path spine with *legs_per_node* leaves per spine node."""
+    check_integer_in_range(spine, "spine", low=1)
+    check_integer_in_range(legs_per_node, "legs_per_node", low=0)
+    check_positive(length, "length")
+    nodes: list[Node] = [("s", i) for i in range(spine)]
+    edges = [(("s", i), ("s", i + 1), length) for i in range(spine - 1)]
+    for i in range(spine):
+        for leg in range(legs_per_node):
+            leaf = ("l", i, leg)
+            nodes.append(leaf)
+            edges.append((("s", i), leaf, length))
+    return Network(nodes, edges, name=f"caterpillar({spine},{legs_per_node})")
+
+
+def two_cluster_network(
+    cluster_size: int, *, local_length: float = 1.0, bridge_length: float = 10.0
+) -> Network:
+    """Two dense clusters joined by one long bridge.
+
+    The canonical wide-area motif (two datacenters): placements that
+    straddle the bridge pay its latency on every max-delay access, so
+    this topology separates clustering-aware placements from naive ones.
+    """
+    check_integer_in_range(cluster_size, "cluster_size", low=1)
+    check_positive(local_length, "local_length")
+    check_positive(bridge_length, "bridge_length")
+    nodes = [("a", i) for i in range(cluster_size)] + [("b", i) for i in range(cluster_size)]
+    edges: list[tuple[Node, Node, float]] = []
+    for side in ("a", "b"):
+        for i in range(cluster_size):
+            for j in range(i + 1, cluster_size):
+                edges.append(((side, i), (side, j), local_length))
+    edges.append((("a", 0), ("b", 0), bridge_length))
+    return Network(nodes, edges, name=f"two_cluster({cluster_size})")
+
+
+# -- capacity policies ---------------------------------------------------------------
+
+
+def uniform_capacities(network: Network, value: float) -> Network:
+    """Give every node capacity *value*."""
+    return network.with_capacities(float(value))
+
+
+def proportional_capacities(network: Network, total: float) -> Network:
+    """Split *total* capacity evenly across nodes (models a fixed fleet
+    budget spread over the deployment)."""
+    check_positive(total, "total")
+    return network.with_capacities(total / network.size)
+
+
+def random_capacities(
+    network: Network,
+    *,
+    rng: np.random.Generator,
+    low: float,
+    high: float,
+) -> Network:
+    """Independent uniform capacities in ``[low, high]`` (heterogeneous
+    fleets: the paper's PDA-next-to-server scenario)."""
+    if low < 0 or high < low:
+        raise ValidationError("need 0 <= low <= high for random capacities")
+    values = {node: float(rng.uniform(low, high)) for node in network.nodes}
+    return network.with_capacities(values)

@@ -1,0 +1,255 @@
+"""The physical network model.
+
+The paper's setting is an undirected network ``G = (V, E)`` with positive
+edge lengths (inducing the shortest-path metric ``d``) and a capacity
+``cap(v)`` bounding the quorum load each physical node can host.  The set
+of clients issuing quorum accesses is ``V`` itself.
+
+:class:`Network` is an immutable value type wrapping that data.  Distance
+computation lives in :mod:`repro.network.metric`; random and structured
+topologies in :mod:`repro.network.generators`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Callable, Union
+
+from .._validation import check_positive, require
+from ..exceptions import ValidationError
+
+__all__ = ["Network", "Node"]
+
+Node = Hashable
+EdgeSpec = Union[tuple, "tuple[Node, Node]", "tuple[Node, Node, float]"]
+
+
+class Network:
+    """An undirected, connected, capacitated network with edge lengths.
+
+    Parameters
+    ----------
+    nodes:
+        The node set; order is preserved and used as the canonical index
+        order everywhere (distance matrices, LP variables).
+    edges:
+        Iterables ``(u, v)`` or ``(u, v, length)``; lengths default to 1
+        and must be positive.  Parallel edges keep the shortest length;
+        self-loops are rejected.
+    capacities:
+        Mapping from node to a non-negative capacity ``cap(v)``, or a
+        single float applied to every node.  Defaults to infinity (the
+        uncapacitated problem).
+    name:
+        Label used in reports.
+
+    Examples
+    --------
+    >>> net = Network(["a", "b", "c"], [("a", "b", 2.0), ("b", "c")], capacities=1.0)
+    >>> net.size
+    3
+    >>> net.edge_length("a", "b")
+    2.0
+    >>> net.capacity("c")
+    1.0
+    """
+
+    __slots__ = ("_nodes", "_index", "_adjacency", "_capacities", "name", "_metric")
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        edges: Iterable[EdgeSpec],
+        *,
+        capacities: Mapping[Node, float] | float | None = None,
+        name: str = "network",
+    ) -> None:
+        node_list = list(nodes)
+        require(len(node_list) > 0, "a network must have at least one node")
+        if len(set(node_list)) != len(node_list):
+            raise ValidationError("duplicate nodes are not allowed")
+        self._nodes: tuple[Node, ...] = tuple(node_list)
+        self._index: dict[Node, int] = {v: i for i, v in enumerate(self._nodes)}
+
+        adjacency: dict[Node, dict[Node, float]] = {v: {} for v in self._nodes}
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                length = 1.0
+            elif len(edge) == 3:
+                u, v, length = edge
+                length = check_positive(length, f"length of edge ({u!r}, {v!r})")
+            else:
+                raise ValidationError(f"edge must be (u, v) or (u, v, length), got {edge!r}")
+            if u not in self._index or v not in self._index:
+                raise ValidationError(f"edge ({u!r}, {v!r}) references unknown node")
+            if u == v:
+                raise ValidationError(f"self-loop at node {u!r} is not allowed")
+            current = adjacency[u].get(v, math.inf)
+            if length < current:
+                adjacency[u][v] = length
+                adjacency[v][u] = length
+        self._adjacency = adjacency
+
+        if capacities is None:
+            self._capacities = {v: math.inf for v in self._nodes}
+        elif isinstance(capacities, (int, float)):
+            value = float(capacities)
+            require(value >= 0, "capacity must be non-negative")
+            self._capacities = {v: value for v in self._nodes}
+        else:
+            caps: dict[Node, float] = {}
+            for node in self._nodes:
+                if node not in capacities:
+                    raise ValidationError(f"no capacity given for node {node!r}")
+                value = float(capacities[node])
+                if value < 0 or math.isnan(value):
+                    raise ValidationError(
+                        f"capacity of node {node!r} must be non-negative, got {value!r}"
+                    )
+                caps[node] = value
+            self._capacities = caps
+
+        self.name = name
+        self._metric = None  # lazily built Metric
+
+    # -- basic accessors --------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        return self._nodes
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def node_index(self, node: Node) -> int:
+        try:
+            return self._index[node]
+        except KeyError:
+            raise ValidationError(f"{node!r} is not a node of {self.name!r}") from None
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._index
+
+    def neighbors(self, node: Node) -> tuple[Node, ...]:
+        self.node_index(node)
+        return tuple(self._adjacency[node])
+
+    def edges(self) -> list[tuple[Node, Node, float]]:
+        """All edges as ``(u, v, length)`` with each edge listed once."""
+        result = []
+        for u in self._nodes:
+            for v, length in self._adjacency[u].items():
+                if self._index[u] < self._index[v]:
+                    result.append((u, v, length))
+        return result
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(adj) for adj in self._adjacency.values()) // 2
+
+    def edge_length(self, u: Node, v: Node) -> float:
+        self.node_index(u)
+        self.node_index(v)
+        try:
+            return self._adjacency[u][v]
+        except KeyError:
+            raise ValidationError(f"no edge between {u!r} and {v!r}") from None
+
+    def capacity(self, node: Node) -> float:
+        self.node_index(node)
+        return self._capacities[node]
+
+    def capacities(self) -> dict[Node, float]:
+        return dict(self._capacities)
+
+    def total_capacity(self) -> float:
+        return sum(self._capacities.values())
+
+    # -- metric ------------------------------------------------------------------------
+
+    def metric(self):
+        """The shortest-path metric, computed once and cached.
+
+        Returns a :class:`repro.network.metric.Metric`; raises
+        :class:`ValidationError` if the network is disconnected (the
+        paper assumes finite distances between all client/node pairs).
+        """
+        if self._metric is None:
+            from .metric import Metric
+
+            self._metric = Metric.from_network(self)
+        return self._metric
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Shortest-path distance ``d(u, v)``."""
+        return self.metric().distance(u, v)
+
+    def is_connected(self) -> bool:
+        visited = {self._nodes[0]}
+        stack = [self._nodes[0]]
+        while stack:
+            node = stack.pop()
+            for neighbor in self._adjacency[node]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    stack.append(neighbor)
+        return len(visited) == self.size
+
+    # -- derivation ---------------------------------------------------------------------
+
+    def with_capacities(
+        self, capacities: Mapping[Node, float] | float | Callable[[Node], float]
+    ) -> "Network":
+        """A copy of this network with new capacities.
+
+        *capacities* may be a mapping, a uniform float, or a callable
+        evaluated per node.
+        """
+        if callable(capacities) and not isinstance(capacities, (int, float)):
+            mapping = {v: float(capacities(v)) for v in self._nodes}
+        else:
+            mapping = capacities  # type: ignore[assignment]
+        return Network(self._nodes, self.edges(), capacities=mapping, name=self.name)
+
+    def with_name(self, name: str) -> "Network":
+        return Network(self._nodes, self.edges(), capacities=self._capacities, name=name)
+
+    # -- interop --------------------------------------------------------------------------
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` with ``length`` edge data
+        and ``capacity`` node data (used only in tests for cross-checks)."""
+        import networkx as nx
+
+        graph = nx.Graph(name=self.name)
+        for node in self._nodes:
+            graph.add_node(node, capacity=self._capacities[node])
+        for u, v, length in self.edges():
+            graph.add_edge(u, v, length=length)
+        return graph
+
+    @classmethod
+    def from_networkx(
+        cls, graph, *, length_key: str = "length", capacity_key: str = "capacity"
+    ) -> "Network":
+        """Build a Network from a networkx graph.
+
+        Edge lengths default to 1 when the edge attribute is missing;
+        node capacities default to infinity.
+        """
+        nodes = list(graph.nodes())
+        edges = [
+            (u, v, float(data.get(length_key, 1.0))) for u, v, data in graph.edges(data=True)
+        ]
+        capacities = {
+            node: float(graph.nodes[node].get(capacity_key, math.inf)) for node in nodes
+        }
+        return cls(nodes, edges, capacities=capacities, name=graph.name or "network")
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(name={self.name!r}, nodes={self.size}, edges={self.edge_count})"
+        )

@@ -1,0 +1,83 @@
+"""Quorum systems: the core abstraction plus the classical constructions.
+
+The paper's placement algorithms take a quorum system and an access
+strategy as input; this subpackage provides both.  Exports:
+
+* :class:`QuorumSystem`, :class:`AccessStrategy` — the value types.
+* Constructions — :func:`majority`, :func:`threshold`,
+  :func:`weighted_majority`, :func:`grid`, :func:`rectangular_grid`,
+  :func:`projective_plane` (Maekawa), :func:`tree_quorum_system`,
+  :func:`crumbling_wall`, :func:`cw_log`, :func:`wheel`,
+  :func:`singleton`, :func:`star`, :func:`compose`,
+  :func:`recursive_majority`.
+* Analysis — :func:`optimal_strategy` / :func:`system_load` (Naor-Wool
+  LP), :func:`resilience`, availability estimators, degree statistics.
+"""
+
+from .analysis import (
+    DegreeStatistics,
+    availability_exact,
+    availability_monte_carlo,
+    degree_statistics,
+    is_dominated_by,
+    resilience,
+    strategy_summary,
+)
+from .base import Element, QuorumSystem
+from .bgrid import bgrid
+from .composition import compose, recursive_majority
+from .crumbling_walls import crumbling_wall, cw_log
+from .duality import dual_system, is_non_dominated, is_self_dual, minimal_transversals
+from .fpp import is_prime, projective_plane
+from .grid import grid, grid_element, grid_quorum_index, rectangular_grid
+from .majority import majority, threshold, weighted_majority
+from .paths import paths_system
+from .optimal_strategy import OptimalStrategyResult, optimal_strategy, system_load
+from .readwrite import ReadWriteQuorumSystem, grid_rw, read_one_write_all
+from .singleton import singleton, star
+from .strategy import AccessStrategy
+from .tree import complete_binary_tree_nodes, tree_quorum_system
+from .wheel import wheel
+
+__all__ = [
+    "AccessStrategy",
+    "DegreeStatistics",
+    "Element",
+    "OptimalStrategyResult",
+    "QuorumSystem",
+    "ReadWriteQuorumSystem",
+    "availability_exact",
+    "availability_monte_carlo",
+    "bgrid",
+    "complete_binary_tree_nodes",
+    "compose",
+    "crumbling_wall",
+    "cw_log",
+    "degree_statistics",
+    "dual_system",
+    "grid",
+    "grid_element",
+    "grid_rw",
+    "grid_quorum_index",
+    "is_dominated_by",
+    "is_non_dominated",
+    "is_self_dual",
+    "is_prime",
+    "majority",
+    "minimal_transversals",
+    "optimal_strategy",
+    "projective_plane",
+    "paths_system",
+    "read_one_write_all",
+    "recursive_majority",
+    "rectangular_grid",
+    "resilience",
+    "singleton",
+    "star",
+    "strategy_summary",
+    "system_load",
+    "threshold",
+    "tree_quorum_system",
+    "weighted_majority",
+    "wheel",
+]

@@ -1,0 +1,168 @@
+"""Structural and probabilistic analysis of quorum systems.
+
+Utilities that characterize a quorum system independently of any network:
+resilience (how many element crash failures can always be tolerated),
+availability under independent failures, degree statistics, and strategy
+quality summaries.  These feed the experiment harness, which reports them
+alongside placement quality so that the load/delay trade-off the paper
+discusses is visible in benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from .._validation import check_integer_in_range, check_probability
+from ..exceptions import ValidationError
+from .base import Element, QuorumSystem
+from .strategy import AccessStrategy
+
+__all__ = [
+    "DegreeStatistics",
+    "degree_statistics",
+    "resilience",
+    "availability_monte_carlo",
+    "availability_exact",
+    "is_dominated_by",
+]
+
+_MAX_EXACT_UNIVERSE = 20
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary of how evenly quorum membership spreads over the universe."""
+
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    min_quorum_size: int
+    max_quorum_size: int
+    mean_quorum_size: float
+
+
+def degree_statistics(system: QuorumSystem) -> DegreeStatistics:
+    """Degree and quorum-size statistics for *system*."""
+    degrees = [system.element_degree(u) for u in system.universe]
+    sizes = [len(q) for q in system.quorums]
+    return DegreeStatistics(
+        min_degree=min(degrees),
+        max_degree=max(degrees),
+        mean_degree=float(np.mean(degrees)),
+        min_quorum_size=min(sizes),
+        max_quorum_size=max(sizes),
+        mean_quorum_size=float(np.mean(sizes)),
+    )
+
+
+def resilience(system: QuorumSystem) -> int:
+    """The resilience of *system*: the largest ``f`` such that after any
+    ``f`` element crashes some quorum survives intact.
+
+    Equivalently ``(minimum hitting set of the quorums) - 1``: an
+    adversary kills the system exactly by hitting every quorum.  Computed
+    by exhaustive search over candidate hitting sets in increasing size,
+    so it is exact but limited to universes of at most
+    ``20`` elements.
+    """
+    universe = system.universe
+    if len(universe) > _MAX_EXACT_UNIVERSE:
+        raise ValidationError(
+            f"resilience is computed exactly and supports at most "
+            f"{_MAX_EXACT_UNIVERSE} universe elements (got {len(universe)})"
+        )
+    quorums = system.quorums
+    for size in range(1, len(universe) + 1):
+        for candidate in combinations(universe, size):
+            failed = frozenset(candidate)
+            if all(not failed.isdisjoint(q) for q in quorums):
+                return size - 1
+    # Unreachable: the full universe always hits every (non-empty) quorum.
+    raise AssertionError("no hitting set found; quorum system is malformed")
+
+
+def availability_exact(system: QuorumSystem, failure_probability: float) -> float:
+    """Probability that some quorum is fully alive when each element fails
+    independently with probability *failure_probability*.
+
+    Exhaustive over element subsets — exact, exponential, guarded to
+    universes of at most 20 elements.  Use
+    :func:`availability_monte_carlo` beyond that.
+    """
+    p_fail = check_probability(failure_probability, "failure_probability")
+    universe = list(system.universe)
+    if len(universe) > _MAX_EXACT_UNIVERSE:
+        raise ValidationError(
+            f"availability_exact supports at most {_MAX_EXACT_UNIVERSE} "
+            f"elements (got {len(universe)}); use availability_monte_carlo"
+        )
+    total = 0.0
+    n = len(universe)
+    for mask in range(1 << n):
+        alive = frozenset(universe[i] for i in range(n) if mask >> i & 1)
+        if any(q <= alive for q in system.quorums):
+            k = len(alive)
+            total += (1 - p_fail) ** k * p_fail ** (n - k)
+    return total
+
+
+def availability_monte_carlo(
+    system: QuorumSystem,
+    failure_probability: float,
+    *,
+    samples: int = 10_000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Monte-Carlo estimate of quorum availability.
+
+    Each trial fails every element independently and checks whether a
+    fully-alive quorum remains.  Deterministic given *rng*.
+    """
+    p_fail = check_probability(failure_probability, "failure_probability")
+    check_integer_in_range(samples, "samples", low=1)
+    generator = rng if rng is not None else np.random.default_rng(0)
+    universe = list(system.universe)
+    n = len(universe)
+    quorum_masks = []
+    index = {u: i for i, u in enumerate(universe)}
+    for quorum in system.quorums:
+        mask = 0
+        for element in quorum:
+            mask |= 1 << index[element]
+        quorum_masks.append(mask)
+    successes = 0
+    for _ in range(samples):
+        draws = generator.random(n)
+        alive_mask = 0
+        for i in range(n):
+            if draws[i] >= p_fail:
+                alive_mask |= 1 << i
+        if any(mask & alive_mask == mask for mask in quorum_masks):
+            successes += 1
+    return successes / samples
+
+
+def is_dominated_by(first: QuorumSystem, second: QuorumSystem) -> bool:
+    """True if every quorum of *first* contains some quorum of *second*.
+
+    Domination (Garcia-Molina & Barbara) means *second* is at least as
+    good as *first* for availability and load: any strategy on *first*
+    can be simulated on *second* using subsets.
+    """
+    return all(
+        any(candidate <= quorum for candidate in second.quorums)
+        for quorum in first.quorums
+    )
+
+
+def strategy_summary(strategy: AccessStrategy) -> dict[str, float]:
+    """Headline numbers for a strategy: max/total load, expected size."""
+    return {
+        "max_load": strategy.max_load(),
+        "total_load": strategy.total_load(),
+        "expected_quorum_size": strategy.expected_quorum_size(),
+        "support_size": float(len(strategy.support())),
+    }

@@ -1,0 +1,107 @@
+"""The B-Grid quorum system (Naor & Wool 1998).
+
+Elements are arranged in a rectangular grid of ``d`` columns whose rows
+are split into ``h`` *bands* of ``r`` rows each (``n = d * h * r``).  The
+``r`` elements sharing a band and a column form a *mini-column*.
+
+A quorum is built from two parts:
+
+* one mini-column in **every** band (any column per band), and
+* for one chosen band, one *representative* element out of each of the
+  band's ``d`` mini-columns.
+
+Intersection: let quorums ``A`` and ``B`` choose representative bands
+``i_A`` and ``i_B``.  ``B`` contains a full mini-column in band ``i_A``
+(say in column ``c``), and ``A`` contains one representative from every
+mini-column of band ``i_A`` — in particular from the one in column ``c``
+— so they share that element.
+
+The B-Grid is the classical construction balancing load ``O(1/sqrt(n))``
+with asymptotically optimal availability; it appears here as a third
+structured family (alongside Grid and Majority) for the placement
+benchmarks.  Enumeration is ``h * d**h * r**d`` quorums, so only small
+parameters are practical; the constructor *verifies* the intersection
+property rather than assuming this module's reasoning.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from .._validation import check_integer_in_range
+from ..exceptions import ValidationError
+from .base import QuorumSystem
+
+__all__ = ["bgrid"]
+
+_MAX_ENUMERATED_QUORUMS = 100_000
+
+
+def bgrid(columns: int, bands: int, band_rows: int) -> QuorumSystem:
+    """The B-Grid over ``columns * bands * band_rows`` elements.
+
+    Parameters
+    ----------
+    columns:
+        Number of grid columns ``d``.
+    bands:
+        Number of bands ``h``.
+    band_rows:
+        Rows per band ``r`` (the mini-column height).
+
+    Universe elements are triples ``(band, row_in_band, column)``.
+
+    Raises
+    ------
+    ValidationError
+        If the quorum enumeration would exceed the library guard.
+    """
+    check_integer_in_range(columns, "columns", low=1)
+    check_integer_in_range(bands, "bands", low=1)
+    check_integer_in_range(band_rows, "band_rows", low=1)
+
+    count = bands * columns**bands * band_rows**columns
+    if count > _MAX_ENUMERATED_QUORUMS:
+        raise ValidationError(
+            f"bgrid({columns},{bands},{band_rows}) would enumerate {count} "
+            "quorums; choose smaller parameters"
+        )
+
+    def mini_column(band: int, column: int) -> frozenset:
+        return frozenset(
+            (band, row, column) for row in range(band_rows)
+        )
+
+    universe = [
+        (band, row, column)
+        for band in range(bands)
+        for row in range(band_rows)
+        for column in range(columns)
+    ]
+
+    quorums: list[frozenset] = []
+    seen: set[frozenset] = set()
+    for representative_band in range(bands):
+        # One mini-column per band: a column choice for each band.
+        for column_choices in product(range(columns), repeat=bands):
+            cover = frozenset().union(
+                *(mini_column(band, column) for band, column in enumerate(column_choices))
+            )
+            # One representative per mini-column of the chosen band.
+            for rows in product(range(band_rows), repeat=columns):
+                representatives = frozenset(
+                    (representative_band, rows[column], column)
+                    for column in range(columns)
+                )
+                quorum = cover | representatives
+                if quorum not in seen:
+                    seen.add(quorum)
+                    quorums.append(quorum)
+
+    # check=True: certify the intersection argument at construction time.
+    return QuorumSystem(
+        quorums,
+        universe=universe,
+        name=f"bgrid({columns},{bands},{band_rows})",
+        check=True,
+    )

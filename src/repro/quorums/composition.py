@@ -1,0 +1,110 @@
+"""Composition (recursive construction) of quorum systems.
+
+Given an *outer* quorum system over ``k`` logical slots and, for each
+slot, an *inner* quorum system, the composition replaces each slot with
+its inner universe: a composed quorum picks an outer quorum and, for each
+slot in it, an inner quorum of that slot.
+
+Intersection is inherited: two composed quorums use outer quorums that
+share a slot ``s``, and within slot ``s`` both contain an inner quorum of
+the same inner system, which intersect.
+
+The classical *recursive majority* (majority-of-majorities) arises by
+composing :func:`repro.quorums.majority.majority` with itself; it is a
+standard way to build systems with very high availability, and its
+multi-level structure gives the placement algorithms hierarchically
+clustered loads to work with.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from .._validation import check_integer_in_range
+from ..exceptions import ValidationError
+from .base import Element, QuorumSystem
+from .majority import majority
+
+__all__ = ["compose", "recursive_majority"]
+
+_MAX_COMPOSED_QUORUMS = 500_000
+
+
+def compose(
+    outer: QuorumSystem,
+    inner: dict[Element, QuorumSystem],
+    *,
+    name: str | None = None,
+) -> QuorumSystem:
+    """Compose *outer* with per-slot *inner* systems.
+
+    Parameters
+    ----------
+    outer:
+        System whose universe elements act as slots.
+    inner:
+        One inner system per outer universe element.  Inner universes are
+        namespaced as ``(slot, inner_element)`` so they never collide.
+
+    Returns
+    -------
+    QuorumSystem
+        The composed system over ``{(slot, e) : e in inner[slot].universe}``.
+    """
+    missing = [slot for slot in outer.universe if slot not in inner]
+    if missing:
+        raise ValidationError(f"no inner system supplied for slots {missing!r}")
+
+    total = 0
+    for outer_quorum in outer.quorums:
+        count = 1
+        for slot in outer_quorum:
+            count *= len(inner[slot])
+        total += count
+        if total > _MAX_COMPOSED_QUORUMS:
+            raise ValidationError(
+                "composition would enumerate more than "
+                f"{_MAX_COMPOSED_QUORUMS} quorums; reduce the components"
+            )
+
+    universe = [
+        (slot, element) for slot in outer.universe for element in inner[slot].universe
+    ]
+    quorums: list[frozenset] = []
+    seen: set[frozenset] = set()
+    for outer_quorum in outer.quorums:
+        slots = sorted(outer_quorum, key=lambda s: (type(s).__name__, repr(s)))
+        for choice in product(*(inner[slot].quorums for slot in slots)):
+            members: set[tuple[Element, Element]] = set()
+            for slot, inner_quorum in zip(slots, choice):
+                members.update((slot, element) for element in inner_quorum)
+            quorum = frozenset(members)
+            if quorum not in seen:
+                seen.add(quorum)
+                quorums.append(quorum)
+    return QuorumSystem(
+        quorums,
+        universe=universe,
+        name=name or f"compose({outer.name})",
+        check=False,
+    )
+
+
+def recursive_majority(branching: int, depth: int) -> QuorumSystem:
+    """Majority-of-majorities with the given branching factor and depth.
+
+    ``depth == 1`` is the plain ``majority(branching)``; each extra level
+    replaces every element with an independent ``branching``-way majority.
+    The universe has ``branching ** depth`` elements.
+    """
+    check_integer_in_range(branching, "branching", low=2)
+    check_integer_in_range(depth, "depth", low=1)
+    system = majority(branching)
+    for _ in range(depth - 1):
+        inner = {slot: majority(branching) for slot in system.universe}
+        system = compose(system, inner)
+    flattened = system.relabel(
+        {u: index for index, u in enumerate(system.universe)},
+        name=f"recursive_majority({branching},{depth})",
+    )
+    return flattened

@@ -1,0 +1,88 @@
+"""Crumbling-wall quorum systems (Peleg & Wool 1997).
+
+A *wall* arranges the universe in ``d`` rows of widths ``n_1, .., n_d``.
+A quorum takes one *full* row ``i`` plus one single element from every row
+below it (``j > i``).  Intersection: take quorums with full rows
+``i1 <= i2``; the first quorum picks an element in every row below
+``i1``, in particular in row ``i2`` — which the second quorum contains
+entirely.
+
+Peleg and Wool showed walls with suitably growing row widths (e.g. the
+CWlog wall) achieve both small quorums and low load; the placement
+benchmarks use them as an asymmetric contrast to the Grid's regularity.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from .._validation import check_integer_in_range
+from ..exceptions import ValidationError
+from .base import QuorumSystem
+
+__all__ = ["crumbling_wall", "cw_log"]
+
+#: Quorum count is sum_i prod_{j>i} n_j; refuse walls past this budget.
+_MAX_ENUMERATED_QUORUMS = 500_000
+
+
+def crumbling_wall(row_widths: list[int]) -> QuorumSystem:
+    """The wall with the given row widths (top row first).
+
+    Universe elements are pairs ``(row, position)``.  A quorum is a full
+    row plus one representative from each lower row; the bottom row's
+    quorums are just the row itself.
+
+    Examples
+    --------
+    >>> wall = crumbling_wall([1, 2])
+    >>> sorted(sorted(q) for q in wall.quorums)
+    [[(0, 0), (1, 0)], [(0, 0), (1, 1)], [(1, 0), (1, 1)]]
+    """
+    if not row_widths:
+        raise ValidationError("crumbling_wall requires at least one row")
+    for index, width in enumerate(row_widths):
+        check_integer_in_range(width, f"row_widths[{index}]", low=1)
+
+    rows = [
+        [(i, position) for position in range(width)]
+        for i, width in enumerate(row_widths)
+    ]
+    total = 0
+    for i in range(len(rows)):
+        count = 1
+        for j in range(i + 1, len(rows)):
+            count *= len(rows[j])
+        total += count
+    if total > _MAX_ENUMERATED_QUORUMS:
+        raise ValidationError(
+            f"crumbling_wall would enumerate {total} quorums; reduce the wall"
+        )
+
+    quorums: list[frozenset] = []
+    seen: set[frozenset] = set()
+    for i, row in enumerate(rows):
+        lower_choices = product(*rows[i + 1 :]) if i + 1 < len(rows) else [()]
+        for representatives in lower_choices:
+            quorum = frozenset(row) | frozenset(representatives)
+            if quorum not in seen:
+                seen.add(quorum)
+                quorums.append(quorum)
+    universe = [cell for row in rows for cell in row]
+    return QuorumSystem(
+        quorums,
+        universe=universe,
+        name=f"wall({','.join(map(str, row_widths))})",
+        check=False,
+    )
+
+
+def cw_log(rows: int) -> QuorumSystem:
+    """The CWlog-style wall: row ``i`` (0-based) has width ``i + 1``.
+
+    A small concrete member of the Peleg-Wool family whose quorum sizes
+    grow slowly while the top rows stay narrow and hot, giving a sharply
+    skewed load profile.
+    """
+    check_integer_in_range(rows, "rows", low=1)
+    return crumbling_wall([i + 1 for i in range(rows)])

@@ -1,0 +1,101 @@
+"""Coterie duality and non-domination (Garcia-Molina & Barbara 1985).
+
+The *transversal family* ``T(Q)`` of a quorum system ``Q`` is the set of
+minimal sets hitting every quorum.  It drives the classical structure
+theory of coteries:
+
+* ``T(T(Q))`` equals the reduced (antichain) form of ``Q``;
+* ``T(Q)`` pairwise intersects — i.e. is itself a quorum system — only
+  for *non-dominated* coteries; e.g. the (dominated) 3-of-4 majority has
+  ``T = all 2-subsets``, which contains disjoint pairs;
+* a coterie is **non-dominated** exactly when it equals its own
+  transversal family (``is_self_dual``): no other coterie is uniformly
+  better for availability.
+
+Read quorums and write quorums of replicated-data protocols are
+transversal pairs, which is why this module sits next to
+:mod:`repro.quorums.readwrite`.
+
+Computation enumerates minimal hitting sets (exponential); the guard
+admits universes up to 15 elements.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..exceptions import IntersectionError, ValidationError
+from .base import QuorumSystem
+
+__all__ = [
+    "minimal_transversals",
+    "dual_system",
+    "is_self_dual",
+    "is_non_dominated",
+]
+
+_MAX_DUAL_UNIVERSE = 15
+
+
+def minimal_transversals(system: QuorumSystem) -> list[frozenset]:
+    """All minimal sets hitting every quorum of *system*.
+
+    Enumerates subsets in increasing size, keeping a hit set only when
+    no smaller transversal is contained in it.
+    """
+    universe = system.universe
+    if len(universe) > _MAX_DUAL_UNIVERSE:
+        raise ValidationError(
+            f"minimal_transversals supports universes of at most "
+            f"{_MAX_DUAL_UNIVERSE} elements (got {len(universe)})"
+        )
+    quorums = system.quorums
+    found: list[frozenset] = []
+    for size in range(1, len(universe) + 1):
+        for candidate in combinations(universe, size):
+            candidate_set = frozenset(candidate)
+            if any(existing <= candidate_set for existing in found):
+                continue
+            if all(not candidate_set.isdisjoint(q) for q in quorums):
+                found.append(candidate_set)
+    return found
+
+
+def dual_system(system: QuorumSystem) -> QuorumSystem:
+    """The transversal family as a quorum system.
+
+    Raises
+    ------
+    IntersectionError
+        When the transversal family is *not* pairwise intersecting —
+        which happens exactly when it cannot serve as a quorum system
+        (the original coterie is dominated "badly enough"; see module
+        docs).  Use :func:`minimal_transversals` directly when you only
+        need the family.
+    """
+    transversals = minimal_transversals(system)
+    return QuorumSystem(
+        transversals,
+        universe=system.universe,
+        name=f"dual({system.name})",
+        check=True,
+    )
+
+
+def is_self_dual(system: QuorumSystem) -> bool:
+    """Whether the *reduced* system equals its own transversal family."""
+    reduced = system.reduced()
+    return set(minimal_transversals(reduced)) == set(reduced.quorums)
+
+
+def is_non_dominated(system: QuorumSystem) -> bool:
+    """The Garcia-Molina & Barbara non-domination test.
+
+    A coterie ``C`` is dominated when some other coterie ``D`` is
+    uniformly at least as good (every ``D``-quorum inside some
+    ``C``-quorum... formally: ``D != C`` and every ``C``-quorum contains
+    a ``D``-quorum).  Non-dominated coteries are optimal for
+    availability, and they are exactly the self-dual ones — which is how
+    this predicate is computed.
+    """
+    return is_self_dual(system)

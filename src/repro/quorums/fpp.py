@@ -1,0 +1,100 @@
+"""Finite-projective-plane quorum systems (Maekawa 1985).
+
+Maekawa observed that the lines of a finite projective plane of order
+``q`` form a quorum system with optimal load: there are
+``n = q^2 + q + 1`` points and equally many lines, every line has
+``q + 1 ~ sqrt(n)`` points, any two lines meet in exactly one point, and
+under the uniform strategy each point carries load
+``(q + 1)/(q^2 + q + 1) = O(1/sqrt(n))`` — matching the Naor-Wool lower
+bound.
+
+The construction here works for any *prime* order ``q`` (prime powers
+would need finite-field arithmetic beyond Z_q): points and lines are the
+one- and two-dimensional subspaces of ``GF(q)^3``, represented by
+normalized homogeneous coordinate triples, with incidence given by a zero
+dot product mod ``q``.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_integer_in_range
+from ..exceptions import ValidationError
+from .base import QuorumSystem
+
+__all__ = ["projective_plane", "is_prime"]
+
+
+def is_prime(q: int) -> bool:
+    """Trial-division primality test (adequate for plane orders)."""
+    if q < 2:
+        return False
+    if q < 4:
+        return True
+    if q % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= q:
+        if q % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def _normalized_triples(q: int) -> list[tuple[int, int, int]]:
+    """Canonical representatives of the projective points of PG(2, q).
+
+    A projective point is a nonzero triple up to scalar multiples; the
+    canonical representative has its first nonzero coordinate equal to 1.
+    There are exactly ``q^2 + q + 1`` of them: ``(1, y, z)``, ``(0, 1, z)``
+    and ``(0, 0, 1)``.
+    """
+    triples: list[tuple[int, int, int]] = []
+    triples.extend((1, y, z) for y in range(q) for z in range(q))
+    triples.extend((0, 1, z) for z in range(q))
+    triples.append((0, 0, 1))
+    return triples
+
+
+def projective_plane(q: int) -> QuorumSystem:
+    """The quorum system of lines of the projective plane ``PG(2, q)``.
+
+    Parameters
+    ----------
+    q:
+        The plane order; must be a prime (2, 3, 5, 7, ...).  The resulting
+        system has universe size and quorum count ``q^2 + q + 1`` and
+        quorum size ``q + 1``.
+
+    Raises
+    ------
+    ValidationError
+        If ``q`` is not prime.
+    """
+    check_integer_in_range(q, "q", low=2)
+    if not is_prime(q):
+        raise ValidationError(
+            f"projective_plane requires a prime order, got {q}; "
+            "prime powers would require general finite-field arithmetic"
+        )
+    points = _normalized_triples(q)
+    point_index = {p: i for i, p in enumerate(points)}
+    # Lines are also indexed by normalized triples (duality of PG(2, q)):
+    # line L contains point P iff <L, P> = 0 (mod q).
+    quorums = []
+    for line in points:
+        members = [
+            point_index[p]
+            for p in points
+            if (line[0] * p[0] + line[1] * p[1] + line[2] * p[2]) % q == 0
+        ]
+        quorums.append(frozenset(members))
+    expected_size = q + 1
+    for quorum in quorums:
+        if len(quorum) != expected_size:
+            raise AssertionError(
+                f"internal error: line of PG(2,{q}) has {len(quorum)} points, "
+                f"expected {expected_size}"
+            )
+    return QuorumSystem(
+        quorums, universe=range(len(points)), name=f"fpp({q})", check=False
+    )

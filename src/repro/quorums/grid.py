@@ -1,0 +1,72 @@
+"""The Grid quorum system (Cheung, Ammar & Ahamad 1992; Kumar et al. 1993).
+
+The ``k x k`` Grid arranges ``k^2`` elements in a square matrix; the
+quorum ``Q_{ij}`` is the union of row ``i`` and column ``j``.  There are
+``k^2`` quorums of ``2k - 1`` elements each, and any two quorums intersect
+because the row of one always meets the column of the other.  Under the
+uniform access strategy — which is load-optimal for the Grid (Naor & Wool
+1998) — each element lies in ``2k - 1`` quorums and carries load
+``(2k - 1) / k^2 = O(1/k)``.
+
+Section 4.1 of the paper gives an *optimal* single-source placement for
+this system (see :mod:`repro.core.grid_layout`); elements here are the
+coordinate pairs ``(row, column)`` so that layout code can address the
+logical matrix directly.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_integer_in_range
+from .base import QuorumSystem
+
+__all__ = ["grid", "rectangular_grid", "grid_element", "grid_quorum_index"]
+
+
+def grid_element(row: int, column: int) -> tuple[int, int]:
+    """The universe element at matrix position ``(row, column)`` (0-based)."""
+    return (row, column)
+
+
+def grid_quorum_index(k: int, row: int, column: int) -> int:
+    """Index of quorum ``Q_{row,column}`` in ``grid(k).quorums`` order."""
+    check_integer_in_range(row, "row", low=0, high=k - 1)
+    check_integer_in_range(column, "column", low=0, high=k - 1)
+    return row * k + column
+
+
+def grid(k: int) -> QuorumSystem:
+    """The square ``k x k`` Grid quorum system.
+
+    Universe elements are pairs ``(row, column)`` with ``0 <= row,
+    column < k``.  Quorums are emitted in row-major order of ``(i, j)``:
+    ``quorums[i * k + j]`` is row ``i`` union column ``j``.
+    """
+    return rectangular_grid(k, k)
+
+
+def rectangular_grid(rows: int, columns: int) -> QuorumSystem:
+    """The general ``rows x columns`` grid.
+
+    The quorum for ``(i, j)`` is row ``i`` union column ``j``; two quorums
+    ``(i, j)`` and ``(i', j')`` intersect at matrix cell ``(i, j')``.  The
+    square case is the classical Grid; rectangular shapes trade quorum
+    size (``rows + columns - 1``) against load.
+    """
+    check_integer_in_range(rows, "rows", low=1)
+    check_integer_in_range(columns, "columns", low=1)
+    universe = [(i, j) for i in range(rows) for j in range(columns)]
+    quorums: list[frozenset] = []
+    seen: set[frozenset] = set()
+    for i in range(rows):
+        row_cells = [(i, c) for c in range(columns)]
+        for j in range(columns):
+            column_cells = [(r, j) for r in range(rows)]
+            quorum = frozenset(row_cells) | frozenset(column_cells)
+            # Degenerate single-row/column grids repeat the same quorum;
+            # keep the family duplicate-free (quorum indices for k >= 2
+            # square grids are unaffected).
+            if quorum not in seen:
+                seen.add(quorum)
+                quorums.append(quorum)
+    name = f"grid({rows})" if rows == columns else f"grid({rows}x{columns})"
+    return QuorumSystem(quorums, universe=universe, name=name, check=False)

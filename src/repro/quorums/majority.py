@@ -1,0 +1,114 @@
+"""Majority and threshold quorum systems.
+
+The Majority system (Thomas 1979; Gifford 1979) takes all subsets of size
+``ceil((n+1)/2)`` of an ``n``-element universe.  Section 4.2 of the paper
+studies the natural generalization with a size parameter ``t``: the
+quorums are *all* subsets of size ``t``, which pairwise intersect exactly
+when ``2t > n``.  Under the uniform strategy every element has load
+``t/n`` and, remarkably, *every* placement of this system has the same
+average delay — equation (19), implemented in
+:mod:`repro.core.majority_layout`.
+
+This module also provides Gifford's weighted voting, where elements carry
+vote weights and quorums are the minimal sets holding a strict majority of
+votes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+from .._validation import check_integer_in_range, check_positive
+from ..exceptions import ValidationError
+from .base import QuorumSystem
+
+__all__ = ["majority", "threshold", "weighted_majority"]
+
+#: Enumerating all t-subsets is exponential; refuse absurd enumerations.
+_MAX_ENUMERATED_QUORUMS = 2_000_000
+
+
+def threshold(n: int, t: int) -> QuorumSystem:
+    """The t-threshold system: all ``t``-subsets of ``{0, .., n-1}``.
+
+    Requires ``2t > n`` so that any two quorums intersect (two disjoint
+    ``t``-sets would need ``2t <= n`` elements).  ``threshold(n, t)`` has
+    ``C(n, t)`` quorums; under the uniform strategy each element belongs
+    to ``C(n-1, t-1)`` of them, giving the well-known load ``t/n``.
+
+    Examples
+    --------
+    >>> qs = threshold(3, 2)
+    >>> sorted(sorted(q) for q in qs.quorums)
+    [[0, 1], [0, 2], [1, 2]]
+    """
+    check_integer_in_range(n, "n", low=1)
+    check_integer_in_range(t, "t", low=1, high=n)
+    if 2 * t <= n:
+        raise ValidationError(
+            f"threshold system needs 2t > n for intersection; got n={n}, t={t}"
+        )
+    if comb(n, t) > _MAX_ENUMERATED_QUORUMS:
+        raise ValidationError(
+            f"threshold({n}, {t}) would enumerate {comb(n, t)} quorums; "
+            "this exceeds the library's enumeration guard"
+        )
+    quorums = [frozenset(c) for c in combinations(range(n), t)]
+    return QuorumSystem(
+        quorums, universe=range(n), name=f"threshold({n},{t})", check=False
+    )
+
+
+def majority(n: int) -> QuorumSystem:
+    """The simple Majority system: all subsets of size ``floor(n/2) + 1``.
+
+    This is ``threshold(n, floor(n/2) + 1)``, the smallest valid
+    threshold, matching the classical constructions of Thomas and Gifford.
+    """
+    check_integer_in_range(n, "n", low=1)
+    return threshold(n, n // 2 + 1)
+
+
+def weighted_majority(weights: dict, *, name: str | None = None) -> QuorumSystem:
+    """Gifford's weighted voting as a quorum system.
+
+    Parameters
+    ----------
+    weights:
+        Mapping from element to a positive vote weight.  A quorum is any
+        *minimal* set whose total weight strictly exceeds half the total:
+        two majorities must share an element, since disjoint sets cannot
+        both hold more than half the votes.
+
+    Notes
+    -----
+    Enumeration is exponential in the universe size; the function guards
+    against universes larger than 20 elements.
+    """
+    if not weights:
+        raise ValidationError("weighted_majority requires at least one element")
+    if len(weights) > 20:
+        raise ValidationError(
+            "weighted_majority enumerates subsets and supports at most 20 elements"
+        )
+    for element, weight in weights.items():
+        check_positive(weight, f"weights[{element!r}]")
+    total = sum(weights.values())
+    elements = list(weights)
+
+    winning: list[frozenset] = []
+    for size in range(1, len(elements) + 1):
+        for combo in combinations(elements, size):
+            weight = sum(weights[e] for e in combo)
+            if weight * 2 > total:
+                candidate = frozenset(combo)
+                # Keep only minimal winning coalitions.
+                if not any(existing <= candidate for existing in winning):
+                    winning.append(candidate)
+    return QuorumSystem(
+        winning,
+        universe=elements,
+        name=name or f"weighted_majority({len(elements)})",
+        check=False,
+    )

@@ -1,0 +1,87 @@
+"""The Paths quorum system (Naor & Wool 1998), staircase variant.
+
+Elements are the cells of a ``k x k`` lattice.  A quorum is the union of
+a *left-right* monotone staircase (starts in column 0, ends in column
+``k-1``, moving only right or down) and a *top-bottom* monotone
+staircase (starts in row 0, ends in row ``k-1``, moving only down or
+right).  Any LR staircase and any TB staircase must cross in a cell — a
+monotone curve from the left edge to the right edge separates the top
+edge from the bottom edge — so any two quorums intersect (each contains
+one curve of each kind).
+
+Naor & Wool's full Paths system uses arbitrary crossing paths and is the
+construction achieving optimal load *and* optimal availability
+simultaneously; the monotone restriction here keeps the family
+enumerable (the number of monotone staircases is ``k * C(2(k-1), k-1)``-
+ish) while preserving the intersection structure.  Construction is
+verified with ``check=True``.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_integer_in_range
+from ..exceptions import ValidationError
+from .base import QuorumSystem
+
+__all__ = ["paths_system"]
+
+_MAX_ENUMERATED_QUORUMS = 100_000
+
+
+def _lr_staircases(k: int) -> list[frozenset]:
+    """Monotone left-right paths: start at (r, 0), move right/down,
+    end in column k-1."""
+    results: list[frozenset] = []
+
+    def extend(row: int, column: int, cells: set) -> None:
+        if column == k - 1:
+            results.append(frozenset(cells))
+            # May also continue downward? Ending at first arrival keeps
+            # the family minimal-ish and the count bounded.
+            return
+        # move right
+        extend(row, column + 1, cells | {(row, column + 1)})
+        # move down
+        if row + 1 < k:
+            extend(row + 1, column, cells | {(row + 1, column)})
+
+    for start_row in range(k):
+        extend(start_row, 0, {(start_row, 0)})
+    return list(dict.fromkeys(results))
+
+
+def _tb_staircases(k: int) -> list[frozenset]:
+    """Monotone top-bottom paths: start at (0, c), move down/right,
+    end in row k-1 (the transpose of the LR family)."""
+    return [
+        frozenset((column, row) for row, column in path)
+        for path in _lr_staircases(k)
+    ]
+
+
+def paths_system(k: int) -> QuorumSystem:
+    """The monotone Paths system on the ``k x k`` lattice.
+
+    Quorums are all unions of one LR staircase and one TB staircase.
+    Only small ``k`` are practical (the family is the product of the two
+    staircase families); ``k <= 4`` stays in the thousands.
+    """
+    check_integer_in_range(k, "k", low=1)
+    lr = _lr_staircases(k)
+    tb = _tb_staircases(k)
+    if len(lr) * len(tb) > _MAX_ENUMERATED_QUORUMS:
+        raise ValidationError(
+            f"paths_system({k}) would enumerate {len(lr) * len(tb)} quorums"
+        )
+    quorums: list[frozenset] = []
+    seen: set[frozenset] = set()
+    for horizontal in lr:
+        for vertical in tb:
+            quorum = horizontal | vertical
+            if quorum not in seen:
+                seen.add(quorum)
+                quorums.append(quorum)
+    universe = [(r, c) for r in range(k) for c in range(k)]
+    return QuorumSystem(
+        quorums, universe=universe, name=f"paths({k})", check=True
+    )

@@ -1,0 +1,213 @@
+"""Read/write quorum systems.
+
+Replicated-data protocols (Gifford's weighted voting, ABD atomic
+registers) distinguish *read* quorums from *write* quorums: every read
+quorum must intersect every write quorum (so a read sees the latest
+write), and every pair of write quorums must intersect (so writes are
+totally ordered).  Read quorums need not intersect each other, which is
+exactly what makes reads cheap.
+
+The paper's placement machinery extends naturally: a workload mixes
+reads and writes with some read fraction, inducing per-element loads via
+the mixture of the two access strategies.  Lemma 3.1's proof, however,
+*requires* pairwise intersection of sampled quorums, which fails for a
+pair of reads — so the QPP 5x reduction does **not** carry over, while
+the single-source algorithm (which never uses intersection) does.  See
+:func:`repro.core.rw_placement.solve_rw_ssqpp`.
+
+This module provides the value type and two classical constructions:
+
+* :func:`read_one_write_all` — ROWA: any singleton reads, the full
+  universe writes.
+* :func:`grid_rw` — rows read, row+column writes (the read/write split
+  of the Grid from Cheung et al.).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .._validation import check_integer_in_range, check_probability
+from ..exceptions import IntersectionError, ValidationError
+from .base import Element, QuorumSystem, _verify_intersection
+from .strategy import AccessStrategy
+
+__all__ = ["ReadWriteQuorumSystem", "read_one_write_all", "grid_rw"]
+
+
+class ReadWriteQuorumSystem:
+    """A pair of families (reads, writes) with R-W and W-W intersection.
+
+    Parameters
+    ----------
+    read_quorums, write_quorums:
+        The two families.  Write quorums must pairwise intersect, and
+        every read quorum must intersect every write quorum.  Read
+        quorums are free to be disjoint from each other.
+    name:
+        Label for reports.
+    """
+
+    __slots__ = ("_reads", "_writes", "_universe", "name")
+
+    def __init__(
+        self,
+        read_quorums: Iterable[Iterable[Element]],
+        write_quorums: Iterable[Iterable[Element]],
+        *,
+        name: str = "read/write system",
+    ) -> None:
+        reads = tuple(frozenset(q) for q in read_quorums)
+        writes = tuple(frozenset(q) for q in write_quorums)
+        if not reads or not writes:
+            raise ValidationError("need at least one read and one write quorum")
+        for family, label in ((reads, "read"), (writes, "write")):
+            for quorum in family:
+                if not quorum:
+                    raise ValidationError(f"{label} quorums must be non-empty")
+        if len(set(reads)) != len(reads) or len(set(writes)) != len(writes):
+            raise ValidationError("duplicate quorums are not allowed")
+        _verify_intersection(writes)  # W-W
+        for read in reads:  # R-W
+            for write in writes:
+                if read.isdisjoint(write):
+                    raise IntersectionError(read, write)
+        universe: set[Element] = set()
+        for quorum in reads + writes:
+            universe.update(quorum)
+        self._reads = reads
+        self._writes = writes
+        self._universe = tuple(
+            sorted(universe, key=lambda e: (type(e).__name__, repr(e)))
+        )
+        self.name = name
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def read_quorums(self) -> tuple[frozenset, ...]:
+        return self._reads
+
+    @property
+    def write_quorums(self) -> tuple[frozenset, ...]:
+        return self._writes
+
+    @property
+    def universe(self) -> tuple[Element, ...]:
+        return self._universe
+
+    @property
+    def universe_size(self) -> int:
+        return len(self._universe)
+
+    def write_system(self) -> QuorumSystem:
+        """The write family as an ordinary quorum system (it pairwise
+        intersects, so all of the paper's machinery applies to it)."""
+        return QuorumSystem(
+            self._writes,
+            universe=self._universe,
+            name=f"{self.name} (writes)",
+            check=False,
+        )
+
+    # -- workload mixing -------------------------------------------------------------
+
+    def combined_family(self) -> list[frozenset]:
+        """Reads then writes, deduplicated, in a deterministic order.
+
+        Used by the placement layer, which treats each distinct quorum as
+        one access target regardless of which family (or both) it serves.
+        """
+        combined: list[frozenset] = []
+        seen: set[frozenset] = set()
+        for quorum in self._reads + self._writes:
+            if quorum not in seen:
+                seen.add(quorum)
+                combined.append(quorum)
+        return combined
+
+    def workload_weights(
+        self,
+        read_fraction: float,
+        *,
+        read_strategy: list[float] | None = None,
+        write_strategy: list[float] | None = None,
+    ) -> tuple[QuorumSystem, AccessStrategy]:
+        """The mixed workload as a (family, weights) pair.
+
+        Parameters
+        ----------
+        read_fraction:
+            Fraction of accesses that are reads, in [0, 1].
+        read_strategy / write_strategy:
+            Probability weights within each family (uniform by default).
+
+        Returns
+        -------
+        (QuorumSystem, AccessStrategy)
+            The deduplicated combined family wrapped as a
+            ``QuorumSystem`` built with ``check=False`` — it is generally
+            *not* a quorum system (reads may be disjoint) and must only
+            be fed to intersection-free machinery such as the placement
+            evaluators and the single-source LP.  The strategy carries
+            the mixed weights.
+        """
+        rho = check_probability(read_fraction, "read_fraction")
+        reads = list(self._reads)
+        writes = list(self._writes)
+        if read_strategy is None:
+            read_strategy = [1.0 / len(reads)] * len(reads)
+        if write_strategy is None:
+            write_strategy = [1.0 / len(writes)] * len(writes)
+        if len(read_strategy) != len(reads) or len(write_strategy) != len(writes):
+            raise ValidationError("strategy lengths must match the families")
+
+        weights: dict[frozenset, float] = {}
+        for quorum, weight in zip(reads, read_strategy):
+            weights[quorum] = weights.get(quorum, 0.0) + rho * weight
+        for quorum, weight in zip(writes, write_strategy):
+            weights[quorum] = weights.get(quorum, 0.0) + (1 - rho) * weight
+
+        family = self.combined_family()
+        system = QuorumSystem(
+            family,
+            universe=self._universe,
+            name=f"{self.name} (rho={rho:g})",
+            check=False,
+        )
+        aligned = [weights.get(quorum, 0.0) for quorum in system.quorums]
+        return system, AccessStrategy.from_weights(system, aligned)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadWriteQuorumSystem(name={self.name!r}, reads={len(self._reads)}, "
+            f"writes={len(self._writes)}, universe={self.universe_size})"
+        )
+
+
+def read_one_write_all(n: int) -> ReadWriteQuorumSystem:
+    """ROWA over ``n`` elements: singleton reads, one all-element write."""
+    check_integer_in_range(n, "n", low=1)
+    reads = [frozenset([i]) for i in range(n)]
+    writes = [frozenset(range(n))]
+    return ReadWriteQuorumSystem(reads, writes, name=f"rowa({n})")
+
+
+def grid_rw(k: int) -> ReadWriteQuorumSystem:
+    """The Grid's read/write split: any full row reads; a full row plus a
+    full column writes.
+
+    Rows pairwise *don't* intersect (cheap concurrent reads), but every
+    row crosses every write's column, and two writes meet row-to-column
+    both ways.
+    """
+    check_integer_in_range(k, "k", low=1)
+    rows = [frozenset((i, j) for j in range(k)) for i in range(k)]
+    writes = []
+    for i in range(k):
+        for j in range(k):
+            column = frozenset((r, j) for r in range(k))
+            writes.append(rows[i] | column)
+    # Deduplicate degenerate k = 1 writes.
+    writes = list(dict.fromkeys(writes))
+    return ReadWriteQuorumSystem(rows, writes, name=f"grid_rw({k})")

@@ -1,0 +1,43 @@
+"""Degenerate single-element constructions.
+
+The singleton system is the trivial quorum system: one quorum holding one
+element.  It is the extreme point of the load/delay trade-off discussed in
+the paper's related-work section — Lin's 2-approximation for the
+load-oblivious problem outputs exactly a singleton placed at the network's
+1-median, which has optimal delay but the worst possible load.  We ship it
+both as a baseline and as a building block for composition.
+"""
+
+from __future__ import annotations
+
+from .base import Element, QuorumSystem
+
+__all__ = ["singleton", "star"]
+
+
+def singleton(element: Element = 0) -> QuorumSystem:
+    """The one-quorum, one-element system ``{{element}}``.
+
+    Its unique strategy has ``load(element) = 1``: the entire access
+    traffic lands on a single universe element.
+    """
+    return QuorumSystem([{element}], name="singleton", check=False)
+
+
+def star(n: int, *, hub: Element | None = None) -> QuorumSystem:
+    """The star (centralized) system over ``n`` elements.
+
+    Universe ``{0, .., n-1}``; quorums are ``{hub, i}`` for every other
+    element ``i`` plus the singleton ``{hub}``.  Every quorum contains the
+    hub, so intersection is immediate, and the hub's load is 1 under any
+    strategy — the classic primary-site protocol, included as the
+    high-load baseline.
+    """
+    if n < 1:
+        raise ValueError("star requires n >= 1")
+    center: Element = 0 if hub is None else hub
+    universe = list(range(n)) if hub is None else [hub, *range(n - 1)]
+    others = [u for u in universe if u != center]
+    quorums: list[set[Element]] = [{center}]
+    quorums.extend({center, other} for other in others)
+    return QuorumSystem(quorums, universe=universe, name=f"star({n})", check=False)

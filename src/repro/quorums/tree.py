@@ -1,0 +1,87 @@
+"""Tree quorum systems (Agrawal & El Abbadi 1990).
+
+Elements are the nodes of a complete binary tree.  A quorum of the
+subtree rooted at ``v`` is obtained recursively:
+
+* the root ``v`` together with a quorum of *either* child's subtree, or
+* (modeling a failed root) a quorum of the left subtree together with a
+  quorum of the right subtree.
+
+For a leaf, the only quorum is the leaf itself.  Any two quorums
+intersect: walk down from the root — at each node, either both quorums
+contain it (done), or at least one of them recurses into *both*
+children, forcing the intersection argument into a common subtree.
+
+Tree quorums are attractive in the placement setting because their
+quorum sizes range from ``O(log n)`` (a root-to-leaf path) to ``O(n)``;
+the load/delay profile is highly non-uniform, which stresses the
+capacity machinery of the placement algorithms.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_integer_in_range
+from ..exceptions import ValidationError
+from .base import QuorumSystem
+
+__all__ = ["tree_quorum_system", "complete_binary_tree_nodes"]
+
+#: Quorum counts grow doubly exponentially with height; enumerate safely.
+_MAX_HEIGHT = 4
+
+
+def complete_binary_tree_nodes(height: int) -> list[int]:
+    """Node labels ``1 .. 2^(height+1) - 1`` in heap order.
+
+    Node ``i`` has children ``2i`` and ``2i + 1``; leaves are the labels
+    greater than ``2^height - 1``.
+    """
+    check_integer_in_range(height, "height", low=0)
+    return list(range(1, 2 ** (height + 1)))
+
+
+def _quorums_of(node: int, leaf_start: int) -> list[frozenset]:
+    if node >= leaf_start:
+        return [frozenset([node])]
+    left = _quorums_of(2 * node, leaf_start)
+    right = _quorums_of(2 * node + 1, leaf_start)
+    result: list[frozenset] = []
+    seen: set[frozenset] = set()
+
+    def add(quorum: frozenset) -> None:
+        if quorum not in seen:
+            seen.add(quorum)
+            result.append(quorum)
+
+    for child_quorum in left:
+        add(frozenset([node]) | child_quorum)
+    for child_quorum in right:
+        add(frozenset([node]) | child_quorum)
+    for left_quorum in left:
+        for right_quorum in right:
+            add(left_quorum | right_quorum)
+    return result
+
+
+def tree_quorum_system(height: int) -> QuorumSystem:
+    """The Agrawal-El Abbadi tree quorum system on a complete binary tree.
+
+    Parameters
+    ----------
+    height:
+        Tree height (0 = single node).  Heights above 4 are rejected —
+        the number of quorums satisfies the recurrence
+        ``m(h) = 2 m(h-1) + m(h-1)^2`` and explodes past that.
+    """
+    check_integer_in_range(height, "height", low=0)
+    if height > _MAX_HEIGHT:
+        raise ValidationError(
+            f"tree_quorum_system supports height <= {_MAX_HEIGHT}; "
+            f"height {height} would enumerate an astronomically large family"
+        )
+    nodes = complete_binary_tree_nodes(height)
+    leaf_start = 2**height
+    quorums = _quorums_of(1, leaf_start)
+    return QuorumSystem(
+        quorums, universe=nodes, name=f"tree(h={height})", check=False
+    )

@@ -1,0 +1,34 @@
+"""The wheel quorum system.
+
+The wheel over ``n`` elements has a *hub* element and ``n - 1`` *spokes*.
+Quorums are the pairs ``{hub, spoke_i}`` plus the single large quorum of
+all spokes.  Any two pair-quorums share the hub; a pair-quorum and the
+rim quorum share the spoke.
+
+The wheel is the textbook example of a system whose *load* is optimized
+by a highly non-uniform strategy (put probability ~1/2 on the rim), which
+makes it a useful stress case for the Naor-Wool strategy LP in
+:mod:`repro.quorums.optimal_strategy` and for placements whose element
+loads differ wildly.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_integer_in_range
+from .base import QuorumSystem
+
+__all__ = ["wheel"]
+
+
+def wheel(n: int) -> QuorumSystem:
+    """The wheel system over universe ``{0, .., n-1}`` with hub ``0``.
+
+    Requires ``n >= 3`` (with fewer elements the rim quorum degenerates
+    into one of the pair quorums).
+    """
+    check_integer_in_range(n, "n", low=3)
+    hub = 0
+    spokes = list(range(1, n))
+    quorums: list[frozenset] = [frozenset(spokes)]
+    quorums.extend(frozenset([hub, spoke]) for spoke in spokes)
+    return QuorumSystem(quorums, universe=range(n), name=f"wheel({n})", check=False)

@@ -1,0 +1,11 @@
+"""Single-machine precedence scheduling (the NP-hardness substrate)."""
+
+from .exact import ExactSchedule, solve_scheduling_exact
+from .precedence import SchedulingInstance, random_woeginger_instance
+
+__all__ = [
+    "ExactSchedule",
+    "SchedulingInstance",
+    "random_woeginger_instance",
+    "solve_scheduling_exact",
+]

@@ -1,0 +1,191 @@
+"""Single-machine precedence scheduling: ``1|prec|sum w_j C_j``.
+
+Definition 3.4 in the paper: ``n`` jobs with processing times ``T_j`` and
+weights ``w_j``, plus a partial order ``prec``; a feasible schedule is a
+linear extension, and its cost is the weighted sum of completion times.
+The problem is the classical NP-hard source of the paper's hardness proof
+(Lenstra & Rinnooy Kan 1978).
+
+Woeginger's theorem (Thm 3.5 in the paper) shows it suffices to consider
+instances where every job has either ``T = 0, w = 1`` or ``T = 1, w = 0``
+and precedences go only from (1,0)-jobs to (0,1)-jobs — the *Woeginger
+special form* that :mod:`repro.core.hardness` transforms into placement
+instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_integer_in_range, check_nonnegative, require
+from ..exceptions import ValidationError
+
+__all__ = ["SchedulingInstance", "random_woeginger_instance"]
+
+Job = Hashable
+
+
+@dataclass(frozen=True)
+class SchedulingInstance:
+    """An instance of ``1|prec|sum w_j C_j``.
+
+    Attributes
+    ----------
+    jobs:
+        Job labels, in a fixed order.
+    processing_times / weights:
+        ``T_j`` and ``w_j`` per job; non-negative.
+    precedence:
+        Pairs ``(a, b)`` meaning ``a`` must complete before ``b`` starts.
+        Must be acyclic.
+    """
+
+    jobs: tuple[Job, ...]
+    processing_times: dict[Job, float]
+    weights: dict[Job, float]
+    precedence: frozenset[tuple[Job, Job]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        jobs = tuple(self.jobs)
+        require(len(jobs) > 0, "scheduling instance needs at least one job")
+        if len(set(jobs)) != len(jobs):
+            raise ValidationError("duplicate job labels")
+        job_set = set(jobs)
+        for job in jobs:
+            if job not in self.processing_times:
+                raise ValidationError(f"missing processing time for job {job!r}")
+            if job not in self.weights:
+                raise ValidationError(f"missing weight for job {job!r}")
+            check_nonnegative(self.processing_times[job], f"T[{job!r}]")
+            check_nonnegative(self.weights[job], f"w[{job!r}]")
+        pairs = frozenset(tuple(pair) for pair in self.precedence)
+        for a, b in pairs:
+            if a not in job_set or b not in job_set:
+                raise ValidationError(f"precedence ({a!r}, {b!r}) references unknown job")
+            if a == b:
+                raise ValidationError(f"job {a!r} cannot precede itself")
+        object.__setattr__(self, "jobs", jobs)
+        object.__setattr__(self, "precedence", pairs)
+        if self._has_cycle():
+            raise ValidationError("precedence constraints contain a cycle")
+
+    # -- structure --------------------------------------------------------------------
+
+    def _successors(self) -> dict[Job, list[Job]]:
+        adjacency: dict[Job, list[Job]] = {job: [] for job in self.jobs}
+        for a, b in self.precedence:
+            adjacency[a].append(b)
+        return adjacency
+
+    def predecessors(self, job: Job) -> frozenset[Job]:
+        """Direct predecessors of *job* under the precedence relation."""
+        return frozenset(a for a, b in self.precedence if b == job)
+
+    def _has_cycle(self) -> bool:
+        adjacency = self._successors()
+        color: dict[Job, int] = {job: 0 for job in self.jobs}
+
+        def visit(job: Job) -> bool:
+            color[job] = 1
+            for succ in adjacency[job]:
+                if color[succ] == 1:
+                    return True
+                if color[succ] == 0 and visit(succ):
+                    return True
+            color[job] = 2
+            return False
+
+        return any(color[job] == 0 and visit(job) for job in self.jobs)
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    # -- schedules ---------------------------------------------------------------------
+
+    def is_feasible_order(self, order: Sequence[Job]) -> bool:
+        """Whether *order* is a linear extension of the precedence order."""
+        if sorted(map(repr, order)) != sorted(map(repr, self.jobs)):
+            return False
+        position = {job: index for index, job in enumerate(order)}
+        return all(position[a] < position[b] for a, b in self.precedence)
+
+    def cost(self, order: Sequence[Job]) -> float:
+        """Weighted completion time ``sum_j w_j C_j`` of the schedule *order*.
+
+        Raises :class:`ValidationError` when *order* is not a feasible
+        linear extension.
+        """
+        if not self.is_feasible_order(order):
+            raise ValidationError("order is not a feasible linear extension")
+        elapsed = 0.0
+        total = 0.0
+        for job in order:
+            elapsed += self.processing_times[job]
+            total += self.weights[job] * elapsed
+        return total
+
+    # -- Woeginger special form -------------------------------------------------------
+
+    def is_woeginger_form(self) -> bool:
+        """Check the Theorem 3.5(b) special shape.
+
+        Every job is either a (T=1, w=0) job or a (T=0, w=1) job, and
+        every precedence pair goes from a (1,0)-job to a (0,1)-job.
+        """
+        kinds: dict[Job, str] = {}
+        for job in self.jobs:
+            t, w = self.processing_times[job], self.weights[job]
+            if t == 1.0 and w == 0.0:
+                kinds[job] = "unit-time"
+            elif t == 0.0 and w == 1.0:
+                kinds[job] = "unit-weight"
+            else:
+                return False
+        return all(
+            kinds[a] == "unit-time" and kinds[b] == "unit-weight"
+            for a, b in self.precedence
+        )
+
+    def unit_time_jobs(self) -> list[Job]:
+        """The (T=1, w=0) jobs, in instance order."""
+        return [j for j in self.jobs if self.processing_times[j] == 1.0]
+
+    def unit_weight_jobs(self) -> list[Job]:
+        """The (T=0, w=1) jobs, in instance order."""
+        return [j for j in self.jobs if self.weights[j] == 1.0]
+
+
+def random_woeginger_instance(
+    unit_time: int,
+    unit_weight: int,
+    *,
+    rng: np.random.Generator,
+    edge_probability: float = 0.4,
+) -> SchedulingInstance:
+    """A random Woeginger-form instance.
+
+    ``unit_time`` jobs ``("t", i)`` with ``T=1, w=0``; ``unit_weight``
+    jobs ``("w", i)`` with ``T=0, w=1``; each allowed precedence pair is
+    included independently with *edge_probability*.
+    """
+    check_integer_in_range(unit_time, "unit_time", low=1)
+    check_integer_in_range(unit_weight, "unit_weight", low=1)
+    t_jobs = [("t", i) for i in range(unit_time)]
+    w_jobs = [("w", i) for i in range(unit_weight)]
+    precedence = {
+        (a, b)
+        for a in t_jobs
+        for b in w_jobs
+        if rng.random() < edge_probability
+    }
+    jobs: tuple[Job, ...] = tuple(t_jobs + w_jobs)
+    return SchedulingInstance(
+        jobs=jobs,
+        processing_times={**{j: 1.0 for j in t_jobs}, **{j: 0.0 for j in w_jobs}},
+        weights={**{j: 0.0 for j in t_jobs}, **{j: 1.0 for j in w_jobs}},
+        precedence=frozenset(precedence),
+    )

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network import random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, majority
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_network(rng):
+    """A connected 8-node geometric network with unit capacities."""
+    return uniform_capacities(random_geometric_network(8, 0.55, rng=rng), 1.0)
+
+
+@pytest.fixture
+def majority5():
+    """The Majority system on five elements with its uniform strategy."""
+    system = majority(5)
+    return system, AccessStrategy.uniform(system)

@@ -1,0 +1,119 @@
+"""Tests for placement-aware fault tolerance."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    placement_availability,
+    placement_availability_monte_carlo,
+    placement_resilience,
+    survivors,
+)
+from repro.core import Placement, single_node_placement
+from repro.exceptions import ValidationError
+from repro.network import path_network, random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, majority, resilience
+
+
+@pytest.fixture
+def spread_and_collapsed():
+    """Majority(3) placed injectively vs collapsed onto one node."""
+    system = majority(3)
+    network = path_network(4)
+    spread = Placement(system, network, {0: 0, 1: 1, 2: 2})
+    collapsed = single_node_placement(system, network, node=0)
+    return system, network, spread, collapsed
+
+
+class TestSurvivors:
+    def test_no_failures_keeps_everything(self, spread_and_collapsed):
+        system, _, spread, _ = spread_and_collapsed
+        assert survivors(spread, set()) == list(range(len(system)))
+
+    def test_single_failure_kills_touching_quorums(self, spread_and_collapsed):
+        system, _, spread, _ = spread_and_collapsed
+        alive = survivors(spread, {0})
+        # Only the quorum avoiding element 0 (i.e. {1, 2}) survives.
+        surviving_quorums = [system.quorums[i] for i in alive]
+        assert surviving_quorums == [frozenset({1, 2})]
+
+    def test_collapsed_placement_dies_with_its_host(self, spread_and_collapsed):
+        _, _, _, collapsed = spread_and_collapsed
+        assert survivors(collapsed, {0}) == []
+
+    def test_unknown_node_rejected(self, spread_and_collapsed):
+        _, _, spread, _ = spread_and_collapsed
+        with pytest.raises(ValidationError):
+            survivors(spread, {99})
+
+
+class TestResilience:
+    def test_injective_placement_preserves_logical_resilience(self, spread_and_collapsed):
+        system, _, spread, _ = spread_and_collapsed
+        assert placement_resilience(spread) == resilience(system)
+
+    def test_collapsed_placement_has_zero_resilience(self, spread_and_collapsed):
+        _, _, _, collapsed = spread_and_collapsed
+        assert placement_resilience(collapsed) == 0
+
+    def test_partial_colocation_reduces_resilience(self):
+        system = majority(5)  # logical resilience 2
+        network = path_network(3)
+        placement = Placement(system, network, {0: 0, 1: 0, 2: 1, 3: 1, 4: 2})
+        # Two node crashes (0 and 1) kill four elements; no quorum of 3
+        # survives on the single remaining element.
+        assert placement_resilience(placement) < resilience(system)
+
+    def test_large_network_guarded(self, rng):
+        system = majority(3)
+        network = random_geometric_network(25, 0.4, rng=rng)
+        placement = Placement(
+            system, network, {u: network.nodes[u] for u in system.universe}
+        )
+        with pytest.raises(ValidationError, match="at most"):
+            placement_resilience(placement)
+
+
+class TestAvailability:
+    def test_extremes(self, spread_and_collapsed):
+        _, _, spread, _ = spread_and_collapsed
+        assert placement_availability(spread, 0.0) == pytest.approx(1.0)
+        assert placement_availability(spread, 1.0) == pytest.approx(0.0)
+
+    def test_injective_matches_element_level_closed_form(self, spread_and_collapsed):
+        """Injective placement: node failures = element failures, so the
+        availability equals P(at least 2 of 3 alive)."""
+        _, _, spread, _ = spread_and_collapsed
+        p = 0.2
+        alive = 1 - p
+        expected = alive**3 + 3 * alive**2 * p
+        assert placement_availability(spread, p) == pytest.approx(expected)
+
+    def test_collapsed_availability_is_single_node_survival(self, spread_and_collapsed):
+        _, _, _, collapsed = spread_and_collapsed
+        p = 0.3
+        assert placement_availability(collapsed, p) == pytest.approx(1 - p)
+
+    def test_colocation_hurts_availability(self, spread_and_collapsed):
+        _, _, spread, collapsed = spread_and_collapsed
+        p = 0.2
+        assert placement_availability(collapsed, p) < placement_availability(spread, p)
+
+    def test_monte_carlo_matches_exact(self, spread_and_collapsed):
+        _, _, spread, _ = spread_and_collapsed
+        p = 0.25
+        exact = placement_availability(spread, p)
+        estimate = placement_availability_monte_carlo(
+            spread, p, samples=20_000, rng=np.random.default_rng(3)
+        )
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_monte_carlo_deterministic(self, spread_and_collapsed):
+        _, _, spread, _ = spread_and_collapsed
+        a = placement_availability_monte_carlo(
+            spread, 0.2, samples=500, rng=np.random.default_rng(5)
+        )
+        b = placement_availability_monte_carlo(
+            spread, 0.2, samples=500, rng=np.random.default_rng(5)
+        )
+        assert a == b

@@ -1,0 +1,69 @@
+"""Tests for the benchmark report tables."""
+
+import pytest
+
+from repro.analysis import ResultTable, check_mark, format_value
+
+
+class TestFormatValue:
+    def test_floats_rounded(self):
+        assert format_value(3.14159, precision=3) == "3.14"
+
+    def test_bools_are_checks(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "NO"
+
+    def test_special_floats(self):
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("-inf")) == "-inf"
+
+    def test_other_types_pass_through(self):
+        assert format_value("grid(3)") == "grid(3)"
+        assert format_value(7) == "7"
+
+
+class TestResultTable:
+    def test_render_aligns_columns(self):
+        table = ResultTable("demo", ["instance", "delay", "ok"])
+        table.add_row(instance="majority(5)", delay=1.23456, ok=True)
+        table.add_row(instance="grid(3)", delay=10.0, ok=False)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "instance" in lines[1] and "delay" in lines[1]
+        # All data lines have equal width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_missing_column_rejected(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError, match="missing"):
+            table.add_row(a=1)
+
+    def test_unknown_column_rejected(self):
+        table = ResultTable("t", ["a"])
+        with pytest.raises(ValueError, match="unknown"):
+            table.add_row(a=1, z=2)
+
+    def test_all_rows_pass(self):
+        table = ResultTable("t", ["check"])
+        table.add_row(check=True)
+        table.add_row(check=True)
+        assert table.all_rows_pass("check")
+        table.add_row(check=False)
+        assert not table.all_rows_pass("check")
+
+    def test_empty_table_renders(self):
+        table = ResultTable("empty", ["a"])
+        assert "empty" in table.render()
+
+    def test_print_smoke(self, capsys):
+        table = ResultTable("t", ["a"])
+        table.add_row(a=1)
+        table.print()
+        captured = capsys.readouterr()
+        assert "== t ==" in captured.out
+
+    def test_check_mark(self):
+        assert check_mark(True) == "yes"
+        assert check_mark(False) == "NO"

@@ -1,0 +1,122 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_network_spec, parse_system_spec
+from repro.exceptions import ValidationError
+
+
+class TestSpecParsing:
+    @pytest.mark.parametrize(
+        "spec, quorums, universe",
+        [
+            ("grid:3", 9, 9),
+            ("majority:5", 10, 5),
+            ("threshold:5:4", 5, 5),
+            ("fpp:2", 7, 7),
+            ("wheel:4", 4, 4),
+            ("tree:1", 3, 3),
+            ("cwlog:2", 3, 3),
+            ("star:4", 4, 4),
+        ],
+    )
+    def test_system_specs(self, spec, quorums, universe):
+        system = parse_system_spec(spec)
+        assert len(system) == quorums
+        assert system.universe_size == universe
+
+    @pytest.mark.parametrize(
+        "spec, size",
+        [
+            ("path:5", 5),
+            ("cycle:6", 6),
+            ("star:7", 7),
+            ("complete:4", 4),
+            ("lattice:2:3", 6),
+            ("geometric:8:0.5", 8),
+            ("er:9:0.4", 9),
+            ("waxman:10", 10),
+            ("twocluster:3:5.0", 6),
+            ("broom:3", 9),
+        ],
+    )
+    def test_network_specs(self, spec, size):
+        network = parse_network_spec(spec, seed=1)
+        assert network.size == size
+        assert network.is_connected()
+
+    def test_random_networks_seeded(self):
+        a = parse_network_spec("geometric:8:0.5", seed=3)
+        b = parse_network_spec("geometric:8:0.5", seed=3)
+        assert a.edges() == b.edges()
+
+    def test_unknown_specs_rejected(self):
+        with pytest.raises(ValidationError, match="unknown system"):
+            parse_system_spec("pyramid:3")
+        with pytest.raises(ValidationError, match="unknown network"):
+            parse_network_spec("torus:3")
+        with pytest.raises(ValidationError, match="integer"):
+            parse_system_spec("grid:x")
+        with pytest.raises(ValidationError, match="parameter"):
+            parse_system_spec("grid:1:2")
+
+
+class TestCommands:
+    def test_system_command(self, capsys):
+        assert main(["system", "grid:2"]) == 0
+        out = capsys.readouterr().out
+        assert "quorums" in out and "resilience" in out
+
+    def test_system_command_with_optimal_load(self, capsys):
+        assert main(["system", "wheel:4", "--optimal-load"]) == 0
+        out = capsys.readouterr().out
+        assert "Naor-Wool" in out
+
+    def test_place_and_evaluate_roundtrip(self, capsys, tmp_path):
+        out_file = tmp_path / "placement.json"
+        code = main(
+            [
+                "place", "majority:3", "path:4",
+                "--capacity", "1.0", "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out_file.read_text())
+        assert data["kind"] == "placement"
+
+        assert main(["evaluate", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "avg max-delay" in out
+        assert "busiest node" in out
+
+    def test_place_total_objective(self, capsys):
+        code = main(
+            ["place", "majority:3", "path:4", "--capacity", "1.0",
+             "--objective", "total"]
+        )
+        assert code == 0
+        assert "LP bound" in capsys.readouterr().out
+
+    def test_place_optimal_strategy(self, capsys):
+        code = main(
+            ["place", "wheel:4", "path:5", "--capacity", "1.0",
+             "--strategy", "optimal"]
+        )
+        assert code == 0
+
+    def test_gap_command(self, capsys):
+        assert main(["gap", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "integral_opt" in out
+
+    def test_errors_return_code_2(self, capsys):
+        assert main(["system", "bogus:1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_infeasible_place_reports_error(self, capsys):
+        # Capacity too small for any element.
+        code = main(["place", "majority:3", "path:4", "--capacity", "0.1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

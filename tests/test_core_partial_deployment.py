@@ -1,0 +1,121 @@
+"""Tests for the Gilbert-Malewicz partial quorum deployment problem."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    solve_partial_deployment,
+    solve_partial_deployment_exact,
+)
+from repro.exceptions import ValidationError
+from repro.network import cycle_network, path_network, random_geometric_network
+from repro.quorums import QuorumSystem, grid, wheel
+
+
+@pytest.fixture
+def wheel5_instance(rng):
+    """wheel(5): exactly 5 quorums over 5 elements, matching 5 nodes."""
+    return wheel(5), random_geometric_network(5, 0.7, rng=rng)
+
+
+class TestShapeValidation:
+    def test_mismatched_sizes_rejected(self, rng):
+        system = wheel(5)  # 5 elements / 5 quorums
+        network = random_geometric_network(6, 0.7, rng=rng)
+        with pytest.raises(ValidationError, match=r"\|Q\| = \|V\| = \|U\|"):
+            solve_partial_deployment(system, network)
+
+    def test_grid_shape_works(self, rng):
+        """grid(k) has k^2 quorums over k^2 elements — a natural fit."""
+        system = grid(2)
+        network = random_geometric_network(4, 0.8, rng=rng)
+        result = solve_partial_deployment(system, network)
+        assert result.average_delay >= 0
+
+    def test_exact_size_guard(self, rng):
+        system = grid(3)  # 9 = 9 = 9 but exceeds the exact-solver guard
+        network = random_geometric_network(9, 0.6, rng=rng)
+        with pytest.raises(ValidationError, match="n <= 5"):
+            solve_partial_deployment_exact(system, network)
+
+
+class TestBijectivity:
+    def test_both_maps_are_bijections(self, wheel5_instance):
+        system, network = wheel5_instance
+        result = solve_partial_deployment(system, network)
+        hosts = list(result.placement.as_dict().values())
+        assert len(set(hosts)) == network.size
+        quorums = list(result.quorum_of_client.values())
+        assert sorted(quorums) == list(range(len(system)))
+
+    def test_exact_maps_are_bijections(self, wheel5_instance):
+        system, network = wheel5_instance
+        result = solve_partial_deployment_exact(system, network)
+        assert len(set(result.placement.as_dict().values())) == network.size
+        assert sorted(result.quorum_of_client.values()) == list(range(5))
+
+
+class TestOptimality:
+    def test_alternation_never_beats_exact(self, rng):
+        for seed in range(5):
+            system = wheel(5)
+            network = random_geometric_network(
+                5, 0.7, rng=np.random.default_rng(seed)
+            )
+            alternating = solve_partial_deployment(system, network)
+            exact = solve_partial_deployment_exact(system, network)
+            assert exact.average_delay <= alternating.average_delay + 1e-9
+
+    def test_alternation_usually_finds_optimum_on_wheel(self, rng):
+        hits = 0
+        for seed in range(6):
+            system = wheel(5)
+            network = random_geometric_network(
+                5, 0.7, rng=np.random.default_rng(100 + seed)
+            )
+            alternating = solve_partial_deployment(system, network)
+            exact = solve_partial_deployment_exact(system, network)
+            if alternating.average_delay <= exact.average_delay + 1e-9:
+                hits += 1
+        assert hits >= 4  # the two-step local optimum is usually global
+
+    def test_reported_delay_matches_definition(self, wheel5_instance):
+        from repro.core.placement import total_delay_cost
+
+        system, network = wheel5_instance
+        result = solve_partial_deployment(system, network)
+        direct = np.mean(
+            [
+                total_delay_cost(
+                    result.placement, client, result.quorum_of_client[client]
+                )
+                for client in network.nodes
+            ]
+        )
+        assert result.average_delay == pytest.approx(float(direct))
+
+    def test_symmetric_cycle_instance(self):
+        """On a symmetric instance (cycle + cyclic quorums of pairs of
+        adjacent... singleton-ish) the optimum assigns each client a
+        nearby quorum."""
+        # 4 quorums over 4 elements, each {i, i+1 mod 4}: pairwise
+        # intersecting fails -- use a star-anchored family instead.
+        system = QuorumSystem(
+            [{0, 1}, {0, 2}, {0, 3}, {0, 1, 2}], universe=range(4), check=False
+        )
+        network = cycle_network(4)
+        exact = solve_partial_deployment_exact(system, network)
+        alternating = solve_partial_deployment(system, network)
+        assert exact.average_delay <= alternating.average_delay + 1e-9
+        assert exact.average_delay > 0
+
+    def test_path_collapse_favours_center(self):
+        """Elements should gravitate to central path nodes for the heavy
+        (rim) quorum."""
+        system = wheel(5)
+        network = path_network(5)
+        exact = solve_partial_deployment_exact(system, network)
+        # The hub element 0 appears in 4 of 5 quorums; its host should
+        # not be a path endpoint under the optimal deployment.
+        hub_host = exact.placement[0]
+        assert hub_host in (1, 2, 3)

@@ -1,0 +1,127 @@
+"""Tests for the full Quorum Placement Problem solver (Theorem 1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    average_max_delay,
+    average_strategy,
+    solve_qpp,
+    solve_qpp_exact,
+)
+from repro.exceptions import ValidationError
+from repro.experiments import small_suite
+from repro.network import path_network, random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, majority
+
+
+class TestTheorem12:
+    def test_bounds_against_exact_optimum(self):
+        """On exhaustively solvable instances: the algorithm's delay is
+        within 5 alpha/(alpha-1) of OPT and the certified lower bound is
+        valid."""
+        for instance in small_suite(11)[:5]:
+            result = solve_qpp(
+                instance.system, instance.strategy, instance.network, alpha=2.0
+            )
+            exact = solve_qpp_exact(
+                instance.system, instance.strategy, instance.network
+            )
+            assert result.average_delay <= (
+                result.approximation_factor * exact.objective + 1e-6
+            )
+            assert result.optimum_lower_bound <= exact.objective + 1e-6
+
+    def test_load_bound_holds(self, rng):
+        from repro.core import capacity_violation_factor
+
+        network = uniform_capacities(random_geometric_network(8, 0.55, rng=rng), 0.8)
+        system = majority(5)
+        strategy = AccessStrategy.uniform(system)
+        result = solve_qpp(system, strategy, network, alpha=2.0)
+        violation = capacity_violation_factor(result.placement, strategy)
+        assert violation <= result.load_factor_bound + 1e-6
+
+    def test_reported_delay_matches_placement(self, rng):
+        network = uniform_capacities(random_geometric_network(7, 0.6, rng=rng), 1.0)
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        result = solve_qpp(system, strategy, network)
+        recomputed = average_max_delay(result.placement, strategy)
+        assert result.average_delay == pytest.approx(recomputed)
+
+    def test_per_source_results_cover_candidates(self, rng):
+        network = uniform_capacities(random_geometric_network(6, 0.6, rng=rng), 1.0)
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        result = solve_qpp(system, strategy, network)
+        assert set(result.per_source) == set(network.nodes)
+        assert result.source in result.per_source
+
+    def test_candidate_restriction(self, rng):
+        network = uniform_capacities(random_geometric_network(6, 0.6, rng=rng), 1.0)
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        result = solve_qpp(
+            system, strategy, network, candidate_sources=[network.nodes[0]]
+        )
+        assert set(result.per_source) == {network.nodes[0]}
+
+    def test_empty_candidates_rejected(self, rng):
+        network = uniform_capacities(random_geometric_network(5, 0.6, rng=rng), 1.0)
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        with pytest.raises(ValidationError):
+            solve_qpp(system, strategy, network, candidate_sources=[])
+
+    def test_certified_ratio_consistency(self, rng):
+        network = uniform_capacities(random_geometric_network(6, 0.6, rng=rng), 1.0)
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        result = solve_qpp(system, strategy, network)
+        if result.optimum_lower_bound > 0:
+            assert result.certified_ratio == pytest.approx(
+                result.average_delay / result.optimum_lower_bound
+            )
+
+
+class TestRates:
+    def test_rate_weighted_objective_selected(self, rng):
+        """With all the rate on one client, the solver should find a
+        placement at least as good for that client as the uniform-rate
+        solution."""
+        network = uniform_capacities(random_geometric_network(7, 0.55, rng=rng), 1.0)
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        hot_client = network.nodes[3]
+        rates = {hot_client: 100.0, **{v: 0.01 for v in network.nodes if v != hot_client}}
+        weighted = solve_qpp(system, strategy, network, rates=rates)
+        uniform = solve_qpp(system, strategy, network)
+        weighted_objective = average_max_delay(weighted.placement, strategy, rates=rates)
+        uniform_objective = average_max_delay(uniform.placement, strategy, rates=rates)
+        assert weighted_objective <= uniform_objective + 1e-6
+
+
+class TestAverageStrategy:
+    def test_average_strategy_uniform_rates(self):
+        system = majority(3)
+        network = path_network(3)
+        a = AccessStrategy.point_mass(system, 0)
+        b = AccessStrategy.point_mass(system, 1)
+        c = AccessStrategy.point_mass(system, 2)
+        averaged = average_strategy({0: a, 1: b, 2: c}, network)
+        assert averaged.probabilities == pytest.approx(np.full(3, 1 / 3))
+
+    def test_average_strategy_rate_weighted(self):
+        system = majority(3)
+        network = path_network(2)
+        a = AccessStrategy.point_mass(system, 0)
+        b = AccessStrategy.point_mass(system, 1)
+        averaged = average_strategy({0: a, 1: b}, network, rates={0: 3.0, 1: 1.0})
+        assert averaged.probability(0) == pytest.approx(0.75)
+
+    def test_missing_client_rejected(self):
+        system = majority(3)
+        network = path_network(3)
+        with pytest.raises(ValidationError, match="missing"):
+            average_strategy({0: AccessStrategy.uniform(system)}, network)

@@ -1,0 +1,100 @@
+"""Tests for Lemma 3.1 (relay-via-v0)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RELAY_FACTOR_BOUND,
+    Placement,
+    average_max_delay,
+    best_relay_node,
+    expected_max_delay,
+    random_placement,
+    relay_analysis,
+    relay_delay,
+)
+from repro.network import (
+    path_network,
+    random_geometric_network,
+    two_cluster_network,
+    uniform_capacities,
+)
+from repro.quorums import AccessStrategy, grid, majority, wheel
+
+
+def test_best_relay_node_minimizes_delta():
+    system = majority(3)
+    strategy = AccessStrategy.uniform(system)
+    network = path_network(5)
+    placement = Placement(system, network, {0: 0, 1: 1, 2: 2})
+    v0 = best_relay_node(placement, strategy)
+    delta_v0 = expected_max_delay(placement, strategy, v0)
+    for node in network.nodes:
+        assert delta_v0 <= expected_max_delay(placement, strategy, node) + 1e-12
+
+
+def test_relay_delay_equation_8():
+    """relay_delay must equal Avg_v d(v, v0) + Delta_f(v0) exactly."""
+    system = majority(3)
+    strategy = AccessStrategy.uniform(system)
+    network = path_network(4)
+    placement = Placement(system, network, {0: 0, 1: 1, 2: 3})
+    v0 = 1
+    metric = network.metric()
+    expected = float(np.mean([metric.distance(v, v0) for v in network.nodes]))
+    expected += expected_max_delay(placement, strategy, v0)
+    assert relay_delay(placement, strategy, v0) == pytest.approx(expected)
+
+
+def test_lemma_3_1_bound_on_many_random_placements(rng):
+    """The measured relay factor never exceeds 5 (Lemma 3.1)."""
+    for trial in range(20):
+        network = uniform_capacities(
+            random_geometric_network(10, 0.5, rng=rng), 2.0
+        )
+        system = [majority(5), grid(2), wheel(4)][trial % 3]
+        strategy = AccessStrategy.uniform(system)
+        placement = random_placement(system, strategy, network, rng=rng)
+        analysis = relay_analysis(placement, strategy)
+        assert analysis.within_bound
+        assert analysis.factor <= RELAY_FACTOR_BOUND + 1e-9
+        assert analysis.relayed_delay >= analysis.direct_delay - 1e-9
+
+
+def test_relay_factor_adversarial_two_clusters(rng):
+    """Straddling a long bridge stresses the lemma; the bound still holds."""
+    network = uniform_capacities(two_cluster_network(4, bridge_length=50.0), 2.0)
+    system = majority(5)
+    strategy = AccessStrategy.uniform(system)
+    # Adversarial placement: elements split across clusters.
+    nodes = list(network.nodes)
+    mapping = {u: nodes[i % len(nodes)] for i, u in enumerate(system.universe)}
+    placement = Placement(system, network, mapping)
+    analysis = relay_analysis(placement, strategy)
+    assert analysis.within_bound
+
+
+def test_degenerate_zero_delay_placement():
+    """All elements and all clients on one node: factor defined as 1."""
+    system = majority(3)
+    strategy = AccessStrategy.uniform(system)
+    network = path_network(1)
+    placement = Placement(system, network, {u: 0 for u in system.universe})
+    analysis = relay_analysis(placement, strategy)
+    assert analysis.direct_delay == 0.0
+    assert analysis.factor == 1.0
+    assert analysis.within_bound
+
+
+def test_relay_with_rates_still_bounded(rng):
+    """§6: the lemma survives non-uniform access rates."""
+    network = uniform_capacities(random_geometric_network(8, 0.5, rng=rng), 2.0)
+    system = majority(5)
+    strategy = AccessStrategy.uniform(system)
+    placement = random_placement(system, strategy, network, rng=rng)
+    rates = {v: float(rng.uniform(0.1, 5.0)) for v in network.nodes}
+    # The v0 of the lemma minimizes Delta_f, independent of rates; the
+    # averaged inequality holds for any client weighting by the same
+    # triangle-inequality argument.
+    analysis = relay_analysis(placement, strategy, rates=rates)
+    assert analysis.factor <= RELAY_FACTOR_BOUND + 1e-9

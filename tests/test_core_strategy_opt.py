@@ -1,0 +1,119 @@
+"""Tests for post-placement strategy optimization."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Placement,
+    alternating_optimization,
+    average_max_delay,
+    delay_optimal_strategy,
+    expected_max_delay,
+    random_placement,
+    strategy_delay_frontier,
+)
+from repro.exceptions import InfeasibleError, ValidationError
+from repro.network import path_network, random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, majority, system_load
+
+
+@pytest.fixture
+def placed(rng):
+    system = majority(5)
+    strategy = AccessStrategy.uniform(system)
+    network = uniform_capacities(random_geometric_network(8, 0.55, rng=rng), 1.0)
+    placement = random_placement(system, strategy, network, rng=rng)
+    return system, strategy, network, placement
+
+
+class TestDelayOptimalStrategy:
+    def test_budget_one_collapses_to_closest_quorum(self, placed):
+        """With no load constraint the LP puts all mass on the single
+        cheapest quorum — the degenerate solution the paper warns about."""
+        system, _, network, placement = placed
+        source = network.nodes[0]
+        result = delay_optimal_strategy(placement, load_budget=1.0, source=source)
+        cheapest = min(
+            expected_max_delay(placement, AccessStrategy.point_mass(system, q), source)
+            for q in range(len(system))
+        )
+        assert result.delay == pytest.approx(cheapest)
+
+    def test_respects_load_budget(self, placed):
+        system, _, network, placement = placed
+        budget = 0.7
+        result = delay_optimal_strategy(
+            placement, load_budget=budget, source=network.nodes[0]
+        )
+        assert result.max_load <= budget + 1e-6
+
+    def test_infeasible_below_system_load(self, placed):
+        system, _, network, placement = placed
+        floor = system_load(system)  # 3/5 for majority(5)
+        with pytest.raises(InfeasibleError):
+            delay_optimal_strategy(
+                placement, load_budget=floor - 0.05, source=network.nodes[0]
+            )
+
+    def test_never_worse_than_uniform(self, placed):
+        system, uniform, network, placement = placed
+        source = network.nodes[0]
+        result = delay_optimal_strategy(placement, load_budget=1.0, source=source)
+        assert result.delay <= expected_max_delay(placement, uniform, source) + 1e-9
+
+    def test_all_clients_objective(self, placed):
+        system, uniform, network, placement = placed
+        result = delay_optimal_strategy(placement, load_budget=1.0, source=None)
+        assert result.delay <= average_max_delay(placement, uniform) + 1e-9
+        # The reported delay matches the evaluator.
+        assert result.delay == pytest.approx(
+            average_max_delay(placement, result.strategy), abs=1e-6
+        )
+
+    def test_budget_validation(self, placed):
+        _, _, network, placement = placed
+        with pytest.raises(ValidationError):
+            delay_optimal_strategy(placement, load_budget=1.5)
+        with pytest.raises(ValidationError):
+            delay_optimal_strategy(placement, load_budget=0.0)
+
+
+class TestFrontier:
+    def test_frontier_is_monotone(self, placed):
+        """Looser budget => weakly smaller delay; tighter => larger."""
+        system, _, network, placement = placed
+        source = network.nodes[0]
+        floor = system_load(system)
+        budgets = [floor, (floor + 1) / 2, 1.0]
+        frontier = strategy_delay_frontier(placement, budgets, source=source)
+        assert len(frontier) == 3
+        delays = [point.delay for point in frontier]
+        assert delays[0] >= delays[1] >= delays[2]
+
+    def test_infeasible_budgets_skipped(self, placed):
+        _, _, network, placement = placed
+        frontier = strategy_delay_frontier(
+            placement, [0.01, 1.0], source=network.nodes[0]
+        )
+        assert len(frontier) == 1
+
+
+class TestAlternating:
+    def test_alternation_never_worsens(self, placed):
+        system, uniform, network, placement = placed
+        source = network.nodes[0]
+        initial = expected_max_delay(placement, uniform, source)
+        _, _, final = alternating_optimization(
+            placement, uniform, source, load_budget=1.0, rounds=3
+        )
+        assert final <= initial + 1e-9
+
+    def test_final_delay_matches_returned_pair(self, placed):
+        system, uniform, network, placement = placed
+        source = network.nodes[0]
+        best_placement, best_strategy, final = alternating_optimization(
+            placement, uniform, source, load_budget=1.0, rounds=2
+        )
+        assert expected_max_delay(best_placement, best_strategy, source) == pytest.approx(
+            final, abs=1e-9
+        )

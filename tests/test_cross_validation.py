@@ -1,0 +1,172 @@
+"""Independent cross-validations of the LP machinery.
+
+These tests rebuild small LPs by hand — raw scipy matrices, no
+``repro.lp`` — and check the library's formulations against them, so a
+bug in the modeling layer cannot silently agree with itself.
+"""
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.core.ssqpp import build_ssqpp_lp
+from repro.gap import GAPInstance, solve_gap_lp
+from repro.network import path_network
+from repro.quorums import AccessStrategy, QuorumSystem
+
+
+class TestSSQPPAgainstHandBuiltLP:
+    def test_two_element_single_quorum_path(self):
+        """U = {a, b}, one quorum {a, b}, path 0-1-2, caps 1, source 0.
+
+        The *integral* optimum is 1 (one element each on nodes 0 and 1,
+        quorum completes at distance 1), but the LP splits both elements
+        half/half across nodes 0 and 1 and half-completes the quorum at
+        distance 0: Z* = 0.5 — the integrality gap in miniature.  The
+        hand-built scipy LP must agree exactly.
+        """
+        system = QuorumSystem([{"a", "b"}], universe=["a", "b"])
+        strategy = AccessStrategy.uniform(system)
+        network = path_network(3).with_capacities(1.0)
+        model, *_ = build_ssqpp_lp(system, strategy, network, 0)
+        ours = model.solve().objective
+
+        # Hand-built LP over x = [x00,x01,x02 (a), x10,x11,x12 (b),
+        # q0,q1,q2] with distances d = [0,1,2].
+        c = np.array([0, 0, 0, 0, 0, 0, 0.0, 1.0, 2.0])
+        a_eq = np.array(
+            [
+                [1, 1, 1, 0, 0, 0, 0, 0, 0],  # a placed
+                [0, 0, 0, 1, 1, 1, 0, 0, 0],  # b placed
+                [0, 0, 0, 0, 0, 0, 1, 1, 1],  # quorum completes
+            ],
+            dtype=float,
+        )
+        b_eq = np.ones(3)
+        a_ub = []
+        b_ub = []
+        # capacity: x[t,a] + x[t,b] <= 1 at each node
+        for t in range(3):
+            row = np.zeros(9)
+            row[t] = 1
+            row[3 + t] = 1
+            a_ub.append(row)
+            b_ub.append(1.0)
+        # prefix: sum_{s<=t} q_s <= sum_{s<=t} x_{s,u}, both u
+        for u_offset in (0, 3):
+            for t in range(3):
+                row = np.zeros(9)
+                row[6 : 6 + t + 1] = 1
+                row[u_offset : u_offset + t + 1] -= 1
+                a_ub.append(row)
+                b_ub.append(0.0)
+        result = linprog(
+            c,
+            A_ub=np.array(a_ub),
+            b_ub=np.array(b_ub),
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=[(0, 1)] * 9,
+            method="highs",
+        )
+        assert result.success
+        assert ours == pytest.approx(result.fun, abs=1e-8)
+        assert ours == pytest.approx(0.5, abs=1e-8)
+
+
+class TestGAPAgainstHandBuiltLP:
+    def test_two_by_two(self):
+        """2 machines x 2 jobs, hand-checked LP optimum."""
+        instance = GAPInstance(
+            jobs=(0, 1),
+            machines=("m0", "m1"),
+            costs=np.array([[1.0, 4.0], [3.0, 2.0]]),
+            loads=np.array([[1.0, 1.0], [1.0, 1.0]]),
+            capacities=np.array([1.0, 1.0]),
+        )
+        ours = solve_gap_lp(instance).cost
+
+        # y = [y00, y01, y10, y11] (machine-major).
+        c = np.array([1.0, 4.0, 3.0, 2.0])
+        a_eq = np.array([[1, 0, 1, 0], [0, 1, 0, 1]], dtype=float)  # jobs
+        b_eq = np.ones(2)
+        a_ub = np.array([[1, 1, 0, 0], [0, 0, 1, 1]], dtype=float)  # caps
+        b_ub = np.ones(2)
+        reference = linprog(
+            c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+            bounds=[(0, 1)] * 4, method="highs",
+        )
+        assert reference.success
+        assert ours == pytest.approx(reference.fun, abs=1e-9)
+        assert ours == pytest.approx(3.0, abs=1e-9)  # y00 = y11 = 1
+
+
+class TestEvaluatorsAgainstEnumeration:
+    def test_average_max_delay_by_full_enumeration(self):
+        """Avg_v Delta_f(v) cross-checked by summing the raw definition
+        over every (client, quorum) pair."""
+        from repro.core import Placement, average_max_delay
+
+        system = QuorumSystem([{0, 1}, {1, 2}, {0, 1, 2}], universe=range(3))
+        strategy = AccessStrategy.from_weights(system, [0.2, 0.3, 0.5])
+        network = path_network(4).with_capacities(10.0)
+        placement = Placement(system, network, {0: 0, 1: 2, 2: 3})
+        metric = network.metric()
+
+        total = 0.0
+        for client in network.nodes:
+            for index, quorum in enumerate(system.quorums):
+                worst = max(
+                    metric.distance(client, placement[u]) for u in quorum
+                )
+                total += strategy.probability(index) * worst
+        expected = total / network.size
+        assert average_max_delay(placement, strategy) == pytest.approx(expected)
+
+    def test_average_total_delay_by_full_enumeration(self):
+        from repro.core import Placement, average_total_delay
+
+        system = QuorumSystem([{0, 1}, {1, 2}], universe=range(3))
+        strategy = AccessStrategy.from_weights(system, [0.25, 0.75])
+        network = path_network(4).with_capacities(10.0)
+        placement = Placement(system, network, {0: 1, 1: 1, 2: 3})
+        metric = network.metric()
+
+        total = 0.0
+        for client in network.nodes:
+            for index, quorum in enumerate(system.quorums):
+                cost = sum(
+                    metric.distance(client, placement[u]) for u in quorum
+                )
+                total += strategy.probability(index) * cost
+        expected = total / network.size
+        assert average_total_delay(placement, strategy) == pytest.approx(expected)
+
+    def test_naor_wool_lp_against_scipy_direct(self):
+        """The strategy LP cross-built with raw scipy for majority(3)."""
+        from repro.quorums import majority, optimal_strategy
+
+        system = majority(3)
+        ours = optimal_strategy(system).load
+
+        # Variables: p0, p1, p2 (quorums {0,1},{0,2},{1,2} in system
+        # order), L.  min L s.t. sum p = 1, per-element load <= L.
+        order = list(system.quorums)
+        c = np.array([0, 0, 0, 1.0])
+        a_eq = np.array([[1, 1, 1, 0.0]])
+        b_eq = np.array([1.0])
+        rows = []
+        for element in range(3):
+            row = np.zeros(4)
+            for j, quorum in enumerate(order):
+                if element in quorum:
+                    row[j] = 1.0
+            row[3] = -1.0
+            rows.append(row)
+        reference = linprog(
+            c, A_ub=np.array(rows), b_ub=np.zeros(3), A_eq=a_eq, b_eq=b_eq,
+            bounds=[(0, None)] * 4, method="highs",
+        )
+        assert reference.success
+        assert ours == pytest.approx(reference.fun, abs=1e-9)
+        assert ours == pytest.approx(2 / 3, abs=1e-9)

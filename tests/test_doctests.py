@@ -1,0 +1,45 @@
+"""Run the library's docstring examples as tests.
+
+Docstring examples are the first code users copy; this keeps every
+``>>>`` block in the package true.  Modules are imported and scanned
+with the stdlib doctest runner.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        # repro.__main__ executes the CLI on import; skip it.
+        if module_info.name.endswith("__main__"):
+            continue
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+
+
+def test_some_modules_have_examples():
+    """Guard against the doctest suite silently testing nothing."""
+    total = 0
+    for name in _all_modules():
+        module = importlib.import_module(name)
+        finder = doctest.DocTestFinder()
+        total += sum(len(t.examples) for t in finder.find(module))
+    assert total >= 10

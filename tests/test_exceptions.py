@@ -1,0 +1,46 @@
+"""The exception hierarchy contracts that callers rely on."""
+
+import pytest
+
+from repro.exceptions import (
+    CapacityError,
+    InfeasibleError,
+    IntersectionError,
+    ReproError,
+    SolverError,
+    UnboundedError,
+    ValidationError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (
+        ValidationError,
+        IntersectionError,
+        InfeasibleError,
+        UnboundedError,
+        SolverError,
+        CapacityError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_validation_error_is_value_error():
+    assert issubclass(ValidationError, ValueError)
+    with pytest.raises(ValueError):
+        raise ValidationError("boom")
+
+
+def test_intersection_error_names_the_pair():
+    error = IntersectionError(frozenset({1}), frozenset({2}))
+    assert "1" in str(error) and "2" in str(error)
+    assert error.first == frozenset({1})
+    assert error.second == frozenset({2})
+
+
+def test_capacity_error_is_infeasible():
+    assert issubclass(CapacityError, InfeasibleError)
+
+
+def test_intersection_error_is_validation_error():
+    assert issubclass(IntersectionError, ValidationError)

@@ -1,0 +1,113 @@
+"""Tests for the workload suites and the access simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import is_capacity_respecting, random_placement
+from repro.experiments import (
+    feasible_uniform_capacity,
+    simulate_accesses,
+    small_suite,
+    standard_suite,
+)
+from repro.network import path_network
+from repro.quorums import AccessStrategy, majority
+
+
+class TestSuites:
+    def test_small_suite_is_deterministic(self):
+        a = small_suite(7)
+        b = small_suite(7)
+        assert [i.name for i in a] == [j.name for j in b]
+        assert all(
+            x.network.edges() == y.network.edges() for x, y in zip(a, b)
+        )
+
+    def test_small_suite_sized_for_brute_force(self):
+        for instance in small_suite(0):
+            states = instance.network.size ** instance.system.universe_size
+            assert states <= 10**7
+
+    def test_standard_suite_covers_families(self):
+        names = {i.name for i in standard_suite(0)}
+        assert any("grid(3)" in n for n in names)
+        assert any("threshold" in n for n in names)
+        assert any("wall" in n for n in names)
+        assert any("two_cluster" in n for n in names)
+
+    def test_instances_are_feasible_by_first_fit(self, rng):
+        for instance in small_suite(2):
+            placement = random_placement(
+                instance.system, instance.strategy, instance.network, rng=rng
+            )
+            assert is_capacity_respecting(placement, instance.strategy)
+
+    def test_feasible_uniform_capacity_fits_each_element(self):
+        system = majority(5)
+        strategy = AccessStrategy.uniform(system)
+        network = path_network(4)
+        capped = feasible_uniform_capacity(system, strategy, network, slack=1.2)
+        max_load = max(strategy.load(u) for u in system.universe)
+        assert all(capped.capacity(v) >= max_load for v in capped.nodes)
+        assert capped.total_capacity() >= 1.2 * strategy.total_load() - 1e-9
+
+
+class TestSimulation:
+    def test_simulation_converges_to_analytic(self, rng, small_network, majority5):
+        system, strategy = majority5
+        placement = random_placement(system, strategy, small_network, rng=rng)
+        result = simulate_accesses(
+            placement, strategy, rng=rng, accesses_per_client=2000
+        )
+        assert result.max_delay_error < 0.05
+        assert result.measured_total_delay == pytest.approx(
+            result.analytic_total_delay, rel=0.05
+        )
+
+    def test_simulated_loads_match_strategy_loads(self, rng, small_network, majority5):
+        system, strategy = majority5
+        placement = random_placement(system, strategy, small_network, rng=rng)
+        result = simulate_accesses(
+            placement, strategy, rng=rng, accesses_per_client=2000
+        )
+        for node in small_network.nodes:
+            assert result.measured_node_loads[node] == pytest.approx(
+                result.analytic_node_loads[node], abs=0.05
+            )
+
+    def test_simulation_deterministic_given_seed(self, small_network, majority5):
+        system, strategy = majority5
+        placement = random_placement(
+            system, strategy, small_network, rng=np.random.default_rng(1)
+        )
+        a = simulate_accesses(
+            placement, strategy, rng=np.random.default_rng(2), accesses_per_client=100
+        )
+        b = simulate_accesses(
+            placement, strategy, rng=np.random.default_rng(2), accesses_per_client=100
+        )
+        assert a.measured_max_delay == b.measured_max_delay
+
+    def test_rates_scale_client_volumes(self, rng, small_network, majority5):
+        system, strategy = majority5
+        placement = random_placement(system, strategy, small_network, rng=rng)
+        hot = small_network.nodes[0]
+        result = simulate_accesses(
+            placement,
+            strategy,
+            rng=rng,
+            accesses_per_client=100,
+            rates={hot: 1.0},  # all other clients rate 0
+        )
+        assert result.accesses == 100
+
+    def test_all_zero_rates_rejected(self, rng, small_network, majority5):
+        system, strategy = majority5
+        placement = random_placement(system, strategy, small_network, rng=rng)
+        with pytest.raises(ValueError):
+            simulate_accesses(
+                placement,
+                strategy,
+                rng=rng,
+                rates={v: 0.0 for v in small_network.nodes},
+            )

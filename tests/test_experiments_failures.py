@@ -1,0 +1,123 @@
+"""Tests for the failure-injection simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import Placement, single_node_placement
+from repro.experiments import simulate_with_failures
+from repro.network import path_network, random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, majority
+
+
+@pytest.fixture
+def spread(rng):
+    system = majority(3)
+    strategy = AccessStrategy.uniform(system)
+    network = path_network(3).with_capacities(1.0)
+    placement = Placement(system, network, {0: 0, 1: 1, 2: 2})
+    return system, strategy, network, placement
+
+
+class TestNoFailures:
+    def test_zero_failure_rate_matches_baseline(self, rng, spread):
+        _, strategy, _, placement = spread
+        result = simulate_with_failures(
+            placement,
+            strategy,
+            failure_probability=0.0,
+            rng=rng,
+            epochs=5,
+            accesses_per_client=200,
+        )
+        assert result.success_rate == 1.0
+        assert result.failover_rate == 0.0
+        assert result.effective_delay == pytest.approx(
+            result.baseline_delay, rel=0.05
+        )
+        assert result.delay_inflation == pytest.approx(1.0, rel=0.05)
+
+
+class TestTotalFailure:
+    def test_all_nodes_down_means_no_success(self, rng, spread):
+        _, strategy, _, placement = spread
+        result = simulate_with_failures(
+            placement,
+            strategy,
+            failure_probability=1.0,
+            rng=rng,
+            epochs=3,
+            accesses_per_client=10,
+        )
+        assert result.success_rate == 0.0
+        assert result.effective_delay != result.effective_delay  # NaN
+
+
+class TestPartialFailures:
+    def test_success_rate_tracks_availability(self, rng, spread):
+        """The empirical success rate should approximate the exact
+        placement availability."""
+        from repro.analysis import placement_availability
+
+        _, strategy, _, placement = spread
+        p_fail = 0.3
+        expected = placement_availability(placement, p_fail)
+        result = simulate_with_failures(
+            placement,
+            strategy,
+            failure_probability=p_fail,
+            rng=np.random.default_rng(0),
+            epochs=400,
+            accesses_per_client=5,
+        )
+        assert result.success_rate == pytest.approx(expected, abs=0.05)
+
+    def test_failures_inflate_delay(self, rng):
+        """On a path with the best quorum near one end, failovers push
+        clients to farther quorums: effective delay >= baseline."""
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        network = path_network(5).with_capacities(1.0)
+        placement = Placement(system, network, {0: 0, 1: 2, 2: 4})
+        result = simulate_with_failures(
+            placement,
+            strategy,
+            failure_probability=0.25,
+            rng=np.random.default_rng(1),
+            epochs=200,
+            accesses_per_client=5,
+        )
+        assert result.failover_rate > 0.1
+        # Greedy failover picks the *best alive* quorum, so inflation can
+        # even dip below 1; it must stay in a sane band.
+        assert 0.5 <= result.delay_inflation <= 3.0
+
+    def test_collapsed_placement_binary_outcome(self, rng):
+        """Single-node placement: every epoch either all accesses work
+        (host alive) or all fail — success rate ~ 1 - p."""
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        network = path_network(4).with_capacities(10.0)
+        placement = single_node_placement(system, network, node=1)
+        p_fail = 0.4
+        result = simulate_with_failures(
+            placement,
+            strategy,
+            failure_probability=p_fail,
+            rng=np.random.default_rng(2),
+            epochs=500,
+            accesses_per_client=2,
+        )
+        assert result.success_rate == pytest.approx(1 - p_fail, abs=0.06)
+        assert result.failover_rate == 0.0  # nothing to fail over to
+
+    def test_deterministic_given_rng(self, spread):
+        _, strategy, _, placement = spread
+        a = simulate_with_failures(
+            placement, strategy, failure_probability=0.2,
+            rng=np.random.default_rng(9), epochs=20, accesses_per_client=5,
+        )
+        b = simulate_with_failures(
+            placement, strategy, failure_probability=0.2,
+            rng=np.random.default_rng(9), epochs=20, accesses_per_client=5,
+        )
+        assert a == b

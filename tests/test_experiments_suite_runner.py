@@ -1,0 +1,89 @@
+"""Tests for the suite runner (algorithm comparison harness)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    AlgorithmScore,
+    compare_algorithms,
+    small_suite,
+    standard_suite,
+)
+
+
+@pytest.fixture
+def comparison(rng):
+    return compare_algorithms(small_suite(0)[0], rng=rng)
+
+
+class TestComparison:
+    def test_all_algorithms_present(self, comparison):
+        names = {score.name for score in comparison.scores}
+        assert names == {"qpp", "total_delay", "greedy", "random"}
+
+    def test_exact_attached_for_small_instances(self, comparison):
+        assert comparison.optimal_max_delay is not None
+        assert comparison.optimal_max_delay > 0
+
+    def test_feasible_baselines_respect_capacity(self, comparison):
+        for name in ("greedy", "random"):
+            score = comparison.score(name)
+            if not score.failed:
+                assert score.load_factor <= 1.0 + 1e-9
+
+    def test_exact_lower_bounds_feasible_algorithms(self, comparison):
+        optimal = comparison.optimal_max_delay
+        for name in ("greedy", "random"):
+            score = comparison.score(name)
+            if not score.failed:
+                assert score.max_delay >= optimal - 1e-9
+
+    def test_qpp_within_approximation_factor(self, comparison):
+        ratio = comparison.ratio_to_optimal("qpp")
+        assert ratio <= 10.0 + 1e-6  # 5 * alpha/(alpha-1) at alpha = 2
+
+    def test_total_delay_solver_wins_on_its_objective(self, comparison):
+        total_score = comparison.score("total_delay").total_delay
+        for name in ("greedy", "random"):
+            score = comparison.score(name)
+            if not score.failed:
+                assert total_score <= score.total_delay + 1e-6
+
+    def test_unknown_name_raises(self, comparison):
+        with pytest.raises(KeyError):
+            comparison.score("simulated-annealing")
+
+    def test_failure_scores_are_nan(self):
+        failure = AlgorithmScore.failure("greedy")
+        assert failure.failed
+        assert math.isnan(failure.max_delay)
+
+    def test_ratio_without_optimum_is_nan(self, rng):
+        result = compare_algorithms(
+            small_suite(0)[0], rng=rng, include_exact=False
+        )
+        assert math.isnan(result.ratio_to_optimal("qpp"))
+
+
+class TestSuiteBreadth:
+    def test_standard_suite_includes_new_families(self):
+        names = {instance.name for instance in standard_suite(0)}
+        assert any("fpp(2)" in n for n in names)
+        assert any("paths(2)" in n for n in names)
+        assert any("ba(" in n for n in names)
+        assert any("fat_tree" in n for n in names)
+
+    def test_extended_suite_instances_are_solvable(self, rng):
+        """The newly added (system, topology) combos run end to end."""
+        extended = [
+            instance
+            for instance in standard_suite(3)
+            if "fpp" in instance.name or "paths" in instance.name
+        ]
+        assert extended
+        result = compare_algorithms(
+            extended[0], rng=rng, include_exact=False, candidate_sources=2
+        )
+        assert not result.score("qpp").failed

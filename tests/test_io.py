@@ -1,0 +1,117 @@
+"""Tests for JSON serialization round-trips."""
+
+import math
+
+import pytest
+
+from repro import io
+from repro.core import Placement, average_max_delay
+from repro.exceptions import ValidationError
+from repro.network import Network, path_network, two_cluster_network
+from repro.quorums import AccessStrategy, QuorumSystem, grid, majority
+
+
+class TestLabels:
+    def test_scalars_pass_through(self):
+        for label in ("a", 3, 2.5, True):
+            assert io.decode_label(io.encode_label(label)) == label
+
+    def test_tuples_roundtrip(self):
+        label = ("a", (1, 2), 3)
+        assert io.decode_label(io.encode_label(label)) == label
+
+    def test_unsupported_label_rejected(self):
+        with pytest.raises(ValidationError, match="not serializable"):
+            io.encode_label(frozenset({1}))
+
+    def test_malformed_encoded_label_rejected(self):
+        with pytest.raises(ValidationError):
+            io.decode_label({"x": 1})
+        with pytest.raises(ValidationError):
+            io.decode_label([1, 2])
+
+
+class TestNetworkRoundtrip:
+    def test_simple_roundtrip(self):
+        original = path_network(5).with_capacities(2.0)
+        restored = io.network_from_dict(io.network_to_dict(original))
+        assert restored.nodes == original.nodes
+        assert restored.edges() == original.edges()
+        assert restored.capacities() == original.capacities()
+        assert restored.name == original.name
+
+    def test_infinite_capacity_encoded_as_null(self):
+        original = path_network(3)  # default: infinite capacities
+        data = io.network_to_dict(original)
+        assert data["capacities"] == [None, None, None]
+        restored = io.network_from_dict(data)
+        assert restored.capacity(0) == math.inf
+
+    def test_tuple_node_labels(self):
+        original = two_cluster_network(3)
+        restored = io.network_from_dict(io.network_to_dict(original))
+        assert restored.nodes == original.nodes
+        assert restored.distance(("a", 0), ("b", 0)) == original.distance(
+            ("a", 0), ("b", 0)
+        )
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            io.network_from_dict({"kind": "placement"})
+
+    def test_capacity_length_mismatch_rejected(self):
+        data = io.network_to_dict(path_network(3))
+        data["capacities"] = [1.0]
+        with pytest.raises(ValidationError):
+            io.network_from_dict(data)
+
+
+class TestSystemRoundtrip:
+    def test_grid_roundtrip(self):
+        original = grid(3)
+        restored = io.system_from_dict(io.system_to_dict(original))
+        assert restored == original
+        assert restored.name == original.name
+
+    def test_roundtrip_reverifies_intersection(self):
+        data = io.system_to_dict(majority(3))
+        data["quorums"] = [[0], [1]]  # break the intersection property
+        with pytest.raises(Exception):
+            io.system_from_dict(data)
+
+
+class TestStrategyRoundtrip:
+    def test_weights_preserved(self):
+        system = majority(3)
+        original = AccessStrategy.from_weights(system, [1, 2, 3])
+        restored = io.strategy_from_dict(io.strategy_to_dict(original))
+        assert restored.allclose(original)
+
+
+class TestPlacementRoundtrip:
+    def test_full_roundtrip_preserves_delays(self):
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        network = path_network(4).with_capacities(1.0)
+        original = Placement(system, network, {0: 0, 1: 2, 2: 3})
+        restored = io.placement_from_dict(io.placement_to_dict(original))
+        assert restored.as_dict() == original.as_dict()
+        assert average_max_delay(restored, strategy) == pytest.approx(
+            average_max_delay(original, strategy)
+        )
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "network.json"
+        original = path_network(4).with_capacities(1.5)
+        io.save_json(io.network_to_dict(original), path)
+        restored = io.network_from_dict(io.load_json(path))
+        assert restored.edges() == original.edges()
+
+    def test_saved_json_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        network = two_cluster_network(3)
+        io.save_json(io.network_to_dict(network), a)
+        io.save_json(io.network_to_dict(network), b)
+        assert a.read_text() == b.read_text()

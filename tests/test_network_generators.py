@@ -1,0 +1,140 @@
+"""Tests for topology generators, including the Figure 1 broom."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.network import (
+    balanced_tree_network,
+    broom_network,
+    caterpillar_network,
+    complete_network,
+    cycle_network,
+    erdos_renyi_network,
+    grid_network,
+    path_network,
+    proportional_capacities,
+    random_capacities,
+    random_geometric_network,
+    star_network,
+    two_cluster_network,
+    uniform_capacities,
+    waxman_network,
+)
+
+
+class TestStructured:
+    def test_path(self):
+        net = path_network(5, length=2.0)
+        assert net.size == 5
+        assert net.edge_count == 4
+        assert net.distance(0, 4) == pytest.approx(8.0)
+
+    def test_cycle(self):
+        net = cycle_network(6)
+        assert net.edge_count == 6
+        assert net.distance(0, 3) == pytest.approx(3.0)  # halfway round
+
+    def test_star(self):
+        net = star_network(7)
+        assert net.distance(1, 2) == pytest.approx(2.0)
+        assert net.distance(0, 6) == pytest.approx(1.0)
+
+    def test_complete(self):
+        net = complete_network(5, length=3.0)
+        assert net.edge_count == 10
+        assert net.distance(1, 4) == pytest.approx(3.0)
+
+    def test_grid(self):
+        net = grid_network(3, 4)
+        assert net.size == 12
+        assert net.distance((0, 0), (2, 3)) == pytest.approx(5.0)
+
+    def test_balanced_tree(self):
+        net = balanced_tree_network(2, 2)
+        assert net.size == 7
+        assert net.distance(0, 6) == pytest.approx(2.0)
+        assert net.distance(3, 6) == pytest.approx(4.0)
+
+    def test_caterpillar(self):
+        net = caterpillar_network(3, 2)
+        assert net.size == 3 + 6
+        assert net.distance(("l", 0, 0), ("l", 2, 1)) == pytest.approx(4.0)
+
+    def test_two_cluster(self):
+        net = two_cluster_network(4, bridge_length=10.0)
+        assert net.size == 8
+        assert net.distance(("a", 1), ("b", 1)) == pytest.approx(12.0)
+        assert net.distance(("a", 1), ("a", 3)) == pytest.approx(1.0)
+
+
+class TestBroom:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_distance_multiset_matches_appendix_a(self, k):
+        net = broom_network(k)
+        assert net.size == k * k
+        distances = sorted(net.metric().distances_from(0))
+        expected = [0.0] + [1.0] * (k * k - k) + [float(d) for d in range(2, k + 1)]
+        assert distances == pytest.approx(expected)
+
+    def test_minimum_k(self):
+        with pytest.raises(ValidationError):
+            broom_network(1)
+
+
+class TestRandomModels:
+    def test_erdos_renyi_connected_and_deterministic(self):
+        a = erdos_renyi_network(20, 0.1, rng=np.random.default_rng(5))
+        b = erdos_renyi_network(20, 0.1, rng=np.random.default_rng(5))
+        assert a.is_connected()
+        assert a.edges() == b.edges()
+
+    def test_erdos_renyi_length_range(self):
+        net = erdos_renyi_network(
+            12, 0.5, rng=np.random.default_rng(0), length_range=(2.0, 3.0)
+        )
+        for _, _, length in net.edges():
+            assert 2.0 <= length <= 3.0
+
+    def test_geometric_connected_even_with_tiny_radius(self):
+        net = random_geometric_network(15, 0.05, rng=np.random.default_rng(1))
+        assert net.is_connected()
+
+    def test_geometric_metric_satisfies_triangle_inequality(self):
+        net = random_geometric_network(15, 0.5, rng=np.random.default_rng(2))
+        net.metric().verify_triangle_inequality()
+
+    def test_waxman_connected(self):
+        net = waxman_network(18, rng=np.random.default_rng(3))
+        assert net.is_connected()
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            erdos_renyi_network(5, 1.5, rng=rng)
+        with pytest.raises(ValidationError):
+            erdos_renyi_network(5, 0.5, rng=rng, length_range=(3.0, 2.0))
+        with pytest.raises(ValidationError):
+            random_geometric_network(5, -0.1, rng=rng)
+
+
+class TestCapacityPolicies:
+    def test_uniform(self):
+        net = uniform_capacities(path_network(4), 2.5)
+        assert all(net.capacity(v) == 2.5 for v in net.nodes)
+
+    def test_proportional(self):
+        net = proportional_capacities(path_network(4), 10.0)
+        assert net.total_capacity() == pytest.approx(10.0)
+
+    def test_random_in_range_and_deterministic(self):
+        base = path_network(6)
+        a = random_capacities(base, rng=np.random.default_rng(9), low=1.0, high=2.0)
+        b = random_capacities(base, rng=np.random.default_rng(9), low=1.0, high=2.0)
+        for v in base.nodes:
+            assert 1.0 <= a.capacity(v) <= 2.0
+            assert a.capacity(v) == b.capacity(v)
+
+    def test_random_validation(self):
+        with pytest.raises(ValidationError):
+            random_capacities(path_network(3), rng=np.random.default_rng(0), low=2.0, high=1.0)

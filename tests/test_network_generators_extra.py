@@ -1,0 +1,79 @@
+"""Tests for the second wave of topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.network import (
+    barabasi_albert_network,
+    fat_tree_network,
+    ring_of_clusters_network,
+)
+
+
+class TestBarabasiAlbert:
+    def test_connected_and_sized(self):
+        net = barabasi_albert_network(30, 2, rng=np.random.default_rng(0))
+        assert net.size == 30
+        assert net.is_connected()
+
+    def test_deterministic(self):
+        a = barabasi_albert_network(15, 3, rng=np.random.default_rng(4))
+        b = barabasi_albert_network(15, 3, rng=np.random.default_rng(4))
+        assert a.edges() == b.edges()
+
+    def test_hub_formation(self):
+        """Preferential attachment produces a heavy-tailed degree
+        distribution: the max degree should clearly exceed the mean."""
+        net = barabasi_albert_network(60, 2, rng=np.random.default_rng(1))
+        degrees = [len(net.neighbors(v)) for v in net.nodes]
+        assert max(degrees) >= 3 * (sum(degrees) / len(degrees)) / 1.5
+
+    def test_length_range(self):
+        net = barabasi_albert_network(
+            10, 2, rng=np.random.default_rng(2), length_range=(2.0, 5.0)
+        )
+        for _, _, length in net.edges():
+            assert 2.0 <= length <= 5.0
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            barabasi_albert_network(5, 5, rng=rng)
+        with pytest.raises(ValidationError):
+            barabasi_albert_network(5, 0, rng=rng)
+
+
+class TestFatTree:
+    def test_structure(self):
+        net = fat_tree_network(4)
+        # 1 core + 4 pod switches + 16 hosts.
+        assert net.size == 1 + 4 + 16
+        assert net.is_connected()
+
+    def test_hierarchical_distances(self):
+        net = fat_tree_network(3, core_length=4.0, pod_length=1.0)
+        # Same pod: host - switch - host = 2.
+        assert net.distance(("host", 0, 0), ("host", 0, 2)) == pytest.approx(2.0)
+        # Cross pod: host - switch - core - switch - host = 1+4+4+1.
+        assert net.distance(("host", 0, 0), ("host", 2, 1)) == pytest.approx(10.0)
+
+
+class TestRingOfClusters:
+    def test_structure(self):
+        net = ring_of_clusters_network(4, 3)
+        assert net.size == 12
+        assert net.is_connected()
+
+    def test_gateway_ring_distances(self):
+        net = ring_of_clusters_network(4, 2, local_length=1.0, ring_length=10.0)
+        # Adjacent gateways: one ring hop.
+        assert net.distance((0, 0), (1, 0)) == pytest.approx(10.0)
+        # Opposite gateways: two ring hops either way.
+        assert net.distance((0, 0), (2, 0)) == pytest.approx(20.0)
+        # Non-gateway to non-gateway across adjacent clusters.
+        assert net.distance((0, 1), (1, 1)) == pytest.approx(12.0)
+
+    def test_minimum_clusters(self):
+        with pytest.raises(ValidationError):
+            ring_of_clusters_network(2, 2)

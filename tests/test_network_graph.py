@@ -1,0 +1,140 @@
+"""Unit tests for the Network type."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.network import Network
+
+
+@pytest.fixture
+def triangle():
+    return Network(
+        ["a", "b", "c"],
+        [("a", "b", 2.0), ("b", "c", 3.0), ("a", "c", 10.0)],
+        capacities=1.5,
+        name="tri",
+    )
+
+
+class TestConstruction:
+    def test_basic_accessors(self, triangle):
+        assert triangle.size == 3
+        assert triangle.edge_count == 3
+        assert triangle.edge_length("a", "b") == 2.0
+        assert triangle.capacity("c") == 1.5
+        assert triangle.total_capacity() == pytest.approx(4.5)
+
+    def test_default_edge_length_is_one(self):
+        net = Network([1, 2], [(1, 2)])
+        assert net.edge_length(1, 2) == 1.0
+
+    def test_default_capacity_is_infinite(self):
+        net = Network([1, 2], [(1, 2)])
+        assert net.capacity(1) == math.inf
+
+    def test_parallel_edges_keep_shortest(self):
+        net = Network([1, 2], [(1, 2, 5.0), (1, 2, 2.0), (1, 2, 9.0)])
+        assert net.edge_length(1, 2) == 2.0
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            Network([1, 1], [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError, match="self-loop"):
+            Network([1, 2], [(1, 1)])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ValidationError, match="unknown"):
+            Network([1, 2], [(1, 3)])
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ValidationError):
+            Network([1, 2], [(1, 2, 0.0)])
+        with pytest.raises(ValidationError):
+            Network([1, 2], [(1, 2, -1.0)])
+
+    def test_capacity_mapping_must_cover_all_nodes(self):
+        with pytest.raises(ValidationError, match="capacity"):
+            Network([1, 2], [(1, 2)], capacities={1: 1.0})
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            Network([1, 2], [(1, 2)], capacities={1: 1.0, 2: -1.0})
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValidationError):
+            Network([], [])
+
+    def test_bad_edge_arity_rejected(self):
+        with pytest.raises(ValidationError, match="edge"):
+            Network([1, 2], [(1,)])
+
+
+class TestQueries:
+    def test_neighbors(self, triangle):
+        assert set(triangle.neighbors("a")) == {"b", "c"}
+
+    def test_edges_listed_once(self, triangle):
+        edges = triangle.edges()
+        assert len(edges) == 3
+        pairs = {(u, v) for u, v, _ in edges}
+        assert ("b", "a") not in pairs or ("a", "b") not in pairs
+
+    def test_node_index_stable(self, triangle):
+        assert [triangle.node_index(v) for v in triangle.nodes] == [0, 1, 2]
+
+    def test_unknown_node_raises(self, triangle):
+        with pytest.raises(ValidationError):
+            triangle.node_index("zebra")
+        with pytest.raises(ValidationError):
+            triangle.edge_length("a", "zebra")
+
+    def test_missing_edge_raises(self):
+        net = Network([1, 2, 3], [(1, 2), (2, 3)])
+        with pytest.raises(ValidationError, match="no edge"):
+            net.edge_length(1, 3)
+
+    def test_is_connected(self):
+        connected = Network([1, 2, 3], [(1, 2), (2, 3)])
+        assert connected.is_connected()
+
+    def test_distance_uses_shortest_path(self, triangle):
+        # a-c direct costs 10 but a-b-c costs 5.
+        assert triangle.distance("a", "c") == pytest.approx(5.0)
+
+
+class TestDerivation:
+    def test_with_capacities_uniform(self, triangle):
+        updated = triangle.with_capacities(9.0)
+        assert updated.capacity("a") == 9.0
+        assert triangle.capacity("a") == 1.5  # original untouched
+
+    def test_with_capacities_callable(self, triangle):
+        updated = triangle.with_capacities(lambda v: 2.0 if v == "a" else 1.0)
+        assert updated.capacity("a") == 2.0
+        assert updated.capacity("b") == 1.0
+
+    def test_with_name(self, triangle):
+        renamed = triangle.with_name("other")
+        assert renamed.name == "other"
+        assert renamed.size == triangle.size
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self, triangle):
+        graph = triangle.to_networkx()
+        back = Network.from_networkx(graph)
+        assert back.size == triangle.size
+        assert back.edge_length("a", "b") == triangle.edge_length("a", "b")
+        assert back.capacity("c") == triangle.capacity("c")
+
+    def test_from_networkx_defaults(self):
+        import networkx as nx
+
+        graph = nx.path_graph(4)
+        net = Network.from_networkx(graph)
+        assert net.edge_length(0, 1) == 1.0
+        assert net.capacity(0) == math.inf

@@ -1,0 +1,117 @@
+"""Tests for the shortest-path metric, cross-checked against networkx."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.network import (
+    Metric,
+    Network,
+    dijkstra,
+    grid_network,
+    path_network,
+    random_geometric_network,
+)
+
+
+class TestDijkstra:
+    def test_simple_path(self):
+        adjacency = {0: {1: 2.0}, 1: {0: 2.0, 2: 3.0}, 2: {1: 3.0}}
+        distances = dijkstra(adjacency, 0)
+        assert distances == {0: 0.0, 1: 2.0, 2: 5.0}
+
+    def test_unreachable_nodes_absent(self):
+        adjacency = {0: {1: 1.0}, 1: {0: 1.0}, 2: {}}
+        distances = dijkstra(adjacency, 0)
+        assert 2 not in distances
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValidationError):
+            dijkstra({0: {}}, 5)
+
+    def test_shortcut_preferred(self):
+        adjacency = {
+            0: {1: 10.0, 2: 1.0},
+            1: {0: 10.0, 2: 1.0},
+            2: {0: 1.0, 1: 1.0},
+        }
+        assert dijkstra(adjacency, 0)[1] == pytest.approx(2.0)
+
+    def test_heterogeneous_node_labels(self):
+        adjacency = {"a": {(1, 2): 1.0}, (1, 2): {"a": 1.0}}
+        distances = dijkstra(adjacency, "a")
+        assert distances[(1, 2)] == 1.0
+
+
+class TestMetric:
+    def test_matches_networkx_all_pairs(self, rng):
+        import networkx as nx
+
+        network = random_geometric_network(15, 0.45, rng=rng)
+        metric = network.metric()
+        graph = network.to_networkx()
+        expected = dict(nx.all_pairs_dijkstra_path_length(graph, weight="length"))
+        for u in network.nodes:
+            for v in network.nodes:
+                assert metric.distance(u, v) == pytest.approx(expected[u][v])
+
+    def test_disconnected_network_rejected(self):
+        net = Network([1, 2, 3], [(1, 2)])
+        with pytest.raises(ValidationError, match="disconnected"):
+            net.metric()
+
+    def test_matrix_is_read_only(self):
+        metric = path_network(4).metric()
+        with pytest.raises(ValueError):
+            metric.matrix[0, 0] = 5.0
+
+    def test_invalid_matrices_rejected(self):
+        with pytest.raises(ValidationError, match="symmetric"):
+            Metric([0, 1], np.array([[0.0, 1.0], [2.0, 0.0]]))
+        with pytest.raises(ValidationError, match="zero"):
+            Metric([0, 1], np.array([[1.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValidationError, match="non-negative"):
+            Metric([0, 1], np.array([[0.0, -1.0], [-1.0, 0.0]]))
+        with pytest.raises(ValidationError, match="finite"):
+            Metric([0, 1], np.array([[0.0, np.inf], [np.inf, 0.0]]))
+        with pytest.raises(ValidationError, match="2x2"):
+            Metric([0, 1], np.zeros((3, 3)))
+
+    def test_triangle_inequality_passes_for_shortest_paths(self, rng):
+        metric = random_geometric_network(12, 0.5, rng=rng).metric()
+        metric.verify_triangle_inequality()
+
+    def test_triangle_inequality_violation_detected(self):
+        bad = Metric(
+            [0, 1, 2],
+            np.array([[0.0, 1.0, 5.0], [1.0, 0.0, 1.0], [5.0, 1.0, 0.0]]),
+        )
+        with pytest.raises(ValidationError, match="triangle"):
+            bad.verify_triangle_inequality()
+
+    def test_eccentricity_and_diameter(self):
+        metric = path_network(5).metric()
+        assert metric.eccentricity(0) == pytest.approx(4.0)
+        assert metric.eccentricity(2) == pytest.approx(2.0)
+        assert metric.diameter() == pytest.approx(4.0)
+
+    def test_median_of_path_is_center(self):
+        metric = path_network(5).metric()
+        assert metric.median() == 2
+
+    def test_nodes_by_distance_sorted_with_deterministic_ties(self):
+        metric = grid_network(3, 3).metric()
+        ordered = metric.nodes_by_distance((0, 0))
+        distances = [metric.distance((0, 0), v) for v in ordered]
+        assert distances == sorted(distances)
+        assert ordered[0] == (0, 0)
+        # ties broken by node index: (0,1) precedes (1,0)
+        assert ordered.index((0, 1)) < ordered.index((1, 0))
+
+    def test_average_distance_to(self):
+        metric = path_network(3).metric()
+        assert metric.average_distance_to(1) == pytest.approx((1 + 0 + 1) / 3)
+
+    def test_metric_cached_on_network(self):
+        network = path_network(4)
+        assert network.metric() is network.metric()

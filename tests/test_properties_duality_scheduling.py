@@ -1,0 +1,86 @@
+"""Property-based tests: duality laws and the hardness reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quorums import QuorumSystem, minimal_transversals
+from repro.scheduling import random_woeginger_instance, solve_scheduling_exact
+
+
+@st.composite
+def anchored_systems(draw):
+    """Small random intersecting families sharing element 0."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    count = draw(st.integers(min_value=1, max_value=4))
+    quorums = []
+    seen = set()
+    for _ in range(count):
+        extra = draw(
+            st.sets(st.integers(min_value=1, max_value=n - 1), max_size=n - 1)
+        )
+        quorum = frozenset({0} | extra)
+        if quorum not in seen:
+            seen.add(quorum)
+            quorums.append(quorum)
+    return QuorumSystem(quorums, universe=range(n), check=False)
+
+
+@given(anchored_systems())
+@settings(max_examples=50, deadline=None)
+def test_transversals_hit_everything_and_are_minimal(system):
+    transversals = minimal_transversals(system)
+    assert transversals, "every quorum system has a transversal"
+    for t in transversals:
+        assert all(not t.isdisjoint(q) for q in system.quorums)
+        # Minimality: removing any element leaves some quorum unhit.
+        for element in t:
+            smaller = t - {element}
+            assert any(smaller.isdisjoint(q) for q in system.quorums)
+
+
+@given(anchored_systems())
+@settings(max_examples=40, deadline=None)
+def test_double_transversal_is_reduction(system):
+    """T(T(Q)) == reduced(Q) for every (anchored) quorum system."""
+    reduced = system.reduced()
+    first = minimal_transversals(reduced)
+    wrapper = QuorumSystem(first, universe=reduced.universe, check=False)
+    double = set(minimal_transversals(wrapper))
+    assert double == set(reduced.quorums)
+
+
+@given(anchored_systems())
+@settings(max_examples=40, deadline=None)
+def test_transversal_count_at_least_one_quorum_bound(system):
+    """Each transversal has size <= number of quorums (pick one element
+    per quorum), and there are at least as many transversals as the
+    largest antichain lower bound of 1."""
+    transversals = minimal_transversals(system)
+    assert all(len(t) <= len(system) for t in transversals)
+
+
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_hardness_reduction_equivalence_property(unit_time, unit_weight, seed):
+    """The Theorem 3.6 affine correspondence holds on random
+    Woeginger instances: optimal schedule cost maps to the delay of the
+    corresponding placement, and the round trip preserves cost."""
+    from repro.core import reduce_scheduling_to_ssqpp
+
+    rng = np.random.default_rng(seed)
+    instance = random_woeginger_instance(
+        unit_time, unit_weight, rng=rng, edge_probability=0.5
+    )
+    reduction = reduce_scheduling_to_ssqpp(instance)
+    best = solve_scheduling_exact(instance)
+    placement = reduction.schedule_to_placement(best.order)
+    delay = reduction.placement_delay(placement)
+    assert delay == pytest.approx(reduction.delay_of_schedule_cost(best.cost))
+    recovered = reduction.placement_to_schedule(placement)
+    assert instance.cost(recovered) == pytest.approx(best.cost)

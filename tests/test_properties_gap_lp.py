@@ -1,0 +1,151 @@
+"""Property-based tests for the LP layer and the GAP rounding."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import InfeasibleError
+from repro.gap import GAPInstance, round_fractional_assignment, solve_gap_lp
+from repro.lp import Model
+
+# -- LP layer properties --------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        min_size=2,
+        max_size=6,
+    ),
+    st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_lp_knapsack_relaxation_picks_best_ratio(costs, budget):
+    """max sum x_i subject to sum c_i x_i <= budget, 0 <= x_i <= 1: the
+    fractional knapsack optimum is achieved greedily by cheapest first."""
+    m = Model()
+    xs = m.variables(len(costs), ub=1.0)
+    total_cost = xs[0] * costs[0]
+    for x, c in zip(xs[1:], costs[1:]):
+        total_cost = total_cost + x * c
+    m.add_constraint(total_cost <= budget)
+    objective = xs[0].to_expr()
+    for x in xs[1:]:
+        objective = objective + x
+    m.maximize(objective)
+    solution = m.solve()
+
+    remaining = budget
+    greedy = 0.0
+    for c in sorted(costs):
+        take = min(1.0, remaining / c)
+        if take <= 0:
+            break
+        greedy += take
+        remaining -= take * c
+    assert solution.objective == pytest.approx(greedy, abs=1e-6)
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_lp_scaling_invariance(n, scale):
+    """Scaling the objective scales the optimum linearly."""
+    def build(factor):
+        m = Model()
+        xs = m.variables(n, ub=1.0)
+        expr = xs[0] * factor
+        for i, x in enumerate(xs[1:], start=2):
+            expr = expr + x * (factor * i)
+        m.minimize(expr)
+        total = xs[0].to_expr()
+        for x in xs[1:]:
+            total = total + x
+        m.add_constraint(total >= 1)
+        return m.solve().objective
+
+    base = build(1.0)
+    scaled = build(scale)
+    assert scaled == pytest.approx(scale * base, rel=1e-6)
+
+
+# -- GAP properties ---------------------------------------------------------------------
+
+
+@st.composite
+def gap_instances(draw):
+    machines = draw(st.integers(min_value=2, max_value=4))
+    jobs = draw(st.integers(min_value=1, max_value=5))
+    costs = draw(
+        arrays(
+            float,
+            (machines, jobs),
+            elements=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        )
+    )
+    loads = draw(
+        arrays(
+            float,
+            (machines, jobs),
+            elements=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+        )
+    )
+    capacities = draw(
+        arrays(
+            float,
+            (machines,),
+            elements=st.floats(min_value=0.5, max_value=3.0, allow_nan=False),
+        )
+    )
+    return GAPInstance(
+        tuple(range(jobs)),
+        tuple(f"m{i}" for i in range(machines)),
+        costs,
+        loads,
+        capacities,
+    )
+
+
+@given(gap_instances())
+@settings(max_examples=50, deadline=None)
+def test_shmoys_tardos_guarantees_always_hold(instance):
+    """The Theorem 3.11 pair of guarantees on arbitrary feasible LPs."""
+    try:
+        fractional = solve_gap_lp(instance)
+    except InfeasibleError:
+        assume(False)  # discard infeasible draws
+        return
+    rounded = round_fractional_assignment(fractional)
+    assert rounded.cost <= fractional.cost + 1e-6
+    for i, machine in enumerate(instance.machines):
+        bound = instance.capacities[i] + instance.max_load_on_machine(i)
+        assert rounded.machine_loads[machine] <= bound + 1e-6
+
+
+@given(gap_instances())
+@settings(max_examples=50, deadline=None)
+def test_rounding_covers_every_job_exactly_once(instance):
+    try:
+        fractional = solve_gap_lp(instance)
+    except InfeasibleError:
+        assume(False)
+        return
+    rounded = round_fractional_assignment(fractional)
+    assert set(rounded.assignment) == set(instance.jobs)
+    assert all(m in instance.machines for m in rounded.assignment.values())
+
+
+@given(gap_instances())
+@settings(max_examples=30, deadline=None)
+def test_lp_fractions_form_distribution_per_job(instance):
+    try:
+        fractional = solve_gap_lp(instance)
+    except InfeasibleError:
+        assume(False)
+        return
+    sums = np.asarray(fractional.fractions).sum(axis=0)
+    assert sums == pytest.approx(np.ones(instance.num_jobs), abs=1e-6)

@@ -1,0 +1,145 @@
+"""Property-based tests: layouts, the Majority formula, and serialization."""
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import io
+from repro.core import (
+    concentric_matrix,
+    grid_matrix_delay,
+    majority_delay_formula,
+)
+from repro.network import Network
+
+# -- Theorem B.1 as a property -------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=4,
+        max_size=4,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_concentric_k2_beats_every_arrangement(values):
+    from itertools import permutations
+
+    ours = grid_matrix_delay(concentric_matrix(list(values)))
+    for p in permutations(values):
+        assert ours <= grid_matrix_delay(np.array(p).reshape(2, 2)) + 1e-9
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=9,
+        max_size=9,
+    ),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_concentric_k3_never_beaten_by_random_samples(values, seed):
+    rng = np.random.default_rng(seed)
+    ours = grid_matrix_delay(concentric_matrix(list(values)))
+    array = np.array(values)
+    for _ in range(50):
+        rng.shuffle(array)
+        assert ours <= grid_matrix_delay(array.reshape(3, 3)) + 1e-9
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=16,
+        max_size=16,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_matrix_delay_bounds(values):
+    """The average max per quorum sits between the max entry's row/col
+    reach and the global max."""
+    matrix = concentric_matrix(list(values))
+    delay = grid_matrix_delay(matrix)
+    assert delay <= max(values) + 1e-9
+    assert delay >= min(values) - 1e-9
+
+
+# -- Equation (19) as a property --------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=3, max_value=7),
+    st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_majority_formula_matches_brute_force(n, data):
+    t = data.draw(st.integers(min_value=n // 2 + 1, max_value=n))
+    distances = data.draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    taus = sorted(distances, reverse=True)
+    expected = sum(
+        max(taus[i] for i in quorum) for quorum in combinations(range(n), t)
+    ) / comb(n, t)
+    assert majority_delay_formula(n, t, distances) == pytest.approx(
+        expected, abs=1e-9
+    )
+
+
+# -- serialization round-trips as properties -----------------------------------------------
+
+
+label_strategy = st.recursive(
+    st.one_of(
+        st.integers(min_value=-1000, max_value=1000),
+        st.text(max_size=8),
+        st.booleans(),
+    ),
+    lambda children: st.tuples(children, children),
+    max_leaves=4,
+)
+
+
+@given(label_strategy)
+@settings(max_examples=100, deadline=None)
+def test_label_roundtrip(label):
+    assert io.decode_label(io.encode_label(label)) == label
+
+
+@st.composite
+def tree_networks(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    edges = []
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        length = draw(st.floats(min_value=0.1, max_value=9.0, allow_nan=False))
+        edges.append((parent, node, length))
+    capacities = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Network(
+        range(n), edges, capacities={i: c for i, c in enumerate(capacities)}
+    )
+
+
+@given(tree_networks())
+@settings(max_examples=50, deadline=None)
+def test_network_roundtrip_property(network):
+    restored = io.network_from_dict(io.network_to_dict(network))
+    assert restored.nodes == network.nodes
+    assert restored.edges() == network.edges()
+    assert restored.capacities() == network.capacities()

@@ -1,0 +1,154 @@
+"""Property-based tests for metrics, placements and the paper's
+structural inequalities (notably Lemma 3.1 on arbitrary instances)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Placement,
+    average_max_delay,
+    average_total_delay,
+    expected_max_delay,
+    expected_total_delay,
+    node_loads,
+    relay_analysis,
+)
+from repro.network import Network
+from repro.quorums import AccessStrategy, QuorumSystem
+
+# -- generators -----------------------------------------------------------------------
+
+
+@st.composite
+def networks(draw):
+    """Connected random networks: a random tree plus extra random edges."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    edges = []
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        length = draw(st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+        edges.append((parent, node, length))
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            length = draw(st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+            edges.append((u, v, length))
+    return Network(range(n), edges)
+
+
+@st.composite
+def placement_instances(draw):
+    network = draw(networks())
+    n_elements = draw(st.integers(min_value=2, max_value=5))
+    anchor = 0
+    quorums = []
+    seen = set()
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        extra = draw(
+            st.sets(
+                st.integers(min_value=1, max_value=n_elements - 1),
+                max_size=n_elements - 1,
+            )
+        )
+        quorum = frozenset({anchor} | extra)
+        if quorum not in seen:
+            seen.add(quorum)
+            quorums.append(quorum)
+    system = QuorumSystem(quorums, universe=range(n_elements), check=False)
+    strategy = AccessStrategy.uniform(system)
+    mapping = {
+        u: draw(st.integers(min_value=0, max_value=network.size - 1))
+        for u in system.universe
+    }
+    placement = Placement(system, network, mapping)
+    return system, strategy, network, placement
+
+
+# -- metric properties ------------------------------------------------------------------
+
+
+@given(networks())
+@settings(max_examples=50, deadline=None)
+def test_shortest_path_metric_is_a_metric(network):
+    metric = network.metric()
+    metric.verify_triangle_inequality()
+    matrix = metric.matrix
+    assert np.allclose(matrix, matrix.T)
+    assert np.allclose(np.diag(matrix), 0.0)
+
+
+@given(networks())
+@settings(max_examples=30, deadline=None)
+def test_distances_bounded_by_edge_sum(network):
+    total = sum(length for _, _, length in network.edges())
+    assert network.metric().diameter() <= total + 1e-9
+
+
+# -- placement properties -----------------------------------------------------------------
+
+
+@given(placement_instances())
+@settings(max_examples=50, deadline=None)
+def test_max_delay_at_most_total_delay(instance):
+    """delta <= gamma pointwise, hence Delta <= Gamma."""
+    system, strategy, network, placement = instance
+    for client in network.nodes:
+        assert (
+            expected_max_delay(placement, strategy, client)
+            <= expected_total_delay(placement, strategy, client) + 1e-9
+        )
+
+
+@given(placement_instances())
+@settings(max_examples=50, deadline=None)
+def test_average_delays_are_averages(instance):
+    system, strategy, network, placement = instance
+    per_client = [
+        expected_max_delay(placement, strategy, v) for v in network.nodes
+    ]
+    assert average_max_delay(placement, strategy) == pytest.approx(
+        float(np.mean(per_client))
+    )
+    per_client_total = [
+        expected_total_delay(placement, strategy, v) for v in network.nodes
+    ]
+    assert average_total_delay(placement, strategy) == pytest.approx(
+        float(np.mean(per_client_total))
+    )
+
+
+@given(placement_instances())
+@settings(max_examples=50, deadline=None)
+def test_node_loads_conserve_total_load(instance):
+    system, strategy, network, placement = instance
+    loads = node_loads(placement, strategy)
+    assert sum(loads.values()) == pytest.approx(strategy.total_load())
+
+
+@given(placement_instances())
+@settings(max_examples=50, deadline=None)
+def test_lemma_3_1_holds_on_arbitrary_instances(instance):
+    """The relay factor never exceeds 5, for ANY placement, system,
+    strategy and network — the strongest form of the lemma."""
+    system, strategy, network, placement = instance
+    analysis = relay_analysis(placement, strategy)
+    assert analysis.factor <= 5.0 + 1e-9
+
+
+@given(placement_instances())
+@settings(max_examples=30, deadline=None)
+def test_intersecting_quorums_bound_pairwise_distance(instance):
+    """The key inequality in Lemma 3.1's proof:
+    d(v, v') <= Delta_f(v) + Delta_f(v')."""
+    system, strategy, network, placement = instance
+    metric = network.metric()
+    deltas = {
+        v: expected_max_delay(placement, strategy, v) for v in network.nodes
+    }
+    for v in network.nodes:
+        for w in network.nodes:
+            assert metric.distance(v, w) <= deltas[v] + deltas[w] + 1e-9

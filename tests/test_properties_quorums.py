@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for quorum systems and strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quorums import (
+    AccessStrategy,
+    QuorumSystem,
+    crumbling_wall,
+    rectangular_grid,
+    threshold,
+    weighted_majority,
+)
+
+# -- generators -----------------------------------------------------------------------
+
+
+@st.composite
+def quorum_systems(draw):
+    """Random intersecting families built around a shared 'anchor' element
+    plus optional extra members — always a valid quorum system."""
+    n = draw(st.integers(min_value=2, max_value=7))
+    anchor = 0
+    count = draw(st.integers(min_value=1, max_value=6))
+    quorums = []
+    seen = set()
+    for _ in range(count):
+        extra = draw(
+            st.sets(st.integers(min_value=1, max_value=n - 1), max_size=n - 1)
+        )
+        quorum = frozenset({anchor} | extra)
+        if quorum not in seen:
+            seen.add(quorum)
+            quorums.append(quorum)
+    return QuorumSystem(quorums, universe=range(n), check=False)
+
+
+@st.composite
+def systems_with_strategies(draw):
+    system = draw(quorum_systems())
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=len(system),
+            max_size=len(system),
+        )
+    )
+    return system, AccessStrategy.from_weights(system, weights)
+
+
+# -- properties ------------------------------------------------------------------------
+
+
+@given(quorum_systems())
+@settings(max_examples=60, deadline=None)
+def test_anchored_families_intersect(system):
+    system.verify_intersection()
+
+
+@given(systems_with_strategies())
+@settings(max_examples=60, deadline=None)
+def test_total_load_equals_expected_quorum_size(pair):
+    system, strategy = pair
+    assert strategy.total_load() == pytest.approx(strategy.expected_quorum_size())
+
+
+@given(systems_with_strategies())
+@settings(max_examples=60, deadline=None)
+def test_loads_bounded_by_probability_mass(pair):
+    """0 <= load(u) <= 1 and the max load is at least 1/|largest quorum|...
+    more precisely at least expected size / n."""
+    system, strategy = pair
+    for u in system.universe:
+        load = strategy.load(u)
+        assert -1e-9 <= load <= 1.0 + 1e-9
+    assert strategy.max_load() >= strategy.expected_quorum_size() / system.universe_size - 1e-9
+
+
+@given(systems_with_strategies())
+@settings(max_examples=40, deadline=None)
+def test_naor_wool_lower_bound_property(pair):
+    """Any strategy's max load is at least c(Q)/n (Naor-Wool)."""
+    system, strategy = pair
+    bound = system.min_quorum_size() / system.universe_size
+    assert strategy.max_load() >= bound - 1e-9
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_rectangular_grids_always_intersect(rows, columns):
+    rectangular_grid(rows, columns).verify_intersection()
+
+
+@given(st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_crumbling_walls_always_intersect(widths):
+    crumbling_wall(widths).verify_intersection()
+
+
+@given(st.integers(min_value=1, max_value=9))
+@settings(max_examples=9, deadline=None)
+def test_thresholds_always_intersect(n):
+    threshold(n, n // 2 + 1).verify_intersection()
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=7),
+        st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_weighted_majorities_always_intersect_and_are_coteries(weights):
+    system = weighted_majority(weights)
+    system.verify_intersection()
+    assert system.is_coterie()
+
+
+@given(systems_with_strategies(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_sampling_stays_in_support(pair, seed):
+    system, strategy = pair
+    rng = np.random.default_rng(seed)
+    samples = strategy.sample(rng, size=50)
+    support = set(strategy.support())
+    assert set(int(s) for s in samples) <= support
+
+
+@given(systems_with_strategies())
+@settings(max_examples=30, deadline=None)
+def test_mixture_with_itself_is_identity(pair):
+    _, strategy = pair
+    mixed = AccessStrategy.mixture([strategy, strategy], [0.5, 0.5])
+    assert mixed.allclose(strategy)
+
+
+@given(quorum_systems())
+@settings(max_examples=40, deadline=None)
+def test_reduced_systems_are_coteries_dominating_original(system):
+    from repro.quorums import is_dominated_by
+
+    reduced = system.reduced()
+    assert reduced.is_coterie()
+    assert is_dominated_by(system, reduced)

@@ -1,0 +1,90 @@
+"""Meta-tests over the public API surface.
+
+These guard the packaging promises: everything exported in ``__all__``
+exists, is importable, and carries a docstring — so the documented API
+cannot silently drift from the implementation.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.core",
+    "repro.experiments",
+    "repro.gap",
+    "repro.io",
+    "repro.lp",
+    "repro.network",
+    "repro.quorums",
+    "repro.scheduling",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip()
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{module_name} should declare __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            # Re-exported aliases of stdlib types (Node, Element) are
+            # documented at their defining module, not here.
+            if not getattr(obj, "__module__", "").startswith("repro"):
+                continue
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"undocumented public names: {undocumented}"
+
+
+def test_version_is_consistent():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_no_export_shadows_submodule():
+    """Regression guard for the total_delay module/function collision:
+    no name in a package's __all__ may be bound to a *module* object
+    unless it genuinely is the submodule re-export."""
+    import types
+
+    import repro.core as core
+
+    for name in core.__all__:
+        obj = getattr(core, name)
+        assert not isinstance(obj, types.ModuleType), (
+            f"repro.core.{name} resolves to a module; a function or class "
+            "was probably shadowed by a submodule import"
+        )
+
+
+def test_headline_solvers_share_signature_conventions():
+    """Every solver takes (system, strategy, network, ...) in that order
+    and supports keyword-only tuning parameters."""
+    from repro.core import solve_qpp, solve_ssqpp, solve_total_delay
+
+    for solver in (solve_qpp, solve_total_delay):
+        parameters = list(inspect.signature(solver).parameters)
+        assert parameters[:3] == ["system", "strategy", "network"]
+    ssqpp_parameters = list(inspect.signature(solve_ssqpp).parameters)
+    assert ssqpp_parameters[:4] == ["system", "strategy", "network", "source"]

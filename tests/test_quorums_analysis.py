@@ -1,0 +1,106 @@
+"""Tests for quorum-system analysis: resilience, availability, degrees."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.quorums import (
+    AccessStrategy,
+    QuorumSystem,
+    availability_exact,
+    availability_monte_carlo,
+    degree_statistics,
+    grid,
+    is_dominated_by,
+    majority,
+    resilience,
+    singleton,
+    star,
+    strategy_summary,
+    wheel,
+)
+
+
+class TestResilience:
+    def test_singleton_has_zero_resilience(self):
+        assert resilience(singleton()) == 0
+
+    def test_majority_resilience(self):
+        # Majority(5): quorums of size 3; killing any 2 elements leaves a
+        # quorum among the surviving 3; killing 3 can destroy all.
+        assert resilience(majority(5)) == 2
+
+    def test_grid_resilience(self):
+        # Grid(2): the 2x2 grid quorums each have 3 of 4 elements; any
+        # single failure leaves a full quorum... actually any single
+        # element is missed by exactly one quorum; two failures can hit
+        # all quorums.
+        assert resilience(grid(2)) == 1
+
+    def test_star_resilience_zero(self):
+        # The hub is in every quorum.
+        assert resilience(star(5)) == 0
+
+    def test_large_universe_guarded(self):
+        with pytest.raises(ValidationError, match="at most"):
+            resilience(majority(21))
+
+
+class TestAvailability:
+    def test_availability_exact_extremes(self, majority5):
+        system, _ = majority5
+        assert availability_exact(system, 0.0) == pytest.approx(1.0)
+        assert availability_exact(system, 1.0) == pytest.approx(0.0)
+
+    def test_majority_availability_closed_form(self):
+        """For Majority(3) (quorums = pairs and ... all 2-subsets of 3),
+        availability = P(at least 2 of 3 alive)."""
+        system = majority(3)
+        p_fail = 0.3
+        alive = 1 - p_fail
+        expected = alive**3 + 3 * alive**2 * p_fail
+        assert availability_exact(system, p_fail) == pytest.approx(expected)
+
+    def test_monte_carlo_matches_exact(self):
+        system = majority(5)
+        p_fail = 0.25
+        exact = availability_exact(system, p_fail)
+        estimate = availability_monte_carlo(
+            system, p_fail, samples=20_000, rng=np.random.default_rng(0)
+        )
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_monte_carlo_deterministic_given_rng(self):
+        system = grid(2)
+        a = availability_monte_carlo(system, 0.2, samples=500, rng=np.random.default_rng(7))
+        b = availability_monte_carlo(system, 0.2, samples=500, rng=np.random.default_rng(7))
+        assert a == b
+
+
+class TestDegreesAndDomination:
+    def test_degree_statistics_grid(self):
+        stats = degree_statistics(grid(3))
+        assert stats.min_degree == stats.max_degree == 5
+        assert stats.mean_quorum_size == pytest.approx(5.0)
+
+    def test_is_dominated_by_reflexive(self):
+        system = majority(5)
+        assert is_dominated_by(system, system)
+
+    def test_dominated_system(self):
+        big = QuorumSystem([{1, 2, 3}])
+        small = QuorumSystem([{1, 2}])
+        assert is_dominated_by(big, small)
+        assert not is_dominated_by(small, big)
+
+    def test_strategy_summary_keys(self, majority5):
+        system, strategy = majority5
+        summary = strategy_summary(strategy)
+        assert summary["max_load"] == pytest.approx(3 / 5)
+        assert summary["support_size"] == len(system)
+
+
+@pytest.fixture
+def majority5():
+    system = majority(5)
+    return system, AccessStrategy.uniform(system)

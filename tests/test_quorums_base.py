@@ -1,0 +1,123 @@
+"""Unit tests for the QuorumSystem core type."""
+
+import pytest
+
+from repro.exceptions import IntersectionError, ValidationError
+from repro.quorums import QuorumSystem
+
+
+@pytest.fixture
+def triangle():
+    return QuorumSystem([{1, 2}, {2, 3}, {1, 3}], name="triangle")
+
+
+class TestConstruction:
+    def test_basic_properties(self, triangle):
+        assert len(triangle) == 3
+        assert triangle.universe == (1, 2, 3)
+        assert triangle.universe_size == 3
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValidationError):
+            QuorumSystem([])
+
+    def test_empty_quorum_rejected(self):
+        with pytest.raises(ValidationError):
+            QuorumSystem([{1}, set()])
+
+    def test_duplicate_quorums_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            QuorumSystem([{1, 2}, {2, 1}])
+
+    def test_non_intersecting_family_rejected(self):
+        with pytest.raises(IntersectionError):
+            QuorumSystem([{1, 2}, {3, 4}])
+
+    def test_check_false_skips_verification_but_verify_catches(self):
+        broken = QuorumSystem([{1, 2}, {3, 4}], check=False)
+        with pytest.raises(IntersectionError):
+            broken.verify_intersection()
+
+    def test_explicit_universe_may_have_unused_elements(self):
+        qs = QuorumSystem([{1}], universe=[1, 2, 3])
+        assert qs.universe == (1, 2, 3)
+        assert qs.element_degree(2) == 0
+
+    def test_universe_missing_used_element_rejected(self):
+        with pytest.raises(ValidationError, match="missing"):
+            QuorumSystem([{1, 2}], universe=[1])
+
+    def test_heterogeneous_elements_get_deterministic_order(self):
+        qs = QuorumSystem([{"a", 1}, {1, (2, 3)}])
+        assert qs.universe == qs.universe  # stable
+        assert set(qs.universe) == {"a", 1, (2, 3)}
+
+
+class TestContainerProtocol:
+    def test_iteration_and_indexing(self, triangle):
+        quorums = list(triangle)
+        assert quorums[0] == triangle[0]
+        assert all(isinstance(q, frozenset) for q in quorums)
+
+    def test_contains(self, triangle):
+        assert {1, 2} in triangle
+        assert {1, 2, 3} not in triangle
+        assert 42 not in triangle  # non-iterable handled gracefully
+
+    def test_equality_ignores_order_and_name(self):
+        a = QuorumSystem([{1, 2}, {2, 3}], name="a")
+        b = QuorumSystem([{2, 3}, {1, 2}], name="b")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_equality_with_other_types(self, triangle):
+        assert triangle != "triangle"
+
+    def test_repr_mentions_name_and_sizes(self, triangle):
+        text = repr(triangle)
+        assert "triangle" in text and "3" in text
+
+
+class TestStructure:
+    def test_element_degree_and_membership(self, triangle):
+        assert triangle.element_degree(1) == 2
+        containing = triangle.quorums_containing(2)
+        assert all(2 in triangle[i] for i in containing)
+        assert len(containing) == 2
+
+    def test_unknown_element_raises(self, triangle):
+        with pytest.raises(ValidationError):
+            triangle.element_degree(99)
+        with pytest.raises(ValidationError):
+            triangle.element_index(99)
+
+    def test_quorum_sizes(self, triangle):
+        assert triangle.min_quorum_size() == 2
+        assert triangle.max_quorum_size() == 2
+
+    def test_is_coterie(self, triangle):
+        assert triangle.is_coterie()
+        dominated = QuorumSystem([{1}, {1, 2}])
+        assert not dominated.is_coterie()
+
+    def test_reduced_drops_dominated_quorums(self):
+        qs = QuorumSystem([{1}, {1, 2}, {1, 3}])
+        reduced = qs.reduced()
+        assert set(reduced.quorums) == {frozenset({1})}
+        assert reduced.is_coterie()
+        assert reduced.universe == qs.universe  # universe preserved
+
+
+class TestRelabel:
+    def test_relabel_applies_mapping(self, triangle):
+        relabeled = triangle.relabel({1: "a", 2: "b", 3: "c"})
+        assert set(relabeled.universe) == {"a", "b", "c"}
+        assert frozenset({"a", "b"}) in set(relabeled.quorums)
+
+    def test_relabel_partial_mapping_keeps_rest(self, triangle):
+        relabeled = triangle.relabel({1: 10})
+        assert set(relabeled.universe) == {10, 2, 3}
+
+    def test_non_injective_relabel_rejected(self, triangle):
+        with pytest.raises(ValidationError, match="injective"):
+            triangle.relabel({1: 2})

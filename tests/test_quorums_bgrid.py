@@ -1,0 +1,56 @@
+"""Tests for the B-Grid construction (Naor & Wool 1998)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.quorums import AccessStrategy, bgrid, optimal_strategy
+
+
+class TestStructure:
+    def test_universe_size(self):
+        system = bgrid(2, 2, 2)
+        assert system.universe_size == 2 * 2 * 2
+        assert all(len(element) == 3 for element in system.universe)
+
+    def test_quorum_size(self):
+        """A quorum has one mini-column per band (h*r elements, minus
+        overlap with the representatives) plus d representatives."""
+        d, h, r = 2, 2, 2
+        system = bgrid(d, h, r)
+        # Sizes range: cover h*r elements; representatives d, of which at
+        # least one lies inside the chosen band's cover mini-column when
+        # columns collide.
+        assert system.min_quorum_size() >= h * r
+        assert system.max_quorum_size() <= h * r + d
+
+    def test_intersection_verified_at_construction(self):
+        # The constructor runs check=True; explicit re-check too.
+        for params in [(2, 2, 2), (3, 2, 1), (2, 3, 1)]:
+            bgrid(*params).verify_intersection()
+
+    def test_single_column_degenerates_to_one_quorum(self):
+        system = bgrid(1, 2, 2)
+        assert len(system) == 1
+
+    def test_enumeration_guard(self):
+        with pytest.raises(ValidationError, match="enumerate"):
+            bgrid(6, 6, 6)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            bgrid(0, 2, 2)
+
+
+class TestLoad:
+    def test_uniform_strategy_is_valid(self):
+        system = bgrid(2, 2, 2)
+        strategy = AccessStrategy.uniform(system)
+        assert strategy.max_load() <= 1.0
+
+    def test_optimal_load_reasonable(self):
+        """B-Grid load should be well below 1 (it is O(1/sqrt(n)))
+        even at toy sizes."""
+        system = bgrid(2, 2, 2)
+        result = optimal_strategy(system)
+        assert result.load < 0.9
+        assert result.load >= system.min_quorum_size() / system.universe_size - 1e-9

@@ -1,0 +1,282 @@
+"""Tests for the classical quorum constructions.
+
+Every construction is re-verified against the intersection property
+(they are built with ``check=False`` for speed) and against its
+published combinatorial parameters.
+"""
+
+from math import comb
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.quorums import (
+    AccessStrategy,
+    bgrid,
+    complete_binary_tree_nodes,
+    compose,
+    crumbling_wall,
+    cw_log,
+    grid,
+    grid_quorum_index,
+    is_prime,
+    majority,
+    paths_system,
+    projective_plane,
+    rectangular_grid,
+    recursive_majority,
+    singleton,
+    star,
+    threshold,
+    tree_quorum_system,
+    weighted_majority,
+    wheel,
+)
+
+ALL_SMALL_SYSTEMS = [
+    majority(5),
+    bgrid(2, 2, 1),
+    paths_system(2),
+    threshold(6, 4),
+    grid(3),
+    rectangular_grid(2, 4),
+    projective_plane(2),
+    tree_quorum_system(2),
+    crumbling_wall([1, 2, 3]),
+    cw_log(3),
+    wheel(5),
+    singleton(),
+    star(4),
+    recursive_majority(3, 2),
+    weighted_majority({"a": 3, "b": 2, "c": 2}),
+]
+
+
+@pytest.mark.parametrize("system", ALL_SMALL_SYSTEMS, ids=lambda s: s.name)
+def test_intersection_property_holds(system):
+    system.verify_intersection()  # raises on violation
+
+
+class TestMajority:
+    def test_majority_parameters(self):
+        qs = majority(5)
+        assert len(qs) == comb(5, 3)
+        assert all(len(q) == 3 for q in qs)
+
+    def test_threshold_requires_intersection_condition(self):
+        with pytest.raises(ValidationError, match="2t > n"):
+            threshold(6, 3)
+
+    def test_threshold_counts(self):
+        qs = threshold(6, 4)
+        assert len(qs) == comb(6, 4)
+        assert qs.universe == tuple(range(6))
+
+    def test_threshold_degree(self):
+        qs = threshold(5, 3)
+        for u in qs.universe:
+            assert qs.element_degree(u) == comb(4, 2)
+
+    def test_majority_even_universe(self):
+        qs = majority(4)  # quorum size 3
+        assert all(len(q) == 3 for q in qs)
+
+    def test_enumeration_guard(self):
+        with pytest.raises(ValidationError, match="guard"):
+            threshold(60, 31)
+
+    def test_weighted_majority_minimal_coalitions(self):
+        qs = weighted_majority({"a": 3, "b": 1, "c": 1})
+        # "a" alone holds 3 of 5 votes; any winning set contains "a".
+        assert frozenset({"a"}) in set(qs.quorums)
+        assert qs.is_coterie()
+
+    def test_weighted_majority_equal_weights_matches_majority(self):
+        weighted = weighted_majority({i: 1.0 for i in range(5)})
+        plain = majority(5)
+        assert set(weighted.quorums) == set(plain.quorums)
+
+    def test_weighted_majority_validation(self):
+        with pytest.raises(ValidationError):
+            weighted_majority({})
+        with pytest.raises(ValidationError):
+            weighted_majority({"a": -1.0})
+        with pytest.raises(ValidationError, match="20"):
+            weighted_majority({i: 1.0 for i in range(21)})
+
+
+class TestGrid:
+    def test_grid_counts(self):
+        k = 4
+        qs = grid(k)
+        assert len(qs) == k * k
+        assert qs.universe_size == k * k
+        assert all(len(q) == 2 * k - 1 for q in qs)
+
+    def test_grid_quorum_contains_row_and_column(self):
+        k = 3
+        qs = grid(k)
+        quorum = qs.quorums[grid_quorum_index(k, 1, 2)]
+        assert all((1, c) in quorum for c in range(k))
+        assert all((r, 2) in quorum for r in range(k))
+
+    def test_rectangular_grid(self):
+        qs = rectangular_grid(2, 3)
+        assert qs.universe_size == 6
+        assert all(len(q) == 2 + 3 - 1 for q in qs)
+
+    def test_degenerate_single_row_deduplicates(self):
+        qs = rectangular_grid(1, 4)
+        assert len(qs) == 1  # every quorum equals the single row
+        assert len(qs.quorums[0]) == 4
+
+    def test_grid_element_degree(self):
+        k = 3
+        qs = grid(k)
+        for u in qs.universe:
+            assert qs.element_degree(u) == 2 * k - 1
+
+
+class TestProjectivePlane:
+    def test_is_prime(self):
+        assert [q for q in range(2, 20) if is_prime(q)] == [2, 3, 5, 7, 11, 13, 17, 19]
+        assert not is_prime(1)
+        assert not is_prime(0)
+
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_plane_parameters(self, q):
+        qs = projective_plane(q)
+        n = q * q + q + 1
+        assert qs.universe_size == n
+        assert len(qs) == n
+        assert all(len(line) == q + 1 for line in qs)
+
+    def test_any_two_lines_meet_in_exactly_one_point(self):
+        qs = projective_plane(3)
+        quorums = qs.quorums
+        for i, a in enumerate(quorums):
+            for b in quorums[i + 1 :]:
+                assert len(a & b) == 1
+
+    def test_every_point_on_q_plus_1_lines(self):
+        q = 3
+        qs = projective_plane(q)
+        for u in qs.universe:
+            assert qs.element_degree(u) == q + 1
+
+    def test_non_prime_rejected(self):
+        with pytest.raises(ValidationError, match="prime"):
+            projective_plane(4)
+
+    def test_fpp_load_is_optimal_order(self):
+        q = 3
+        qs = projective_plane(q)
+        p = AccessStrategy.uniform(qs)
+        n = q * q + q + 1
+        assert p.max_load() == pytest.approx((q + 1) / n)
+
+
+class TestTree:
+    def test_node_labels(self):
+        assert complete_binary_tree_nodes(2) == list(range(1, 8))
+
+    def test_height_zero(self):
+        qs = tree_quorum_system(0)
+        assert set(qs.quorums) == {frozenset({1})}
+
+    def test_height_one_quorums(self):
+        qs = tree_quorum_system(1)
+        expected = {
+            frozenset({1, 2}),
+            frozenset({1, 3}),
+            frozenset({2, 3}),
+        }
+        assert set(qs.quorums) == expected
+
+    def test_quorum_count_recurrence(self):
+        # m(h) = 2 m(h-1) + m(h-1)^2 counts with duplicates possible only
+        # at leaves; for h <= 3 the families are duplicate-free.
+        counts = {h: len(tree_quorum_system(h)) for h in range(3)}
+        assert counts[0] == 1
+        assert counts[1] == 3
+        assert counts[2] == 2 * 3 + 3 * 3
+
+    def test_height_guard(self):
+        with pytest.raises(ValidationError, match="height"):
+            tree_quorum_system(5)
+
+    def test_min_quorum_is_root_path(self):
+        qs = tree_quorum_system(2)
+        assert qs.min_quorum_size() == 3  # root-to-leaf path length h+1
+
+
+class TestCrumblingWalls:
+    def test_small_wall_quorums(self):
+        wall = crumbling_wall([1, 2])
+        assert sorted(sorted(q) for q in wall.quorums) == [
+            [(0, 0), (1, 0)],
+            [(0, 0), (1, 1)],
+            [(1, 0), (1, 1)],
+        ]
+
+    def test_bottom_row_is_a_quorum(self):
+        wall = crumbling_wall([2, 3])
+        assert frozenset({(1, 0), (1, 1), (1, 2)}) in set(wall.quorums)
+
+    def test_cw_log_row_widths(self):
+        wall = cw_log(4)
+        assert wall.universe_size == 1 + 2 + 3 + 4
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            crumbling_wall([])
+        with pytest.raises(ValidationError):
+            crumbling_wall([0, 2])
+
+
+class TestWheelStarSingleton:
+    def test_wheel_structure(self):
+        qs = wheel(5)
+        assert len(qs) == 5  # rim + 4 spokes pairs
+        assert frozenset({1, 2, 3, 4}) in set(qs.quorums)
+
+    def test_wheel_minimum_size(self):
+        with pytest.raises(ValidationError):
+            wheel(2)
+
+    def test_singleton(self):
+        qs = singleton("only")
+        assert qs.universe == ("only",)
+        assert len(qs) == 1
+
+    def test_star_hub_in_every_quorum(self):
+        qs = star(5)
+        assert all(0 in q for q in qs.quorums)
+        p = AccessStrategy.uniform(qs)
+        assert p.load(0) == pytest.approx(1.0)
+
+
+class TestComposition:
+    def test_recursive_majority_universe_size(self):
+        qs = recursive_majority(3, 2)
+        assert qs.universe_size == 9
+        assert len(qs) == 27  # 3 outer choices x 3^2... = C(3,2)^(1+2)
+
+    def test_recursive_majority_depth_one_is_plain_majority(self):
+        deep = recursive_majority(3, 1)
+        plain = majority(3)
+        assert len(deep) == len(plain)
+        assert deep.universe_size == plain.universe_size
+
+    def test_compose_missing_inner_rejected(self):
+        outer = majority(3)
+        with pytest.raises(ValidationError, match="slots"):
+            compose(outer, {0: majority(3)})
+
+    def test_compose_quorum_structure(self):
+        outer = majority(3)
+        inner = {slot: majority(3) for slot in outer.universe}
+        composed = compose(outer, inner)
+        # Each composed quorum covers 2 slots x 2 inner elements.
+        assert all(len(q) == 4 for q in composed.quorums)
+        composed.verify_intersection()

@@ -1,0 +1,104 @@
+"""Tests for coterie duality and non-domination."""
+
+import pytest
+
+from repro.exceptions import IntersectionError, ValidationError
+from repro.quorums import (
+    QuorumSystem,
+    dual_system,
+    grid,
+    is_non_dominated,
+    is_self_dual,
+    majority,
+    minimal_transversals,
+    projective_plane,
+    singleton,
+    threshold,
+    wheel,
+)
+
+
+class TestMinimalTransversals:
+    def test_singleton(self):
+        assert minimal_transversals(singleton("x")) == [frozenset({"x"})]
+
+    def test_majority_3(self):
+        """Transversals of 2-of-3 are the 2-subsets themselves."""
+        transversals = set(minimal_transversals(majority(3)))
+        assert transversals == {
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+            frozenset({1, 2}),
+        }
+
+    def test_three_of_four_transversals_are_pairs(self):
+        """All 3-subsets of 4: any 2-subset hits every quorum."""
+        transversals = minimal_transversals(threshold(4, 3))
+        assert all(len(t) == 2 for t in transversals)
+        assert len(transversals) == 6
+
+    def test_transversals_are_minimal(self):
+        for system in (majority(5), grid(2), wheel(4)):
+            transversals = minimal_transversals(system)
+            for i, a in enumerate(transversals):
+                for b in transversals[i + 1 :]:
+                    assert not a < b and not b < a
+
+    def test_every_transversal_hits_every_quorum(self):
+        system = wheel(5)
+        for transversal in minimal_transversals(system):
+            assert all(not transversal.isdisjoint(q) for q in system.quorums)
+
+    def test_universe_guard(self):
+        with pytest.raises(ValidationError, match="at most"):
+            minimal_transversals(majority(17))
+
+
+class TestDuality:
+    def test_odd_majority_is_self_dual(self):
+        for n in (3, 5, 7):
+            assert is_self_dual(majority(n))
+
+    def test_even_threshold_is_dominated(self):
+        assert not is_non_dominated(threshold(4, 3))
+        assert not is_non_dominated(grid(2))  # same family
+
+    def test_dominated_dual_raises(self):
+        with pytest.raises(IntersectionError):
+            dual_system(threshold(4, 3))
+
+    def test_wheel_and_fano_are_non_dominated(self):
+        assert is_non_dominated(wheel(4))
+        assert is_non_dominated(projective_plane(2))
+
+    def test_double_dual_is_reduction(self):
+        """T(T(Q)) equals the reduced antichain of Q — even when T(Q)
+        itself is not intersecting (wrap it unchecked to iterate)."""
+        padded = QuorumSystem([{1, 2}, {1, 2, 3}, {2, 3}])
+        reduced = padded.reduced()
+        transversals = minimal_transversals(reduced)
+        wrapper = QuorumSystem(
+            transversals, universe=reduced.universe, check=False
+        )
+        double = set(minimal_transversals(wrapper))
+        assert double == set(reduced.quorums)
+
+    def test_dual_of_self_dual_is_identity(self):
+        system = majority(5)
+        assert set(dual_system(system).quorums) == set(system.quorums)
+
+    def test_dual_preserves_universe(self):
+        system = wheel(4)
+        dual = dual_system(system)
+        assert dual.universe == system.universe
+
+    def test_star_dual(self):
+        """Every quorum of star(n) contains the hub, so {hub} is the
+        unique minimal transversal; the star *reduces* to the singleton
+        coterie {{hub}}, which is non-dominated."""
+        from repro.quorums import star
+
+        transversals = minimal_transversals(star(5))
+        assert transversals == [frozenset({0})]
+        assert is_non_dominated(star(5))  # computed on the reduction
+        assert set(star(5).reduced().quorums) == {frozenset({0})}

@@ -1,0 +1,78 @@
+"""Tests for the Naor-Wool load-optimal strategy LP."""
+
+import math
+
+import pytest
+
+from repro.quorums import (
+    AccessStrategy,
+    grid,
+    majority,
+    optimal_strategy,
+    projective_plane,
+    singleton,
+    star,
+    system_load,
+    threshold,
+    wheel,
+)
+
+
+def test_singleton_load_is_one():
+    assert system_load(singleton()) == pytest.approx(1.0)
+
+
+def test_star_load_is_one():
+    # Every quorum contains the hub, so no strategy beats load 1.
+    assert system_load(star(6)) == pytest.approx(1.0)
+
+
+def test_uniform_is_optimal_for_grid():
+    system = grid(3)
+    result = optimal_strategy(system)
+    uniform = AccessStrategy.uniform(system)
+    assert result.load == pytest.approx(uniform.max_load(), abs=1e-8)
+
+
+def test_uniform_is_optimal_for_majority():
+    system = majority(5)
+    result = optimal_strategy(system)
+    assert result.load == pytest.approx(3 / 5, abs=1e-8)
+
+
+def test_threshold_load_is_t_over_n():
+    n, t = 7, 5
+    assert system_load(threshold(n, t)) == pytest.approx(t / n, abs=1e-8)
+
+
+def test_fpp_matches_naor_wool_optimum():
+    q = 3
+    n = q * q + q + 1
+    assert system_load(projective_plane(q)) == pytest.approx((q + 1) / n, abs=1e-8)
+
+
+def test_wheel_optimal_beats_uniform():
+    system = wheel(7)
+    uniform = AccessStrategy.uniform(system)
+    result = optimal_strategy(system)
+    assert result.load < uniform.max_load() - 0.05
+    # Known optimum for the wheel: balance hub load p_pairs_total against
+    # spoke load; with n-1 spokes the optimum puts weight on the rim.
+    assert result.strategy.max_load() == pytest.approx(result.load, abs=1e-6)
+
+
+def test_optimal_strategy_is_valid_distribution():
+    result = optimal_strategy(grid(2))
+    probabilities = result.strategy.probabilities
+    assert math.isclose(float(probabilities.sum()), 1.0, abs_tol=1e-9)
+    assert (probabilities >= 0).all()
+
+
+def test_system_load_lower_bound_naor_wool():
+    """Naor-Wool: L(Q) >= max(1/c(Q), c(Q)/n) where c is the smallest
+    quorum size.  Check on several systems."""
+    for system in (grid(3), majority(5), projective_plane(2), wheel(5)):
+        c = system.min_quorum_size()
+        n = system.universe_size
+        bound = max(1.0 / c, c / n)
+        assert system_load(system) >= bound - 1e-8

@@ -1,0 +1,64 @@
+"""Tests for the monotone Paths quorum system."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.quorums import AccessStrategy, optimal_strategy, paths_system
+
+
+class TestStructure:
+    def test_k1_is_singleton(self):
+        system = paths_system(1)
+        assert len(system) == 1
+        assert system.quorums[0] == frozenset({(0, 0)})
+
+    def test_k2_family(self):
+        system = paths_system(2)
+        assert system.universe_size == 4
+        assert len(system) == 5
+        # The full anti-diagonal staircase union is one of them.
+        assert any(len(q) == 4 for q in system.quorums)
+
+    def test_intersection_verified_at_construction(self):
+        # check=True in the constructor; re-verify for k=3 regardless.
+        paths_system(3).verify_intersection()
+
+    def test_quorum_sizes_bounded_by_two_staircases(self):
+        k = 3
+        system = paths_system(k)
+        # Each staircase has between k and 2k-1 cells; the union of two
+        # crossing staircases has at most 2(2k-1) - 1 cells.
+        assert system.min_quorum_size() >= k
+        assert system.max_quorum_size() <= 2 * (2 * k - 1) - 1
+
+    def test_every_quorum_crosses_both_ways(self):
+        k = 3
+        system = paths_system(k)
+        for quorum in system.quorums:
+            columns = {c for _, c in quorum}
+            rows = {r for r, _ in quorum}
+            assert columns == set(range(k))  # touches every column
+            assert rows == set(range(k))  # touches every row
+
+    def test_enumeration_guard(self):
+        with pytest.raises(ValidationError, match="enumerate"):
+            paths_system(7)
+
+
+class TestLoad:
+    def test_paths_load_is_low(self):
+        """Paths load should be O(1/sqrt(n))-ish: well below 1 and
+        comparable to the grid at the same size."""
+        system = paths_system(3)
+        result = optimal_strategy(system)
+        assert result.load < 0.75
+        uniform = AccessStrategy.uniform(system)
+        assert result.load <= uniform.max_load() + 1e-9
+
+    def test_center_cell_is_hottest_under_uniform(self):
+        """Crossing staircases concentrate on the center of the lattice."""
+        system = paths_system(3)
+        uniform = AccessStrategy.uniform(system)
+        center_load = uniform.load((1, 1))
+        corner_load = uniform.load((0, 2))
+        assert center_load > corner_load

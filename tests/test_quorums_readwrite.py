@@ -1,0 +1,113 @@
+"""Tests for read/write quorum systems."""
+
+import pytest
+
+from repro.exceptions import IntersectionError, ValidationError
+from repro.quorums import (
+    ReadWriteQuorumSystem,
+    grid_rw,
+    read_one_write_all,
+)
+
+
+class TestConstruction:
+    def test_rowa_structure(self):
+        rw = read_one_write_all(4)
+        assert len(rw.read_quorums) == 4
+        assert len(rw.write_quorums) == 1
+        assert rw.universe_size == 4
+        assert all(len(r) == 1 for r in rw.read_quorums)
+
+    def test_grid_rw_structure(self):
+        rw = grid_rw(3)
+        assert len(rw.read_quorums) == 3
+        assert len(rw.write_quorums) == 9
+        # Reads are rows: pairwise disjoint.
+        rows = rw.read_quorums
+        assert rows[0].isdisjoint(rows[1])
+
+    def test_rw_intersection_enforced(self):
+        with pytest.raises(IntersectionError):
+            ReadWriteQuorumSystem([{1}], [{2, 3}])
+
+    def test_ww_intersection_enforced(self):
+        with pytest.raises(IntersectionError):
+            ReadWriteQuorumSystem([{1, 2, 3, 4}], [{1, 2}, {3, 4}])
+
+    def test_reads_may_be_disjoint(self):
+        rw = ReadWriteQuorumSystem([{1}, {2}], [{1, 2}])
+        assert len(rw.read_quorums) == 2
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(ValidationError):
+            ReadWriteQuorumSystem([], [{1}])
+        with pytest.raises(ValidationError):
+            ReadWriteQuorumSystem([{1}], [])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            ReadWriteQuorumSystem([{1}, {1}], [{1}])
+
+
+class TestDerived:
+    def test_write_system_is_valid_quorum_system(self):
+        rw = grid_rw(3)
+        writes = rw.write_system()
+        writes.verify_intersection()
+        assert len(writes) == 9
+
+    def test_combined_family_deduplicates(self):
+        # ROWA(1): the read {0} equals the write {0}.
+        rw = read_one_write_all(1)
+        assert len(rw.combined_family()) == 1
+
+
+class TestWorkloadWeights:
+    def test_pure_writes(self):
+        rw = grid_rw(2)
+        system, strategy = rw.workload_weights(0.0)
+        # All probability mass on write quorums.
+        for index, quorum in enumerate(system.quorums):
+            if quorum in rw.read_quorums and quorum not in rw.write_quorums:
+                assert strategy.probability(index) == 0.0
+
+    def test_pure_reads(self):
+        rw = grid_rw(2)
+        system, strategy = rw.workload_weights(1.0)
+        read_mass = sum(
+            strategy.probability(i)
+            for i, quorum in enumerate(system.quorums)
+            if quorum in rw.read_quorums
+        )
+        assert read_mass == pytest.approx(1.0)
+
+    def test_mixture_mass_split(self):
+        rw = grid_rw(3)
+        rho = 0.75
+        system, strategy = rw.workload_weights(rho)
+        read_mass = sum(
+            strategy.probability(i)
+            for i, quorum in enumerate(system.quorums)
+            if quorum in set(rw.read_quorums)
+        )
+        assert read_mass == pytest.approx(rho)
+
+    def test_read_load_lower_than_write_load(self):
+        """At high read fractions, the Grid's row/column split should
+        load elements less than the write-only workload."""
+        rw = grid_rw(3)
+        _, read_heavy = rw.workload_weights(0.9)
+        _, write_only = rw.workload_weights(0.0)
+        assert read_heavy.expected_quorum_size() < write_only.expected_quorum_size()
+
+    def test_custom_strategies_validated(self):
+        rw = grid_rw(2)
+        with pytest.raises(ValidationError, match="lengths"):
+            rw.workload_weights(0.5, read_strategy=[1.0])
+
+    def test_shared_quorum_weight_merged(self):
+        rw = ReadWriteQuorumSystem([{1, 2}], [{1, 2}, {2, 3}])
+        system, strategy = rw.workload_weights(0.5)
+        index = list(system.quorums).index(frozenset({1, 2}))
+        # 0.5 (the only read) + 0.5 * 0.5 (one of two writes) = 0.75.
+        assert strategy.probability(index) == pytest.approx(0.75)

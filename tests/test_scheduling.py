@@ -1,0 +1,144 @@
+"""Tests for the 1|prec|sum w_j C_j substrate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.scheduling import (
+    SchedulingInstance,
+    random_woeginger_instance,
+    solve_scheduling_exact,
+)
+
+
+def simple_instance():
+    """Three jobs: a (T=2), b (T=1), c (T=1, w=3), with a before c."""
+    return SchedulingInstance(
+        jobs=("a", "b", "c"),
+        processing_times={"a": 2.0, "b": 1.0, "c": 1.0},
+        weights={"a": 1.0, "b": 2.0, "c": 3.0},
+        precedence=frozenset({("a", "c")}),
+    )
+
+
+class TestInstance:
+    def test_validation_missing_fields(self):
+        with pytest.raises(ValidationError, match="processing"):
+            SchedulingInstance(("a",), {}, {"a": 1.0})
+        with pytest.raises(ValidationError, match="weight"):
+            SchedulingInstance(("a",), {"a": 1.0}, {})
+
+    def test_duplicate_jobs_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            SchedulingInstance(
+                ("a", "a"), {"a": 1.0}, {"a": 1.0}
+            )
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValidationError, match="cycle"):
+            SchedulingInstance(
+                ("a", "b"),
+                {"a": 1.0, "b": 1.0},
+                {"a": 1.0, "b": 1.0},
+                precedence=frozenset({("a", "b"), ("b", "a")}),
+            )
+
+    def test_self_precedence_rejected(self):
+        with pytest.raises(ValidationError, match="itself"):
+            SchedulingInstance(
+                ("a",), {"a": 1.0}, {"a": 1.0}, precedence=frozenset({("a", "a")})
+            )
+
+    def test_unknown_job_in_precedence(self):
+        with pytest.raises(ValidationError, match="unknown"):
+            SchedulingInstance(
+                ("a",), {"a": 1.0}, {"a": 1.0}, precedence=frozenset({("a", "z")})
+            )
+
+    def test_predecessors(self):
+        instance = simple_instance()
+        assert instance.predecessors("c") == frozenset({"a"})
+        assert instance.predecessors("a") == frozenset()
+
+
+class TestSchedules:
+    def test_feasible_order_check(self):
+        instance = simple_instance()
+        assert instance.is_feasible_order(("a", "b", "c"))
+        assert instance.is_feasible_order(("a", "c", "b"))
+        assert not instance.is_feasible_order(("c", "a", "b"))  # violates a < c
+        assert not instance.is_feasible_order(("a", "b"))  # incomplete
+
+    def test_cost_computation(self):
+        instance = simple_instance()
+        # Order a, b, c: C_a=2, C_b=3, C_c=4 => 1*2 + 2*3 + 3*4 = 20.
+        assert instance.cost(("a", "b", "c")) == pytest.approx(20.0)
+        # Order a, c, b: C_a=2, C_c=3, C_b=4 => 2 + 9 + 8 = 19.
+        assert instance.cost(("a", "c", "b")) == pytest.approx(19.0)
+
+    def test_cost_rejects_infeasible(self):
+        with pytest.raises(ValidationError):
+            simple_instance().cost(("c", "a", "b"))
+
+
+class TestWoegingerForm:
+    def test_random_instance_is_woeginger_form(self, rng):
+        instance = random_woeginger_instance(3, 4, rng=rng)
+        assert instance.is_woeginger_form()
+        assert len(instance.unit_time_jobs()) == 3
+        assert len(instance.unit_weight_jobs()) == 4
+
+    def test_general_instance_is_not(self):
+        assert not simple_instance().is_woeginger_form()
+
+    def test_wrong_direction_precedence_rejected_by_check(self):
+        instance = SchedulingInstance(
+            jobs=("t", "w"),
+            processing_times={"t": 1.0, "w": 0.0},
+            weights={"t": 0.0, "w": 1.0},
+            precedence=frozenset({("w", "t")}),  # wrong direction
+        )
+        assert not instance.is_woeginger_form()
+
+    def test_random_instance_deterministic(self):
+        a = random_woeginger_instance(3, 3, rng=np.random.default_rng(4))
+        b = random_woeginger_instance(3, 3, rng=np.random.default_rng(4))
+        assert a.precedence == b.precedence
+
+
+class TestExact:
+    def test_simple_instance_optimum(self):
+        result = solve_scheduling_exact(simple_instance())
+        # Enumerate by hand: feasible orders and costs:
+        # (a,b,c): 20; (a,c,b): 19; (b,a,c): 2+3+12=17.
+        assert result.cost == pytest.approx(17.0)
+        assert result.order == ("b", "a", "c")
+
+    def test_exact_is_feasible(self, rng):
+        instance = random_woeginger_instance(3, 3, rng=rng)
+        result = solve_scheduling_exact(instance)
+        assert instance.is_feasible_order(result.order)
+        assert instance.cost(result.order) == pytest.approx(result.cost)
+
+    def test_exact_beats_every_sampled_order(self, rng):
+        instance = random_woeginger_instance(4, 3, rng=rng)
+        best = solve_scheduling_exact(instance)
+        jobs = list(instance.jobs)
+        found_feasible = 0
+        for _ in range(200):
+            indices = rng.permutation(len(jobs))
+            order = tuple(jobs[i] for i in indices)
+            if instance.is_feasible_order(order):
+                found_feasible += 1
+                assert best.cost <= instance.cost(order) + 1e-9
+        assert found_feasible > 0
+
+    def test_size_guard(self):
+        jobs = tuple(range(13))
+        instance = SchedulingInstance(
+            jobs,
+            {j: 1.0 for j in jobs},
+            {j: 1.0 for j in jobs},
+        )
+        with pytest.raises(ValidationError, match="at most"):
+            solve_scheduling_exact(instance)

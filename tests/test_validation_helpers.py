@@ -1,0 +1,81 @@
+"""Unit tests for the internal validation helpers."""
+
+import math
+
+import pytest
+
+from repro._validation import (
+    check_finite,
+    check_integer_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_probability_vector,
+    require,
+    unique_items,
+)
+from repro.exceptions import ValidationError
+
+
+def test_require_passes_and_fails():
+    require(True, "never raised")
+    with pytest.raises(ValidationError, match="broken"):
+        require(False, "broken")
+
+
+@pytest.mark.parametrize("bad", [float("inf"), float("nan"), "x", None])
+def test_check_finite_rejects(bad):
+    with pytest.raises(ValidationError):
+        check_finite(bad, "value")
+
+
+def test_check_finite_accepts_ints_and_floats():
+    assert check_finite(3, "v") == 3.0
+    assert check_finite(2.5, "v") == 2.5
+
+
+@pytest.mark.parametrize("bad", [0, -1, -0.5])
+def test_check_positive_rejects_nonpositive(bad):
+    with pytest.raises(ValidationError):
+        check_positive(bad, "value")
+
+
+def test_check_nonnegative_accepts_zero():
+    assert check_nonnegative(0, "v") == 0.0
+    with pytest.raises(ValidationError):
+        check_nonnegative(-0.001, "v")
+
+
+def test_check_probability_clamps_tolerance_noise():
+    assert check_probability(1.0 + 1e-12, "p") == 1.0
+    assert check_probability(-1e-12, "p") == 0.0
+    with pytest.raises(ValidationError):
+        check_probability(1.1, "p")
+
+
+def test_probability_vector_normalizes_exactly():
+    values = check_probability_vector([0.5, 0.5000000001], "p")
+    assert math.isclose(sum(values), 1.0, rel_tol=0, abs_tol=1e-15)
+
+
+def test_probability_vector_rejects_bad_total():
+    with pytest.raises(ValidationError, match="sum to 1"):
+        check_probability_vector([0.2, 0.2], "p")
+
+
+def test_check_integer_in_range():
+    assert check_integer_in_range(5, "n", low=1, high=5) == 5
+    with pytest.raises(ValidationError):
+        check_integer_in_range(0, "n", low=1)
+    with pytest.raises(ValidationError):
+        check_integer_in_range(6, "n", high=5)
+    with pytest.raises(ValidationError):
+        check_integer_in_range(2.0, "n")
+    with pytest.raises(ValidationError):
+        check_integer_in_range(True, "n")
+
+
+def test_unique_items():
+    assert unique_items([1, 2, 3], "xs") == [1, 2, 3]
+    with pytest.raises(ValidationError, match="duplicate"):
+        unique_items([1, 1], "xs")
