@@ -1,0 +1,47 @@
+"""Consume a ``repro lint --format json`` report in CI.
+
+Reads the JSON document produced by the linter, re-emits every finding
+as a GitHub Actions workflow annotation (``::error``) so violations
+show inline on pull requests, and exits non-zero when findings exist.
+
+Usage: ``python .github/scripts/annotate_lint.py lint-report.json``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: annotate_lint.py REPORT.json", file=sys.stderr)
+        return 2
+    report_path = Path(argv[1])
+    try:
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"::error::cannot read lint report {report_path}: {exc}")
+        return 2
+    findings = report.get("findings", [])
+    for finding in findings:
+        path = finding.get("path", "")
+        line = finding.get("line", 1)
+        column = finding.get("column", 1)
+        rule = finding.get("rule_id", "R???")
+        message = finding.get("message", "").replace("\n", " ")
+        print(
+            f"::error file={path},line={line},col={column},"
+            f"title=repro-lint {rule}::{message}"
+        )
+    count = report.get("count", len(findings))
+    if count:
+        print(f"repro lint reported {count} finding(s)", file=sys.stderr)
+        return 1
+    print("repro lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

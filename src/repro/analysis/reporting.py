@@ -14,6 +14,8 @@ from typing import Any
 
 import numpy as np
 
+from ..exceptions import ValidationError
+
 __all__ = ["ResultTable", "check_mark", "format_value"]
 
 
@@ -60,10 +62,10 @@ class ResultTable:
         """Add a row; every column must be supplied as a keyword."""
         missing = [c for c in self.columns if c not in values]
         if missing:
-            raise ValueError(f"row is missing columns {missing}")
+            raise ValidationError(f"row is missing columns {missing}")
         unknown = [c for c in values if c not in self.columns]
         if unknown:
-            raise ValueError(f"row has unknown columns {unknown}")
+            raise ValidationError(f"row has unknown columns {unknown}")
         self.rows.append(
             {c: format_value(values[c], self.precision) for c in self.columns}
         )

@@ -7,6 +7,7 @@ Exposes the library's planning loop to shells and scripts::
         --objective max --alpha 2 --out placement.json
     python -m repro evaluate placement.json       # delays/loads of a saved placement
     python -m repro gap --k 5                     # Figure 1 numbers
+    python -m repro lint src                      # invariant linter (R001-R007)
 
 Spec mini-language (shared by ``system`` and ``place``):
 
@@ -39,6 +40,7 @@ from .core import (
     solve_total_delay,
 )
 from .exceptions import ReproError, ValidationError
+from .lint.cli import add_lint_arguments, run_lint
 from .network import generators
 from .network.graph import Network
 from .quorums import (
@@ -301,6 +303,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -354,6 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="uniform node capacity (default: auto-feasible)")
     p_compare.add_argument("--alpha", type=float, default=2.0)
     p_compare.set_defaults(func=_cmd_compare)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the invariant linter (R001-R007) over source paths",
+        description="AST-based invariant linter; exit 0 clean, 1 findings. "
+        "See docs/static_analysis.md for the rule catalogue.",
+    )
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -25,7 +25,7 @@ from .placement import Placement
 __all__ = ["single_node_placement", "random_placement", "greedy_placement"]
 
 
-def single_node_placement(
+def single_node_placement(  # repro-lint: disable=R001 (Placement ctor validates)
     system: QuorumSystem, network: Network, *, node: Node | None = None
 ) -> Placement:
     """Everything on one node (Lin's load-oblivious solution).

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import check_integer_in_range, check_positive
-from ..exceptions import CapacityError
+from ..exceptions import CapacityError, ValidationError
 from ..network.graph import Network, Node
 from ..quorums.grid import grid
 from ..quorums.strategy import AccessStrategy
@@ -73,7 +73,7 @@ def concentric_matrix(values: list[float]) -> np.ndarray:
     """
     k = int(round(len(values) ** 0.5))
     if k * k != len(values):
-        raise ValueError(f"need a square count of values, got {len(values)}")
+        raise ValidationError(f"need a square count of values, got {len(values)}")
     ordered = sorted(values, reverse=True)
     matrix = np.zeros((k, k))
     for value, (row, column) in zip(ordered, concentric_positions(k)):
@@ -90,7 +90,7 @@ def grid_matrix_delay(matrix: np.ndarray) -> float:
     array = np.asarray(matrix, dtype=float)
     k = array.shape[0]
     if array.shape != (k, k):
-        raise ValueError("matrix must be square")
+        raise ValidationError("matrix must be square")
     row_max = array.max(axis=1)
     column_max = array.max(axis=0)
     total = 0.0

@@ -20,7 +20,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from .._validation import require
+from .._validation import check_integer_in_range, require
 from ..exceptions import ValidationError
 from ..network.graph import Network, Node
 from ..quorums.base import Element, QuorumSystem
@@ -161,6 +161,9 @@ def _client_weights(network: Network, rates: Mapping[Node, float] | None) -> np.
 def max_delay(placement: Placement, client: Node, quorum_index: int) -> float:
     """``delta_f(v, Q)``: distance from *client* to the farthest member of
     the placed quorum (equation (1))."""
+    check_integer_in_range(
+        quorum_index, "quorum_index", low=0, high=len(placement.system) - 1
+    )
     metric = placement.network.metric()
     row = metric.distances_from(client)
     return float(row[placement.quorum_node_indices(quorum_index)].max())
@@ -216,6 +219,9 @@ def average_max_delay(
 def total_delay_cost(placement: Placement, client: Node, quorum_index: int) -> float:
     """``gamma_f(v, Q)``: sum of distances from *client* to every placed
     member of the quorum (Section 5)."""
+    check_integer_in_range(
+        quorum_index, "quorum_index", low=0, high=len(placement.system) - 1
+    )
     metric = placement.network.metric()
     row = metric.distances_from(client)
     quorum = placement.system.quorums[quorum_index]

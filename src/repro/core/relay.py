@@ -24,6 +24,7 @@ from ..network.graph import Node
 from ..quorums.strategy import AccessStrategy
 from .placement import (
     Placement,
+    _check_strategy,
     _client_weights,
     _per_client_expected_max_delay,
     average_max_delay,
@@ -76,6 +77,7 @@ def best_relay_node(
     (as the paper notes after equation (5)); ties break toward the
     smallest node index for determinism.
     """
+    _check_strategy(placement, strategy)
     per_client = _per_client_expected_max_delay(placement, strategy)
     return placement.network.nodes[int(np.argmin(per_client))]
 
@@ -92,6 +94,7 @@ def relay_delay(
     ``Avg_v d(v, v0) + Delta_f(v0)``, with the client average optionally
     weighted by access rates (the §6 extension).
     """
+    _check_strategy(placement, strategy)
     metric = placement.network.metric()
     weights = _client_weights(placement.network, rates)
     to_v0 = float(weights @ metric.distances_from(v0))

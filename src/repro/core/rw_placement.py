@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from .._validation import check_probability
 from ..network.graph import Network, Node
 from ..quorums.readwrite import ReadWriteQuorumSystem
 from ..quorums.strategy import AccessStrategy
@@ -70,6 +71,7 @@ def solve_rw_ssqpp(
 ) -> SSQPPResult:
     """Single-source placement of a read/write workload (Theorem 3.7
     applies unchanged: its guarantees never use intersection)."""
+    read_fraction = check_probability(read_fraction, "read_fraction")
     system, strategy = rw_system.workload_weights(read_fraction)
     return solve_ssqpp(system, strategy, network, source, alpha=alpha)
 
@@ -88,6 +90,7 @@ def solve_rw_placement(
     best realized average delay.  The load bound ``(alpha+1)·cap`` is
     guaranteed; the delay carries no proven factor (see module docs).
     """
+    read_fraction = check_probability(read_fraction, "read_fraction")
     system, strategy = rw_system.workload_weights(read_fraction)
     candidates = (
         list(candidate_sources) if candidate_sources is not None else list(network.nodes)

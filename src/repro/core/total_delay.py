@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._validation import require
 from ..gap.instance import GAPInstance
 from ..gap.solver import GAPSolution, solve_gap
 from ..network.graph import Network, Node
@@ -71,6 +72,10 @@ def solve_total_delay(
     *rates*.  Raises :class:`repro.exceptions.InfeasibleError` when no
     capacity-respecting placement exists even fractionally.
     """
+    require(
+        strategy.system == system,
+        "strategy does not match the quorum system",
+    )
     metric = network.metric()
     weights = _client_weights(network, rates)
     # Avg (weighted) distance from all clients to each node w.

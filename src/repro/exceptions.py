@@ -16,6 +16,7 @@ __all__ = [
     "UnboundedError",
     "SolverError",
     "CapacityError",
+    "LintError",
 ]
 
 
@@ -70,3 +71,11 @@ class SolverError(ReproError):
 
 class CapacityError(InfeasibleError):
     """A placement-specific infeasibility caused by node capacities."""
+
+
+class LintError(ReproError):
+    """The static-analysis linter could not run (bad config or paths).
+
+    Rule *violations* are reported as findings, not exceptions; this
+    error marks misuse of the linter itself.
+    """

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import check_integer_in_range
+from ..exceptions import ValidationError
 from ..core.placement import (
     Placement,
     average_max_delay,
@@ -90,7 +91,7 @@ def simulate_accesses(
     else:
         values = np.array([max(float(rates.get(v, 0.0)), 0.0) for v in nodes])
         if values.sum() <= 0:
-            raise ValueError("at least one client rate must be positive")
+            raise ValidationError("at least one client rate must be positive")
         scaled = values / values.max() * accesses_per_client
         per_client = {v: int(round(s)) for v, s in zip(nodes, scaled)}
 

@@ -23,7 +23,7 @@ from ..core.placement import (
 )
 from ..core.qpp import solve_qpp
 from ..core.total_delay import solve_total_delay
-from ..exceptions import ReproError
+from ..exceptions import ReproError, ValidationError
 from .workloads import PlacementInstance
 
 __all__ = ["AlgorithmScore", "InstanceComparison", "compare_algorithms"]
@@ -61,7 +61,7 @@ class InstanceComparison:
         for entry in self.scores:
             if entry.name == name:
                 return entry
-        raise KeyError(name)
+        raise ValidationError(f"no score recorded for algorithm {name!r}")
 
     def ratio_to_optimal(self, name: str) -> float:
         """``max_delay / OPT`` for the named algorithm (NaN without OPT)."""

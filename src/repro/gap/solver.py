@@ -53,7 +53,9 @@ class GAPSolution:
         return factors
 
 
-def solve_gap(instance: GAPInstance, *, method: str = "highs-ds") -> GAPSolution:
+def solve_gap(  # repro-lint: disable=R001 (delegates to solve_gap_lp's checks)
+    instance: GAPInstance, *, method: str = "highs-ds"
+) -> GAPSolution:
     """Solve *instance* approximately: LP + rounding.
 
     Raises :class:`InfeasibleError` when even the relaxation is

@@ -1,0 +1,61 @@
+"""Static analysis for the reproduction's correctness contracts.
+
+The :mod:`repro.lint` subsystem is a small AST rule engine plus an
+initial ruleset (R001–R007) that makes the library's conventions
+machine-checkable: public entry points validate inputs, failures derive
+from :class:`~repro.exceptions.ReproError`, randomness is injected and
+seeded, floats are never compared exactly, and every public module
+declares a truthful ``__all__``.  The repository lints itself in CI and
+in ``tests/test_lint_self.py``, so refactors toward the production-scale
+roadmap cannot silently erode the invariants the paper's theorems rely
+on.
+
+Programmatic use::
+
+    from repro.lint import lint_paths, load_config
+
+    findings = lint_paths(["src"], load_config())
+    for finding in findings:
+        print(finding.render())
+
+Command-line use: ``repro lint [paths...]`` or ``python -m repro.lint``.
+See ``docs/static_analysis.md`` for the rule catalogue and rationale.
+"""
+
+from __future__ import annotations
+
+from . import rules as _rules  # noqa: F401  (imports register the ruleset)
+from .config import LintConfig, config_from_table, load_config, merge_cli_options
+from .engine import (
+    ModuleContext,
+    Rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    register_rule,
+    registered_rules,
+)
+from .findings import Finding, render_json, render_text, sort_findings
+from .suppressions import SuppressionTable, collect_suppressions
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "SuppressionTable",
+    "collect_suppressions",
+    "config_from_table",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "merge_cli_options",
+    "module_name_for",
+    "register_rule",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "sort_findings",
+]

@@ -1,0 +1,121 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "dotted_name",
+    "callee_name",
+    "exception_name",
+    "module_level_functions",
+    "top_level_bound_names",
+    "iter_top_level_statements",
+]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute/name chains, ``None`` for anything else."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def callee_name(call: ast.Call) -> str | None:
+    """The rightmost name of a call target: ``f`` for ``f()`` and ``m.f()``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def exception_name(raised: ast.expr) -> str | None:
+    """The exception class name in ``raise X`` / ``raise X(...)`` forms."""
+    target = raised.func if isinstance(raised, ast.Call) else raised
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+def module_level_functions(
+    tree: ast.Module,
+) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Functions defined directly at module scope, by name."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def iter_top_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module-scope statements, descending into ``if``/``try``/``with``.
+
+    A name bound inside a top-level conditional (``if TYPE_CHECKING:``,
+    ``try: import fast except ImportError: import slow``) is still a
+    module-scope binding, so export checks must see it.
+    """
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.If):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            stack.extend(node.body)
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def top_level_bound_names(tree: ast.Module) -> tuple[set[str], bool]:
+    """Names bound at module scope, plus whether a ``*`` import occurs.
+
+    Returns ``(names, has_star_import)``; with a star import present the
+    bound-name set is necessarily incomplete.
+    """
+    names: set[str] = set()
+    has_star = False
+    for node in iter_top_level_statements(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.partition(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    has_star = True
+                else:
+                    names.add(alias.asname or alias.name)
+    return names, has_star

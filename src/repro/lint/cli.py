@@ -1,0 +1,117 @@
+"""Command-line front-end for the linter.
+
+Used both standalone (``python -m repro.lint``) and as the ``repro
+lint`` subcommand of the main CLI.  Exit codes follow convention:
+
+* 0 — no findings
+* 1 — findings reported
+* 2 — the linter itself could not run (bad path, bad config)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from ..exceptions import LintError
+from .config import LintConfig, load_config, merge_cli_options
+from .engine import lint_paths, registered_rules
+from .findings import render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``lint`` options to *parser*."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="output format (json is stable and machine-readable)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml to read [tool.repro-lint] from "
+        "(default: nearest one above the first path)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def _split_rules(raw: str | None) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    return frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    explicit = Path(args.config) if args.config is not None else None
+    search_from = Path(args.paths[0]) if args.paths else Path(".")
+    config = load_config(explicit, search_from=search_from)
+    return merge_cli_options(
+        config,
+        select=_split_rules(args.select),
+        ignore=_split_rules(args.ignore),
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed ``lint`` invocation; returns the exit code."""
+    if args.list_rules:
+        for rule_id, rule in sorted(registered_rules().items()):
+            print(f"{rule_id} {rule.name}: {rule.summary}")
+        return 0
+    config = _resolve_config(args)
+    findings = lint_paths(args.paths, config)
+    if args.output_format == "json":
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    else:
+        print("clean: no findings")
+    return 1 if findings else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter for the repro library",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_lint(args)
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Linter configuration: code defaults overridden by ``pyproject.toml``.
+
+Configuration lives in the ``[tool.repro-lint]`` table.  Every key is
+optional; the in-code defaults encode this repository's conventions so
+the linter is useful with no configuration at all::
+
+    [tool.repro-lint]
+    select = ["R001", "R002"]          # run only these rules
+    ignore = ["R005"]                  # never run these rules
+    exclude = ["*.egg-info"]           # path components to skip
+    validated-packages = ["repro.core"]
+    checker-names = ["my_checker"]     # extra accepted checker callees
+    banned-exceptions = ["ValueError"] # replaces the default denylist
+    print-allowed = ["repro/cli.py"]   # replaces the default allowlist
+    exempt = ["R001:repro.core.x.fn"]  # per-symbol exemptions
+
+TOML parsing uses :mod:`tomllib` (Python >= 3.11) and falls back to the
+``tomli`` backport when present; with neither, the defaults are used and
+any explicit ``--config`` request fails loudly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any
+
+from ..exceptions import LintError
+
+__all__ = [
+    "LintConfig",
+    "load_config",
+    "config_from_table",
+    "merge_cli_options",
+    "find_pyproject",
+    "DEFAULT_CHECKER_NAMES",
+    "DEFAULT_BANNED_EXCEPTIONS",
+]
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised only on Python 3.10
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ImportError:
+        _toml = None  # type: ignore[assignment]
+
+#: Checker callables accepted by R001, mirroring ``repro._validation.__all__``.
+DEFAULT_CHECKER_NAMES = frozenset(
+    {
+        "require",
+        "check_finite",
+        "check_positive",
+        "check_nonnegative",
+        "check_probability",
+        "check_probability_vector",
+        "check_integer_in_range",
+        "unique_items",
+    }
+)
+
+#: Builtin exceptions R002 refuses in library raises.  ``TypeError`` and
+#: ``NotImplementedError`` stay legal: per ``repro.exceptions`` they mark
+#: programming errors, not library failures.
+DEFAULT_BANNED_EXCEPTIONS = frozenset(
+    {
+        "ValueError",
+        "RuntimeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "OSError",
+        "IOError",
+        "StopIteration",
+        "Exception",
+        "BaseException",
+    }
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved linter settings (code defaults + ``pyproject.toml``)."""
+
+    #: Rule ids to run; ``None`` means every registered rule.
+    select: frozenset[str] | None = None
+    #: Rule ids to skip even when selected.
+    ignore: frozenset[str] = frozenset()
+    #: fnmatch patterns; a file is skipped when any path component matches.
+    exclude: tuple[str, ...] = ("*.egg-info", "__pycache__", ".git", ".venv", "build")
+    #: Dotted package prefixes that count as "library code" (R006, R007).
+    library_packages: tuple[str, ...] = ("repro",)
+    #: Dotted package prefixes whose public functions must validate (R001).
+    validated_packages: tuple[str, ...] = ("repro.core", "repro.quorums", "repro.gap")
+    #: Callee names accepted as validation by R001.
+    checker_names: frozenset[str] = DEFAULT_CHECKER_NAMES
+    #: Callee-name regex also accepted as validation by R001.
+    checker_pattern: str = r"^_?(check|validate)_|^require$"
+    #: Builtin exception names R002 rejects.
+    banned_exceptions: frozenset[str] = DEFAULT_BANNED_EXCEPTIONS
+    #: Path suffixes (posix style) where R006 permits ``print``.
+    print_allowed: tuple[str, ...] = (
+        "repro/cli.py",
+        "repro/analysis/reporting.py",
+        "repro/lint/cli.py",
+    )
+    #: ``"RULE:dotted.qualified.name"`` entries exempted from that rule.
+    exempt: frozenset[str] = field(default_factory=frozenset)
+
+    def wants(self, rule_id: str) -> bool:
+        """Whether *rule_id* should run under select/ignore settings."""
+        if rule_id in self.ignore:
+            return False
+        return self.select is None or rule_id in self.select
+
+    def is_exempt(self, rule_id: str, qualified_name: str) -> bool:
+        """Whether *qualified_name* is exempted from *rule_id*."""
+        return f"{rule_id}:{qualified_name}" in self.exempt
+
+
+_KEY_MAP: Mapping[str, str] = {
+    "select": "select",
+    "ignore": "ignore",
+    "exclude": "exclude",
+    "library-packages": "library_packages",
+    "validated-packages": "validated_packages",
+    "checker-names": "checker_names",
+    "checker-pattern": "checker_pattern",
+    "banned-exceptions": "banned_exceptions",
+    "print-allowed": "print_allowed",
+    "exempt": "exempt",
+}
+
+
+def _coerce(name: str, value: Any) -> Any:
+    """Coerce a raw TOML value to the type of the config field *name*."""
+    kind = {f.name: f.type for f in fields(LintConfig)}[name]
+    if name == "checker_pattern":
+        if not isinstance(value, str):
+            raise LintError(f"repro-lint option {name!r} must be a string")
+        return value
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise LintError(f"repro-lint option {name!r} must be a list of strings")
+    if "frozenset" in str(kind):
+        return frozenset(value)
+    return tuple(value)
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Locate the nearest ``pyproject.toml`` at or above *start*."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(
+    pyproject: Path | None = None, *, search_from: Path | None = None
+) -> LintConfig:
+    """Build a :class:`LintConfig` from defaults plus ``pyproject.toml``.
+
+    *pyproject* names the file explicitly (it must exist); otherwise the
+    nearest ``pyproject.toml`` above *search_from* (default: the current
+    directory) is used when present.  A missing TOML parser downgrades
+    to pure defaults unless the file was requested explicitly.
+    """
+    explicit = pyproject is not None
+    if pyproject is None:
+        pyproject = find_pyproject(search_from if search_from is not None else Path("."))
+    if pyproject is None:
+        return LintConfig()
+    if not pyproject.is_file():
+        raise LintError(f"config file {str(pyproject)!r} does not exist")
+    if _toml is None:  # pragma: no cover - only on Python 3.10 without tomli
+        if explicit:
+            raise LintError(
+                "reading pyproject.toml requires tomllib (Python >= 3.11) "
+                "or the tomli backport"
+            )
+        return LintConfig()
+    with open(pyproject, "rb") as handle:
+        try:
+            document = _toml.load(handle)
+        except _toml.TOMLDecodeError as exc:
+            raise LintError(f"invalid TOML in {str(pyproject)!r}: {exc}") from exc
+    table = document.get("tool", {}).get("repro-lint", {})
+    if not isinstance(table, dict):
+        raise LintError("[tool.repro-lint] must be a TOML table")
+    return config_from_table(table)
+
+
+def config_from_table(table: Mapping[str, Any]) -> LintConfig:
+    """Build a config from an already-parsed ``[tool.repro-lint]`` table."""
+    overrides: dict[str, Any] = {}
+    for key, value in table.items():
+        if key not in _KEY_MAP:
+            known = ", ".join(sorted(_KEY_MAP))
+            raise LintError(f"unknown repro-lint option {key!r}; known: {known}")
+        overrides[_KEY_MAP[key]] = _coerce(_KEY_MAP[key], value)
+    return replace(LintConfig(), **overrides)
+
+
+def merge_cli_options(
+    config: LintConfig,
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintConfig:
+    """Apply ``--select`` / ``--ignore`` command-line overrides."""
+    if select is not None:
+        config = replace(config, select=frozenset(select))
+    if ignore is not None:
+        config = replace(config, ignore=config.ignore | frozenset(ignore))
+    return config

@@ -1,0 +1,228 @@
+"""The rule engine: registry, per-file dispatch, path discovery.
+
+Rules are small classes registered with :func:`register_rule`; each gets
+the parsed :class:`ModuleContext` for one file and yields
+:class:`~repro.lint.findings.Finding` objects.  The engine owns
+everything rules should not care about: file discovery, module-name
+derivation, config/select filtering, suppression comments, and the
+parse-error finding (``E001``) for files that are not valid Python.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import LintError
+from .config import LintConfig
+from .findings import Finding, sort_findings
+from .suppressions import SuppressionTable, collect_suppressions
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "register_rule",
+    "registered_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "module_name_for",
+]
+
+#: Rule id for files that fail to parse — always reported, never selectable off.
+PARSE_ERROR_ID = "E001"
+
+_RULE_ID_PATTERN = re.compile(r"^[A-Z]\d{3}$")
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule may inspect about one source file."""
+
+    #: Path as given by the caller (kept for finding output).
+    path: str
+    #: Dotted module name (``repro.core.qpp``), or the bare stem for
+    #: files outside any package.
+    module: str
+    #: Raw source text.
+    source: str
+    #: Parsed module body.
+    tree: ast.Module
+    #: Active configuration.
+    config: LintConfig
+    #: Parsed inline suppressions (consulted by the engine, not rules).
+    suppressions: SuppressionTable = field(default_factory=SuppressionTable)
+
+    def in_packages(self, prefixes: Sequence[str]) -> bool:
+        """Whether this module falls under any dotted *prefixes*."""
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        """Build a finding anchored at *node* in this file."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=self.path, line=line, column=column, rule_id=rule_id, message=message
+        )
+
+
+class Rule(ABC):
+    """One invariant check.  Subclasses set ``id``/``name``/``summary``."""
+
+    id: str
+    name: str
+    summary: str
+
+    @abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """Yield findings for *ctx*; must not mutate it."""
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    instance = cls()
+    if not _RULE_ID_PATTERN.match(getattr(instance, "id", "")):
+        raise LintError(f"rule {cls.__name__} has invalid id {instance.id!r}")
+    if instance.id in _REGISTRY:
+        raise LintError(f"duplicate rule id {instance.id}")
+    _REGISTRY[instance.id] = instance
+    return cls
+
+
+def registered_rules() -> dict[str, Rule]:
+    """A snapshot of the rule registry, keyed by rule id."""
+    return dict(_REGISTRY)
+
+
+def module_name_for(path: Path) -> str:
+    """Derive the dotted module name of *path* from ``__init__.py`` files.
+
+    Walks upward while package markers are present, so
+    ``src/repro/core/qpp.py`` maps to ``repro.core.qpp`` regardless of
+    where the source tree is mounted.  ``__init__.py`` maps to its
+    package name.  Files outside any package map to their bare stem.
+    """
+    resolved = path.resolve()
+    parts: list[str] = [] if resolved.stem == "__init__" else [resolved.stem]
+    directory = resolved.parent
+    while (directory / "__init__.py").is_file():
+        parts.append(directory.name)
+        directory = directory.parent
+    if not parts:
+        # an __init__.py sitting outside any package
+        parts.append(resolved.parent.name)
+    return ".".join(reversed(parts))
+
+
+def _is_excluded(path: Path, config: LintConfig) -> bool:
+    return any(
+        fnmatch.fnmatch(part, pattern)
+        for part in path.parts
+        for pattern in config.exclude
+    )
+
+
+def iter_python_files(
+    paths: Sequence[Path | str], config: LintConfig
+) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to lint, sorted."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintError(f"path {str(path)!r} does not exist")
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if _is_excluded(candidate, config) or candidate in seen:
+                continue
+            seen.add(candidate)
+            yield candidate
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint an in-memory source string.
+
+    *module* overrides the dotted module name used for package-scoped
+    rules (R001/R006/R007); it defaults to the path stem, which places
+    anonymous snippets outside every package.
+    """
+    active_config = config if config is not None else LintConfig()
+    if module is None:
+        module = Path(path).stem
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        line = exc.lineno if exc.lineno is not None else 1
+        column = (exc.offset if exc.offset is not None else 1) or 1
+        return [
+            Finding(
+                path=path,
+                line=line,
+                column=column,
+                rule_id=PARSE_ERROR_ID,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        config=active_config,
+        suppressions=collect_suppressions(source),
+    )
+    findings: list[Finding] = []
+    for rule_id in sorted(_REGISTRY):
+        if not active_config.wants(rule_id):
+            continue
+        for finding in _REGISTRY[rule_id].check(ctx):
+            if not ctx.suppressions.is_suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    return sort_findings(findings)
+
+
+def lint_file(path: Path | str, config: LintConfig | None = None) -> list[Finding]:
+    """Lint one file from disk."""
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {str(file_path)!r}: {exc}") from exc
+    return lint_source(
+        source,
+        path=str(path),
+        module=module_name_for(file_path),
+        config=config,
+    )
+
+
+def lint_paths(
+    paths: Sequence[Path | str], config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint files and directories (recursively); the main library entry."""
+    active_config = config if config is not None else LintConfig()
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths, active_config):
+        findings.extend(lint_file(file_path, active_config))
+    return sort_findings(findings)

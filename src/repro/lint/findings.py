@@ -1,0 +1,77 @@
+"""The :class:`Finding` value type and its renderings.
+
+A finding is one rule violation anchored to a file position.  Findings
+are immutable, totally ordered (by path, line, column, rule id) so that
+linter output is deterministic, and serialize to plain dictionaries for
+the ``--format json`` machine interface consumed by CI.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "render_text", "render_json", "sort_findings"]
+
+#: Schema version of the JSON output; bump on breaking changes.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file, as given to the linter (kept
+        relative when the input path was relative, for stable output).
+    line:
+        1-based line of the offending node.
+    column:
+        1-based column of the offending node.
+    rule_id:
+        Identifier of the violated rule, e.g. ``"R002"``.
+    message:
+        Human-readable, actionable description of the violation.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form used by the JSON output format."""
+        return asdict(self)
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the text output line."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule_id} {self.message}"
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Deterministic output order: by path, then position, then rule."""
+    return sorted(findings)
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """Render findings for terminals, one per line plus a summary."""
+    ordered = sort_findings(findings)
+    lines = [finding.render() for finding in ordered]
+    noun = "finding" if len(ordered) == 1 else "findings"
+    lines.append(f"{len(ordered)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Render findings as a stable machine-readable JSON document."""
+    ordered = sort_findings(findings)
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "count": len(ordered),
+        "findings": [finding.to_dict() for finding in ordered],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

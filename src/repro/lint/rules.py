@@ -1,0 +1,421 @@
+"""The initial ruleset: R001–R007.
+
+Each rule encodes one correctness contract of the reproduction (see
+``docs/static_analysis.md`` for the paper-level rationale).  Rules are
+deliberately small — a new invariant is typically ~20 lines: subclass
+:class:`~repro.lint.engine.Rule`, decorate with ``@register_rule``, and
+yield findings from :meth:`check`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from .astutils import (
+    callee_name,
+    dotted_name,
+    exception_name,
+    iter_top_level_statements,
+    module_level_functions,
+    top_level_bound_names,
+)
+from .engine import ModuleContext, Rule, register_rule
+from .findings import Finding
+
+__all__ = [
+    "ValidatedEntryPointRule",
+    "ReproErrorOnlyRule",
+    "MutableDefaultRule",
+    "SeededRandomnessRule",
+    "FloatEqualityRule",
+    "NoPrintRule",
+    "ExportIntegrityRule",
+]
+
+_FunctionDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _is_stub_body(fn: _FunctionDef) -> bool:
+    """Whether the body is only a docstring / ``pass`` / ``...``."""
+    for index, statement in enumerate(fn.body):
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+            if statement.value.value is Ellipsis:
+                continue
+            if index == 0 and isinstance(statement.value.value, str):
+                continue
+        return False
+    return True
+
+
+def _has_decorator(fn: _FunctionDef, name: str) -> bool:
+    for decorator in fn.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == name:
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == name:
+            return True
+    return False
+
+
+@register_rule
+class ValidatedEntryPointRule(Rule):
+    """R001: public functions in the solver packages must validate input.
+
+    The paper's approximation guarantees (Theorems 1.2–1.4, 3.7, 5.1)
+    presuppose well-formed inputs — intersecting quorum systems, unit
+    probability vectors, positive capacities.  Every public module-level
+    function in the configured packages must therefore call a
+    ``repro._validation`` checker (directly, or via another function of
+    the same module), raise a precondition error itself, or carry an
+    explicit exemption.
+    """
+
+    id = "R001"
+    name = "validated-entry-point"
+    summary = "public API functions must validate their inputs"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(ctx.config.validated_packages):
+            return
+        checker = re.compile(ctx.config.checker_pattern)
+        functions = module_level_functions(ctx.tree)
+
+        def validates_directly(fn: _FunctionDef) -> bool:
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Raise):
+                    return True
+                if isinstance(node, ast.Call):
+                    name = callee_name(node)
+                    if name is not None and (
+                        name in ctx.config.checker_names or checker.search(name)
+                    ):
+                        return True
+            return False
+
+        def validates(name: str, trail: frozenset[str]) -> bool:
+            fn = functions.get(name)
+            if fn is None or name in trail:
+                return False
+            if validates_directly(fn):
+                return True
+            callees = {
+                called
+                for node in ast.walk(fn)
+                if isinstance(node, ast.Call)
+                and (called := callee_name(node)) in functions
+            }
+            return any(validates(c, trail | {name}) for c in callees)
+
+        for name, fn in functions.items():
+            if name.startswith("_") or _is_stub_body(fn):
+                continue
+            if _has_decorator(fn, "overload"):
+                continue
+            if ctx.config.is_exempt(self.id, f"{ctx.module}.{name}"):
+                continue
+            if not validates(name, frozenset()):
+                yield ctx.finding(
+                    fn,
+                    self.id,
+                    f"public function {name!r} performs no input validation; "
+                    "call a repro._validation checker, delegate to one, or "
+                    "exempt it explicitly",
+                )
+
+
+@register_rule
+class ReproErrorOnlyRule(Rule):
+    """R002: deliberate failures must derive from ``ReproError``.
+
+    Callers distinguish library failures (invalid quorum system,
+    infeasible LP) from programming errors by catching ``ReproError``;
+    a bare ``ValueError`` breaks that contract.  ``TypeError`` and
+    ``NotImplementedError`` remain legal as programming-error signals.
+    """
+
+    id = "R002"
+    name = "repro-error-only"
+    summary = "raise only ReproError subclasses in library code"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = exception_name(node.exc)
+            if name in ctx.config.banned_exceptions:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"raise of builtin {name!r}; raise a repro.exceptions."
+                    "ReproError subclass instead (ValidationError also "
+                    "inherits ValueError for compatibility)",
+                )
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """R003: no mutable default argument values.
+
+    A shared mutable default silently couples calls — one corrupted
+    default probability list would poison every later solve.
+    """
+
+    id = "R003"
+    name = "mutable-default"
+    summary = "no mutable default arguments"
+
+    _mutable_calls = frozenset(
+        {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and callee_name(node) in self._mutable_calls
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults: list[ast.expr] = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults if d is not None)
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield ctx.finding(
+                        default,
+                        self.id,
+                        f"mutable default argument in {node.name!r}; default "
+                        "to None and construct inside the function",
+                    )
+
+
+@register_rule
+class SeededRandomnessRule(Rule):
+    """R004: all randomness flows through an injected ``Generator``.
+
+    Experiments and random network generators must be exactly
+    reproducible; global ``np.random.*`` state or a seedless
+    ``default_rng()`` makes runs unrepeatable.
+    """
+
+    id = "R004"
+    name = "seeded-randomness"
+    summary = "no global np.random.* and no seedless default_rng()"
+
+    _safe_attrs = frozenset(
+        {
+            "Generator",
+            "BitGenerator",
+            "SeedSequence",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "MT19937",
+            "SFC64",
+        }
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        # Names imported straight out of numpy.random, e.g.
+        # ``from numpy.random import default_rng``.
+        imported: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    imported[alias.asname or alias.name] = alias.name
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            seedless = not node.args and not node.keywords
+            dotted = dotted_name(node.func)
+            if dotted is not None:
+                parts = dotted.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] not in self._safe_attrs
+                ):
+                    if parts[2] == "default_rng":
+                        if seedless:
+                            yield ctx.finding(
+                                node,
+                                self.id,
+                                "seedless default_rng(); pass an explicit seed "
+                                "or accept an injected Generator",
+                            )
+                    else:
+                        yield ctx.finding(
+                            node,
+                            self.id,
+                            f"global numpy.random.{parts[2]}(); inject a seeded "
+                            "np.random.Generator instead",
+                        )
+                    continue
+            if isinstance(node.func, ast.Name) and node.func.id in imported:
+                original = imported[node.func.id]
+                if original in self._safe_attrs:
+                    continue
+                if original == "default_rng":
+                    if seedless:
+                        yield ctx.finding(
+                            node,
+                            self.id,
+                            "seedless default_rng(); pass an explicit seed "
+                            "or accept an injected Generator",
+                        )
+                else:
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"global numpy.random.{original}(); inject a seeded "
+                        "np.random.Generator instead",
+                    )
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """R005: no ``==``/``!=`` against floating-point literals.
+
+    Delays, loads and probabilities are results of float arithmetic;
+    exact comparison against a float literal is almost always a latent
+    bug.  Compare with ``math.isclose`` or a named tolerance such as
+    ``repro._validation.PROBABILITY_TOLERANCE``.
+    """
+
+    id = "R005"
+    name = "float-equality"
+    summary = "no ==/!= comparisons with float literals"
+
+    @staticmethod
+    def _is_float_literal(node: ast.expr) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if self._is_float_literal(left) or self._is_float_literal(right):
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "float equality comparison; use math.isclose or a "
+                        "named tolerance (delay/probability values are "
+                        "inexact)",
+                    )
+                    break
+
+
+@register_rule
+class NoPrintRule(Rule):
+    """R006: library code never prints.
+
+    Reporting goes through ``repro.analysis.reporting`` and the CLI so
+    that programmatic callers get clean stdout; stray prints in solver
+    code corrupt ``--format json`` outputs and benchmark harnesses.
+    """
+
+    id = "R006"
+    name = "no-print"
+    summary = "no print() in library code"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(ctx.config.library_packages):
+            return
+        posix_path = ctx.path.replace("\\", "/")
+        if any(posix_path.endswith(suffix) for suffix in ctx.config.print_allowed):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    "print() in library code; route output through "
+                    "repro.analysis.reporting or the CLI layer",
+                )
+
+
+@register_rule
+class ExportIntegrityRule(Rule):
+    """R007: public modules declare ``__all__`` and it is truthful.
+
+    The public surface is what the API-stability tests and docs index;
+    an ``__all__`` entry that does not exist breaks ``import *`` and
+    documents an API that is not there.
+    """
+
+    id = "R007"
+    name = "export-integrity"
+    summary = "public modules define a truthful __all__"
+
+    @staticmethod
+    def _find_all(tree: ast.Module) -> tuple[ast.stmt, ast.expr] | None:
+        for node in iter_top_level_statements(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        return node, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                    return node, node.value
+        return None
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(ctx.config.library_packages):
+            return
+        leaf = ctx.module.rsplit(".", 1)[-1]
+        if leaf.startswith("_"):
+            return
+        located = self._find_all(ctx.tree)
+        if located is None:
+            yield Finding(
+                path=ctx.path,
+                line=1,
+                column=1,
+                rule_id=self.id,
+                message=f"public module {ctx.module!r} defines no __all__",
+            )
+            return
+        node, value = located
+        if not isinstance(value, (ast.List, ast.Tuple)) or not all(
+            isinstance(el, ast.Constant) and isinstance(el.value, str)
+            for el in value.elts
+        ):
+            # computed __all__ (concatenation, comprehension): statically
+            # unverifiable, but the declaration obligation is met.
+            return
+        exported = [el.value for el in value.elts if isinstance(el, ast.Constant)]
+        bound, has_star = top_level_bound_names(ctx.tree)
+        if has_star:
+            return
+        for name in exported:
+            if name not in bound:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"__all__ exports {name!r} but the module never binds it",
+                )

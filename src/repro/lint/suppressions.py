@@ -1,0 +1,83 @@
+"""Inline suppression comments.
+
+Two spellings are honored, mirroring mainstream linters:
+
+* ``# repro-lint: disable=R001,R005`` — suppress the named rules on the
+  line carrying the comment (for multi-line statements, put it on the
+  line the finding anchors to, e.g. the ``def`` line for R001).
+* ``# repro-lint: disable`` — suppress every rule on that line.
+* ``# repro-lint: disable-file=R004`` — suppress the named rules (or,
+  with no ``=RULES``, all rules) for the whole file; conventionally
+  placed near the top.
+
+Suppressions are extracted with :mod:`tokenize` so that strings merely
+*containing* the marker text do not disable anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["SuppressionTable", "collect_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable-file|disable)"
+    r"\s*(?:=\s*(?P<rules>[A-Za-z0-9_,\s]+))?"
+)
+
+#: Sentinel meaning "every rule" in a suppression entry.
+ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class SuppressionTable:
+    """Parsed suppression directives for one source file."""
+
+    #: line number -> rule ids suppressed there (may contain ``ALL_RULES``).
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: rule ids suppressed for the entire file (may contain ``ALL_RULES``).
+    file_wide: frozenset[str] = frozenset()
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether a finding of *rule_id* anchored at *line* is silenced."""
+        if ALL_RULES in self.file_wide or rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(line, frozenset())
+        return ALL_RULES in rules or rule_id in rules
+
+
+def _parse_rules(raw: str | None) -> frozenset[str]:
+    if raw is None:
+        return frozenset({ALL_RULES})
+    rules = frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+    return rules if rules else frozenset({ALL_RULES})
+
+
+def collect_suppressions(source: str) -> SuppressionTable:
+    """Extract every suppression directive from *source*.
+
+    Sources that fail to tokenize yield an empty table; the parse error
+    itself is reported separately by the engine.
+    """
+    by_line: dict[int, frozenset[str]] = {}
+    file_wide: frozenset[str] = frozenset()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        return SuppressionTable()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        rules = _parse_rules(match.group("rules"))
+        if match.group("scope") == "disable-file":
+            file_wide = file_wide | rules
+        else:
+            line = token.start[0]
+            by_line[line] = by_line.get(line, frozenset()) | rules
+    return SuppressionTable(by_line=by_line, file_wide=file_wide)

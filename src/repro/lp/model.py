@@ -113,7 +113,11 @@ class LinExpr:
         if not isinstance(scalar, (int, float)):
             return NotImplemented
         if scalar == 0:
-            raise ZeroDivisionError("division of linear expression by zero")
+            # Mirrors Python number semantics on purpose: `expr / 0` must
+            # behave like `1 / 0` for arithmetic-generic callers.
+            raise ZeroDivisionError(  # repro-lint: disable=R002
+                "division of linear expression by zero"
+            )
         return self * (1.0 / scalar)
 
     # -- comparisons build constraints ------------------------------------------

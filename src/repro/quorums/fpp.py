@@ -26,6 +26,7 @@ __all__ = ["projective_plane", "is_prime"]
 
 def is_prime(q: int) -> bool:
     """Trial-division primality test (adequate for plane orders)."""
+    check_integer_in_range(q, "q")
     if q < 2:
         return False
     if q < 4:

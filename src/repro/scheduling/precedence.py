@@ -15,6 +15,7 @@ instances.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass, field
 
@@ -26,6 +27,18 @@ from ..exceptions import ValidationError
 __all__ = ["SchedulingInstance", "random_woeginger_instance"]
 
 Job = Hashable
+
+#: Tolerance for classifying unit/zero processing times and weights in the
+#: Woeginger special form (values come from float arithmetic).
+_UNIT_TOLERANCE = 1e-9
+
+
+def _is_unit(value: float) -> bool:
+    return math.isclose(value, 1.0, abs_tol=_UNIT_TOLERANCE)
+
+
+def _is_zero(value: float) -> bool:
+    return math.isclose(value, 0.0, abs_tol=_UNIT_TOLERANCE)
 
 
 @dataclass(frozen=True)
@@ -139,9 +152,9 @@ class SchedulingInstance:
         kinds: dict[Job, str] = {}
         for job in self.jobs:
             t, w = self.processing_times[job], self.weights[job]
-            if t == 1.0 and w == 0.0:
+            if _is_unit(t) and _is_zero(w):
                 kinds[job] = "unit-time"
-            elif t == 0.0 and w == 1.0:
+            elif _is_zero(t) and _is_unit(w):
                 kinds[job] = "unit-weight"
             else:
                 return False
@@ -152,11 +165,11 @@ class SchedulingInstance:
 
     def unit_time_jobs(self) -> list[Job]:
         """The (T=1, w=0) jobs, in instance order."""
-        return [j for j in self.jobs if self.processing_times[j] == 1.0]
+        return [j for j in self.jobs if _is_unit(self.processing_times[j])]
 
     def unit_weight_jobs(self) -> list[Job]:
         """The (T=0, w=1) jobs, in instance order."""
-        return [j for j in self.jobs if self.weights[j] == 1.0]
+        return [j for j in self.jobs if _is_unit(self.weights[j])]
 
 
 def random_woeginger_instance(

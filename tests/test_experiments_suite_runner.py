@@ -5,6 +5,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.exceptions import ValidationError
 from repro.experiments import (
     AlgorithmScore,
     compare_algorithms,
@@ -52,7 +53,7 @@ class TestComparison:
                 assert total_score <= score.total_delay + 1e-6
 
     def test_unknown_name_raises(self, comparison):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValidationError):
             comparison.score("simulated-annealing")
 
     def test_failure_scores_are_nan(self):

@@ -1,0 +1,56 @@
+"""The repository must stay clean against its own linter.
+
+This is the self-check gate promised in ``docs/static_analysis.md``:
+``repro lint src`` (and the benchmark/example trees) report zero
+findings, so every future PR that violates an invariant fails here and
+in CI before review.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Finding, lint_paths, load_config
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def _run(paths: list[Path]) -> list[Finding]:
+    config = load_config(search_from=REPO_ROOT)
+    return lint_paths(paths, config)
+
+
+def _report(findings: list[Finding]) -> str:
+    return "\n".join(f.render() for f in findings)
+
+
+@pytest.mark.skipif(not SRC.is_dir(), reason="source tree not present")
+def test_src_is_lint_clean():
+    findings = _run([SRC])
+    assert not findings, f"repro lint src must stay clean:\n{_report(findings)}"
+
+
+@pytest.mark.skipif(
+    not (REPO_ROOT / "benchmarks").is_dir() or not (REPO_ROOT / "examples").is_dir(),
+    reason="benchmarks/examples not present",
+)
+def test_benchmarks_and_examples_are_lint_clean():
+    findings = _run([REPO_ROOT / "benchmarks", REPO_ROOT / "examples"])
+    assert not findings, f"auxiliary trees must stay clean:\n{_report(findings)}"
+
+
+def test_every_rule_is_exercised_by_src_conventions():
+    """The linter engine sees the whole tree (guard against silent no-op).
+
+    If path discovery broke (e.g. an over-broad exclude), the self-check
+    above would pass vacuously; assert we actually visited the library.
+    """
+    from repro.lint.engine import iter_python_files
+
+    config = load_config(search_from=REPO_ROOT)
+    files = list(iter_python_files([SRC], config))
+    assert len(files) > 50, "expected to lint the full src tree"
+    assert not any("egg-info" in str(f) for f in files)
