@@ -1,10 +1,11 @@
-"""Consume a ``repro lint --format json`` report in CI.
+"""Consume ``repro lint --format json`` reports in CI.
 
-Reads the JSON document produced by the linter, re-emits every finding
-as a GitHub Actions workflow annotation (``::error``) so violations
-show inline on pull requests, and exits non-zero when findings exist.
+Reads the JSON documents produced by the linter (the per-file run and
+the ``--whole-program`` run), re-emits every finding as a GitHub
+Actions workflow annotation (``::error``) so violations show inline on
+pull requests, and exits non-zero when findings exist.
 
-Usage: ``python .github/scripts/annotate_lint.py lint-report.json``
+Usage: ``python .github/scripts/annotate_lint.py REPORT.json [...]``
 """
 
 from __future__ import annotations
@@ -14,16 +15,13 @@ import sys
 from pathlib import Path
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print("usage: annotate_lint.py REPORT.json", file=sys.stderr)
-        return 2
-    report_path = Path(argv[1])
+def annotate(report_path: Path) -> int | None:
+    """Emit annotations for one report; finding count, or None on error."""
     try:
         report = json.loads(report_path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         print(f"::error::cannot read lint report {report_path}: {exc}")
-        return 2
+        return None
     findings = report.get("findings", [])
     for finding in findings:
         path = finding.get("path", "")
@@ -35,9 +33,21 @@ def main(argv: list[str]) -> int:
             f"::error file={path},line={line},col={column},"
             f"title=repro-lint {rule}::{message}"
         )
-    count = report.get("count", len(findings))
-    if count:
-        print(f"repro lint reported {count} finding(s)", file=sys.stderr)
+    return int(report.get("count", len(findings)))
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print("usage: annotate_lint.py REPORT.json [...]", file=sys.stderr)
+        return 2
+    total = 0
+    for raw in argv[1:]:
+        count = annotate(Path(raw))
+        if count is None:
+            return 2
+        total += count
+    if total:
+        print(f"repro lint reported {total} finding(s)", file=sys.stderr)
         return 1
     print("repro lint: clean")
     return 0

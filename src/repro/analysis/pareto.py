@@ -1,66 +1,14 @@
-"""Pareto-front utilities for delay/load trade-off reporting.
+"""Backward-compatible alias for :mod:`repro._pareto`.
 
-Several knobs in this library trade delay against load (the Theorem 3.7
-alpha, the strategy re-weighting budget, placement choice itself).
-These helpers identify the non-dominated points so benches and examples
-can report frontiers instead of raw sweeps.
+The Pareto helpers moved to the foundation layer so that
+``repro.core.biobjective`` can use them without importing upward into
+the analysis layer (an R100 layering violation).  Import from
+:mod:`repro.analysis` or :mod:`repro._pareto`; this module only
+re-exports.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-from dataclasses import dataclass
-from typing import Any
+from .._pareto import ParetoPoint, pareto_front
 
 __all__ = ["ParetoPoint", "pareto_front"]
-
-
-@dataclass(frozen=True)
-class ParetoPoint:
-    """A candidate with two minimized coordinates and an arbitrary tag."""
-
-    delay: float
-    load: float
-    tag: Any = None
-
-    def dominates(self, other: "ParetoPoint", tolerance: float = 1e-12) -> bool:
-        """Weakly better on both axes, strictly on at least one."""
-        no_worse = (
-            self.delay <= other.delay + tolerance
-            and self.load <= other.load + tolerance
-        )
-        strictly_better = (
-            self.delay < other.delay - tolerance
-            or self.load < other.load - tolerance
-        )
-        return no_worse and strictly_better
-
-
-def pareto_front(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
-    """The non-dominated subset, sorted by increasing delay.
-
-    Duplicate coordinates are collapsed to the first occurrence.  The
-    returned front is antichain-clean: no member dominates another.
-
-    Examples
-    --------
-    >>> front = pareto_front([
-    ...     ParetoPoint(1.0, 3.0, "a"),
-    ...     ParetoPoint(2.0, 2.5, "dominated-by-none"),
-    ...     ParetoPoint(2.5, 2.6, "dominated"),
-    ... ])
-    >>> [p.tag for p in front]
-    ['a', 'dominated-by-none']
-    """
-    front: list[ParetoPoint] = []
-    seen: set[tuple[float, float]] = set()
-    for candidate in points:
-        key = (candidate.delay, candidate.load)
-        if key in seen:
-            continue
-        if any(other.dominates(candidate) for other in points):
-            continue
-        seen.add(key)
-        front.append(candidate)
-    front.sort(key=lambda p: (p.delay, p.load))
-    return front

@@ -7,7 +7,8 @@ Exposes the library's planning loop to shells and scripts::
         --objective max --alpha 2 --out placement.json
     python -m repro evaluate placement.json       # delays/loads of a saved placement
     python -m repro gap --k 5                     # Figure 1 numbers
-    python -m repro lint src                      # invariant linter (R001-R007)
+    python -m repro lint src --whole-program      # invariant linter (R001-R104)
+    python -m repro deps src --dot                # module import graph
 
 Spec mini-language (shared by ``system`` and ``place``):
 
@@ -40,7 +41,7 @@ from .core import (
     solve_total_delay,
 )
 from .exceptions import ReproError, ValidationError
-from .lint.cli import add_lint_arguments, run_lint
+from .lint.cli import add_deps_arguments, add_lint_arguments, run_deps, run_lint
 from .network import generators
 from .network.graph import Network
 from .quorums import (
@@ -307,6 +308,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_deps(args: argparse.Namespace) -> int:
+    return run_deps(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -369,6 +374,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_deps = sub.add_parser(
+        "deps",
+        help="show the package's module import graph (text, --dot, --json)",
+        description="Module import graph with layer assignments; the same "
+        "graph the whole-program linter checks (R100/R101).",
+    )
+    add_deps_arguments(p_deps)
+    p_deps.set_defaults(func=_cmd_deps)
 
     return parser
 

@@ -19,7 +19,7 @@ linear cost, so every point of the sweep keeps the
 Sweeping ``lambda`` from 0 to 1 traces (an approximation of) the
 Pareto frontier between the two objectives;
 :func:`max_vs_total_frontier` packages the sweep and prunes dominated
-points with :mod:`repro.analysis.pareto`.
+points with :mod:`repro._pareto`.
 """
 
 from __future__ import annotations
@@ -30,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import check_probability, check_positive
-from ..analysis.pareto import ParetoPoint, pareto_front
+from .._pareto import ParetoPoint, pareto_front
 from ..gap.instance import GAPInstance
 from ..gap.lp import FractionalAssignment
 from ..gap.rounding import round_fractional_assignment

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._validation import require
 from ..exceptions import InfeasibleError
 from ..lp import Model
 from .instance import GAPInstance
@@ -72,6 +73,7 @@ def solve_gap_lp(instance: GAPInstance, *, method: str = "highs-ds") -> Fraction
         If some job has no allowed machine, or the capacity constraints
         cannot be met even fractionally.
     """
+    require(instance.num_jobs > 0, "GAP instance has no jobs to assign")
     model = Model(name="gap-lp")
     num_machines, num_jobs = instance.num_machines, instance.num_jobs
     variables: dict[tuple[int, int], object] = {}

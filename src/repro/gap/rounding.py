@@ -100,6 +100,25 @@ def _build_slots(
     return slots
 
 
+def _check_fractions(fractional: FractionalAssignment) -> np.ndarray:
+    """Validate and clean the fractional matrix: clip, check, renormalize.
+
+    Raises
+    ------
+    ValidationError
+        If some job's fractions do not sum to (approximately) one.
+    """
+    instance = fractional.instance
+    fractions = np.clip(np.asarray(fractional.fractions, dtype=float), 0.0, None)
+    column_sums = fractions.sum(axis=0)
+    for j, total in enumerate(column_sums):
+        if abs(total - 1.0) > 1e-6:
+            raise ValidationError(
+                f"job {instance.jobs[j]!r} has fractional total {total:.6f}, expected 1"
+            )
+    return fractions / column_sums[np.newaxis, :]
+
+
 def round_fractional_assignment(fractional: FractionalAssignment) -> RoundedAssignment:
     """Round a fractional GAP solution per Shmoys-Tardos.
 
@@ -115,15 +134,8 @@ def round_fractional_assignment(fractional: FractionalAssignment) -> RoundedAssi
         If the matching step fails — which indicates a malformed
         fractional input rather than a true infeasibility.
     """
+    fractions = _check_fractions(fractional)
     instance = fractional.instance
-    fractions = np.clip(np.asarray(fractional.fractions, dtype=float), 0.0, None)
-    column_sums = fractions.sum(axis=0)
-    for j, total in enumerate(column_sums):
-        if abs(total - 1.0) > 1e-6:
-            raise ValidationError(
-                f"job {instance.jobs[j]!r} has fractional total {total:.6f}, expected 1"
-            )
-    fractions = fractions / column_sums[np.newaxis, :]
 
     graph = nx.Graph()
     job_nodes = [("job", j) for j in range(instance.num_jobs)]

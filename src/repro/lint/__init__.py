@@ -1,24 +1,30 @@
 """Static analysis for the reproduction's correctness contracts.
 
-The :mod:`repro.lint` subsystem is a small AST rule engine plus an
-initial ruleset (R001–R007) that makes the library's conventions
-machine-checkable: public entry points validate inputs, failures derive
-from :class:`~repro.exceptions.ReproError`, randomness is injected and
-seeded, floats are never compared exactly, and every public module
-declares a truthful ``__all__``.  The repository lints itself in CI and
-in ``tests/test_lint_self.py``, so refactors toward the production-scale
-roadmap cannot silently erode the invariants the paper's theorems rely
-on.
+The :mod:`repro.lint` subsystem is an AST rule engine with two kinds of
+rules.  The per-file ruleset (R001–R007) makes the library's local
+conventions machine-checkable: public entry points validate inputs,
+failures derive from :class:`~repro.exceptions.ReproError`, randomness
+is injected and seeded, floats are never compared exactly, and every
+public module declares a truthful ``__all__``.  The whole-program
+ruleset (R100–R104, ``lint --whole-program``) checks the properties no
+single file can witness: the declared layer order holds, no module-level
+import cycles exist, CLI-reachable solvers validate before first use,
+the public API never leaks builtin exceptions from its callees, and
+every export is actually referenced.  The repository lints itself in CI
+and in ``tests/test_lint_self.py``, so refactors toward the
+production-scale roadmap cannot silently erode the invariants the
+paper's theorems rely on.
 
 Programmatic use::
 
     from repro.lint import lint_paths, load_config
 
-    findings = lint_paths(["src"], load_config())
+    findings = lint_paths(["src"], load_config(), whole_program=True)
     for finding in findings:
         print(finding.render())
 
-Command-line use: ``repro lint [paths...]`` or ``python -m repro.lint``.
+Command-line use: ``repro lint [paths...] [--whole-program]``,
+``repro deps [--dot|--json]``, or ``python -m repro.lint``.
 See ``docs/static_analysis.md`` for the rule catalogue and rationale.
 """
 
@@ -28,6 +34,9 @@ from . import rules as _rules  # noqa: F401  (imports register the ruleset)
 from .config import LintConfig, config_from_table, load_config, merge_cli_options
 from .engine import (
     ModuleContext,
+    ParseCache,
+    ParsedFile,
+    ProgramRule,
     Rule,
     lint_file,
     lint_paths,
@@ -37,20 +46,30 @@ from .engine import (
     registered_rules,
 )
 from .findings import Finding, render_json, render_text, sort_findings
+from .interproc import ProgramContext, build_program_context, load_module_graph
+from .modgraph import ImportEdge, ModuleGraph
 from .suppressions import SuppressionTable, collect_suppressions
 
 __all__ = [
     "Finding",
+    "ImportEdge",
     "LintConfig",
     "ModuleContext",
+    "ModuleGraph",
+    "ParseCache",
+    "ParsedFile",
+    "ProgramContext",
+    "ProgramRule",
     "Rule",
     "SuppressionTable",
+    "build_program_context",
     "collect_suppressions",
     "config_from_table",
     "lint_file",
     "lint_paths",
     "lint_source",
     "load_config",
+    "load_module_graph",
     "merge_cli_options",
     "module_name_for",
     "register_rule",

@@ -12,6 +12,9 @@ __all__ = [
     "module_level_functions",
     "top_level_bound_names",
     "iter_top_level_statements",
+    "is_stub_body",
+    "has_decorator",
+    "declared_all",
 ]
 
 
@@ -81,6 +84,60 @@ def iter_top_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
                 stack.extend(handler.body)
         elif isinstance(node, (ast.With, ast.AsyncWith)):
             stack.extend(node.body)
+
+
+def is_stub_body(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether the body is only a docstring / ``pass`` / ``...``."""
+    for index, statement in enumerate(fn.body):
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+            if statement.value.value is Ellipsis:
+                continue
+            if index == 0 and isinstance(statement.value.value, str):
+                continue
+        return False
+    return True
+
+
+def has_decorator(fn: ast.FunctionDef | ast.AsyncFunctionDef, name: str) -> bool:
+    """Whether *fn* carries a decorator whose trailing name is *name*."""
+    for decorator in fn.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == name:
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == name:
+            return True
+    return False
+
+
+def declared_all(tree: ast.Module) -> tuple[ast.stmt, list[str] | None] | None:
+    """The module's ``__all__`` declaration, if present.
+
+    Returns ``(statement, exported names)`` for a literal list/tuple of
+    string constants, ``(statement, None)`` for a computed declaration
+    (concatenation, comprehension — statically unverifiable), and
+    ``None`` when the module declares no ``__all__`` at all.
+    """
+    for node in iter_top_level_statements(tree):
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                value = node.value
+        if value is None:
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(el, ast.Constant) and isinstance(el.value, str)
+            for el in value.elts
+        ):
+            names = [el.value for el in value.elts if isinstance(el, ast.Constant)]
+            return node, [str(name) for name in names]
+        return node, None
+    return None
 
 
 def _target_names(target: ast.expr) -> Iterator[str]:

@@ -1,0 +1,425 @@
+"""The intra-package call graph with name resolution and raise sites.
+
+The graph covers *module-level functions* — the package's public API
+surface and its helpers.  Methods are deliberately out of scope: the
+R102/R103 contracts (validate before use, convert builtin raises) are
+stated for the functional solver API, and resolving dynamic dispatch
+statically would buy little precision for a lot of machinery.  This
+approximation is documented in ``docs/static_analysis.md``.
+
+Resolution handles the package's real idioms:
+
+* ``from ..network.graph import Network`` — symbol imports, with
+  aliasing (``as``);
+* ``from . import generators`` / ``import repro.lp`` — module imports,
+  so ``generators.grid(...)`` and ``repro.lp.solve(...)`` resolve;
+* re-export chains — ``from .qpp import solve_qpp`` inside
+  ``repro.core.__init__`` makes ``repro.core.solve_qpp`` an alias for
+  ``repro.core.qpp.solve_qpp``, chased transitively with cycle guards.
+
+Every call and raise site records the set of exception names caught
+around it: a site inside a ``try`` *body* is protected by that
+statement's handlers, while code in the handlers, ``else`` and
+``finally`` blocks is not (exceptions raised there propagate).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+
+from .astutils import dotted_name
+from .modgraph import resolve_relative_base
+
+__all__ = [
+    "CallSite",
+    "RaiseSite",
+    "FunctionInfo",
+    "CallGraph",
+    "build_call_graph",
+    "catches",
+]
+
+#: Direct bases of the builtin exceptions the linter reasons about, for
+#: deciding whether ``except X`` catches a raised ``Y``.
+_BUILTIN_PARENTS: Mapping[str, str] = {
+    "KeyError": "LookupError",
+    "IndexError": "LookupError",
+    "ZeroDivisionError": "ArithmeticError",
+    "FloatingPointError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "FileNotFoundError": "OSError",
+    "PermissionError": "OSError",
+    "IsADirectoryError": "OSError",
+    "NotADirectoryError": "OSError",
+    "IOError": "OSError",
+    "LookupError": "Exception",
+    "ArithmeticError": "Exception",
+    "OSError": "Exception",
+    "ValueError": "Exception",
+    "TypeError": "Exception",
+    "RuntimeError": "Exception",
+    "StopIteration": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "Exception": "BaseException",
+}
+
+
+def catches(raised: str, handlers: tuple[str, ...]) -> bool:
+    """Whether an ``except`` clause over *handlers* catches *raised*.
+
+    Walks the builtin exception hierarchy (``KeyError`` is caught by
+    ``except LookupError`` and ``except Exception``).  Unknown names —
+    project exceptions like ``ReproError`` — match only exactly, plus
+    the universal ``Exception``/``BaseException`` handlers.
+    """
+    ancestors = {raised}
+    current = raised
+    while current in _BUILTIN_PARENTS:
+        current = _BUILTIN_PARENTS[current]
+        ancestors.add(current)
+    if raised not in _BUILTIN_PARENTS and raised != "BaseException":
+        # A non-builtin exception class: assume it descends from Exception.
+        ancestors.update({"Exception", "BaseException"})
+    return any(handler in ancestors for handler in handlers)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    #: Qualified name of the calling function.
+    caller: str
+    #: Qualified name of the resolved callee (a function in the graph),
+    #: or ``None`` for calls the resolver cannot pin down (methods,
+    #: builtins, third-party functions, dynamic dispatch).
+    callee: str | None
+    #: The textual callee, for diagnostics (``"np.dot"``, ``"solve"``).
+    text: str
+    #: 1-based source line of the call.
+    line: int
+    #: Exception names caught by enclosing ``try`` bodies at this site.
+    caught: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RaiseSite:
+    """One ``raise`` statement inside a function body."""
+
+    #: Qualified name of the raising function.
+    function: str
+    #: Name of the raised exception class (``None`` for bare re-raise).
+    exception: str | None
+    #: 1-based source line of the raise.
+    line: int
+    #: Exception names caught by enclosing ``try`` bodies at this site.
+    caught: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One module-level function definition."""
+
+    #: Module the function is defined in.
+    module: str
+    #: Bare function name.
+    name: str
+    #: ``module.name`` — the node id used throughout the call graph.
+    qualified: str
+    #: 1-based source line of the ``def``.
+    line: int
+    #: Parameter names, in order (``self``-free: module-level only).
+    params: tuple[str, ...]
+    #: Whether the name is public (no leading underscore).
+    public: bool
+    #: The function's AST, for rules that need statement-level analysis.
+    node: ast.FunctionDef | ast.AsyncFunctionDef = field(compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class CallGraph:
+    """Functions, call sites and raise sites of the analyzed package."""
+
+    functions: Mapping[str, FunctionInfo]
+    calls: tuple[CallSite, ...]
+    raises: tuple[RaiseSite, ...]
+
+    def calls_from(self, qualified: str) -> tuple[CallSite, ...]:
+        return tuple(site for site in self.calls if site.caller == qualified)
+
+    def raises_in(self, qualified: str) -> tuple[RaiseSite, ...]:
+        return tuple(site for site in self.raises if site.function == qualified)
+
+    def resolved_callees(self, qualified: str) -> tuple[str, ...]:
+        return tuple(
+            sorted(
+                {
+                    site.callee
+                    for site in self.calls
+                    if site.caller == qualified and site.callee is not None
+                }
+            )
+        )
+
+
+class _ModuleSymbols:
+    """What each name means at one module's top level."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        #: Locally defined module-level functions, by bare name.
+        self.functions: set[str] = set()
+        #: name -> (source module, original name) for symbol imports.
+        self.imported_symbols: dict[str, tuple[str, str]] = {}
+        #: name -> module for module imports (``import x as y``).
+        self.imported_modules: dict[str, str] = {}
+        #: Modules star-imported into this namespace, in order.
+        self.star_imports: list[str] = []
+
+
+def _collect_symbols(
+    module: str, tree: ast.Module, is_package: bool, known: frozenset[str]
+) -> _ModuleSymbols:
+    symbols = _ModuleSymbols(module)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            symbols.functions.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    if alias.name in known:
+                        symbols.imported_modules[alias.asname] = alias.name
+                else:
+                    root = alias.name.partition(".")[0]
+                    if root in known:
+                        symbols.imported_modules[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_relative_base(module, is_package, node)
+            if base is None:
+                continue
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if alias.name == "*":
+                    if base in known:
+                        symbols.star_imports.append(base)
+                    continue
+                dotted = f"{base}.{alias.name}"
+                if dotted in known:
+                    symbols.imported_modules[bound] = dotted
+                elif base in known:
+                    symbols.imported_symbols[bound] = (base, alias.name)
+    return symbols
+
+
+class _Resolver:
+    """Chases names through imports and re-exports to function ids."""
+
+    def __init__(
+        self,
+        symbols: Mapping[str, _ModuleSymbols],
+        functions: Mapping[str, FunctionInfo],
+    ) -> None:
+        self._symbols = symbols
+        self._functions = functions
+
+    def resolve(
+        self, module: str, name: str, _trail: frozenset[str] = frozenset()
+    ) -> tuple[str, str] | None:
+        """What *name* means at the top level of *module*.
+
+        Returns ``("func", qualified)`` for a module-level function,
+        ``("module", dotted)`` for an imported module, ``None`` when the
+        name is unknown (builtin, third-party, class, constant).
+        Re-export chains (``from .sub import f``) are followed
+        transitively with a cycle guard.
+        """
+        key = f"{module}:{name}"
+        if key in _trail:
+            return None
+        trail = _trail | {key}
+        table = self._symbols.get(module)
+        if table is None:
+            return None
+        if name in table.functions:
+            return ("func", f"{module}.{name}")
+        if name in table.imported_modules:
+            return ("module", table.imported_modules[name])
+        if name in table.imported_symbols:
+            source, original = table.imported_symbols[name]
+            return self.resolve(source, original, trail)
+        for source in table.star_imports:
+            resolved = self.resolve(source, name, trail)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def resolve_call(self, module: str, func: ast.expr) -> str | None:
+        """The qualified function a call target refers to, if resolvable."""
+        if isinstance(func, ast.Name):
+            resolved = self.resolve(module, func.id)
+            if resolved is not None and resolved[0] == "func":
+                return resolved[1]
+            return None
+        if isinstance(func, ast.Attribute):
+            dotted = dotted_name(func)
+            if dotted is None:
+                return None
+            head, _, rest = dotted.partition(".")
+            resolved = self.resolve(module, head)
+            if resolved is None or not rest:
+                return None
+            kind, target = resolved
+            if kind != "module":
+                return None
+            # Walk the remaining attributes through module namespaces:
+            # ``pkg.sub.fn`` where ``pkg.sub`` is a module import.
+            parts = rest.split(".")
+            current = target
+            for index, part in enumerate(parts):
+                step = self.resolve(current, part)
+                if step is None:
+                    return None
+                kind, value = step
+                if kind == "func":
+                    return value if index == len(parts) - 1 else None
+                current = value
+            return None
+        return None
+
+
+def _walk_with_caught(
+    body: list[ast.stmt], caught: tuple[str, ...]
+) -> Iterator[tuple[ast.AST, tuple[str, ...]]]:
+    """Yield nodes with the exception names caught around each.
+
+    Only a ``try`` statement's *body* is protected by its handlers;
+    handler, ``else`` and ``finally`` code raises past them.  Nested
+    function/class definitions are not descended into — their bodies
+    run in a different dynamic context.
+    """
+    for statement in body:
+        if isinstance(statement, ast.Try):
+            handler_names: list[str] = []
+            for handler in statement.handlers:
+                if handler.type is None:
+                    handler_names.append("BaseException")
+                elif isinstance(handler.type, ast.Tuple):
+                    for element in handler.type.elts:
+                        name = dotted_name(element)
+                        if name is not None:
+                            handler_names.append(name.rsplit(".", 1)[-1])
+                else:
+                    name = dotted_name(handler.type)
+                    if name is not None:
+                        handler_names.append(name.rsplit(".", 1)[-1])
+            inner = caught + tuple(handler_names)
+            yield from _walk_with_caught(statement.body, inner)
+            for handler in statement.handlers:
+                yield from _walk_with_caught(handler.body, caught)
+            yield from _walk_with_caught(statement.orelse, caught)
+            yield from _walk_with_caught(statement.finalbody, caught)
+            continue
+        yield statement, caught
+        children: list[ast.stmt] = []
+        if isinstance(
+            statement, (ast.If, ast.For, ast.AsyncFor, ast.While)
+        ):
+            children = [*statement.body, *statement.orelse]
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            children = list(statement.body)
+        elif isinstance(statement, ast.Match):
+            children = [s for case in statement.cases for s in case.body]
+        if children:
+            yield from _walk_with_caught(children, caught)
+
+
+def _statement_expressions(statement: ast.AST) -> Iterator[ast.AST]:
+    """Walk one statement's own expressions.
+
+    Nested statements are excluded — :func:`_walk_with_caught` yields
+    them separately (with their own caught-context), so descending here
+    would double-count their call sites.
+    """
+    stack: list[ast.AST] = [statement]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                continue
+            stack.append(child)
+
+
+def build_call_graph(
+    trees: Mapping[str, ast.Module],
+    *,
+    packages: frozenset[str] = frozenset(),
+) -> CallGraph:
+    """Construct the call graph for *trees* (module name -> parsed AST)."""
+    known = frozenset(trees)
+    functions: dict[str, FunctionInfo] = {}
+    symbols: dict[str, _ModuleSymbols] = {}
+
+    for module, tree in trees.items():
+        symbols[module] = _collect_symbols(
+            module, tree, module in packages, known
+        )
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualified = f"{module}.{node.name}"
+                args = node.args
+                params = tuple(
+                    a.arg
+                    for a in (
+                        *args.posonlyargs,
+                        *args.args,
+                        *args.kwonlyargs,
+                        *((args.vararg,) if args.vararg else ()),
+                        *((args.kwarg,) if args.kwarg else ()),
+                    )
+                )
+                functions[qualified] = FunctionInfo(
+                    module=module,
+                    name=node.name,
+                    qualified=qualified,
+                    line=node.lineno,
+                    params=params,
+                    public=not node.name.startswith("_"),
+                    node=node,
+                )
+
+    resolver = _Resolver(symbols, functions)
+    calls: list[CallSite] = []
+    raises: list[RaiseSite] = []
+
+    for info in functions.values():
+        for statement, caught in _walk_with_caught(list(info.node.body), ()):
+            if isinstance(statement, ast.Raise):
+                exception: str | None = None
+                if statement.exc is not None:
+                    target = (
+                        statement.exc.func
+                        if isinstance(statement.exc, ast.Call)
+                        else statement.exc
+                    )
+                    name = dotted_name(target)
+                    if name is not None:
+                        exception = name.rsplit(".", 1)[-1]
+                raises.append(
+                    RaiseSite(info.qualified, exception, statement.lineno, caught)
+                )
+            for node in _statement_expressions(statement):
+                if not isinstance(node, ast.Call):
+                    continue
+                text = dotted_name(node.func) or "<dynamic>"
+                callee = resolver.resolve_call(info.module, node.func)
+                calls.append(
+                    CallSite(info.qualified, callee, text, node.lineno, caught)
+                )
+
+    return CallGraph(
+        functions=dict(sorted(functions.items())),
+        calls=tuple(calls),
+        raises=tuple(raises),
+    )

@@ -1,16 +1,19 @@
-"""Command-line front-end for the linter.
+"""Command-line front-end for the linter and the import-graph viewer.
 
 Used both standalone (``python -m repro.lint``) and as the ``repro
-lint`` subcommand of the main CLI.  Exit codes follow convention:
+lint`` / ``repro deps`` subcommands of the main CLI.  Exit codes follow
+convention:
 
-* 0 — no findings
-* 1 — findings reported
-* 2 — the linter itself could not run (bad path, bad config)
+* 0 — no findings (or none that ``--fail-on`` gates on)
+* 1 — gating findings reported
+* 2 — the linter itself could not run (bad path, bad config, bad baseline)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import re
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -18,9 +21,20 @@ from pathlib import Path
 from ..exceptions import LintError
 from .config import LintConfig, load_config, merge_cli_options
 from .engine import lint_paths, registered_rules
-from .findings import render_json, render_text
+from .findings import Finding, render_json, render_text
+from .interproc import load_module_graph
+from .modgraph import render_deps_dot, render_deps_json, render_deps_tree
 
-__all__ = ["add_lint_arguments", "run_lint", "main"]
+__all__ = [
+    "add_lint_arguments",
+    "add_deps_arguments",
+    "run_lint",
+    "run_deps",
+    "main",
+]
+
+#: ``--fail-on r1xx-only`` gates the exit code on these rule ids.
+_GRAPH_RULE_PATTERN = re.compile(r"^R1\d\d$")
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -58,9 +72,59 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: nearest one above the first path)",
     )
     parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="also run the graph-level R100-series rules (layering, "
+        "cycles, validation flow, exception escape, dead exports)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("any", "r1xx-only"),
+        default="any",
+        dest="fail_on",
+        help="which findings set a non-zero exit code: every finding "
+        "(default) or only the whole-program R100-series",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="REPORT",
+        help="a previous `--format json` report; findings it already "
+        "contains (same path, rule and message) are filtered out",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
+    )
+
+
+def add_deps_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``deps`` options to *parser*."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to graph (default: src)",
+    )
+    rendering = parser.add_mutually_exclusive_group()
+    rendering.add_argument(
+        "--dot",
+        action="store_true",
+        help="emit Graphviz dot (lazy imports dashed, one rank per layer)",
+    )
+    rendering.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="emit the stable machine-readable graph document",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml to read [tool.repro-lint] from "
+        "(default: nearest one above the first path)",
     )
 
 
@@ -70,15 +134,57 @@ def _split_rules(raw: str | None) -> frozenset[str] | None:
     return frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
 
 
-def _resolve_config(args: argparse.Namespace) -> LintConfig:
+def _base_config(args: argparse.Namespace) -> LintConfig:
     explicit = Path(args.config) if args.config is not None else None
     search_from = Path(args.paths[0]) if args.paths else Path(".")
-    config = load_config(explicit, search_from=search_from)
+    return load_config(explicit, search_from=search_from)
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
     return merge_cli_options(
-        config,
+        _base_config(args),
         select=_split_rules(args.select),
         ignore=_split_rules(args.ignore),
     )
+
+
+def _load_baseline(path: str) -> frozenset[tuple[str, str, str]]:
+    """Finding keys of a previous ``--format json`` report.
+
+    Findings match on ``(path, rule id, message)``; lines and columns
+    are deliberately ignored so unrelated edits do not resurrect
+    baselined findings.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    entries = document.get("findings") if isinstance(document, dict) else None
+    if not isinstance(entries, list):
+        raise LintError(
+            f"baseline {path!r} is not a repro-lint JSON report "
+            "(expected a 'findings' array)"
+        )
+    keys: set[tuple[str, str, str]] = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise LintError(f"baseline {path!r} contains a malformed finding")
+        keys.add(
+            (
+                str(entry.get("path", "")),
+                str(entry.get("rule_id", "")),
+                str(entry.get("message", "")),
+            )
+        )
+    return frozenset(keys)
+
+
+def _gates_exit(finding: Finding, fail_on: str) -> bool:
+    if fail_on == "r1xx-only":
+        return _GRAPH_RULE_PATTERN.match(finding.rule_id) is not None
+    return True
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -88,14 +194,37 @@ def run_lint(args: argparse.Namespace) -> int:
             print(f"{rule_id} {rule.name}: {rule.summary}")
         return 0
     config = _resolve_config(args)
-    findings = lint_paths(args.paths, config)
+    findings = lint_paths(
+        args.paths, config, whole_program=bool(getattr(args, "whole_program", False))
+    )
+    baseline_path = getattr(args, "baseline", None)
+    if baseline_path is not None:
+        known = _load_baseline(baseline_path)
+        findings = [
+            finding
+            for finding in findings
+            if (finding.path, finding.rule_id, finding.message) not in known
+        ]
     if args.output_format == "json":
         print(render_json(findings))
     elif findings:
         print(render_text(findings))
     else:
         print("clean: no findings")
-    return 1 if findings else 0
+    fail_on = getattr(args, "fail_on", "any")
+    return 1 if any(_gates_exit(f, fail_on) for f in findings) else 0
+
+
+def run_deps(args: argparse.Namespace) -> int:
+    """Execute a parsed ``deps`` invocation; returns the exit code."""
+    graph = load_module_graph(args.paths, _base_config(args))
+    if args.dot:
+        print(render_deps_dot(graph))
+    elif args.json_output:
+        print(render_deps_json(graph))
+    else:
+        print(render_deps_tree(graph))
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -13,6 +13,9 @@ the linter is useful with no configuration at all::
     banned-exceptions = ["ValueError"] # replaces the default denylist
     print-allowed = ["repro/cli.py"]   # replaces the default allowlist
     exempt = ["R001:repro.core.x.fn"]  # per-symbol exemptions
+    layers = [["repro.exceptions"], ["repro.core"]]  # R100 layer order
+    entry-roots = ["repro.cli"]        # call-graph roots (R102/R104)
+    usage-roots = ["tests"]            # API-usage scan dirs (R104)
 
 TOML parsing uses :mod:`tomllib` (Python >= 3.11) and falls back to the
 ``tomli`` backport when present; with neither, the defaults are used and
@@ -36,6 +39,7 @@ __all__ = [
     "find_pyproject",
     "DEFAULT_CHECKER_NAMES",
     "DEFAULT_BANNED_EXCEPTIONS",
+    "DEFAULT_LAYERS",
 ]
 
 try:  # Python >= 3.11
@@ -81,6 +85,25 @@ DEFAULT_BANNED_EXCEPTIONS = frozenset(
 )
 
 
+#: The repository's layered architecture, lowest layer first (R100).  A
+#: module may import only its own or lower layers.  ``repro.lp`` sits
+#: below ``repro.quorums`` because the Naor-Wool optimal-strategy LP in
+#: ``quorums`` builds on the LP substrate, which itself depends only on
+#: the foundation; the trailing bare ``"repro"`` entry places the root
+#: package (and any not-yet-mapped submodule) in the top layer via
+#: longest-prefix matching.
+DEFAULT_LAYERS: tuple[tuple[str, ...], ...] = (
+    ("repro.exceptions", "repro._validation", "repro._pareto"),
+    ("repro.lp",),
+    ("repro.network",),
+    ("repro.quorums",),
+    ("repro.gap", "repro.scheduling"),
+    ("repro.core",),
+    ("repro.io", "repro.lint", "repro.analysis", "repro.experiments"),
+    ("repro.cli", "repro.__main__", "repro"),
+)
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Resolved linter settings (code defaults + ``pyproject.toml``)."""
@@ -108,7 +131,22 @@ class LintConfig:
         "repro/lint/cli.py",
     )
     #: ``"RULE:dotted.qualified.name"`` entries exempted from that rule.
+    #: R100 additionally accepts ``"R100:source.module->target.module"``.
     exempt: frozenset[str] = field(default_factory=frozenset)
+    #: Layered architecture for R100, lowest layer first; each entry is a
+    #: group of dotted module prefixes (longest prefix wins).  Empty
+    #: disables the layering check.
+    layers: tuple[tuple[str, ...], ...] = DEFAULT_LAYERS
+    #: Modules whose functions seed call-graph reachability (R102) and
+    #: whose references count as API usage (R104).
+    entry_roots: tuple[str, ...] = ("repro.cli", "repro.__main__")
+    #: Directories (relative to the project root) scanned for API usage
+    #: by R104; missing directories are skipped.
+    usage_roots: tuple[str, ...] = ("tests", "examples", "benchmarks")
+    #: Directory containing the ``pyproject.toml`` the config came from;
+    #: set by :func:`load_config`, not configurable.  ``None`` restricts
+    #: R104's usage scan to the in-package entry roots.
+    project_root: str | None = None
 
     def wants(self, rule_id: str) -> bool:
         """Whether *rule_id* should run under select/ignore settings."""
@@ -132,6 +170,9 @@ _KEY_MAP: Mapping[str, str] = {
     "banned-exceptions": "banned_exceptions",
     "print-allowed": "print_allowed",
     "exempt": "exempt",
+    "layers": "layers",
+    "entry-roots": "entry_roots",
+    "usage-roots": "usage_roots",
 }
 
 
@@ -142,6 +183,16 @@ def _coerce(name: str, value: Any) -> Any:
         if not isinstance(value, str):
             raise LintError(f"repro-lint option {name!r} must be a string")
         return value
+    if name == "layers":
+        if not isinstance(value, list) or not all(
+            isinstance(group, list) and all(isinstance(p, str) for p in group)
+            for group in value
+        ):
+            raise LintError(
+                "repro-lint option 'layers' must be a list of lists of "
+                "module prefixes (lowest layer first)"
+            )
+        return tuple(tuple(group) for group in value)
     if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
         raise LintError(f"repro-lint option {name!r} must be a list of strings")
     if "frozenset" in str(kind):
@@ -193,7 +244,9 @@ def load_config(
     table = document.get("tool", {}).get("repro-lint", {})
     if not isinstance(table, dict):
         raise LintError("[tool.repro-lint] must be a TOML table")
-    return config_from_table(table)
+    config = config_from_table(table)
+    # The pyproject location anchors R104's usage-root scan.
+    return replace(config, project_root=str(pyproject.parent))
 
 
 def config_from_table(table: Mapping[str, Any]) -> LintConfig:

@@ -1,11 +1,18 @@
-"""The rule engine: registry, per-file dispatch, path discovery.
+"""The rule engine: registry, parse cache, per-file and whole-program dispatch.
 
-Rules are small classes registered with :func:`register_rule`; each gets
-the parsed :class:`ModuleContext` for one file and yields
-:class:`~repro.lint.findings.Finding` objects.  The engine owns
-everything rules should not care about: file discovery, module-name
-derivation, config/select filtering, suppression comments, and the
-parse-error finding (``E001``) for files that are not valid Python.
+Rules come in two shapes.  *File rules* (:class:`Rule`) get the parsed
+:class:`ModuleContext` for one file and yield
+:class:`~repro.lint.findings.Finding` objects.  *Program rules*
+(:class:`ProgramRule`, the R100 series) see the whole package at once —
+import graph, call graph, usage roots — through a
+:class:`~repro.lint.interproc.ProgramContext`.
+
+The engine owns everything rules should not care about: file discovery,
+module-name derivation, config/select filtering, suppression comments,
+and the parse-error finding (``E001``) for files that are not valid
+Python.  All parsing funnels through one :class:`ParseCache`, so a
+``lint --whole-program`` run (file rules + graph passes) reads and
+parses each source file exactly once — asserted by the test suite.
 """
 
 from __future__ import annotations
@@ -17,14 +24,21 @@ from abc import ABC, abstractmethod
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..exceptions import LintError
 from .config import LintConfig
 from .findings import Finding, sort_findings
 from .suppressions import SuppressionTable, collect_suppressions
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .interproc import ProgramContext
+
 __all__ = [
     "ModuleContext",
+    "ParseCache",
+    "ParsedFile",
+    "ProgramRule",
     "Rule",
     "register_rule",
     "registered_rules",
@@ -43,7 +57,7 @@ _RULE_ID_PATTERN = re.compile(r"^[A-Z]\d{3}$")
 
 @dataclass(frozen=True)
 class ModuleContext:
-    """Everything a rule may inspect about one source file."""
+    """Everything a file rule may inspect about one source file."""
 
     #: Path as given by the caller (kept for finding output).
     path: str
@@ -75,8 +89,132 @@ class ModuleContext:
         )
 
 
+@dataclass(frozen=True)
+class ParsedFile:
+    """One cached parse: source text, AST (or the parse error), suppressions."""
+
+    #: Path as given by the caller at first parse (kept for finding output).
+    path: str
+    #: Resolved filesystem path (the cache key).
+    resolved: Path
+    #: Dotted module name derived from ``__init__.py`` markers.
+    module: str
+    #: Whether this file is a package ``__init__.py``.
+    is_package: bool
+    #: Raw source text.
+    source: str
+    #: Parsed module body, or ``None`` when the file does not parse.
+    tree: ast.Module | None
+    #: The ``E001`` finding when the file does not parse.
+    parse_error: Finding | None
+    #: Parsed inline suppressions.
+    suppressions: SuppressionTable
+    #: Modification time captured at parse (cache-invalidation key).
+    mtime_ns: int
+
+    def context(self, config: LintConfig) -> ModuleContext:
+        """A :class:`ModuleContext` view of this parse under *config*."""
+        if self.tree is None:
+            raise LintError(f"{self.path!r} failed to parse; no context available")
+        return ModuleContext(
+            path=self.path,
+            module=self.module,
+            source=self.source,
+            tree=self.tree,
+            config=config,
+            suppressions=self.suppressions,
+        )
+
+
+class ParseCache:
+    """Parse each source file exactly once per ``(path, mtime)``.
+
+    Shared by the per-file rules, the whole-program graph passes, and
+    ``repro deps``; pass one instance through a run and every file is
+    read and parsed a single time.  A changed modification time
+    invalidates the entry, so long-lived caches stay correct across
+    edits.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[Path, ParsedFile] = {}
+        #: How many times each file was actually parsed (test hook for the
+        #: parse-exactly-once contract).
+        self.parse_counts: dict[Path, int] = {}
+
+    @property
+    def parse_count(self) -> int:
+        """Total number of ``ast.parse`` invocations performed."""
+        return sum(self.parse_counts.values())
+
+    def parsed(self, path: Path | str) -> ParsedFile:
+        """The cached parse of *path*, re-parsing only when it changed."""
+        display = str(path)
+        resolved = Path(path).resolve()
+        try:
+            mtime_ns = resolved.stat().st_mtime_ns
+        except OSError as exc:
+            raise LintError(f"cannot stat {display!r}: {exc}") from exc
+        entry = self._entries.get(resolved)
+        if entry is not None and entry.mtime_ns == mtime_ns:
+            return entry
+        try:
+            source = resolved.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {display!r}: {exc}") from exc
+        entry = _parse_file(
+            source,
+            display=display,
+            resolved=resolved,
+            module=module_name_for(resolved),
+            is_package=resolved.name == "__init__.py",
+            mtime_ns=mtime_ns,
+        )
+        self._entries[resolved] = entry
+        self.parse_counts[resolved] = self.parse_counts.get(resolved, 0) + 1
+        return entry
+
+
+def _parse_file(
+    source: str,
+    *,
+    display: str,
+    resolved: Path,
+    module: str,
+    is_package: bool,
+    mtime_ns: int,
+) -> ParsedFile:
+    tree: ast.Module | None
+    error: Finding | None
+    try:
+        tree = ast.parse(source)
+        error = None
+    except SyntaxError as exc:
+        tree = None
+        line = exc.lineno if exc.lineno is not None else 1
+        column = (exc.offset if exc.offset is not None else 1) or 1
+        error = Finding(
+            path=display,
+            line=line,
+            column=column,
+            rule_id=PARSE_ERROR_ID,
+            message=f"file does not parse: {exc.msg}",
+        )
+    return ParsedFile(
+        path=display,
+        resolved=resolved,
+        module=module,
+        is_package=is_package,
+        source=source,
+        tree=tree,
+        parse_error=error,
+        suppressions=collect_suppressions(source),
+        mtime_ns=mtime_ns,
+    )
+
+
 class Rule(ABC):
-    """One invariant check.  Subclasses set ``id``/``name``/``summary``."""
+    """One per-file invariant check.  Subclasses set ``id``/``name``/``summary``."""
 
     id: str
     name: str
@@ -87,11 +225,28 @@ class Rule(ABC):
         """Yield findings for *ctx*; must not mutate it."""
 
 
-_REGISTRY: dict[str, Rule] = {}
+class ProgramRule(ABC):
+    """One whole-program invariant; sees every module plus the graphs.
+
+    Program rules run only under ``lint --whole-program`` and receive a
+    :class:`~repro.lint.interproc.ProgramContext` holding the shared
+    parsed files, the module import graph, and the call graph.
+    """
+
+    id: str
+    name: str
+    summary: str
+
+    @abstractmethod
+    def check_program(self, program: "ProgramContext") -> Iterable[Finding]:
+        """Yield findings for the whole program; must not mutate it."""
 
 
-def register_rule(cls: type[Rule]) -> type[Rule]:
-    """Class decorator adding a rule to the global registry."""
+_REGISTRY: dict[str, Rule | ProgramRule] = {}
+
+
+def register_rule(cls: type[Rule] | type[ProgramRule]) -> type[Rule] | type[ProgramRule]:
+    """Class decorator adding a file or program rule to the global registry."""
     instance = cls()
     if not _RULE_ID_PATTERN.match(getattr(instance, "id", "")):
         raise LintError(f"rule {cls.__name__} has invalid id {instance.id!r}")
@@ -101,7 +256,7 @@ def register_rule(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
-def registered_rules() -> dict[str, Rule]:
+def registered_rules() -> dict[str, Rule | ProgramRule]:
     """A snapshot of the rule registry, keyed by rule id."""
     return dict(_REGISTRY)
 
@@ -154,6 +309,19 @@ def iter_python_files(
             yield candidate
 
 
+def _run_file_rules(ctx: ModuleContext) -> list[Finding]:
+    """Run every selected per-file rule against one module context."""
+    findings: list[Finding] = []
+    for rule_id in sorted(_REGISTRY):
+        rule = _REGISTRY[rule_id]
+        if not isinstance(rule, Rule) or not ctx.config.wants(rule_id):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressions.is_suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    return findings
+
+
 def lint_source(
     source: str,
     *,
@@ -161,7 +329,7 @@ def lint_source(
     module: str | None = None,
     config: LintConfig | None = None,
 ) -> list[Finding]:
-    """Lint an in-memory source string.
+    """Lint an in-memory source string (per-file rules only).
 
     *module* overrides the dotted module name used for package-scoped
     rules (R001/R006/R007); it defaults to the path stem, which places
@@ -192,37 +360,57 @@ def lint_source(
         config=active_config,
         suppressions=collect_suppressions(source),
     )
-    findings: list[Finding] = []
-    for rule_id in sorted(_REGISTRY):
-        if not active_config.wants(rule_id):
-            continue
-        for finding in _REGISTRY[rule_id].check(ctx):
-            if not ctx.suppressions.is_suppressed(finding.rule_id, finding.line):
-                findings.append(finding)
-    return sort_findings(findings)
+    return sort_findings(_run_file_rules(ctx))
 
 
 def lint_file(path: Path | str, config: LintConfig | None = None) -> list[Finding]:
-    """Lint one file from disk."""
-    file_path = Path(path)
-    try:
-        source = file_path.read_text(encoding="utf-8")
-    except OSError as exc:
-        raise LintError(f"cannot read {str(file_path)!r}: {exc}") from exc
-    return lint_source(
-        source,
-        path=str(path),
-        module=module_name_for(file_path),
-        config=config,
-    )
+    """Lint one file from disk (per-file rules only)."""
+    active_config = config if config is not None else LintConfig()
+    parsed = ParseCache().parsed(path)
+    if parsed.parse_error is not None:
+        return [parsed.parse_error]
+    return sort_findings(_run_file_rules(parsed.context(active_config)))
 
 
 def lint_paths(
-    paths: Sequence[Path | str], config: LintConfig | None = None
+    paths: Sequence[Path | str],
+    config: LintConfig | None = None,
+    *,
+    whole_program: bool = False,
+    cache: ParseCache | None = None,
 ) -> list[Finding]:
-    """Lint files and directories (recursively); the main library entry."""
+    """Lint files and directories (recursively); the main library entry.
+
+    With ``whole_program=True`` the R100-series graph rules also run:
+    the same parsed files feed a module import graph and a call graph
+    (see :mod:`repro.lint.interproc`), so each file is parsed exactly
+    once per run.  Pass a long-lived *cache* to reuse parses across
+    runs; entries invalidate when a file's mtime changes.
+    """
     active_config = config if config is not None else LintConfig()
+    active_cache = cache if cache is not None else ParseCache()
     findings: list[Finding] = []
+    parsed_files: list[ParsedFile] = []
     for file_path in iter_python_files(paths, active_config):
-        findings.extend(lint_file(file_path, active_config))
+        parsed = active_cache.parsed(file_path)
+        parsed_files.append(parsed)
+        if parsed.parse_error is not None:
+            findings.append(parsed.parse_error)
+            continue
+        findings.extend(_run_file_rules(parsed.context(active_config)))
+    if whole_program:
+        # Runtime import breaks the engine <-> interproc module cycle;
+        # both live in the same layer so R100 stays satisfied.
+        from .interproc import build_program_context
+
+        program = build_program_context(
+            parsed_files, active_config, cache=active_cache
+        )
+        for rule_id in sorted(_REGISTRY):
+            rule = _REGISTRY[rule_id]
+            if not isinstance(rule, ProgramRule) or not active_config.wants(rule_id):
+                continue
+            for finding in rule.check_program(program):
+                if not program.is_suppressed(finding):
+                    findings.append(finding)
     return sort_findings(findings)

@@ -1,0 +1,611 @@
+"""Whole-program rules: layering, cycles, validation flow, exception escape.
+
+This module assembles the :class:`ProgramContext` — every parsed file of
+the run plus the module import graph (:mod:`repro.lint.modgraph`) and
+the call graph (:mod:`repro.lint.callgraph`) — and implements the
+R100-series :class:`~repro.lint.engine.ProgramRule` checks on top of it:
+
+============  =======================================================
+``R100``      imports must respect the declared layer order
+``R101``      no module-level import cycles (lazy imports are exempt)
+``R102``      entry-reachable public solvers validate before first use
+``R103``      no transitive builtin-exception escape from public API
+``R104``      every ``__all__`` export is referenced somewhere
+============  =======================================================
+
+The analyses are deliberately approximate in documented ways (module
+import granularity, module-level functions only, statement-ordered
+dominance, name-based liveness); ``docs/static_analysis.md`` spells out
+each approximation and the resulting failure modes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from .astutils import callee_name, declared_all, has_decorator, is_stub_body
+from .callgraph import CallGraph, FunctionInfo, build_call_graph, catches
+from .config import LintConfig
+from .engine import (
+    ParseCache,
+    ParsedFile,
+    ProgramRule,
+    iter_python_files,
+    register_rule,
+)
+from .findings import Finding
+from .modgraph import ModuleGraph, build_module_graph
+
+__all__ = [
+    "ProgramContext",
+    "build_program_context",
+    "load_module_graph",
+    "LayerOrderRule",
+    "ImportCycleRule",
+    "ValidationFlowRule",
+    "ExceptionEscapeRule",
+    "DeadExportRule",
+]
+
+
+@dataclass(frozen=True)
+class ProgramContext:
+    """Everything a :class:`~repro.lint.engine.ProgramRule` may inspect."""
+
+    #: Active configuration.
+    config: LintConfig
+    #: Successfully parsed files of the run, by dotted module name.
+    files: Mapping[str, ParsedFile]
+    #: The module import graph.
+    imports: ModuleGraph
+    #: The function call graph.
+    calls: CallGraph
+    #: Names referenced by each module (``Name`` ids, attribute names,
+    #: import aliases) — the liveness evidence for R104.
+    references: Mapping[str, frozenset[str]]
+    #: Names referenced by files under the configured usage roots
+    #: (tests/examples/benchmarks), or ``None`` when no such directory
+    #: exists in this run.
+    usage_references: frozenset[str] | None
+
+    def path_of(self, module: str) -> str:
+        """The display path of *module* (falls back to the module name)."""
+        parsed = self.files.get(module)
+        return parsed.path if parsed is not None else module
+
+    def finding(
+        self, module: str, line: int, rule_id: str, message: str, *, column: int = 1
+    ) -> Finding:
+        """Build a finding anchored in *module*'s source file."""
+        return Finding(
+            path=self.path_of(module),
+            line=line,
+            column=column,
+            rule_id=rule_id,
+            message=message,
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether an inline comment suppresses *finding* at its line."""
+        for parsed in self.files.values():
+            if parsed.path == finding.path:
+                return parsed.suppressions.is_suppressed(
+                    finding.rule_id, finding.line
+                )
+        return False
+
+    def entry_functions(self) -> tuple[str, ...]:
+        """Qualified names of every function in the entry-root modules."""
+        return tuple(
+            sorted(
+                info.qualified
+                for info in self.calls.functions.values()
+                if _in_packages(info.module, self.config.entry_roots)
+            )
+        )
+
+    def reachable_functions(self) -> frozenset[str]:
+        """Functions reachable from the entry roots over resolved calls."""
+        frontier = list(self.entry_functions())
+        reachable = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for callee in self.calls.resolved_callees(current):
+                if callee not in reachable:
+                    reachable.add(callee)
+                    frontier.append(callee)
+        return frozenset(reachable)
+
+
+def _in_packages(module: str, prefixes: Sequence[str]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+def _referenced_names(tree: ast.Module) -> frozenset[str]:
+    """Every identifier a module mentions: the liveness evidence of R104."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            if isinstance(node, ast.ImportFrom) and node.module is not None:
+                names.update(node.module.split("."))
+            for alias in node.names:
+                if alias.name != "*":
+                    names.update(alias.name.split("."))
+                if alias.asname is not None:
+                    names.add(alias.asname)
+    return frozenset(names)
+
+
+def _usage_directories(config: LintConfig) -> list[Path]:
+    if config.project_root is None:
+        return []
+    root = Path(config.project_root)
+    return [
+        root / usage
+        for usage in config.usage_roots
+        if (root / usage).is_dir()
+    ]
+
+
+def build_program_context(
+    parsed_files: Sequence[ParsedFile],
+    config: LintConfig,
+    *,
+    cache: ParseCache | None = None,
+) -> ProgramContext:
+    """Assemble the whole-program view from already-parsed files.
+
+    Files that failed to parse are left out (their ``E001`` finding is
+    reported by the engine); the graphs cover everything else.  The
+    usage roots (tests/examples/benchmarks, resolved against the config's
+    project root) are parsed through the same *cache*, preserving the
+    parse-exactly-once contract.
+    """
+    active_cache = cache if cache is not None else ParseCache()
+    files: dict[str, ParsedFile] = {}
+    for parsed in parsed_files:
+        if parsed.tree is not None:
+            files[parsed.module] = parsed
+
+    trees = {module: parsed.tree for module, parsed in files.items() if parsed.tree}
+    packages = frozenset(
+        module for module, parsed in files.items() if parsed.is_package
+    )
+    imports = build_module_graph(trees, packages=packages, layers=config.layers)
+    calls = build_call_graph(trees, packages=packages)
+    references = {
+        module: _referenced_names(tree) for module, tree in trees.items()
+    }
+
+    usage_references: frozenset[str] | None = None
+    usage_dirs = _usage_directories(config)
+    if usage_dirs:
+        analyzed = {parsed.resolved for parsed in files.values()}
+        collected: set[str] = set()
+        for file_path in iter_python_files(usage_dirs, config):
+            parsed = active_cache.parsed(file_path)
+            if parsed.resolved in analyzed or parsed.tree is None:
+                continue
+            collected |= _referenced_names(parsed.tree)
+        usage_references = frozenset(collected)
+
+    return ProgramContext(
+        config=config,
+        files=files,
+        imports=imports,
+        calls=calls,
+        references=references,
+        usage_references=usage_references,
+    )
+
+
+def load_module_graph(
+    paths: Sequence[Path | str],
+    config: LintConfig | None = None,
+    *,
+    cache: ParseCache | None = None,
+) -> ModuleGraph:
+    """The import graph of *paths* — the library entry for ``repro deps``."""
+    active_config = config if config is not None else LintConfig()
+    active_cache = cache if cache is not None else ParseCache()
+    trees: dict[str, ast.Module] = {}
+    packages: set[str] = set()
+    for file_path in iter_python_files(paths, active_config):
+        parsed = active_cache.parsed(file_path)
+        if parsed.tree is None:
+            continue
+        trees[parsed.module] = parsed.tree
+        if parsed.is_package:
+            packages.add(parsed.module)
+    return build_module_graph(
+        trees, packages=frozenset(packages), layers=active_config.layers
+    )
+
+
+@register_rule
+class LayerOrderRule(ProgramRule):
+    """R100: imports must respect the declared layer order.
+
+    The ``layers`` config lists groups of module prefixes from the
+    foundation up; a module may import its own layer or lower ones.
+    Both eager and lazy imports count — laziness changes *when* an
+    import runs, not which way the dependency points.  Modules matching
+    no prefix are not judged.  Exempt a deliberate edge with
+    ``"R100:source.module->target.module"``.
+    """
+
+    id = "R100"
+    name = "layer-order"
+    summary = "imports must point downward in the layer order"
+
+    def check_program(self, program: ProgramContext) -> Iterable[Finding]:
+        graph = program.imports
+        if not graph.layers:
+            return
+        for edge in graph.edges:
+            source_layer = graph.layer_of(edge.source)
+            target_layer = graph.layer_of(edge.target)
+            if source_layer is None or target_layer is None:
+                continue
+            if target_layer <= source_layer:
+                continue
+            if program.config.is_exempt(self.id, f"{edge.source}->{edge.target}"):
+                continue
+            yield program.finding(
+                edge.source,
+                edge.line,
+                self.id,
+                f"module {edge.source!r} (layer {source_layer}) imports "
+                f"{edge.target!r} from higher layer {target_layer}; "
+                "move the shared code down a layer or exempt the edge "
+                f"with 'R100:{edge.source}->{edge.target}'",
+            )
+
+
+@register_rule
+class ImportCycleRule(ProgramRule):
+    """R101: no module-level import cycles.
+
+    Cycles make import order load-bearing and eventually produce
+    ``ImportError: partially initialized module``.  Function-local
+    (lazy) imports are excluded: deferring one edge of a genuine
+    mutual dependency into the function that needs it is the sanctioned
+    fix, and this rule is what makes that convention checkable.
+    Exempt a known cycle with ``"R101:<first module of the cycle>"``.
+    """
+
+    id = "R101"
+    name = "import-cycle"
+    summary = "no module-level import cycles"
+
+    def check_program(self, program: ProgramContext) -> Iterable[Finding]:
+        graph = program.imports
+        for cycle in graph.cycles():
+            if program.config.is_exempt(self.id, cycle[0]):
+                continue
+            line = 1
+            for edge in graph.imports_of(cycle[0]):
+                if edge.target == cycle[1] and not edge.lazy:
+                    line = edge.line
+                    break
+            rendered = " -> ".join(cycle)
+            yield program.finding(
+                cycle[0],
+                line,
+                self.id,
+                f"module-level import cycle: {rendered}; break it by "
+                "moving shared code down a layer or making one edge a "
+                "function-local import",
+            )
+
+
+def _shallow_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk *node* without entering nested function/class/lambda bodies."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            stack.append(child)
+
+
+def _validating_functions(program: ProgramContext) -> frozenset[str]:
+    """Functions that perform validation, directly or via their callees.
+
+    Direct evidence is a ``raise`` or a call to a configured checker
+    name/pattern anywhere in the body; the set is then closed under
+    "calls a validating function" (fixpoint over resolved call edges).
+    """
+    checker = re.compile(program.config.checker_pattern)
+    validating: set[str] = set()
+    for qualified, info in program.calls.functions.items():
+        for node in _shallow_walk(info.node):
+            if isinstance(node, ast.Raise):
+                validating.add(qualified)
+                break
+            if isinstance(node, ast.Call):
+                name = callee_name(node)
+                if name is not None and (
+                    name in program.config.checker_names or checker.search(name)
+                ):
+                    validating.add(qualified)
+                    break
+    changed = True
+    while changed:
+        changed = False
+        for qualified in program.calls.functions:
+            if qualified in validating:
+                continue
+            for callee in program.calls.resolved_callees(qualified):
+                if callee in validating:
+                    validating.add(qualified)
+                    changed = True
+                    break
+    return frozenset(validating)
+
+
+@register_rule
+class ValidationFlowRule(ProgramRule):
+    """R102: entry-reachable public solvers validate before first use.
+
+    Interprocedural sibling of R001: a public function in the validated
+    packages that the CLI can actually reach must establish its
+    preconditions *before* consuming a parameter.  A statement counts as
+    validating when it raises, calls a configured checker, or calls any
+    function that (transitively) validates; a statement counts as a use
+    when it mentions a parameter.  Statement order approximates
+    dominance — good enough for the early-guard idiom this codebase
+    uses.  R001 exemptions are honored, so a function excused from
+    validation is not re-flagged here.
+    """
+
+    id = "R102"
+    name = "validation-flow"
+    summary = "entry-reachable public functions validate before first use"
+
+    def check_program(self, program: ProgramContext) -> Iterable[Finding]:
+        validating = _validating_functions(program)
+        reachable = program.reachable_functions()
+        for qualified, info in program.calls.functions.items():
+            if not self._in_scope(program, info, reachable):
+                continue
+            finding = self._check_function(program, info, validating)
+            if finding is not None:
+                yield finding
+
+    def _in_scope(
+        self,
+        program: ProgramContext,
+        info: FunctionInfo,
+        reachable: frozenset[str],
+    ) -> bool:
+        config = program.config
+        return (
+            info.public
+            and info.params != ()
+            and info.qualified in reachable
+            and _in_packages(info.module, config.validated_packages)
+            and not _in_packages(info.module, config.entry_roots)
+            and not is_stub_body(info.node)
+            and not has_decorator(info.node, "overload")
+            and not config.is_exempt("R001", info.qualified)
+            and not config.is_exempt(self.id, info.qualified)
+        )
+
+    def _check_function(
+        self,
+        program: ProgramContext,
+        info: FunctionInfo,
+        validating: frozenset[str],
+    ) -> Finding | None:
+        checker = re.compile(program.config.checker_pattern)
+        call_lines = {
+            site.line
+            for site in program.calls.calls_from(info.qualified)
+            if site.callee is not None and site.callee in validating
+        }
+        params = set(info.params)
+        for statement in info.node.body:
+            if self._validates(statement, program, checker, call_lines):
+                return None
+            used = self._first_param_use(statement, params)
+            if used is not None:
+                return program.finding(
+                    info.module,
+                    statement.lineno,
+                    self.id,
+                    f"public function {info.name!r} is reachable from the "
+                    f"CLI but uses parameter {used!r} before any "
+                    "validation; guard it first or exempt the function "
+                    f"with 'R102:{info.qualified}'",
+                )
+        return None
+
+    @staticmethod
+    def _validates(
+        statement: ast.stmt,
+        program: ProgramContext,
+        checker: re.Pattern[str],
+        call_lines: set[int],
+    ) -> bool:
+        end = getattr(statement, "end_lineno", statement.lineno)
+        if any(line for line in call_lines if statement.lineno <= line <= end):
+            return True
+        for node in _shallow_walk(statement):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = callee_name(node)
+                if name is not None and (
+                    name in program.config.checker_names or checker.search(name)
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _first_param_use(statement: ast.stmt, params: set[str]) -> str | None:
+        for node in _shallow_walk(statement):
+            if isinstance(node, ast.Name) and node.id in params:
+                return node.id
+        return None
+
+
+def _escaping_raises(
+    program: ProgramContext,
+) -> Mapping[str, frozenset[tuple[str, str]]]:
+    """For each function: ``(exception, origin)`` pairs that escape it.
+
+    Seeds from direct ``raise`` sites of banned builtin exceptions (the
+    raise's enclosing ``try`` bodies are honored; an inline R002/R103
+    suppression on the raise line sanctions the site), then propagates
+    along resolved call edges, dropping pairs the call site catches.
+    Fixpoint: iterate until no escape set grows.
+    """
+    banned = program.config.banned_exceptions
+    escapes: dict[str, set[tuple[str, str]]] = {
+        qualified: set() for qualified in program.calls.functions
+    }
+    for qualified, info in program.calls.functions.items():
+        table = (
+            program.files[info.module].suppressions
+            if info.module in program.files
+            else None
+        )
+        for site in program.calls.raises_in(qualified):
+            if site.exception is None or site.exception not in banned:
+                continue
+            if catches(site.exception, site.caught):
+                continue
+            if table is not None and (
+                table.is_suppressed("R002", site.line)
+                or table.is_suppressed("R103", site.line)
+            ):
+                continue
+            escapes[qualified].add((site.exception, qualified))
+    changed = True
+    while changed:
+        changed = False
+        for qualified in program.calls.functions:
+            for site in program.calls.calls_from(qualified):
+                if site.callee is None or site.callee not in escapes:
+                    continue
+                for pair in escapes[site.callee]:
+                    if pair in escapes[qualified]:
+                        continue
+                    if catches(pair[0], site.caught):
+                        continue
+                    escapes[qualified].add(pair)
+                    changed = True
+    return {
+        qualified: frozenset(pairs) for qualified, pairs in escapes.items()
+    }
+
+
+@register_rule
+class ExceptionEscapeRule(ProgramRule):
+    """R103: no transitive builtin-exception escape from the public API.
+
+    R002 stops *direct* raises of builtin exceptions; this rule closes
+    the interprocedural gap: a public library function whose callees can
+    let a ``KeyError``/``ValueError``/... propagate all the way out must
+    catch it and convert to a ``ReproError`` at the boundary.  Direct
+    raises in the function itself are R002's finding, not repeated here.
+    """
+
+    id = "R103"
+    name = "exception-escape"
+    summary = "public API must not leak builtin exceptions from callees"
+
+    def check_program(self, program: ProgramContext) -> Iterable[Finding]:
+        escapes = _escaping_raises(program)
+        for qualified, info in program.calls.functions.items():
+            if not info.public:
+                continue
+            if not _in_packages(info.module, program.config.library_packages):
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            transitive = sorted(
+                (exception, origin)
+                for exception, origin in escapes.get(qualified, frozenset())
+                if origin != qualified
+            )
+            for exception, origin in transitive:
+                yield program.finding(
+                    info.module,
+                    info.line,
+                    self.id,
+                    f"public function {info.name!r} can leak builtin "
+                    f"{exception!r} raised in {origin!r}; catch it and "
+                    "re-raise a repro.exceptions.ReproError subclass, or "
+                    f"exempt with 'R103:{qualified}'",
+                )
+
+
+@register_rule
+class DeadExportRule(ProgramRule):
+    """R104: every ``__all__`` export is referenced somewhere.
+
+    An ``__all__`` entry advertises public API; if nothing in the rest
+    of the package, the CLI, or the usage roots (tests/examples/
+    benchmarks) ever mentions the name, the export is dead weight —
+    untested API that the docs index and the stability suite then have
+    to carry.  Liveness is name-based (any textual reference counts), so
+    the rule under-reports rather than false-positives on dynamic use.
+    Computed ``__all__`` declarations are skipped.
+    """
+
+    id = "R104"
+    name = "dead-export"
+    summary = "__all__ exports must be referenced by the package or its users"
+
+    def check_program(self, program: ProgramContext) -> Iterable[Finding]:
+        usage = program.usage_references or frozenset()
+        for module, parsed in sorted(program.files.items()):
+            if not _in_packages(module, program.config.library_packages):
+                continue
+            if module.rsplit(".", 1)[-1].startswith("_"):
+                continue
+            if parsed.tree is None:
+                continue
+            located = declared_all(parsed.tree)
+            if located is None:
+                continue
+            statement, exported = located
+            if exported is None:
+                continue
+            for name in exported:
+                if name in usage:
+                    continue
+                if program.config.is_exempt(self.id, f"{module}.{name}"):
+                    continue
+                if any(
+                    name in references
+                    for other, references in program.references.items()
+                    if other != module
+                ):
+                    continue
+                yield program.finding(
+                    module,
+                    statement.lineno,
+                    self.id,
+                    f"{name!r} is exported by {module!r} but referenced "
+                    "nowhere else in the package, the CLI, or the usage "
+                    "roots; drop the export or exempt with "
+                    f"'R104:{module}.{name}'",
+                )

@@ -1,0 +1,383 @@
+"""The module import graph: construction, cycles, layers, renderings.
+
+Built once per whole-program run from the shared parse cache, the graph
+records every *intra-package* import edge — ``import repro.core``,
+``from ..network.graph import Network``, ``from . import generators`` —
+with its source line, the imported symbols, and whether the import is
+*lazy* (written inside a function body, the sanctioned way to break a
+cycle).  Edges to third-party modules are dropped: the graph answers
+architecture questions about this package only.
+
+The same graph backs the R100/R101 rules and the ``repro deps`` command
+(text tree, Graphviz ``--dot``, stable ``--json``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+__all__ = [
+    "ImportEdge",
+    "ModuleGraph",
+    "build_module_graph",
+    "render_deps_tree",
+    "render_deps_dot",
+    "render_deps_json",
+]
+
+#: Schema version of the ``repro deps --json`` output; bump on breaking changes.
+DEPS_JSON_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class ImportEdge:
+    """One import of an intra-package module."""
+
+    #: Dotted name of the importing module.
+    source: str
+    #: Dotted name of the imported module.
+    target: str
+    #: 1-based line of the import statement.
+    line: int
+    #: Whether the import sits inside a function body (deferred at
+    #: runtime; excused from the R101 cycle check but not from R100).
+    lazy: bool
+    #: Symbols named by a ``from target import a, b`` form (``"*"`` for
+    #: star imports); empty when the module itself is imported.
+    symbols: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ModuleGraph:
+    """An immutable import graph over one package's modules."""
+
+    #: Every analyzed module, sorted.
+    modules: tuple[str, ...]
+    #: Every intra-package import edge, sorted.
+    edges: tuple[ImportEdge, ...]
+    #: Declared layer order (lowest first), from the lint config.
+    layers: tuple[tuple[str, ...], ...]
+
+    def imports_of(self, module: str) -> tuple[ImportEdge, ...]:
+        """The outgoing edges of *module*, sorted."""
+        return tuple(edge for edge in self.edges if edge.source == module)
+
+    def layer_of(self, module: str) -> int | None:
+        """The layer index of *module* by longest-prefix match, if mapped."""
+        best: int | None = None
+        best_length = -1
+        for index, group in enumerate(self.layers):
+            for prefix in group:
+                if module == prefix or module.startswith(prefix + "."):
+                    if len(prefix) > best_length:
+                        best, best_length = index, len(prefix)
+        return best
+
+    def eager_adjacency(self) -> dict[str, set[str]]:
+        """Module-level (non-lazy) successor sets, for cycle analysis."""
+        adjacency: dict[str, set[str]] = {module: set() for module in self.modules}
+        for edge in self.edges:
+            if not edge.lazy and edge.target in adjacency:
+                adjacency[edge.source].add(edge.target)
+        return adjacency
+
+    def cycles(self) -> list[tuple[str, ...]]:
+        """Module-level import cycles, each rendered as a closed path.
+
+        Lazy (function-local) imports are excluded: deferring an import
+        into the function that needs it is the sanctioned way to break a
+        cycle.  Each strongly connected component with more than one
+        module (or a self-loop) contributes one representative cycle
+        path starting at its lexicographically smallest member; the
+        result is sorted and deterministic.
+        """
+        adjacency = self.eager_adjacency()
+        cycles: list[tuple[str, ...]] = []
+        for component in _strongly_connected_components(adjacency):
+            if len(component) == 1:
+                only = next(iter(component))
+                if only not in adjacency[only]:
+                    continue
+            start = min(component)
+            path = _cycle_path(start, component, adjacency)
+            if path is not None:
+                cycles.append(path)
+        return sorted(cycles)
+
+
+def _strongly_connected_components(
+    adjacency: Mapping[str, set[str]]
+) -> list[set[str]]:
+    """Tarjan's algorithm, iteratively (deep package trees, no recursion)."""
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[set[str]] = []
+    counter = 0
+
+    for root in sorted(adjacency):
+        if root in index_of:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [(root, iter(sorted(adjacency[root])))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(adjacency[successor]))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _cycle_path(
+    start: str, component: set[str], adjacency: Mapping[str, set[str]]
+) -> tuple[str, ...] | None:
+    """A concrete ``start -> ... -> start`` path inside one SCC (BFS)."""
+    parents: dict[str, str] = {}
+    frontier = [start]
+    visited: set[str] = set()
+    while frontier:
+        next_frontier: list[str] = []
+        for node in frontier:
+            for successor in sorted(adjacency[node]):
+                if successor == start:
+                    # Walk parents back to start, then reverse into
+                    # forward order: start -> ... -> node -> start.
+                    forward = [node]
+                    current = node
+                    while current != start:
+                        current = parents[current]
+                        forward.append(current)
+                    forward.reverse()
+                    return tuple(forward + [start])
+                if successor in component and successor not in visited:
+                    visited.add(successor)
+                    parents[successor] = node
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    return None
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+
+def _iter_imports(tree: ast.Module) -> Iterator[tuple[ast.stmt, bool]]:
+    """Yield every import statement with its laziness flag.
+
+    Imports inside function bodies are lazy (deferred until the call),
+    and so are imports under ``if TYPE_CHECKING:`` — that block never
+    executes at runtime, so such imports cannot participate in a
+    runtime cycle.
+    """
+    stack: list[tuple[ast.AST, bool]] = [
+        (child, False) for child in ast.iter_child_nodes(tree)
+    ]
+    while stack:
+        node, lazy = stack.pop()
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node, lazy
+        child_lazy = lazy or isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            for child in node.body:
+                stack.append((child, True))
+            for child in node.orelse:
+                stack.append((child, child_lazy))
+            continue
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_lazy))
+
+
+def resolve_relative_base(
+    module: str, is_package: bool, node: ast.ImportFrom
+) -> str | None:
+    """The absolute module a ``from``-import refers to, or ``None``.
+
+    Implements Python's relative-import anchoring: level 1 resolves
+    against the containing package (the module itself for packages),
+    each further level climbs one package.
+    """
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    anchor = parts if is_package else parts[:-1]
+    drop = node.level - 1
+    if drop > len(anchor):
+        return None
+    base = anchor[: len(anchor) - drop] if drop else anchor
+    if node.module:
+        base = [*base, *node.module.split(".")]
+    return ".".join(base) if base else None
+
+
+def _longest_known_prefix(name: str, known: frozenset[str]) -> str | None:
+    parts = name.split(".")
+    for end in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:end])
+        if candidate in known:
+            return candidate
+    return None
+
+
+def build_module_graph(
+    trees: Mapping[str, ast.Module],
+    *,
+    packages: Iterable[str] = (),
+    layers: Iterable[Iterable[str]] = (),
+) -> ModuleGraph:
+    """Construct the import graph for *trees* (module name -> parsed AST).
+
+    *packages* names the modules that are package ``__init__`` files
+    (needed to anchor relative imports); *layers* is the declared layer
+    order from the config.  Only edges whose target resolves to another
+    module in *trees* are kept.
+    """
+    known = frozenset(trees)
+    package_set = frozenset(packages)
+    edges: set[ImportEdge] = set()
+    for module, tree in trees.items():
+        is_package = module in package_set
+        for statement, lazy in _iter_imports(tree):
+            if isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    target = _longest_known_prefix(alias.name, known)
+                    if target is not None and target != module:
+                        edges.add(
+                            ImportEdge(module, target, statement.lineno, lazy)
+                        )
+            elif isinstance(statement, ast.ImportFrom):
+                base = resolve_relative_base(module, is_package, statement)
+                if base is None:
+                    # `from . import x` inside a top-level module: no base
+                    # package to anchor to; resolve aliases directly below.
+                    base = ""
+                symbol_edges: dict[str, list[str]] = {}
+                for alias in statement.names:
+                    if alias.name == "*":
+                        if base in known:
+                            symbol_edges.setdefault(base, []).append("*")
+                        continue
+                    dotted = f"{base}.{alias.name}" if base else alias.name
+                    if dotted in known:
+                        # `from pkg import submodule` — a module import.
+                        symbol_edges.setdefault(dotted, [])
+                    elif base in known:
+                        symbol_edges.setdefault(base, []).append(alias.name)
+                for target, symbols in symbol_edges.items():
+                    if target != module:
+                        edges.add(
+                            ImportEdge(
+                                module,
+                                target,
+                                statement.lineno,
+                                lazy,
+                                tuple(sorted(symbols)),
+                            )
+                        )
+    return ModuleGraph(
+        modules=tuple(sorted(known)),
+        edges=tuple(sorted(edges)),
+        layers=tuple(tuple(group) for group in layers),
+    )
+
+
+# -- renderings (the `repro deps` command) ----------------------------------------
+
+
+def render_deps_tree(graph: ModuleGraph) -> str:
+    """Human-readable listing: each module with its direct imports."""
+    lines: list[str] = []
+    for module in graph.modules:
+        layer = graph.layer_of(module)
+        suffix = f"  [layer {layer}]" if layer is not None else ""
+        lines.append(f"{module}{suffix}")
+        for edge in graph.imports_of(module):
+            marker = " (lazy)" if edge.lazy else ""
+            names = f" ({', '.join(edge.symbols)})" if edge.symbols else ""
+            lines.append(f"  -> {edge.target}{names}{marker}")
+    lines.append(f"{len(graph.modules)} modules, {len(graph.edges)} edges")
+    return "\n".join(lines)
+
+
+def render_deps_dot(graph: ModuleGraph) -> str:
+    """Graphviz rendering; lazy edges dashed, one rank per layer."""
+    lines = [
+        "digraph deps {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica", fontsize=10];',
+    ]
+    by_layer: dict[int, list[str]] = {}
+    for module in graph.modules:
+        layer = graph.layer_of(module)
+        if layer is not None:
+            by_layer.setdefault(layer, []).append(module)
+    for layer in sorted(by_layer):
+        members = " ".join(f'"{m}";' for m in by_layer[layer])
+        lines.append(f"  {{ rank=same; {members} }}  // layer {layer}")
+    for module in graph.modules:
+        lines.append(f'  "{module}";')
+    for edge in graph.edges:
+        style = " [style=dashed]" if edge.lazy else ""
+        lines.append(f'  "{edge.source}" -> "{edge.target}"{style};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_deps_json(graph: ModuleGraph) -> str:
+    """Stable machine-readable rendering of the import graph."""
+    modules: dict[str, object] = {}
+    for module in graph.modules:
+        modules[module] = {
+            "layer": graph.layer_of(module),
+            "imports": [
+                {
+                    "target": edge.target,
+                    "line": edge.line,
+                    "lazy": edge.lazy,
+                    "symbols": list(edge.symbols),
+                }
+                for edge in graph.imports_of(module)
+            ],
+        }
+    payload = {
+        "version": DEPS_JSON_VERSION,
+        "module_count": len(graph.modules),
+        "edge_count": len(graph.edges),
+        "layers": [list(group) for group in graph.layers],
+        "modules": modules,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

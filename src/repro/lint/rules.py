@@ -15,9 +15,11 @@ from collections.abc import Iterable
 
 from .astutils import (
     callee_name,
+    declared_all,
     dotted_name,
     exception_name,
-    iter_top_level_statements,
+    has_decorator,
+    is_stub_body,
     module_level_functions,
     top_level_bound_names,
 )
@@ -35,30 +37,6 @@ __all__ = [
 ]
 
 _FunctionDef = ast.FunctionDef | ast.AsyncFunctionDef
-
-
-def _is_stub_body(fn: _FunctionDef) -> bool:
-    """Whether the body is only a docstring / ``pass`` / ``...``."""
-    for index, statement in enumerate(fn.body):
-        if isinstance(statement, ast.Pass):
-            continue
-        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
-            if statement.value.value is Ellipsis:
-                continue
-            if index == 0 and isinstance(statement.value.value, str):
-                continue
-        return False
-    return True
-
-
-def _has_decorator(fn: _FunctionDef, name: str) -> bool:
-    for decorator in fn.decorator_list:
-        target = decorator.func if isinstance(decorator, ast.Call) else decorator
-        if isinstance(target, ast.Name) and target.id == name:
-            return True
-        if isinstance(target, ast.Attribute) and target.attr == name:
-            return True
-    return False
 
 
 @register_rule
@@ -111,9 +89,9 @@ class ValidatedEntryPointRule(Rule):
             return any(validates(c, trail | {name}) for c in callees)
 
         for name, fn in functions.items():
-            if name.startswith("_") or _is_stub_body(fn):
+            if name.startswith("_") or is_stub_body(fn):
                 continue
-            if _has_decorator(fn, "overload"):
+            if has_decorator(fn, "overload"):
                 continue
             if ctx.config.is_exempt(self.id, f"{ctx.module}.{name}"):
                 continue
@@ -372,25 +350,13 @@ class ExportIntegrityRule(Rule):
     name = "export-integrity"
     summary = "public modules define a truthful __all__"
 
-    @staticmethod
-    def _find_all(tree: ast.Module) -> tuple[ast.stmt, ast.expr] | None:
-        for node in iter_top_level_statements(tree):
-            if isinstance(node, ast.Assign):
-                for target in node.targets:
-                    if isinstance(target, ast.Name) and target.id == "__all__":
-                        return node, node.value
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                if isinstance(node.target, ast.Name) and node.target.id == "__all__":
-                    return node, node.value
-        return None
-
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
         if not ctx.in_packages(ctx.config.library_packages):
             return
         leaf = ctx.module.rsplit(".", 1)[-1]
         if leaf.startswith("_"):
             return
-        located = self._find_all(ctx.tree)
+        located = declared_all(ctx.tree)
         if located is None:
             yield Finding(
                 path=ctx.path,
@@ -400,15 +366,11 @@ class ExportIntegrityRule(Rule):
                 message=f"public module {ctx.module!r} defines no __all__",
             )
             return
-        node, value = located
-        if not isinstance(value, (ast.List, ast.Tuple)) or not all(
-            isinstance(el, ast.Constant) and isinstance(el.value, str)
-            for el in value.elts
-        ):
+        node, exported = located
+        if exported is None:
             # computed __all__ (concatenation, comprehension): statically
             # unverifiable, but the declaration obligation is met.
             return
-        exported = [el.value for el in value.elts if isinstance(el, ast.Constant)]
         bound, has_star = top_level_bound_names(ctx.tree)
         if has_star:
             return

@@ -68,12 +68,12 @@ def resilience(system: QuorumSystem) -> int:
     so it is exact but limited to universes of at most
     ``20`` elements.
     """
-    universe = system.universe
-    if len(universe) > _MAX_EXACT_UNIVERSE:
+    if len(system.universe) > _MAX_EXACT_UNIVERSE:
         raise ValidationError(
             f"resilience is computed exactly and supports at most "
-            f"{_MAX_EXACT_UNIVERSE} universe elements (got {len(universe)})"
+            f"{_MAX_EXACT_UNIVERSE} universe elements (got {len(system.universe)})"
         )
+    universe = system.universe
     quorums = system.quorums
     for size in range(1, len(universe) + 1):
         for candidate in combinations(universe, size):

@@ -1,0 +1,1 @@
+"""Fixture: mutual dependency broken by a lazy import (R101 silent)."""

@@ -1,0 +1,9 @@
+"""Imports b at module level."""
+
+from . import b
+
+__all__ = ["use_b"]
+
+
+def use_b() -> int:
+    return b.value() + 1

@@ -1,0 +1,13 @@
+"""Needs a too, but defers the import into the function that uses it."""
+
+__all__ = ["value", "use_a"]
+
+
+def value() -> int:
+    return 1
+
+
+def use_a() -> int:
+    from . import a
+
+    return a.use_b()

@@ -1,0 +1,1 @@
+"""Fixture: an eager module-level import cycle (R101 fires)."""

@@ -1,0 +1,13 @@
+"""Imports a back at module level, closing the cycle."""
+
+from . import a
+
+__all__ = ["value", "use_a"]
+
+
+def value() -> int:
+    return 1
+
+
+def use_a() -> int:
+    return a.use_b()

@@ -1,0 +1,3 @@
+"""Fixture: every export is referenced (R104 silent)."""
+
+from .consumer import run as _run  # keeps consumer.run live

@@ -1,0 +1,7 @@
+"""Exports one name."""
+
+__all__ = ["used_fn"]
+
+
+def used_fn() -> int:
+    return 6

@@ -1,0 +1,3 @@
+"""Fixture: a dead __all__ export (R104 fires for dead_fn only)."""
+
+from .consumer import run as _run  # keeps consumer.run live

@@ -1,0 +1,9 @@
+"""References used_fn, keeping it live."""
+
+from .mod import used_fn
+
+__all__ = ["run"]
+
+
+def run() -> int:
+    return used_fn()

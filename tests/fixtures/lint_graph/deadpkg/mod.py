@@ -1,0 +1,11 @@
+"""Exports two names; only one is referenced elsewhere."""
+
+__all__ = ["used_fn", "dead_fn"]
+
+
+def used_fn() -> int:
+    return 4
+
+
+def dead_fn() -> int:
+    return 5

@@ -1,0 +1,1 @@
+"""Fixture: solver validates before first use (R102 silent)."""

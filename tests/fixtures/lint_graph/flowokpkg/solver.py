@@ -1,0 +1,17 @@
+"""Validates through a checker, then through a validating delegate."""
+
+__all__ = ["solve", "delegating"]
+
+
+def check_weights(weights) -> None:
+    if not weights:
+        raise ValueError("weights must be non-empty")
+
+
+def solve(weights):
+    check_weights(weights)
+    return sum(weights) / len(weights)
+
+
+def delegating(weights):
+    return solve(weights)

@@ -1,0 +1,1 @@
+"""Fixture: unvalidated entry-reachable solver (R102 fires)."""

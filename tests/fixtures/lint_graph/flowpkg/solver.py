@@ -1,0 +1,12 @@
+"""The 'library': a public solver that never validates its input."""
+
+__all__ = ["solve", "helper"]
+
+
+def solve(weights):
+    total = sum(weights)
+    return total / len(weights)
+
+
+def helper(weights):
+    return list(weights)

@@ -1,0 +1,1 @@
+"""Fixture: layering respected (R100 silent)."""

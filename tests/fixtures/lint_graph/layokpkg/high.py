@@ -1,0 +1,9 @@
+"""Upper layer, imports downward only."""
+
+from .low import base
+
+__all__ = ["top"]
+
+
+def top() -> int:
+    return base() + 1

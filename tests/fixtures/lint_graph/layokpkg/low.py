@@ -1,0 +1,7 @@
+"""Foundation module, imports nothing."""
+
+__all__ = ["base"]
+
+
+def base() -> int:
+    return 3

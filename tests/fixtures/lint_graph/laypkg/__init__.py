@@ -1,0 +1,1 @@
+"""Fixture: layer violations (R100 fires on eager and lazy edges)."""

@@ -1,0 +1,7 @@
+"""Declared high layer."""
+
+__all__ = ["helper"]
+
+
+def helper() -> int:
+    return 2

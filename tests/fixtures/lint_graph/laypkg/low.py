@@ -1,0 +1,9 @@
+"""Declared low layer, but imports the high layer eagerly."""
+
+from .high import helper
+
+__all__ = ["low_fn"]
+
+
+def low_fn() -> int:
+    return helper()

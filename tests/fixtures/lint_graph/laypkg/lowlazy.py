@@ -1,0 +1,9 @@
+"""Declared low layer; the upward import is lazy but still upward."""
+
+__all__ = ["lazy_fn"]
+
+
+def lazy_fn() -> int:
+    from .high import helper
+
+    return helper()

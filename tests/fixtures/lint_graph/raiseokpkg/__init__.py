@@ -1,0 +1,1 @@
+"""Fixture: builtin raise converted at the boundary (R103 silent)."""

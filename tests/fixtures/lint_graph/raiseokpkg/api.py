@@ -1,0 +1,13 @@
+"""Public API converting the builtin exception at the boundary."""
+
+from .errors import PkgError
+from .helper import lookup
+
+__all__ = ["fetch"]
+
+
+def fetch(table, key):
+    try:
+        return lookup(table, key)
+    except KeyError as exc:
+        raise PkgError(f"unknown key {key!r}") from exc

@@ -1,0 +1,7 @@
+"""The package's error type (stands in for ReproError)."""
+
+__all__ = ["PkgError"]
+
+
+class PkgError(Exception):
+    pass

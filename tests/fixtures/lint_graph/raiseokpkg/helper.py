@@ -1,0 +1,9 @@
+"""Same raising helper as raisepkg."""
+
+__all__ = ["lookup"]
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(key)
+    return table[key]

@@ -1,0 +1,1 @@
+"""Fixture: a helper's builtin raise escapes the public API (R103)."""

@@ -1,0 +1,9 @@
+"""Public API calling the raising helper with no conversion."""
+
+from .helper import lookup
+
+__all__ = ["fetch"]
+
+
+def fetch(table, key):
+    return lookup(table, key)

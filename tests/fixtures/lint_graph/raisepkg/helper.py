@@ -1,0 +1,9 @@
+"""Private-ish helper that raises a builtin exception."""
+
+__all__ = ["lookup"]
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(key)
+    return table[key]

@@ -37,7 +37,7 @@ def findings_for(
 # -- rule registry -------------------------------------------------------------------
 
 
-def test_all_seven_rules_registered():
+def test_all_rules_registered():
     assert set(registered_rules()) == {
         "R001",
         "R002",
@@ -46,6 +46,11 @@ def test_all_seven_rules_registered():
         "R005",
         "R006",
         "R007",
+        "R100",
+        "R101",
+        "R102",
+        "R103",
+        "R104",
     }
 
 

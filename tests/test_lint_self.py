@@ -18,9 +18,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
 
-def _run(paths: list[Path]) -> list[Finding]:
+def _run(paths: list[Path], *, whole_program: bool = False) -> list[Finding]:
     config = load_config(search_from=REPO_ROOT)
-    return lint_paths(paths, config)
+    return lint_paths(paths, config, whole_program=whole_program)
 
 
 def _report(findings: list[Finding]) -> str:
@@ -31,6 +31,30 @@ def _report(findings: list[Finding]) -> str:
 def test_src_is_lint_clean():
     findings = _run([SRC])
     assert not findings, f"repro lint src must stay clean:\n{_report(findings)}"
+
+
+@pytest.mark.skipif(not SRC.is_dir(), reason="source tree not present")
+def test_src_is_whole_program_clean():
+    """The graph rules (R100-R104) must also hold over the whole tree."""
+    findings = _run([SRC], whole_program=True)
+    assert not findings, (
+        f"repro lint src --whole-program must stay clean:\n{_report(findings)}"
+    )
+
+
+@pytest.mark.skipif(not SRC.is_dir(), reason="source tree not present")
+def test_whole_program_run_parses_each_file_exactly_once():
+    """One run = one parse per file, including the R104 usage-root scan."""
+    from repro.lint import ParseCache
+
+    cache = ParseCache()
+    config = load_config(search_from=REPO_ROOT)
+    lint_paths([SRC], config, whole_program=True, cache=cache)
+    assert cache.parse_counts, "expected the run to parse files"
+    over_parsed = {
+        str(path): count for path, count in cache.parse_counts.items() if count != 1
+    }
+    assert not over_parsed, f"files parsed more than once: {over_parsed}"
 
 
 @pytest.mark.skipif(

@@ -18,6 +18,7 @@ from repro.quorums import (
     crumbling_wall,
     cw_log,
     grid,
+    grid_element,
     grid_quorum_index,
     is_prime,
     majority,
@@ -135,6 +136,17 @@ class TestGrid:
         qs = grid(k)
         for u in qs.universe:
             assert qs.element_degree(u) == 2 * k - 1
+
+    def test_grid_element_names_universe_positions(self):
+        k = 3
+        qs = grid(k)
+        assert set(qs.universe) == {
+            grid_element(r, c) for r in range(k) for c in range(k)
+        }
+        with pytest.raises(ValidationError):
+            grid_element(-1, 0)
+        with pytest.raises(ValidationError):
+            grid_element(0, -2)
 
 
 class TestProjectivePlane:
