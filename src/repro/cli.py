@@ -304,6 +304,41 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments.bench import run_bench, validate_bench_report
+
+    report = run_bench(quick=args.quick, seed=args.seed)
+    validate_bench_report(report)
+    io.save_json(report, args.out)
+    table = ResultTable(
+        f"bench micro-suite (schema v{report['schema_version']}, "
+        f"{'quick' if report['quick'] else 'full'}, seed {report['seed']})",
+        ["case", "value", "seconds", "speedup"],
+    )
+    for name, case in report["cases"].items():
+        timing = next(
+            case[key]
+            for key in ("vectorized_seconds", "batched_seconds",
+                        "solve_seconds", "sweep_seconds")
+            if key in case
+        )
+        value = next(
+            case[key]
+            for key in ("value", "capacity_violation_factor", "lp_value",
+                        "average_delay", "nodes")
+            if key in case
+        )
+        table.add_row(
+            case=name,
+            value=value,
+            seconds=timing,
+            speedup=case.get("speedup", float("nan")),
+        )
+    table.print()
+    print(f"report written to {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
@@ -365,6 +400,23 @@ def build_parser() -> argparse.ArgumentParser:
                            help="uniform node capacity (default: auto-feasible)")
     p_compare.add_argument("--alpha", type=float, default=2.0)
     p_compare.set_defaults(func=_cmd_compare)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the deterministic benchmark micro-suite",
+        description="Times the vectorized evaluator kernels against their "
+        "scalar references, the batched metric builder, and the shared-LP "
+        "solver path; writes a schema-versioned JSON report "
+        "(see docs/performance.md).",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="single repeat per case (CI mode); values are identical either way",
+    )
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--out", default="BENCH_3.json",
+                         help="report path (default: BENCH_3.json)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_lint = sub.add_parser(
         "lint",

@@ -56,14 +56,20 @@ from .partial_deployment import (
 from .placement import (
     Placement,
     average_max_delay,
+    average_max_delay_reference,
     average_total_delay,
+    average_total_delay_reference,
     capacity_violation_factor,
+    capacity_violation_factor_reference,
     expected_max_delay,
+    expected_max_delay_reference,
     expected_total_delay,
+    expected_total_delay_reference,
     is_capacity_respecting,
     make_placement,
     max_delay,
     node_loads,
+    node_loads_reference,
     total_delay_cost,
 )
 from .qpp import QPPResult, average_strategy, solve_qpp
@@ -76,7 +82,7 @@ from .relay import (
     relay_delay,
 )
 from .sensitivity import CapacitySensitivity, capacity_sensitivity
-from .ssqpp import SSQPPResult, build_ssqpp_lp, solve_ssqpp
+from .ssqpp import SSQPPLPFactory, SSQPPResult, build_ssqpp_lp, solve_ssqpp
 from .strategy_opt import (
     DelayOptimalStrategy,
     alternating_optimization,
@@ -100,22 +106,28 @@ __all__ = [
     "RWPlacementResult",
     "RELAY_FACTOR_BOUND",
     "RelayAnalysis",
+    "SSQPPLPFactory",
     "SSQPPResult",
     "ScalarizedResult",
     "TotalDelayResult",
     "alternating_optimization",
     "average_max_delay",
+    "average_max_delay_reference",
     "average_strategy",
     "average_total_delay",
+    "average_total_delay_reference",
     "best_relay_node",
     "build_ssqpp_lp",
     "capacity_sensitivity",
     "capacity_violation_factor",
+    "capacity_violation_factor_reference",
     "concentric_matrix",
     "concentric_positions",
     "delay_optimal_strategy",
     "expected_max_delay",
+    "expected_max_delay_reference",
     "expected_total_delay",
+    "expected_total_delay_reference",
     "greedy_placement",
     "grid_matrix_delay",
     "improve_max_delay",
@@ -128,6 +140,7 @@ __all__ = [
     "max_delay",
     "nearest_slots",
     "node_loads",
+    "node_loads_reference",
     "optimal_grid_placement",
     "optimal_majority_placement",
     "random_placement",

@@ -11,7 +11,12 @@ the :class:`Placement` value type and the quantities of Section 1.2:
 * expected total delay         ``Gamma_f(v) = sum_Q p(Q) gamma_f(v, Q)``
 * node load                    ``load_f(v) = sum_{u: f(u)=v} load(u)``
 
-All evaluators are exact (no sampling) and vectorized over clients.
+All evaluators are exact (no sampling).  The public functions are thin
+wrappers over the array kernels in :mod:`repro.core._kernels`, which
+evaluate every client at once against the network's cached distance
+matrix.  The scalar, paper-faithful implementations are retained as the
+``*_reference`` oracles; ``tests/test_kernels_equivalence.py`` proves
+the two paths agree to 1e-12.
 """
 
 from __future__ import annotations
@@ -25,17 +30,30 @@ from ..exceptions import ValidationError
 from ..network.graph import Network, Node
 from ..quorums.base import Element, QuorumSystem
 from ..quorums.strategy import AccessStrategy
+from ._kernels import (
+    expected_max_delays,
+    expected_total_delays,
+    max_capacity_factor,
+    node_load_vector,
+    quorum_member_matrix,
+)
 
 __all__ = [
     "Placement",
     "max_delay",
     "expected_max_delay",
+    "expected_max_delay_reference",
     "average_max_delay",
+    "average_max_delay_reference",
     "total_delay_cost",
     "expected_total_delay",
+    "expected_total_delay_reference",
     "average_total_delay",
+    "average_total_delay_reference",
     "node_loads",
+    "node_loads_reference",
     "capacity_violation_factor",
+    "capacity_violation_factor_reference",
     "is_capacity_respecting",
 ]
 
@@ -158,6 +176,17 @@ def _client_weights(network: Network, rates: Mapping[Node, float] | None) -> np.
 # -- max-delay quantities ------------------------------------------------------------
 
 
+def _support_arrays(
+    placement: Placement, strategy: AccessStrategy
+) -> tuple[np.ndarray, np.ndarray]:
+    """Padded member rows + probabilities for the strategy's support, the
+    inputs :func:`repro.core._kernels.expected_max_delays` consumes."""
+    support = strategy.support()
+    members = quorum_member_matrix(placement.system, support)
+    probabilities = strategy.probabilities[np.asarray(support, dtype=np.intp)]
+    return members, probabilities
+
+
 def max_delay(placement: Placement, client: Node, quorum_index: int) -> float:
     """``delta_f(v, Q)``: distance from *client* to the farthest member of
     the placed quorum (equation (1))."""
@@ -173,31 +202,46 @@ def expected_max_delay(
     placement: Placement, strategy: AccessStrategy, client: Node
 ) -> float:
     """``Delta_f(v)``: expected max-delay for *client* under *strategy*
-    (equation (2))."""
+    (equation (2)).  Dispatches to the array kernel on the client's
+    distance row."""
     _check_strategy(placement, strategy)
     metric = placement.network.metric()
-    row = metric.distances_from(client)
+    row = metric.matrix[metric.node_index(client)][np.newaxis, :]
+    members, probabilities = _support_arrays(placement, strategy)
+    return float(
+        expected_max_delays(
+            row, placement.image_node_indices(), members, probabilities
+        )[0]
+    )
+
+
+def expected_max_delay_reference(
+    placement: Placement, strategy: AccessStrategy, client: Node
+) -> float:
+    """Scalar oracle for :func:`expected_max_delay`: the paper-literal
+    loop over supported quorums and their members, one ``d(v, f(u))``
+    lookup at a time.  Kept as the equivalence/bench baseline."""
+    _check_strategy(placement, strategy)
+    network = placement.network
     total = 0.0
     for index in strategy.support():
-        total += strategy.probability(index) * float(
-            row[placement.quorum_node_indices(index)].max()
-        )
+        worst = 0.0
+        for u in placement.system.quorums[index]:
+            worst = max(worst, network.distance(client, placement[u]))
+        total += strategy.probability(index) * worst
     return total
 
 
 def _per_client_expected_max_delay(
     placement: Placement, strategy: AccessStrategy
 ) -> np.ndarray:
-    """``Delta_f(v)`` for every client ``v``, vectorized (one matrix slice
-    and max-reduction per supported quorum)."""
+    """``Delta_f(v)`` for every client ``v`` in one kernel call."""
     _check_strategy(placement, strategy)
     metric = placement.network.metric()
-    matrix = metric.matrix
-    result = np.zeros(placement.network.size)
-    for index in strategy.support():
-        nodes = placement.quorum_node_indices(index)
-        result += strategy.probability(index) * matrix[:, nodes].max(axis=1)
-    return result
+    members, probabilities = _support_arrays(placement, strategy)
+    return expected_max_delays(
+        metric.matrix, placement.image_node_indices(), members, probabilities
+    )
 
 
 def average_max_delay(
@@ -211,6 +255,25 @@ def average_max_delay(
     per_client = _per_client_expected_max_delay(placement, strategy)
     weights = _client_weights(placement.network, rates)
     return float(per_client @ weights)
+
+
+def average_max_delay_reference(
+    placement: Placement,
+    strategy: AccessStrategy,
+    *,
+    rates: Mapping[Node, float] | None = None,
+) -> float:
+    """Scalar oracle for :func:`average_max_delay`: per-client loop over
+    :func:`expected_max_delay_reference`."""
+    _check_strategy(placement, strategy)
+    weights = _client_weights(placement.network, rates)
+    total = 0.0
+    for i, client in enumerate(placement.network.nodes):
+        weight = float(weights[i])
+        if weight <= 0.0:
+            continue
+        total += weight * expected_max_delay_reference(placement, strategy, client)
+    return total
 
 
 # -- total-delay quantities -------------------------------------------------------------
@@ -241,9 +304,28 @@ def expected_total_delay(
     """
     _check_strategy(placement, strategy)
     metric = placement.network.metric()
-    row = metric.distances_from(client)
-    loads = strategy.load_array()
-    return float(np.dot(loads, row[placement.image_node_indices()]))
+    row = metric.matrix[metric.node_index(client)][np.newaxis, :]
+    return float(
+        expected_total_delays(
+            row, placement.image_node_indices(), strategy.load_array()
+        )[0]
+    )
+
+
+def expected_total_delay_reference(
+    placement: Placement, strategy: AccessStrategy, client: Node
+) -> float:
+    """Scalar oracle for :func:`expected_total_delay`: the paper-literal
+    double loop ``sum_Q p(Q) sum_{u in Q} d(v, f(u))``."""
+    _check_strategy(placement, strategy)
+    network = placement.network
+    total = 0.0
+    for index in strategy.support():
+        cost = 0.0
+        for u in placement.system.quorums[index]:
+            cost += network.distance(client, placement[u])
+        total += strategy.probability(index) * cost
+    return total
 
 
 def average_total_delay(
@@ -256,17 +338,55 @@ def average_total_delay(
     _check_strategy(placement, strategy)
     metric = placement.network.metric()
     weights = _client_weights(placement.network, rates)
-    # Avg_v Gamma_f(v) = sum_u load(u) * (weighted avg over v of d(v, f(u))).
-    weighted_distance_to = weights @ metric.matrix  # row vector over nodes
-    loads = strategy.load_array()
-    return float(np.dot(loads, weighted_distance_to[placement.image_node_indices()]))
+    per_client = expected_total_delays(
+        metric.matrix, placement.image_node_indices(), strategy.load_array()
+    )
+    return float(per_client @ weights)
+
+
+def average_total_delay_reference(
+    placement: Placement,
+    strategy: AccessStrategy,
+    *,
+    rates: Mapping[Node, float] | None = None,
+) -> float:
+    """Scalar oracle for :func:`average_total_delay`: per-client loop over
+    :func:`expected_total_delay_reference`."""
+    _check_strategy(placement, strategy)
+    weights = _client_weights(placement.network, rates)
+    total = 0.0
+    for i, client in enumerate(placement.network.nodes):
+        weight = float(weights[i])
+        if weight <= 0.0:
+            continue
+        total += weight * expected_total_delay_reference(placement, strategy, client)
+    return total
 
 
 # -- loads and capacities ----------------------------------------------------------------
 
 
+def _capacity_array(network: Network) -> np.ndarray:
+    """Capacities in node-index order."""
+    return np.array([network.capacity(node) for node in network.nodes], dtype=float)
+
+
 def node_loads(placement: Placement, strategy: AccessStrategy) -> dict[Node, float]:
     """``load_f(v)`` for every node ``v`` (zero where nothing is placed)."""
+    _check_strategy(placement, strategy)
+    vector = node_load_vector(
+        placement.image_node_indices(),
+        strategy.load_array(),
+        placement.network.size,
+    )
+    return {node: float(vector[i]) for i, node in enumerate(placement.network.nodes)}
+
+
+def node_loads_reference(
+    placement: Placement, strategy: AccessStrategy
+) -> dict[Node, float]:
+    """Scalar oracle for :func:`node_loads`: one dictionary update per
+    placed element."""
     _check_strategy(placement, strategy)
     loads = {node: 0.0 for node in placement.network.nodes}
     for element, node in placement.as_dict().items():
@@ -281,8 +401,21 @@ def capacity_violation_factor(placement: Placement, strategy: AccessStrategy) ->
     received load.  A value of at most 1 means the placement is feasible;
     Theorem 1.2 guarantees at most ``alpha + 1``.
     """
+    _check_strategy(placement, strategy)
+    vector = node_load_vector(
+        placement.image_node_indices(),
+        strategy.load_array(),
+        placement.network.size,
+    )
+    return max_capacity_factor(vector, _capacity_array(placement.network))
+
+
+def capacity_violation_factor_reference(
+    placement: Placement, strategy: AccessStrategy
+) -> float:
+    """Scalar oracle for :func:`capacity_violation_factor`."""
     factor = 0.0
-    for node, load in node_loads(placement, strategy).items():
+    for node, load in node_loads_reference(placement, strategy).items():
         if load <= 0:
             continue
         capacity = placement.network.capacity(node)

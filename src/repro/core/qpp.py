@@ -33,7 +33,7 @@ from ..network.graph import Network, Node
 from ..quorums.base import QuorumSystem
 from ..quorums.strategy import AccessStrategy
 from .placement import Placement, _client_weights, average_max_delay
-from .ssqpp import SSQPPResult, solve_ssqpp
+from .ssqpp import SSQPPLPFactory, SSQPPResult, solve_ssqpp
 
 __all__ = ["QPPResult", "solve_qpp", "average_strategy"]
 
@@ -117,11 +117,19 @@ def solve_qpp(
     check_positive(alpha - 1.0, "alpha - 1")
     candidates = list(candidate_sources) if candidate_sources is not None else list(network.nodes)
     require(len(candidates) > 0, "at least one candidate source is required")
+    # Dedupe while preserving order: repeated candidates would waste
+    # solves and make per_source diagnostics ambiguous.
+    candidates = list(dict.fromkeys(candidates))
     for node in candidates:
         network.node_index(node)
 
     metric = network.metric()
     weights = _client_weights(network, rates)
+
+    # One shared LP base (variables, assignment and capacity rows) for the
+    # whole sweep; each solve_ssqpp call attaches only the source-dependent
+    # structure and rolls it back afterwards.
+    factory = SSQPPLPFactory(system, strategy, network, formulation=formulation)
 
     best: SSQPPResult | None = None
     best_delay = float("inf")
@@ -138,6 +146,7 @@ def solve_qpp(
             alpha=alpha,
             lp_method=lp_method,
             formulation=formulation,
+            factory=factory,
         )
         per_source[source] = result
         to_source = float(weights @ metric.distances_from(source))

@@ -48,7 +48,7 @@ from ..quorums.base import Element, QuorumSystem
 from ..quorums.strategy import AccessStrategy
 from .placement import Placement, expected_max_delay, node_loads
 
-__all__ = ["SSQPPResult", "solve_ssqpp", "build_ssqpp_lp"]
+__all__ = ["SSQPPResult", "SSQPPLPFactory", "solve_ssqpp", "build_ssqpp_lp"]
 
 _ZERO = 1e-12
 
@@ -101,6 +101,275 @@ def _supported_quorums(strategy: AccessStrategy) -> list[int]:
     return list(strategy.support())
 
 
+class SSQPPLPFactory:
+    """Shared LP scaffolding for the relaxation (9)-(14).
+
+    The LP splits into a part that does not depend on the source ``v0``
+    — the assignment variables ("element ``u`` sits on node ``v``"), the
+    placement rows (10), and the capacity rows (12)/(13) — and a part
+    that does: the quorum-completion variables over the distance
+    ordering, the prefix-consistency rows (14), and the objective (9).
+    The factory builds the v0-independent base exactly once; each call
+    to :meth:`attach` adds only the delay-dependent structure for one
+    candidate source on top of a :class:`repro.lp.ModelCheckpoint`, and
+    :meth:`release` rolls the model back so the next candidate reuses
+    the base.  This turns :func:`repro.core.qpp.solve_qpp`'s sweep from
+    a quadratic rebuild into an incremental re-fill.
+
+    One factory serves one ``(system, strategy, network, formulation)``
+    combination; at most one source can be attached at a time.
+    """
+
+    def __init__(
+        self,
+        system: QuorumSystem,
+        strategy: AccessStrategy,
+        network: Network,
+        *,
+        formulation: str = "prefix",
+    ) -> None:
+        if formulation not in ("prefix", "cumulative"):
+            raise ValidationError(
+                f"unknown formulation {formulation!r}; use 'prefix' or 'cumulative'"
+            )
+        require(strategy.system == system, "strategy does not match the quorum system")
+        self._system = system
+        self._strategy = strategy
+        self._network = network
+        self._formulation = formulation
+        self._metric = network.metric()
+        self._support = _supported_quorums(strategy)
+        universe = system.universe
+        self._loads = {u: strategy.load(u) for u in universe}
+
+        capacities = {node: network.capacity(node) for node in network.nodes}
+        for u in universe:
+            if self._loads[u] > _ZERO and not any(
+                self._loads[u] <= cap + _ZERO for cap in capacities.values()
+            ):
+                raise InfeasibleError(
+                    f"element {u!r} has load {self._loads[u]:.4f} exceeding "
+                    "every node capacity"
+                )
+
+        model = Model(name="ssqpp-lp")
+        # Assignment variables keyed by *node* (not by distance rank), so
+        # they are shared by every candidate source.  Pairs with
+        # load(u) > cap(v) are fixed to zero by constraint (13), i.e.
+        # simply omitted.
+        self._x_by_node: dict[tuple[Node, Element], object] = {}
+        element_vars: dict[Element, list] = {u: [] for u in universe}
+        for node in network.nodes:
+            cap = capacities[node]
+            for u in universe:
+                if self._loads[u] <= cap + _ZERO:
+                    variable = model.variable(f"x[{node!r},{u!r}]", lb=0.0, ub=1.0)
+                    self._x_by_node[(node, u)] = variable
+                    element_vars[u].append(variable)
+
+        # (10): every element placed exactly once.
+        for u in universe:
+            terms = element_vars[u]
+            if not terms:
+                raise InfeasibleError(f"element {u!r} fits on no node")
+            expr = terms[0].to_expr()
+            for variable in terms[1:]:
+                expr = expr + variable
+            model.add_constraint(expr == 1, name=f"place[{u!r}]")
+
+        # (12): fractional load within capacity (vacuous for uncapacitated
+        # nodes, so those constraints are omitted).
+        for node in network.nodes:
+            if not math.isfinite(capacities[node]):
+                continue
+            terms = [
+                (self._x_by_node[(node, u)], self._loads[u])
+                for u in universe
+                if (node, u) in self._x_by_node and self._loads[u] > 0
+            ]
+            if not terms:
+                continue
+            expr = terms[0][0] * terms[0][1]
+            for variable, coefficient in terms[1:]:
+                expr = expr + variable * coefficient
+            model.add_constraint(expr <= capacities[node], name=f"cap[{node!r}]")
+
+        self._model = model
+        self._base = model.checkpoint()
+        self._attached = False
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def system(self) -> QuorumSystem:
+        return self._system
+
+    @property
+    def strategy(self) -> AccessStrategy:
+        return self._strategy
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    @property
+    def formulation(self) -> str:
+        return self._formulation
+
+    @property
+    def model(self) -> Model:
+        """The underlying (shared) model; solve only while attached."""
+        return self._model
+
+    def matches(
+        self,
+        system: QuorumSystem,
+        strategy: AccessStrategy,
+        network: Network,
+        formulation: str,
+    ) -> bool:
+        """Whether this factory was built for exactly these inputs."""
+        return (
+            self._system == system
+            and self._strategy is strategy
+            and self._network is network
+            and self._formulation == formulation
+        )
+
+    # -- per-candidate structure -----------------------------------------------------
+
+    def attach(self, source: Node):
+        """Add the delay-dependent structure for *source* on top of the base.
+
+        Returns ``(model, x_element, x_quorum, ordered_nodes, distances)``
+        in :func:`build_ssqpp_lp`'s format: ``x_element[(t, u)]`` maps the
+        §3.3 rank ``t`` (``ordered_nodes[t]`` is the ``t``-th closest node
+        to the source) back to the shared node-keyed variable.  Call
+        :meth:`release` before attaching the next candidate.
+        """
+        require(
+            not self._attached,
+            "factory already has an attached source; call release() first",
+        )
+        self._network.node_index(source)
+        system, strategy, model = self._system, self._strategy, self._model
+        support = self._support
+        ordered_nodes = self._metric.nodes_by_distance(source)
+        distances = [self._metric.distance(source, node) for node in ordered_nodes]
+        n = len(ordered_nodes)
+        x_element: dict[tuple[int, Element], object] = {
+            (t, u): self._x_by_node[(node, u)]
+            for t, node in enumerate(ordered_nodes)
+            for u in system.universe
+            if (node, u) in self._x_by_node
+        }
+        self._attached = True
+
+        x_quorum: dict[tuple[int, int], object] = {}
+        for t in range(n):
+            for q in support:
+                x_quorum[(t, q)] = model.variable(f"xQ[{t},{q}]", lb=0.0, ub=1.0)
+
+        # (11): every supported quorum completed at exactly one prefix length.
+        for q in support:
+            expr = x_quorum[(0, q)].to_expr()
+            for t in range(1, n):
+                expr = expr + x_quorum[(t, q)]
+            model.add_constraint(expr == 1, name=f"complete[{q}]")
+
+        # (14): prefix consistency — a quorum cannot finish before its members.
+        if self._formulation == "prefix":
+            for q in support:
+                quorum = system.quorums[q]
+                for u in quorum:
+                    quorum_prefix = None
+                    element_prefix = None
+                    for t in range(n):
+                        quorum_prefix = (
+                            x_quorum[(t, q)].to_expr()
+                            if quorum_prefix is None
+                            else quorum_prefix + x_quorum[(t, q)]
+                        )
+                        if (t, u) in x_element:
+                            element_prefix = (
+                                x_element[(t, u)].to_expr()
+                                if element_prefix is None
+                                else element_prefix + x_element[(t, u)]
+                            )
+                        if element_prefix is None:
+                            # No placement of u at distance <= d_t: quorum q
+                            # cannot complete within the first t+1 nodes either.
+                            model.add_constraint(
+                                quorum_prefix <= 0, name=f"prefix[{q},{u!r},{t}]"
+                            )
+                        else:
+                            model.add_constraint(
+                                quorum_prefix - element_prefix <= 0,
+                                name=f"prefix[{q},{u!r},{t}]",
+                            )
+        else:
+            # Cumulative variables: cum_t = cum_{t-1} + x_t, one chain per
+            # element and per supported quorum; (14) becomes 2-term rows.
+            # The chains follow the distance ranks, so they are rebuilt per
+            # candidate (only the node-keyed base is rank-free).
+            element_cumulative: dict[Element, list] = {}
+            for u in system.universe:
+                chain = []
+                previous = None
+                for t in range(n):
+                    cum = model.variable(f"cum[{t},{u!r}]", lb=0.0, ub=1.0)
+                    terms = cum.to_expr()
+                    if previous is not None:
+                        terms = terms - previous
+                    if (t, u) in x_element:
+                        terms = terms - x_element[(t, u)]
+                    model.add_constraint(terms == 0, name=f"chain[{t},{u!r}]")
+                    chain.append(cum)
+                    previous = cum
+                element_cumulative[u] = chain
+            for q in support:
+                previous = None
+                chain_q = []
+                for t in range(n):
+                    cum = model.variable(f"cumQ[{t},{q}]", lb=0.0, ub=1.0)
+                    terms = cum.to_expr() - x_quorum[(t, q)]
+                    if previous is not None:
+                        terms = terms - previous
+                    model.add_constraint(terms == 0, name=f"chainQ[{t},{q}]")
+                    chain_q.append(cum)
+                    previous = cum
+                for u in system.quorums[q]:
+                    for t in range(n):
+                        model.add_constraint(
+                            chain_q[t] - element_cumulative[u][t] <= 0,
+                            name=f"prefix[{q},{u!r},{t}]",
+                        )
+
+        # (9): expected max-delay objective.
+        objective = None
+        for q in support:
+            probability = strategy.probability(q)
+            for t in range(n):
+                if distances[t] == 0:
+                    continue
+                term = x_quorum[(t, q)] * (probability * distances[t])
+                objective = term if objective is None else objective + term
+        if objective is None:
+            # Degenerate but legal: every supported quorum can sit at distance 0.
+            objective = next(iter(x_element.values())) * 0.0
+        model.minimize(objective)
+        return model, x_element, x_quorum, ordered_nodes, distances
+
+    def release(self) -> None:
+        """Drop the candidate-specific structure, restoring the shared base.
+
+        Idempotent: releasing with nothing attached is a no-op.
+        """
+        if self._attached:
+            self._model.rollback(self._base)
+            self._attached = False
+
+
 def build_ssqpp_lp(
     system: QuorumSystem,
     strategy: AccessStrategy,
@@ -109,7 +378,7 @@ def build_ssqpp_lp(
     *,
     formulation: str = "prefix",
 ):
-    """Build the LP relaxation (9)-(14).
+    """Build the LP relaxation (9)-(14) for one source.
 
     Returns ``(model, x_element, x_quorum, ordered_nodes, distances)``
     where ``x_element[(t, u)]`` and ``x_quorum[(t, q)]`` map to model
@@ -133,153 +402,15 @@ def build_ssqpp_lp(
       ``C_t = C_{t-1} + x_t`` per element and per quorum, making every
       (14) inequality a 2-term comparison.  Same optimum, far fewer
       nonzeros on large instances; equivalence is covered by tests.
+
+    This is the one-shot convenience over :class:`SSQPPLPFactory`: the
+    returned model stays attached to *source* and may be freely extended
+    by the caller.  Candidate sweeps should hold a factory instead and
+    attach/release per source.
     """
-    if formulation not in ("prefix", "cumulative"):
-        raise ValidationError(
-            f"unknown formulation {formulation!r}; use 'prefix' or 'cumulative'"
-        )
-    require(strategy.system == system, "strategy does not match the quorum system")
-    metric = network.metric()
-    ordered_nodes = metric.nodes_by_distance(source)
-    distances = [metric.distance(source, node) for node in ordered_nodes]
-    n = len(ordered_nodes)
-    universe = system.universe
-    loads = {u: strategy.load(u) for u in universe}
-    capacities = [network.capacity(node) for node in ordered_nodes]
-
-    for u in universe:
-        if loads[u] > _ZERO and not any(loads[u] <= cap + _ZERO for cap in capacities):
-            raise InfeasibleError(
-                f"element {u!r} has load {loads[u]:.4f} exceeding every node capacity"
-            )
-
-    model = Model(name="ssqpp-lp")
-    x_element: dict[tuple[int, Element], object] = {}
-    for t in range(n):
-        for u in universe:
-            if loads[u] <= capacities[t] + _ZERO:  # constraint (13) by omission
-                x_element[(t, u)] = model.variable(f"x[{t},{u!r}]", lb=0.0, ub=1.0)
-
-    support = _supported_quorums(strategy)
-    x_quorum: dict[tuple[int, int], object] = {}
-    for t in range(n):
-        for q in support:
-            x_quorum[(t, q)] = model.variable(f"xQ[{t},{q}]", lb=0.0, ub=1.0)
-
-    # (10): every element placed exactly once.
-    for u in universe:
-        terms = [x_element[(t, u)] for t in range(n) if (t, u) in x_element]
-        if not terms:
-            raise InfeasibleError(f"element {u!r} fits on no node")
-        expr = terms[0].to_expr()
-        for variable in terms[1:]:
-            expr = expr + variable
-        model.add_constraint(expr == 1, name=f"place[{u!r}]")
-
-    # (11): every supported quorum completed at exactly one prefix length.
-    for q in support:
-        expr = x_quorum[(0, q)].to_expr()
-        for t in range(1, n):
-            expr = expr + x_quorum[(t, q)]
-        model.add_constraint(expr == 1, name=f"complete[{q}]")
-
-    # (12): fractional load within capacity (vacuous for uncapacitated
-    # nodes, so those constraints are omitted).
-    for t in range(n):
-        if not math.isfinite(capacities[t]):
-            continue
-        terms = [
-            (x_element[(t, u)], loads[u])
-            for u in universe
-            if (t, u) in x_element and loads[u] > 0
-        ]
-        if not terms:
-            continue
-        expr = terms[0][0] * terms[0][1]
-        for variable, coefficient in terms[1:]:
-            expr = expr + variable * coefficient
-        model.add_constraint(expr <= capacities[t], name=f"cap[{t}]")
-
-    # (14): prefix consistency — a quorum cannot finish before its members.
-    if formulation == "prefix":
-        for q in support:
-            quorum = system.quorums[q]
-            for u in quorum:
-                quorum_prefix = None
-                element_prefix = None
-                for t in range(n):
-                    quorum_prefix = (
-                        x_quorum[(t, q)].to_expr()
-                        if quorum_prefix is None
-                        else quorum_prefix + x_quorum[(t, q)]
-                    )
-                    if (t, u) in x_element:
-                        element_prefix = (
-                            x_element[(t, u)].to_expr()
-                            if element_prefix is None
-                            else element_prefix + x_element[(t, u)]
-                        )
-                    if element_prefix is None:
-                        # No placement of u at distance <= d_t: quorum q
-                        # cannot complete within the first t+1 nodes either.
-                        model.add_constraint(
-                            quorum_prefix <= 0, name=f"prefix[{q},{u!r},{t}]"
-                        )
-                    else:
-                        model.add_constraint(
-                            quorum_prefix - element_prefix <= 0,
-                            name=f"prefix[{q},{u!r},{t}]",
-                        )
-    else:
-        # Cumulative variables: cum_t = cum_{t-1} + x_t, one chain per
-        # element and per supported quorum; (14) becomes 2-term rows.
-        element_cumulative: dict[Element, list] = {}
-        for u in universe:
-            chain = []
-            previous = None
-            for t in range(n):
-                cum = model.variable(f"cum[{t},{u!r}]", lb=0.0, ub=1.0)
-                terms = cum.to_expr()
-                if previous is not None:
-                    terms = terms - previous
-                if (t, u) in x_element:
-                    terms = terms - x_element[(t, u)]
-                model.add_constraint(terms == 0, name=f"chain[{t},{u!r}]")
-                chain.append(cum)
-                previous = cum
-            element_cumulative[u] = chain
-        for q in support:
-            previous = None
-            chain_q = []
-            for t in range(n):
-                cum = model.variable(f"cumQ[{t},{q}]", lb=0.0, ub=1.0)
-                terms = cum.to_expr() - x_quorum[(t, q)]
-                if previous is not None:
-                    terms = terms - previous
-                model.add_constraint(terms == 0, name=f"chainQ[{t},{q}]")
-                chain_q.append(cum)
-                previous = cum
-            for u in system.quorums[q]:
-                for t in range(n):
-                    model.add_constraint(
-                        chain_q[t] - element_cumulative[u][t] <= 0,
-                        name=f"prefix[{q},{u!r},{t}]",
-                    )
-
-    # (9): expected max-delay objective.
-    objective = None
-    for q in support:
-        probability = strategy.probability(q)
-        for t in range(n):
-            if distances[t] == 0:
-                continue
-            term = x_quorum[(t, q)] * (probability * distances[t])
-            objective = term if objective is None else objective + term
-    if objective is None:
-        # Degenerate but legal: every supported quorum can sit at distance 0.
-        objective = next(iter(x_element.values())) * 0.0
-    model.minimize(objective)
-    return model, x_element, x_quorum, ordered_nodes, distances
+    require(isinstance(network, Network), "network must be a Network")
+    factory = SSQPPLPFactory(system, strategy, network, formulation=formulation)
+    return factory.attach(source)
 
 
 def _filter_fractions(
@@ -324,6 +455,7 @@ def solve_ssqpp(
     alpha: float = 2.0,
     lp_method: str = "highs",
     formulation: str = "prefix",
+    factory: SSQPPLPFactory | None = None,
 ) -> SSQPPResult:
     """Solve the Single-Source Quorum Placement Problem approximately.
 
@@ -335,6 +467,12 @@ def solve_ssqpp(
     ``alpha = 2`` recovers Theorem 3.12 (delay within twice the LP bound,
     load within three times capacity).
 
+    Pass a pre-built :class:`SSQPPLPFactory` (for the same system,
+    strategy, network and formulation) to reuse the v0-independent LP
+    base across calls — the candidate sweep in
+    :func:`repro.core.qpp.solve_qpp` does this.  The factory is released
+    (rolled back to its base) before returning.
+
     Raises
     ------
     InfeasibleError
@@ -343,20 +481,29 @@ def solve_ssqpp(
     check_positive(alpha - 1.0, "alpha - 1")
     network.node_index(source)
 
-    model, x_element, x_quorum, ordered_nodes, distances = build_ssqpp_lp(
-        system, strategy, network, source, formulation=formulation
-    )
-    solution = model.solve(method=lp_method)
-    lp_value = float(solution.objective)
+    if factory is None:
+        factory = SSQPPLPFactory(system, strategy, network, formulation=formulation)
+    else:
+        require(
+            isinstance(factory, SSQPPLPFactory)
+            and factory.matches(system, strategy, network, formulation),
+            "factory was built for different inputs",
+        )
+    try:
+        model, x_element, x_quorum, ordered_nodes, distances = factory.attach(source)
+        solution = model.solve(method=lp_method)
+        lp_value = float(solution.objective)
 
-    universe = list(system.universe)
-    n = len(ordered_nodes)
-    raw = np.zeros((n, len(universe)))
-    for j, u in enumerate(universe):
-        for t in range(n):
-            variable = x_element.get((t, u))
-            if variable is not None:
-                raw[t, j] = max(solution.value(variable), 0.0)
+        universe = list(system.universe)
+        n = len(ordered_nodes)
+        raw = np.zeros((n, len(universe)))
+        for j, u in enumerate(universe):
+            for t in range(n):
+                variable = x_element.get((t, u))
+                if variable is not None:
+                    raw[t, j] = max(solution.value(variable), 0.0)
+    finally:
+        factory.release()
     filtered = _filter_fractions(raw, alpha)
 
     loads = strategy.load_array()

@@ -1,5 +1,6 @@
 """Experiment harness: seeded workload suites and access simulation."""
 
+from .bench import BENCH_SCHEMA_VERSION, run_bench, validate_bench_report
 from .failures import FailureSimulationResult, simulate_with_failures
 from .simulate import SimulationResult, simulate_accesses
 from .suite_runner import AlgorithmScore, InstanceComparison, compare_algorithms
@@ -12,14 +13,17 @@ from .workloads import (
 
 __all__ = [
     "AlgorithmScore",
+    "BENCH_SCHEMA_VERSION",
     "FailureSimulationResult",
     "InstanceComparison",
     "PlacementInstance",
     "SimulationResult",
     "feasible_uniform_capacity",
     "compare_algorithms",
+    "run_bench",
     "simulate_accesses",
     "simulate_with_failures",
     "small_suite",
     "standard_suite",
+    "validate_bench_report",
 ]

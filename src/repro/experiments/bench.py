@@ -1,0 +1,336 @@
+"""The ``repro bench`` micro-suite (BENCH_3.json).
+
+A deterministic benchmark over the vectorized evaluator kernels, the
+batched metric builder, and the shared-LP solver path: every case pins
+its seed, records wall-clock timings *and* a checksum of the computed
+values, and the CLI writes the whole report as ``BENCH_3.json``.  Result
+values are reproducible run-to-run (same seed, same libraries); timings
+naturally are not, so consumers must treat ``*_seconds`` / ``speedup``
+fields as informational only — the regression tests assert the values
+and checksums, never the timings.
+
+Report schema (version 1)
+-------------------------
+
+::
+
+    {
+      "schema_version": 1,
+      "quick": bool,          # --quick mode (fewer repeats)
+      "seed": int,            # RNG seed for the generated networks
+      "cases": {
+        "average_max_delay": {
+          "network": str, "system": str, "clients": int,
+          "value": float, "checksum": str,
+          "vectorized_seconds": float, "reference_seconds": float,
+          "speedup": float,
+        },
+        "average_total_delay": { same fields },
+        "node_loads": {
+          "network": str, "system": str,
+          "capacity_violation_factor": float, "checksum": str,
+          "vectorized_seconds": float, "reference_seconds": float,
+          "speedup": float,
+        },
+        "metric_batched": {
+          "network": str, "nodes": int, "checksum": str,
+          "batched_seconds": float, "scalar_seconds": float,
+          "speedup": float, "cache_builds": int, "cache_hits": int,
+        },
+        "ssqpp_solve": {
+          "network": str, "system": str, "source": str,
+          "lp_value": float, "delay": float, "checksum": str,
+          "solve_seconds": float,
+        },
+        "qpp_sweep": {
+          "network": str, "system": str, "candidates": int,
+          "average_delay": float, "lower_bound": float, "checksum": str,
+          "sweep_seconds": float,
+        },
+      },
+    }
+
+Checksums are sha256 over the JSON encoding of the case's result values
+rounded to 9 decimals (timings excluded), so two runs agree bit-for-bit
+whenever the numerics agree to ~1e-9.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+import numpy as np
+
+from .._validation import check_integer_in_range, require
+from ..core.placement import (
+    average_max_delay,
+    average_max_delay_reference,
+    average_total_delay,
+    average_total_delay_reference,
+    capacity_violation_factor,
+    capacity_violation_factor_reference,
+    make_placement,
+    node_loads,
+    node_loads_reference,
+)
+from ..core.qpp import solve_qpp
+from ..core.ssqpp import solve_ssqpp
+from ..exceptions import ValidationError
+from ..network.generators import (
+    grid_network,
+    random_geometric_network,
+    uniform_capacities,
+)
+from ..network.graph import Network
+from ..network.metric import dijkstra, dijkstra_batched
+from ..quorums.grid import grid
+from ..quorums.majority import majority
+from ..quorums.strategy import AccessStrategy
+
+__all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "validate_bench_report"]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Required keys per case, beyond the timing fields.
+_CASE_VALUE_KEYS = {
+    "average_max_delay": ("network", "system", "clients", "value", "checksum"),
+    "average_total_delay": ("network", "system", "clients", "value", "checksum"),
+    "node_loads": ("network", "system", "capacity_violation_factor", "checksum"),
+    "metric_batched": ("network", "nodes", "checksum", "cache_builds", "cache_hits"),
+    "ssqpp_solve": ("network", "system", "source", "lp_value", "delay", "checksum"),
+    "qpp_sweep": (
+        "network",
+        "system",
+        "candidates",
+        "average_delay",
+        "lower_bound",
+        "checksum",
+    ),
+}
+
+_CASE_TIMING_KEYS = {
+    "average_max_delay": ("vectorized_seconds", "reference_seconds", "speedup"),
+    "average_total_delay": ("vectorized_seconds", "reference_seconds", "speedup"),
+    "node_loads": ("vectorized_seconds", "reference_seconds", "speedup"),
+    "metric_batched": ("batched_seconds", "scalar_seconds", "speedup"),
+    "ssqpp_solve": ("solve_seconds",),
+    "qpp_sweep": ("sweep_seconds",),
+}
+
+
+def _checksum(values) -> str:
+    """sha256 of the JSON encoding of *values*, floats rounded to 9 dp."""
+
+    def _round(obj):
+        if isinstance(obj, float):
+            return round(obj, 9)
+        if isinstance(obj, dict):
+            return {str(k): _round(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+        if isinstance(obj, (list, tuple)):
+            return [_round(v) for v in obj]
+        return obj
+
+    payload = json.dumps(_round(values), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _best_of(repeats: int, fn) -> tuple[float, object]:
+    """Run *fn* ``repeats`` times; return (best wall-clock, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _evaluator_network(seed: int) -> Network:
+    rng = np.random.default_rng(seed)
+    network = random_geometric_network(100, 0.25, rng=rng)
+    return uniform_capacities(network, 2.0)
+
+
+def run_bench(*, quick: bool = True, seed: int = 0) -> dict:
+    """Run the deterministic micro-suite and return the report dict.
+
+    ``quick`` trims the repeat count (CI mode); result values and
+    checksums are identical either way because every case is seeded.
+    """
+    check_integer_in_range(seed, "seed", low=0)
+    repeats = 1 if quick else 3
+    cases: dict[str, dict] = {}
+
+    # -- evaluator kernels: 100-node geometric network, Grid(10) system ----------
+    network = _evaluator_network(seed)
+    system = grid(10)
+    strategy = AccessStrategy.uniform(system)
+    placement = make_placement(system, network, list(network.nodes))
+
+    vec_seconds, vec_value = _best_of(
+        repeats, lambda: average_max_delay(placement, strategy)
+    )
+    ref_seconds, ref_value = _best_of(
+        repeats, lambda: average_max_delay_reference(placement, strategy)
+    )
+    require(
+        abs(vec_value - ref_value) <= 1e-9 * max(1.0, abs(ref_value)),
+        "vectorized and reference average_max_delay disagree",
+    )
+    cases["average_max_delay"] = {
+        "network": network.name,
+        "system": "grid(10)",
+        "clients": network.size,
+        "value": float(vec_value),
+        "checksum": _checksum(float(vec_value)),
+        "vectorized_seconds": vec_seconds,
+        "reference_seconds": ref_seconds,
+        "speedup": ref_seconds / vec_seconds if vec_seconds > 0 else float("inf"),
+    }
+
+    vec_seconds, vec_value = _best_of(
+        repeats, lambda: average_total_delay(placement, strategy)
+    )
+    ref_seconds, ref_value = _best_of(
+        repeats, lambda: average_total_delay_reference(placement, strategy)
+    )
+    require(
+        abs(vec_value - ref_value) <= 1e-9 * max(1.0, abs(ref_value)),
+        "vectorized and reference average_total_delay disagree",
+    )
+    cases["average_total_delay"] = {
+        "network": network.name,
+        "system": "grid(10)",
+        "clients": network.size,
+        "value": float(vec_value),
+        "checksum": _checksum(float(vec_value)),
+        "vectorized_seconds": vec_seconds,
+        "reference_seconds": ref_seconds,
+        "speedup": ref_seconds / vec_seconds if vec_seconds > 0 else float("inf"),
+    }
+
+    vec_seconds, vec_loads = _best_of(
+        repeats, lambda: node_loads(placement, strategy)
+    )
+    ref_seconds, ref_loads = _best_of(
+        repeats, lambda: node_loads_reference(placement, strategy)
+    )
+    require(
+        all(abs(vec_loads[v] - ref_loads.get(v, 0.0)) <= 1e-9 for v in vec_loads),
+        "vectorized and reference node_loads disagree",
+    )
+    factor = capacity_violation_factor(placement, strategy)
+    require(
+        abs(factor - capacity_violation_factor_reference(placement, strategy))
+        <= 1e-9 * max(1.0, abs(factor)),
+        "vectorized and reference capacity_violation_factor disagree",
+    )
+    cases["node_loads"] = {
+        "network": network.name,
+        "system": "grid(10)",
+        "capacity_violation_factor": float(factor),
+        "checksum": _checksum(
+            {str(node): load for node, load in vec_loads.items()}
+        ),
+        "vectorized_seconds": vec_seconds,
+        "reference_seconds": ref_seconds,
+        "speedup": ref_seconds / vec_seconds if vec_seconds > 0 else float("inf"),
+    }
+
+    # -- metric: batched all-pairs vs per-source scalar Dijkstra -----------------
+    adjacency = {
+        u: {v: network.edge_length(u, v) for v in network.neighbors(u)}
+        for u in network.nodes
+    }
+    batched_seconds, matrix = _best_of(
+        repeats, lambda: dijkstra_batched(adjacency)
+    )
+    scalar_seconds, _ = _best_of(
+        1, lambda: [dijkstra(adjacency, u) for u in network.nodes]
+    )
+    cache_info = network.metric_cache_info()
+    cases["metric_batched"] = {
+        "network": network.name,
+        "nodes": network.size,
+        "checksum": _checksum(float(np.sum(matrix))),
+        "batched_seconds": batched_seconds,
+        "scalar_seconds": scalar_seconds,
+        "speedup": scalar_seconds / batched_seconds
+        if batched_seconds > 0
+        else float("inf"),
+        "cache_builds": cache_info.builds,
+        "cache_hits": cache_info.hits,
+    }
+
+    # -- one SSQPP solve (shared-LP machinery under the hood) --------------------
+    ssqpp_network = grid_network(3, 3).with_capacities(2.0)
+    ssqpp_system = majority(5)
+    ssqpp_strategy = AccessStrategy.uniform(ssqpp_system)
+    source = ssqpp_network.nodes[0]
+    solve_seconds, ssqpp_result = _best_of(
+        repeats,
+        lambda: solve_ssqpp(ssqpp_system, ssqpp_strategy, ssqpp_network, source),
+    )
+    cases["ssqpp_solve"] = {
+        "network": ssqpp_network.name,
+        "system": "majority(5)",
+        "source": str(source),
+        "lp_value": float(ssqpp_result.lp_value),
+        "delay": float(ssqpp_result.delay),
+        "checksum": _checksum(
+            [float(ssqpp_result.lp_value), float(ssqpp_result.delay)]
+        ),
+        "solve_seconds": solve_seconds,
+    }
+
+    # -- QPP sweep: every candidate reuses one shared LP base --------------------
+    sweep_seconds, qpp_result = _best_of(
+        1, lambda: solve_qpp(ssqpp_system, ssqpp_strategy, ssqpp_network)
+    )
+    cases["qpp_sweep"] = {
+        "network": ssqpp_network.name,
+        "system": "majority(5)",
+        "candidates": len(qpp_result.per_source),
+        "average_delay": float(qpp_result.average_delay),
+        "lower_bound": float(qpp_result.optimum_lower_bound),
+        "checksum": _checksum(
+            [float(qpp_result.average_delay), float(qpp_result.optimum_lower_bound)]
+        ),
+        "sweep_seconds": sweep_seconds,
+    }
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "cases": cases,
+    }
+
+
+def validate_bench_report(report: dict) -> None:
+    """Raise :class:`ValidationError` unless *report* matches schema v1."""
+    require(isinstance(report, dict), "report must be a dict")
+    for key in ("schema_version", "quick", "seed", "cases"):
+        if key not in report:
+            raise ValidationError(f"bench report is missing key {key!r}")
+    if report["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported bench schema version {report['schema_version']!r}"
+        )
+    cases = report["cases"]
+    require(isinstance(cases, dict), "report['cases'] must be a dict")
+    for name, value_keys in _CASE_VALUE_KEYS.items():
+        if name not in cases:
+            raise ValidationError(f"bench report is missing case {name!r}")
+        case = cases[name]
+        require(isinstance(case, dict), f"case {name!r} must be a dict")
+        for key in value_keys + _CASE_TIMING_KEYS[name]:
+            if key not in case:
+                raise ValidationError(f"case {name!r} is missing key {key!r}")
+        checksum = case["checksum"]
+        require(
+            isinstance(checksum, str) and len(checksum) == 64,
+            f"case {name!r} has a malformed checksum",
+        )

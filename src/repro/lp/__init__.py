@@ -10,7 +10,15 @@ Public surface:
   — solving and reading back results.
 """
 
-from .model import Constraint, LinExpr, Model, Variable
+from .model import Constraint, LinExpr, Model, ModelCheckpoint, Variable
 from .solve import Solution, solve_model
 
-__all__ = ["Constraint", "LinExpr", "Model", "Variable", "Solution", "solve_model"]
+__all__ = [
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "ModelCheckpoint",
+    "Variable",
+    "Solution",
+    "solve_model",
+]

@@ -35,7 +35,7 @@ from typing import Union
 from .._validation import require
 from ..exceptions import ValidationError
 
-__all__ = ["Variable", "LinExpr", "Constraint", "Model"]
+__all__ = ["Variable", "LinExpr", "Constraint", "Model", "ModelCheckpoint"]
 
 Number = Union[int, float]
 
@@ -208,6 +208,25 @@ class _VariableRecord:
     ub: float
 
 
+@dataclass(frozen=True)
+class ModelCheckpoint:
+    """A restorable snapshot of a :class:`Model`'s build state.
+
+    Captures the variable/constraint counts plus the objective, so a
+    caller can extend a shared base model (extra variables, extra rows,
+    a candidate-specific objective), solve it, and then
+    :meth:`Model.rollback` to the snapshot and attach the next
+    candidate.  This is what makes the SSQPP relay-candidate sweep
+    incremental: the v0-independent rows are built once and survive
+    every rollback.
+    """
+
+    num_variables: int
+    num_constraints: int
+    objective: LinExpr | None
+    sense: str
+
+
 @dataclass
 class Model:
     """A linear program under construction.
@@ -285,6 +304,50 @@ class Model:
                     f"{self.name!r} has only {n} variables; variables from a "
                     "different model were probably mixed in"
                 )
+
+    # -- incremental reuse --------------------------------------------------------
+
+    def checkpoint(self) -> ModelCheckpoint:
+        """Snapshot the current build state for a later :meth:`rollback`.
+
+        The snapshot is cheap (counts plus a copy of the objective);
+        take one after building shared structure and before adding
+        candidate-specific variables, constraints, or an objective.
+        """
+        objective = self._objective.copy() if self._objective is not None else None
+        return ModelCheckpoint(
+            num_variables=len(self._variables),
+            num_constraints=len(self._constraints),
+            objective=objective,
+            sense=self._sense,
+        )
+
+    def rollback(self, mark: ModelCheckpoint) -> None:
+        """Restore the model to a state captured by :meth:`checkpoint`.
+
+        Every variable and constraint added after the checkpoint is
+        discarded, and the objective is restored.  Variables created
+        after the checkpoint must not be used again: any expression
+        referencing them is rejected by the usual index check.
+        """
+        if not isinstance(mark, ModelCheckpoint):
+            raise ValidationError(
+                f"rollback expects a ModelCheckpoint, got {mark!r}"
+            )
+        if mark.num_variables > len(self._variables) or (
+            mark.num_constraints > len(self._constraints)
+        ):
+            raise ValidationError(
+                f"checkpoint ({mark.num_variables} variables, "
+                f"{mark.num_constraints} constraints) is ahead of model "
+                f"{self.name!r} ({len(self._variables)} variables, "
+                f"{len(self._constraints)} constraints); was it taken on "
+                "a different model?"
+            )
+        del self._variables[mark.num_variables :]
+        del self._constraints[mark.num_constraints :]
+        self._objective = mark.objective.copy() if mark.objective is not None else None
+        self._sense = mark.sense
 
     # -- introspection ------------------------------------------------------------
 

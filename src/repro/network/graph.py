@@ -14,14 +14,27 @@ from __future__ import annotations
 
 import math
 from collections.abc import Hashable, Iterable, Mapping
-from typing import Callable, Union
+from typing import Callable, NamedTuple, Union
 
 from .._validation import check_positive, require
 from ..exceptions import ValidationError
 
-__all__ = ["Network", "Node"]
+__all__ = ["Network", "Node", "MetricCacheInfo"]
 
 Node = Hashable
+
+
+class MetricCacheInfo(NamedTuple):
+    """Counters for the per-network metric cache (see :meth:`Network.metric`).
+
+    ``builds`` is how many times the dense all-pairs matrix was actually
+    computed (at most 1 per network); ``hits`` counts the calls served
+    from the cache.  The test suite asserts the invariant; the counters
+    also make cache behaviour visible in benchmarks.
+    """
+
+    builds: int
+    hits: int
 EdgeSpec = Union[tuple, "tuple[Node, Node]", "tuple[Node, Node, float]"]
 
 
@@ -55,7 +68,16 @@ class Network:
     1.0
     """
 
-    __slots__ = ("_nodes", "_index", "_adjacency", "_capacities", "name", "_metric")
+    __slots__ = (
+        "_nodes",
+        "_index",
+        "_adjacency",
+        "_capacities",
+        "name",
+        "_metric",
+        "_metric_builds",
+        "_metric_hits",
+    )
 
     def __init__(
         self,
@@ -113,6 +135,8 @@ class Network:
 
         self.name = name
         self._metric = None  # lazily built Metric
+        self._metric_builds = 0
+        self._metric_hits = 0
 
     # -- basic accessors --------------------------------------------------------------
 
@@ -181,7 +205,15 @@ class Network:
             from .metric import Metric
 
             self._metric = Metric.from_network(self)
+            self._metric_builds += 1
+        else:
+            self._metric_hits += 1
         return self._metric
+
+    def metric_cache_info(self) -> MetricCacheInfo:
+        """Build/hit counters of the cached metric (dense matrix computed
+        at most once per network; every evaluator shares it)."""
+        return MetricCacheInfo(self._metric_builds, self._metric_hits)
 
     def distance(self, u: Node, v: Node) -> float:
         """Shortest-path distance ``d(u, v)``."""

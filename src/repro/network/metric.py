@@ -20,7 +20,7 @@ import numpy as np
 from ..exceptions import ValidationError
 from .graph import Network, Node
 
-__all__ = ["dijkstra", "Metric"]
+__all__ = ["dijkstra", "dijkstra_batched", "Metric"]
 
 
 def dijkstra(adjacency: Mapping[Node, Mapping[Node, float]], source: Node) -> dict[Node, float]:
@@ -64,6 +64,71 @@ def dijkstra(adjacency: Mapping[Node, Mapping[Node, float]], source: Node) -> di
     return distances
 
 
+def dijkstra_batched(
+    adjacency: Mapping[Node, Mapping[Node, float]],
+    sources: Sequence[Node] | None = None,
+) -> np.ndarray:
+    """Multi-source shortest-path distances in one batched call.
+
+    The batched entry point behind :meth:`Metric.from_network`: instead
+    of running one Python binary-heap per source, the adjacency is
+    compiled once into a sparse matrix and handed to scipy's C
+    implementation of Dijkstra for every source at once.  The scalar
+    :func:`dijkstra` is retained as the paper-faithful reference and the
+    two are cross-checked in the test suite.
+
+    Parameters
+    ----------
+    adjacency:
+        ``{u: {v: length}}`` with symmetric entries for undirected
+        graphs (the same format :func:`dijkstra` accepts).
+    sources:
+        Sources to run from, defaulting to every node.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(len(sources), len(adjacency))`` whose columns
+        follow the adjacency's key order.  Unreachable pairs are
+        ``math.inf`` — the batched counterpart of the scalar path's
+        *absent* dictionary entries.
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _dijkstra_csgraph
+
+    nodes = list(adjacency)
+    if not nodes:
+        raise ValidationError("adjacency must contain at least one node")
+    index = {v: i for i, v in enumerate(nodes)}
+    if sources is None:
+        source_indices = list(range(len(nodes)))
+    else:
+        source_indices = []
+        for source in sources:
+            if source not in index:
+                raise ValidationError(f"source {source!r} is not in the graph")
+            source_indices.append(index[source])
+        if not source_indices:
+            raise ValidationError("at least one source is required")
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for u, neighbors in adjacency.items():
+        for v, length in neighbors.items():
+            if v not in index:
+                raise ValidationError(
+                    f"adjacency of {u!r} references unknown node {v!r}"
+                )
+            rows.append(index[u])
+            cols.append(index[v])
+            data.append(float(length))
+    graph = csr_matrix((data, (rows, cols)), shape=(len(nodes), len(nodes)))
+    # directed=True honours the entries exactly as given, matching the
+    # scalar reference's semantics for (symmetric) adjacencies.
+    distances = _dijkstra_csgraph(graph, directed=True, indices=source_indices)
+    return np.atleast_2d(np.asarray(distances, dtype=float))
+
+
 class Metric:
     """A finite metric space over an ordered node set.
 
@@ -97,21 +162,25 @@ class Metric:
 
     @classmethod
     def from_network(cls, network: Network) -> "Metric":
-        """All-pairs shortest-path metric of *network* (must be connected)."""
+        """All-pairs shortest-path metric of *network* (must be connected).
+
+        Uses the batched multi-source Dijkstra (one sparse-graph call for
+        all sources); the dense matrix is materialized exactly once per
+        network — :meth:`repro.network.graph.Network.metric` caches it and
+        every evaluator shares the cached instance.
+        """
         nodes = network.nodes
-        n = len(nodes)
-        matrix = np.full((n, n), math.inf)
         adjacency = {u: {v: network.edge_length(u, v) for v in network.neighbors(u)} for u in nodes}
-        for i, source in enumerate(nodes):
-            distances = dijkstra(adjacency, source)
-            if len(distances) != n:
-                missing = [v for v in nodes if v not in distances]
-                raise ValidationError(
-                    f"network {network.name!r} is disconnected: {source!r} cannot "
-                    f"reach {missing[:5]!r}"
-                )
-            for node, distance in distances.items():
-                matrix[i, network.node_index(node)] = distance
+        matrix = dijkstra_batched(adjacency)
+        unreachable = ~np.isfinite(matrix)
+        if np.any(unreachable):
+            source_row = int(np.argwhere(unreachable)[0][0])
+            source = nodes[source_row]
+            missing = [nodes[int(j)] for j in np.nonzero(unreachable[source_row])[0]]
+            raise ValidationError(
+                f"network {network.name!r} is disconnected: {source!r} cannot "
+                f"reach {missing[:5]!r}"
+            )
         return cls(nodes, matrix)
 
     # -- accessors ---------------------------------------------------------------

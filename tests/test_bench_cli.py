@@ -1,0 +1,101 @@
+"""The ``repro bench`` subcommand and its BENCH_3.json report.
+
+Schema validity, run-to-run determinism of the *result* fields (same
+seed, same values and checksums), and presence — but never assertion —
+of the timing fields, which vary with machine load by nature.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    BENCH_SCHEMA_VERSION,
+    run_bench,
+    validate_bench_report,
+)
+from repro.experiments.bench import _CASE_TIMING_KEYS, _CASE_VALUE_KEYS
+
+
+def _strip_timings(report: dict) -> dict:
+    """The deterministic slice of a report: everything but timings."""
+    cases = {}
+    for name, case in report["cases"].items():
+        cases[name] = {
+            k: v for k, v in case.items() if k not in _CASE_TIMING_KEYS[name]
+        }
+    return {**{k: v for k, v in report.items() if k != "cases"}, "cases": cases}
+
+
+class TestRunBench:
+    def test_report_is_schema_valid(self):
+        report = run_bench(quick=True, seed=0)
+        validate_bench_report(report)
+        assert report["schema_version"] == BENCH_SCHEMA_VERSION
+        assert set(report["cases"]) == set(_CASE_VALUE_KEYS)
+
+    def test_values_are_deterministic_run_to_run(self):
+        first = run_bench(quick=True, seed=0)
+        second = run_bench(quick=True, seed=0)
+        assert _strip_timings(first) == _strip_timings(second)
+
+    def test_timings_present_but_runs_differ_freely(self):
+        report = run_bench(quick=True, seed=0)
+        for name, case in report["cases"].items():
+            for key in _CASE_TIMING_KEYS[name]:
+                assert isinstance(case[key], float)
+                # Present and sane; the magnitude is machine noise.
+                assert case[key] >= 0 or case[key] != case[key]
+
+    def test_quick_and_full_agree_on_values(self):
+        quick = run_bench(quick=True, seed=0)
+        full = run_bench(quick=False, seed=0)
+        quick_values = _strip_timings(quick)
+        full_values = _strip_timings(full)
+        quick_values.pop("quick")
+        full_values.pop("quick")
+        # The metric cache-hit counter scales with the repeat count, so
+        # only the numeric results are required to agree across modes.
+        quick_values["cases"]["metric_batched"].pop("cache_hits")
+        full_values["cases"]["metric_batched"].pop("cache_hits")
+        assert quick_values == full_values
+
+
+class TestValidateBenchReport:
+    def test_rejects_missing_case(self):
+        report = run_bench(quick=True, seed=0)
+        del report["cases"]["ssqpp_solve"]
+        with pytest.raises(ValidationError, match="missing case"):
+            validate_bench_report(report)
+
+    def test_rejects_wrong_schema_version(self):
+        report = run_bench(quick=True, seed=0)
+        report["schema_version"] = 99
+        with pytest.raises(ValidationError, match="schema version"):
+            validate_bench_report(report)
+
+    def test_rejects_missing_key(self):
+        report = run_bench(quick=True, seed=0)
+        del report["cases"]["metric_batched"]["checksum"]
+        with pytest.raises(ValidationError, match="missing key"):
+            validate_bench_report(report)
+
+
+class TestCLI:
+    def test_bench_quick_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_3.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        validate_bench_report(report)
+        captured = capsys.readouterr().out
+        assert "bench micro-suite" in captured
+        assert "average_max_delay" in captured
+
+    def test_bench_cli_matches_library_values(self, tmp_path):
+        out = tmp_path / "report.json"
+        main(["bench", "--quick", "--seed", "7", "--out", str(out)])
+        cli_report = json.loads(out.read_text())
+        lib_report = run_bench(quick=True, seed=7)
+        assert _strip_timings(cli_report) == _strip_timings(lib_report)

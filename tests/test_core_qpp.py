@@ -125,3 +125,51 @@ class TestAverageStrategy:
         network = path_network(3)
         with pytest.raises(ValidationError, match="missing"):
             average_strategy({0: AccessStrategy.uniform(system)}, network)
+
+
+class TestCandidateDedupe:
+    """Duplicate candidate sources must be solved once and reported once."""
+
+    def test_duplicates_are_deduped(self, rng):
+        network = uniform_capacities(random_geometric_network(6, 0.6, rng=rng), 1.0)
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        nodes = list(network.nodes)
+        duplicated = [nodes[0], nodes[1], nodes[0], nodes[2], nodes[1], nodes[0]]
+        result = solve_qpp(
+            system, strategy, network, candidate_sources=duplicated
+        )
+        assert set(result.per_source) == {nodes[0], nodes[1], nodes[2]}
+        assert len(result.per_source) == 3
+
+    def test_duplicates_match_unique_sweep(self, rng):
+        network = uniform_capacities(random_geometric_network(6, 0.6, rng=rng), 1.0)
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        nodes = list(network.nodes)
+        unique = solve_qpp(
+            system, strategy, network, candidate_sources=nodes[:3]
+        )
+        duplicated = solve_qpp(
+            system, strategy, network, candidate_sources=nodes[:3] * 2
+        )
+        assert duplicated.average_delay == pytest.approx(unique.average_delay)
+        assert duplicated.optimum_lower_bound == pytest.approx(
+            unique.optimum_lower_bound
+        )
+        assert duplicated.source == unique.source
+
+    def test_per_source_keys_equal_candidate_set(self, rng):
+        """Diagnostics must cover exactly the (deduped) candidate set."""
+        network = uniform_capacities(random_geometric_network(7, 0.6, rng=rng), 1.0)
+        system = majority(3)
+        strategy = AccessStrategy.uniform(system)
+        full = solve_qpp(system, strategy, network)
+        assert set(full.per_source) == set(network.nodes)
+        restricted = solve_qpp(
+            system,
+            strategy,
+            network,
+            candidate_sources=list(network.nodes)[:4],
+        )
+        assert set(restricted.per_source) == set(list(network.nodes)[:4])
