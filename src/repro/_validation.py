@@ -8,9 +8,12 @@ with an inscrutable traceback.
 
 from __future__ import annotations
 
+import functools
+import inspect
 import math
-from collections.abc import Iterable, Sequence
-from typing import Any
+import os
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any, TypeVar
 
 from .exceptions import ValidationError
 
@@ -22,6 +25,7 @@ __all__ = [
     "check_probability_vector",
     "check_integer_in_range",
     "check_finite",
+    "contract",
 ]
 
 #: Tolerance used when validating probability vectors and comparing loads.
@@ -96,6 +100,207 @@ def check_integer_in_range(
     if high is not None and value > high:
         raise ValidationError(f"{name} must be <= {high}, got {value}")
     return value
+
+
+#: Environment switch for runtime contract enforcement.  The static
+#: checker (``repro lint --dataflow``, rules R200/R202) reads the same
+#: declarations from the AST, so production runs pay nothing.
+CONTRACTS_ENV = "REPRO_DEBUG_CONTRACTS"
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+#: Accepted numpy dtype kinds per declared coarse kind.  Integer arrays
+#: are acceptable wherever floats are declared (they promote exactly).
+_DTYPE_KINDS = {"float": "fiu", "int": "iu", "bool": "b"}
+
+
+def _contracts_enabled() -> bool:
+    return os.environ.get(CONTRACTS_ENV) == "1"
+
+
+def _check_shape(
+    value: Any, declared: Sequence[int | str], name: str, symbols: dict[str, int]
+) -> None:
+    shape = getattr(value, "shape", None)
+    if shape is None:
+        raise ValidationError(
+            f"contract on {name}: expected an array with shape "
+            f"{tuple(declared)}, got {type(value).__name__}"
+        )
+    if len(shape) != len(declared):
+        raise ValidationError(
+            f"contract on {name}: expected rank {len(declared)} "
+            f"(shape {tuple(declared)}), got shape {tuple(shape)}"
+        )
+    for axis, (want, got) in enumerate(zip(declared, shape)):
+        if isinstance(want, int):
+            if got != want:
+                raise ValidationError(
+                    f"contract on {name}: axis {axis} must have extent "
+                    f"{want}, got {got}"
+                )
+        else:
+            bound = symbols.setdefault(want, int(got))
+            if bound != got:
+                raise ValidationError(
+                    f"contract on {name}: axis {axis} ({want}) must match "
+                    f"extent {bound} bound earlier, got {got}"
+                )
+
+
+def _check_dtype(value: Any, declared: str, name: str) -> None:
+    dtype = getattr(value, "dtype", None)
+    kind = getattr(dtype, "kind", None)
+    accepted = _DTYPE_KINDS.get(declared)
+    if accepted is None or kind is None:
+        return
+    if kind not in accepted:
+        raise ValidationError(
+            f"contract on {name}: expected dtype kind {declared!r}, "
+            f"got dtype {dtype!r}"
+        )
+
+
+def _check_simplex(value: Any, name: str) -> None:
+    import numpy
+
+    array = numpy.asarray(value, dtype=float)
+    if array.size and float(array.min()) < -PROBABILITY_TOLERANCE:
+        raise ValidationError(
+            f"contract on {name}: simplex vector has a negative entry "
+            f"({float(array.min())!r})"
+        )
+    total = float(array.sum())
+    if abs(total - 1.0) > 1e-6:
+        raise ValidationError(
+            f"contract on {name}: simplex vector must sum to 1, got {total!r}"
+        )
+
+
+def _check_nonnegative_array(value: Any, name: str) -> None:
+    import numpy
+
+    array = numpy.asarray(value, dtype=float)
+    if array.size and float(array.min()) < 0:
+        raise ValidationError(
+            f"contract on {name}: expected non-negative entries, found "
+            f"{float(array.min())!r}"
+        )
+
+
+def _enforce_one(
+    value: Any,
+    name: str,
+    spec: Mapping[str, Any],
+    symbols: dict[str, int],
+) -> None:
+    shape = spec.get("shape")
+    if shape is not None:
+        _check_shape(value, shape, name, symbols)
+    dtype = spec.get("dtype")
+    if dtype is not None:
+        _check_dtype(value, dtype, name)
+    if spec.get("simplex"):
+        _check_simplex(value, name)
+    if spec.get("nonnegative"):
+        _check_nonnegative_array(value, name)
+
+
+def enforce_contract(
+    func: Callable[..., Any],
+    spec: Mapping[str, Any],
+    args: tuple[Any, ...],
+    kwargs: Mapping[str, Any],
+    result: Any = None,
+    *,
+    check_result: bool = False,
+) -> None:
+    """Check *spec* against a call (used by the ``contract`` wrapper and
+    directly testable without toggling the environment switch)."""
+    label = getattr(func, "__qualname__", getattr(func, "__name__", "callable"))
+    symbols: dict[str, int] = {}
+    if not check_result:
+        bound = inspect.signature(func).bind(*args, **kwargs)
+        bound.apply_defaults()
+        for parameter, parameter_spec in spec.get("params", {}).items():
+            if parameter in bound.arguments:
+                _enforce_one(
+                    bound.arguments[parameter],
+                    f"{label}({parameter})",
+                    parameter_spec,
+                    symbols,
+                )
+        return
+    returns = spec.get("returns")
+    if returns is None:
+        return
+    if isinstance(returns, Sequence) and not isinstance(returns, Mapping):
+        values = result if isinstance(result, tuple) else (result,)
+        for position, item_spec in enumerate(returns):
+            if position < len(values):
+                _enforce_one(
+                    values[position],
+                    f"{label}(return[{position}])",
+                    item_spec,
+                    symbols,
+                )
+    else:
+        _enforce_one(result, f"{label}(return)", returns, symbols)
+
+
+def contract(
+    *,
+    shapes: Mapping[str, Sequence[int | str]] | None = None,
+    dtypes: Mapping[str, str] | None = None,
+    simplex: Sequence[str] = (),
+    nonnegative: Sequence[str] = (),
+    returns: Mapping[str, Any] | Sequence[Mapping[str, Any]] | None = None,
+) -> Callable[[_F], _F]:
+    """Declare array preconditions on a kernel or metric builder.
+
+    The declaration is attached to the function as ``__contract__`` and
+    checked *statically* at resolved call sites by ``repro lint
+    --dataflow`` (rules R200 and R202).  At runtime the checks only run
+    when ``REPRO_DEBUG_CONTRACTS=1``, raising :class:`ValidationError`
+    on violation — production call paths pay a single dict lookup.
+
+    ``shapes`` maps parameter names to shape tuples whose axes are
+    concrete extents or symbols (``("s", "L")``); a symbol must bind the
+    same extent everywhere it appears, across parameters and returns.
+    ``dtypes`` maps parameters to coarse kinds (``"float"`` accepts any
+    numeric dtype, ``"int"`` integers only).  ``simplex`` and
+    ``nonnegative`` list parameters carrying those invariants.
+    ``returns`` is a spec mapping (``{"shape": ..., "dtype": ...,
+    "simplex": True}``) or a sequence of such mappings for tuple
+    returns.
+    """
+    params: dict[str, dict[str, Any]] = {}
+    for name, shape in (shapes or {}).items():
+        params.setdefault(name, {})["shape"] = tuple(shape)
+    for name, dtype in (dtypes or {}).items():
+        params.setdefault(name, {})["dtype"] = dtype
+    for name in simplex:
+        params.setdefault(name, {})["simplex"] = True
+    for name in nonnegative:
+        params.setdefault(name, {})["nonnegative"] = True
+    spec: dict[str, Any] = {"params": params, "returns": returns}
+
+    def decorate(func: _F) -> _F:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if _contracts_enabled():
+                enforce_contract(func, spec, args, kwargs)
+                result = func(*args, **kwargs)
+                enforce_contract(
+                    func, spec, args, kwargs, result, check_result=True
+                )
+                return result
+            return func(*args, **kwargs)
+
+        wrapper.__contract__ = spec  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
 
 
 def unique_items(items: Iterable[Any], name: str) -> list[Any]:

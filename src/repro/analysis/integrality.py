@@ -107,6 +107,7 @@ def general_metric_gap_instance(n: int, far_distance: float) -> GapInstance:
     )
 
 
+# paper: Claim A.1, App. A
 def broom_gap_instance(k: int) -> GapInstance:
     """The unit-length Figure 1 instance: integral optimum ``k``, LP
     roughly ``3/2``, certifying a gap of ``Omega(sqrt(n))``."""

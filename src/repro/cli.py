@@ -8,7 +8,9 @@ Exposes the library's planning loop to shells and scripts::
     python -m repro evaluate placement.json       # delays/loads of a saved placement
     python -m repro gap --k 5                     # Figure 1 numbers
     python -m repro lint src --whole-program      # invariant linter (R001-R104)
+    python -m repro lint src --dataflow           # contract/dataflow rules (R200-R204)
     python -m repro deps src --dot                # module import graph
+    python -m repro trace --json                  # theorem traceability matrix
 
 Spec mini-language (shared by ``system`` and ``place``):
 
@@ -41,7 +43,14 @@ from .core import (
     solve_total_delay,
 )
 from .exceptions import ReproError, ValidationError
-from .lint.cli import add_deps_arguments, add_lint_arguments, run_deps, run_lint
+from .lint.cli import (
+    add_deps_arguments,
+    add_lint_arguments,
+    add_trace_arguments,
+    run_deps,
+    run_lint,
+    run_trace,
+)
 from .network import generators
 from .network.graph import Network
 from .quorums import (
@@ -347,6 +356,10 @@ def _cmd_deps(args: argparse.Namespace) -> int:
     return run_deps(args)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    return run_trace(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -420,7 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="run the invariant linter (R001-R007) over source paths",
+        help="run the invariant linter (R001-R204) over source paths",
         description="AST-based invariant linter; exit 0 clean, 1 findings. "
         "See docs/static_analysis.md for the rule catalogue.",
     )
@@ -435,6 +448,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_deps_arguments(p_deps)
     p_deps.set_defaults(func=_cmd_deps)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="render the paper-theorem traceability matrix (R204's view)",
+        description="Theorem rows from the design document vs '# paper:' "
+        "anchors in implementation and tests; --check exits 1 on gaps.",
+    )
+    add_trace_arguments(p_trace)
+    p_trace.set_defaults(func=_cmd_trace)
 
     return parser
 

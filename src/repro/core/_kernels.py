@@ -21,8 +21,9 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
-from .._validation import require
+from .._validation import contract, require
 from ..quorums.base import QuorumSystem
 
 __all__ = [
@@ -40,9 +41,10 @@ __all__ = [
 _MAX_BLOCK_ELEMENTS = 1 << 22
 
 
+@contract(returns={"shape": ("s", "L"), "dtype": "int"})
 def quorum_member_matrix(
     system: QuorumSystem, quorum_indices: Sequence[int]
-) -> np.ndarray:
+) -> NDArray[np.intp]:
     """Padded element-index rows for the selected quorums.
 
     Row ``i`` lists the universe indices of the members of quorum
@@ -55,7 +57,7 @@ def quorum_member_matrix(
     require(isinstance(system, QuorumSystem), "system must be a QuorumSystem")
     indices = [int(q) for q in quorum_indices]
     require(len(indices) > 0, "at least one quorum index is required")
-    rows = []
+    rows: list[list[int]] = []
     for q in indices:
         require(0 <= q < len(system), f"quorum index {q} out of range [0, {len(system)})")
         rows.append(sorted(system.element_index(u) for u in system.quorums[q]))
@@ -67,12 +69,28 @@ def quorum_member_matrix(
     return members
 
 
+@contract(
+    shapes={
+        "matrix": ("c", "n"),
+        "image_indices": ("U",),
+        "members": ("s", "L"),
+        "probabilities": ("s",),
+    },
+    dtypes={
+        "matrix": "float",
+        "image_indices": "int",
+        "members": "int",
+        "probabilities": "float",
+    },
+    simplex=("probabilities",),
+    returns={"shape": ("c",), "dtype": "float"},
+)
 def expected_max_delays(
-    matrix: np.ndarray,
-    image_indices: np.ndarray,
-    members: np.ndarray,
-    probabilities: np.ndarray,
-) -> np.ndarray:
+    matrix: NDArray[np.float64],
+    image_indices: NDArray[np.intp],
+    members: NDArray[np.intp],
+    probabilities: NDArray[np.float64],
+) -> NDArray[np.float64]:
     """``Delta_f(v)`` for every client ``v`` (equation (2)), batched.
 
     Parameters
@@ -112,9 +130,17 @@ def expected_max_delays(
     return result
 
 
+@contract(
+    shapes={"matrix": ("c", "n"), "image_indices": ("U",), "loads": ("U",)},
+    dtypes={"matrix": "float", "image_indices": "int", "loads": "float"},
+    nonnegative=("loads",),
+    returns={"shape": ("c",), "dtype": "float"},
+)
 def expected_total_delays(
-    matrix: np.ndarray, image_indices: np.ndarray, loads: np.ndarray
-) -> np.ndarray:
+    matrix: NDArray[np.float64],
+    image_indices: NDArray[np.intp],
+    loads: NDArray[np.float64],
+) -> NDArray[np.float64]:
     """``Gamma_f(v)`` for every client ``v`` via the identity
     ``Gamma_f(v) = sum_u load(u) d(v, f(u))`` (Section 5).
 
@@ -130,9 +156,15 @@ def expected_total_delays(
     return matrix[:, image_indices] @ loads
 
 
+@contract(
+    shapes={"image_indices": ("U",), "loads": ("U",)},
+    dtypes={"image_indices": "int", "loads": "float"},
+    nonnegative=("loads",),
+    returns={"shape": ("n",), "dtype": "float", "nonnegative": True},
+)
 def node_load_vector(
-    image_indices: np.ndarray, loads: np.ndarray, size: int
-) -> np.ndarray:
+    image_indices: NDArray[np.intp], loads: NDArray[np.float64], size: int
+) -> NDArray[np.float64]:
     """``load_f(v)`` per node index: element loads scattered onto their
     image nodes (zero where nothing is placed)."""
     require(np.ndim(image_indices) == 1, "image_indices must be 1-d")
@@ -147,7 +179,15 @@ def node_load_vector(
     return np.bincount(image_indices, weights=loads, minlength=size)
 
 
-def capacity_factors(load_vector: np.ndarray, capacities: np.ndarray) -> np.ndarray:
+@contract(
+    shapes={"load_vector": ("n",), "capacities": ("n",)},
+    dtypes={"load_vector": "float", "capacities": "float"},
+    nonnegative=("load_vector",),
+    returns={"shape": ("n",), "dtype": "float", "nonnegative": True},
+)
+def capacity_factors(
+    load_vector: NDArray[np.float64], capacities: NDArray[np.float64]
+) -> NDArray[np.float64]:
     """Per-node ``load_f(v) / cap(v)``: zero for unloaded nodes, ``inf``
     when a zero-capacity node carries positive load."""
     require(np.ndim(load_vector) == 1, "load_vector must be 1-d")
@@ -162,7 +202,14 @@ def capacity_factors(load_vector: np.ndarray, capacities: np.ndarray) -> np.ndar
     return factors
 
 
-def max_capacity_factor(load_vector: np.ndarray, capacities: np.ndarray) -> float:
+@contract(
+    shapes={"load_vector": ("n",), "capacities": ("n",)},
+    dtypes={"load_vector": "float", "capacities": "float"},
+    nonnegative=("load_vector",),
+)
+def max_capacity_factor(
+    load_vector: NDArray[np.float64], capacities: NDArray[np.float64]
+) -> float:
     """The largest ``load_f(v)/cap(v)`` over loaded nodes (0.0 when no
     node carries load) — the quantity Theorem 1.2 bounds by ``alpha+1``."""
     factors = capacity_factors(load_vector, capacities)

@@ -151,6 +151,7 @@ class GridLayoutResult:
     slots: list[Node]
 
 
+# paper: Thm 1.3, Thm B.1, §4
 def optimal_grid_placement(network: Network, source: Node, k: int) -> GridLayoutResult:
     """Place ``grid(k)`` optimally for source *source* (Theorem B.1).
 

@@ -146,6 +146,7 @@ class HardnessReduction:
         return expected_max_delay(placement, self.strategy, self.source)
 
 
+# paper: Thm 3.6, §3
 def reduce_scheduling_to_ssqpp(instance: SchedulingInstance) -> HardnessReduction:
     """Build the Theorem 3.6 placement instance for *instance*.
 

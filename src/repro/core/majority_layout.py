@@ -38,6 +38,7 @@ __all__ = [
 ]
 
 
+# paper: eq. (19), §4.2
 def majority_delay_formula(n: int, t: int, distances: list[float]) -> float:
     """Equation (19): the exact average delay of any placement of the
     ``t``-of-``n`` threshold system whose slots sit at *distances*.
@@ -83,6 +84,7 @@ class MajorityLayoutResult:
     slots: list[Node]
 
 
+# paper: Thm 1.3, §4
 def optimal_majority_placement(
     network: Network, source: Node, n: int, t: int | None = None
 ) -> MajorityLayoutResult:

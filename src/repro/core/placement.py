@@ -180,7 +180,14 @@ def _support_arrays(
     placement: Placement, strategy: AccessStrategy
 ) -> tuple[np.ndarray, np.ndarray]:
     """Padded member rows + probabilities for the strategy's support, the
-    inputs :func:`repro.core._kernels.expected_max_delays` consumes."""
+    inputs :func:`repro.core._kernels.expected_max_delays` consumes.
+
+    The support slice of a validated strategy still sums to one, because
+    every off-support probability is exactly zero.
+
+    contract: return[0]: shape (s, L), dtype int
+    contract: return[1]: shape (s,), dtype float, simplex
+    """
     support = strategy.support()
     members = quorum_member_matrix(placement.system, support)
     probabilities = strategy.probabilities[np.asarray(support, dtype=np.intp)]

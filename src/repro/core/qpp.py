@@ -84,6 +84,7 @@ class QPPResult:
         return 0.0 if self.average_delay == 0 else float("inf")
 
 
+# paper: Thm 1.2, Thm 3.3, §3
 def solve_qpp(
     system: QuorumSystem,
     strategy: AccessStrategy,

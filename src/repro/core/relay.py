@@ -102,6 +102,7 @@ def relay_delay(
     return to_v0 + float(per_client[placement.network.node_index(v0)])
 
 
+# paper: Lemma 3.1, §3
 def relay_analysis(
     placement: Placement,
     strategy: AccessStrategy,

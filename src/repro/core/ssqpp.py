@@ -446,6 +446,7 @@ def _filter_fractions(
     return filtered
 
 
+# paper: Thm 3.7, Thm 3.12, §3.3
 def solve_ssqpp(
     system: QuorumSystem,
     strategy: AccessStrategy,

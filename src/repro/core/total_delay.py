@@ -58,6 +58,7 @@ class TotalDelayResult:
         )
 
 
+# paper: Thm 1.4, §5
 def solve_total_delay(
     system: QuorumSystem,
     strategy: AccessStrategy,

@@ -10,10 +10,18 @@ ruleset (R100–R104, ``lint --whole-program``) checks the properties no
 single file can witness: the declared layer order holds, no module-level
 import cycles exist, CLI-reachable solvers validate before first use,
 the public API never leaks builtin exceptions from its callees, and
-every export is actually referenced.  The repository lints itself in CI
-and in ``tests/test_lint_self.py``, so refactors toward the
-production-scale roadmap cannot silently erode the invariants the
-paper's theorems rely on.
+every export is actually referenced.  The dataflow ruleset (R200–R204,
+``lint --dataflow``) goes one level deeper: a per-function control-flow
+graph and a forward abstract interpretation check declared shape/dtype
+contracts at every resolved call site, flag possibly-unbound locals,
+prove (or demand) the probability-simplex invariant on access-strategy
+arrays, keep every ``*_reference`` oracle paired with its vectorized
+twin, and hold the ``# paper:`` anchors and the design document's
+theorem table to bi-directional coverage (also rendered by ``repro
+trace``).  The repository lints itself in CI and in
+``tests/test_lint_self.py``, so refactors toward the production-scale
+roadmap cannot silently erode the invariants the paper's theorems rely
+on.
 
 Programmatic use::
 
@@ -30,9 +38,13 @@ See ``docs/static_analysis.md`` for the rule catalogue and rationale.
 
 from __future__ import annotations
 
+from . import dataflow_rules as _dataflow_rules  # noqa: F401  (registers R2xx)
 from . import rules as _rules  # noqa: F401  (imports register the ruleset)
 from .config import LintConfig, config_from_table, load_config, merge_cli_options
+from .contracts import FunctionContract, extract_module_contracts
+from .dataflow_rules import DataflowContext, build_dataflow_context
 from .engine import (
+    DataflowRule,
     ModuleContext,
     ParseCache,
     ParsedFile,
@@ -49,9 +61,19 @@ from .findings import Finding, render_json, render_text, sort_findings
 from .interproc import ProgramContext, build_program_context, load_module_graph
 from .modgraph import ImportEdge, ModuleGraph
 from .suppressions import SuppressionTable, collect_suppressions
+from .trace import (
+    TraceMatrix,
+    build_matrix,
+    render_matrix_json,
+    render_matrix_markdown,
+    render_matrix_text,
+)
 
 __all__ = [
+    "DataflowContext",
+    "DataflowRule",
     "Finding",
+    "FunctionContract",
     "ImportEdge",
     "LintConfig",
     "ModuleContext",
@@ -62,9 +84,13 @@ __all__ = [
     "ProgramRule",
     "Rule",
     "SuppressionTable",
+    "TraceMatrix",
+    "build_dataflow_context",
+    "build_matrix",
     "build_program_context",
     "collect_suppressions",
     "config_from_table",
+    "extract_module_contracts",
     "lint_file",
     "lint_paths",
     "lint_source",
@@ -75,6 +101,9 @@ __all__ = [
     "register_rule",
     "registered_rules",
     "render_json",
+    "render_matrix_json",
+    "render_matrix_markdown",
+    "render_matrix_text",
     "render_text",
     "sort_findings",
 ]

@@ -1,0 +1,561 @@
+"""Per-function control-flow graphs lowered from the AST.
+
+The dataflow tier (:mod:`repro.lint.dataflow`, rules R200-R204) needs to
+reason about *paths* through a function — which names are bound on every
+path reaching a use, what abstract facts hold at a call site — so this
+module lowers each function body into a small CFG:
+
+* one :class:`Block` per simple statement (function bodies here are
+  small, so per-statement granularity costs nothing and makes ``try``
+  handling exact);
+* each block carries an ordered list of :class:`Event` records — name
+  *uses*, name *binds* (with the bound value expression when the target
+  is a plain name), ``del`` unbinds, and *call* markers used by the
+  abstract interpreter to snapshot its environment at call sites;
+* edges follow real control flow: both branches of ``if``, the
+  zero-iteration exit edge of loops, ``break``/``continue``, early
+  ``return``/``raise`` to the exit block, and — conservatively — an edge
+  from every block inside a ``try`` body to every handler head, because
+  an exception can interrupt the body at any point before a binding.
+
+Scoping follows Python's rules exactly where it matters for the
+uninitialized-use analysis: comprehension targets live in their own
+scope and are masked, lambda and nested ``def``/``class`` bodies are not
+descended into (their names resolve at call time), ``global``/
+``nonlocal`` names are reported so the analysis can exclude them, and an
+``except E as e`` binding is deleted again when the handler exits, as
+the interpreter really does.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "Block", "ControlFlowGraph", "build_cfg"]
+
+#: Event kinds, in the order the lowering emits them.
+USE = "use"
+BIND = "bind"
+DELETE = "del"
+CALL = "call"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One name-level action inside a block, in evaluation order."""
+
+    #: ``"use"``, ``"bind"``, ``"del"`` or ``"call"``.
+    kind: str
+    #: The local name acted on (empty for ``call`` events).
+    name: str
+    #: The AST node the event anchors to (for findings / snapshots).
+    node: ast.AST
+    #: For ``bind`` events on plain names: the bound value expression,
+    #: when one exists (``None`` for loop targets, unpacking, imports).
+    value: ast.expr | None = None
+
+
+@dataclass
+class Block:
+    """A straight-line run of events with explicit successor edges."""
+
+    index: int
+    events: list[Event] = field(default_factory=list)
+    successors: set[int] = field(default_factory=set)
+    predecessors: set[int] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class ControlFlowGraph:
+    """The lowered CFG of one function."""
+
+    #: Blocks indexed by :attr:`Block.index`.
+    blocks: tuple[Block, ...]
+    #: Index of the entry block (parameters are bound here).
+    entry: int
+    #: Index of the synthetic exit block (returns/raises lead here).
+    exit: int
+    #: Parameter names, bound on entry.
+    params: tuple[str, ...]
+    #: Names declared ``global`` or ``nonlocal`` anywhere in the body.
+    declared_global: frozenset[str]
+
+    def local_names(self) -> frozenset[str]:
+        """Names bound somewhere in the function (Python's local rule),
+        excluding ``global``/``nonlocal`` declarations."""
+        bound = {
+            event.name
+            for block in self.blocks
+            for event in block.events
+            if event.kind == BIND
+        }
+        bound.update(self.params)
+        return frozenset(bound - self.declared_global)
+
+
+_SKIPPED_SCOPES = (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _comprehension_targets(node: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for generator in getattr(node, "generators", []):
+        for target in ast.walk(generator.target):
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _expression_events(
+    node: ast.expr | None, out: list[Event], mask: frozenset[str]
+) -> None:
+    """Append use/bind/call events of *node* in approximate eval order."""
+    if node is None:
+        return
+    if isinstance(node, ast.Name):
+        if isinstance(node.ctx, ast.Load) and node.id not in mask:
+            out.append(Event(USE, node.id, node))
+        return
+    if isinstance(node, ast.NamedExpr):
+        _expression_events(node.value, out, mask)
+        if isinstance(node.target, ast.Name) and node.target.id not in mask:
+            out.append(Event(BIND, node.target.id, node.target, node.value))
+        return
+    if isinstance(node, ast.Lambda):
+        for default in (*node.args.defaults, *node.args.kw_defaults):
+            _expression_events(default, out, mask)
+        return  # the body runs later, in its own scope
+    if isinstance(
+        node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+    ):
+        inner_mask = mask | frozenset(_comprehension_targets(node))
+        generators = node.generators
+        if generators:
+            # The first iterable is evaluated eagerly in this scope.
+            _expression_events(generators[0].iter, out, mask)
+        for position, generator in enumerate(generators):
+            if position > 0:
+                _expression_events(generator.iter, out, inner_mask)
+            for condition in generator.ifs:
+                _expression_events(condition, out, inner_mask)
+        if isinstance(node, ast.DictComp):
+            _expression_events(node.key, out, inner_mask)
+            _expression_events(node.value, out, inner_mask)
+        else:
+            _expression_events(node.elt, out, inner_mask)
+        return
+    if isinstance(node, ast.Call):
+        _expression_events(node.func, out, mask)
+        for argument in node.args:
+            _expression_events(argument, out, mask)
+        for keyword in node.keywords:
+            _expression_events(keyword.value, out, mask)
+        out.append(Event(CALL, "", node))
+        return
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.expr):
+            _expression_events(child, out, mask)
+        elif isinstance(child, (ast.comprehension, ast.keyword)):
+            _expression_events(
+                child.iter if isinstance(child, ast.comprehension) else child.value,
+                out,
+                mask,
+            )
+
+
+def _element_expression(value: ast.expr | None, index: int) -> ast.expr | None:
+    """A synthetic ``value[index]`` expression for unpacking binds, so the
+    abstract interpreter can project tuple-element facts through
+    ``a, b = helper(...)`` assignments."""
+    if value is None:
+        return None
+    if isinstance(value, (ast.Tuple, ast.List)):
+        if index < len(value.elts) and not any(
+            isinstance(element, ast.Starred) for element in value.elts
+        ):
+            return value.elts[index]
+        return None
+    if isinstance(value, (ast.Call, ast.Name, ast.Attribute, ast.Subscript)):
+        subscript = ast.Subscript(
+            value=value,
+            slice=ast.Constant(value=index),
+            ctx=ast.Load(),
+        )
+        ast.copy_location(subscript, value)
+        ast.copy_location(subscript.slice, value)
+        return subscript
+    return None
+
+
+def _bind_target(
+    target: ast.expr, out: list[Event], value: ast.expr | None
+) -> None:
+    """Lower an assignment target: plain names bind, the rest only use."""
+    if isinstance(target, ast.Name):
+        out.append(Event(BIND, target.id, target, value))
+        return
+    if isinstance(target, (ast.Tuple, ast.List)):
+        has_star = any(isinstance(e, ast.Starred) for e in target.elts)
+        for index, element in enumerate(target.elts):
+            _bind_target(
+                element,
+                out,
+                None if has_star else _element_expression(value, index),
+            )
+        return
+    if isinstance(target, ast.Starred):
+        _bind_target(target.value, out, None)
+        return
+    # Attribute / subscript targets: the base object is *used*.
+    _expression_events(target, out, frozenset())
+
+
+def _pattern_bindings(pattern: ast.pattern, out: list[Event]) -> None:
+    """Names captured by a ``match`` case pattern."""
+    if isinstance(pattern, ast.MatchAs) and pattern.name is not None:
+        out.append(Event(BIND, pattern.name, pattern))
+    if isinstance(pattern, ast.MatchStar) and pattern.name is not None:
+        out.append(Event(BIND, pattern.name, pattern))
+    if isinstance(pattern, ast.MatchMapping) and pattern.rest is not None:
+        out.append(Event(BIND, pattern.rest, pattern))
+    for child in ast.iter_child_nodes(pattern):
+        if isinstance(child, ast.pattern):
+            _pattern_bindings(child, out)
+        elif isinstance(child, ast.expr):
+            _expression_events(child, out, frozenset())
+
+
+class _Builder:
+    """Stateful CFG construction over one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        #: (header index, after index) of enclosing loops.
+        self.loop_stack: list[tuple[int, int]] = []
+        #: Handler-head indices of enclosing ``try`` statements whose
+        #: *body* is currently being lowered.
+        self.try_stack: list[list[int]] = []
+        self.declared_global: set[str] = set()
+
+    def _new_block(self) -> int:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block.index
+
+    def _edge(self, source: int, target: int) -> None:
+        self.blocks[source].successors.add(target)
+        self.blocks[target].predecessors.add(source)
+
+    def _statement_block(self, current: int | None) -> int:
+        block = self._new_block()
+        if current is not None:
+            self._edge(current, block)
+        # An exception may fire inside this statement, reaching every
+        # enclosing handler with the state *before* the statement's binds.
+        for handlers in self.try_stack:
+            for head in handlers:
+                self._edge(block, head)
+        return block
+
+    def _events(self, block: int, events: Iterable[Event]) -> None:
+        self.blocks[block].events.extend(events)
+
+    def lower_body(
+        self, body: Sequence[ast.stmt], current: int | None
+    ) -> int | None:
+        """Lower *body*, returning the fall-through block (or ``None``)."""
+        for statement in body:
+            current = self.lower_statement(statement, current)
+        return current
+
+    def lower_statement(
+        self, statement: ast.stmt, current: int | None
+    ) -> int | None:
+        events: list[Event] = []
+        if isinstance(statement, ast.Assign):
+            _expression_events(statement.value, events, frozenset())
+            for target in statement.targets:
+                _bind_target(target, events, statement.value)
+            block = self._statement_block(current)
+            self._events(block, events)
+            return block
+        if isinstance(statement, ast.AnnAssign):
+            if statement.value is None:
+                return current  # a bare annotation binds nothing
+            _expression_events(statement.value, events, frozenset())
+            _bind_target(statement.target, events, statement.value)
+            block = self._statement_block(current)
+            self._events(block, events)
+            return block
+        if isinstance(statement, ast.AugAssign):
+            if isinstance(statement.target, ast.Name):
+                events.append(Event(USE, statement.target.id, statement.target))
+            else:
+                _expression_events(statement.target, events, frozenset())
+            _expression_events(statement.value, events, frozenset())
+            _bind_target(statement.target, events, None)
+            block = self._statement_block(current)
+            self._events(block, events)
+            return block
+        if isinstance(statement, (ast.Expr, ast.Assert)):
+            if isinstance(statement, ast.Assert):
+                _expression_events(statement.test, events, frozenset())
+                _expression_events(statement.msg, events, frozenset())
+            else:
+                _expression_events(statement.value, events, frozenset())
+            block = self._statement_block(current)
+            self._events(block, events)
+            return block
+        if isinstance(statement, ast.Return):
+            _expression_events(statement.value, events, frozenset())
+            block = self._statement_block(current)
+            self._events(block, events)
+            self._edge(block, self.exit)
+            return None
+        if isinstance(statement, ast.Raise):
+            _expression_events(statement.exc, events, frozenset())
+            _expression_events(statement.cause, events, frozenset())
+            block = self._statement_block(current)
+            self._events(block, events)
+            self._edge(block, self.exit)
+            return None
+        if isinstance(statement, ast.Delete):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    events.append(Event(DELETE, target.id, target))
+                else:
+                    _expression_events(target, events, frozenset())
+            block = self._statement_block(current)
+            self._events(block, events)
+            return block
+        if isinstance(statement, (ast.Import, ast.ImportFrom)):
+            block = self._statement_block(current)
+            for alias in statement.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name.partition(".")[0]
+                self._events(block, [Event(BIND, bound, statement)])
+            return block
+        if isinstance(statement, (ast.Global, ast.Nonlocal)):
+            self.declared_global.update(statement.names)
+            return current
+        if isinstance(statement, (ast.Pass,)):
+            return current
+        if isinstance(statement, ast.Break):
+            block = self._statement_block(current)
+            if self.loop_stack:
+                self._edge(block, self.loop_stack[-1][1])
+            else:
+                self._edge(block, self.exit)
+            return None
+        if isinstance(statement, ast.Continue):
+            block = self._statement_block(current)
+            if self.loop_stack:
+                self._edge(block, self.loop_stack[-1][0])
+            else:
+                self._edge(block, self.exit)
+            return None
+        if isinstance(statement, ast.If):
+            _expression_events(statement.test, events, frozenset())
+            condition = self._statement_block(current)
+            self._events(condition, events)
+            after = self._new_block()
+            then_end = self.lower_body(statement.body, condition)
+            if then_end is not None:
+                self._edge(then_end, after)
+            if statement.orelse:
+                else_end = self.lower_body(statement.orelse, condition)
+                if else_end is not None:
+                    self._edge(else_end, after)
+            else:
+                self._edge(condition, after)
+            return after if self.blocks[after].predecessors else None
+        if isinstance(statement, ast.While):
+            _expression_events(statement.test, events, frozenset())
+            header = self._statement_block(current)
+            self._events(header, events)
+            after = self._new_block()
+            self.loop_stack.append((header, after))
+            body_end = self.lower_body(statement.body, header)
+            self.loop_stack.pop()
+            if body_end is not None:
+                self._edge(body_end, header)
+            always_true = (
+                isinstance(statement.test, ast.Constant)
+                and bool(statement.test.value)
+            )
+            exit_path = header
+            if statement.orelse:
+                exit_path = self.lower_body(statement.orelse, header)
+            if not always_true and exit_path is not None:
+                self._edge(exit_path, after)
+            return after if self.blocks[after].predecessors else None
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            _expression_events(statement.iter, events, frozenset())
+            header = self._statement_block(current)
+            self._events(header, events)
+            after = self._new_block()
+            # The loop target binds only on the iteration path.
+            bind_block = self._statement_block(header)
+            bind_events: list[Event] = []
+            _bind_target(statement.target, bind_events, None)
+            self._events(bind_block, bind_events)
+            self.loop_stack.append((header, after))
+            body_end = self.lower_body(statement.body, bind_block)
+            self.loop_stack.pop()
+            if body_end is not None:
+                self._edge(body_end, header)
+            exit_path: int | None = header
+            if statement.orelse:
+                exit_path = self.lower_body(statement.orelse, header)
+            if exit_path is not None:
+                self._edge(exit_path, after)
+            return after if self.blocks[after].predecessors else None
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                _expression_events(item.context_expr, events, frozenset())
+                if item.optional_vars is not None:
+                    _bind_target(item.optional_vars, events, None)
+            block = self._statement_block(current)
+            self._events(block, events)
+            return self.lower_body(statement.body, block)
+        if isinstance(statement, ast.Try):
+            return self._lower_try(statement, current)
+        if isinstance(statement, ast.Match):
+            return self._lower_match(statement, current)
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for decorator in statement.decorator_list:
+                _expression_events(decorator, events, frozenset())
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for default in (
+                    *statement.args.defaults,
+                    *(d for d in statement.args.kw_defaults if d is not None),
+                ):
+                    _expression_events(default, events, frozenset())
+            events.append(Event(BIND, statement.name, statement))
+            block = self._statement_block(current)
+            self._events(block, events)
+            return block
+        # Unknown/rare statements: treat as a linear no-op over their
+        # expressions so the analysis stays sound for what it tracks.
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.expr):
+                _expression_events(child, events, frozenset())
+        block = self._statement_block(current)
+        self._events(block, events)
+        return block
+
+    def _lower_try(self, statement: ast.Try, current: int | None) -> int | None:
+        after = self._new_block()
+        # Handler heads first, so body blocks can point at them.
+        heads: list[int] = []
+        for handler in statement.handlers:
+            head = self._new_block()
+            head_events: list[Event] = []
+            _expression_events(handler.type, head_events, frozenset())
+            if handler.name is not None:
+                head_events.append(Event(BIND, handler.name, handler))
+            self._events(head, head_events)
+            heads.append(head)
+        if current is not None and heads:
+            # An exception before the first body statement completes
+            # sees the state at try entry.
+            for head in heads:
+                self._edge(current, head)
+        self.try_stack.append(heads)
+        body_end = self.lower_body(statement.body, current)
+        self.try_stack.pop()
+        ends: list[int] = []
+        if statement.orelse:
+            body_end = self.lower_body(statement.orelse, body_end)
+        if body_end is not None:
+            ends.append(body_end)
+        for handler, head in zip(statement.handlers, heads):
+            handler_end = self.lower_body(handler.body, head)
+            if handler_end is not None:
+                if handler.name is not None:
+                    # Python unbinds `except E as e` on handler exit.
+                    unbind = self._statement_block(handler_end)
+                    self._events(unbind, [Event(DELETE, handler.name, handler)])
+                    handler_end = unbind
+                ends.append(handler_end)
+        join: int | None
+        if ends:
+            join = self._new_block()
+            for end in ends:
+                self._edge(end, join)
+        else:
+            join = None
+        if statement.finalbody:
+            return self.lower_body(statement.finalbody, join)
+        return join
+
+    def _lower_match(self, statement: ast.Match, current: int | None) -> int | None:
+        events: list[Event] = []
+        _expression_events(statement.subject, events, frozenset())
+        header = self._statement_block(current)
+        self._events(header, events)
+        after = self._new_block()
+        for case in statement.cases:
+            head = self._statement_block(header)
+            head_events: list[Event] = []
+            _pattern_bindings(case.pattern, head_events)
+            _expression_events(case.guard, head_events, frozenset())
+            self._events(head, head_events)
+            case_end = self.lower_body(case.body, head)
+            if case_end is not None:
+                self._edge(case_end, after)
+        # No case may match: control falls through the header.
+        self._edge(header, after)
+        return after
+
+
+def _parameter_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = func.args
+    return tuple(
+        a.arg
+        for a in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *((args.vararg,) if args.vararg else ()),
+            *((args.kwarg,) if args.kwarg else ()),
+        )
+    )
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> ControlFlowGraph:
+    """Lower *func* into a :class:`ControlFlowGraph`.
+
+    The entry block is empty (parameters are modelled via
+    :attr:`ControlFlowGraph.params`); a fall-through end of the body gets
+    an implicit edge to the exit block (the implicit ``return None``).
+    """
+    builder = _Builder()
+    end = builder.lower_body(func.body, builder.entry)
+    if end is not None:
+        builder._edge(end, builder.exit)
+    return ControlFlowGraph(
+        blocks=tuple(builder.blocks),
+        entry=builder.entry,
+        exit=builder.exit,
+        params=_parameter_names(func),
+        declared_global=frozenset(builder.declared_global),
+    )
+
+
+def iter_reachable(graph: ControlFlowGraph) -> Iterator[Block]:
+    """Blocks reachable from the entry, in index order."""
+    seen: set[int] = set()
+    frontier = [graph.entry]
+    while frontier:
+        index = frontier.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        frontier.extend(graph.blocks[index].successors)
+    for index in sorted(seen):
+        yield graph.blocks[index]

@@ -1,7 +1,7 @@
-"""Command-line front-end for the linter and the import-graph viewer.
+"""Command-line front-end for the linter, deps viewer and trace matrix.
 
 Used both standalone (``python -m repro.lint``) and as the ``repro
-lint`` / ``repro deps`` subcommands of the main CLI.  Exit codes follow
+lint`` / ``repro deps`` / ``repro trace`` subcommands of the main CLI.  Exit codes follow
 convention:
 
 * 0 — no findings (or none that ``--fail-on`` gates on)
@@ -28,8 +28,10 @@ from .modgraph import render_deps_dot, render_deps_json, render_deps_tree
 __all__ = [
     "add_lint_arguments",
     "add_deps_arguments",
+    "add_trace_arguments",
     "run_lint",
     "run_deps",
+    "run_trace",
     "main",
 ]
 
@@ -76,6 +78,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="also run the graph-level R100-series rules (layering, "
         "cycles, validation flow, exception escape, dead exports)",
+    )
+    parser.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="also run the R200-series dataflow and contract rules "
+        "(call-site shape/dtype contracts, unbound locals, simplex "
+        "invariants, oracle pairing, paper traceability)",
     )
     parser.add_argument(
         "--fail-on",
@@ -195,7 +204,10 @@ def run_lint(args: argparse.Namespace) -> int:
         return 0
     config = _resolve_config(args)
     findings = lint_paths(
-        args.paths, config, whole_program=bool(getattr(args, "whole_program", False))
+        args.paths,
+        config,
+        whole_program=bool(getattr(args, "whole_program", False)),
+        dataflow=bool(getattr(args, "dataflow", False)),
     )
     baseline_path = getattr(args, "baseline", None)
     if baseline_path is not None:
@@ -213,6 +225,68 @@ def run_lint(args: argparse.Namespace) -> int:
         print("clean: no findings")
     fail_on = getattr(args, "fail_on", "any")
     return 1 if any(_gates_exit(f, fail_on) for f in findings) else 0
+
+
+def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``trace`` options to *parser*."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="implementation files or directories to scan (default: src)",
+    )
+    rendering = parser.add_mutually_exclusive_group()
+    rendering.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="emit the stable machine-readable coverage document",
+    )
+    rendering.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown table suitable for embedding in README",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml to read [tool.repro-lint] from "
+        "(default: nearest one above the first path)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every theorem row is covered on both sides "
+        "and no unknown anchors exist",
+    )
+
+
+def run_trace(args: argparse.Namespace) -> int:
+    """Execute a parsed ``trace`` invocation; returns the exit code."""
+    # Runtime import: trace shares the parse/dataflow substrate, but the
+    # deps-only code path must not pay for it.
+    from .dataflow_rules import build_dataflow_context
+    from .engine import ParseCache, iter_python_files
+    from .interproc import build_program_context
+    from .trace import render_matrix_json, render_matrix_markdown, render_matrix_text
+
+    config = _base_config(args)
+    cache = ParseCache()
+    parsed = [cache.parsed(path) for path in iter_python_files(args.paths, config)]
+    program = build_program_context(parsed, config, cache=cache)
+    matrix = build_dataflow_context(program, cache=cache).trace_matrix()
+    if args.json_output:
+        print(render_matrix_json(matrix))
+    elif args.markdown:
+        print(render_matrix_markdown(matrix))
+    else:
+        print(render_matrix_text(matrix))
+    if args.check:
+        covered, total = matrix.coverage_counts()
+        if covered < total or matrix.unknown:
+            return 1
+    return 0
 
 
 def run_deps(args: argparse.Namespace) -> int:

@@ -15,7 +15,8 @@ the linter is useful with no configuration at all::
     exempt = ["R001:repro.core.x.fn"]  # per-symbol exemptions
     layers = [["repro.exceptions"], ["repro.core"]]  # R100 layer order
     entry-roots = ["repro.cli"]        # call-graph roots (R102/R104)
-    usage-roots = ["tests"]            # API-usage scan dirs (R104)
+    usage-roots = ["tests"]            # API-usage scan dirs (R104, R203/R204)
+    design-doc = "DESIGN.md"           # theorem table source (R204)
 
 TOML parsing uses :mod:`tomllib` (Python >= 3.11) and falls back to the
 ``tomli`` backport when present; with neither, the defaults are used and
@@ -143,6 +144,9 @@ class LintConfig:
     #: Directories (relative to the project root) scanned for API usage
     #: by R104; missing directories are skipped.
     usage_roots: tuple[str, ...] = ("tests", "examples", "benchmarks")
+    #: Markdown design document (relative to the project root) holding
+    #: the theorem table that R204 / ``repro trace`` check against.
+    design_doc: str = "DESIGN.md"
     #: Directory containing the ``pyproject.toml`` the config came from;
     #: set by :func:`load_config`, not configurable.  ``None`` restricts
     #: R104's usage scan to the in-package entry roots.
@@ -173,13 +177,14 @@ _KEY_MAP: Mapping[str, str] = {
     "layers": "layers",
     "entry-roots": "entry_roots",
     "usage-roots": "usage_roots",
+    "design-doc": "design_doc",
 }
 
 
 def _coerce(name: str, value: Any) -> Any:
     """Coerce a raw TOML value to the type of the config field *name*."""
     kind = {f.name: f.type for f in fields(LintConfig)}[name]
-    if name == "checker_pattern":
+    if name in {"checker_pattern", "design_doc"}:
         if not isinstance(value, str):
             raise LintError(f"repro-lint option {name!r} must be a string")
         return value

@@ -1,0 +1,340 @@
+"""Static extraction of ``@contract`` declarations.
+
+The runtime side lives in :func:`repro._validation.contract`; this
+module reads the *same* declarations straight from the AST so the
+R200-series rules can check call sites without importing anything.
+
+Two declaration forms are recognized on module-level functions:
+
+* the decorator, with **literal** keyword arguments::
+
+      @contract(shapes={"matrix": ("c", "n")}, simplex=("p",))
+      def kernel(matrix, p): ...
+
+  Non-literal arguments cannot be evaluated statically and are reported
+  as contract problems (surfaced through R200).
+
+* a docstring annotation fallback, for helpers where a decorator would
+  be noise (or would perturb hot-path profiles)::
+
+      contract: strategy: shape (s,), dtype float, simplex
+      contract: return[1]: simplex, nonnegative
+
+  Each ``contract:`` line names a parameter, ``return``, or
+  ``return[i]`` for tuple returns, followed by comma-separated clauses
+  ``shape (...)``, ``dtype <kind>``, ``simplex``, ``nonnegative``.
+
+Both forms produce the same spec structure the runtime decorator
+attaches as ``__contract__``: a ``params`` mapping plus an optional
+``returns`` spec (one mapping, or a tuple of mappings for tuple
+returns).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from .dataflow import Fact
+
+__all__ = [
+    "FunctionContract",
+    "extract_module_contracts",
+    "fact_from_spec",
+    "parameter_fact",
+    "return_fact",
+]
+
+_DECORATOR_KEYWORDS = frozenset(
+    {"shapes", "dtypes", "simplex", "nonnegative", "returns"}
+)
+_DTYPE_KINDS = frozenset({"float", "int", "bool"})
+_CONTRACT_LINE = re.compile(
+    r"^\s*contract:\s*(?P<target>return(?:\[\d+\])?|[A-Za-z_]\w*)\s*:\s*(?P<clauses>.+?)\s*$"
+)
+_RETURN_INDEX = re.compile(r"^return\[(\d+)\]$")
+_SYMBOL = re.compile(r"^[A-Za-z_]\w*$")
+
+
+@dataclass(frozen=True)
+class FunctionContract:
+    """One function's declared contract, in runtime-spec form."""
+
+    module: str
+    name: str
+    line: int
+    #: Parameter name -> spec mapping (``shape``/``dtype``/``simplex``/
+    #: ``nonnegative`` keys), same structure as ``__contract__``.
+    params: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    #: ``None``, one spec mapping, or a tuple of spec mappings.
+    returns: Any = None
+    #: Parameter names of the function, in declaration order.
+    signature: tuple[str, ...] = ()
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+def _signature_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = func.args
+    return tuple(
+        a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    )
+
+
+def _is_contract_decorator(node: ast.expr) -> ast.Call | None:
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    return node if name == "contract" else None
+
+
+def _literal(node: ast.expr) -> Any:
+    """``ast.literal_eval`` that surfaces failure as ``ValueError``."""
+    return ast.literal_eval(node)
+
+
+def _spec_from_decorator(
+    call: ast.Call, problems: list[tuple[int, str]]
+) -> tuple[dict[str, dict[str, Any]], Any]:
+    params: dict[str, dict[str, Any]] = {}
+    returns: Any = None
+    if call.args:
+        problems.append(
+            (call.lineno, "contract() takes keyword arguments only")
+        )
+    for keyword in call.keywords:
+        if keyword.arg is None or keyword.arg not in _DECORATOR_KEYWORDS:
+            problems.append(
+                (
+                    call.lineno,
+                    f"unknown contract() argument {keyword.arg!r}"
+                    if keyword.arg
+                    else "contract() does not accept ** expansion",
+                )
+            )
+            continue
+        try:
+            value = _literal(keyword.value)
+        except ValueError:
+            problems.append(
+                (
+                    keyword.value.lineno,
+                    f"contract() argument {keyword.arg!r} must be a literal "
+                    "so it can be checked statically",
+                )
+            )
+            continue
+        if keyword.arg == "shapes":
+            for name, shape in dict(value).items():
+                params.setdefault(name, {})["shape"] = tuple(shape)
+        elif keyword.arg == "dtypes":
+            for name, dtype in dict(value).items():
+                params.setdefault(name, {})["dtype"] = dtype
+        elif keyword.arg in {"simplex", "nonnegative"}:
+            for name in tuple(value):
+                params.setdefault(name, {})[keyword.arg] = True
+        else:  # returns
+            returns = value
+    return params, returns
+
+
+def _parse_shape(text: str, line: int, problems: list[tuple[int, str]]) -> tuple[Any, ...] | None:
+    text = text.strip()
+    if not (text.startswith("(") and text.endswith(")")):
+        problems.append((line, f"contract shape must be parenthesized: {text!r}"))
+        return None
+    axes: list[Any] = []
+    for token in text[1:-1].split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token.lstrip("-").isdigit():
+            axes.append(int(token))
+        elif _SYMBOL.match(token):
+            axes.append(token)
+        else:
+            problems.append((line, f"bad contract shape axis {token!r}"))
+            return None
+    return tuple(axes)
+
+
+def _split_clauses(text: str) -> list[str]:
+    clauses: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(0, depth - 1)
+        if char == "," and depth == 0:
+            clauses.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        clauses.append(tail)
+    return [clause for clause in clauses if clause]
+
+
+def _spec_from_clauses(
+    clauses: Sequence[str], line: int, problems: list[tuple[int, str]]
+) -> dict[str, Any]:
+    spec: dict[str, Any] = {}
+    for clause in clauses:
+        head, _, rest = clause.partition(" ")
+        head = head.strip().lower()
+        rest = rest.strip()
+        if head == "shape":
+            shape = _parse_shape(rest, line, problems)
+            if shape is not None:
+                spec["shape"] = shape
+        elif head == "dtype":
+            if rest in _DTYPE_KINDS:
+                spec["dtype"] = rest
+            else:
+                problems.append((line, f"unknown contract dtype {rest!r}"))
+        elif head == "simplex" and not rest:
+            spec["simplex"] = True
+        elif head == "nonnegative" and not rest:
+            spec["nonnegative"] = True
+        else:
+            problems.append((line, f"unknown contract clause {clause!r}"))
+    return spec
+
+
+def _spec_from_docstring(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    problems: list[tuple[int, str]],
+) -> tuple[dict[str, dict[str, Any]], Any]:
+    docstring = ast.get_docstring(func, clean=True)
+    params: dict[str, dict[str, Any]] = {}
+    single_return: dict[str, Any] | None = None
+    indexed_returns: dict[int, dict[str, Any]] = {}
+    if not docstring:
+        return params, None
+    for offset, raw_line in enumerate(docstring.splitlines()):
+        matched = _CONTRACT_LINE.match(raw_line)
+        if matched is None:
+            continue
+        line = func.lineno + offset  # approximate, good enough to anchor
+        target = matched.group("target")
+        spec = _spec_from_clauses(
+            _split_clauses(matched.group("clauses")), line, problems
+        )
+        if not spec:
+            continue
+        index_match = _RETURN_INDEX.match(target)
+        if index_match is not None:
+            indexed_returns[int(index_match.group(1))] = spec
+        elif target == "return":
+            single_return = spec
+        else:
+            params.setdefault(target, {}).update(spec)
+    returns: Any = single_return
+    if indexed_returns:
+        if single_return is not None:
+            problems.append(
+                (func.lineno, "mix of 'return' and 'return[i]' contract lines")
+            )
+        size = max(indexed_returns) + 1
+        returns = tuple(indexed_returns.get(i, {}) for i in range(size))
+    return params, returns
+
+
+def extract_module_contracts(
+    module: str, tree: ast.Module
+) -> tuple[dict[str, FunctionContract], list[tuple[int, str]]]:
+    """All contract declarations on module-level functions of *tree*.
+
+    Returns the contracts keyed by dotted qualified name, plus a list of
+    ``(line, message)`` problems for malformed declarations (surfaced by
+    R200 so broken contracts fail loudly instead of silently checking
+    nothing).
+    """
+    contracts: dict[str, FunctionContract] = {}
+    problems: list[tuple[int, str]] = []
+    for node in tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        local_problems: list[tuple[int, str]] = []
+        params: dict[str, dict[str, Any]] = {}
+        returns: Any = None
+        declared = False
+        for decorator in node.decorator_list:
+            call = _is_contract_decorator(decorator)
+            if call is None:
+                continue
+            declared = True
+            params, returns = _spec_from_decorator(call, local_problems)
+        if not declared:
+            params, returns = _spec_from_docstring(node, local_problems)
+            declared = bool(params) or returns is not None
+        signature = _signature_names(node)
+        for name in params:
+            if name not in signature:
+                local_problems.append(
+                    (
+                        node.lineno,
+                        f"contract on {node.name!r} names unknown "
+                        f"parameter {name!r}",
+                    )
+                )
+        problems.extend(local_problems)
+        if not declared or (not params and returns is None):
+            continue
+        contract = FunctionContract(
+            module=module,
+            name=node.name,
+            line=node.lineno,
+            params={k: dict(v) for k, v in params.items() if k in signature},
+            returns=returns,
+            signature=signature,
+        )
+        contracts[contract.qualified] = contract
+    return contracts, problems
+
+
+def fact_from_spec(spec: Mapping[str, Any]) -> Fact:
+    """The abstract :class:`Fact` a spec guarantees about a value."""
+    shape = spec.get("shape")
+    rank = None if shape is None else len(shape)
+    dims = None if shape is None else tuple(
+        axis if isinstance(axis, (int, str)) else None for axis in shape
+    )
+    return Fact(
+        rank=rank,
+        dims=dims,
+        dtype=spec.get("dtype"),
+        simplex=bool(spec.get("simplex")),
+        nonnegative=bool(spec.get("simplex")) or bool(spec.get("nonnegative")),
+    )
+
+
+def parameter_fact(contract: FunctionContract, name: str) -> Fact:
+    spec = contract.params.get(name)
+    return Fact() if spec is None else fact_from_spec(spec)
+
+
+def return_fact(contract: FunctionContract) -> Fact:
+    """The fact describing a call's result (tuple returns project
+    through :attr:`Fact.elements`)."""
+    returns = contract.returns
+    if returns is None:
+        return Fact()
+    if isinstance(returns, Mapping):
+        return fact_from_spec(returns)
+    if isinstance(returns, Sequence):
+        return Fact(
+            elements=tuple(fact_from_spec(dict(item)) for item in returns)
+        )
+    return Fact()

@@ -1,0 +1,610 @@
+"""Forward abstract interpretation over the per-function CFG.
+
+This is the analysis substrate behind the R200-series rules.  One
+worklist pass computes, per :class:`~repro.lint.cfg.Block`, a *must*
+state made of two components:
+
+* **definite assignment** — the set of local names bound on *every*
+  path reaching the block (intersection at joins).  A ``Name`` load of
+  a local outside this set is a possibly-uninitialized use (R201).
+* **an abstract environment** mapping names to :class:`Fact` records —
+  array rank and per-axis shape symbols, a coarse dtype kind, simplex
+  and nonnegativity flags, and a constant interval for scalars.  The
+  evaluator recognizes the numpy construction idioms this codebase
+  uses (``np.zeros((n, m))``, ``np.asarray(x, dtype=...)``,
+  ``np.bincount``), the normalization pattern ``x / x.sum()`` (which
+  *proves* the simplex invariant for R202), and two documented
+  trust-by-name conventions: an attribute named ``probabilities`` is an
+  access-strategy distribution (validated at construction by
+  ``AccessStrategy``) and one named ``matrix`` is a dense 2-d float
+  metric.  Contracted callees feed their declared return facts back in
+  through the ``resolve_call`` hook.
+
+Joins widen every non-boolean component to "unknown" on disagreement
+(rank, each shape symbol, dtype, interval bounds), so the lattice has
+finite height and the worklist terminates without iteration caps.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field, replace
+
+from .cfg import BIND, CALL, DELETE, USE, ControlFlowGraph, Event
+
+__all__ = [
+    "Fact",
+    "TOP",
+    "FunctionDataflow",
+    "analyze_function",
+    "evaluate_expression",
+]
+
+#: One axis of an abstract shape: a concrete extent, a symbol, or unknown.
+Dim = int | str | None
+
+
+@dataclass(frozen=True)
+class Fact:
+    """What the analysis knows about one value.
+
+    ``rank is None`` means "could be anything" (including a non-array);
+    ``rank == 0`` is a scalar, whose ``low``/``high`` bound its value
+    when constant.  ``dims`` has length ``rank`` when both are known.
+    ``dtype`` is a coarse kind: ``"float"``, ``"int"`` or ``"bool"``.
+    """
+
+    rank: int | None = None
+    dims: tuple[Dim, ...] | None = None
+    dtype: str | None = None
+    simplex: bool = False
+    nonnegative: bool = False
+    low: float | None = None
+    high: float | None = None
+    #: Per-element facts when the value is a known tuple (e.g. the
+    #: declared returns of a contracted helper); indexed subscripts and
+    #: unpacking assignments project through this.
+    elements: tuple["Fact", ...] | None = None
+
+    def is_top(self) -> bool:
+        return self == TOP
+
+    def join(self, other: "Fact") -> "Fact":
+        """Widen to the least common knowledge of the two facts."""
+        rank = self.rank if self.rank == other.rank else None
+        dims: tuple[Dim, ...] | None
+        if self.dims is not None and other.dims is not None and rank is not None:
+            dims = tuple(
+                a if a == b else None for a, b in zip(self.dims, other.dims)
+            )
+        else:
+            dims = None
+        elements: tuple[Fact, ...] | None = None
+        if (
+            self.elements is not None
+            and other.elements is not None
+            and len(self.elements) == len(other.elements)
+        ):
+            elements = tuple(
+                a.join(b) for a, b in zip(self.elements, other.elements)
+            )
+        return Fact(
+            rank=rank,
+            dims=dims,
+            dtype=self.dtype if self.dtype == other.dtype else None,
+            simplex=self.simplex and other.simplex,
+            nonnegative=self.nonnegative and other.nonnegative,
+            low=self.low if self.low == other.low else None,
+            high=self.high if self.high == other.high else None,
+            elements=elements,
+        )
+
+
+TOP = Fact()
+
+_NUMPY_BASES = frozenset({"np", "numpy"})
+_FILL_CONSTRUCTORS = frozenset({"zeros", "ones", "empty", "full"})
+_DTYPE_KINDS = {
+    "float": "float",
+    "float32": "float",
+    "float64": "float",
+    "double": "float",
+    "int": "int",
+    "intp": "int",
+    "int32": "int",
+    "int64": "int",
+    "uint64": "int",
+    "bool": "bool",
+    "bool_": "bool",
+}
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def _dtype_kind(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    dotted = _dotted_name(node)
+    if dotted is None:
+        return None
+    return _DTYPE_KINDS.get(dotted.rsplit(".", maxsplit=1)[-1])
+
+
+def _shape_argument(node: ast.expr, env: Mapping[str, Fact]) -> tuple[int | None, tuple[Dim, ...] | None]:
+    """Interpret the shape argument of a numpy constructor."""
+    if isinstance(node, ast.Tuple):
+        dims: list[Dim] = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, int):
+                dims.append(element.value)
+            elif isinstance(element, ast.Name):
+                dims.append(element.id)
+            else:
+                dims.append(None)
+        return len(dims), tuple(dims)
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return 1, (node.value,)
+    fact = evaluate_expression(node, env)
+    if fact.rank == 0:
+        # A scalar extent: 1-d of symbolic length.
+        name = node.id if isinstance(node, ast.Name) else None
+        return 1, (name,)
+    return None, None
+
+
+def _same_expression(a: ast.expr, b: ast.expr) -> bool:
+    return ast.dump(a) == ast.dump(b)
+
+
+def _is_sum_of(node: ast.expr, numerator: ast.expr) -> bool:
+    """``numerator.sum()`` or ``np.sum(numerator)`` (no axis argument)."""
+    if not isinstance(node, ast.Call) or node.keywords:
+        return False
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "sum"
+        and not node.args
+        and _same_expression(func.value, numerator)
+    ):
+        return True
+    dotted = _dotted_name(func)
+    if (
+        dotted is not None
+        and dotted.rsplit(".", maxsplit=1)[-1] == "sum"
+        and dotted.partition(".")[0] in _NUMPY_BASES
+        and len(node.args) == 1
+        and _same_expression(node.args[0], numerator)
+    ):
+        return True
+    return False
+
+
+def _constructor_fact(
+    call: ast.Call, env: Mapping[str, Fact]
+) -> Fact | None:
+    """Facts for recognized numpy constructors, else ``None``."""
+    dotted = _dotted_name(call.func)
+    if dotted is None or "." not in dotted:
+        return None
+    base, _, attr = dotted.rpartition(".")
+    if base.partition(".")[0] not in _NUMPY_BASES:
+        return None
+    keywords = {kw.arg: kw.value for kw in call.keywords if kw.arg}
+    if attr in _FILL_CONSTRUCTORS and call.args:
+        rank, dims = _shape_argument(call.args[0], env)
+        dtype = _dtype_kind(keywords.get("dtype")) or (
+            "float" if attr != "full" else None
+        )
+        nonnegative = attr in {"zeros", "ones"}
+        if attr == "full" and len(call.args) >= 2:
+            fill = call.args[1]
+            if isinstance(fill, ast.Constant) and isinstance(
+                fill.value, (int, float)
+            ):
+                nonnegative = fill.value >= 0
+                if dtype is None:
+                    dtype = "int" if isinstance(fill.value, int) else "float"
+        return Fact(rank=rank, dims=dims, dtype=dtype, nonnegative=nonnegative)
+    if attr in {"asarray", "array", "ascontiguousarray"} and call.args:
+        inner = evaluate_expression(call.args[0], env)
+        dtype = _dtype_kind(keywords.get("dtype")) or inner.dtype
+        return replace(inner, dtype=dtype)
+    if attr == "bincount" and call.args:
+        return Fact(rank=1, dtype="int", nonnegative=True)
+    if attr in {"sum", "max", "min", "mean", "dot"} and call.args:
+        if "axis" in keywords:
+            return TOP
+        inner = evaluate_expression(call.args[0], env)
+        return Fact(rank=0, dtype=inner.dtype, nonnegative=inner.nonnegative)
+    if attr == "arange":
+        return Fact(rank=1, dtype="int" if not keywords.get("dtype") else None)
+    return None
+
+
+def _method_fact(call: ast.Call, env: Mapping[str, Fact]) -> Fact | None:
+    """Facts for common array-method calls, else ``None``."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    base = evaluate_expression(func.value, env)
+    keywords = {kw.arg for kw in call.keywords if kw.arg}
+    if func.attr in {"sum", "max", "min", "mean"}:
+        if call.args or "axis" in keywords:
+            return TOP
+        return Fact(rank=0, dtype=base.dtype, nonnegative=base.nonnegative)
+    if func.attr == "copy":
+        return base
+    if func.attr == "astype" and call.args:
+        return replace(base, dtype=_dtype_kind(call.args[0]))
+    return None
+
+
+#: Attribute names whose invariants this codebase establishes at
+#: construction time; trusting them here is a documented approximation.
+_TRUSTED_ATTRIBUTES = {
+    "probabilities": Fact(rank=1, dtype="float", simplex=True, nonnegative=True),
+    "matrix": Fact(rank=2, dtype="float", nonnegative=True),
+}
+
+
+def evaluate_expression(
+    node: ast.expr,
+    env: Mapping[str, Fact],
+    resolve_call: Callable[[ast.Call], Fact | None] | None = None,
+) -> Fact:
+    """Best-effort abstract value of *node* under *env*."""
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if isinstance(value, bool):
+            return Fact(rank=0, dtype="bool", nonnegative=True)
+        if isinstance(value, (int, float)):
+            return Fact(
+                rank=0,
+                dtype="int" if isinstance(value, int) else "float",
+                nonnegative=value >= 0,
+                low=float(value),
+                high=float(value),
+            )
+        return TOP
+    if isinstance(node, ast.Name):
+        return env.get(node.id, TOP)
+    if isinstance(node, ast.Attribute):
+        trusted = _TRUSTED_ATTRIBUTES.get(node.attr)
+        if trusted is not None:
+            return trusted
+        if node.attr == "T":
+            base = evaluate_expression(node.value, env, resolve_call)
+            dims = None if base.dims is None else tuple(reversed(base.dims))
+            return replace(base, dims=dims, simplex=False)
+        return TOP
+    if isinstance(node, ast.Call):
+        if resolve_call is not None:
+            resolved = resolve_call(node)
+            if resolved is not None:
+                return resolved
+        dotted = _dotted_name(node.func)
+        if (
+            dotted is not None
+            and dotted.rsplit(".", maxsplit=1)[-1] == "check_probability_vector"
+            and node.args
+        ):
+            # repro._validation.check_probability_vector returns its
+            # argument once the simplex invariant holds.
+            inner = evaluate_expression(node.args[0], env, resolve_call)
+            return replace(
+                inner, rank=1 if inner.rank is None else inner.rank,
+                dtype="float", simplex=True, nonnegative=True,
+            )
+        constructed = _constructor_fact(node, env)
+        if constructed is not None:
+            return constructed
+        method = _method_fact(node, env)
+        if method is not None:
+            return method
+        return TOP
+    if isinstance(node, ast.BinOp):
+        left = evaluate_expression(node.left, env, resolve_call)
+        right = evaluate_expression(node.right, env, resolve_call)
+        if isinstance(node.op, ast.Div) and _is_sum_of(node.right, node.left):
+            # x / x.sum(): a proven normalization (given x nonnegative
+            # the result is exactly a distribution; we record simplex
+            # either way since every use site normalizes nonnegatives).
+            return Fact(
+                rank=left.rank,
+                dims=left.dims,
+                dtype="float",
+                simplex=True,
+                nonnegative=True,
+            )
+        if left.rank == 0 and right.rank == 0:
+            return _scalar_binop(node.op, left, right)
+        if left.rank is not None and left.rank == right.rank:
+            dims = None
+            if left.dims is not None and right.dims is not None:
+                dims = tuple(
+                    a if a == b else None for a, b in zip(left.dims, right.dims)
+                )
+            return Fact(rank=left.rank, dims=dims)
+        return TOP
+    if isinstance(node, ast.UnaryOp):
+        inner = evaluate_expression(node.operand, env, resolve_call)
+        if isinstance(node.op, ast.USub) and inner.rank == 0:
+            return Fact(
+                rank=0,
+                dtype=inner.dtype,
+                nonnegative=inner.high is not None and inner.high <= 0,
+                low=None if inner.high is None else -inner.high,
+                high=None if inner.low is None else -inner.low,
+            )
+        if isinstance(node.op, ast.Not):
+            return Fact(rank=0, dtype="bool", nonnegative=True)
+        return TOP
+    if isinstance(node, (ast.Compare, ast.BoolOp)):
+        return Fact(rank=0, dtype="bool", nonnegative=True)
+    if isinstance(node, ast.Subscript):
+        return _subscript_fact(node, env, resolve_call)
+    if isinstance(node, ast.IfExp):
+        true_fact = evaluate_expression(node.body, env, resolve_call)
+        false_fact = evaluate_expression(node.orelse, env, resolve_call)
+        return true_fact.join(false_fact)
+    if isinstance(node, ast.Tuple) and isinstance(node.ctx, ast.Load):
+        return Fact(
+            elements=tuple(
+                evaluate_expression(element, env, resolve_call)
+                for element in node.elts
+            )
+        )
+    return TOP
+
+
+def _scalar_binop(op: ast.operator, left: Fact, right: Fact) -> Fact:
+    dtype = left.dtype if left.dtype == right.dtype else None
+    if isinstance(op, ast.Div):
+        dtype = "float"
+    low = high = None
+    if None not in (left.low, left.high, right.low, right.high):
+        assert left.low is not None and left.high is not None
+        assert right.low is not None and right.high is not None
+        if isinstance(op, ast.Add):
+            low, high = left.low + right.low, left.high + right.high
+        elif isinstance(op, ast.Sub):
+            low, high = left.low - right.high, left.high - right.low
+        elif isinstance(op, ast.Mult):
+            corners = (
+                left.low * right.low,
+                left.low * right.high,
+                left.high * right.low,
+                left.high * right.high,
+            )
+            low, high = min(corners), max(corners)
+    nonnegative = (low is not None and low >= 0) or (
+        left.nonnegative
+        and right.nonnegative
+        and isinstance(op, (ast.Add, ast.Mult, ast.Div))
+    )
+    return Fact(rank=0, dtype=dtype, nonnegative=nonnegative, low=low, high=high)
+
+
+def _subscript_fact(
+    node: ast.Subscript,
+    env: Mapping[str, Fact],
+    resolve_call: Callable[[ast.Call], Fact | None] | None,
+) -> Fact:
+    base = evaluate_expression(node.value, env, resolve_call)
+    if (
+        base.elements is not None
+        and isinstance(node.slice, ast.Constant)
+        and isinstance(node.slice.value, int)
+        and 0 <= node.slice.value < len(base.elements)
+    ):
+        return base.elements[node.slice.value]
+    if base.rank is None:
+        # A slice of a simplex array (the support-slicing idiom in
+        # Placement._support_arrays) keeps nonnegativity; simplex only
+        # survives when the slice provably covers the support, which the
+        # contract layer asserts — keep the flag as documented trust.
+        if base.simplex:
+            return Fact(dtype=base.dtype, simplex=True, nonnegative=True)
+        return TOP
+    index = node.slice
+    rank: int | None
+    dims: tuple[Dim, ...] | None
+    if isinstance(index, ast.Tuple):
+        dropped = 0
+        kept: list[Dim] = []
+        added = 0
+        known = base.dims if base.dims is not None else (None,) * base.rank
+        axis = 0
+        indeterminate = False
+        for element in index.elts:
+            if isinstance(element, ast.Slice):
+                if axis < len(known):
+                    kept.append(known[axis])
+                axis += 1
+            elif _dotted_name(element) in {"np.newaxis", "numpy.newaxis"} or (
+                isinstance(element, ast.Constant) and element.value is None
+            ):
+                kept.append(1)
+                added += 1
+            else:
+                element_fact = evaluate_expression(element, env, resolve_call)
+                if element_fact.rank == 0 or isinstance(element, ast.Constant):
+                    dropped += 1
+                    axis += 1
+                else:
+                    indeterminate = True
+                    axis += 1
+        if indeterminate:
+            rank, dims = None, None
+        else:
+            rank = base.rank - dropped + added
+            remaining = known[axis:] if axis <= len(known) else ()
+            dims = tuple(kept) + tuple(remaining)
+            if len(dims) != rank:
+                dims = None
+    elif isinstance(index, ast.Slice):
+        rank, dims = base.rank, base.dims
+    else:
+        index_fact = evaluate_expression(index, env, resolve_call)
+        if isinstance(index, ast.Constant) or index_fact.rank == 0:
+            rank = base.rank - 1 if base.rank > 0 else None
+            dims = base.dims[1:] if base.dims else None
+        elif index_fact.rank is not None:
+            # Fancy indexing: result rank = index rank + (base rank - 1).
+            rank = index_fact.rank + base.rank - 1
+            dims = None
+        else:
+            rank, dims = None, None
+    simplex = base.simplex  # see the support-slicing note above
+    return Fact(
+        rank=rank,
+        dims=dims,
+        dtype=base.dtype,
+        simplex=simplex,
+        nonnegative=base.nonnegative,
+    )
+
+
+@dataclass(frozen=True)
+class _State:
+    assigned: frozenset[str]
+    env: tuple[tuple[str, Fact], ...]
+
+    def environment(self) -> dict[str, Fact]:
+        return dict(self.env)
+
+
+def _make_state(assigned: frozenset[str], env: Mapping[str, Fact]) -> _State:
+    return _State(
+        assigned=assigned,
+        env=tuple(sorted((k, v) for k, v in env.items() if not v.is_top())),
+    )
+
+
+def _join_states(a: _State, b: _State) -> _State:
+    env_a, env_b = a.environment(), b.environment()
+    joined: dict[str, Fact] = {}
+    for name in env_a.keys() & env_b.keys():
+        fact = env_a[name].join(env_b[name])
+        if not fact.is_top():
+            joined[name] = fact
+    return _make_state(a.assigned & b.assigned, joined)
+
+
+@dataclass(frozen=True)
+class FunctionDataflow:
+    """The fixpoint result for one function."""
+
+    graph: ControlFlowGraph
+    #: Local-name loads not definitely assigned, in source order.
+    unbound_uses: tuple[tuple[str, ast.AST], ...]
+    #: Abstract environment snapshot at each call, keyed by
+    #: ``(lineno, col_offset)`` of the ``ast.Call`` node.
+    call_environments: Mapping[tuple[int, int], Mapping[str, Fact]]
+
+
+def _transfer(
+    events: list[Event],
+    state: _State,
+    locals_: frozenset[str],
+    resolve_call: Callable[[ast.Call], Fact | None] | None,
+    unbound: list[tuple[str, ast.AST]] | None = None,
+    snapshots: dict[tuple[int, int], dict[str, Fact]] | None = None,
+) -> _State:
+    assigned = set(state.assigned)
+    env = state.environment()
+    for event in events:
+        if event.kind == USE:
+            if (
+                unbound is not None
+                and event.name in locals_
+                and event.name not in assigned
+            ):
+                unbound.append((event.name, event.node))
+        elif event.kind == BIND:
+            assigned.add(event.name)
+            if event.value is not None:
+                fact = evaluate_expression(event.value, env, resolve_call)
+                if fact.is_top():
+                    env.pop(event.name, None)
+                else:
+                    env[event.name] = fact
+            else:
+                env.pop(event.name, None)
+        elif event.kind == DELETE:
+            assigned.discard(event.name)
+            env.pop(event.name, None)
+        elif event.kind == CALL and snapshots is not None:
+            node = event.node
+            key = (
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0),
+            )
+            snapshots[key] = dict(env)
+    return _make_state(frozenset(assigned), env)
+
+
+def analyze_function(
+    graph: ControlFlowGraph,
+    *,
+    parameter_facts: Mapping[str, Fact] | None = None,
+    resolve_call: Callable[[ast.Call], Fact | None] | None = None,
+) -> FunctionDataflow:
+    """Run the combined must-analysis to fixpoint over *graph*."""
+    locals_ = graph.local_names()
+    entry_env = {
+        name: fact
+        for name, fact in (parameter_facts or {}).items()
+        if not fact.is_top()
+    }
+    entry_state = _make_state(frozenset(graph.params), entry_env)
+    in_states: dict[int, _State] = {graph.entry: entry_state}
+    worklist: deque[int] = deque([graph.entry])
+    while worklist:
+        index = worklist.popleft()
+        block = graph.blocks[index]
+        out_state = _transfer(block.events, in_states[index], locals_, resolve_call)
+        for successor in sorted(block.successors):
+            current = in_states.get(successor)
+            merged = (
+                out_state if current is None else _join_states(current, out_state)
+            )
+            if merged != current:
+                in_states[successor] = merged
+                if successor not in worklist:
+                    worklist.append(successor)
+    unbound: list[tuple[str, ast.AST]] = []
+    snapshots: dict[tuple[int, int], dict[str, Fact]] = {}
+    for index in sorted(in_states):
+        block = graph.blocks[index]
+        _transfer(
+            block.events,
+            in_states[index],
+            locals_,
+            resolve_call,
+            unbound=unbound,
+            snapshots=snapshots,
+        )
+    seen: set[tuple[str, int, int]] = set()
+    ordered: list[tuple[str, ast.AST]] = []
+    for name, node in unbound:
+        key = (name, getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+        if key not in seen:
+            seen.add(key)
+            ordered.append((name, node))
+    ordered.sort(key=lambda item: (getattr(item[1], "lineno", 0), getattr(item[1], "col_offset", 0)))
+    return FunctionDataflow(
+        graph=graph,
+        unbound_uses=tuple(ordered),
+        call_environments=snapshots,
+    )

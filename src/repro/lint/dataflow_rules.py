@@ -1,0 +1,676 @@
+"""The R200-series dataflow and contract rules.
+
+Built on three substrates — the per-function CFG
+(:mod:`repro.lint.cfg`), the forward abstract interpreter
+(:mod:`repro.lint.dataflow`) and the static contract extractor
+(:mod:`repro.lint.contracts`) — plus the existing whole-program
+:class:`~repro.lint.interproc.ProgramContext` for call resolution:
+
+============  =========================================================
+``R200``      call-site shape/dtype mismatch against a declared contract
+``R201``      possibly-uninitialized local used on a path to a return
+``R202``      simplex arguments must be declared or dataflow-proven
+``R203``      every ``*_reference`` oracle has a vectorized twin + test
+``R204``      paper anchors and the DESIGN theorem table cover each other
+============  =========================================================
+
+These rules run only under ``repro lint --dataflow``; they see the same
+parse-once files as everything else.  Findings honor inline
+suppressions and ``"R2xx:qualified.name"`` config exemptions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .astutils import dotted_name
+from .callgraph import CallSite, FunctionInfo
+from .cfg import build_cfg
+from .contracts import (
+    FunctionContract,
+    extract_module_contracts,
+    parameter_fact,
+    return_fact,
+)
+from .dataflow import Fact, FunctionDataflow, analyze_function, evaluate_expression
+from .engine import (
+    DataflowRule,
+    ParseCache,
+    ParsedFile,
+    iter_python_files,
+    register_rule,
+)
+from .findings import Finding
+from .interproc import ProgramContext, _in_packages, _usage_directories
+from .trace import TraceMatrix, build_matrix
+
+__all__ = [
+    "DataflowContext",
+    "build_dataflow_context",
+    "ContractCallRule",
+    "UnboundLocalRule",
+    "SimplexInvariantRule",
+    "OraclePairRule",
+    "PaperTraceRule",
+]
+
+#: Suffix marking a scalar reference oracle (R203).
+_REFERENCE_SUFFIX = "_reference"
+
+
+@dataclass
+class DataflowContext:
+    """Everything a :class:`~repro.lint.engine.DataflowRule` may inspect."""
+
+    #: The shared whole-program view (files, call graph, config).
+    program: ProgramContext
+    #: Contract declarations of every analyzed module, by qualified name.
+    contracts: Mapping[str, FunctionContract]
+    #: Malformed-declaration problems: module -> ``(line, message)``.
+    contract_problems: Mapping[str, tuple[tuple[int, str], ...]]
+    #: Usage-root files (tests/examples/benchmarks) parsed through the
+    #: shared cache; empty when the config has no project root.
+    usage_files: tuple[ParsedFile, ...] = ()
+    #: The design document text, or ``None`` when it does not exist.
+    design_text: str | None = None
+    #: Display path of the design document.
+    design_path: str = "DESIGN.md"
+    _analyses: dict[str, FunctionDataflow] = field(default_factory=dict)
+    _matrix: TraceMatrix | None = None
+
+    def call_fact_resolver(self, qualified: str):
+        """A ``resolve_call`` hook mapping call nodes of *qualified*'s
+        body to the declared return facts of contracted callees."""
+        sites: dict[tuple[int, str], str] = {}
+        for site in self.program.calls.calls_from(qualified):
+            if site.callee is not None and site.callee in self.contracts:
+                sites[(site.line, site.text)] = site.callee
+
+        def resolve(call: ast.Call) -> Fact | None:
+            text = dotted_name(call.func)
+            if text is None:
+                return None
+            callee = sites.get((call.lineno, text))
+            if callee is None:
+                return None
+            return return_fact(self.contracts[callee])
+
+        return resolve
+
+    def analysis(self, qualified: str) -> FunctionDataflow:
+        """The (cached) dataflow fixpoint of one function."""
+        cached = self._analyses.get(qualified)
+        if cached is not None:
+            return cached
+        info = self.program.calls.functions[qualified]
+        own = self.contracts.get(qualified)
+        parameter_facts = (
+            {name: parameter_fact(own, name) for name in info.params}
+            if own is not None
+            else {}
+        )
+        result = analyze_function(
+            build_cfg(info.node),
+            parameter_facts=parameter_facts,
+            resolve_call=self.call_fact_resolver(qualified),
+        )
+        self._analyses[qualified] = result
+        return result
+
+    def iter_contract_calls(
+        self, qualified: str
+    ) -> Iterator[
+        tuple[CallSite, ast.Call, FunctionContract, dict[str, ast.expr], Mapping[str, Fact]]
+    ]:
+        """Resolved calls from *qualified* into contracted functions.
+
+        Yields ``(site, call_node, contract, param->argument binding,
+        abstract environment at the call)``.  Calls using ``*args`` /
+        ``**kwargs`` expansion are skipped (statically unbindable).
+        """
+        sites = [
+            site
+            for site in self.program.calls.calls_from(qualified)
+            if site.callee is not None and site.callee in self.contracts
+        ]
+        if not sites:
+            return
+        info = self.program.calls.functions[qualified]
+        analysis = self.analysis(qualified)
+        nodes: dict[tuple[int, str], list[ast.Call]] = {}
+        for node in _function_calls(info.node):
+            text = dotted_name(node.func)
+            if text is not None:
+                nodes.setdefault((node.lineno, text), []).append(node)
+        for site in sites:
+            assert site.callee is not None
+            contract = self.contracts[site.callee]
+            callee_info = self.program.calls.functions.get(site.callee)
+            if callee_info is None:
+                continue
+            for node in nodes.get((site.line, site.text), []):
+                binding = _bind_arguments(node, callee_info)
+                if binding is None:
+                    continue
+                environment = analysis.call_environments.get(
+                    (node.lineno, node.col_offset), {}
+                )
+                yield site, node, contract, binding, environment
+
+    def trace_matrix(self) -> TraceMatrix:
+        """The (cached) theorem-coverage matrix for R204."""
+        if self._matrix is None:
+            implementation = {
+                parsed.path: parsed.source
+                for parsed in self.program.files.values()
+            }
+            tests = {
+                parsed.path: parsed.source
+                for parsed in self.usage_files
+                if parsed.tree is not None
+            }
+            self._matrix = build_matrix(
+                self.design_text or "",
+                self.design_path,
+                implementation,
+                tests,
+            )
+        return self._matrix
+
+
+def _function_calls(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.Call]:
+    """Call expressions of one function body, excluding nested scopes
+    (mirroring the call graph's module-level-function granularity)."""
+    stack: list[ast.AST] = list(node.body)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Call):
+            yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            stack.append(child)
+
+
+def _bind_arguments(
+    call: ast.Call, callee: FunctionInfo
+) -> dict[str, ast.expr] | None:
+    """Map the callee's parameter names to this call's argument nodes."""
+    if any(isinstance(argument, ast.Starred) for argument in call.args):
+        return None
+    if any(keyword.arg is None for keyword in call.keywords):
+        return None
+    arguments = callee.node.args
+    positional = [a.arg for a in (*arguments.posonlyargs, *arguments.args)]
+    binding: dict[str, ast.expr] = {}
+    for position, argument in enumerate(call.args):
+        if position < len(positional):
+            binding[positional[position]] = argument
+    for keyword in call.keywords:
+        if keyword.arg is not None:
+            binding[keyword.arg] = keyword.value
+    return binding
+
+
+def build_dataflow_context(
+    program: ProgramContext,
+    *,
+    cache: ParseCache | None = None,
+) -> DataflowContext:
+    """Assemble the dataflow view on top of an existing *program*.
+
+    Contract declarations are extracted from every analyzed module; the
+    usage roots are re-read through the shared *cache* (already parsed
+    by the program build, so this costs no extra parse), and the design
+    document is loaded for R204.
+    """
+    active_cache = cache if cache is not None else ParseCache()
+    contracts: dict[str, FunctionContract] = {}
+    problems: dict[str, tuple[tuple[int, str], ...]] = {}
+    for module, parsed in program.files.items():
+        if parsed.tree is None:
+            continue
+        found, module_problems = extract_module_contracts(module, parsed.tree)
+        contracts.update(found)
+        if module_problems:
+            problems[module] = tuple(module_problems)
+
+    usage_files: list[ParsedFile] = []
+    usage_dirs = _usage_directories(program.config)
+    if usage_dirs:
+        analyzed = {parsed.resolved for parsed in program.files.values()}
+        for file_path in iter_python_files(usage_dirs, program.config):
+            parsed = active_cache.parsed(file_path)
+            if parsed.resolved in analyzed or parsed.tree is None:
+                continue
+            usage_files.append(parsed)
+
+    root = Path(program.config.project_root or ".")
+    design_path = root / program.config.design_doc
+    design_text: str | None = None
+    if design_path.is_file():
+        design_text = design_path.read_text(encoding="utf-8")
+
+    return DataflowContext(
+        program=program,
+        contracts=contracts,
+        contract_problems=problems,
+        usage_files=tuple(usage_files),
+        design_text=design_text,
+        design_path=str(design_path),
+    )
+
+
+#: Declared dtype kind -> dataflow dtype kinds that satisfy it (integer
+#: arrays promote exactly into float kernels; the reverse truncates).
+_COMPATIBLE_DTYPES = {
+    "float": frozenset({"float", "int"}),
+    "int": frozenset({"int"}),
+    "bool": frozenset({"bool"}),
+}
+
+
+@register_rule
+class ContractCallRule(DataflowRule):
+    """R200: call sites must satisfy declared shape/dtype contracts.
+
+    For every resolved call into a function carrying a contract (the
+    ``@contract`` decorator or a docstring annotation), the abstract
+    value of each bound argument is checked against the declaration:
+    rank must match the declared shape's length, concrete extents must
+    agree, one shape symbol must bind a single extent across all
+    arguments of the call, and dtype kinds must be compatible (``int``
+    arrays satisfy ``float`` declarations, not vice versa).  Unknown
+    facts pass — the rule only reports *provable* mismatches, so it
+    under-reports rather than guessing.  Malformed contract declarations
+    are reported here too: a broken declaration checks nothing, which
+    must not be silent.
+    """
+
+    id = "R200"
+    name = "contract-call"
+    summary = "call sites must satisfy declared shape/dtype contracts"
+
+    def check_dataflow(self, context: DataflowContext) -> Iterable[Finding]:
+        program = context.program
+        for module in sorted(context.contract_problems):
+            for line, message in context.contract_problems[module]:
+                yield program.finding(module, line, self.id, message)
+        for qualified in sorted(program.calls.functions):
+            info = program.calls.functions[qualified]
+            if info.module not in program.files:
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            resolver = context.call_fact_resolver(qualified)
+            for site, node, contract, binding, environment in (
+                context.iter_contract_calls(qualified)
+            ):
+                yield from self._check_call(
+                    program, info, site, node, contract, binding,
+                    environment, resolver,
+                )
+
+    def _check_call(
+        self,
+        program: ProgramContext,
+        caller: FunctionInfo,
+        site: CallSite,
+        node: ast.Call,
+        contract: FunctionContract,
+        binding: Mapping[str, ast.expr],
+        environment: Mapping[str, Fact],
+        resolver,
+    ) -> Iterator[Finding]:
+        symbols: dict[str, int] = {}
+        for parameter in sorted(contract.params):
+            spec = contract.params[parameter]
+            argument = binding.get(parameter)
+            if argument is None:
+                continue
+            fact = evaluate_expression(argument, environment, resolver)
+            shape = spec.get("shape")
+            if shape is not None and fact.rank is not None:
+                if fact.rank != len(shape):
+                    yield program.finding(
+                        caller.module,
+                        node.lineno,
+                        self.id,
+                        f"argument {parameter!r} of {site.text}() has rank "
+                        f"{fact.rank}, but the contract declares shape "
+                        f"{tuple(shape)} (rank {len(shape)})",
+                        column=node.col_offset + 1,
+                    )
+                    continue
+                yield from self._check_axes(
+                    program, caller, site, node, parameter,
+                    shape, fact, symbols,
+                )
+            declared_dtype = spec.get("dtype")
+            if (
+                declared_dtype is not None
+                and fact.dtype is not None
+                and fact.dtype
+                not in _COMPATIBLE_DTYPES.get(declared_dtype, frozenset())
+            ):
+                yield program.finding(
+                    caller.module,
+                    node.lineno,
+                    self.id,
+                    f"argument {parameter!r} of {site.text}() has dtype kind "
+                    f"{fact.dtype!r}, but the contract requires "
+                    f"{declared_dtype!r}",
+                    column=node.col_offset + 1,
+                )
+
+    def _check_axes(
+        self,
+        program: ProgramContext,
+        caller: FunctionInfo,
+        site: CallSite,
+        node: ast.Call,
+        parameter: str,
+        shape: tuple,
+        fact: Fact,
+        symbols: dict[str, int],
+    ) -> Iterator[Finding]:
+        if fact.dims is None:
+            return
+        for axis, (declared, actual) in enumerate(zip(shape, fact.dims)):
+            if not isinstance(actual, int):
+                continue
+            if isinstance(declared, int):
+                if actual != declared:
+                    yield program.finding(
+                        caller.module,
+                        node.lineno,
+                        self.id,
+                        f"argument {parameter!r} of {site.text}() has extent "
+                        f"{actual} on axis {axis}; the contract requires "
+                        f"{declared}",
+                        column=node.col_offset + 1,
+                    )
+            else:
+                bound = symbols.setdefault(declared, actual)
+                if bound != actual:
+                    yield program.finding(
+                        caller.module,
+                        node.lineno,
+                        self.id,
+                        f"shape symbol {declared!r} binds extent {bound} "
+                        f"elsewhere in this call, but argument "
+                        f"{parameter!r} of {site.text}() has {actual} on "
+                        f"axis {axis}",
+                        column=node.col_offset + 1,
+                    )
+
+
+@register_rule
+class UnboundLocalRule(DataflowRule):
+    """R201: no possibly-uninitialized local on a path reaching its use.
+
+    Definite-assignment analysis over the CFG: a local name (bound
+    somewhere in the function, per Python's scoping rule) read at a
+    point where some path from the entry reaches the read without
+    binding it is an ``UnboundLocalError`` waiting for the input that
+    takes that path — a conditionally-assigned ``if``/``except`` branch,
+    or a ``for`` loop whose iterable can be empty.  Fix by binding a
+    default before the branch, or exempt the function with
+    ``"R201:module.function"`` when the invariant is real but beyond
+    static reach.
+    """
+
+    id = "R201"
+    name = "unbound-local"
+    summary = "locals must be assigned on every path reaching a use"
+
+    def check_dataflow(self, context: DataflowContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified in sorted(program.calls.functions):
+            info = program.calls.functions[qualified]
+            if info.module not in program.files:
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            analysis = context.analysis(qualified)
+            for name, node in analysis.unbound_uses:
+                yield program.finding(
+                    info.module,
+                    getattr(node, "lineno", info.line),
+                    self.id,
+                    f"local {name!r} in {info.name!r} may be unbound here: "
+                    "some path from the function entry reaches this use "
+                    "without assigning it (conditional branch, empty loop, "
+                    "or exception path); bind a default first or exempt "
+                    f"with 'R201:{qualified}'",
+                    column=getattr(node, "col_offset", 0) + 1,
+                )
+
+
+@register_rule
+class SimplexInvariantRule(DataflowRule):
+    """R202: simplex parameters take declared or proven distributions.
+
+    An argument bound to a contract parameter declared ``simplex`` must
+    *provably* carry the invariant: the access-strategy idiom
+    (``strategy.probabilities``, trusted because ``AccessStrategy``
+    validates at construction), an explicit normalization
+    (``x / x.sum()``, ``check_probability_vector(...)``), a parameter
+    the caller's own contract declares simplex, or the declared return
+    of another contracted function.  Anything the dataflow cannot prove
+    is flagged — the fix is to normalize at the call site or push a
+    contract onto the producing helper, which is exactly the audit trail
+    this rule exists to force.
+    """
+
+    id = "R202"
+    name = "simplex-invariant"
+    summary = "simplex parameters require a declared or proven distribution"
+
+    def check_dataflow(self, context: DataflowContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified in sorted(program.calls.functions):
+            info = program.calls.functions[qualified]
+            if info.module not in program.files:
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            resolver = context.call_fact_resolver(qualified)
+            for site, node, contract, binding, environment in (
+                context.iter_contract_calls(qualified)
+            ):
+                for parameter in sorted(contract.params):
+                    if not contract.params[parameter].get("simplex"):
+                        continue
+                    argument = binding.get(parameter)
+                    if argument is None:
+                        continue
+                    fact = evaluate_expression(argument, environment, resolver)
+                    if fact.simplex:
+                        continue
+                    yield program.finding(
+                        info.module,
+                        node.lineno,
+                        self.id,
+                        f"argument {parameter!r} of {site.text}() is declared "
+                        "a probability simplex, but the dataflow cannot prove "
+                        "the invariant here; normalize it (x / x.sum()), pass "
+                        "a validated strategy distribution, or declare a "
+                        "contract on the producing helper",
+                        column=node.col_offset + 1,
+                    )
+
+
+@register_rule
+class OraclePairRule(DataflowRule):
+    """R203: every ``*_reference`` oracle is paired and cross-tested.
+
+    The kernel/oracle convention from the performance work: a scalar
+    ``X_reference`` oracle documents the semantics, a vectorized ``X``
+    twin carries the speed, and an equivalence test pins them together.
+    This rule makes the convention load-bearing: the twin must exist in
+    the same module with the same parameter names, and at least one
+    usage-root module (tests/) must reference *both* names — otherwise
+    the equivalence net has a hole.  Exempt deliberate unpaired oracles
+    with ``"R203:module.X_reference"``.
+    """
+
+    id = "R203"
+    name = "oracle-pairing"
+    summary = "*_reference oracles need a same-signature twin and a shared test"
+
+    def check_dataflow(self, context: DataflowContext) -> Iterable[Finding]:
+        program = context.program
+        usage_names = [
+            _referenced_names_of(parsed) for parsed in context.usage_files
+        ]
+        for qualified in sorted(program.calls.functions):
+            info = program.calls.functions[qualified]
+            if info.module not in program.files:
+                continue
+            if not _in_packages(info.module, program.config.library_packages):
+                continue
+            if not info.name.endswith(_REFERENCE_SUFFIX):
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            twin_name = info.name[: -len(_REFERENCE_SUFFIX)]
+            twin = program.calls.functions.get(f"{info.module}.{twin_name}")
+            if twin is None:
+                yield program.finding(
+                    info.module,
+                    info.line,
+                    self.id,
+                    f"oracle {info.name!r} has no vectorized twin "
+                    f"{twin_name!r} in {info.module}; add the twin or exempt "
+                    f"with 'R203:{qualified}'",
+                )
+                continue
+            if twin.params != info.params:
+                yield program.finding(
+                    info.module,
+                    info.line,
+                    self.id,
+                    f"oracle {info.name!r} and twin {twin_name!r} disagree on "
+                    f"signature ({', '.join(info.params)}) vs "
+                    f"({', '.join(twin.params)}); keep them call-compatible",
+                )
+            if context.usage_files and not any(
+                info.name in names and twin_name in names
+                for names in usage_names
+            ):
+                yield program.finding(
+                    info.module,
+                    info.line,
+                    self.id,
+                    f"no usage-root module references both {info.name!r} and "
+                    f"{twin_name!r}; add an equivalence test exercising the "
+                    "pair",
+                )
+
+
+def _referenced_names_of(parsed: ParsedFile) -> frozenset[str]:
+    names: set[str] = set()
+    if parsed.tree is None:
+        return frozenset()
+    for node in ast.walk(parsed.tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.update(alias.name.split("."))
+                if alias.asname is not None:
+                    names.add(alias.asname)
+    return frozenset(names)
+
+
+@register_rule
+class PaperTraceRule(DataflowRule):
+    """R204: theorem table and paper anchors must cover each other.
+
+    The design document's theorem table is the reproduction's claim
+    ledger; ``# paper: Thm 1.2`` anchors in source and tests are the
+    evidence.  Bi-directional coverage: every normalizable table row
+    needs at least one implementation anchor and one test anchor, and
+    every theorem-shaped anchor must resolve to a table row (a stale
+    anchor usually means a theorem was renumbered or a module moved).
+    ``repro trace`` renders the same matrix for humans and CI.
+    """
+
+    id = "R204"
+    name = "paper-trace"
+    summary = "paper anchors and the design theorem table must stay in sync"
+
+    def check_dataflow(self, context: DataflowContext) -> Iterable[Finding]:
+        if context.design_text is None:
+            yield Finding(
+                path=context.design_path,
+                line=1,
+                column=1,
+                rule_id=self.id,
+                message=(
+                    "design document not found; R204 needs the theorem "
+                    "table (configure 'design-doc' in [tool.repro-lint])"
+                ),
+            )
+            return
+        matrix = context.trace_matrix()
+        if not matrix.entries:
+            yield Finding(
+                path=context.design_path,
+                line=1,
+                column=1,
+                rule_id=self.id,
+                message=(
+                    "no normalizable theorem rows found in the design "
+                    "document's tables; R204 has nothing to check against"
+                ),
+            )
+            return
+        for entry in matrix.entries:
+            if not matrix.implementation.get(entry.ident):
+                yield Finding(
+                    path=context.design_path,
+                    line=entry.line,
+                    column=1,
+                    rule_id=self.id,
+                    message=(
+                        f"theorem {entry.ident} has no implementation anchor; "
+                        f"add '# paper: {entry.ident}' in "
+                        f"{', '.join(entry.modules) or 'its implementing module'}"
+                    ),
+                )
+            if not matrix.tests.get(entry.ident):
+                yield Finding(
+                    path=context.design_path,
+                    line=entry.line,
+                    column=1,
+                    rule_id=self.id,
+                    message=(
+                        f"theorem {entry.ident} has no test anchor; add "
+                        f"'# paper: {entry.ident}' to the test exercising it"
+                    ),
+                )
+        for site in matrix.unknown:
+            yield Finding(
+                path=site.path,
+                line=site.line,
+                column=1,
+                rule_id=self.id,
+                message=(
+                    f"anchor {site.reference!r} matches no theorem row in "
+                    f"{matrix.design_path}; fix the reference or add the "
+                    "table row"
+                ),
+            )

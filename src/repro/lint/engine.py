@@ -29,12 +29,14 @@ from typing import TYPE_CHECKING
 from ..exceptions import LintError
 from .config import LintConfig
 from .findings import Finding, sort_findings
-from .suppressions import SuppressionTable, collect_suppressions
+from .suppressions import ALL_RULES, SuppressionTable, collect_suppressions
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .dataflow_rules import DataflowContext
     from .interproc import ProgramContext
 
 __all__ = [
+    "DataflowRule",
     "ModuleContext",
     "ParseCache",
     "ParsedFile",
@@ -51,6 +53,9 @@ __all__ = [
 
 #: Rule id for files that fail to parse — always reported, never selectable off.
 PARSE_ERROR_ID = "E001"
+#: Rule id for suppression comments naming an unknown rule code — a typo
+#: there silently suppresses nothing, so it is always reported, like E001.
+SUPPRESSION_ERROR_ID = "E002"
 
 _RULE_ID_PATTERN = re.compile(r"^[A-Z]\d{3}$")
 
@@ -242,11 +247,32 @@ class ProgramRule(ABC):
         """Yield findings for the whole program; must not mutate it."""
 
 
-_REGISTRY: dict[str, Rule | ProgramRule] = {}
+class DataflowRule(ABC):
+    """One dataflow/contract invariant (the R200 series).
+
+    Deliberately *not* a :class:`ProgramRule` subclass: the whole-program
+    dispatch must not pick these up, because they additionally need the
+    CFG/abstract-interpretation substrate, which only ``lint
+    --dataflow`` builds (on top of the same
+    :class:`~repro.lint.interproc.ProgramContext`).
+    """
+
+    id: str
+    name: str
+    summary: str
+
+    @abstractmethod
+    def check_dataflow(self, context: "DataflowContext") -> Iterable[Finding]:
+        """Yield findings for the analyzed program; must not mutate it."""
 
 
-def register_rule(cls: type[Rule] | type[ProgramRule]) -> type[Rule] | type[ProgramRule]:
-    """Class decorator adding a file or program rule to the global registry."""
+AnyRule = Rule | ProgramRule | DataflowRule
+
+_REGISTRY: dict[str, AnyRule] = {}
+
+
+def register_rule(cls: type[AnyRule]) -> type[AnyRule]:
+    """Class decorator adding a file, program or dataflow rule to the registry."""
     instance = cls()
     if not _RULE_ID_PATTERN.match(getattr(instance, "id", "")):
         raise LintError(f"rule {cls.__name__} has invalid id {instance.id!r}")
@@ -256,7 +282,7 @@ def register_rule(cls: type[Rule] | type[ProgramRule]) -> type[Rule] | type[Prog
     return cls
 
 
-def registered_rules() -> dict[str, Rule | ProgramRule]:
+def registered_rules() -> dict[str, AnyRule]:
     """A snapshot of the rule registry, keyed by rule id."""
     return dict(_REGISTRY)
 
@@ -322,6 +348,25 @@ def _run_file_rules(ctx: ModuleContext) -> list[Finding]:
     return findings
 
 
+def _suppression_findings(path: str, table: SuppressionTable) -> list[Finding]:
+    """``E002`` findings for suppression directives naming unknown codes."""
+    known = set(_REGISTRY) | {PARSE_ERROR_ID, SUPPRESSION_ERROR_ID}
+    return [
+        Finding(
+            path=path,
+            line=line,
+            column=1,
+            rule_id=SUPPRESSION_ERROR_ID,
+            message=(
+                f"suppression names unknown rule code {code!r}; it silences "
+                "nothing — fix the code or drop it"
+            ),
+        )
+        for line, code in table.entries
+        if code != ALL_RULES and code not in known
+    ]
+
+
 def lint_source(
     source: str,
     *,
@@ -360,7 +405,9 @@ def lint_source(
         config=active_config,
         suppressions=collect_suppressions(source),
     )
-    return sort_findings(_run_file_rules(ctx))
+    return sort_findings(
+        _run_file_rules(ctx) + _suppression_findings(path, ctx.suppressions)
+    )
 
 
 def lint_file(path: Path | str, config: LintConfig | None = None) -> list[Finding]:
@@ -369,7 +416,10 @@ def lint_file(path: Path | str, config: LintConfig | None = None) -> list[Findin
     parsed = ParseCache().parsed(path)
     if parsed.parse_error is not None:
         return [parsed.parse_error]
-    return sort_findings(_run_file_rules(parsed.context(active_config)))
+    return sort_findings(
+        _run_file_rules(parsed.context(active_config))
+        + _suppression_findings(parsed.path, parsed.suppressions)
+    )
 
 
 def lint_paths(
@@ -377,6 +427,7 @@ def lint_paths(
     config: LintConfig | None = None,
     *,
     whole_program: bool = False,
+    dataflow: bool = False,
     cache: ParseCache | None = None,
 ) -> list[Finding]:
     """Lint files and directories (recursively); the main library entry.
@@ -384,8 +435,12 @@ def lint_paths(
     With ``whole_program=True`` the R100-series graph rules also run:
     the same parsed files feed a module import graph and a call graph
     (see :mod:`repro.lint.interproc`), so each file is parsed exactly
-    once per run.  Pass a long-lived *cache* to reuse parses across
-    runs; entries invalidate when a file's mtime changes.
+    once per run.  ``dataflow=True`` additionally builds the CFG /
+    abstract-interpretation substrate and runs the R200-series contract
+    rules (see :mod:`repro.lint.dataflow_rules`) — it implies the
+    program context, but not the R100 rules themselves.  Pass a
+    long-lived *cache* to reuse parses across runs; entries invalidate
+    when a file's mtime changes.
     """
     active_config = config if config is not None else LintConfig()
     active_cache = cache if cache is not None else ParseCache()
@@ -398,7 +453,10 @@ def lint_paths(
             findings.append(parsed.parse_error)
             continue
         findings.extend(_run_file_rules(parsed.context(active_config)))
-    if whole_program:
+        findings.extend(
+            _suppression_findings(parsed.path, parsed.suppressions)
+        )
+    if whole_program or dataflow:
         # Runtime import breaks the engine <-> interproc module cycle;
         # both live in the same layer so R100 stays satisfied.
         from .interproc import build_program_context
@@ -406,11 +464,29 @@ def lint_paths(
         program = build_program_context(
             parsed_files, active_config, cache=active_cache
         )
-        for rule_id in sorted(_REGISTRY):
-            rule = _REGISTRY[rule_id]
-            if not isinstance(rule, ProgramRule) or not active_config.wants(rule_id):
-                continue
-            for finding in rule.check_program(program):
-                if not program.is_suppressed(finding):
-                    findings.append(finding)
+        if whole_program:
+            for rule_id in sorted(_REGISTRY):
+                rule = _REGISTRY[rule_id]
+                if not isinstance(rule, ProgramRule) or not active_config.wants(
+                    rule_id
+                ):
+                    continue
+                for finding in rule.check_program(program):
+                    if not program.is_suppressed(finding):
+                        findings.append(finding)
+        if dataflow:
+            from .dataflow_rules import build_dataflow_context
+
+            context = build_dataflow_context(
+                program, cache=active_cache
+            )
+            for rule_id in sorted(_REGISTRY):
+                rule = _REGISTRY[rule_id]
+                if not isinstance(rule, DataflowRule) or not active_config.wants(
+                    rule_id
+                ):
+                    continue
+                for finding in rule.check_dataflow(context):
+                    if not program.is_suppressed(finding):
+                        findings.append(finding)
     return sort_findings(findings)

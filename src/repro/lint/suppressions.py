@@ -40,6 +40,10 @@ class SuppressionTable:
     by_line: dict[int, frozenset[str]] = field(default_factory=dict)
     #: rule ids suppressed for the entire file (may contain ``ALL_RULES``).
     file_wide: frozenset[str] = frozenset()
+    #: Every explicitly named ``(line, rule_id)`` directive pair, in
+    #: source order — the engine warns (``E002``) on codes that name no
+    #: registered rule, so typos do not silently suppress nothing.
+    entries: tuple[tuple[int, str], ...] = ()
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         """Whether a finding of *rule_id* anchored at *line* is silenced."""
@@ -64,6 +68,7 @@ def collect_suppressions(source: str) -> SuppressionTable:
     """
     by_line: dict[int, frozenset[str]] = {}
     file_wide: frozenset[str] = frozenset()
+    entries: list[tuple[int, str]] = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, SyntaxError, ValueError):
@@ -75,9 +80,14 @@ def collect_suppressions(source: str) -> SuppressionTable:
         if match is None:
             continue
         rules = _parse_rules(match.group("rules"))
+        line = token.start[0]
+        entries.extend(
+            (line, rule) for rule in sorted(rules) if rule != ALL_RULES
+        )
         if match.group("scope") == "disable-file":
             file_wide = file_wide | rules
         else:
-            line = token.start[0]
             by_line[line] = by_line.get(line, frozenset()) | rules
-    return SuppressionTable(by_line=by_line, file_wide=file_wide)
+    return SuppressionTable(
+        by_line=by_line, file_wide=file_wide, entries=tuple(entries)
+    )

@@ -1,0 +1,320 @@
+"""Paper-theorem traceability (rule R204 and ``repro trace``).
+
+The reproduction's ground truth is the theorem table in ``DESIGN.md``
+("Headline results reproduced"): every row names a paper result (T1.2,
+L3.1, Eq19, ...) and the modules that implement it.  Source files and
+tests carry ``# paper: Thm 1.2``-style anchor comments.  This module
+parses both sides and builds the bi-directional matrix:
+
+* every normalizable theorem row must have at least one *implementation*
+  anchor (under ``src``) and one *test* anchor (under the usage roots) —
+  otherwise R204 reports the uncovered row;
+* every anchor that names a theorem-shaped reference must resolve to a
+  table row — otherwise R204 reports a stale/unknown anchor.
+
+Section references like ``§3`` or ``App. A`` inside anchor comments are
+context, not claims, and are ignored.  Table rows whose ID does not
+normalize (the ``§6`` extensions row) are likewise out of scope.
+
+``repro trace`` renders the matrix as aligned text, JSON (stable,
+``version: 1``) or a markdown table suitable for embedding in README.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "TheoremEntry",
+    "AnchorSite",
+    "TraceMatrix",
+    "normalize_reference",
+    "parse_theorem_table",
+    "scan_anchor_comments",
+    "build_matrix",
+    "render_matrix_text",
+    "render_matrix_json",
+    "render_matrix_markdown",
+]
+
+#: Canonical theorem identifiers: T1.2, L3.1, CA.1, TB.1, Eq19, ...
+_CANONICAL = re.compile(r"^(?:[TLC][0-9A-Z]*\.[0-9]+|Eq[0-9]+)$")
+_REFERENCE_FORMS: tuple[tuple[re.Pattern[str], str], ...] = (
+    (re.compile(r"^(?:thm|theorem)\.?\s+([0-9A-Z]+(?:\.[0-9]+)?)$", re.I), "T"),
+    (re.compile(r"^lemma\.?\s+([0-9A-Z]+(?:\.[0-9]+)?)$", re.I), "L"),
+    (re.compile(r"^claim\.?\s+([0-9A-Z]+(?:\.[0-9]+)?)$", re.I), "C"),
+    (re.compile(r"^eq\.?\s*\(?([0-9]+)\)?$", re.I), "Eq"),
+)
+#: Parts of an anchor that are context rather than theorem claims.
+_CONTEXT = re.compile(r"^(?:§.*|sec(?:tion)?\.?\s.*|app(?:endix)?\.?\s.*|p+\.\s.*)$", re.I)
+
+_ANCHOR_COMMENT = re.compile(r"^#\s*paper:\s*(?P<refs>.+?)\s*$")
+_BACKTICKED = re.compile(r"`([A-Za-z_][\w.()\s]*?)`")
+
+
+def normalize_reference(text: str) -> str | None:
+    """Canonical theorem ID for one reference, or ``None``.
+
+    ``Thm 1.2`` / ``Theorem 1.2`` / ``T1.2`` -> ``T1.2``;
+    ``Lemma 3.1`` -> ``L3.1``; ``Claim A.1`` -> ``CA.1``;
+    ``Thm B.1`` -> ``TB.1``; ``eq. (19)`` / ``Eq 19`` -> ``Eq19``.
+    """
+    candidate = text.strip()
+    if _CANONICAL.match(candidate):
+        return candidate
+    for pattern, prefix in _REFERENCE_FORMS:
+        matched = pattern.match(candidate)
+        if matched is not None:
+            return f"{prefix}{matched.group(1).upper() if prefix != 'Eq' else matched.group(1)}"
+    return None
+
+
+def is_context_reference(text: str) -> bool:
+    """True for parts like ``§3`` that anchor context, not a theorem."""
+    return bool(_CONTEXT.match(text.strip()))
+
+
+@dataclass(frozen=True)
+class TheoremEntry:
+    """One normalizable row of the design-doc theorem table."""
+
+    ident: str
+    statement: str
+    paper_ref: str
+    modules: tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class AnchorSite:
+    """One theorem reference inside a ``# paper:`` comment."""
+
+    path: str
+    line: int
+    reference: str
+    ident: str | None
+
+
+def _split_cells(row: str) -> list[str]:
+    """Split a markdown table row on unescaped pipes.
+
+    ``\\|`` is the standard markdown escape for a literal pipe inside a
+    cell (needed e.g. for scheduling notation like ``1|prec|ΣwjCj``).
+    """
+    cells = re.split(r"(?<!\\)\|", row.strip().strip("|"))
+    return [cell.replace("\\|", "|").strip() for cell in cells]
+
+
+def parse_theorem_table(design_text: str) -> tuple[TheoremEntry, ...]:
+    """Extract normalizable theorem rows from every markdown table."""
+    entries: list[TheoremEntry] = []
+    seen: set[str] = set()
+    for number, line in enumerate(design_text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            continue
+        cells = _split_cells(stripped)
+        if len(cells) < 2 or set(cells[0]) <= {"-", ":", " "}:
+            continue
+        ident = normalize_reference(cells[0])
+        if ident is None or ident in seen:
+            continue
+        seen.add(ident)
+        modules = tuple(
+            match.split("(")[0].strip()
+            for match in _BACKTICKED.findall(cells[-1])
+        )
+        entries.append(
+            TheoremEntry(
+                ident=ident,
+                statement=cells[1] if len(cells) > 1 else "",
+                paper_ref=cells[2] if len(cells) > 2 else "",
+                modules=modules,
+                line=number,
+            )
+        )
+    return tuple(entries)
+
+
+def _iter_comments(source: str) -> Iterator[tuple[int, str]]:
+    """(line, text) of every comment, tolerant of tokenize failures."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for number, line in enumerate(source.splitlines(), start=1):
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                yield number, stripped
+
+
+def scan_anchor_comments(source: str, path: str) -> tuple[AnchorSite, ...]:
+    """Every theorem-shaped reference in ``# paper:`` comments of *source*."""
+    sites: list[AnchorSite] = []
+    for line, comment in _iter_comments(source):
+        matched = _ANCHOR_COMMENT.match(comment.strip())
+        if matched is None:
+            continue
+        for part in re.split(r"[,;]", matched.group("refs")):
+            part = part.strip()
+            if not part or is_context_reference(part):
+                continue
+            sites.append(
+                AnchorSite(
+                    path=path,
+                    line=line,
+                    reference=part,
+                    ident=normalize_reference(part),
+                )
+            )
+    return tuple(sites)
+
+
+@dataclass(frozen=True)
+class TraceMatrix:
+    """The theorem -> implementation -> test coverage matrix."""
+
+    design_path: str
+    entries: tuple[TheoremEntry, ...]
+    implementation: Mapping[str, tuple[AnchorSite, ...]]
+    tests: Mapping[str, tuple[AnchorSite, ...]]
+    #: Anchors whose theorem-shaped reference matches no table row.
+    unknown: tuple[AnchorSite, ...]
+
+    def covered(self, ident: str) -> bool:
+        return bool(self.implementation.get(ident)) and bool(
+            self.tests.get(ident)
+        )
+
+    def coverage_counts(self) -> tuple[int, int]:
+        covered = sum(1 for entry in self.entries if self.covered(entry.ident))
+        return covered, len(self.entries)
+
+
+def build_matrix(
+    design_text: str,
+    design_path: str,
+    implementation_sources: Mapping[str, str],
+    test_sources: Mapping[str, str],
+) -> TraceMatrix:
+    """Parse the table and both anchor sets into a :class:`TraceMatrix`.
+
+    *implementation_sources* and *test_sources* map display paths to file
+    contents (the caller decides what counts as which side; the lint rule
+    uses the linted files vs the configured usage roots).
+    """
+    entries = parse_theorem_table(design_text)
+    known = {entry.ident for entry in entries}
+    implementation: dict[str, list[AnchorSite]] = {}
+    tests: dict[str, list[AnchorSite]] = {}
+    unknown: list[AnchorSite] = []
+    for bucket, sources in (
+        (implementation, implementation_sources),
+        (tests, test_sources),
+    ):
+        for path in sorted(sources):
+            for site in scan_anchor_comments(sources[path], path):
+                if site.ident is not None and site.ident in known:
+                    bucket.setdefault(site.ident, []).append(site)
+                else:
+                    unknown.append(site)
+    return TraceMatrix(
+        design_path=design_path,
+        entries=entries,
+        implementation={k: tuple(v) for k, v in implementation.items()},
+        tests={k: tuple(v) for k, v in tests.items()},
+        unknown=tuple(sorted(unknown, key=lambda s: (s.path, s.line))),
+    )
+
+
+def _sites_cell(sites: tuple[AnchorSite, ...] | None) -> str:
+    if not sites:
+        return "—"
+    shown = {f"{site.path}:{site.line}" for site in sites}
+    return ", ".join(sorted(shown))
+
+
+def render_matrix_text(matrix: TraceMatrix) -> str:
+    """Aligned text rendering (the default for ``repro trace``)."""
+    covered, total = matrix.coverage_counts()
+    rows = [("theorem", "paper ref", "implementation", "tests", "ok")]
+    for entry in matrix.entries:
+        rows.append(
+            (
+                entry.ident,
+                entry.paper_ref,
+                _sites_cell(matrix.implementation.get(entry.ident)),
+                _sites_cell(matrix.tests.get(entry.ident)),
+                "yes" if matrix.covered(entry.ident) else "NO",
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    lines.append("")
+    lines.append(f"covered: {covered}/{total} theorems ({matrix.design_path})")
+    for site in matrix.unknown:
+        lines.append(
+            f"unknown anchor {site.reference!r} at {site.path}:{site.line}"
+        )
+    return "\n".join(lines)
+
+
+def render_matrix_json(matrix: TraceMatrix) -> str:
+    covered, total = matrix.coverage_counts()
+    payload: dict[str, Any] = {
+        "version": 1,
+        "design": matrix.design_path,
+        "coverage": {"covered": covered, "total": total},
+        "theorems": [
+            {
+                "id": entry.ident,
+                "paper_ref": entry.paper_ref,
+                "modules": list(entry.modules),
+                "implementation": [
+                    {"path": site.path, "line": site.line}
+                    for site in matrix.implementation.get(entry.ident, ())
+                ],
+                "tests": [
+                    {"path": site.path, "line": site.line}
+                    for site in matrix.tests.get(entry.ident, ())
+                ],
+                "covered": matrix.covered(entry.ident),
+            }
+            for entry in matrix.entries
+        ],
+        "unknown_anchors": [
+            {"path": site.path, "line": site.line, "reference": site.reference}
+            for site in matrix.unknown
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_matrix_markdown(matrix: TraceMatrix) -> str:
+    """A markdown table for embedding in README."""
+    lines = [
+        "| Theorem | Paper ref | Implementation | Tests | Covered |",
+        "|---------|-----------|----------------|-------|---------|",
+    ]
+    for entry in matrix.entries:
+        modules = ", ".join(f"`{module}`" for module in entry.modules)
+        implementation = "✓" if matrix.implementation.get(entry.ident) else "✗"
+        tested = "✓" if matrix.tests.get(entry.ident) else "✗"
+        lines.append(
+            f"| {entry.ident} | {entry.paper_ref} | "
+            f"{modules or '—'} {implementation} | {tested} | "
+            f"{'✓' if matrix.covered(entry.ident) else '✗'} |"
+        )
+    return "\n".join(lines)

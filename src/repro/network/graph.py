@@ -19,9 +19,36 @@ from typing import Callable, NamedTuple, Union
 from .._validation import check_positive, require
 from ..exceptions import ValidationError
 
-__all__ = ["Network", "Node", "MetricCacheInfo"]
+__all__ = [
+    "Network",
+    "Node",
+    "MetricCacheInfo",
+    "metric_cache_info",
+    "metric_cache_clear",
+]
 
 Node = Hashable
+
+#: Process-wide build/hit totals across every :class:`Network` instance.
+#: Instance counters answer "did *this* network rebuild?"; the aggregates
+#: answer "did *anything* rebuild?" — which is what cross-cutting tests
+#: and benchmarks assert. They bleed between tests unless reset, so the
+#: suite's autouse fixture calls :func:`metric_cache_clear` before each
+#: test (mirroring the ``functools.lru_cache`` ``cache_clear`` idiom).
+_aggregate_builds = 0
+_aggregate_hits = 0
+
+
+def metric_cache_info() -> "MetricCacheInfo":
+    """Aggregate build/hit counters over all networks in this process."""
+    return MetricCacheInfo(_aggregate_builds, _aggregate_hits)
+
+
+def metric_cache_clear() -> None:
+    """Reset the aggregate counters (e.g. between tests)."""
+    global _aggregate_builds, _aggregate_hits
+    _aggregate_builds = 0
+    _aggregate_hits = 0
 
 
 class MetricCacheInfo(NamedTuple):
@@ -201,19 +228,34 @@ class Network:
         :class:`ValidationError` if the network is disconnected (the
         paper assumes finite distances between all client/node pairs).
         """
+        global _aggregate_builds, _aggregate_hits
         if self._metric is None:
             from .metric import Metric
 
             self._metric = Metric.from_network(self)
             self._metric_builds += 1
+            _aggregate_builds += 1
         else:
             self._metric_hits += 1
+            _aggregate_hits += 1
         return self._metric
 
     def metric_cache_info(self) -> MetricCacheInfo:
         """Build/hit counters of the cached metric (dense matrix computed
         at most once per network; every evaluator shares it)."""
         return MetricCacheInfo(self._metric_builds, self._metric_hits)
+
+    def metric_cache_clear(self) -> None:
+        """Drop the cached metric and zero this network's counters.
+
+        Mirrors ``functools.lru_cache``'s ``cache_clear``: the next
+        :meth:`metric` call recomputes the dense matrix and counts as a
+        fresh build. The process-wide aggregates are left untouched —
+        reset those with the module-level :func:`metric_cache_clear`.
+        """
+        self._metric = None
+        self._metric_builds = 0
+        self._metric_hits = 0
 
     def distance(self, u: Node, v: Node) -> float:
         """Shortest-path distance ``d(u, v)``."""

@@ -16,7 +16,9 @@ import math
 from collections.abc import Mapping, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
+from .._validation import contract
 from ..exceptions import ValidationError
 from .graph import Network, Node
 
@@ -64,10 +66,11 @@ def dijkstra(adjacency: Mapping[Node, Mapping[Node, float]], source: Node) -> di
     return distances
 
 
+@contract(returns={"shape": ("k", "n"), "dtype": "float", "nonnegative": True})
 def dijkstra_batched(
     adjacency: Mapping[Node, Mapping[Node, float]],
     sources: Sequence[Node] | None = None,
-) -> np.ndarray:
+) -> NDArray[np.float64]:
     """Multi-source shortest-path distances in one batched call.
 
     The batched entry point behind :meth:`Metric.from_network`: instead
@@ -140,7 +143,7 @@ class Metric:
 
     __slots__ = ("_nodes", "_index", "_matrix")
 
-    def __init__(self, nodes: Sequence[Node], matrix: np.ndarray) -> None:
+    def __init__(self, nodes: Sequence[Node], matrix: NDArray[np.float64]) -> None:
         self._nodes = tuple(nodes)
         array = np.asarray(matrix, dtype=float)
         n = len(self._nodes)
@@ -194,7 +197,7 @@ class Metric:
         return len(self._nodes)
 
     @property
-    def matrix(self) -> np.ndarray:
+    def matrix(self) -> NDArray[np.float64]:
         """The read-only distance matrix in node order."""
         return self._matrix
 
@@ -207,9 +210,10 @@ class Metric:
     def distance(self, u: Node, v: Node) -> float:
         return float(self._matrix[self.node_index(u), self.node_index(v)])
 
-    def distances_from(self, source: Node) -> np.ndarray:
+    def distances_from(self, source: Node) -> NDArray[np.float64]:
         """Row of distances from *source*, in node order."""
-        return self._matrix[self.node_index(source)]
+        row: NDArray[np.float64] = self._matrix[self.node_index(source)]
+        return row
 
     # -- metric-space utilities -----------------------------------------------------
 

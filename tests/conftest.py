@@ -5,8 +5,27 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.network import random_geometric_network, uniform_capacities
+from repro.network import (
+    metric_cache_clear,
+    metric_cache_info,
+    random_geometric_network,
+    uniform_capacities,
+)
 from repro.quorums import AccessStrategy, majority
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metric_cache_counters():
+    """Zero the process-wide metric cache counters before every test.
+
+    The aggregates in ``repro.network.graph`` otherwise bleed between
+    tests: a test asserting "this code path triggered no rebuild" would
+    pass or fail depending on what ran before it.
+    """
+    metric_cache_clear()
+    info = metric_cache_info()
+    assert info.builds == 0 and info.hits == 0
+    yield
 
 
 @pytest.fixture

@@ -1,0 +1,1 @@
+"""R200 positive fixture: contract-violating call sites."""

@@ -1,0 +1,40 @@
+"""Calls whose array facts provably violate a declared contract."""
+
+import numpy as np
+
+from repro._validation import contract
+
+
+@contract(
+    shapes={"matrix": ("n", "n"), "weights": ("n",)},
+    dtypes={"matrix": "float", "weights": "float"},
+)
+def weigh(matrix, weights):
+    """Row-weighted reduction."""
+    return matrix @ weights
+
+
+@contract(shapes={"positions": ("k",)}, dtypes={"positions": "int"})
+def lookup(positions):
+    """Index lookup."""
+    return positions
+
+
+def wrong_rank():
+    """The weights argument is 2-d where the contract wants 1-d."""
+    matrix = np.zeros((4, 4))
+    weights = np.ones((4, 4))
+    return weigh(matrix, weights)
+
+
+def symbol_clash():
+    """'n' binds 4 via the matrix but the weights carry extent 5."""
+    matrix = np.zeros((4, 4))
+    weights = np.ones(5)
+    return weigh(matrix, weights)
+
+
+def wrong_dtype():
+    """A float vector where the contract requires integer indices."""
+    positions = np.zeros(3)
+    return lookup(positions)

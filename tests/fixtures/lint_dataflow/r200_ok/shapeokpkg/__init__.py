@@ -1,0 +1,1 @@
+"""R200 negative fixture: contract-respecting call sites."""

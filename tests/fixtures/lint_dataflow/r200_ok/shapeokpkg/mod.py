@@ -1,0 +1,34 @@
+"""Calls whose array facts satisfy the declared contracts."""
+
+import numpy as np
+
+from repro._validation import contract
+
+
+@contract(
+    shapes={"matrix": ("n", "n"), "weights": ("n",)},
+    dtypes={"matrix": "float", "weights": "float"},
+)
+def weigh(matrix, weights):
+    """Row-weighted reduction."""
+    return matrix @ weights
+
+
+def counts(size):
+    """Docstring-declared contract: still extracted and honored.
+
+    contract: return: shape (k,), dtype int
+    """
+    return np.arange(size)
+
+
+def consistent():
+    """Same extents everywhere; int weights promote into 'float'."""
+    matrix = np.zeros((4, 4))
+    weights = np.arange(4)
+    return weigh(matrix, weights)
+
+
+def unknown_facts(matrix, weights):
+    """Unknown argument facts must pass (the rule never guesses)."""
+    return weigh(matrix, weights)

@@ -1,0 +1,1 @@
+"""R201 positive fixture: possibly-unbound locals."""

@@ -1,0 +1,24 @@
+"""Locals readable on a path that never assigned them."""
+
+
+def conditional_branch(flag):
+    """Bound only when the branch is taken."""
+    if flag:
+        value = 1.0
+    return value
+
+
+def empty_loop(items):
+    """A for loop over an empty iterable never binds its body's names."""
+    for item in items:
+        total = float(item)
+    return total
+
+
+def exception_path(payload):
+    """The except path reaches the return without the try's binding."""
+    try:
+        result = float(payload)
+    except TypeError:
+        pass
+    return result

@@ -1,0 +1,1 @@
+"""R201 negative fixture: locals bound on every path."""

@@ -1,0 +1,35 @@
+"""Every use is dominated by a binding on all paths."""
+
+
+def both_branches(flag):
+    """Both arms bind before the join."""
+    if flag:
+        value = 1.0
+    else:
+        value = 2.0
+    return value
+
+
+def default_first(items):
+    """A default before the loop covers the zero-iteration path."""
+    total = 0.0
+    for item in items:
+        total = total + float(item)
+    return total
+
+
+def handler_binds(payload):
+    """Both the try body and the handler bind the result."""
+    try:
+        result = float(payload)
+    except TypeError:
+        result = 0.0
+    return result
+
+
+def early_return(flag):
+    """The unbound path leaves the function before the use."""
+    if not flag:
+        return 0.0
+    value = 1.0
+    return value

@@ -1,0 +1,1 @@
+"""R202 positive fixture: unproven simplex arguments."""

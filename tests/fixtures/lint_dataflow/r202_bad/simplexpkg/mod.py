@@ -1,0 +1,22 @@
+"""Simplex-declared parameters fed unnormalized arrays."""
+
+import numpy as np
+
+from repro._validation import contract
+
+
+@contract(shapes={"probabilities": ("s",)}, simplex=("probabilities",))
+def expect(probabilities):
+    """Probability-weighted expectation."""
+    return probabilities.sum()
+
+
+def unnormalized():
+    """All-ones vector: nonnegative, but provably not a distribution."""
+    weights = np.ones(4)
+    return expect(weights)
+
+
+def unknown_origin(raw):
+    """An undeclared parameter cannot carry the invariant."""
+    return expect(raw)

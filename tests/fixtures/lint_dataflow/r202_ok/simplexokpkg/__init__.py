@@ -1,0 +1,1 @@
+"""R202 negative fixture: declared or proven distributions."""

@@ -1,0 +1,42 @@
+"""Three ways the simplex invariant is proven at a call site."""
+
+import numpy as np
+
+from repro._validation import contract
+
+
+@contract(shapes={"probabilities": ("s",)}, simplex=("probabilities",))
+def expect(probabilities):
+    """Probability-weighted expectation."""
+    return probabilities.sum()
+
+
+def distribution(raw):
+    """Declared producer: its return contract carries the invariant.
+
+    contract: return: shape (s,), dtype float, simplex
+    """
+    return raw / raw.sum()
+
+
+def normalized_inline(raw):
+    """The x / x.sum() idiom is recognized directly."""
+    weights = raw / raw.sum()
+    return expect(weights)
+
+
+@contract(simplex=("weights",))
+def declared_passthrough(weights):
+    """The caller's own contract seeds the parameter's fact."""
+    return expect(weights)
+
+
+def from_producer(raw):
+    """The producer's declared return contract proves the invariant."""
+    return expect(distribution(raw))
+
+
+def numpy_sum_form(raw):
+    """The np.sum spelling of the normalization idiom."""
+    weights = raw / np.sum(raw)
+    return expect(weights)

@@ -1,0 +1,1 @@
+"""R203 positive fixture: broken oracle/twin pairings."""

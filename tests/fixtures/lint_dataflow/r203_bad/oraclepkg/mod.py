@@ -1,0 +1,26 @@
+"""Reference oracles whose pairing convention is violated."""
+
+
+def area_reference(width, height):
+    """Oracle with no vectorized twin at all."""
+    return width * height
+
+
+def speed_reference(distance, time):
+    """Oracle whose twin disagrees on parameter order."""
+    return distance / time
+
+
+def speed(time, distance):
+    """Twin with swapped parameters: not call-compatible."""
+    return distance / time
+
+
+def ratio_reference(numerator, denominator):
+    """Properly paired, but no usage module references both names."""
+    return numerator / denominator
+
+
+def ratio(numerator, denominator):
+    """Vectorized twin of :func:`ratio_reference`."""
+    return numerator / denominator

@@ -1,0 +1,5 @@
+"""Usage file that mentions only one side of the ratio pair."""
+
+from oraclepkg.mod import ratio_reference
+
+print(ratio_reference(1.0, 2.0))

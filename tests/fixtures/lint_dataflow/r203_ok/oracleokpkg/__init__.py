@@ -1,0 +1,1 @@
+"""R203 negative fixture: a well-paired, cross-tested oracle."""

@@ -1,0 +1,11 @@
+"""A reference oracle with a same-signature twin and a shared test."""
+
+
+def total_reference(values):
+    """Scalar oracle."""
+    return sum(values)
+
+
+def total(values):
+    """Vectorized twin of :func:`total_reference`."""
+    return sum(values)

@@ -1,0 +1,5 @@
+"""Equivalence check referencing both sides of the pair."""
+
+from oracleokpkg.mod import total, total_reference
+
+assert total([1, 2]) == total_reference([1, 2])

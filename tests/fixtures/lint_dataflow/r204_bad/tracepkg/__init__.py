@@ -1,0 +1,1 @@
+"""R204 positive fixture: theorem table without anchors."""

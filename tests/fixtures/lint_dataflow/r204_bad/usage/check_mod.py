@@ -1,0 +1,6 @@
+"""Usage file carrying a stale anchor that matches no table row."""
+
+# paper: Thm 8.8
+from tracepkg.mod import theorem_value
+
+assert theorem_value() > 0

@@ -1,0 +1,1 @@
+"""R204 negative fixture: fully anchored theorem table."""

@@ -1,0 +1,7 @@
+"""Implements and anchors the fixture theorem."""
+
+
+# paper: Thm 9.9, §1
+def theorem_value():
+    """The number the fixture theorem pins down."""
+    return 9.9

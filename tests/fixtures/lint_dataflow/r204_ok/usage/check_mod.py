@@ -1,0 +1,6 @@
+"""Usage file anchoring the fixture theorem on the test side."""
+
+# paper: T9.9
+from traceokpkg.mod import theorem_value
+
+assert theorem_value() > 0

@@ -34,6 +34,7 @@ class TestGeneralMetricGap:
         assert exact.objective == pytest.approx(instance.integral_optimum)
 
 
+# paper: Claim A.1, App. A
 class TestBroomGap:
     @pytest.mark.parametrize("k", [2, 3, 4])
     def test_integral_optimum_verified_by_brute_force(self, k):

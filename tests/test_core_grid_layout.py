@@ -23,6 +23,7 @@ from repro.network import (
 )
 
 
+# paper: Thm 1.3, Thm B.1
 class TestConcentricPositions:
     def test_k2_order(self):
         assert concentric_positions(2) == [(0, 0), (0, 1), (1, 0), (1, 1)]

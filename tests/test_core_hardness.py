@@ -26,6 +26,7 @@ def reduction(rng):
     return reduce_scheduling_to_ssqpp(instance)
 
 
+# paper: Thm 3.6
 class TestConstruction:
     def test_rejects_general_instances(self):
         general = SchedulingInstance(

@@ -17,6 +17,7 @@ from repro.network import path_network, random_geometric_network, uniform_capaci
 from repro.quorums import AccessStrategy, threshold
 
 
+# paper: Thm 1.3, eq. (19)
 class TestFormula:
     def test_formula_validation(self):
         with pytest.raises(ValidationError, match="2t > n"):

@@ -15,6 +15,7 @@ from repro.network import path_network, random_geometric_network, uniform_capaci
 from repro.quorums import AccessStrategy, majority
 
 
+# paper: Thm 1.2, Thm 3.3
 class TestTheorem12:
     def test_bounds_against_exact_optimum(self):
         """On exhaustively solvable instances: the algorithm's delay is

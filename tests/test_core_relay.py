@@ -46,6 +46,7 @@ def test_relay_delay_equation_8():
     assert relay_delay(placement, strategy, v0) == pytest.approx(expected)
 
 
+# paper: Lemma 3.1
 def test_lemma_3_1_bound_on_many_random_placements(rng):
     """The measured relay factor never exceeds 5 (Lemma 3.1)."""
     for trial in range(20):

@@ -74,6 +74,7 @@ class TestFiltering:
             _filter_fractions(raw, 2.0)
 
 
+# paper: Thm 3.7, Thm 3.12
 class TestTheorem37:
     @pytest.mark.parametrize("alpha", [1.5, 2.0, 3.0, 5.0])
     def test_guarantees_hold_across_alpha(self, alpha, rng):

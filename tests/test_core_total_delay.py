@@ -14,6 +14,7 @@ from repro.network import path_network, random_geometric_network, uniform_capaci
 from repro.quorums import AccessStrategy, QuorumSystem, majority
 
 
+# paper: Thm 1.4, §5
 class TestTheorem51:
     def test_delay_at_most_optimum_small_instances(self):
         """The headline guarantee: delay <= OPT (with 2x capacity)."""

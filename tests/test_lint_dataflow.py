@@ -1,0 +1,542 @@
+"""Dataflow and contract analysis: CFG, abstract facts, rules R200-R204.
+
+Each dataflow rule is exercised positively (it fires on the matching
+fixture package under ``tests/fixtures/lint_dataflow/``) and negatively
+(the corrected twin package stays silent), plus unit coverage for the
+CFG lowering, the fact lattice and abstract evaluator, the contract
+extractor (decorator and docstring forms), the traceability matrix and
+its renderers, the runtime ``@contract`` enforcement, and the new
+``--dataflow`` / ``trace`` CLI surfaces.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import shutil
+import textwrap
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro._validation import CONTRACTS_ENV, contract, enforce_contract
+from repro.exceptions import ValidationError
+from repro.lint import (
+    DataflowRule,
+    Finding,
+    LintConfig,
+    ParseCache,
+    build_dataflow_context,
+    build_matrix,
+    extract_module_contracts,
+    lint_paths,
+    registered_rules,
+    render_matrix_json,
+    render_matrix_markdown,
+    render_matrix_text,
+)
+from repro.lint.cfg import Block, build_cfg, iter_reachable
+from repro.lint.contracts import fact_from_spec
+from repro.lint.dataflow import TOP, Fact, analyze_function, evaluate_expression
+from repro.lint.dataflow_rules import (
+    ContractCallRule,
+    OraclePairRule,
+    PaperTraceRule,
+    SimplexInvariantRule,
+    UnboundLocalRule,
+)
+from repro.lint.interproc import build_program_context
+from repro.lint.trace import (
+    AnchorSite,
+    TheoremEntry,
+    normalize_reference,
+    parse_theorem_table,
+    scan_anchor_comments,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint_dataflow"
+SRC = REPO_ROOT / "src"
+
+
+def run_dataflow_rule(
+    case: str, package: str, rule_id: str, **overrides: object
+) -> list[Finding]:
+    """Run one dataflow rule over a fixture package."""
+    config = replace(
+        LintConfig(), select=frozenset({rule_id}), validated_packages=(), **overrides
+    )
+    return lint_paths([FIXTURES / case / package], config, dataflow=True)
+
+
+def _case_config(case: str, package: str) -> dict[str, object]:
+    """Overrides anchoring usage roots and design doc in a fixture case."""
+    return {
+        "library_packages": (package,),
+        "project_root": str(FIXTURES / case),
+        "usage_roots": ("usage",),
+        "design_doc": "DESIGN.md",
+    }
+
+
+# -- R200: contract call sites ----------------------------------------------------
+
+
+class TestContractCallRule:
+    def test_violations_are_reported(self):
+        findings = run_dataflow_rule("r200_bad", "shapepkg", "R200")
+        messages = [f.message for f in findings]
+        assert len(findings) == 3, "\n".join(messages)
+        assert any("rank 2" in m and "'weights'" in m for m in messages)
+        assert any("shape symbol 'n'" in m for m in messages)
+        assert any("dtype kind 'float'" in m and "'int'" in m for m in messages)
+
+    def test_clean_package_is_silent(self):
+        findings = run_dataflow_rule("r200_ok", "shapeokpkg", "R200")
+        assert not findings, [f.message for f in findings]
+
+    def test_rule_is_registered(self):
+        rule = registered_rules()["R200"]
+        assert isinstance(rule, ContractCallRule)
+        assert isinstance(rule, DataflowRule)
+
+
+# -- R201: possibly-unbound locals ------------------------------------------------
+
+
+class TestUnboundLocalRule:
+    def test_three_unbound_patterns_fire(self):
+        findings = run_dataflow_rule("r201_bad", "bindpkg", "R201")
+        names = sorted(f.message.split("'")[1] for f in findings)
+        assert names == ["result", "total", "value"], [f.message for f in findings]
+
+    def test_all_paths_bound_is_silent(self):
+        findings = run_dataflow_rule("r201_ok", "bindokpkg", "R201")
+        assert not findings, [f.message for f in findings]
+
+    def test_exemption_silences_one_function(self):
+        findings = run_dataflow_rule(
+            "r201_bad",
+            "bindpkg",
+            "R201",
+            exempt=frozenset({"R201:bindpkg.mod.conditional_branch"}),
+        )
+        assert sorted(f.message.split("'")[1] for f in findings) == [
+            "result",
+            "total",
+        ]
+
+    def test_inline_suppression_silences_the_line(self, tmp_path):
+        package = tmp_path / "sup"
+        package.mkdir()
+        (package / "__init__.py").write_text('"""p."""\n')
+        (package / "mod.py").write_text(
+            textwrap.dedent(
+                '''
+                """m."""
+
+
+                def conditional(flag):
+                    """Suppressed use."""
+                    if flag:
+                        value = 1.0
+                    return value  # repro-lint: disable=R201
+                '''
+            )
+        )
+        config = replace(LintConfig(), select=frozenset({"R201"}))
+        assert not lint_paths([package], config, dataflow=True)
+
+    def test_rule_is_registered(self):
+        assert isinstance(registered_rules()["R201"], UnboundLocalRule)
+
+
+# -- R202: simplex invariants -----------------------------------------------------
+
+
+class TestSimplexInvariantRule:
+    def test_unproven_distributions_fire(self):
+        findings = run_dataflow_rule("r202_bad", "simplexpkg", "R202")
+        assert len(findings) == 2, [f.message for f in findings]
+        assert all("probability simplex" in f.message for f in findings)
+
+    def test_proven_distributions_are_silent(self):
+        findings = run_dataflow_rule("r202_ok", "simplexokpkg", "R202")
+        assert not findings, [f.message for f in findings]
+
+    def test_rule_is_registered(self):
+        assert isinstance(registered_rules()["R202"], SimplexInvariantRule)
+
+
+# -- R203: oracle pairing ---------------------------------------------------------
+
+
+class TestOraclePairRule:
+    def test_broken_pairings_fire(self):
+        findings = run_dataflow_rule(
+            "r203_bad", "oraclepkg", "R203", **_case_config("r203_bad", "oraclepkg")
+        )
+        messages = [f.message for f in findings]
+        assert len(findings) == 4, messages
+        assert any("no vectorized twin 'area'" in m for m in messages)
+        assert any("disagree on signature" in m for m in messages)
+        assert sum("no usage-root module references both" in m for m in messages) == 2
+
+    def test_paired_and_tested_is_silent(self):
+        findings = run_dataflow_rule(
+            "r203_ok", "oracleokpkg", "R203", **_case_config("r203_ok", "oracleokpkg")
+        )
+        assert not findings, [f.message for f in findings]
+
+    def test_rule_is_registered(self):
+        assert isinstance(registered_rules()["R203"], OraclePairRule)
+
+
+# -- R204: paper traceability -----------------------------------------------------
+
+
+class TestPaperTraceRule:
+    def test_uncovered_rows_and_stale_anchors_fire(self):
+        findings = run_dataflow_rule(
+            "r204_bad", "tracepkg", "R204", **_case_config("r204_bad", "tracepkg")
+        )
+        messages = [f.message for f in findings]
+        assert len(findings) == 3, messages
+        assert any("no implementation anchor" in m for m in messages)
+        assert any("no test anchor" in m for m in messages)
+        assert any("'Thm 8.8'" in m and "matches no theorem row" in m for m in messages)
+
+    def test_fully_anchored_table_is_silent(self):
+        findings = run_dataflow_rule(
+            "r204_ok", "traceokpkg", "R204", **_case_config("r204_ok", "traceokpkg")
+        )
+        assert not findings, [f.message for f in findings]
+
+    def test_missing_design_doc_is_one_finding(self, tmp_path):
+        package = tmp_path / "nodesign"
+        package.mkdir()
+        (package / "__init__.py").write_text('"""p."""\n')
+        config = replace(
+            LintConfig(),
+            select=frozenset({"R204"}),
+            project_root=str(tmp_path),
+            design_doc="MISSING.md",
+        )
+        findings = lint_paths([package], config, dataflow=True)
+        assert len(findings) == 1
+        assert "design document not found" in findings[0].message
+
+    def test_rule_is_registered(self):
+        assert isinstance(registered_rules()["R204"], PaperTraceRule)
+
+
+# -- CFG lowering -----------------------------------------------------------------
+
+
+def _graph_of(source: str):
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return build_cfg(func)
+
+
+class TestControlFlowGraph:
+    def test_blocks_and_locals(self):
+        graph = _graph_of(
+            """
+            def f(flag):
+                if flag:
+                    value = 1.0
+                else:
+                    value = 2.0
+                return value
+            """
+        )
+        assert all(isinstance(block, Block) for block in graph.blocks)
+        assert graph.params == ("flag",)
+        assert graph.local_names() == frozenset({"flag", "value"})
+
+    def test_reachability_covers_entry_and_exit(self):
+        graph = _graph_of(
+            """
+            def f(items):
+                total = 0.0
+                for item in items:
+                    total = total + item
+                return total
+            """
+        )
+        reachable = {block.index for block in iter_reachable(graph)}
+        assert graph.entry in reachable
+        assert graph.exit in reachable
+
+    def test_global_declarations_are_not_locals(self):
+        graph = _graph_of(
+            """
+            def f():
+                global counter
+                counter = 1
+                return counter
+            """
+        )
+        assert "counter" not in graph.local_names()
+
+
+# -- Fact lattice and abstract evaluation -----------------------------------------
+
+
+class TestFacts:
+    def test_join_widens_disagreements(self):
+        a = Fact(rank=1, dims=(4,), dtype="float", low=0.0, high=1.0)
+        b = Fact(rank=1, dims=(5,), dtype="float", low=0.0, high=2.0)
+        joined = a.join(b)
+        assert joined.rank == 1
+        assert joined.dims == (None,)
+        assert joined.dtype == "float"
+        assert joined.high is None and joined.low == 0.0
+
+    def test_join_with_top_is_top(self):
+        assert Fact(rank=2).join(TOP).is_top()
+
+    def test_constructor_and_normalization_facts(self):
+        env: dict[str, Fact] = {}
+        zeros = evaluate_expression(ast.parse("np.zeros((3, 4))", mode="eval").body, env)
+        assert zeros.rank == 2 and zeros.dims == (3, 4) and zeros.dtype == "float"
+        normalized = evaluate_expression(
+            ast.parse("x / x.sum()", mode="eval").body,
+            {"x": Fact(rank=1, nonnegative=True)},
+        )
+        assert normalized.simplex and normalized.nonnegative
+
+    def test_analyze_function_reports_unbound_and_snapshots_calls(self):
+        graph = _graph_of(
+            """
+            def f(flag):
+                if flag:
+                    value = 1.0
+                sink(value)
+                return value
+            """
+        )
+        result = analyze_function(graph)
+        assert {name for name, _ in result.unbound_uses} == {"value"}
+        assert result.call_environments, "expected a call-site snapshot"
+
+
+# -- Contract extraction ----------------------------------------------------------
+
+
+class TestContractExtraction:
+    def test_decorator_and_docstring_forms(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                '''
+                @contract(shapes={"x": ("n",)}, simplex=("x",))
+                def f(x):
+                    """Decorated."""
+
+
+                def g(raw):
+                    """Docstring form.
+
+                    contract: raw: shape (n, n), dtype float
+                    contract: return: shape (n,), simplex
+                    """
+                '''
+            )
+        )
+        contracts, problems = extract_module_contracts("m", tree)
+        assert not problems
+        assert contracts["m.f"].params["x"]["simplex"] is True
+        assert contracts["m.g"].params["raw"]["shape"] == ("n", "n")
+        assert contracts["m.g"].returns["simplex"] is True
+
+    def test_unknown_parameter_is_a_problem(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                '''
+                @contract(shapes={"missing": ("n",)})
+                def f(x):
+                    """Bad."""
+                '''
+            )
+        )
+        _, problems = extract_module_contracts("m", tree)
+        assert problems and "missing" in problems[0][1]
+
+    def test_fact_from_spec_simplex_implies_nonnegative(self):
+        fact = fact_from_spec({"shape": ("s",), "dtype": "float", "simplex": True})
+        assert fact.rank == 1 and fact.simplex and fact.nonnegative
+
+
+# -- Traceability matrix ----------------------------------------------------------
+
+
+class TestTraceMatrix:
+    def test_reference_normalization_forms(self):
+        assert normalize_reference("Thm 1.2") == "T1.2"
+        assert normalize_reference("Theorem 3.12") == "T3.12"
+        assert normalize_reference("Lemma 3.1") == "L3.1"
+        assert normalize_reference("Claim A.1") == "CA.1"
+        assert normalize_reference("eq. (19)") == "Eq19"
+        assert normalize_reference("section 4") is None
+
+    def test_table_and_anchor_parsing(self):
+        design = textwrap.dedent(
+            """
+            | ID | Statement | Ref | Modules |
+            |----|-----------|-----|---------|
+            | T1.2 | main | Thm 1.2 | `pkg.mod` (rates) |
+            | E4 | experiment row | §6 | `pkg.other` |
+            """
+        )
+        entries = parse_theorem_table(design)
+        assert [entry.ident for entry in entries] == ["T1.2"]
+        assert isinstance(entries[0], TheoremEntry)
+        assert entries[0].modules == ("pkg.mod",)
+        sites = scan_anchor_comments("# paper: Thm 1.2, §3\nx = 1\n", "mod.py")
+        assert sites == (
+            AnchorSite(path="mod.py", line=1, reference="Thm 1.2", ident="T1.2"),
+        )
+
+    def test_renderers_agree_on_coverage(self):
+        design = "| ID | S | R | M |\n|--|--|--|--|\n| T1.2 | s | Thm 1.2 | `m` |\n"
+        matrix = build_matrix(
+            design, "D.md", {"m.py": "# paper: T1.2\n"}, {"t.py": "# paper: T1.2\n"}
+        )
+        assert matrix.covered("T1.2")
+        payload = json.loads(render_matrix_json(matrix))
+        assert payload["coverage"] == {"covered": 1, "total": 1}
+        assert "✓" in render_matrix_markdown(matrix)
+        assert "covered: 1/1" in render_matrix_text(matrix)
+
+
+# -- DataflowContext plumbing -----------------------------------------------------
+
+
+class TestDataflowContext:
+    def test_analyses_are_cached_and_contracts_extracted(self):
+        config = replace(LintConfig(), **_case_config("r202_ok", "simplexokpkg"))
+        cache = ParseCache()
+        files = [
+            cache.parsed(path)
+            for path in sorted((FIXTURES / "r202_ok" / "simplexokpkg").rglob("*.py"))
+        ]
+        program = build_program_context(files, config, cache=cache)
+        context = build_dataflow_context(program, cache=cache)
+        assert "simplexokpkg.mod.expect" in context.contracts
+        first = context.analysis("simplexokpkg.mod.normalized_inline")
+        assert context.analysis("simplexokpkg.mod.normalized_inline") is first
+
+    def test_dataflow_run_parses_each_fixture_file_once(self):
+        cache = ParseCache()
+        config = replace(LintConfig(), **_case_config("r204_ok", "traceokpkg"))
+        lint_paths(
+            [FIXTURES / "r204_ok" / "traceokpkg"],
+            config,
+            whole_program=True,
+            dataflow=True,
+            cache=cache,
+        )
+        over_parsed = {
+            str(path): count
+            for path, count in cache.parse_counts.items()
+            if count != 1
+        }
+        assert not over_parsed, f"files parsed more than once: {over_parsed}"
+
+
+# -- Runtime contract enforcement -------------------------------------------------
+
+
+class TestRuntimeContracts:
+    def _spec(self):
+        @contract(
+            shapes={"matrix": ("n", "n"), "weights": ("n",)},
+            dtypes={"weights": "float"},
+            simplex=("weights",),
+            returns={"shape": ("n",)},
+        )
+        def weigh(matrix, weights):
+            return matrix @ weights
+
+        return weigh
+
+    def test_valid_call_passes(self):
+        weigh = self._spec()
+        matrix = np.zeros((3, 3))
+        weights = np.full(3, 1.0 / 3.0)
+        enforce_contract(weigh, weigh.__contract__, (matrix, weights), {})
+        enforce_contract(
+            weigh,
+            weigh.__contract__,
+            (matrix, weights),
+            {},
+            result=matrix @ weights,
+            check_result=True,
+        )
+
+    def test_shape_symbol_mismatch_raises(self):
+        weigh = self._spec()
+        with pytest.raises(ValidationError, match="axis 0"):
+            enforce_contract(
+                weigh, weigh.__contract__, (np.zeros((3, 3)), np.ones(4) / 4.0), {}
+            )
+
+    def test_simplex_violation_raises(self):
+        weigh = self._spec()
+        with pytest.raises(ValidationError, match="sum to 1"):
+            enforce_contract(
+                weigh, weigh.__contract__, (np.zeros((3, 3)), np.ones(3)), {}
+            )
+
+    def test_decorator_is_inert_without_env(self, monkeypatch):
+        weigh = self._spec()
+        monkeypatch.delenv(CONTRACTS_ENV, raising=False)
+        # Violating call passes silently: checks are opt-in.
+        assert weigh(np.zeros((2, 2)), np.ones(2)).shape == (2,)
+        monkeypatch.setenv(CONTRACTS_ENV, "1")
+        with pytest.raises(ValidationError):
+            weigh(np.zeros((2, 2)), np.ones(2))
+
+    def test_kernels_export_contracts(self):
+        from repro.core import _kernels
+
+        spec = _kernels.expected_max_delays.__contract__
+        assert spec["params"]["probabilities"]["simplex"] is True
+        assert spec["params"]["members"]["shape"] == ("s", "L")
+
+
+# -- CLI surfaces -----------------------------------------------------------------
+
+
+class TestCommandLine:
+    def test_lint_dataflow_flag_gates_exit(self, capsys, tmp_path):
+        # Copied out of the repo so the CLI's upward config search finds
+        # defaults instead of pyproject (which excludes fixture dirs).
+        from repro.lint.cli import main
+
+        package = tmp_path / "bindpkg"
+        shutil.copytree(FIXTURES / "r201_bad" / "bindpkg", package)
+        code = main([str(package), "--dataflow", "--select", "R201"])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "R201" in output
+
+    def test_trace_json_reports_full_coverage(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", str(SRC), "--json", "--check"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        covered = {t["id"]: t["covered"] for t in payload["theorems"]}
+        assert covered["T1.2"] and covered["T1.3"] and covered["T1.4"]
+        assert payload["coverage"]["covered"] == payload["coverage"]["total"]
+
+    def test_trace_markdown_renders_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", str(SRC), "--markdown"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("| Theorem |")
+        assert "T1.4" in output

@@ -51,6 +51,11 @@ def test_all_rules_registered():
         "R102",
         "R103",
         "R104",
+        "R200",
+        "R201",
+        "R202",
+        "R203",
+        "R204",
     }
 
 

@@ -18,9 +18,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
 
-def _run(paths: list[Path], *, whole_program: bool = False) -> list[Finding]:
+def _run(
+    paths: list[Path], *, whole_program: bool = False, dataflow: bool = False
+) -> list[Finding]:
     config = load_config(search_from=REPO_ROOT)
-    return lint_paths(paths, config, whole_program=whole_program)
+    return lint_paths(paths, config, whole_program=whole_program, dataflow=dataflow)
 
 
 def _report(findings: list[Finding]) -> str:
@@ -43,13 +45,23 @@ def test_src_is_whole_program_clean():
 
 
 @pytest.mark.skipif(not SRC.is_dir(), reason="source tree not present")
+def test_src_is_dataflow_clean():
+    """The dataflow tier (R200-R204) must also hold over the whole tree."""
+    findings = _run([SRC], whole_program=True, dataflow=True)
+    assert not findings, (
+        f"repro lint src --whole-program --dataflow must stay clean:\n"
+        f"{_report(findings)}"
+    )
+
+
+@pytest.mark.skipif(not SRC.is_dir(), reason="source tree not present")
 def test_whole_program_run_parses_each_file_exactly_once():
     """One run = one parse per file, including the R104 usage-root scan."""
     from repro.lint import ParseCache
 
     cache = ParseCache()
     config = load_config(search_from=REPO_ROOT)
-    lint_paths([SRC], config, whole_program=True, cache=cache)
+    lint_paths([SRC], config, whole_program=True, dataflow=True, cache=cache)
     assert cache.parse_counts, "expected the run to parse files"
     over_parsed = {
         str(path): count for path, count in cache.parse_counts.items() if count != 1
@@ -64,6 +76,42 @@ def test_whole_program_run_parses_each_file_exactly_once():
 def test_benchmarks_and_examples_are_lint_clean():
     findings = _run([REPO_ROOT / "benchmarks", REPO_ROOT / "examples"])
     assert not findings, f"auxiliary trees must stay clean:\n{_report(findings)}"
+
+
+class TestInlineSuppressions:
+    """The suppression directives behave exactly as documented."""
+
+    @staticmethod
+    def _lint(source: str) -> list[Finding]:
+        from dataclasses import replace
+
+        from repro.lint import LintConfig, lint_source
+
+        config = replace(LintConfig(), select=frozenset({"R003", "R006"}))
+        return lint_source(source, module="repro.fake", config=config)
+
+    def test_one_directive_silences_multiple_codes_on_a_line(self):
+        offending = '"""m."""\n\n\ndef helper(xs=[]): print(xs)\n'
+        assert {f.rule_id for f in self._lint(offending)} == {"R003", "R006"}
+        suppressed = offending.replace(
+            "print(xs)", "print(xs)  # repro-lint: disable=R003,R006"
+        )
+        assert not self._lint(suppressed)
+
+    def test_trailing_comment_text_after_the_codes_is_ignored(self):
+        source = '"""m."""\n\nprint("x")  # repro-lint: disable=R006 -- CLI helper\n'
+        assert not self._lint(source)
+
+    def test_unknown_code_in_directive_warns_instead_of_silencing(self):
+        source = '"""m."""\n\nx = 1  # repro-lint: disable=R999\n'
+        findings = self._lint(source)
+        assert [f.rule_id for f in findings] == ["E002"]
+        assert "R999" in findings[0].message
+        assert "silences nothing" in findings[0].message
+
+    def test_known_codes_do_not_warn(self):
+        source = '"""m."""\n\nprint("x")  # repro-lint: disable=R006\n'
+        assert not self._lint(source)
 
 
 def test_every_rule_is_exercised_by_src_conventions():

@@ -18,6 +18,8 @@ from repro.network import (
     Network,
     dijkstra,
     dijkstra_batched,
+    metric_cache_clear,
+    metric_cache_info,
     random_geometric_network,
     grid_network,
 )
@@ -144,6 +146,31 @@ class TestDenseMatrixCache:
         info = network.metric_cache_info()
         assert info.builds == 1
         assert info.hits >= 1
+
+    def test_aggregate_counters_start_at_zero_and_track_builds(self):
+        # The autouse conftest fixture cleared the process-wide totals.
+        info = metric_cache_info()
+        assert info.builds == 0 and info.hits == 0
+        network = grid_network(3, 3)
+        network.metric()
+        network.metric()
+        info = metric_cache_info()
+        assert info.builds == 1
+        assert info.hits == 1
+        metric_cache_clear()
+        assert metric_cache_info() == (0, 0)
+        # Instance counters are independent of the aggregate reset.
+        assert network.metric_cache_info().builds == 1
+
+    def test_instance_cache_clear_forces_a_rebuild(self):
+        network = grid_network(3, 3)
+        first = network.metric()
+        network.metric_cache_clear()
+        assert network.metric_cache_info() == (0, 0)
+        second = network.metric()
+        assert second is not first
+        assert network.metric_cache_info().builds == 1
+        np.testing.assert_allclose(second.matrix, first.matrix)
 
     def test_metric_matrix_matches_batched(self, geometric):
         metric = geometric.metric()
