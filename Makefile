@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline trace bench
+.PHONY: test lint lint-baseline trace bench profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,3 +28,8 @@ trace:
 
 bench:
 	$(PYTHON) -m repro bench --quick --out BENCH_3.json
+
+# Trace + metrics view of the bench micro-suite (docs/observability.md).
+# Wrap any other subcommand the same way: `python -m repro profile <cmd>`.
+profile:
+	$(PYTHON) -m repro profile bench --quick --out BENCH_3.json

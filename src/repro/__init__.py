@@ -21,6 +21,9 @@ The library implements the paper end to end:
 * **Analysis & experiments** (:mod:`repro.analysis`,
   :mod:`repro.experiments`): Appendix A integrality-gap instances,
   result tables, workload suites, and an access simulator.
+* **Observability** (:mod:`repro.obs`): structured tracing, a process
+  metrics registry, and solver telemetry (``repro profile``,
+  ``docs/observability.md``).
 
 Quickstart::
 
@@ -32,14 +35,16 @@ Quickstart::
     net = random_geometric_network(12, 0.5, rng=np.random.default_rng(0))
     net = net.with_capacities(1.0)
     system = grid(3)
-    result = solve_qpp(system, AccessStrategy.uniform(system), net, alpha=2.0)
-    print(result.average_delay, result.approximation_factor)
+    result = solve_qpp(system, AccessStrategy.uniform(system), network=net, alpha=2.0)
+    print(result.objective, result.approximation_factor)
 """
 
-from . import analysis, core, experiments, gap, lp, network, quorums, scheduling
+from . import analysis, core, experiments, gap, lp, network, obs, quorums, scheduling
 from .core import (
     Placement,
+    Provenance,
     QPPResult,
+    SolveResult,
     SSQPPResult,
     TotalDelayResult,
     average_max_delay,
@@ -72,10 +77,12 @@ __all__ = [
     "IntersectionError",
     "Network",
     "Placement",
+    "Provenance",
     "QPPResult",
     "QuorumSystem",
     "ReproError",
     "SSQPPResult",
+    "SolveResult",
     "SolverError",
     "TotalDelayResult",
     "UnboundedError",
@@ -88,6 +95,7 @@ __all__ = [
     "gap",
     "lp",
     "network",
+    "obs",
     "optimal_grid_placement",
     "optimal_majority_placement",
     "quorums",

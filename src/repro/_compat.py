@@ -1,0 +1,102 @@
+"""Signature-compatibility shims for the keyword-only solver API.
+
+The canonical solver signatures are keyword-only after the first two
+positional parameters (``docs/api.md``).  Pre-existing call sites pass
+more arguments positionally, and a few used parameter names that have
+since been unified (``method`` → ``lp_method``, ``value`` →
+``capacity``).  :func:`solver_api` wraps a canonically-declared
+function so both legacy forms keep working — with a
+:class:`DeprecationWarning` — while ``inspect.signature`` (and
+therefore the API docs and tests) see the canonical signature through
+``functools.wraps``.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any, TypeVar
+
+__all__ = ["solver_api"]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def solver_api(
+    *,
+    legacy_positional: Sequence[str] = (),
+    aliases: Mapping[str, str] | None = None,
+) -> Callable[[_F], _F]:
+    """Accept legacy call forms for a keyword-only solver entry point.
+
+    Parameters
+    ----------
+    legacy_positional:
+        Names of the now-keyword-only parameters, in the order older
+        code passed them positionally.  Extra positional arguments are
+        mapped onto these names with a deprecation warning.
+    aliases:
+        Deprecated keyword name → canonical name.  A call using the old
+        keyword warns and forwards under the new name.
+
+    Both paths raise :class:`TypeError` on double-supplied parameters,
+    matching normal call semantics.
+    """
+    alias_map = dict(aliases or {})
+
+    def decorate(fn: _F) -> _F:
+        signature = inspect.signature(fn)
+        max_positional = sum(
+            1
+            for parameter in signature.parameters.values()
+            if parameter.kind
+            in (parameter.POSITIONAL_ONLY, parameter.POSITIONAL_OR_KEYWORD)
+        )
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if len(args) > max_positional:
+                extra = args[max_positional:]
+                if len(extra) > len(legacy_positional):
+                    raise TypeError(
+                        f"{fn.__name__}() takes at most "
+                        f"{max_positional + len(legacy_positional)} positional "
+                        f"arguments but {len(args)} were given"
+                    )
+                names = list(legacy_positional[: len(extra)])
+                warnings.warn(
+                    f"passing {', '.join(repr(n) for n in names)} to "
+                    f"{fn.__name__}() positionally is deprecated; pass "
+                    "keyword argument(s) instead (see docs/api.md)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                for name, value in zip(names, extra):
+                    if name in kwargs:
+                        raise TypeError(
+                            f"{fn.__name__}() got multiple values for "
+                            f"argument {name!r}"
+                        )
+                    kwargs[name] = value
+                args = args[:max_positional]
+            for old, new in alias_map.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{fn.__name__}() got values for both {old!r} "
+                            f"(deprecated) and {new!r}"
+                        )
+                    warnings.warn(
+                        f"parameter {old!r} of {fn.__name__}() is deprecated; "
+                        f"use {new!r} (see docs/api.md)",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

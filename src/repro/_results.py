@@ -1,0 +1,131 @@
+"""The unified solver result contract (see :mod:`repro.core.results`).
+
+Every solver entry point returns a frozen subclass of
+:class:`SolveResult` carrying the same canonical core — ``placement``,
+``objective``, ``load_violation_factor``, ``provenance``, ``telemetry``
+— plus solver-specific diagnostics.  Lint rule R301 keeps it that way
+for future solvers.
+
+The class lives in this low-layer module (rather than ``repro.core``)
+so that lower layers — :mod:`repro.gap` in particular — can return
+``SolveResult`` subclasses without importing upward; the public name is
+re-exported as :mod:`repro.core.results`.
+
+Backward compatibility: each subclass lists its pre-unification
+attribute names in ``_legacy_aliases`` (e.g. ``average_delay`` →
+``objective``).  Reading a legacy name still works but emits a
+:class:`DeprecationWarning`; so does legacy tuple-style unpacking of a
+result.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from .obs.metrics import TelemetrySnapshot
+
+__all__ = ["Provenance", "SolveResult", "warn_legacy"]
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Which algorithm and paper result produced a :class:`SolveResult`.
+
+    ``parameters`` freezes the solver parameters that affect the
+    guarantee (e.g. ``alpha``) as sorted ``(name, value)`` pairs so the
+    record stays hashable.
+    """
+
+    algorithm: str
+    theorem: str
+    parameters: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, algorithm: str, theorem: str, **parameters: Any) -> "Provenance":
+        """Build a provenance record from keyword parameters."""
+        return cls(
+            algorithm=algorithm,
+            theorem=theorem,
+            parameters=tuple(sorted(parameters.items())),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "theorem": self.theorem,
+            "parameters": dict(self.parameters),
+        }
+
+
+def warn_legacy(message: str, *, stacklevel: int = 3) -> None:
+    """Emit the library's deprecation warning for a legacy access path."""
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Canonical result of a solver entry point.
+
+    Attributes
+    ----------
+    placement:
+        The solver's chosen placement/assignment (type depends on the
+        solver: a :class:`repro.core.placement.Placement` for placement
+        solvers, a job→machine mapping for GAP).
+    objective:
+        The realized objective value the solver minimized.
+    load_violation_factor:
+        Worst realized ``load / capacity`` over nodes (machines); 0 for
+        an unloaded instance, ``inf`` for load on a zero-capacity node.
+    provenance:
+        Which algorithm/theorem produced the result, with the
+        guarantee-relevant parameters.
+    telemetry:
+        The :class:`~repro.obs.metrics.TelemetrySnapshot` of the solve
+        (counter deltas + wall time), or ``None`` when not captured.
+    """
+
+    placement: Any
+    objective: float
+    load_violation_factor: float
+    provenance: Provenance
+    telemetry: TelemetrySnapshot | None = field(default=None, kw_only=True)
+
+    #: Legacy attribute name → canonical field name, per subclass.
+    _legacy_aliases: ClassVar[Mapping[str, str]] = {}
+
+    def __getattr__(self, name: str) -> Any:
+        # Only reached for attributes that are not real fields.  Dunder
+        # and private lookups (copy/pickle protocols) must fail fast.
+        if name.startswith("_"):
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            )
+        canonical = type(self)._legacy_aliases.get(name)
+        if canonical is None:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            )
+        warn_legacy(
+            f"{type(self).__name__}.{name} is deprecated; "
+            f"use {type(self).__name__}.{canonical}"
+        )
+        return getattr(self, canonical)
+
+    def __iter__(self) -> Iterator[Any]:
+        """Legacy tuple-style unpacking: ``placement, objective, factor``.
+
+        Deprecated; read the named fields instead.
+        """
+        warn_legacy(
+            f"tuple unpacking of {type(self).__name__} is deprecated; "
+            "read the named fields (placement, objective, "
+            "load_violation_factor)",
+            stacklevel=2,
+        )
+        yield self.placement
+        yield self.objective
+        yield self.load_violation_factor

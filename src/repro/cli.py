@@ -7,6 +7,7 @@ Exposes the library's planning loop to shells and scripts::
         --objective max --alpha 2 --out placement.json
     python -m repro evaluate placement.json       # delays/loads of a saved placement
     python -m repro gap --k 5                     # Figure 1 numbers
+    python -m repro profile bench --quick         # trace + metrics of any command
     python -m repro lint src --whole-program      # invariant linter (R001-R104)
     python -m repro lint src --dataflow           # contract/dataflow rules (R200-R204)
     python -m repro deps src --dot                # module import graph
@@ -26,6 +27,7 @@ Random networks take ``--seed`` (default 0) and are fully deterministic.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -207,17 +209,17 @@ def _cmd_place(args: argparse.Namespace) -> int:
         strategy = optimal_strategy(system).strategy
 
     if args.objective == "max":
-        result = solve_qpp(system, strategy, network, alpha=args.alpha)
+        result = solve_qpp(system, strategy, network=network, alpha=args.alpha)
         placement = result.placement
-        objective_value = result.average_delay
+        objective_value = result.objective
         extra = [
             ("approx factor (proven)", result.approximation_factor),
             ("certified OPT lower bound", result.optimum_lower_bound),
         ]
     else:
-        total = solve_total_delay(system, strategy, network)
+        total = solve_total_delay(system, strategy, network=network)
         placement = total.placement
-        objective_value = total.delay
+        objective_value = total.objective
         extra = [("LP bound (>= this placement)", total.lp_value)]
 
     table = ResultTable(
@@ -316,7 +318,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments.bench import run_bench, validate_bench_report
 
-    report = run_bench(quick=args.quick, seed=args.seed)
+    if args.trace_out:
+        from .obs.trace import JsonlSpanSink, collect
+
+        with JsonlSpanSink(args.trace_out) as sink, collect(sink):
+            report = run_bench(quick=args.quick, seed=args.seed)
+    else:
+        report = run_bench(quick=args.quick, seed=args.seed)
     validate_bench_report(report)
     io.save_json(report, args.out)
     table = ResultTable(
@@ -344,8 +352,79 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             speedup=case.get("speedup", float("nan")),
         )
     table.print()
+    telemetry = report["telemetry"]
+    lp_solves = telemetry["metrics"].get("lp.solve.count", 0.0)
+    print(
+        f"telemetry: {lp_solves:g} LP solves in "
+        f"{telemetry['wall_seconds']:.3f}s (see report['telemetry'])"
+    )
     print(f"report written to {args.out}")
+    if args.trace_out:
+        print(f"spans written to {args.trace_out}")
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs.metrics import default_registry, telemetry_scope
+    from .obs.report import (
+        metrics_table_rows,
+        telemetry_document,
+        validate_telemetry_document,
+    )
+    from .obs.trace import JsonlSpanSink, collect, render_span_tree, span
+
+    command = list(args.wrapped)
+    if not command:
+        raise ValidationError(
+            "profile: missing command to wrap, e.g. `repro profile bench --quick`"
+        )
+    if command[0] == "profile":
+        raise ValidationError("profile cannot wrap itself")
+
+    wrapped = build_parser().parse_args(command)
+    sink = JsonlSpanSink(args.trace_out) if args.trace_out else None
+    sinks = (sink,) if sink is not None else ()
+    try:
+        with collect(*sinks) as collector, telemetry_scope() as telemetry:
+            with span("cli", command=" ".join(command)):
+                exit_code = wrapped.func(wrapped)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    snapshot = telemetry.snapshot
+    assert snapshot is not None  # telemetry_scope fills it on exit
+    document = telemetry_document(
+        command=command,
+        exit_code=exit_code,
+        collector=collector,
+        counters=snapshot.metrics,
+        registry=default_registry(),
+    )
+    validate_telemetry_document(document)
+    if args.report_out:
+        io.save_json(document, args.report_out)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print()
+        print(
+            f"== span tree ({collector.span_count} spans, "
+            f"max depth {collector.max_depth}) =="
+        )
+        print(render_span_tree(collector.roots))
+        table = ResultTable(f"metrics for `repro {' '.join(command)}`",
+                            ["metric", "value"])
+        for name, value in metrics_table_rows(
+            snapshot.metrics, wall_seconds=snapshot.wall_seconds
+        ):
+            table.add_row(metric=name, value=value)
+        table.print()
+        if args.trace_out:
+            print(f"spans written to {args.trace_out}")
+        if args.report_out:
+            print(f"telemetry document written to {args.report_out}")
+    return exit_code
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -429,7 +508,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--out", default="BENCH_3.json",
                          help="report path (default: BENCH_3.json)")
+    p_bench.add_argument("--trace-out", default=None, dest="trace_out",
+                         help="also record the run's span tree as JSONL here")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run any repro command under the tracer and print the span tree",
+        description="Wraps another repro command (e.g. `repro profile bench "
+        "--quick`) with a trace collector and a telemetry scope, then prints "
+        "the span tree and a metrics table (or the schema-versioned JSON "
+        "document with --json). See docs/observability.md.",
+    )
+    p_profile.add_argument(
+        "--json", action="store_true",
+        help="print the telemetry document as JSON instead of text",
+    )
+    p_profile.add_argument(
+        "--trace-out", default=None, dest="trace_out",
+        help="write the span tree as JSONL here",
+    )
+    p_profile.add_argument(
+        "--report-out", default=None, dest="report_out",
+        help="write the telemetry document as JSON here",
+    )
+    p_profile.add_argument(
+        "wrapped", nargs=argparse.REMAINDER,
+        help="the repro command to profile, with its own flags",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_lint = sub.add_parser(
         "lint",

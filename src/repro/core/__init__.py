@@ -14,6 +14,8 @@ Layout of the subpackage:
 * :mod:`~repro.core.exact` — exhaustive optima for small instances.
 * :mod:`~repro.core.baselines` — comparison placements.
 * :mod:`~repro.core.hardness` — the Theorem 3.6 NP-hardness reduction.
+* :mod:`~repro.core.results` — the unified :class:`SolveResult` contract
+  every solver entry point returns (see ``docs/api.md``).
 """
 
 from .baselines import greedy_placement, random_placement, single_node_placement
@@ -73,6 +75,7 @@ from .placement import (
     total_delay_cost,
 )
 from .qpp import QPPResult, average_strategy, solve_qpp
+from .results import Provenance, SolveResult
 from .rw_placement import RWPlacementResult, solve_rw_placement, solve_rw_ssqpp
 from .relay import (
     RELAY_FACTOR_BOUND,
@@ -102,6 +105,7 @@ __all__ = [
     "MajorityLayoutResult",
     "PartialDeployment",
     "Placement",
+    "Provenance",
     "QPPResult",
     "RWPlacementResult",
     "RELAY_FACTOR_BOUND",
@@ -109,6 +113,7 @@ __all__ = [
     "SSQPPLPFactory",
     "SSQPPResult",
     "ScalarizedResult",
+    "SolveResult",
     "TotalDelayResult",
     "alternating_optimization",
     "average_max_delay",

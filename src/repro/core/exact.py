@@ -19,9 +19,11 @@ from typing import Callable
 
 import numpy as np
 
+from .._compat import solver_api
 from .._validation import require
 from ..exceptions import InfeasibleError, ValidationError
 from ..network.graph import Network, Node
+from ..obs.trace import span
 from ..quorums.base import Element, QuorumSystem
 from ..quorums.strategy import AccessStrategy
 from .placement import (
@@ -131,7 +133,8 @@ def _enumerate_optimal(
             assignment.pop()
             node_loads[node_index] -= load
 
-    recurse(0)
+    with span("exact.search", elements=len(universe), nodes=len(nodes)):
+        recurse(0)
     if best_mapping is None:
         raise InfeasibleError("no capacity-respecting placement exists")
     return ExactPlacement(
@@ -139,9 +142,11 @@ def _enumerate_optimal(
     )
 
 
+@solver_api(legacy_positional=("network", "source"))
 def solve_ssqpp_exact(
     system: QuorumSystem,
     strategy: AccessStrategy,
+    *,
     network: Network,
     source: Node,
 ) -> ExactPlacement:
@@ -155,11 +160,12 @@ def solve_ssqpp_exact(
     )
 
 
+@solver_api(legacy_positional=("network",))
 def solve_qpp_exact(
     system: QuorumSystem,
     strategy: AccessStrategy,
-    network: Network,
     *,
+    network: Network,
     rates: dict[Node, float] | None = None,
 ) -> ExactPlacement:
     """The true optimum of Problem 1.1 (all clients, average max-delay)."""
@@ -171,11 +177,12 @@ def solve_qpp_exact(
     )
 
 
+@solver_api(legacy_positional=("network",))
 def solve_total_delay_exact(
     system: QuorumSystem,
     strategy: AccessStrategy,
-    network: Network,
     *,
+    network: Network,
     rates: dict[Node, float] | None = None,
 ) -> ExactPlacement:
     """The true optimum of the Section 5 problem (average total delay)."""

@@ -27,16 +27,21 @@ from __future__ import annotations
 
 import math
 
+from collections.abc import Mapping
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
+from .._compat import solver_api
+from .._results import Provenance, SolveResult
 from .._validation import check_integer_in_range, check_positive
 from ..exceptions import CapacityError, ValidationError
 from ..network.graph import Network, Node
+from ..obs.trace import span
 from ..quorums.grid import grid
 from ..quorums.strategy import AccessStrategy
-from .placement import Placement, expected_max_delay
+from .placement import Placement, expected_max_delay, node_loads
 
 __all__ = [
     "concentric_positions",
@@ -136,23 +141,38 @@ def nearest_slots(
 
 
 @dataclass(frozen=True)
-class GridLayoutResult:
-    """An optimal Grid placement with its realized delay.
+class GridLayoutResult(SolveResult):
+    """An optimal Grid placement (a :class:`~repro._results.SolveResult`).
 
-    ``delay`` equals :func:`grid_matrix_delay` of the arranged distance
-    matrix, which Theorem B.1 certifies as the minimum over all
-    capacity-respecting placements.
+    ``objective`` equals :func:`grid_matrix_delay` of the arranged
+    distance matrix, which Theorem B.1 certifies as the minimum over all
+    capacity-respecting placements; the pre-unification name ``delay``
+    still resolves but emits a :class:`DeprecationWarning`.
     """
 
-    placement: Placement
     strategy: AccessStrategy
-    delay: float
     matrix: np.ndarray
     slots: list[Node]
 
+    _legacy_aliases: ClassVar[Mapping[str, str]] = {"delay": "objective"}
+
+
+def _realized_load_factor(
+    placement: Placement, strategy: AccessStrategy, network: Network
+) -> float:
+    """Realized worst ``load_f(v)/cap(v)`` of an integral placement."""
+    worst = 0.0
+    for node, load in node_loads(placement, strategy).items():
+        if load <= 0:
+            continue
+        capacity = network.capacity(node)
+        worst = max(worst, load / capacity if capacity > 0 else float("inf"))
+    return worst
+
 
 # paper: Thm 1.3, Thm B.1, §4
-def optimal_grid_placement(network: Network, source: Node, k: int) -> GridLayoutResult:
+@solver_api(legacy_positional=("k",))
+def optimal_grid_placement(network: Network, source: Node, *, k: int) -> GridLayoutResult:
     """Place ``grid(k)`` optimally for source *source* (Theorem B.1).
 
     The per-element load under the uniform strategy is
@@ -161,29 +181,32 @@ def optimal_grid_placement(network: Network, source: Node, k: int) -> GridLayout
     exactly (no violation), matching Theorem 1.3's requirements.
     """
     check_integer_in_range(k, "k", low=1)
-    system = grid(k)
-    strategy = AccessStrategy.uniform(system)
-    element_load = strategy.load(system.universe[0])
-    slots = nearest_slots(network, source, element_load, k * k)
+    with span("grid.layout", k=k, source=source):
+        system = grid(k)
+        strategy = AccessStrategy.uniform(system)
+        element_load = strategy.load(system.universe[0])
+        slots = nearest_slots(network, source, element_load, k * k)
 
-    metric = network.metric()
-    distances = [metric.distance(source, node) for node in slots]
-    # Pair each matrix cell with a slot: sort slots by decreasing distance
-    # and walk the concentric position order.
-    order = sorted(range(len(slots)), key=lambda i: -distances[i])
-    mapping = {}
-    matrix = np.zeros((k, k))
-    for rank, (row, column) in enumerate(concentric_positions(k)):
-        slot_index = order[rank]
-        mapping[(row, column)] = slots[slot_index]
-        matrix[row, column] = distances[slot_index]
+        metric = network.metric()
+        distances = [metric.distance(source, node) for node in slots]
+        # Pair each matrix cell with a slot: sort slots by decreasing distance
+        # and walk the concentric position order.
+        order = sorted(range(len(slots)), key=lambda i: -distances[i])
+        mapping = {}
+        matrix = np.zeros((k, k))
+        for rank, (row, column) in enumerate(concentric_positions(k)):
+            slot_index = order[rank]
+            mapping[(row, column)] = slots[slot_index]
+            matrix[row, column] = distances[slot_index]
 
-    placement = Placement(system, network, mapping)
-    delay = expected_max_delay(placement, strategy, source)
+        placement = Placement(system, network, mapping)
+        delay = expected_max_delay(placement, strategy, source)
     return GridLayoutResult(
         placement=placement,
+        objective=delay,
+        load_violation_factor=_realized_load_factor(placement, strategy, network),
+        provenance=Provenance.of("grid.concentric", "Thm B.1", k=k),
         strategy=strategy,
-        delay=delay,
         matrix=matrix,
         slots=slots,
     )

@@ -20,15 +20,20 @@ and :func:`optimal_majority_placement` returns one while
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 from math import comb
+from typing import ClassVar
 
+from .._compat import solver_api
+from .._results import Provenance, SolveResult
 from .._validation import check_integer_in_range
 from ..exceptions import ValidationError
 from ..network.graph import Network, Node
+from ..obs.trace import span
 from ..quorums.majority import threshold
 from ..quorums.strategy import AccessStrategy
-from .grid_layout import nearest_slots
+from .grid_layout import _realized_load_factor, nearest_slots
 from .placement import Placement, expected_max_delay
 
 __all__ = [
@@ -69,24 +74,28 @@ def majority_delay_formula(n: int, t: int, distances: list[float]) -> float:
 
 
 @dataclass(frozen=True)
-class MajorityLayoutResult:
-    """An optimal Majority placement.
+class MajorityLayoutResult(SolveResult):
+    """An optimal Majority placement (a
+    :class:`~repro._results.SolveResult`).
 
-    ``delay`` is the realized ``Delta_f(v0)``; ``formula_delay`` is the
-    closed-form (19) evaluated on the chosen slot distances.  The two
-    agree to numerical precision — the test suite asserts it.
+    ``objective`` is the realized ``Delta_f(v0)``; ``formula_delay`` is
+    the closed-form (19) evaluated on the chosen slot distances.  The
+    two agree to numerical precision — the test suite asserts it.  The
+    pre-unification name ``delay`` still resolves but emits a
+    :class:`DeprecationWarning`.
     """
 
-    placement: Placement
     strategy: AccessStrategy
-    delay: float
     formula_delay: float
     slots: list[Node]
 
+    _legacy_aliases: ClassVar[Mapping[str, str]] = {"delay": "objective"}
+
 
 # paper: Thm 1.3, §4
+@solver_api(legacy_positional=("n", "t"))
 def optimal_majority_placement(
-    network: Network, source: Node, n: int, t: int | None = None
+    network: Network, source: Node, *, n: int, t: int | None = None
 ) -> MajorityLayoutResult:
     """Optimally place the ``t``-of-``n`` threshold system for one source.
 
@@ -100,21 +109,26 @@ def optimal_majority_placement(
     """
     check_integer_in_range(n, "n", low=1)
     quorum_size = t if t is not None else n // 2 + 1
-    system = threshold(n, quorum_size)
-    strategy = AccessStrategy.uniform(system)
-    element_load = strategy.load(system.universe[0])
-    slots = nearest_slots(network, source, element_load, n)
+    with span("majority.layout", n=n, t=quorum_size, source=source):
+        system = threshold(n, quorum_size)
+        strategy = AccessStrategy.uniform(system)
+        element_load = strategy.load(system.universe[0])
+        slots = nearest_slots(network, source, element_load, n)
 
-    mapping = {element: slots[index] for index, element in enumerate(system.universe)}
-    placement = Placement(system, network, mapping)
-    metric = network.metric()
-    distances = [metric.distance(source, node) for node in slots]
-    delay = expected_max_delay(placement, strategy, source)
-    formula = majority_delay_formula(n, quorum_size, distances)
+        mapping = {
+            element: slots[index] for index, element in enumerate(system.universe)
+        }
+        placement = Placement(system, network, mapping)
+        metric = network.metric()
+        distances = [metric.distance(source, node) for node in slots]
+        delay = expected_max_delay(placement, strategy, source)
+        formula = majority_delay_formula(n, quorum_size, distances)
     return MajorityLayoutResult(
         placement=placement,
+        objective=delay,
+        load_violation_factor=_realized_load_factor(placement, strategy, network),
+        provenance=Provenance.of("majority.nearest-slots", "eq. (19)", n=n, t=quorum_size),
         strategy=strategy,
-        delay=delay,
         formula_delay=formula,
         slots=slots,
     )

@@ -25,11 +25,16 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
+from .._compat import solver_api
+from .._results import Provenance, SolveResult
 from .._validation import check_positive, require
 from ..network.graph import Network, Node
+from ..obs.metrics import telemetry_scope
+from ..obs.trace import span
 from ..quorums.base import QuorumSystem
 from ..quorums.strategy import AccessStrategy
 from .placement import Placement, _client_weights, average_max_delay
@@ -39,15 +44,16 @@ __all__ = ["QPPResult", "solve_qpp", "average_strategy"]
 
 
 @dataclass(frozen=True)
-class QPPResult:
-    """Output of :func:`solve_qpp`.
+class QPPResult(SolveResult):
+    """Output of :func:`solve_qpp` (a :class:`~repro._results.SolveResult`).
+
+    ``objective`` is the realized QPP objective ``Avg_v Delta_f(v)`` and
+    ``load_violation_factor`` the realized worst ``load_f(v)/cap(v)``;
+    the pre-unification name ``average_delay`` still resolves but emits
+    a :class:`DeprecationWarning`.
 
     Attributes
     ----------
-    placement:
-        The best placement found.
-    average_delay:
-        Its realized QPP objective ``Avg_v Delta_f(v)``.
     source:
         The relay candidate whose single-source solution won.
     alpha:
@@ -65,8 +71,6 @@ class QPPResult:
         keyed by source node (useful for diagnostics and ablations).
     """
 
-    placement: Placement
-    average_delay: float
     source: Node
     alpha: float
     approximation_factor: float
@@ -74,22 +78,25 @@ class QPPResult:
     optimum_lower_bound: float
     per_source: dict[Node, SSQPPResult]
 
+    _legacy_aliases: ClassVar[Mapping[str, str]] = {"average_delay": "objective"}
+
     @property
     def certified_ratio(self) -> float:
-        """``average_delay / optimum_lower_bound`` — an upper bound on the
+        """``objective / optimum_lower_bound`` — an upper bound on the
         realized approximation ratio (infinite when the bound is zero
         while the delay is positive)."""
         if self.optimum_lower_bound > 0:
-            return self.average_delay / self.optimum_lower_bound
-        return 0.0 if self.average_delay == 0 else float("inf")
+            return self.objective / self.optimum_lower_bound
+        return 0.0 if self.objective == 0 else float("inf")
 
 
 # paper: Thm 1.2, Thm 3.3, §3
+@solver_api(legacy_positional=("network",))
 def solve_qpp(
     system: QuorumSystem,
     strategy: AccessStrategy,
-    network: Network,
     *,
+    network: Network,
     alpha: float = 2.0,
     candidate_sources: Sequence[Node] | None = None,
     rates: Mapping[Node, float] | None = None,
@@ -138,36 +145,45 @@ def solve_qpp(
     lower_bound = float("inf")
     per_source: dict[Node, SSQPPResult] = {}
 
-    for source in candidates:
-        result = solve_ssqpp(
-            system,
-            strategy,
-            network,
-            source,
-            alpha=alpha,
-            lp_method=lp_method,
-            formulation=formulation,
-            factory=factory,
-        )
-        per_source[source] = result
-        to_source = float(weights @ metric.distances_from(source))
-        lower_bound = min(lower_bound, (to_source + result.lp_value) / 5.0)
-        realized = average_max_delay(result.placement, strategy, rates=rates)
-        if realized < best_delay:
-            best_delay = realized
-            best = result
-            best_source = source
+    with telemetry_scope() as telemetry, span(
+        "qpp.sweep", candidates=len(candidates), alpha=alpha
+    ):
+        for source in candidates:
+            with span("qpp.candidate", source=source):
+                result = solve_ssqpp(
+                    system,
+                    strategy,
+                    network=network,
+                    source=source,
+                    alpha=alpha,
+                    lp_method=lp_method,
+                    formulation=formulation,
+                    factory=factory,
+                )
+            per_source[source] = result
+            to_source = float(weights @ metric.distances_from(source))
+            lower_bound = min(lower_bound, (to_source + result.lp_value) / 5.0)
+            realized = average_max_delay(result.placement, strategy, rates=rates)
+            if realized < best_delay:
+                best_delay = realized
+                best = result
+                best_source = source
 
     assert best is not None and best_source is not None
     return QPPResult(
         placement=best.placement,
-        average_delay=best_delay,
+        objective=best_delay,
+        load_violation_factor=best.max_load_factor,
+        provenance=Provenance.of(
+            "qpp.relay-sweep", "Thm 1.2", alpha=alpha, formulation=formulation
+        ),
         source=best_source,
         alpha=alpha,
         approximation_factor=5.0 * alpha / (alpha - 1.0),
         load_factor_bound=alpha + 1.0,
         optimum_lower_bound=lower_bound,
         per_source=per_source,
+        telemetry=telemetry.snapshot,
     )
 
 

@@ -1,0 +1,17 @@
+"""Public home of the unified solver result API.
+
+Every solver entry point in this package returns a frozen subclass of
+:class:`SolveResult` (the contract is enforced by lint rule R301; the
+canonical signatures are documented in ``docs/api.md``).  The
+implementation lives in the low-layer :mod:`repro._results` module so
+lower layers like :mod:`repro.gap` can share it; this module is the
+import path user code should use::
+
+    from repro.core.results import SolveResult, Provenance
+"""
+
+from __future__ import annotations
+
+from .._results import Provenance, SolveResult
+
+__all__ = ["Provenance", "SolveResult"]

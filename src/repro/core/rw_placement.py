@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from .._compat import solver_api
 from .._validation import check_probability
 from ..network.graph import Network, Node
 from ..quorums.readwrite import ReadWriteQuorumSystem
@@ -61,11 +62,12 @@ class RWPlacementResult:
     source: Node
 
 
+@solver_api(legacy_positional=("source",))
 def solve_rw_ssqpp(
     rw_system: ReadWriteQuorumSystem,
     network: Network,
-    source: Node,
     *,
+    source: Node,
     read_fraction: float,
     alpha: float = 2.0,
 ) -> SSQPPResult:
@@ -73,7 +75,7 @@ def solve_rw_ssqpp(
     applies unchanged: its guarantees never use intersection)."""
     read_fraction = check_probability(read_fraction, "read_fraction")
     system, strategy = rw_system.workload_weights(read_fraction)
-    return solve_ssqpp(system, strategy, network, source, alpha=alpha)
+    return solve_ssqpp(system, strategy, network=network, source=source, alpha=alpha)
 
 
 def solve_rw_placement(
@@ -102,7 +104,7 @@ def solve_rw_placement(
     best_source: Node | None = None
     lower_bound = float("inf")
     for source in candidates:
-        result = solve_ssqpp(system, strategy, network, source, alpha=alpha)
+        result = solve_ssqpp(system, strategy, network=network, source=source, alpha=alpha)
         to_source = float(metric.distances_from(source).mean())
         lower_bound = min(lower_bound, (to_source + result.lp_value) / 5.0)
         delay = average_max_delay(result.placement, strategy)

@@ -37,8 +37,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import solver_api
 from .._validation import check_positive, require
 from ..exceptions import InfeasibleError, ValidationError
+from ..obs.trace import span
 from ..gap.instance import GAPInstance
 from ..gap.lp import FractionalAssignment
 from ..gap.rounding import round_fractional_assignment
@@ -447,12 +449,13 @@ def _filter_fractions(
 
 
 # paper: Thm 3.7, Thm 3.12, §3.3
+@solver_api(legacy_positional=("network", "source"))
 def solve_ssqpp(
     system: QuorumSystem,
     strategy: AccessStrategy,
+    *,
     network: Network,
     source: Node,
-    *,
     alpha: float = 2.0,
     lp_method: str = "highs",
     formulation: str = "prefix",
@@ -490,64 +493,72 @@ def solve_ssqpp(
             and factory.matches(system, strategy, network, formulation),
             "factory was built for different inputs",
         )
-    try:
-        model, x_element, x_quorum, ordered_nodes, distances = factory.attach(source)
-        solution = model.solve(method=lp_method)
-        lp_value = float(solution.objective)
+    with span(
+        "ssqpp.solve", source=source, alpha=alpha, formulation=formulation
+    ):
+        try:
+            model, x_element, x_quorum, ordered_nodes, distances = factory.attach(
+                source
+            )
+            with span("ssqpp.lp"):
+                solution = model.solve(method=lp_method)
+            lp_value = float(solution.objective)
 
-        universe = list(system.universe)
-        n = len(ordered_nodes)
-        raw = np.zeros((n, len(universe)))
-        for j, u in enumerate(universe):
+            universe = list(system.universe)
+            n = len(ordered_nodes)
+            raw = np.zeros((n, len(universe)))
+            for j, u in enumerate(universe):
+                for t in range(n):
+                    variable = x_element.get((t, u))
+                    if variable is not None:
+                        raw[t, j] = max(solution.value(variable), 0.0)
+        finally:
+            factory.release()
+        with span("ssqpp.filter"):
+            filtered = _filter_fractions(raw, alpha)
+
+        loads = strategy.load_array()
+        capacities = np.array([network.capacity(node) for node in ordered_nodes])
+        # GAP view: machines are nodes in distance order, jobs are elements.
+        costs = np.full((n, len(universe)), math.inf)
+        gap_loads = np.full((n, len(universe)), math.inf)
+        for j in range(len(universe)):
             for t in range(n):
-                variable = x_element.get((t, u))
-                if variable is not None:
-                    raw[t, j] = max(solution.value(variable), 0.0)
-    finally:
-        factory.release()
-    filtered = _filter_fractions(raw, alpha)
-
-    loads = strategy.load_array()
-    capacities = np.array([network.capacity(node) for node in ordered_nodes])
-    # GAP view: machines are nodes in distance order, jobs are elements.
-    costs = np.full((n, len(universe)), math.inf)
-    gap_loads = np.full((n, len(universe)), math.inf)
-    for j in range(len(universe)):
-        for t in range(n):
-            if filtered[t, j] > _ZERO:
-                costs[t, j] = distances[t]
-                gap_loads[t, j] = loads[j]
-    instance = GAPInstance(
-        jobs=tuple(universe),
-        machines=tuple(ordered_nodes),
-        costs=costs,
-        loads=gap_loads,
-        capacities=alpha * capacities,
-    )
-    fractional_cost = float(
-        sum(
-            filtered[t, j] * distances[t]
-            for j in range(len(universe))
-            for t in range(n)
-            if filtered[t, j] > _ZERO
+                if filtered[t, j] > _ZERO:
+                    costs[t, j] = distances[t]
+                    gap_loads[t, j] = loads[j]
+        instance = GAPInstance(
+            jobs=tuple(universe),
+            machines=tuple(ordered_nodes),
+            costs=costs,
+            loads=gap_loads,
+            capacities=alpha * capacities,
         )
-    )
-    fractional = FractionalAssignment(
-        instance=instance, fractions=filtered, cost=fractional_cost
-    )
-    rounded = round_fractional_assignment(fractional)
-
-    placement = Placement(system, network, rounded.assignment)
-    delay = expected_max_delay(placement, strategy, source)
-
-    max_factor = 0.0
-    for node, load in node_loads(placement, strategy).items():
-        if load <= 0:
-            continue
-        capacity = network.capacity(node)
-        max_factor = max(
-            max_factor, load / capacity if capacity > 0 else float("inf")
+        fractional_cost = float(
+            sum(
+                filtered[t, j] * distances[t]
+                for j in range(len(universe))
+                for t in range(n)
+                if filtered[t, j] > _ZERO
+            )
         )
+        fractional = FractionalAssignment(
+            instance=instance, fractions=filtered, cost=fractional_cost
+        )
+        with span("ssqpp.round"):
+            rounded = round_fractional_assignment(fractional)
+
+        placement = Placement(system, network, rounded.assignment)
+        delay = expected_max_delay(placement, strategy, source)
+
+        max_factor = 0.0
+        for node, load in node_loads(placement, strategy).items():
+            if load <= 0:
+                continue
+            capacity = network.capacity(node)
+            max_factor = max(
+                max_factor, load / capacity if capacity > 0 else float("inf")
+            )
 
     return SSQPPResult(
         placement=placement,

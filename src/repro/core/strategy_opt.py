@@ -201,7 +201,7 @@ def alternating_optimization(
             improved = True
         # Re-place for the current strategy.
         replaced = solve_ssqpp(
-            system, current_strategy, network, source, alpha=alpha
+            system, current_strategy, network=network, source=source, alpha=alpha
         )
         if replaced.delay < best - 1e-12:
             current_placement = replaced.placement

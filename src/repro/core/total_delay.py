@@ -19,13 +19,18 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
+from .._compat import solver_api
+from .._results import Provenance, SolveResult
 from .._validation import require
 from ..gap.instance import GAPInstance
 from ..gap.solver import GAPSolution, solve_gap
 from ..network.graph import Network, Node
+from ..obs.metrics import telemetry_scope
+from ..obs.trace import span
 from ..quorums.base import QuorumSystem
 from ..quorums.strategy import AccessStrategy
 from .placement import Placement, _client_weights, average_total_delay, node_loads
@@ -36,34 +41,43 @@ _ZERO = 1e-12
 
 
 @dataclass(frozen=True)
-class TotalDelayResult:
-    """Output of :func:`solve_total_delay`.
+class TotalDelayResult(SolveResult):
+    """Output of :func:`solve_total_delay` (a
+    :class:`~repro._results.SolveResult`).
 
-    Theorem 5.1 guarantees ``delay <= optimum`` (the LP bound
-    ``lp_value`` certifies it: ``delay <= lp_value <= OPT``) and
+    ``objective`` is the realized average total delay and
+    ``load_violation_factor`` the realized worst ``load_f(v)/cap(v)``;
+    the pre-unification names ``delay``/``max_load_factor`` still
+    resolve but emit a :class:`DeprecationWarning`.
+
+    Theorem 5.1 guarantees ``objective <= optimum`` (the LP bound
+    ``lp_value`` certifies it: ``objective <= lp_value <= OPT``) and
     ``load_f(v) <= 2 cap(v)`` on every node.
     """
 
-    placement: Placement
-    delay: float
     lp_value: float
-    max_load_factor: float
     load_factor_bound: float
+
+    _legacy_aliases: ClassVar[Mapping[str, str]] = {
+        "delay": "objective",
+        "max_load_factor": "load_violation_factor",
+    }
 
     @property
     def within_guarantees(self) -> bool:
         return (
-            self.delay <= self.lp_value + 1e-6
-            and self.max_load_factor <= self.load_factor_bound + 1e-6
+            self.objective <= self.lp_value + 1e-6
+            and self.load_violation_factor <= self.load_factor_bound + 1e-6
         )
 
 
 # paper: Thm 1.4, §5
+@solver_api(legacy_positional=("network",))
 def solve_total_delay(
     system: QuorumSystem,
     strategy: AccessStrategy,
-    network: Network,
     *,
+    network: Network,
     rates: Mapping[Node, float] | None = None,
     lp_method: str = "highs-ds",
 ) -> TotalDelayResult:
@@ -77,49 +91,56 @@ def solve_total_delay(
         strategy.system == system,
         "strategy does not match the quorum system",
     )
-    metric = network.metric()
-    weights = _client_weights(network, rates)
-    # Avg (weighted) distance from all clients to each node w.
-    average_distance = weights @ metric.matrix
+    with telemetry_scope() as telemetry, span(
+        "total_delay.solve", nodes=network.size
+    ):
+        metric = network.metric()
+        weights = _client_weights(network, rates)
+        # Avg (weighted) distance from all clients to each node w.
+        average_distance = weights @ metric.matrix
 
-    universe = list(system.universe)
-    loads = np.array([strategy.load(u) for u in universe])
-    nodes = list(network.nodes)
-    capacities = np.array([network.capacity(v) for v in nodes])
+        universe = list(system.universe)
+        loads = np.array([strategy.load(u) for u in universe])
+        nodes = list(network.nodes)
+        capacities = np.array([network.capacity(v) for v in nodes])
 
-    costs = np.full((len(nodes), len(universe)), math.inf)
-    gap_loads = np.full((len(nodes), len(universe)), math.inf)
-    for i in range(len(nodes)):
-        for j in range(len(universe)):
-            # Pairs with load above capacity are forbidden, mirroring the
-            # paper's constraint (13); the optimum never uses them either,
-            # so the LP bound still certifies optimality.
-            if loads[j] <= capacities[i] + _ZERO:
-                costs[i, j] = loads[j] * average_distance[i]
-                gap_loads[i, j] = loads[j]
-    instance = GAPInstance(
-        jobs=tuple(universe),
-        machines=tuple(nodes),
-        costs=costs,
-        loads=gap_loads,
-        capacities=capacities,
-    )
-    gap_solution: GAPSolution = solve_gap(instance, method=lp_method)
+        costs = np.full((len(nodes), len(universe)), math.inf)
+        gap_loads = np.full((len(nodes), len(universe)), math.inf)
+        for i in range(len(nodes)):
+            for j in range(len(universe)):
+                # Pairs with load above capacity are forbidden, mirroring the
+                # paper's constraint (13); the optimum never uses them either,
+                # so the LP bound still certifies optimality.
+                if loads[j] <= capacities[i] + _ZERO:
+                    costs[i, j] = loads[j] * average_distance[i]
+                    gap_loads[i, j] = loads[j]
+        instance = GAPInstance(
+            jobs=tuple(universe),
+            machines=tuple(nodes),
+            costs=costs,
+            loads=gap_loads,
+            capacities=capacities,
+        )
+        gap_solution: GAPSolution = solve_gap(instance, lp_method=lp_method)
 
-    placement = Placement(system, network, gap_solution.assignment)
-    delay = average_total_delay(placement, strategy, rates=rates)
+        placement = Placement(system, network, gap_solution.placement)
+        delay = average_total_delay(placement, strategy, rates=rates)
 
-    max_factor = 0.0
-    for node, load in node_loads(placement, strategy).items():
-        if load <= 0:
-            continue
-        capacity = network.capacity(node)
-        max_factor = max(max_factor, load / capacity if capacity > 0 else float("inf"))
+        max_factor = 0.0
+        for node, load in node_loads(placement, strategy).items():
+            if load <= 0:
+                continue
+            capacity = network.capacity(node)
+            max_factor = max(
+                max_factor, load / capacity if capacity > 0 else float("inf")
+            )
 
     return TotalDelayResult(
         placement=placement,
-        delay=delay,
-        lp_value=gap_solution.lp_cost,
-        max_load_factor=max_factor,
+        objective=delay,
+        load_violation_factor=max_factor,
+        provenance=Provenance.of("total-delay.gap", "Thm 1.4", lp_method=lp_method),
+        lp_value=gap_solution.lp_value,
         load_factor_bound=2.0,
+        telemetry=telemetry.snapshot,
     )

@@ -9,15 +9,23 @@ naturally are not, so consumers must treat ``*_seconds`` / ``speedup``
 fields as informational only — the regression tests assert the values
 and checksums, never the timings.
 
-Report schema (version 1)
+Report schema (version 2)
 -------------------------
+
+Version 2 adds a top-level ``"telemetry"`` block — the
+:mod:`repro.obs` counter deltas and wall time of the whole run.  Like
+the timing fields it is run-dependent (the determinism tests strip it).
 
 ::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "quick": bool,          # --quick mode (fewer repeats)
       "seed": int,            # RNG seed for the generated networks
+      "telemetry": {
+        "wall_seconds": float,
+        "metrics": {str: float},    # counter deltas, e.g. "lp.solve.count"
+      },
       "cases": {
         "average_max_delay": {
           "network": str, "system": str, "clients": int,
@@ -85,13 +93,15 @@ from ..network.generators import (
 )
 from ..network.graph import Network
 from ..network.metric import dijkstra, dijkstra_batched
+from ..obs.metrics import telemetry_scope
+from ..obs.trace import span
 from ..quorums.grid import grid
 from ..quorums.majority import majority
 from ..quorums.strategy import AccessStrategy
 
 __all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "validate_bench_report"]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: Required keys per case, beyond the timing fields.
 _CASE_VALUE_KEYS = {
@@ -163,6 +173,19 @@ def run_bench(*, quick: bool = True, seed: int = 0) -> dict:
     repeats = 1 if quick else 3
     cases: dict[str, dict] = {}
 
+    with telemetry_scope() as telemetry, span("bench.run", quick=quick, seed=seed):
+        _run_cases(cases, repeats=repeats, seed=seed)
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "telemetry": telemetry.snapshot.as_dict(),
+        "cases": cases,
+    }
+
+
+def _run_cases(cases: dict[str, dict], *, repeats: int, seed: int) -> None:
     # -- evaluator kernels: 100-node geometric network, Grid(10) system ----------
     network = _evaluator_network(seed)
     system = grid(10)
@@ -271,7 +294,9 @@ def run_bench(*, quick: bool = True, seed: int = 0) -> dict:
     source = ssqpp_network.nodes[0]
     solve_seconds, ssqpp_result = _best_of(
         repeats,
-        lambda: solve_ssqpp(ssqpp_system, ssqpp_strategy, ssqpp_network, source),
+        lambda: solve_ssqpp(
+            ssqpp_system, ssqpp_strategy, network=ssqpp_network, source=source
+        ),
     )
     cases["ssqpp_solve"] = {
         "network": ssqpp_network.name,
@@ -287,38 +312,40 @@ def run_bench(*, quick: bool = True, seed: int = 0) -> dict:
 
     # -- QPP sweep: every candidate reuses one shared LP base --------------------
     sweep_seconds, qpp_result = _best_of(
-        1, lambda: solve_qpp(ssqpp_system, ssqpp_strategy, ssqpp_network)
+        1, lambda: solve_qpp(ssqpp_system, ssqpp_strategy, network=ssqpp_network)
     )
     cases["qpp_sweep"] = {
         "network": ssqpp_network.name,
         "system": "majority(5)",
         "candidates": len(qpp_result.per_source),
-        "average_delay": float(qpp_result.average_delay),
+        "average_delay": float(qpp_result.objective),
         "lower_bound": float(qpp_result.optimum_lower_bound),
         "checksum": _checksum(
-            [float(qpp_result.average_delay), float(qpp_result.optimum_lower_bound)]
+            [float(qpp_result.objective), float(qpp_result.optimum_lower_bound)]
         ),
         "sweep_seconds": sweep_seconds,
     }
 
-    return {
-        "schema_version": BENCH_SCHEMA_VERSION,
-        "quick": bool(quick),
-        "seed": int(seed),
-        "cases": cases,
-    }
-
 
 def validate_bench_report(report: dict) -> None:
-    """Raise :class:`ValidationError` unless *report* matches schema v1."""
+    """Raise :class:`ValidationError` unless *report* matches schema v2."""
     require(isinstance(report, dict), "report must be a dict")
-    for key in ("schema_version", "quick", "seed", "cases"):
+    for key in ("schema_version", "quick", "seed", "telemetry", "cases"):
         if key not in report:
             raise ValidationError(f"bench report is missing key {key!r}")
     if report["schema_version"] != BENCH_SCHEMA_VERSION:
         raise ValidationError(
             f"unsupported bench schema version {report['schema_version']!r}"
         )
+    telemetry = report["telemetry"]
+    require(isinstance(telemetry, dict), "report['telemetry'] must be a dict")
+    for key in ("wall_seconds", "metrics"):
+        if key not in telemetry:
+            raise ValidationError(f"telemetry block is missing key {key!r}")
+    require(
+        isinstance(telemetry["metrics"], dict),
+        "telemetry['metrics'] must be a dict",
+    )
     cases = report["cases"]
     require(isinstance(cases, dict), "report['cases'] must be a dict")
     for name, value_keys in _CASE_VALUE_KEYS.items():

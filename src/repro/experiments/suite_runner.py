@@ -24,6 +24,7 @@ from ..core.placement import (
 from ..core.qpp import solve_qpp
 from ..core.total_delay import solve_total_delay
 from ..exceptions import ReproError, ValidationError
+from ..obs.metrics import TelemetrySnapshot, telemetry_scope
 from .workloads import PlacementInstance
 
 __all__ = ["AlgorithmScore", "InstanceComparison", "compare_algorithms"]
@@ -56,6 +57,9 @@ class InstanceComparison:
     instance: PlacementInstance
     scores: list[AlgorithmScore] = field(default_factory=list)
     optimal_max_delay: float | None = None
+    #: Counter deltas + wall time of the whole comparison (LP solves,
+    #: metric-cache traffic), captured by :func:`compare_algorithms`.
+    telemetry: TelemetrySnapshot | None = None
 
     def score(self, name: str) -> AlgorithmScore:
         for entry in self.scores:
@@ -106,29 +110,43 @@ def compare_algorithms(
         if candidate_sources is not None
         else None
     )
-    qpp = solve_qpp(system, strategy, network, alpha=alpha, candidate_sources=sources)
-    scores.append(_score("qpp", qpp.placement, instance))
-
-    total = solve_total_delay(system, strategy, network)
-    scores.append(_score("total_delay", total.placement, instance))
-
-    try:
-        scores.append(_score("greedy", greedy_placement(system, strategy, network), instance))
-    except ReproError:
-        scores.append(AlgorithmScore.failure("greedy"))
-    try:
-        scores.append(
-            _score("random", random_placement(system, strategy, network, rng=rng), instance)
+    with telemetry_scope() as telemetry:
+        qpp = solve_qpp(
+            system, strategy, network=network, alpha=alpha, candidate_sources=sources
         )
-    except ReproError:
-        scores.append(AlgorithmScore.failure("random"))
+        scores.append(_score("qpp", qpp.placement, instance))
 
-    optimal: float | None = None
-    if include_exact:
-        states = float(network.size) ** system.universe_size
-        if states <= _EXACT_THRESHOLD:
-            optimal = solve_qpp_exact(system, strategy, network).objective
+        total = solve_total_delay(system, strategy, network=network)
+        scores.append(_score("total_delay", total.placement, instance))
+
+        try:
+            scores.append(
+                _score("greedy", greedy_placement(system, strategy, network), instance)
+            )
+        except ReproError:
+            scores.append(AlgorithmScore.failure("greedy"))
+        try:
+            scores.append(
+                _score(
+                    "random",
+                    random_placement(system, strategy, network, rng=rng),
+                    instance,
+                )
+            )
+        except ReproError:
+            scores.append(AlgorithmScore.failure("random"))
+
+        optimal: float | None = None
+        if include_exact:
+            states = float(network.size) ** system.universe_size
+            if states <= _EXACT_THRESHOLD:
+                optimal = solve_qpp_exact(
+                    system, strategy, network=network
+                ).objective
 
     return InstanceComparison(
-        instance=instance, scores=scores, optimal_max_delay=optimal
+        instance=instance,
+        scores=scores,
+        optimal_max_delay=optimal,
+        telemetry=telemetry.snapshot,
     )

@@ -17,9 +17,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import solver_api
 from .._validation import require
 from ..exceptions import InfeasibleError
 from ..lp import Model
+from ..obs.trace import span
 from .instance import GAPInstance
 
 __all__ = ["FractionalAssignment", "solve_gap_lp"]
@@ -61,7 +63,10 @@ class FractionalAssignment:
         return float(np.sum(row[mask] * loads[mask]))
 
 
-def solve_gap_lp(instance: GAPInstance, *, method: str = "highs-ds") -> FractionalAssignment:
+@solver_api(aliases={"method": "lp_method"})
+def solve_gap_lp(
+    instance: GAPInstance, *, lp_method: str = "highs-ds"
+) -> FractionalAssignment:
     """Solve the GAP LP relaxation.
 
     Uses the dual simplex by default so the returned point is a vertex,
@@ -123,7 +128,8 @@ def solve_gap_lp(instance: GAPInstance, *, method: str = "highs-ds") -> Fraction
         objective = term if objective is None else objective + term
     model.minimize(objective)
 
-    solution = model.solve(method=method)
+    with span("gap.lp", jobs=num_jobs, machines=num_machines):
+        solution = model.solve(method=lp_method)
     fractions = np.zeros((num_machines, num_jobs))
     for (i, j), variable in variables.items():
         fractions[i, j] = max(solution.value(variable), 0.0)

@@ -6,13 +6,18 @@ test suite and benchmarks to measure true approximation quality.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 from itertools import product
+from typing import ClassVar
 
 import numpy as np
 
+from .._compat import solver_api
+from .._results import Provenance, SolveResult
 from .._validation import check_integer_in_range
 from ..exceptions import InfeasibleError, ValidationError
+from ..obs.trace import span
 from .instance import GAPInstance, Label
 from .lp import FractionalAssignment, solve_gap_lp
 from .rounding import RoundedAssignment, round_fractional_assignment
@@ -23,21 +28,29 @@ _MAX_EXACT_STATES = 5_000_000
 
 
 @dataclass(frozen=True)
-class GAPSolution:
-    """Result of :func:`solve_gap`.
+class GAPSolution(SolveResult):
+    """Result of :func:`solve_gap` (a :class:`~repro._results.SolveResult`).
+
+    ``placement`` is the job → machine assignment and ``objective`` its
+    cost; the pre-unification names ``assignment``/``cost``/``lp_cost``
+    still resolve but emit a :class:`DeprecationWarning`.
 
     The Theorem 3.11 guarantees, restated on the result:
 
-    * ``cost <= lp_cost`` (and ``lp_cost`` lower-bounds every integral
-      solution respecting the capacities exactly);
+    * ``objective <= lp_value`` (and ``lp_value`` lower-bounds every
+      integral solution respecting the capacities exactly);
     * load on machine ``i`` at most ``capacities[i] + p_i^max``.
     """
 
-    assignment: dict[Label, Label]
-    cost: float
-    lp_cost: float
+    lp_value: float
     machine_loads: dict[Label, float]
     fractional: FractionalAssignment
+
+    _legacy_aliases: ClassVar[Mapping[str, str]] = {
+        "assignment": "placement",
+        "cost": "objective",
+        "lp_cost": "lp_value",
+    }
 
     def load_violation_factors(self, instance: GAPInstance) -> dict[Label, float]:
         """Per-machine ``realized load / T_i`` (0 when ``T_i`` is 0 and
@@ -53,20 +66,40 @@ class GAPSolution:
         return factors
 
 
+def _worst_violation(machine_loads: Mapping[Label, float], instance: GAPInstance) -> float:
+    """Worst per-machine ``load / T_i`` (the canonical violation factor)."""
+    worst = 0.0
+    for i, machine in enumerate(instance.machines):
+        bound = float(instance.capacities[i])
+        load = machine_loads[machine]
+        if bound > 0:
+            worst = max(worst, load / bound)
+        elif load > 0:
+            return float("inf")
+    return worst
+
+
+@solver_api(aliases={"method": "lp_method"})
 def solve_gap(  # repro-lint: disable=R001 (delegates to solve_gap_lp's checks)
-    instance: GAPInstance, *, method: str = "highs-ds"
+    instance: GAPInstance, *, lp_method: str = "highs-ds"
 ) -> GAPSolution:
     """Solve *instance* approximately: LP + rounding.
 
     Raises :class:`InfeasibleError` when even the relaxation is
     infeasible (a job fits nowhere, or fractional capacity is exceeded).
     """
-    fractional = solve_gap_lp(instance, method=method)
-    rounded: RoundedAssignment = round_fractional_assignment(fractional)
+    with span("gap.solve", jobs=instance.num_jobs, machines=instance.num_machines):
+        fractional = solve_gap_lp(instance, lp_method=lp_method)
+        with span("gap.round"):
+            rounded: RoundedAssignment = round_fractional_assignment(fractional)
     return GAPSolution(
-        assignment=rounded.assignment,
-        cost=rounded.cost,
-        lp_cost=fractional.cost,
+        placement=rounded.assignment,
+        objective=rounded.cost,
+        load_violation_factor=_worst_violation(rounded.machine_loads, instance),
+        provenance=Provenance.of(
+            "gap.lp+shmoys-tardos", "Thm 3.11", lp_method=lp_method
+        ),
+        lp_value=fractional.cost,
         machine_loads=rounded.machine_loads,
         fractional=fractional,
     )
@@ -137,9 +170,11 @@ def solve_gap_exact(instance: GAPInstance) -> GAPSolution:
         instance=instance, fractions=fractions, cost=float(best_cost)
     )
     return GAPSolution(
-        assignment=assignment,
-        cost=float(best_cost),
-        lp_cost=float(best_cost),
+        placement=assignment,
+        objective=float(best_cost),
+        load_violation_factor=_worst_violation(machine_loads, instance),
+        provenance=Provenance.of("gap.exhaustive", "Thm 3.11"),
+        lp_value=float(best_cost),
         machine_loads=machine_loads,
         fractional=fractional,
     )

@@ -1,11 +1,12 @@
 """Static analysis for the reproduction's correctness contracts.
 
 The :mod:`repro.lint` subsystem is an AST rule engine with two kinds of
-rules.  The per-file ruleset (R001–R007) makes the library's local
+rules.  The per-file ruleset (R001–R007, R301) makes the library's local
 conventions machine-checkable: public entry points validate inputs,
 failures derive from :class:`~repro.exceptions.ReproError`, randomness
-is injected and seeded, floats are never compared exactly, and every
-public module declares a truthful ``__all__``.  The whole-program
+is injected and seeded, floats are never compared exactly, every
+public module declares a truthful ``__all__``, and solver entry points
+return :class:`~repro.core.results.SolveResult` objects, never tuples.  The whole-program
 ruleset (R100–R104, ``lint --whole-program``) checks the properties no
 single file can witness: the declared layer order holds, no module-level
 import cycles exist, CLI-reachable solvers validate before first use,

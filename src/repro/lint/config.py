@@ -95,6 +95,7 @@ DEFAULT_BANNED_EXCEPTIONS = frozenset(
 #: longest-prefix matching.
 DEFAULT_LAYERS: tuple[tuple[str, ...], ...] = (
     ("repro.exceptions", "repro._validation", "repro._pareto"),
+    ("repro.obs", "repro._results", "repro._compat"),
     ("repro.lp",),
     ("repro.network",),
     ("repro.quorums",),

@@ -1,4 +1,4 @@
-"""The initial ruleset: R001–R007.
+"""The per-module ruleset: R001–R007 and R301.
 
 Each rule encodes one correctness contract of the reproduction (see
 ``docs/static_analysis.md`` for the paper-level rationale).  Rules are
@@ -34,6 +34,7 @@ __all__ = [
     "FloatEqualityRule",
     "NoPrintRule",
     "ExportIntegrityRule",
+    "SolverResultContractRule",
 ]
 
 _FunctionDef = ast.FunctionDef | ast.AsyncFunctionDef
@@ -381,3 +382,70 @@ class ExportIntegrityRule(Rule):
                     self.id,
                     f"__all__ exports {name!r} but the module never binds it",
                 )
+
+
+@register_rule
+class SolverResultContractRule(Rule):
+    """R301: solver entry points return result objects, not tuples.
+
+    The unified :class:`repro.core.results.SolveResult` contract gives
+    every solver the same surface (placement, objective, load factor,
+    provenance, telemetry).  A public ``solve_*`` / ``optimal_*``
+    function that returns a bare tuple reintroduces the positional API
+    the deprecation shims exist to retire, so new entry points must
+    construct a result dataclass instead.
+    """
+
+    id = "R301"
+    name = "solver-result-contract"
+    summary = "solver entry points must not return bare tuples"
+
+    _entry_pattern = re.compile(r"^(solve_|optimal_)")
+
+    @staticmethod
+    def _own_returns(fn: _FunctionDef) -> Iterable[ast.Return]:
+        """Return statements of *fn* itself, skipping nested functions."""
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Return):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _is_tuple_annotation(node: ast.expr) -> bool:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        name = dotted_name(node)
+        return name is not None and name.rsplit(".", 1)[-1] in ("tuple", "Tuple")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(ctx.config.validated_packages):
+            return
+        for name, fn in module_level_functions(ctx.tree).items():
+            if name.startswith("_") or not self._entry_pattern.match(name):
+                continue
+            if is_stub_body(fn) or has_decorator(fn, "overload"):
+                continue
+            if ctx.config.is_exempt(self.id, f"{ctx.module}.{name}"):
+                continue
+            if fn.returns is not None and self._is_tuple_annotation(fn.returns):
+                yield ctx.finding(
+                    fn,
+                    self.id,
+                    f"solver entry point {name!r} is annotated to return a "
+                    "tuple; return a repro.core.results.SolveResult subclass "
+                    "(legacy unpacking is covered by its deprecation shim)",
+                )
+                continue
+            for ret in self._own_returns(fn):
+                if isinstance(ret.value, ast.Tuple):
+                    yield ctx.finding(
+                        ret,
+                        self.id,
+                        f"solver entry point {name!r} returns a bare tuple; "
+                        "return a repro.core.results.SolveResult subclass "
+                        "(legacy unpacking is covered by its deprecation shim)",
+                    )

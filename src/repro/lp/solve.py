@@ -20,11 +20,19 @@ from scipy import sparse
 from scipy.optimize import linprog
 
 from ..exceptions import InfeasibleError, SolverError, UnboundedError
+from ..obs.metrics import counter
+from ..obs.trace import span
 from .model import LinExpr, Model, Variable
 
 __all__ = ["Solution", "solve_model"]
 
 _SUPPORTED_METHODS = ("highs", "highs-ds", "highs-ipm")
+
+# Every LP in the library funnels through solve_model(), so these two
+# counters are the authoritative solver-effort telemetry (surfaced by
+# `repro profile` and the bench reports).
+_LP_SOLVES = counter("lp.solve.count")
+_LP_ITERATIONS = counter("lp.iterations.total")
 
 
 @dataclass(frozen=True)
@@ -162,25 +170,35 @@ def solve_model(model: Model, method: str = "highs") -> Solution:
             f"unsupported LP method {method!r}; expected one of {_SUPPORTED_METHODS}"
         )
     c, a_ub, b_ub, a_eq, b_eq, bounds, sign, dual_map = _compile(model)
-    result = linprog(
-        c,
-        A_ub=a_ub,
-        b_ub=b_ub,
-        A_eq=a_eq,
-        b_eq=b_eq,
-        bounds=bounds,
+    with span(
+        "lp.solve",
+        model=model.name,
         method=method,
-    )
-    if result.status == 2:
-        raise InfeasibleError(f"LP {model.name!r} is infeasible")
-    if result.status == 3:
-        raise UnboundedError(f"LP {model.name!r} is unbounded")
-    if not result.success:
-        raise SolverError(f"LP {model.name!r} failed: {result.message}")
-    values = np.asarray(result.x, dtype=float)
-    constant = model._objective.constant if model._objective is not None else 0.0
-    objective = sign * float(result.fun) + constant
-    iterations = int(getattr(result, "nit", 0) or 0)
+        variables=model.num_variables,
+        constraints=len(model._constraints),
+    ) as sp:
+        result = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method=method,
+        )
+        _LP_SOLVES.inc()
+        if result.status == 2:
+            raise InfeasibleError(f"LP {model.name!r} is infeasible")
+        if result.status == 3:
+            raise UnboundedError(f"LP {model.name!r} is unbounded")
+        if not result.success:
+            raise SolverError(f"LP {model.name!r} failed: {result.message}")
+        values = np.asarray(result.x, dtype=float)
+        constant = model._objective.constant if model._objective is not None else 0.0
+        objective = sign * float(result.fun) + constant
+        iterations = int(getattr(result, "nit", 0) or 0)
+        _LP_ITERATIONS.inc(iterations)
+        sp.set(iterations=iterations)
 
     # Normalize HiGHS marginals to per-added-constraint shadow prices in
     # the model's sense: d(objective)/d(rhs).  The internal problem is a

@@ -17,6 +17,7 @@ import math
 
 import numpy as np
 
+from .._compat import solver_api
 from .._validation import check_integer_in_range, check_positive, check_probability
 from ..exceptions import ValidationError
 from .graph import Network, Node
@@ -377,9 +378,14 @@ def two_cluster_network(
 # -- capacity policies ---------------------------------------------------------------
 
 
-def uniform_capacities(network: Network, value: float) -> Network:
-    """Give every node capacity *value*."""
-    return network.with_capacities(float(value))
+@solver_api(aliases={"value": "capacity"})
+def uniform_capacities(network: Network, capacity: float) -> Network:
+    """Give every node capacity *capacity*.
+
+    The parameter was called ``value`` before the API unification;
+    calling with ``value=`` still works but warns.
+    """
+    return network.with_capacities(float(capacity))
 
 
 def proportional_capacities(network: Network, total: float) -> Network:

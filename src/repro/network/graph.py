@@ -18,6 +18,8 @@ from typing import Callable, NamedTuple, Union
 
 from .._validation import check_positive, require
 from ..exceptions import ValidationError
+from ..obs.metrics import counter
+from ..obs.trace import span
 
 __all__ = [
     "Network",
@@ -29,26 +31,32 @@ __all__ = [
 
 Node = Hashable
 
-#: Process-wide build/hit totals across every :class:`Network` instance.
-#: Instance counters answer "did *this* network rebuild?"; the aggregates
-#: answer "did *anything* rebuild?" — which is what cross-cutting tests
-#: and benchmarks assert. They bleed between tests unless reset, so the
-#: suite's autouse fixture calls :func:`metric_cache_clear` before each
-#: test (mirroring the ``functools.lru_cache`` ``cache_clear`` idiom).
-_aggregate_builds = 0
-_aggregate_hits = 0
+#: Process-wide build/hit totals across every :class:`Network` instance,
+#: kept in the :mod:`repro.obs.metrics` default registry (the single
+#: source of truth; ``repro profile`` and the bench telemetry read the
+#: same counters).  Instance counters answer "did *this* network
+#: rebuild?"; the aggregates answer "did *anything* rebuild?" — which is
+#: what cross-cutting tests and benchmarks assert.  They bleed between
+#: tests unless reset, so the suite's autouse fixture calls
+#: :func:`metric_cache_clear` before each test (mirroring the
+#: ``functools.lru_cache`` ``cache_clear`` idiom).
+_BUILDS = counter("metric.cache.builds")
+_HITS = counter("metric.cache.hits")
 
 
 def metric_cache_info() -> "MetricCacheInfo":
-    """Aggregate build/hit counters over all networks in this process."""
-    return MetricCacheInfo(_aggregate_builds, _aggregate_hits)
+    """Aggregate build/hit counters over all networks in this process.
+
+    Reads the ``metric.cache.builds`` / ``metric.cache.hits`` counters
+    of the default metrics registry.
+    """
+    return MetricCacheInfo(int(_BUILDS.value), int(_HITS.value))
 
 
 def metric_cache_clear() -> None:
     """Reset the aggregate counters (e.g. between tests)."""
-    global _aggregate_builds, _aggregate_hits
-    _aggregate_builds = 0
-    _aggregate_hits = 0
+    _BUILDS.reset()
+    _HITS.reset()
 
 
 class MetricCacheInfo(NamedTuple):
@@ -228,16 +236,16 @@ class Network:
         :class:`ValidationError` if the network is disconnected (the
         paper assumes finite distances between all client/node pairs).
         """
-        global _aggregate_builds, _aggregate_hits
         if self._metric is None:
             from .metric import Metric
 
-            self._metric = Metric.from_network(self)
+            with span("metric.build", network=self.name, nodes=self.size):
+                self._metric = Metric.from_network(self)
             self._metric_builds += 1
-            _aggregate_builds += 1
+            _BUILDS.inc()
         else:
             self._metric_hits += 1
-            _aggregate_hits += 1
+            _HITS.inc()
         return self._metric
 
     def metric_cache_info(self) -> MetricCacheInfo:

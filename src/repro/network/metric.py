@@ -20,6 +20,7 @@ from numpy.typing import NDArray
 
 from .._validation import contract
 from ..exceptions import ValidationError
+from ..obs.trace import span
 from .graph import Network, Node
 
 __all__ = ["dijkstra", "dijkstra_batched", "Metric"]
@@ -128,7 +129,8 @@ def dijkstra_batched(
     graph = csr_matrix((data, (rows, cols)), shape=(len(nodes), len(nodes)))
     # directed=True honours the entries exactly as given, matching the
     # scalar reference's semantics for (symmetric) adjacencies.
-    distances = _dijkstra_csgraph(graph, directed=True, indices=source_indices)
+    with span("metric.dijkstra", nodes=len(nodes), sources=len(source_indices)):
+        distances = _dijkstra_csgraph(graph, directed=True, indices=source_indices)
     return np.atleast_2d(np.asarray(distances, dtype=float))
 
 

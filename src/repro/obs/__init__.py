@@ -1,0 +1,79 @@
+"""Observability: structured tracing, metrics, and telemetry reports.
+
+The subsystem every solver reports through (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — nested spans with monotonic timings,
+  no-ops until a collector is installed (usually via :func:`collect`);
+* :mod:`repro.obs.metrics` — always-on counters/gauges/histograms in a
+  process-wide registry, plus :func:`telemetry_scope` for per-run
+  deltas;
+* :mod:`repro.obs.report` — the schema-versioned telemetry document
+  behind ``repro profile`` and the CI profile-smoke step.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryHandle,
+    TelemetrySnapshot,
+    counter,
+    default_registry,
+    gauge,
+    histogram,
+    telemetry_scope,
+)
+from .report import (
+    TELEMETRY_SCHEMA_VERSION,
+    derived_metrics,
+    metrics_table_rows,
+    telemetry_document,
+    validate_telemetry_document,
+)
+from .trace import (
+    JsonlSpanSink,
+    Span,
+    SpanHandle,
+    TraceCollector,
+    active_collector,
+    collect,
+    install_collector,
+    read_spans_jsonl,
+    render_span_tree,
+    span,
+    span_to_dicts,
+    uninstall_collector,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSpanSink",
+    "MetricsRegistry",
+    "Span",
+    "SpanHandle",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryHandle",
+    "TelemetrySnapshot",
+    "TraceCollector",
+    "active_collector",
+    "collect",
+    "counter",
+    "default_registry",
+    "derived_metrics",
+    "gauge",
+    "histogram",
+    "install_collector",
+    "metrics_table_rows",
+    "read_spans_jsonl",
+    "render_span_tree",
+    "span",
+    "span_to_dicts",
+    "telemetry_document",
+    "telemetry_scope",
+    "uninstall_collector",
+    "validate_telemetry_document",
+]

@@ -11,21 +11,28 @@ from repro.network import (
     random_geometric_network,
     uniform_capacities,
 )
+from repro.obs.metrics import default_registry
+from repro.obs.trace import active_collector
 from repro.quorums import AccessStrategy, majority
 
 
 @pytest.fixture(autouse=True)
-def _fresh_metric_cache_counters():
-    """Zero the process-wide metric cache counters before every test.
+def _fresh_observability_state():
+    """Zero the process-wide metrics registry before every test.
 
-    The aggregates in ``repro.network.graph`` otherwise bleed between
-    tests: a test asserting "this code path triggered no rebuild" would
-    pass or fail depending on what ran before it.
+    The registry (which now backs the ``repro.network.graph`` metric
+    cache aggregates) otherwise bleeds between tests: a test asserting
+    "this code path triggered no rebuild" would pass or fail depending
+    on what ran before it.  Also guards that no test leaks an installed
+    trace collector.
     """
+    default_registry().reset()
     metric_cache_clear()
     info = metric_cache_info()
     assert info.builds == 0 and info.hits == 0
+    assert active_collector() is None
     yield
+    assert active_collector() is None, "test leaked an installed trace collector"
 
 
 @pytest.fixture

@@ -20,13 +20,18 @@ from repro.experiments.bench import _CASE_TIMING_KEYS, _CASE_VALUE_KEYS
 
 
 def _strip_timings(report: dict) -> dict:
-    """The deterministic slice of a report: everything but timings."""
+    """The deterministic slice of a report: everything but timings.
+
+    The top-level ``telemetry`` block is stripped along with the
+    per-case timing keys: its wall time is machine noise by nature.
+    """
     cases = {}
     for name, case in report["cases"].items():
         cases[name] = {
             k: v for k, v in case.items() if k not in _CASE_TIMING_KEYS[name]
         }
-    return {**{k: v for k, v in report.items() if k != "cases"}, "cases": cases}
+    kept = {k: v for k, v in report.items() if k not in ("cases", "telemetry")}
+    return {**kept, "cases": cases}
 
 
 class TestRunBench:
@@ -48,6 +53,13 @@ class TestRunBench:
                 assert isinstance(case[key], float)
                 # Present and sane; the magnitude is machine noise.
                 assert case[key] >= 0 or case[key] != case[key]
+
+    def test_telemetry_block_reports_lp_solves(self):
+        report = run_bench(quick=True, seed=0)
+        telemetry = report["telemetry"]
+        assert telemetry["wall_seconds"] > 0
+        assert telemetry["metrics"]["lp.solve.count"] > 0
+        assert telemetry["metrics"]["metric.cache.builds"] > 0
 
     def test_quick_and_full_agree_on_values(self):
         quick = run_bench(quick=True, seed=0)
@@ -82,6 +94,12 @@ class TestValidateBenchReport:
         with pytest.raises(ValidationError, match="missing key"):
             validate_bench_report(report)
 
+    def test_rejects_missing_telemetry(self):
+        report = run_bench(quick=True, seed=0)
+        del report["telemetry"]
+        with pytest.raises(ValidationError, match="telemetry"):
+            validate_bench_report(report)
+
 
 class TestCLI:
     def test_bench_quick_writes_valid_json(self, tmp_path, capsys):
@@ -99,3 +117,16 @@ class TestCLI:
         cli_report = json.loads(out.read_text())
         lib_report = run_bench(quick=True, seed=7)
         assert _strip_timings(cli_report) == _strip_timings(lib_report)
+
+    def test_bench_trace_out_writes_span_jsonl(self, tmp_path):
+        from repro.obs.trace import read_spans_jsonl
+
+        out = tmp_path / "report.json"
+        spans = tmp_path / "spans.jsonl"
+        assert main(
+            ["bench", "--quick", "--out", str(out), "--trace-out", str(spans)]
+        ) == 0
+        roots = read_spans_jsonl(str(spans))
+        assert roots and roots[0].name == "bench.run"
+        # The wrapped QPP sweep gives the tree real depth.
+        assert max(root.max_depth for root in roots) >= 3

@@ -1,0 +1,175 @@
+"""The unified SolveResult contract and its backward-compat shims."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Provenance,
+    QPPResult,
+    SolveResult,
+    TotalDelayResult,
+    optimal_grid_placement,
+    optimal_majority_placement,
+    solve_qpp,
+    solve_ssqpp,
+    solve_total_delay,
+)
+from repro.core.results import SolveResult as ReexportedSolveResult
+from repro.gap import GAPInstance, GAPSolution, solve_gap
+from repro.network.generators import grid_network, uniform_capacities
+from repro.quorums import AccessStrategy, majority
+
+
+@pytest.fixture
+def instance():
+    network = grid_network(2, 2).with_capacities(2.0)
+    system = majority(3)
+    return system, AccessStrategy.uniform(system), network
+
+
+def _gap_instance() -> GAPInstance:
+    costs = np.array([[1.0, 2.0], [2.0, 1.0]])
+    loads = np.array([[1.0, 1.0], [1.0, 1.0]])
+    return GAPInstance(("j0", "j1"), ("m0", "m1"), costs, loads, np.array([2.0, 2.0]))
+
+
+class TestProvenance:
+    def test_of_sorts_parameters_and_stays_hashable(self):
+        record = Provenance.of("qpp.relay-sweep", "Thm 1.2", beta=1, alpha=2.0)
+        assert record.parameters == (("alpha", 2.0), ("beta", 1))
+        hash(record)
+        assert record.as_dict()["parameters"] == {"alpha": 2.0, "beta": 1}
+
+
+class TestMigratedEntryPoints:
+    """All five migrated solvers return SolveResult subclasses."""
+
+    def test_solve_qpp(self, instance):
+        system, strategy, network = instance
+        result = solve_qpp(system, strategy, network=network)
+        assert isinstance(result, SolveResult)
+        assert isinstance(result, QPPResult)
+        assert result.provenance.theorem == "Thm 1.2"
+        assert result.telemetry is not None
+        assert result.telemetry.metrics["lp.solve.count"] > 0
+
+    def test_solve_total_delay(self, instance):
+        system, strategy, network = instance
+        result = solve_total_delay(system, strategy, network=network)
+        assert isinstance(result, SolveResult)
+        assert isinstance(result, TotalDelayResult)
+        assert result.provenance.theorem == "Thm 1.4"
+        assert result.telemetry is not None
+
+    def test_optimal_grid_placement(self):
+        network = grid_network(3, 3).with_capacities(2.0)
+        result = optimal_grid_placement(network, network.nodes[0], k=2)
+        assert isinstance(result, SolveResult)
+        assert result.provenance.algorithm == "grid.concentric"
+
+    def test_optimal_majority_placement(self):
+        network = grid_network(3, 3).with_capacities(2.0)
+        result = optimal_majority_placement(network, network.nodes[0], n=3)
+        assert isinstance(result, SolveResult)
+        assert result.provenance.parameters == (("n", 3), ("t", 2))
+
+    def test_solve_gap(self):
+        result = solve_gap(_gap_instance())
+        assert isinstance(result, SolveResult)
+        assert isinstance(result, GAPSolution)
+        assert result.objective == pytest.approx(2.0)
+        assert result.load_violation_factor <= 1.0 + 1e-9
+
+    def test_reexport_is_the_same_class(self):
+        assert ReexportedSolveResult is SolveResult
+
+
+class TestLegacyAttributeShims:
+    def test_qpp_average_delay_warns_and_forwards(self, instance):
+        system, strategy, network = instance
+        result = solve_qpp(system, strategy, network=network)
+        with pytest.deprecated_call(match="average_delay"):
+            assert result.average_delay == result.objective
+
+    def test_total_delay_legacy_names_warn(self, instance):
+        system, strategy, network = instance
+        result = solve_total_delay(system, strategy, network=network)
+        with pytest.deprecated_call(match="delay"):
+            assert result.delay == result.objective
+        with pytest.deprecated_call(match="max_load_factor"):
+            assert result.max_load_factor == result.load_violation_factor
+
+    def test_gap_legacy_names_warn(self):
+        result = solve_gap(_gap_instance())
+        with pytest.deprecated_call(match="assignment"):
+            assert result.assignment == result.placement
+        with pytest.deprecated_call(match="cost"):
+            assert result.cost == result.objective
+        with pytest.deprecated_call(match="lp_cost"):
+            assert result.lp_cost == result.lp_value
+
+    def test_unknown_attribute_raises_without_warning(self, instance):
+        system, strategy, network = instance
+        result = solve_qpp(system, strategy, network=network)
+        with pytest.raises(AttributeError, match="nonsense"):
+            result.nonsense
+        with pytest.raises(AttributeError):
+            result._private_probe
+
+    def test_tuple_unpacking_warns(self):
+        result = solve_gap(_gap_instance())
+        with pytest.deprecated_call(match="tuple unpacking"):
+            placement, objective, factor = result
+        assert placement == result.placement
+        assert objective == result.objective
+        assert factor == result.load_violation_factor
+
+    def test_result_is_frozen(self):
+        result = solve_gap(_gap_instance())
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.objective = 0.0
+
+
+class TestKeywordOnlySignatures:
+    def test_legacy_positional_network_warns(self, instance):
+        system, strategy, network = instance
+        with pytest.deprecated_call(match="positionally is deprecated"):
+            result = solve_qpp(system, strategy, network)
+        assert isinstance(result, QPPResult)
+
+    def test_legacy_positional_ssqpp_source_warns(self, instance):
+        system, strategy, network = instance
+        source = network.nodes[0]
+        with pytest.deprecated_call(match="positionally is deprecated"):
+            legacy = solve_ssqpp(system, strategy, network, source)
+        canonical = solve_ssqpp(system, strategy, network=network, source=source)
+        assert legacy.delay == pytest.approx(canonical.delay)
+
+    def test_double_supply_raises_type_error(self, instance):
+        system, strategy, network = instance
+        with pytest.deprecated_call():
+            with pytest.raises(TypeError, match="multiple values"):
+                solve_qpp(system, strategy, network, network=network)
+
+    def test_method_alias_warns_on_solve_gap(self):
+        with pytest.deprecated_call(match="'method'.*deprecated"):
+            result = solve_gap(_gap_instance(), method="highs-ds")
+        assert result.objective == pytest.approx(2.0)
+
+    def test_value_alias_warns_on_uniform_capacities(self):
+        with pytest.deprecated_call(match="'value'.*deprecated"):
+            network = uniform_capacities(grid_network(2, 2), value=1.5)
+        assert network.capacity(network.nodes[0]) == pytest.approx(1.5)
+
+    def test_alias_and_canonical_together_raise(self):
+        with pytest.raises(TypeError, match="both"):
+            solve_gap(_gap_instance(), method="highs-ds", lp_method="highs-ds")
+
+    def test_canonical_signature_is_visible_to_inspect(self):
+        import inspect
+
+        parameters = inspect.signature(solve_qpp).parameters
+        assert list(parameters)[:3] == ["system", "strategy", "network"]
+        assert parameters["network"].kind is inspect.Parameter.KEYWORD_ONLY

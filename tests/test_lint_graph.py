@@ -54,6 +54,7 @@ from repro.lint.rules import (
     NoPrintRule,
     ReproErrorOnlyRule,
     SeededRandomnessRule,
+    SolverResultContractRule,
     ValidatedEntryPointRule,
 )
 from repro.exceptions import LintError
@@ -398,6 +399,7 @@ class TestEngineContract:
         assert isinstance(registry["R005"], FloatEqualityRule)
         assert isinstance(registry["R006"], NoPrintRule)
         assert isinstance(registry["R007"], ExportIntegrityRule)
+        assert isinstance(registry["R301"], SolverResultContractRule)
 
     def test_graph_rules_do_not_run_without_whole_program(self):
         config = replace(LintConfig(), select=frozenset({"R101"}))

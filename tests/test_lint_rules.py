@@ -1,8 +1,8 @@
 """Unit tests for the invariant linter (``repro.lint``).
 
-Every rule R001–R007 is demonstrated by at least one fixture snippet
-that makes it fire and one that stays clean, plus suppression-comment,
-JSON-golden and CLI exit-code coverage.
+Every rule R001–R007 and R301 is demonstrated by at least one fixture
+snippet that makes it fire and one that stays clean, plus
+suppression-comment, JSON-golden and CLI exit-code coverage.
 """
 
 from __future__ import annotations
@@ -56,6 +56,7 @@ def test_all_rules_registered():
         "R202",
         "R203",
         "R204",
+        "R301",
     }
 
 
@@ -342,6 +343,84 @@ class TestR007:
                 return None
         """
         assert "R007" not in findings_for(snippet, module="repro.widgets")
+
+
+class TestR301:
+    def test_fires_on_tuple_returning_solver(self):
+        snippet = """
+        __all__ = ["solve_widget"]
+        from repro._validation import require
+
+        def solve_widget(a):
+            require(a > 0, "a")
+            return (a, a + 1)
+        """
+        assert "R301" in findings_for(snippet, module=CORE_MODULE)
+
+    def test_fires_on_tuple_return_annotation(self):
+        snippet = """
+        __all__ = ["optimal_widget_placement"]
+        from repro._validation import require
+
+        def optimal_widget_placement(a) -> tuple[int, int]:
+            require(a > 0, "a")
+            return helper(a)
+        """
+        results = lint_source(textwrap.dedent(snippet), module=CORE_MODULE)
+        assert "R301" in [f.rule_id for f in results]
+
+    def test_clean_on_result_object_and_nested_tuples(self):
+        snippet = """
+        __all__ = ["solve_widget", "optimal_widget_placement"]
+        from repro._validation import require
+
+        def solve_widget(a):
+            require(a > 0, "a")
+            def key(item):
+                return (item, a)  # nested helper tuples are fine
+            return WidgetResult(placement=a, objective=1.0)
+
+        def optimal_widget_placement(a):
+            require(a > 0, "a")
+            pairs = [(i, i) for i in range(a)]
+            return WidgetResult(placement=pairs, objective=0.0)
+        """
+        assert "R301" not in findings_for(snippet, module=CORE_MODULE)
+
+    def test_only_solver_entry_points_in_validated_packages(self):
+        snippet = """
+        __all__ = ["solve_widget", "build_pair"]
+        from repro._validation import require
+
+        def build_pair(a):
+            require(a > 0, "a")
+            return (a, a)  # not a solve_*/optimal_* entry point
+
+        def solve_widget(a):
+            require(a > 0, "a")
+            return (a, a)
+        """
+        # Outside the validated packages the rule never fires at all.
+        assert "R301" not in findings_for(snippet, module="repro.experiments.fake")
+        results = lint_source(textwrap.dedent(snippet), module=CORE_MODULE)
+        r301 = [f for f in results if f.rule_id == "R301"]
+        assert len(r301) == 1
+        assert "solve_widget" in r301[0].message
+
+    def test_exemption_is_honoured(self):
+        snippet = """
+        __all__ = ["solve_widget"]
+        from repro._validation import require
+
+        def solve_widget(a):
+            require(a > 0, "a")
+            return (a, a)
+        """
+        config = config_from_table({"exempt": [f"R301:{CORE_MODULE}.solve_widget"]})
+        results = lint_source(
+            textwrap.dedent(snippet), module=CORE_MODULE, config=config
+        )
+        assert "R301" not in [f.rule_id for f in results]
 
 
 # -- suppression comments ------------------------------------------------------------

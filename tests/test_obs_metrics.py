@@ -1,0 +1,152 @@
+"""Metrics registry: counters, in-place reset, telemetry scopes, and the
+metric-cache counters now reading through the registry."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.network import (
+    metric_cache_clear,
+    metric_cache_info,
+    random_geometric_network,
+    uniform_capacities,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    TelemetrySnapshot,
+    counter,
+    default_registry,
+    gauge,
+    histogram,
+    telemetry_scope,
+)
+
+
+class TestMetricTypes:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        c = registry.counter("lp.solve.count")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative_increments(self):
+        c = MetricsRegistry().counter("x.count")
+        with pytest.raises(ValidationError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_counter_name_is_validated(self):
+        with pytest.raises(ValidationError, match="metric name"):
+            MetricsRegistry().counter("Not A Name")
+
+    def test_gauge_keeps_last_value(self):
+        g = MetricsRegistry().gauge("queue.depth")
+        g.set(4)
+        g.set(2)
+        assert g.value == 2.0
+
+    def test_histogram_summary(self):
+        h = MetricsRegistry().histogram("lp.iterations")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.count") is registry.counter("a.count")
+
+    def test_reset_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        cached = registry.counter("a.count")  # module-style cached reference
+        cached.inc(5)
+        registry.reset()
+        assert cached.value == 0.0
+        assert registry.counter("a.count") is cached
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc()
+        registry.gauge("b.level").set(7)
+        registry.histogram("b.sizes").observe(3.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"b.count": 1.0}
+        assert snapshot["gauges"] == {"b.level": 7.0}
+        assert snapshot["histograms"]["b.sizes"]["count"] == 1.0
+
+    def test_module_conveniences_hit_the_default_registry(self):
+        counter("convenience.count").inc()
+        gauge("convenience.level").set(1)
+        histogram("convenience.sizes").observe(1.0)
+        values = default_registry().snapshot()
+        assert values["counters"]["convenience.count"] == 1.0
+
+
+class TestTelemetryScope:
+    def test_scope_captures_counter_deltas_only(self):
+        registry = MetricsRegistry()
+        registry.counter("pre.count").inc(10)
+        with telemetry_scope(registry) as telemetry:
+            assert telemetry.snapshot is None  # not finished yet
+            registry.counter("pre.count").inc(2)
+            registry.counter("fresh.count").inc()
+        snapshot = telemetry.snapshot
+        assert isinstance(snapshot, TelemetrySnapshot)
+        assert snapshot.metrics == {"pre.count": 2.0, "fresh.count": 1.0}
+        assert snapshot.wall_seconds >= 0
+
+    def test_scope_survives_exceptions(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with telemetry_scope(registry) as telemetry:
+                registry.counter("died.count").inc()
+                raise RuntimeError
+        assert telemetry.snapshot is not None
+        assert telemetry.snapshot.metrics == {"died.count": 1.0}
+
+    def test_snapshot_as_dict(self):
+        with telemetry_scope(MetricsRegistry()) as telemetry:
+            pass
+        document = telemetry.snapshot.as_dict()
+        assert set(document) == {"wall_seconds", "metrics"}
+
+
+class TestMetricCacheThroughRegistry:
+    """The legacy ``metric_cache_info()`` aggregates are registry-backed."""
+
+    def _network(self, rng):
+        return uniform_capacities(random_geometric_network(8, 0.55, rng=rng), 1.0)
+
+    def test_builds_and_hits_flow_into_registry_counters(self, rng):
+        network = self._network(rng)
+        network.metric()
+        network.metric()
+        info = metric_cache_info()
+        assert (info.builds, info.hits) == (1, 1)
+        counters = default_registry().counter_values()
+        assert counters["metric.cache.builds"] == 1.0
+        assert counters["metric.cache.hits"] == 1.0
+
+    def test_registry_reset_clears_legacy_view(self, rng):
+        network = self._network(rng)
+        network.metric()
+        default_registry().reset()
+        info = metric_cache_info()
+        assert (info.builds, info.hits) == (0, 0)
+
+    def test_metric_cache_clear_clears_registry_view(self, rng):
+        network = self._network(rng)
+        network.metric()
+        metric_cache_clear()
+        assert default_registry().counter_values()["metric.cache.builds"] == 0.0
+
+    def test_instance_counters_unaffected_by_global_reset(self, rng):
+        network = self._network(rng)
+        network.metric()
+        network.metric()
+        metric_cache_clear()
+        instance_info = network.metric_cache_info()
+        assert (instance_info.builds, instance_info.hits) == (1, 1)

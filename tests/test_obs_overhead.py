@@ -1,0 +1,61 @@
+"""Bench guard: instrumentation is (nearly) free when nobody collects.
+
+The acceptance bar is that the instrumented ``solve_qpp`` path stays
+within 1% of un-instrumented runtime while no collector is installed.
+The un-instrumented binary no longer exists, so the guard bounds the
+overhead from measurements: (number of spans a solve emits) x (cost of
+one no-op span) must be under 1% of the solve's wall time.  The no-op
+cost is one module-global load plus two method calls (~100ns), and a
+small solve emits well under a hundred spans, so the margin is wide —
+a regression that adds real work to the no-op path trips this test.
+"""
+
+import time
+
+from repro.core import solve_qpp
+from repro.network.generators import grid_network
+from repro.obs.trace import active_collector, collect, span
+from repro.quorums import AccessStrategy, majority
+
+_PROBE_SPANS = 50_000
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestNoOpOverhead:
+    def test_noop_span_cost_is_under_one_percent_of_solve_qpp(self):
+        network = grid_network(3, 3).with_capacities(2.0)
+        system = majority(5)
+        strategy = AccessStrategy.uniform(system)
+
+        def solve():
+            return solve_qpp(system, strategy, network=network)
+
+        solve()  # warm the metric cache and LP factory paths
+        assert active_collector() is None  # measuring the no-op path
+        solve_seconds = _best_of(3, solve)
+
+        with collect() as collector:
+            solve()
+        span_count = collector.span_count
+        assert span_count >= 3  # the guard must cover a real span load
+
+        def probe():
+            for _ in range(_PROBE_SPANS):
+                with span("overhead.probe"):
+                    pass
+
+        per_span_seconds = _best_of(3, probe) / _PROBE_SPANS
+        overhead_seconds = span_count * per_span_seconds
+        assert overhead_seconds < 0.01 * solve_seconds, (
+            f"no-op span overhead {overhead_seconds:.6f}s is not under 1% of "
+            f"solve time {solve_seconds:.6f}s ({span_count} spans at "
+            f"{per_span_seconds * 1e9:.0f}ns each)"
+        )
