@@ -4,23 +4,30 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline trace bench profile
+.PHONY: test lint lint-baseline effects trace bench profile
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# The full static tier: per-file rules, whole-program R100-series, and
-# the R200-series dataflow/contract rules, ratcheted against the
-# committed baseline. CI runs exactly this.
+# The full static tier: per-file rules, whole-program R100-series, the
+# R200-series dataflow/contract rules, and the R400-series
+# effect/concurrency rules, ratcheted against the committed baseline.
+# CI runs exactly this.
 lint:
-	$(PYTHON) -m repro lint src --whole-program --dataflow --baseline lint-baseline.json
+	$(PYTHON) -m repro lint src --whole-program --dataflow --effects --baseline lint-baseline.json
+
+# Run the effect tier and (re)generate the parallel-safety certificate
+# consumed by repro.parallel.parallel_map (docs/static_analysis.md).
+# CI regenerates and uploads this on every push.
+effects:
+	$(PYTHON) -m repro lint src --effects --certificate parallel-safety.json
 
 # Refresh the ratchet. Run this ONLY when a finding is a deliberate,
 # reviewed exception: the regenerated lint-baseline.json is committed
 # alongside the change, so the diff shows exactly which findings were
 # grandfathered. New findings not in the baseline always fail `make lint`.
 lint-baseline:
-	$(PYTHON) -m repro lint src --whole-program --dataflow --format json > lint-baseline.json
+	$(PYTHON) -m repro lint src --whole-program --dataflow --effects --format json > lint-baseline.json
 
 # Paper-theorem traceability matrix (what R204 checks).
 trace:

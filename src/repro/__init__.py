@@ -60,6 +60,7 @@ from .exceptions import (
     CapacityError,
     InfeasibleError,
     IntersectionError,
+    ParallelSafetyError,
     ReproError,
     SolverError,
     UnboundedError,
@@ -76,6 +77,7 @@ __all__ = [
     "InfeasibleError",
     "IntersectionError",
     "Network",
+    "ParallelSafetyError",
     "Placement",
     "Provenance",
     "QPPResult",

@@ -1,0 +1,38 @@
+"""Shared float-comparison helpers with named tolerances.
+
+The linter's R005 rule bans bare ``==`` / ``!=`` between floats because
+delay, probability and weight values all come out of float arithmetic.
+These helpers are the sanctioned alternative: one named absolute
+tolerance and the three classifications the library actually needs.
+Centralizing them here (rather than per-module copies) keeps every
+subsystem agreeing on what "is one" and "is zero" mean — the Woeginger
+special-form classification in :mod:`repro.scheduling.precedence` and
+any future consumer share the exact same cutoff.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["UNIT_TOLERANCE", "is_close", "is_unit", "is_zero"]
+
+#: Absolute tolerance for classifying values produced by float
+#: arithmetic against exact constants (0.0, 1.0).  Tight enough that
+#: genuinely distinct LP/strategy values never collapse, loose enough to
+#: absorb accumulated rounding from sums of machine-epsilon errors.
+UNIT_TOLERANCE = 1e-9
+
+
+def is_close(value: float, target: float) -> bool:
+    """Whether *value* equals *target* within :data:`UNIT_TOLERANCE`."""
+    return math.isclose(value, target, abs_tol=UNIT_TOLERANCE)
+
+
+def is_unit(value: float) -> bool:
+    """Whether *value* is 1.0 within :data:`UNIT_TOLERANCE`."""
+    return is_close(value, 1.0)
+
+
+def is_zero(value: float) -> bool:
+    """Whether *value* is 0.0 within :data:`UNIT_TOLERANCE`."""
+    return is_close(value, 0.0)

@@ -26,6 +26,8 @@ __all__ = [
     "check_integer_in_range",
     "check_finite",
     "contract",
+    "effects",
+    "EFFECT_KINDS",
 ]
 
 #: Tolerance used when validating probability vectors and comparing loads.
@@ -299,6 +301,63 @@ def contract(
 
         wrapper.__contract__ = spec  # type: ignore[attr-defined]
         return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+#: The effect vocabulary understood by the ``repro lint --effects`` tier.
+#: ``"pure"`` declares the empty effect set and cannot be combined with
+#: other kinds.  See ``docs/static_analysis.md`` for what each kind means.
+EFFECT_KINDS = frozenset(
+    {
+        "pure",
+        "reads-global",
+        "writes-global",
+        "writes-metrics",
+        "ambient-rng",
+        "io",
+        "spawns",
+    }
+)
+
+
+def effects(*kinds: str) -> Callable[[_F], _F]:
+    """Declare a function's side-effect set for the effects linter.
+
+    The declaration is attached as ``__effects__`` (a frozenset of kind
+    strings; ``effects("pure")`` attaches the empty set) and checked
+    *statically* against the inferred effect set by ``repro lint
+    --effects`` (rules R400/R401).  Functions whose declared-and-verified
+    effects are limited to ``reads-global`` / ``writes-metrics`` appear
+    as parallel-safe in the emitted certificate, which is what
+    :func:`repro.parallel.parallel_map` gates process fan-out on.
+
+    Unlike :func:`contract`, no wrapper is installed: the function object
+    is returned unchanged (so it stays picklable for process pools) and
+    the declaration costs nothing at call time.
+    """
+    declared = frozenset(kinds)
+    unknown = declared - EFFECT_KINDS
+    if unknown:
+        raise ValidationError(
+            f"unknown effect kind(s) {sorted(unknown)!r}; "
+            f"known kinds: {sorted(EFFECT_KINDS)}"
+        )
+    if not declared:
+        raise ValidationError(
+            "effects() needs at least one kind; use effects('pure') to "
+            "declare the empty effect set"
+        )
+    if "pure" in declared and len(declared) > 1:
+        raise ValidationError(
+            "effects('pure') cannot be combined with other effect kinds"
+        )
+
+    def decorate(func: _F) -> _F:
+        func.__effects__ = (  # type: ignore[attr-defined]
+            frozenset() if declared == {"pure"} else declared
+        )
+        return func
 
     return decorate
 

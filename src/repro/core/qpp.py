@@ -25,16 +25,19 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
-from typing import ClassVar
+from functools import partial
+from pathlib import Path
+from typing import Any, ClassVar
 
 import numpy as np
 
 from .._compat import solver_api
 from .._results import Provenance, SolveResult
-from .._validation import check_positive, require
+from .._validation import check_positive, effects, require
 from ..network.graph import Network, Node
 from ..obs.metrics import telemetry_scope
 from ..obs.trace import span
+from ..parallel import parallel_map
 from ..quorums.base import QuorumSystem
 from ..quorums.strategy import AccessStrategy
 from .placement import Placement, _client_weights, average_max_delay
@@ -90,6 +93,40 @@ class QPPResult(SolveResult):
         return 0.0 if self.objective == 0 else float("inf")
 
 
+# paper: Thm 3.3
+@effects("reads-global", "writes-metrics")
+def _qpp_candidate_worker(
+    source: Node,
+    *,
+    system: QuorumSystem,
+    strategy: AccessStrategy,
+    network: Network,
+    alpha: float,
+    lp_method: str,
+    formulation: str,
+) -> SSQPPResult:
+    """Solve one relay candidate in isolation (the process-pool worker).
+
+    Unlike the serial sweep, each worker builds its own LP factory: the
+    shared-factory optimization assumes sequential attach/release on one
+    mutable LP base, which processes cannot share.  The factory's
+    checkpoint/rollback contract makes a fresh base bitwise-equivalent
+    to a rolled-back shared one, so the sweep's results do not depend on
+    which path ran (test-asserted).  Declared effects cover callees the
+    static analysis cannot see through method calls (the LP solve
+    counters, the network metric cache).
+    """
+    return solve_ssqpp(
+        system,
+        strategy,
+        network=network,
+        source=source,
+        alpha=alpha,
+        lp_method=lp_method,
+        formulation=formulation,
+    )
+
+
 # paper: Thm 1.2, Thm 3.3, §3
 @solver_api(legacy_positional=("network",))
 def solve_qpp(
@@ -102,6 +139,9 @@ def solve_qpp(
     rates: Mapping[Node, float] | None = None,
     lp_method: str = "highs",
     formulation: str = "prefix",
+    parallel: str | None = None,
+    certificate: Mapping[str, Any] | str | Path | None = None,
+    max_workers: int | None = None,
 ) -> QPPResult:
     """Solve the Quorum Placement Problem (Theorem 1.2).
 
@@ -121,8 +161,28 @@ def solve_qpp(
     rates:
         Optional per-client access rates (§6 extension); both the
         objective and the lower bound become rate-weighted averages.
+    parallel:
+        ``"process"`` fans the candidate sweep out across a process pool
+        via :func:`repro.parallel.parallel_map`, gated on the
+        parallel-safety *certificate*; ``None`` (default) sweeps
+        serially with a shared LP factory.  Results are identical either
+        way — only the telemetry attribution differs (child-process
+        counter increments stay in the children).
+    certificate:
+        Parallel-safety certificate for the pooled sweep: a parsed
+        document, a path to one, or ``None`` to consult
+        ``$REPRO_PARALLEL_CERTIFICATE``.  Generate with ``repro lint
+        --effects --certificate out.json``.  Without a valid certificate
+        covering the worker, ``parallel="process"`` refuses
+        (:class:`~repro.exceptions.ParallelSafetyError`).
+    max_workers:
+        Pool size for ``parallel="process"`` (default: executor choice).
     """
     check_positive(alpha - 1.0, "alpha - 1")
+    require(
+        parallel in (None, "process"),
+        f"parallel must be None or 'process', got {parallel!r}",
+    )
     candidates = list(candidate_sources) if candidate_sources is not None else list(network.nodes)
     require(len(candidates) > 0, "at least one candidate source is required")
     # Dedupe while preserving order: repeated candidates would waste
@@ -134,11 +194,6 @@ def solve_qpp(
     metric = network.metric()
     weights = _client_weights(network, rates)
 
-    # One shared LP base (variables, assignment and capacity rows) for the
-    # whole sweep; each solve_ssqpp call attaches only the source-dependent
-    # structure and rolls it back afterwards.
-    factory = SSQPPLPFactory(system, strategy, network, formulation=formulation)
-
     best: SSQPPResult | None = None
     best_delay = float("inf")
     best_source: Node | None = None
@@ -148,18 +203,49 @@ def solve_qpp(
     with telemetry_scope() as telemetry, span(
         "qpp.sweep", candidates=len(candidates), alpha=alpha
     ):
-        for source in candidates:
-            with span("qpp.candidate", source=source):
-                result = solve_ssqpp(
-                    system,
-                    strategy,
-                    network=network,
-                    source=source,
-                    alpha=alpha,
-                    lp_method=lp_method,
-                    formulation=formulation,
-                    factory=factory,
-                )
+        if parallel == "process":
+            worker = partial(
+                _qpp_candidate_worker,
+                system=system,
+                strategy=strategy,
+                network=network,
+                alpha=alpha,
+                lp_method=lp_method,
+                formulation=formulation,
+            )
+            results = parallel_map(
+                worker,
+                candidates,
+                certificate=certificate,
+                max_workers=max_workers,
+            )
+        else:
+            # One shared LP base (variables, assignment and capacity
+            # rows) for the whole sweep; each solve_ssqpp call attaches
+            # only the source-dependent structure and rolls it back
+            # afterwards.
+            factory = SSQPPLPFactory(
+                system, strategy, network, formulation=formulation
+            )
+            results = []
+            for source in candidates:
+                with span("qpp.candidate", source=source):
+                    results.append(
+                        solve_ssqpp(
+                            system,
+                            strategy,
+                            network=network,
+                            source=source,
+                            alpha=alpha,
+                            lp_method=lp_method,
+                            formulation=formulation,
+                            factory=factory,
+                        )
+                    )
+        # Selection is shared between both sweep modes and iterates in
+        # candidate order, so serial and pooled runs reduce the same
+        # per-candidate results with the same float arithmetic.
+        for source, result in zip(candidates, results):
             per_source[source] = result
             to_source = float(weights @ metric.distances_from(source))
             lower_bound = min(lower_bound, (to_source + result.lp_value) / 5.0)

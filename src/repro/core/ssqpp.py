@@ -282,7 +282,12 @@ class SSQPPLPFactory:
         # (14): prefix consistency — a quorum cannot finish before its members.
         if self._formulation == "prefix":
             for q in support:
-                quorum = system.quorums[q]
+                # Universe order, not set order: frozenset iteration
+                # order varies with insertion history (and across pickle
+                # round-trips), and the LP row order it would induce
+                # perturbs solver pivoting at the last ulp — breaking
+                # serial/parallel result identity.
+                quorum = sorted(system.quorums[q], key=system.element_index)
                 for u in quorum:
                     quorum_prefix = None
                     element_prefix = None
@@ -340,7 +345,9 @@ class SSQPPLPFactory:
                     model.add_constraint(terms == 0, name=f"chainQ[{t},{q}]")
                     chain_q.append(cum)
                     previous = cum
-                for u in system.quorums[q]:
+                # Universe order for the same determinism reason as the
+                # prefix formulation above.
+                for u in sorted(system.quorums[q], key=system.element_index):
                     for t in range(n):
                         model.add_constraint(
                             chain_q[t] - element_cumulative[u][t] <= 0,

@@ -19,7 +19,12 @@ prove (or demand) the probability-simplex invariant on access-strategy
 arrays, keep every ``*_reference`` oracle paired with its vectorized
 twin, and hold the ``# paper:`` anchors and the design document's
 theorem table to bi-directional coverage (also rendered by ``repro
-trace``).  The repository lints itself in CI and in
+trace``).  The effects ruleset (R400–R404, ``lint --effects``) infers
+every function's side-effect set interprocedurally — purity, global
+reads/writes, metric writes, ambient RNG, IO, spawning — checks it
+against ``@effects`` declarations, and emits the parallel-safety
+certificate (``--certificate``) that :func:`repro.parallel.parallel_map`
+gates process fan-out on.  The repository lints itself in CI and in
 ``tests/test_lint_self.py``, so refactors toward the production-scale
 roadmap cannot silently erode the invariants the paper's theorems rely
 on.
@@ -40,12 +45,23 @@ See ``docs/static_analysis.md`` for the rule catalogue and rationale.
 from __future__ import annotations
 
 from . import dataflow_rules as _dataflow_rules  # noqa: F401  (registers R2xx)
+from . import effect_rules as _effect_rules  # noqa: F401  (registers R4xx)
 from . import rules as _rules  # noqa: F401  (imports register the ruleset)
 from .config import LintConfig, config_from_table, load_config, merge_cli_options
 from .contracts import FunctionContract, extract_module_contracts
 from .dataflow_rules import DataflowContext, build_dataflow_context
+from .effect_rules import EffectContext, build_effect_context
+from .effects import (
+    FunctionEffects,
+    analyze_effects,
+    build_certificate,
+    build_certificate_for_paths,
+    render_certificate,
+    validate_certificate,
+)
 from .engine import (
     DataflowRule,
+    EffectRule,
     ModuleContext,
     ParseCache,
     ParsedFile,
@@ -58,6 +74,7 @@ from .engine import (
     register_rule,
     registered_rules,
 )
+from .globals_inventory import GlobalsInventory, build_globals_inventory
 from .findings import Finding, render_json, render_text, sort_findings
 from .interproc import ProgramContext, build_program_context, load_module_graph
 from .modgraph import ImportEdge, ModuleGraph
@@ -73,8 +90,12 @@ from .trace import (
 __all__ = [
     "DataflowContext",
     "DataflowRule",
+    "EffectContext",
+    "EffectRule",
     "Finding",
     "FunctionContract",
+    "FunctionEffects",
+    "GlobalsInventory",
     "ImportEdge",
     "LintConfig",
     "ModuleContext",
@@ -86,7 +107,12 @@ __all__ = [
     "Rule",
     "SuppressionTable",
     "TraceMatrix",
+    "analyze_effects",
+    "build_certificate",
+    "build_certificate_for_paths",
     "build_dataflow_context",
+    "build_effect_context",
+    "build_globals_inventory",
     "build_matrix",
     "build_program_context",
     "collect_suppressions",
@@ -101,10 +127,12 @@ __all__ = [
     "module_name_for",
     "register_rule",
     "registered_rules",
+    "render_certificate",
     "render_json",
     "render_matrix_json",
     "render_matrix_markdown",
     "render_matrix_text",
     "render_text",
     "sort_findings",
+    "validate_certificate",
 ]

@@ -15,7 +15,10 @@ Resolution handles the package's real idioms:
   so ``generators.grid(...)`` and ``repro.lp.solve(...)`` resolve;
 * re-export chains — ``from .qpp import solve_qpp`` inside
   ``repro.core.__init__`` makes ``repro.core.solve_qpp`` an alias for
-  ``repro.core.qpp.solve_qpp``, chased transitively with cycle guards.
+  ``repro.core.qpp.solve_qpp``, chased transitively with cycle guards;
+* ``functools.partial(f, ...)`` — binding arguments records a call edge
+  to ``f``, so deferred dispatch (pool workers) stays visible to the
+  interprocedural effect inference.
 
 Every call and raise site records the set of exception names caught
 around it: a site inside a ``try`` *body* is protected by that
@@ -417,6 +420,25 @@ def build_call_graph(
                 calls.append(
                     CallSite(info.qualified, callee, text, node.lineno, caught)
                 )
+                # ``functools.partial(f, ...)`` defers a call to ``f``:
+                # record the edge so interprocedural analyses (effect
+                # inference in particular) see through the binding.  The
+                # partial is almost always invoked — and when it is not,
+                # an extra conservative edge only widens effect sets.
+                if text in ("partial", "functools.partial") and node.args:
+                    first = node.args[0]
+                    if isinstance(first, (ast.Name, ast.Attribute)):
+                        bound = resolver.resolve_call(info.module, first)
+                        if bound is not None:
+                            calls.append(
+                                CallSite(
+                                    info.qualified,
+                                    bound,
+                                    dotted_name(first) or "<dynamic>",
+                                    node.lineno,
+                                    caught,
+                                )
+                            )
 
     return CallGraph(
         functions=dict(sorted(functions.items())),

@@ -20,7 +20,7 @@ from pathlib import Path
 
 from ..exceptions import LintError
 from .config import LintConfig, load_config, merge_cli_options
-from .engine import lint_paths, registered_rules
+from .engine import ParseCache, lint_paths, registered_rules
 from .findings import Finding, render_json, render_text
 from .interproc import load_module_graph
 from .modgraph import render_deps_dot, render_deps_json, render_deps_tree
@@ -85,6 +85,21 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="also run the R200-series dataflow and contract rules "
         "(call-site shape/dtype contracts, unbound locals, simplex "
         "invariants, oracle pairing, paper traceability)",
+    )
+    parser.add_argument(
+        "--effects",
+        action="store_true",
+        help="also run the R400-series effect/concurrency-safety rules "
+        "(effect-declaration checks, pure-function writes, ambient RNG "
+        "on solver entry points, pool picklability, telemetry scoping)",
+    )
+    parser.add_argument(
+        "--certificate",
+        default=None,
+        metavar="OUT",
+        help="write the JSON parallel-safety certificate (every solver "
+        "entry point with its inferred effect set) to OUT; implies "
+        "--effects",
     )
     parser.add_argument(
         "--fail-on",
@@ -203,12 +218,35 @@ def run_lint(args: argparse.Namespace) -> int:
             print(f"{rule_id} {rule.name}: {rule.summary}")
         return 0
     config = _resolve_config(args)
+    certificate_path = getattr(args, "certificate", None)
+    wants_effects = bool(getattr(args, "effects", False)) or (
+        certificate_path is not None
+    )
+    cache = ParseCache()
     findings = lint_paths(
         args.paths,
         config,
         whole_program=bool(getattr(args, "whole_program", False)),
         dataflow=bool(getattr(args, "dataflow", False)),
+        effects=wants_effects,
+        cache=cache,
     )
+    if certificate_path is not None:
+        # The shared cache keeps this a zero-reparse pass over the same
+        # files the lint run just analyzed.
+        from .effects import build_certificate_for_paths, render_certificate
+
+        document = build_certificate_for_paths(
+            args.paths, config, cache=cache
+        )
+        try:
+            Path(certificate_path).write_text(
+                render_certificate(document), encoding="utf-8"
+            )
+        except OSError as exc:
+            raise LintError(
+                f"cannot write certificate {certificate_path!r}: {exc}"
+            ) from exc
     baseline_path = getattr(args, "baseline", None)
     if baseline_path is not None:
         known = _load_baseline(baseline_path)

@@ -94,8 +94,8 @@ DEFAULT_BANNED_EXCEPTIONS = frozenset(
 #: package (and any not-yet-mapped submodule) in the top layer via
 #: longest-prefix matching.
 DEFAULT_LAYERS: tuple[tuple[str, ...], ...] = (
-    ("repro.exceptions", "repro._validation", "repro._pareto"),
-    ("repro.obs", "repro._results", "repro._compat"),
+    ("repro.exceptions", "repro._validation", "repro._pareto", "repro._numeric"),
+    ("repro.obs", "repro._results", "repro._compat", "repro.parallel"),
     ("repro.lp",),
     ("repro.network",),
     ("repro.quorums",),

@@ -1,0 +1,328 @@
+"""The R400-series effect and concurrency-safety rules.
+
+Built on the globals census (:mod:`repro.lint.globals_inventory`) and the
+interprocedural effect inference (:mod:`repro.lint.effects`):
+
+============  =========================================================
+``R400``      inferred effects must be covered by an ``@effects`` declaration
+``R401``      no global write reachable from a function declared pure
+``R402``      no ambient/unseeded RNG reachable from solver entry points
+``R403``      no lambda / closure passed to a pool or ``*_map`` call site
+``R404``      metrics-writing solver entry points open a telemetry scope
+============  =========================================================
+
+These rules run only under ``repro lint --effects``; they see the same
+parse-once files as everything else.  Findings honor inline suppressions
+and ``"R4xx:qualified.name"`` config exemptions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from .astutils import callee_name, dotted_name
+from .callgraph import FunctionInfo
+from .effects import (
+    ENTRY_POINT_PATTERN,
+    FunctionEffects,
+    analyze_effects,
+    entry_point_names,
+)
+from .engine import EffectRule, register_rule
+from .findings import Finding
+from .globals_inventory import GlobalsInventory, build_globals_inventory
+from .interproc import ProgramContext, _in_packages
+
+__all__ = [
+    "EffectContext",
+    "build_effect_context",
+    "EffectDeclarationRule",
+    "PureFunctionWriteRule",
+    "EntryPointAmbientRngRule",
+    "PicklablePoolArgumentRule",
+    "TelemetryScopeRule",
+]
+
+#: Pool-dispatch callee names whose first callable argument must pickle.
+_POOL_CALLEES = frozenset(
+    {"parallel_map", "starmap", "imap", "imap_unordered", "apply_async"}
+)
+#: ``.map`` / ``.submit`` count only on receivers that look like pools.
+_POOL_RECEIVER_HINTS = ("pool", "executor")
+
+
+@dataclass
+class EffectContext:
+    """Everything a :class:`~repro.lint.engine.EffectRule` may inspect."""
+
+    #: The shared whole-program view (files, call graph, config).
+    program: ProgramContext
+    #: The mutable-global census.
+    inventory: GlobalsInventory
+    #: Inferred (and declared) effects of every analyzed function.
+    effects: Mapping[str, FunctionEffects]
+    #: Solver entry points (public ``solve_*`` / ``optimal_*``).
+    entry_points: tuple[str, ...] = field(default_factory=tuple)
+
+
+def build_effect_context(program: ProgramContext) -> EffectContext:
+    """Run the census and the effect fixpoint over one program."""
+    inventory = build_globals_inventory(program)
+    effects = analyze_effects(program, inventory)
+    return EffectContext(
+        program=program,
+        inventory=inventory,
+        effects=effects,
+        entry_points=entry_point_names(program),
+    )
+
+
+def _witness_clause(fx: FunctionEffects, kind: str) -> str:
+    witness = fx.effects.get(kind)
+    if witness is None:
+        return ""
+    if witness.origin == fx.qualified:
+        return f" ({witness.detail}, line {witness.line})"
+    return f" (via {witness.origin!r}: {witness.detail})"
+
+
+@register_rule
+class EffectDeclarationRule(EffectRule):
+    """R400: inferred effects must be covered by the ``@effects`` declaration.
+
+    A declaration is a machine-checked promise: the certificate (and the
+    process-pool gate built on it) trusts declared-and-verified effect
+    sets, so an annotation narrower than the inferred reality would let
+    an unsafe function fan out.  Over-declaration is legal — declaring
+    ``writes-metrics`` for writes the analysis cannot see (method calls)
+    is the sanctioned idiom.  Global writes from *pure*-declared
+    functions are R401's finding, not repeated here.
+    """
+
+    id = "R400"
+    name = "effect-declaration"
+    summary = "inferred effects must be covered by @effects declarations"
+
+    def check_effects(self, context: EffectContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified, fx in context.effects.items():
+            if fx.declared is None and not fx.declared_problems:
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            info = program.calls.functions[qualified]
+            line = fx.declared_line if fx.declared_line is not None else info.line
+            for problem in fx.declared_problems:
+                yield program.finding(
+                    info.module, line, self.id,
+                    f"malformed @effects declaration on {info.name!r}: "
+                    f"{problem}",
+                )
+            if fx.declared is None:
+                continue
+            missing = set(fx.effects) - fx.declared
+            if not fx.declared:
+                # Declared pure: global writes are R401's territory.
+                missing -= {"writes-global", "writes-metrics"}
+            for kind in sorted(missing):
+                yield program.finding(
+                    info.module, line, self.id,
+                    f"{info.name!r} is declared "
+                    f"{sorted(fx.declared) or ['pure']} but the analysis "
+                    f"infers {kind!r}{_witness_clause(fx, kind)}; widen the "
+                    "declaration or remove the effect",
+                )
+
+
+@register_rule
+class PureFunctionWriteRule(EffectRule):
+    """R401: no global write reachable from a function declared pure.
+
+    Purity declarations feed the parallel-safety certificate; a global
+    write hiding behind one (directly or through any chain of resolved
+    calls) would corrupt shared state the moment the function is
+    replayed, memoized, or fanned out.
+    """
+
+    id = "R401"
+    name = "pure-global-write"
+    summary = "pure-declared functions must not reach global writes"
+
+    def check_effects(self, context: EffectContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified, fx in context.effects.items():
+            if fx.declared is None or fx.declared:
+                continue  # undeclared, or declared with effects
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            info = program.calls.functions[qualified]
+            line = fx.declared_line if fx.declared_line is not None else info.line
+            for variable, writer in sorted(fx.global_writes):
+                via = (
+                    "its own body"
+                    if writer == qualified
+                    else f"callee {writer!r}"
+                )
+                yield program.finding(
+                    info.module, line, self.id,
+                    f"{info.name!r} is declared pure but {via} writes "
+                    f"module-level state {variable!r}; drop the purity "
+                    "declaration or remove the write",
+                )
+
+
+@register_rule
+class EntryPointAmbientRngRule(EffectRule):
+    """R402: no ambient RNG reachable from solver entry points.
+
+    Reproducibility is a paper-level contract (R004 enforces it per
+    file); this rule closes the interprocedural gap for the solver
+    surface — a ``solve_*`` entry point whose transitive callees draw
+    from process-global randomness makes runs unrepeatable no matter how
+    carefully the caller seeds its own generator.
+    """
+
+    id = "R402"
+    name = "entry-point-ambient-rng"
+    summary = "solver entry points must not reach ambient RNG state"
+
+    def check_effects(self, context: EffectContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified in context.entry_points:
+            fx = context.effects.get(qualified)
+            if fx is None or "ambient-rng" not in fx.effects:
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            info = program.calls.functions[qualified]
+            yield program.finding(
+                info.module, info.line, self.id,
+                f"solver entry point {info.name!r} can reach ambient RNG "
+                f"state{_witness_clause(fx, 'ambient-rng')}; inject a "
+                "seeded Generator instead, or exempt with "
+                f"'R402:{qualified}'",
+            )
+
+
+@register_rule
+class PicklablePoolArgumentRule(EffectRule):
+    """R403: no lambda or local closure handed to a pool call site.
+
+    Process pools pickle the callable by qualified name; a lambda or a
+    function defined inside another function fails at dispatch time with
+    an opaque ``PicklingError`` — or silently degrades to the serial
+    fallback.  Flagging the call site statically turns that runtime
+    surprise into a lint finding.
+    """
+
+    id = "R403"
+    name = "picklable-pool-argument"
+    summary = "pool call sites must receive module-level callables"
+
+    @staticmethod
+    def _is_pool_call(node: ast.Call) -> bool:
+        name = callee_name(node)
+        if name in _POOL_CALLEES:
+            return True
+        if name in ("map", "submit") and isinstance(node.func, ast.Attribute):
+            receiver = dotted_name(node.func.value)
+            if receiver is not None and any(
+                hint in receiver.lower() for hint in _POOL_RECEIVER_HINTS
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _nested_definitions(info: FunctionInfo) -> frozenset[str]:
+        nested: set[str] = set()
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not info.node
+            ):
+                nested.add(node.name)
+        return frozenset(nested)
+
+    def check_effects(self, context: EffectContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified, info in program.calls.functions.items():
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            nested = self._nested_definitions(info)
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call) or not self._is_pool_call(node):
+                    continue
+                if not node.args:
+                    continue
+                candidate = node.args[0]
+                problem: str | None = None
+                if isinstance(candidate, ast.Lambda):
+                    problem = "a lambda"
+                elif (
+                    isinstance(candidate, ast.Name)
+                    and candidate.id in nested
+                ):
+                    problem = f"local function {candidate.id!r}"
+                if problem is None:
+                    continue
+                yield program.finding(
+                    info.module, node.lineno, self.id,
+                    f"{info.name!r} passes {problem} to a pool call site; "
+                    "process pools pickle by qualified name — hoist the "
+                    "callable to module level (functools.partial over a "
+                    "module-level function is fine)",
+                )
+
+
+@register_rule
+class TelemetryScopeRule(EffectRule):
+    """R404: metrics-writing solver entry points open a telemetry scope.
+
+    A solver whose callees increment :mod:`repro.obs` counters without a
+    surrounding :func:`~repro.obs.metrics.telemetry_scope` leaks its cost
+    into whatever scope happens to be open — and under process fan-out
+    the orphaned increments vanish with the child, so the parent's
+    counters silently under-report.  Scoping at the entry point makes
+    each solve's deltas attributable (the ``SolveResult.telemetry``
+    contract).
+    """
+
+    id = "R404"
+    name = "telemetry-scope"
+    summary = "metrics-writing solver entry points use telemetry_scope"
+
+    @staticmethod
+    def _opens_scope(info: FunctionInfo) -> bool:
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                name = callee_name(node)
+                if name == "telemetry_scope":
+                    return True
+        return False
+
+    def check_effects(self, context: EffectContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified in context.entry_points:
+            fx = context.effects.get(qualified)
+            if fx is None or "writes-metrics" not in fx.effects:
+                continue
+            if not _in_packages(
+                program.calls.functions[qualified].module,
+                program.config.validated_packages,
+            ):
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            info = program.calls.functions[qualified]
+            if self._opens_scope(info):
+                continue
+            yield program.finding(
+                info.module, info.line, self.id,
+                f"solver entry point {info.name!r} writes obs metrics"
+                f"{_witness_clause(fx, 'writes-metrics')} without opening "
+                "a telemetry_scope; wrap the solve and attach the "
+                "snapshot to its SolveResult, or exempt with "
+                f"'R404:{qualified}'",
+            )

@@ -33,10 +33,12 @@ from .suppressions import ALL_RULES, SuppressionTable, collect_suppressions
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .dataflow_rules import DataflowContext
+    from .effect_rules import EffectContext
     from .interproc import ProgramContext
 
 __all__ = [
     "DataflowRule",
+    "EffectRule",
     "ModuleContext",
     "ParseCache",
     "ParsedFile",
@@ -266,7 +268,26 @@ class DataflowRule(ABC):
         """Yield findings for the analyzed program; must not mutate it."""
 
 
-AnyRule = Rule | ProgramRule | DataflowRule
+class EffectRule(ABC):
+    """One effect/concurrency-safety invariant (the R400 series).
+
+    Like :class:`DataflowRule`, deliberately not a :class:`ProgramRule`
+    subclass: these rules additionally need the globals census and the
+    interprocedural effect fixpoint, which only ``lint --effects``
+    builds (on top of the same
+    :class:`~repro.lint.interproc.ProgramContext`).
+    """
+
+    id: str
+    name: str
+    summary: str
+
+    @abstractmethod
+    def check_effects(self, context: "EffectContext") -> Iterable[Finding]:
+        """Yield findings for the analyzed program; must not mutate it."""
+
+
+AnyRule = Rule | ProgramRule | DataflowRule | EffectRule
 
 _REGISTRY: dict[str, AnyRule] = {}
 
@@ -428,6 +449,7 @@ def lint_paths(
     *,
     whole_program: bool = False,
     dataflow: bool = False,
+    effects: bool = False,
     cache: ParseCache | None = None,
 ) -> list[Finding]:
     """Lint files and directories (recursively); the main library entry.
@@ -437,10 +459,12 @@ def lint_paths(
     (see :mod:`repro.lint.interproc`), so each file is parsed exactly
     once per run.  ``dataflow=True`` additionally builds the CFG /
     abstract-interpretation substrate and runs the R200-series contract
-    rules (see :mod:`repro.lint.dataflow_rules`) — it implies the
-    program context, but not the R100 rules themselves.  Pass a
-    long-lived *cache* to reuse parses across runs; entries invalidate
-    when a file's mtime changes.
+    rules (see :mod:`repro.lint.dataflow_rules`); ``effects=True`` the
+    globals census plus effect fixpoint and the R400-series rules (see
+    :mod:`repro.lint.effect_rules`).  Each implies the program context,
+    but not the R100 rules themselves.  Pass a long-lived *cache* to
+    reuse parses across runs; entries invalidate when a file's mtime
+    changes.
     """
     active_config = config if config is not None else LintConfig()
     active_cache = cache if cache is not None else ParseCache()
@@ -456,7 +480,7 @@ def lint_paths(
         findings.extend(
             _suppression_findings(parsed.path, parsed.suppressions)
         )
-    if whole_program or dataflow:
+    if whole_program or dataflow or effects:
         # Runtime import breaks the engine <-> interproc module cycle;
         # both live in the same layer so R100 stays satisfied.
         from .interproc import build_program_context
@@ -487,6 +511,19 @@ def lint_paths(
                 ):
                     continue
                 for finding in rule.check_dataflow(context):
+                    if not program.is_suppressed(finding):
+                        findings.append(finding)
+        if effects:
+            from .effect_rules import build_effect_context
+
+            effect_context = build_effect_context(program)
+            for rule_id in sorted(_REGISTRY):
+                rule = _REGISTRY[rule_id]
+                if not isinstance(rule, EffectRule) or not active_config.wants(
+                    rule_id
+                ):
+                    continue
+                for finding in rule.check_effects(effect_context):
                     if not program.is_suppressed(finding):
                         findings.append(finding)
     return sort_findings(findings)

@@ -1,0 +1,373 @@
+"""Census of module-level mutable state, with read/write attribution.
+
+The effects tier (:mod:`repro.lint.effects`) needs to know *what* global
+state exists before it can reason about who touches it.  This module
+walks every analyzed file's top level and records the mutable bindings —
+registry singletons (``_DEFAULT = MetricsRegistry()``), cached metric
+objects (``_LP_SOLVES = counter(...)``), container caches
+(``_REGISTRY: dict = {}``), module-level RNG handles, and any name a
+function rebinds via ``global`` — then attributes every read and write
+site inside the package's module-level functions to its global.
+
+Classification is syntactic and deliberately conservative in documented
+ways: immutable module constants (numbers, strings, tuples, frozensets,
+compiled regexes) are excluded; attribute/method mutation is recognized
+through a fixed mutator-name list; globals of *other* modules are seen
+only when rebound through ``global`` or touched by name in their home
+module (cross-module aliasing of a bare global is not an idiom this
+codebase uses).  ``docs/static_analysis.md`` spells out the
+approximations.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+
+from .astutils import callee_name, dotted_name, iter_top_level_statements
+from .interproc import ProgramContext
+
+__all__ = [
+    "GlobalVariable",
+    "GlobalAccess",
+    "GlobalsInventory",
+    "build_globals_inventory",
+]
+
+#: Value expressions classified as metric objects (fork-aware registry
+#: state; writing them is ``writes-metrics``, not ``writes-global``).
+_METRIC_FACTORIES = frozenset(
+    {"counter", "gauge", "histogram", "Counter", "Gauge", "Histogram",
+     "MetricsRegistry"}
+)
+
+#: Constructors yielding plain mutable containers.
+_CONTAINER_FACTORIES = frozenset(
+    {"dict", "list", "set", "bytearray", "defaultdict", "deque",
+     "OrderedDict", "ChainMap"}
+)
+
+#: Module-level RNG handles (ambient randomness when unseeded).
+_RNG_FACTORIES = frozenset({"default_rng", "RandomState", "Random"})
+
+#: Constructors whose results are immutable — not inventoried.
+_IMMUTABLE_FACTORIES = frozenset(
+    {"frozenset", "tuple", "compile", "TypeVar", "namedtuple", "getenv",
+     "property", "staticmethod", "classmethod"}
+)
+
+#: Method names that mutate their receiver in place.  Calling one of
+#: these on a module-level global is a global write.
+_MUTATOR_METHODS = frozenset(
+    {
+        "inc", "set", "observe", "reset",
+        "append", "extend", "insert", "remove", "pop", "clear",
+        "add", "discard", "update", "setdefault", "popitem",
+        "appendleft", "popleft",
+    }
+)
+
+
+@dataclass(frozen=True)
+class GlobalVariable:
+    """One module-level mutable binding."""
+
+    #: Module the binding lives in.
+    module: str
+    #: Bare name of the binding.
+    name: str
+    #: ``module.name`` — the key used throughout the inventory.
+    qualified: str
+    #: ``"metric"`` (registry/counter objects), ``"container"``,
+    #: ``"rng"``, ``"object"`` (other constructor calls), or
+    #: ``"rebound"`` (reassigned via a ``global`` statement).
+    kind: str
+    #: 1-based line of the module-level binding (or first ``global``).
+    line: int
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """One read or write of a global inside a module-level function."""
+
+    #: ``module.name`` of the accessed global.
+    variable: str
+    #: Qualified name of the accessing function.
+    function: str
+    #: 1-based source line of the access.
+    line: int
+    #: Whether the access mutates the global.
+    write: bool
+    #: Human-readable description of the site (``"_LP_SOLVES.inc(...)"``).
+    detail: str
+
+
+@dataclass(frozen=True)
+class GlobalsInventory:
+    """Every known mutable global plus its attributed access sites."""
+
+    variables: Mapping[str, GlobalVariable]
+    accesses: tuple[GlobalAccess, ...]
+
+    def variable(self, qualified: str) -> GlobalVariable | None:
+        return self.variables.get(qualified)
+
+    def accesses_by(self, function: str) -> tuple[GlobalAccess, ...]:
+        """All accesses attributed to one function."""
+        return tuple(a for a in self.accesses if a.function == function)
+
+    def writers_of(self, variable: str) -> tuple[GlobalAccess, ...]:
+        """All write sites of one global, sorted by function then line."""
+        return tuple(
+            sorted(
+                (a for a in self.accesses if a.variable == variable and a.write),
+                key=lambda a: (a.function, a.line),
+            )
+        )
+
+    def readers_of(self, variable: str) -> tuple[GlobalAccess, ...]:
+        """All read sites of one global, sorted by function then line."""
+        return tuple(
+            sorted(
+                (a for a in self.accesses if a.variable == variable and not a.write),
+                key=lambda a: (a.function, a.line),
+            )
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view (embedded in the parallel-safety certificate)."""
+        return {
+            "variables": [
+                {
+                    "module": var.module,
+                    "name": var.name,
+                    "kind": var.kind,
+                    "line": var.line,
+                    "writers": sorted(
+                        {a.function for a in self.writers_of(var.qualified)}
+                    ),
+                    "readers": sorted(
+                        {a.function for a in self.readers_of(var.qualified)}
+                    ),
+                }
+                for var in sorted(
+                    self.variables.values(), key=lambda v: v.qualified
+                )
+            ]
+        }
+
+
+def _classify_value(value: ast.expr) -> str | None:
+    """The inventory kind of a module-level binding's value, or ``None``
+    when the value is immutable (constants, tuples, compiled regexes)."""
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return "container"
+    if isinstance(value, ast.Call):
+        name = callee_name(value)
+        if name is None:
+            return "object"
+        if name in _METRIC_FACTORIES:
+            return "metric"
+        if name in _CONTAINER_FACTORIES:
+            return "container"
+        if name in _RNG_FACTORIES:
+            return "rng"
+        if name in _IMMUTABLE_FACTORIES:
+            return None
+        return "object"
+    return None
+
+
+def _module_bindings(module: str, tree: ast.Module) -> Iterator[GlobalVariable]:
+    """Mutable bindings declared at *module*'s top level."""
+    for node in iter_top_level_statements(tree):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        if value is None:
+            continue
+        kind = _classify_value(value)
+        if kind is None:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id.startswith("__"):  # dunder metadata (__all__ etc.)
+                continue
+            yield GlobalVariable(
+                module=module,
+                name=target.id,
+                qualified=f"{module}.{target.id}",
+                kind=kind,
+                line=node.lineno,
+            )
+
+
+def _rebound_globals(
+    module: str, tree: ast.Module
+) -> Iterator[tuple[str, int]]:
+    """Names any function in *module* declares ``global`` (with the line)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            for name in node.names:
+                yield name, node.lineno
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    current: ast.expr = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound locally in *fn*: parameters plus store targets,
+    minus anything declared ``global``."""
+    args = fn.args
+    names = {
+        a.arg
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *((args.vararg,) if args.vararg else ()),
+            *((args.kwarg,) if args.kwarg else ()),
+        )
+    }
+    declared_global: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn:
+                names.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            names.add(node.name)
+    return names - declared_global
+
+
+def _function_accesses(
+    module: str,
+    qualified: str,
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    known: Mapping[str, GlobalVariable],
+) -> Iterator[GlobalAccess]:
+    """Attribute every global touch inside one function body."""
+
+    def lookup(name: str) -> GlobalVariable | None:
+        return known.get(f"{module}.{name}")
+
+    local = _local_names(fn)
+    declared_global: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name):
+            if node.id in local:
+                continue
+            var = lookup(node.id)
+            if var is None:
+                continue
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                if node.id in declared_global:
+                    yield GlobalAccess(
+                        variable=var.qualified,
+                        function=qualified,
+                        line=node.lineno,
+                        write=True,
+                        detail=f"rebinds global {node.id!r}",
+                    )
+            else:
+                yield GlobalAccess(
+                    variable=var.qualified,
+                    function=qualified,
+                    line=node.lineno,
+                    write=False,
+                    detail=f"reads global {node.id!r}",
+                )
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            root = _root_name(node.func)
+            if root is None or root in local:
+                continue
+            var = lookup(root)
+            if var is None:
+                continue
+            if node.func.attr in _MUTATOR_METHODS:
+                yield GlobalAccess(
+                    variable=var.qualified,
+                    function=qualified,
+                    line=node.lineno,
+                    write=True,
+                    detail=f"{root}.{node.func.attr}(...) mutates the global",
+                )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = _root_name(target)
+                if root is None or root in local:
+                    continue
+                var = lookup(root)
+                if var is None:
+                    continue
+                yield GlobalAccess(
+                    variable=var.qualified,
+                    function=qualified,
+                    line=node.lineno,
+                    write=True,
+                    detail=f"assigns into global {root!r}",
+                )
+
+
+def build_globals_inventory(program: ProgramContext) -> GlobalsInventory:
+    """Build the mutable-global census for one analyzed program."""
+    variables: dict[str, GlobalVariable] = {}
+    for module, parsed in program.files.items():
+        if parsed.tree is None:
+            continue
+        for var in _module_bindings(module, parsed.tree):
+            variables.setdefault(var.qualified, var)
+        # A name rebound via ``global`` is mutable state even when its
+        # module-level initializer is an immutable constant (``_ACTIVE =
+        # None`` rebound by an installer function).
+        for name, line in _rebound_globals(module, parsed.tree):
+            variables.setdefault(
+                f"{module}.{name}",
+                GlobalVariable(
+                    module=module,
+                    name=name,
+                    qualified=f"{module}.{name}",
+                    kind="rebound",
+                    line=line,
+                ),
+            )
+
+    accesses: list[GlobalAccess] = []
+    for qualified, info in program.calls.functions.items():
+        accesses.extend(
+            _function_accesses(info.module, qualified, info.node, variables)
+        )
+
+    return GlobalsInventory(
+        variables=dict(sorted(variables.items())),
+        accesses=tuple(accesses),
+    )

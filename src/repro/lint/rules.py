@@ -269,8 +269,9 @@ class FloatEqualityRule(Rule):
 
     Delays, loads and probabilities are results of float arithmetic;
     exact comparison against a float literal is almost always a latent
-    bug.  Compare with ``math.isclose`` or a named tolerance such as
-    ``repro._validation.PROBABILITY_TOLERANCE``.
+    bug.  Use the shared helpers in :mod:`repro._numeric`
+    (``is_unit`` / ``is_zero`` / ``is_close``) or a named tolerance such
+    as ``repro._validation.PROBABILITY_TOLERANCE``.
     """
 
     id = "R005"
@@ -298,9 +299,9 @@ class FloatEqualityRule(Rule):
                     yield ctx.finding(
                         node,
                         self.id,
-                        "float equality comparison; use math.isclose or a "
-                        "named tolerance (delay/probability values are "
-                        "inexact)",
+                        "float equality comparison; use repro._numeric "
+                        "(is_unit/is_zero/is_close) or a named tolerance "
+                        "(delay/probability values are inexact)",
                     )
                     break
 

@@ -19,11 +19,17 @@ is; the legacy ``metric_cache_info()`` reads through it).
 counters, times the block, and exposes the deltas as an immutable
 :class:`TelemetrySnapshot` — the ``telemetry`` handle attached to
 :class:`repro.core.results.SolveResult`.
+
+The default registry is **fork-aware**: an ``os.register_at_fork`` hook
+zeroes it in every forked child, so pooled workers (see
+:mod:`repro.parallel`) start from clean counters instead of inheriting
+— and re-reporting — the parent's totals.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import re
 from collections.abc import Iterator, Mapping
 from contextlib import contextmanager
@@ -220,6 +226,25 @@ class MetricsRegistry:
 
 
 _DEFAULT = MetricsRegistry()
+
+
+def _reset_default_after_fork() -> None:
+    """Zero the default registry in a freshly forked child.
+
+    A forked worker inherits the parent's counter totals by value; left
+    alone, every child would re-report work the parent already counted,
+    and a pooled solve would see its own cost inflated by whatever ran
+    before the fork.  Resetting in the child keeps each process's
+    telemetry attributable to its own work — this is what makes
+    ``writes-metrics`` a parallel-safe effect for the certificate gate
+    in :mod:`repro.parallel` (child-side increments stay in the child;
+    they never merge back into the parent's registry).
+    """
+    _DEFAULT.reset()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX; no-op surface elsewhere
+    os.register_at_fork(after_in_child=_reset_default_after_fork)
 
 
 def default_registry() -> MetricsRegistry:

@@ -1,0 +1,233 @@
+"""Certificate-gated process parallelism.
+
+:func:`parallel_map` is the library's only sanctioned way to fan work
+out across processes, and it refuses to fan out a function that the
+static effect analysis has not certified parallel-safe.  The
+certificate is the JSON document emitted by ``repro lint --effects
+--certificate out.json`` (see :mod:`repro.lint.effects`): for every
+solver entry point and every ``@effects``-declared function it records
+the interprocedurally inferred effect set and a ``parallel_safe``
+verdict.  Gating at dispatch time turns "this refactor quietly added a
+global write to a pooled worker" from a heisenbug into an immediate,
+attributable failure.
+
+This module deliberately consumes the certificate as a plain JSON
+document and never imports :mod:`repro.lint` — the lint tier sits at
+the top of the layer order and the runtime gate near the bottom, so the
+certificate file is the one-way bridge between them.
+
+Typical use::
+
+    from repro.parallel import load_certificate, parallel_map
+
+    certificate = load_certificate("certificate.json")
+    results = parallel_map(worker, jobs, certificate=certificate)
+
+With ``on_uncertified="serial"`` an uncertified callable degrades to an
+ordinary in-process map with a :class:`UserWarning` instead of raising
+:class:`~repro.exceptions.ParallelSafetyError`.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import warnings
+from collections.abc import Iterable, Mapping
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+from .exceptions import ParallelSafetyError, ValidationError
+
+__all__ = [
+    "CERTIFICATE_ENV_VAR",
+    "certificate_entry",
+    "load_certificate",
+    "parallel_map",
+    "resolve_qualified_name",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Environment variable consulted when no certificate is passed explicitly.
+CERTIFICATE_ENV_VAR = "REPRO_PARALLEL_CERTIFICATE"
+
+#: The ``kind`` discriminator of a parallel-safety certificate document.
+#: Kept in sync with ``repro.lint.effects.CERTIFICATE_KIND`` (the lint
+#: tier owns the schema; this module only recognises it).
+_CERTIFICATE_KIND = "repro-parallel-safety-certificate"
+
+
+def load_certificate(
+    source: Mapping[str, Any] | str | Path | None = None,
+) -> dict[str, Any] | None:
+    """Load a parallel-safety certificate from *source*.
+
+    *source* may be an already-parsed certificate mapping, a path to the
+    JSON file written by ``repro lint --certificate``, or ``None`` — in
+    which case the :data:`CERTIFICATE_ENV_VAR` environment variable is
+    consulted and ``None`` is returned when it is unset.  A present but
+    malformed certificate raises
+    :class:`~repro.exceptions.ValidationError`: a bad certificate must
+    never be mistaken for "no certificate" and silently disable the
+    gate's approval path.
+    """
+    if source is None:
+        env = os.environ.get(CERTIFICATE_ENV_VAR)
+        if not env:
+            return None
+        source = env
+    if isinstance(source, Mapping):
+        document: Any = dict(source)
+    else:
+        path = Path(source)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot read parallel-safety certificate {str(path)!r}: {exc}"
+            ) from exc
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"parallel-safety certificate {str(path)!r} is not valid "
+                f"JSON: {exc}"
+            ) from exc
+    if not isinstance(document, dict):
+        raise ValidationError(
+            "parallel-safety certificate must be a JSON object, got "
+            f"{type(document).__name__}"
+        )
+    if document.get("kind") != _CERTIFICATE_KIND:
+        raise ValidationError(
+            "certificate 'kind' must be "
+            f"{_CERTIFICATE_KIND!r}, got {document.get('kind')!r}"
+        )
+    functions = document.get("functions")
+    if not isinstance(functions, dict):
+        raise ValidationError(
+            "certificate must carry a 'functions' object mapping "
+            "qualified names to effect entries"
+        )
+    return document
+
+
+def resolve_qualified_name(fn: Callable[..., Any]) -> tuple[str | None, str]:
+    """The certifiable qualified name of *fn*, or why it has none.
+
+    Returns ``(qualified_name, "")`` on success and ``(None, reason)``
+    when *fn* cannot be certified by name: :class:`functools.partial`
+    chains are unwrapped to the underlying function (binding arguments
+    does not change its effect set), but lambdas and functions defined
+    inside other functions have no importable module-level name — the
+    same property that makes them unpicklable for process pools.
+    """
+    target: Callable[..., Any] = fn
+    while isinstance(target, functools.partial):
+        target = target.func
+    qualname = getattr(target, "__qualname__", None)
+    module = getattr(target, "__module__", None)
+    if qualname is None or module is None:
+        return None, f"{target!r} has no __module__/__qualname__"
+    if "<lambda>" in qualname:
+        return None, "lambdas cannot be certified (no importable name)"
+    if "<locals>" in qualname:
+        return None, (
+            f"{qualname!r} is defined inside a function; only "
+            "module-level callables can be certified (and pickled)"
+        )
+    return f"{module}.{qualname}", ""
+
+
+def certificate_entry(
+    certificate: Mapping[str, Any], fn: Callable[..., Any]
+) -> dict[str, Any] | None:
+    """The certificate entry covering *fn*, or ``None`` if uncovered."""
+    qualified, _ = resolve_qualified_name(fn)
+    if qualified is None:
+        return None
+    entry = certificate.get("functions", {}).get(qualified)
+    return entry if isinstance(entry, dict) else None
+
+
+def _certification_problem(
+    fn: Callable[..., Any],
+    certificate: Mapping[str, Any] | None,
+) -> str | None:
+    """Why *fn* may not fan out, or ``None`` when it is certified."""
+    qualified, reason = resolve_qualified_name(fn)
+    if qualified is None:
+        return reason
+    if certificate is None:
+        return (
+            f"no parallel-safety certificate available for {qualified!r}; "
+            "generate one with 'repro lint --effects --certificate' and "
+            f"pass it (or set ${CERTIFICATE_ENV_VAR})"
+        )
+    entry = certificate.get("functions", {}).get(qualified)
+    if not isinstance(entry, dict):
+        return (
+            f"{qualified!r} is not covered by the certificate; declare "
+            "its effects with @effects(...) or make it a solver entry "
+            "point so the analysis certifies it"
+        )
+    if entry.get("parallel_safe") is not True:
+        effects = entry.get("effects", [])
+        return (
+            f"{qualified!r} is certified with effects {effects!r}, "
+            "which are not parallel-safe"
+        )
+    return None
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    *,
+    certificate: Mapping[str, Any] | str | Path | None = None,
+    max_workers: int | None = None,
+    on_uncertified: str = "error",
+) -> list[_R]:
+    """Map *fn* over *items* with a process pool, gated on the certificate.
+
+    *fn* must resolve to a module-level callable whose certificate entry
+    says ``parallel_safe`` (``functools.partial`` over such a callable is
+    fine).  *certificate* follows :func:`load_certificate` semantics; when
+    it is ``None`` and :data:`CERTIFICATE_ENV_VAR` is unset there is no
+    certificate and the gate fails closed.
+
+    *on_uncertified* chooses the failure mode: ``"error"`` (default)
+    raises :class:`~repro.exceptions.ParallelSafetyError`; ``"serial"``
+    emits a :class:`UserWarning` and maps in-process, preserving results
+    while giving up the speedup.  Results are returned in input order
+    either way.
+    """
+    if on_uncertified not in ("error", "serial"):
+        raise ValidationError(
+            "on_uncertified must be 'error' or 'serial', got "
+            f"{on_uncertified!r}"
+        )
+    if max_workers is not None and max_workers < 1:
+        raise ValidationError(f"max_workers must be >= 1, got {max_workers}")
+    document = load_certificate(certificate)
+    problem = _certification_problem(fn, document)
+    materialized = list(items)
+    if problem is not None:
+        if on_uncertified == "error":
+            raise ParallelSafetyError(
+                f"refusing to fan out uncertified callable: {problem}"
+            )
+        warnings.warn(
+            f"parallel_map falling back to serial execution: {problem}",
+            UserWarning,
+            stacklevel=2,
+        )
+        return [fn(item) for item in materialized]
+    if not materialized:
+        return []
+    with ProcessPoolExecutor(max_workers=max_workers) as executor:
+        return list(executor.map(fn, materialized))

@@ -17,7 +17,7 @@ votes.
 from __future__ import annotations
 
 from itertools import combinations
-from math import comb
+from math import comb, fsum
 
 from .._validation import check_integer_in_range, check_positive
 from ..exceptions import ValidationError
@@ -94,14 +94,22 @@ def weighted_majority(weights: dict, *, name: str | None = None) -> QuorumSystem
         )
     for element, weight in weights.items():
         check_positive(weight, f"weights[{element!r}]")
-    total = sum(weights.values())
     elements = list(weights)
 
     winning: list[frozenset] = []
     for size in range(1, len(elements) + 1):
         for combo in combinations(elements, size):
-            weight = sum(weights[e] for e in combo)
-            if weight * 2 > total:
+            members = set(combo)
+            # A coalition wins iff it outweighs its complement.  Comparing the
+            # two correctly-rounded partial sums (fsum) is order-preserving, so
+            # a set and its complement can never *both* win — unlike the naive
+            # ``2 * sum(combo) > sum(all)`` test, where accumulated rounding in
+            # the grand total can certify two disjoint "majorities" at once.
+            weight = fsum(weights[e] for e in combo)
+            complement_weight = fsum(
+                weights[e] for e in elements if e not in members
+            )
+            if weight > complement_weight:
                 candidate = frozenset(combo)
                 # Keep only minimal winning coalitions.
                 if not any(existing <= candidate for existing in winning):

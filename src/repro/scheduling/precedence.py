@@ -15,30 +15,19 @@ instances.
 
 from __future__ import annotations
 
-import math
 from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._numeric import is_unit as _is_unit
+from .._numeric import is_zero as _is_zero
 from .._validation import check_integer_in_range, check_nonnegative, require
 from ..exceptions import ValidationError
 
 __all__ = ["SchedulingInstance", "random_woeginger_instance"]
 
 Job = Hashable
-
-#: Tolerance for classifying unit/zero processing times and weights in the
-#: Woeginger special form (values come from float arithmetic).
-_UNIT_TOLERANCE = 1e-9
-
-
-def _is_unit(value: float) -> bool:
-    return math.isclose(value, 1.0, abs_tol=_UNIT_TOLERANCE)
-
-
-def _is_zero(value: float) -> bool:
-    return math.isclose(value, 0.0, abs_tol=_UNIT_TOLERANCE)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,172 @@
+"""Certificate-gated parallel candidate sweep in :func:`solve_qpp`.
+
+The acceptance bar for the parallel path is *byte identity*: fanning the
+relay-candidate sweep across a process pool must reproduce the serial
+sweep exactly — objective, winning source, lower bound, per-source LP
+values and placements — on a seeded 100-node benchmark instance.  The
+gate itself is also exercised: without a parallel-safety certificate the
+solver refuses rather than silently running uncertified workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import solve_qpp
+from repro.core.qpp import _qpp_candidate_worker
+from repro.exceptions import ParallelSafetyError, ValidationError
+from repro.lint import build_certificate_for_paths
+from repro.network import random_geometric_network, uniform_capacities
+from repro.quorums import AccessStrategy, majority
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+pytestmark = pytest.mark.skipif(
+    not SRC.is_dir(), reason="source tree not present"
+)
+
+
+@pytest.fixture(scope="module")
+def certificate():
+    """The real certificate over ``src`` — what CI ships as an artifact."""
+    return build_certificate_for_paths([SRC])
+
+
+@pytest.fixture(scope="module")
+def bench_instance():
+    rng = np.random.default_rng(7)
+    network = uniform_capacities(
+        random_geometric_network(100, 0.25, rng=rng), 1.0
+    )
+    system = majority(5)
+    strategy = AccessStrategy.uniform(system)
+    candidates = list(network.nodes)[:3]
+    return system, strategy, network, candidates
+
+
+def placement_mapping(system, placement):
+    """Placement has no __eq__; compare the induced element->node map."""
+    return {u: placement[u] for u in system.universe}
+
+
+def test_worker_is_certified_parallel_safe(certificate):
+    entry = certificate["functions"]["repro.core.qpp._qpp_candidate_worker"]
+    assert entry["parallel_safe"] is True
+    assert entry["declared"] == ["reads-global", "writes-metrics"]
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="needs fork start method")
+def test_parallel_sweep_is_byte_identical_to_serial(certificate, bench_instance):
+    system, strategy, network, candidates = bench_instance
+    serial = solve_qpp(
+        system,
+        strategy,
+        network=network,
+        alpha=2.0,
+        candidate_sources=candidates,
+    )
+    parallel = solve_qpp(
+        system,
+        strategy,
+        network=network,
+        alpha=2.0,
+        candidate_sources=candidates,
+        parallel="process",
+        certificate=certificate,
+        max_workers=2,
+    )
+    assert parallel.objective == serial.objective
+    assert parallel.source == serial.source
+    assert parallel.optimum_lower_bound == serial.optimum_lower_bound
+    assert placement_mapping(system, parallel.placement) == placement_mapping(
+        system, serial.placement
+    )
+    assert set(parallel.per_source) == set(serial.per_source) == set(candidates)
+    for source in candidates:
+        got, want = parallel.per_source[source], serial.per_source[source]
+        assert got.lp_value == want.lp_value
+        assert got.max_load_factor == want.max_load_factor
+        assert placement_mapping(system, got.placement) == placement_mapping(
+            system, want.placement
+        )
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="needs fork start method")
+def test_parallel_sweep_accepts_certificate_path(tmp_path, certificate, bench_instance):
+    from repro.lint import render_certificate
+
+    system, strategy, network, candidates = bench_instance
+    path = tmp_path / "certificate.json"
+    path.write_text(render_certificate(certificate), encoding="utf-8")
+    result = solve_qpp(
+        system,
+        strategy,
+        network=network,
+        alpha=2.0,
+        candidate_sources=candidates[:1],
+        parallel="process",
+        certificate=path,
+        max_workers=2,
+    )
+    assert result.source == candidates[0]
+
+
+def test_parallel_without_certificate_refuses(bench_instance, monkeypatch):
+    from repro.parallel import CERTIFICATE_ENV_VAR
+
+    monkeypatch.delenv(CERTIFICATE_ENV_VAR, raising=False)
+    system, strategy, network, candidates = bench_instance
+    with pytest.raises(ParallelSafetyError, match="certificate"):
+        solve_qpp(
+            system,
+            strategy,
+            network=network,
+            alpha=2.0,
+            candidate_sources=candidates[:1],
+            parallel="process",
+        )
+
+
+def test_unknown_parallel_mode_is_rejected(bench_instance):
+    system, strategy, network, candidates = bench_instance
+    with pytest.raises(ValidationError, match="parallel"):
+        solve_qpp(
+            system,
+            strategy,
+            network=network,
+            candidate_sources=candidates[:1],
+            parallel="thread",
+        )
+
+
+def test_worker_matches_inline_single_source_solve(bench_instance):
+    from repro.core.ssqpp import solve_ssqpp
+
+    system, strategy, network, candidates = bench_instance
+    source = candidates[0]
+    via_worker = _qpp_candidate_worker(
+        source,
+        system=system,
+        strategy=strategy,
+        network=network,
+        alpha=2.0,
+        lp_method="highs",
+        formulation="prefix",
+    )
+    direct = solve_ssqpp(
+        system,
+        strategy,
+        network=network,
+        source=source,
+        alpha=2.0,
+        formulation="prefix",
+    )
+    assert via_worker.lp_value == direct.lp_value
+    assert placement_mapping(system, via_worker.placement) == placement_mapping(
+        system, direct.placement
+    )

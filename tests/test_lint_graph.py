@@ -342,6 +342,71 @@ class TestCallGraph:
         (site,) = graph.calls_from("user.go")
         assert site.callee == "pkg.sub.fn"
 
+    def test_decorated_functions_keep_their_call_edges(self):
+        trees = {
+            "pkg": ast.parse(""),
+            "pkg.mod": ast.parse(
+                "import functools\n"
+                "def helper():\n    return 1\n"
+                "@functools.lru_cache(maxsize=None)\n"
+                "def cached():\n    return helper()\n"
+                "def caller():\n    return cached()\n"
+            ),
+        }
+        graph = build_call_graph(trees, packages=frozenset({"pkg"}))
+        # The decorator neither renames the function nor hides its body.
+        assert "pkg.mod.helper" in graph.resolved_callees("pkg.mod.cached")
+        assert "pkg.mod.cached" in graph.resolved_callees("pkg.mod.caller")
+
+    def test_functools_partial_records_a_deferred_call_edge(self):
+        trees = {
+            "pkg": ast.parse(""),
+            "pkg.mod": ast.parse(
+                "import functools\n"
+                "from functools import partial\n"
+                "def worker(x, scale):\n    return x * scale\n"
+                "def bare(items):\n"
+                "    fn = partial(worker, scale=2)\n"
+                "    return [fn(i) for i in items]\n"
+                "def dotted(items):\n"
+                "    fn = functools.partial(worker, scale=3)\n"
+                "    return [fn(i) for i in items]\n"
+            ),
+        }
+        graph = build_call_graph(trees, packages=frozenset({"pkg"}))
+        # Binding arguments defers the call; the edge must still exist so
+        # effect inference sees through the pool-worker idiom.
+        assert "pkg.mod.worker" in graph.resolved_callees("pkg.mod.bare")
+        assert "pkg.mod.worker" in graph.resolved_callees("pkg.mod.dotted")
+
+    def test_functools_partial_over_lambda_records_nothing(self):
+        trees = {
+            "pkg": ast.parse(""),
+            "pkg.mod": ast.parse(
+                "from functools import partial\n"
+                "def go(items):\n"
+                "    fn = partial(lambda x: x, 1)\n"
+                "    return fn\n"
+            ),
+        }
+        graph = build_call_graph(trees, packages=frozenset({"pkg"}))
+        assert graph.resolved_callees("pkg.mod.go") == ()
+
+    def test_reexport_chain_resolves_through_two_hops(self):
+        trees = {
+            "pkg": ast.parse("from .sub import fn\n"),
+            "pkg.sub": ast.parse("from .inner import fn\n"),
+            "pkg.sub.inner": ast.parse("def fn():\n    return 1\n"),
+            "user": ast.parse(
+                "from pkg import fn\ndef go():\n    return fn()\n"
+            ),
+        }
+        graph = build_call_graph(
+            trees, packages=frozenset({"pkg", "pkg.sub"})
+        )
+        (site,) = graph.calls_from("user.go")
+        assert site.callee == "pkg.sub.inner.fn"
+
     def test_catches_walks_builtin_hierarchy(self):
         assert catches("KeyError", ("LookupError",))
         assert catches("KeyError", ("Exception",))
@@ -466,7 +531,12 @@ class TestLayerConfig:
         pyproject = find_pyproject(REPO_ROOT / "src")
         assert pyproject == REPO_ROOT / "pyproject.toml"
         config = load_config(search_from=REPO_ROOT)
-        assert config.layers[0] == ("repro.exceptions", "repro._validation", "repro._pareto")
+        assert config.layers[0] == (
+            "repro.exceptions",
+            "repro._validation",
+            "repro._pareto",
+            "repro._numeric",
+        )
         assert config.project_root == str(REPO_ROOT)
 
     def test_astutils_iter_top_level_statements_descends_guards(self):

@@ -57,6 +57,11 @@ def test_all_rules_registered():
         "R203",
         "R204",
         "R301",
+        "R400",
+        "R401",
+        "R402",
+        "R403",
+        "R404",
     }
 
 
