@@ -4,17 +4,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline effects trace bench profile
+.PHONY: test lint lint-baseline effects cost trace bench bench-compare profile
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # The full static tier: per-file rules, whole-program R100-series, the
-# R200-series dataflow/contract rules, and the R400-series
-# effect/concurrency rules, ratcheted against the committed baseline.
-# CI runs exactly this.
+# R200-series dataflow/contract rules, the R400-series
+# effect/concurrency rules, and the R500-series asymptotic cost rules,
+# ratcheted against the committed baseline. CI runs exactly this.
 lint:
-	$(PYTHON) -m repro lint src --whole-program --dataflow --effects --baseline lint-baseline.json
+	$(PYTHON) -m repro lint src --whole-program --dataflow --effects --cost --baseline lint-baseline.json
 
 # Run the effect tier and (re)generate the parallel-safety certificate
 # consumed by repro.parallel.parallel_map (docs/static_analysis.md).
@@ -22,12 +22,18 @@ lint:
 effects:
 	$(PYTHON) -m repro lint src --effects --certificate parallel-safety.json
 
+# The declared-vs-inferred asymptotic cost table (R500 tier,
+# docs/static_analysis.md). --check exits 1 on any mismatch or
+# undeclared solver entry point; CI uploads the --json document.
+cost:
+	$(PYTHON) -m repro cost src --check
+
 # Refresh the ratchet. Run this ONLY when a finding is a deliberate,
 # reviewed exception: the regenerated lint-baseline.json is committed
 # alongside the change, so the diff shows exactly which findings were
 # grandfathered. New findings not in the baseline always fail `make lint`.
 lint-baseline:
-	$(PYTHON) -m repro lint src --whole-program --dataflow --effects --format json > lint-baseline.json
+	$(PYTHON) -m repro lint src --whole-program --dataflow --effects --cost --format json > lint-baseline.json
 
 # Paper-theorem traceability matrix (what R204 checks).
 trace:
@@ -35,6 +41,14 @@ trace:
 
 bench:
 	$(PYTHON) -m repro bench --quick --out BENCH_3.json
+
+# The bench trajectory ratchet (docs/performance.md): run the suite
+# fresh and compare its timing trajectory against the committed
+# reference report. The generous noise band tolerates host differences;
+# only order-of-magnitude breaks (a lost vectorization, an oracle on a
+# hot path) trip it.
+bench-compare:
+	$(PYTHON) -m repro bench --quick --out BENCH_COMPARE.json --compare BENCH_3.json --noise-band 4.0
 
 # Trace + metrics view of the bench micro-suite (docs/observability.md).
 # Wrap any other subcommand the same way: `python -m repro profile <cmd>`.

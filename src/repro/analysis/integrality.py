@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .._validation import check_integer_in_range, check_positive
+from .._validation import check_integer_in_range, check_positive, cost
 from ..core.ssqpp import build_ssqpp_lp
 from ..network.generators import broom_network
 from ..network.graph import Network
@@ -67,6 +67,7 @@ def _single_quorum_system(n: int) -> tuple[QuorumSystem, AccessStrategy]:
     return system, AccessStrategy.uniform(system)
 
 
+@cost("n**2 * q**2")
 def solve_gap_instance_lp(
     system: QuorumSystem,
     strategy: AccessStrategy,

@@ -46,9 +46,11 @@ from .core import (
 )
 from .exceptions import ReproError, ValidationError
 from .lint.cli import (
+    add_cost_arguments,
     add_deps_arguments,
     add_lint_arguments,
     add_trace_arguments,
+    run_cost,
     run_deps,
     run_lint,
     run_trace,
@@ -316,7 +318,34 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .experiments.bench import run_bench, validate_bench_report
+    from .experiments.bench import (
+        compare_bench_reports,
+        render_bench_comparison_markdown,
+        render_bench_comparison_text,
+        run_bench,
+        validate_bench_report,
+    )
+
+    compare_paths = list(args.compare or [])
+    if len(compare_paths) > 2:
+        raise ValidationError(
+            "--compare takes OLD.json or OLD.json NEW.json, got "
+            f"{len(compare_paths)} paths"
+        )
+    if len(compare_paths) == 2:
+        # Pure comparison: no fresh run, no report written.
+        old_report = io.load_json(compare_paths[0])
+        new_report = io.load_json(compare_paths[1])
+        comparison = compare_bench_reports(
+            old_report, new_report, noise_band=args.noise_band
+        )
+        renderer = (
+            render_bench_comparison_markdown
+            if args.markdown
+            else render_bench_comparison_text
+        )
+        print(renderer(comparison))
+        return 1 if comparison.regressions else 0
 
     if args.trace_out:
         from .obs.trace import JsonlSpanSink, collect
@@ -361,6 +390,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"report written to {args.out}")
     if args.trace_out:
         print(f"spans written to {args.trace_out}")
+    if compare_paths:
+        old_report = io.load_json(compare_paths[0])
+        comparison = compare_bench_reports(
+            old_report, report, noise_band=args.noise_band
+        )
+        renderer = (
+            render_bench_comparison_markdown
+            if args.markdown
+            else render_bench_comparison_text
+        )
+        print(renderer(comparison))
+        if comparison.regressions:
+            return 1
     return 0
 
 
@@ -439,6 +481,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return run_trace(args)
 
 
+def _cmd_cost(args: argparse.Namespace) -> int:
+    return run_cost(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -510,6 +556,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="report path (default: BENCH_3.json)")
     p_bench.add_argument("--trace-out", default=None, dest="trace_out",
                          help="also record the run's span tree as JSONL here")
+    p_bench.add_argument(
+        "--compare", nargs="+", default=None, metavar="REPORT",
+        help="compare timing trajectories: one path runs the suite fresh "
+        "and compares against it; two paths compare OLD NEW without "
+        "running; exits 1 on regressions beyond the noise band",
+    )
+    p_bench.add_argument(
+        "--noise-band", type=float, default=0.25, dest="noise_band",
+        help="tolerated relative timing noise for --compare (default: 0.25)",
+    )
+    p_bench.add_argument(
+        "--markdown", action="store_true",
+        help="render the --compare result as a markdown speedup table",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_profile = sub.add_parser(
@@ -540,12 +600,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="run the invariant linter (R001-R204) over source paths",
+        help="run the invariant linter (R001-R504) over source paths",
         description="AST-based invariant linter; exit 0 clean, 1 findings. "
         "See docs/static_analysis.md for the rule catalogue.",
     )
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_cost = sub.add_parser(
+        "cost",
+        help="render the declared/inferred asymptotic-cost table (R500's view)",
+        description="Symbolic cost bounds per solver entry point: @cost "
+        "declarations vs static inference; --check exits 1 on gaps. "
+        "See docs/performance.md.",
+    )
+    add_cost_arguments(p_cost)
+    p_cost.set_defaults(func=_cmd_cost)
 
     p_deps = sub.add_parser(
         "deps",

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import check_probability, check_positive
+from .._validation import check_probability, check_positive, cost
 from .._pareto import ParetoPoint, pareto_front
 from ..gap.instance import GAPInstance
 from ..gap.lp import FractionalAssignment
@@ -75,6 +75,7 @@ class ScalarizedResult:
     max_load_factor: float
 
 
+@cost("n**2 * q**2")
 def solve_scalarized_placement(
     system: QuorumSystem,
     strategy: AccessStrategy,

@@ -20,7 +20,7 @@ from typing import Callable
 import numpy as np
 
 from .._compat import solver_api
-from .._validation import require
+from .._validation import cost, require
 from ..exceptions import InfeasibleError, ValidationError
 from ..network.graph import Network, Node
 from ..obs.trace import span
@@ -143,6 +143,7 @@ def _enumerate_optimal(
 
 
 @solver_api(legacy_positional=("network", "source"))
+@cost("exp(n) * q")
 def solve_ssqpp_exact(
     system: QuorumSystem,
     strategy: AccessStrategy,
@@ -161,6 +162,7 @@ def solve_ssqpp_exact(
 
 
 @solver_api(legacy_positional=("network",))
+@cost("exp(n) * q")
 def solve_qpp_exact(
     system: QuorumSystem,
     strategy: AccessStrategy,
@@ -178,6 +180,7 @@ def solve_qpp_exact(
 
 
 @solver_api(legacy_positional=("network",))
+@cost("exp(n) * q")
 def solve_total_delay_exact(
     system: QuorumSystem,
     strategy: AccessStrategy,

@@ -33,7 +33,7 @@ import numpy as np
 
 from .._compat import solver_api
 from .._results import Provenance, SolveResult
-from .._validation import check_positive, effects, require
+from .._validation import check_positive, cost, effects, require
 from ..network.graph import Network, Node
 from ..obs.metrics import telemetry_scope
 from ..obs.trace import span
@@ -129,6 +129,7 @@ def _qpp_candidate_worker(
 
 # paper: Thm 1.2, Thm 3.3, §3
 @solver_api(legacy_positional=("network",))
+@cost("n**2 * q * c")
 def solve_qpp(
     system: QuorumSystem,
     strategy: AccessStrategy,

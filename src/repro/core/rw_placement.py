@@ -21,7 +21,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from .._compat import solver_api
-from .._validation import check_probability
+from .._validation import check_probability, cost
 from ..network.graph import Network, Node
 from ..quorums.readwrite import ReadWriteQuorumSystem
 from ..quorums.strategy import AccessStrategy
@@ -63,6 +63,7 @@ class RWPlacementResult:
 
 
 @solver_api(legacy_positional=("source",))
+@cost("n**2 * q")
 def solve_rw_ssqpp(
     rw_system: ReadWriteQuorumSystem,
     network: Network,
@@ -78,6 +79,7 @@ def solve_rw_ssqpp(
     return solve_ssqpp(system, strategy, network=network, source=source, alpha=alpha)
 
 
+@cost("n**2 * q * c")
 def solve_rw_placement(
     rw_system: ReadWriteQuorumSystem,
     network: Network,

@@ -68,6 +68,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -99,7 +100,17 @@ from ..quorums.grid import grid
 from ..quorums.majority import majority
 from ..quorums.strategy import AccessStrategy
 
-__all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "validate_bench_report"]
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchComparison",
+    "BenchDelta",
+    "DEFAULT_NOISE_BAND",
+    "compare_bench_reports",
+    "render_bench_comparison_markdown",
+    "render_bench_comparison_text",
+    "run_bench",
+    "validate_bench_report",
+]
 
 BENCH_SCHEMA_VERSION = 2
 
@@ -361,3 +372,179 @@ def validate_bench_report(report: dict) -> None:
             isinstance(checksum, str) and len(checksum) == 64,
             f"case {name!r} has a malformed checksum",
         )
+
+
+# ---------------------------------------------------------------------------
+# Trajectory comparison (``repro bench --compare``)
+# ---------------------------------------------------------------------------
+
+#: Default tolerated timing noise: a metric must move by more than 25%
+#: before the comparison calls it a regression or an improvement.
+DEFAULT_NOISE_BAND = 0.25
+
+#: Timing metrics where *lower* is better; everything else in
+#: :data:`_CASE_TIMING_KEYS` (the ``speedup`` fields) is higher-is-better.
+_LOWER_IS_BETTER_SUFFIX = "_seconds"
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One timing metric compared across two bench reports."""
+
+    case: str
+    metric: str
+    old: float
+    new: float
+    ratio: float  # new / old
+    verdict: str  # "ok" | "improved" | "regression"
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Outcome of :func:`compare_bench_reports`."""
+
+    noise_band: float
+    deltas: tuple[BenchDelta, ...]
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def regressions(self) -> tuple[BenchDelta, ...]:
+        return tuple(d for d in self.deltas if d.verdict == "regression")
+
+    @property
+    def improvements(self) -> tuple[BenchDelta, ...]:
+        return tuple(d for d in self.deltas if d.verdict == "improved")
+
+
+def _metric_verdict(metric: str, ratio: float, noise_band: float) -> str:
+    """Classify ``ratio = new/old`` for one metric under the noise band."""
+    worse = 1.0 + noise_band
+    better = 1.0 / worse
+    if metric.endswith(_LOWER_IS_BETTER_SUFFIX):
+        if ratio > worse:
+            return "regression"
+        if ratio < better:
+            return "improved"
+        return "ok"
+    # speedup-style metrics: higher is better, so the band mirrors.
+    if ratio < better:
+        return "regression"
+    if ratio > worse:
+        return "improved"
+    return "ok"
+
+
+def compare_bench_reports(
+    old: dict, new: dict, *, noise_band: float = DEFAULT_NOISE_BAND
+) -> BenchComparison:
+    """Compare two bench reports' timing trajectories.
+
+    Both reports are validated against schema v2 first.  Every timing
+    metric in :data:`_CASE_TIMING_KEYS` is compared as ``new / old``:
+    ``*_seconds`` fields are lower-is-better, ``speedup`` fields are
+    higher-is-better, and a move within ``1 + noise_band`` either way is
+    "ok".  Checksum drift and quick/seed mismatches become *notes*, not
+    regressions — timings are machine-dependent, so a CI comparison
+    against a committed baseline must tolerate a different host while
+    still catching order-of-magnitude trajectory breaks.
+    """
+    require(
+        isinstance(noise_band, (int, float)) and noise_band >= 0.0,
+        "noise_band must be a non-negative number",
+    )
+    validate_bench_report(old)
+    validate_bench_report(new)
+
+    notes: list[str] = []
+    if bool(old["quick"]) != bool(new["quick"]):
+        notes.append(
+            f"quick-mode mismatch: old quick={old['quick']}, "
+            f"new quick={new['quick']} (repeat counts differ)"
+        )
+    if int(old["seed"]) != int(new["seed"]):
+        notes.append(
+            f"seed mismatch: old seed={old['seed']}, new seed={new['seed']} "
+            "(cases ran on different instances)"
+        )
+
+    deltas: list[BenchDelta] = []
+    for case_name, timing_keys in _CASE_TIMING_KEYS.items():
+        old_case = old["cases"][case_name]
+        new_case = new["cases"][case_name]
+        if old_case["checksum"] != new_case["checksum"]:
+            notes.append(
+                f"case {case_name!r}: checksum drift (result values "
+                "changed between reports)"
+            )
+        for metric in timing_keys:
+            old_value = float(old_case[metric])
+            new_value = float(new_case[metric])
+            if not (old_value > 0.0) or not (new_value > 0.0):
+                notes.append(
+                    f"case {case_name!r}: skipped {metric} "
+                    f"(non-positive value: old={old_value}, new={new_value})"
+                )
+                continue
+            ratio = new_value / old_value
+            deltas.append(
+                BenchDelta(
+                    case=case_name,
+                    metric=metric,
+                    old=old_value,
+                    new=new_value,
+                    ratio=ratio,
+                    verdict=_metric_verdict(metric, ratio, float(noise_band)),
+                )
+            )
+    return BenchComparison(
+        noise_band=float(noise_band), deltas=tuple(deltas), notes=tuple(notes)
+    )
+
+
+def _format_value(metric: str, value: float) -> str:
+    if metric.endswith(_LOWER_IS_BETTER_SUFFIX):
+        return f"{value:.6f}s"
+    return f"{value:.2f}x"
+
+
+def render_bench_comparison_text(comparison: BenchComparison) -> str:
+    """Human-readable comparison summary for the terminal."""
+    lines = [f"bench comparison (noise band ±{comparison.noise_band:.0%})"]
+    for delta in comparison.deltas:
+        marker = {"regression": "!!", "improved": "++", "ok": "  "}[delta.verdict]
+        lines.append(
+            f"{marker} {delta.case}.{delta.metric}: "
+            f"{_format_value(delta.metric, delta.old)} -> "
+            f"{_format_value(delta.metric, delta.new)} "
+            f"(x{delta.ratio:.2f}, {delta.verdict})"
+        )
+    for note in comparison.notes:
+        lines.append(f"note: {note}")
+    regressions = comparison.regressions
+    if regressions:
+        lines.append(
+            f"{len(regressions)} regression(s) beyond the noise band"
+        )
+    else:
+        lines.append("no regressions beyond the noise band")
+    return "\n".join(lines)
+
+
+def render_bench_comparison_markdown(comparison: BenchComparison) -> str:
+    """Speedup-history table for docs and CI summaries."""
+    lines = [
+        f"Noise band: ±{comparison.noise_band:.0%}",
+        "",
+        "| case | metric | old | new | ratio | verdict |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for delta in comparison.deltas:
+        lines.append(
+            f"| {delta.case} | {delta.metric} "
+            f"| {_format_value(delta.metric, delta.old)} "
+            f"| {_format_value(delta.metric, delta.new)} "
+            f"| x{delta.ratio:.2f} | {delta.verdict} |"
+        )
+    for note in comparison.notes:
+        lines.append(f"- note: {note}")
+    return "\n".join(lines)

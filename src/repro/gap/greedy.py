@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._validation import cost
 from ..exceptions import InfeasibleError
 from .instance import GAPInstance, Label
 
@@ -28,6 +29,7 @@ class GreedyAssignment:
     machine_loads: dict[Label, float]
 
 
+@cost("n * q + q * log(q)")
 def solve_gap_greedy(instance: GAPInstance) -> GreedyAssignment:
     """Greedy cheapest-feasible-machine assignment.
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._compat import solver_api
-from .._validation import require
+from .._validation import cost, require
 from ..exceptions import InfeasibleError
 from ..lp import Model
 from ..obs.trace import span
@@ -64,6 +64,7 @@ class FractionalAssignment:
 
 
 @solver_api(aliases={"method": "lp_method"})
+@cost("n**2 * q**2")
 def solve_gap_lp(
     instance: GAPInstance, *, lp_method: str = "highs-ds"
 ) -> FractionalAssignment:

@@ -154,14 +154,32 @@ class LintConfig:
     project_root: str | None = None
 
     def wants(self, rule_id: str) -> bool:
-        """Whether *rule_id* should run under select/ignore settings."""
-        if rule_id in self.ignore:
+        """Whether *rule_id* should run under select/ignore settings.
+
+        Entries match exactly (``"R500"``) or as series prefixes when
+        shorter than a full rule id (``"R5"`` selects every R500-series
+        rule), so ``--select``/``--ignore`` can address whole tiers.
+        """
+        if _rule_matches(rule_id, self.ignore):
             return False
-        return self.select is None or rule_id in self.select
+        return self.select is None or _rule_matches(rule_id, self.select)
 
     def is_exempt(self, rule_id: str, qualified_name: str) -> bool:
         """Whether *qualified_name* is exempted from *rule_id*."""
         return f"{rule_id}:{qualified_name}" in self.exempt
+
+
+def _rule_matches(rule_id: str, entries: Iterable[str]) -> bool:
+    """Whether *rule_id* matches any exact id or series prefix in *entries*.
+
+    A full four-character id matches only itself; anything shorter acts
+    as a prefix (``"R5"``, ``"R50"``), so select/ignore can address a
+    whole rule series without enumerating it.
+    """
+    return any(
+        rule_id == entry or (len(entry) < 4 and rule_id.startswith(entry))
+        for entry in entries
+    )
 
 
 _KEY_MAP: Mapping[str, str] = {

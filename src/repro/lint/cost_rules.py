@@ -1,0 +1,294 @@
+"""The R500-series asymptotic-cost rules.
+
+Built on the static cost model (:mod:`repro.lint.costmodel`):
+
+============  =========================================================
+``R500``      inferred cost must be covered by the ``@cost`` declaration
+``R501``      no undeclared superlinear allocation on a solver hot path
+``R502``      no dense ``Metric`` build reachable from ``scale="large"``
+``R503``      no ``*_reference`` oracle call on a solver hot path
+``R504``      declared cost must not contradict measured scaling
+============  =========================================================
+
+These rules run only under ``repro lint --cost``; they see the same
+parse-once files as everything else.  R504 additionally needs the
+``--profile-check`` telemetry file and is silent without one.  Findings
+honor inline suppressions and ``"R5xx:qualified.name"`` config
+exemptions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from .costmodel import (
+    CostObservation,
+    FunctionCost,
+    analyze_costs,
+    reachable_from,
+    solver_reachable,
+    stale_declarations,
+)
+from .effects import entry_point_names
+from .engine import CostRule, register_rule
+from .findings import Finding
+from .interproc import ProgramContext
+
+__all__ = [
+    "CostContext",
+    "build_cost_context",
+    "CostDeclarationRule",
+    "HotLoopAllocationRule",
+    "DenseMetricScaleRule",
+    "ReferenceOnHotPathRule",
+    "StaleCostDeclarationRule",
+]
+
+
+@dataclass
+class CostContext:
+    """Everything a :class:`~repro.lint.engine.CostRule` may inspect."""
+
+    #: The shared whole-program view (files, call graph, config).
+    program: ProgramContext
+    #: The cost picture of every analyzed function.
+    costs: Mapping[str, FunctionCost]
+    #: Solver entry points (public ``solve_*`` / ``optimal_*``).
+    entry_points: tuple[str, ...] = field(default_factory=tuple)
+    #: Functions reachable from solver entry points (the hot path).
+    hot_path: frozenset[str] = field(default_factory=frozenset)
+    #: R504 telemetry observations; empty without ``--profile-check``.
+    telemetry: tuple[CostObservation, ...] = field(default_factory=tuple)
+
+
+def build_cost_context(
+    program: ProgramContext,
+    *,
+    telemetry: Sequence[CostObservation] = (),
+) -> CostContext:
+    """Run the cost fixpoint and reachability over one program."""
+    return CostContext(
+        program=program,
+        costs=analyze_costs(program),
+        entry_points=entry_point_names(program),
+        hot_path=solver_reachable(program),
+        telemetry=tuple(telemetry),
+    )
+
+
+@register_rule
+class CostDeclarationRule(CostRule):
+    """R500: inferred cost must be covered by the ``@cost`` declaration.
+
+    A declaration is a machine-checked promise: the ``repro cost`` table
+    (and scaling decisions built on it) trusts declared bounds, so an
+    annotation tighter than the inferred reality would advertise a cheap
+    function that is not.  Over-declaration is legal — bounding work the
+    analysis cannot see (method calls, library internals) from above is
+    the sanctioned idiom, and R504 keeps generous bounds honest against
+    measurements.  Solver entry points must carry a declaration at all:
+    an unlabeled entry point is exactly the blind spot this tier exists
+    to close.
+    """
+
+    id = "R500"
+    name = "cost-declaration"
+    summary = "inferred costs must be covered by @cost declarations"
+
+    def check_cost(self, context: CostContext) -> Iterable[Finding]:
+        program = context.program
+        entry_points = set(context.entry_points)
+        for qualified, record in context.costs.items():
+            declaration = record.declared
+            if declaration is None:
+                if qualified not in entry_points:
+                    continue
+                if program.config.is_exempt(self.id, qualified):
+                    continue
+                info = program.calls.functions[qualified]
+                yield program.finding(
+                    info.module, info.line, self.id,
+                    f"solver entry point {info.name!r} has no @cost "
+                    "declaration; declare its asymptotic bound (the "
+                    f"analysis infers O({record.inferred.render()}))",
+                )
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            info = program.calls.functions[qualified]
+            for problem in declaration.problems:
+                yield program.finding(
+                    info.module, declaration.line, self.id,
+                    f"malformed @cost declaration on {info.name!r}: "
+                    f"{problem}",
+                )
+            if declaration.bound is None:
+                continue
+            if not record.inferred.covered_by(declaration.bound):
+                detail = (
+                    f" ({record.inferred.reason})"
+                    if record.inferred.unbounded
+                    else ""
+                )
+                yield program.finding(
+                    info.module, declaration.line, self.id,
+                    f"{info.name!r} is declared "
+                    f"O({declaration.expression}) but the analysis "
+                    f"infers O({record.inferred.render()}){detail}; "
+                    "widen the declaration or remove the work",
+                )
+
+
+@register_rule
+class HotLoopAllocationRule(CostRule):
+    """R501: no undeclared superlinear allocation on a solver hot path.
+
+    An array allocation inside a loop over ``n``/``m``/``q``/``c`` turns
+    into allocator pressure exactly where the paper's instances grow;
+    hoisting the buffer (or declaring the cost so the table shows it) is
+    always possible.  Only *undeclared* functions are flagged: a
+    ``@cost`` declaration covering the loop already puts the behavior on
+    the record, and R500 verifies it.
+    """
+
+    id = "R501"
+    name = "hot-loop-allocation"
+    summary = "no undeclared allocation inside symbolic loops on hot paths"
+
+    def check_cost(self, context: CostContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified in sorted(context.hot_path):
+            record = context.costs.get(qualified)
+            if record is None or record.declared is not None:
+                continue
+            if not record.local.allocations:
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            info = program.calls.functions[qualified]
+            for site in record.local.allocations:
+                yield program.finding(
+                    info.module, site.line, self.id,
+                    f"{info.name!r} is on a solver hot path and "
+                    f"{site.detail} without a @cost declaration; hoist "
+                    "the allocation out of the loop or declare the bound",
+                )
+
+
+@register_rule
+class DenseMetricScaleRule(CostRule):
+    """R502: no dense ``Metric`` build reachable from ``scale="large"``.
+
+    ``scale="large"`` promises a code path survives 10^3-10^5 nodes; a
+    dense all-pairs metric is Theta(n^2) memory and kills that promise
+    on contact.  The paper's LP (Thm 3.7) is naturally sparse, so the
+    sparse/lazy path always exists — this rule makes reaching for the
+    dense one a finding instead of an OOM three weeks later.
+    """
+
+    id = "R502"
+    name = "dense-metric-scale"
+    summary = "scale='large' functions must not reach dense metric builds"
+
+    def check_cost(self, context: CostContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified, record in context.costs.items():
+            declaration = record.declared
+            if declaration is None or declaration.scale != "large":
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            info = program.calls.functions[qualified]
+            for reached in sorted(reachable_from(program, [qualified])):
+                target = context.costs.get(reached)
+                if target is None or not target.local.dense_builds:
+                    continue
+                site = target.local.dense_builds[0]
+                via = (
+                    f"line {site.line}"
+                    if reached == qualified
+                    else f"via {reached!r}, line {site.line}"
+                )
+                yield program.finding(
+                    info.module, declaration.line, self.id,
+                    f"{info.name!r} is tagged scale='large' but can reach "
+                    f"a dense all-pairs metric build ({site.detail}; "
+                    f"{via}); use the sparse/batched path or drop the tag",
+                )
+
+
+@register_rule
+class ReferenceOnHotPathRule(CostRule):
+    """R503: no ``*_reference`` oracle call on a solver hot path.
+
+    The ``*_reference`` twins exist to check the vectorized kernels, not
+    to run in production — they are scalar Python loops, typically a
+    couple of orders of magnitude slower.  R203 pairs them with their
+    fast twins; this rule makes sure the slow twin never leaks into the
+    solver call graph (tests and benchmarks, which legitimately call
+    oracles, live outside the hot set).
+    """
+
+    id = "R503"
+    name = "reference-on-hot-path"
+    summary = "no *_reference oracle calls on solver hot paths"
+
+    def check_cost(self, context: CostContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified in sorted(context.hot_path):
+            record = context.costs.get(qualified)
+            if record is None or not record.local.reference_calls:
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            info = program.calls.functions[qualified]
+            for site in record.local.reference_calls:
+                yield program.finding(
+                    info.module, site.line, self.id,
+                    f"{info.name!r} calls scalar oracle {site.text!r} on "
+                    "a solver hot path; call the vectorized twin instead "
+                    "(the oracle exists for tests)",
+                )
+
+
+@register_rule
+class StaleCostDeclarationRule(CostRule):
+    """R504: declared cost must not contradict measured scaling.
+
+    The static tier under-approximates by construction, so a declaration
+    can pass R500 while the code actually scales worse — behind a method
+    call, a library routine, an accidental quadratic.  This rule closes
+    the loop empirically: ``--profile-check`` supplies timings at two or
+    three instance sizes, a log-log fit extracts the measured exponent
+    per varied symbol, and a fit exceeding the declared degree (plus
+    slack for log factors and noise) flags the declaration as stale.
+    Measuring *better* than declared is never a finding — declarations
+    are upper bounds.
+    """
+
+    id = "R504"
+    name = "stale-cost-declaration"
+    summary = "declared costs must not contradict profiled scaling"
+
+    def check_cost(self, context: CostContext) -> Iterable[Finding]:
+        if not context.telemetry:
+            return
+        program = context.program
+        for stale in stale_declarations(context.costs, context.telemetry):
+            if program.config.is_exempt(self.id, stale.qualified):
+                continue
+            record = context.costs[stale.qualified]
+            declaration = record.declared
+            assert declaration is not None
+            info = program.calls.functions[stale.qualified]
+            sizes = ", ".join(str(size) for size in stale.sizes)
+            yield program.finding(
+                info.module, declaration.line, self.id,
+                f"{info.name!r} declares degree "
+                f"{stale.declared_degree:g} in {stale.symbol!r} "
+                f"(O({declaration.expression})) but timings at sizes "
+                f"[{sizes}] fit {stale.symbol}^"
+                f"{stale.fitted_exponent:.2f}; update the declaration "
+                "or fix the regression",
+            )

@@ -1,0 +1,1072 @@
+"""Static asymptotic-cost inference and the ``repro cost`` table.
+
+Every module-level function of the analyzed program gets a symbolic
+upper bound on its running time, expressed over the small vocabulary of
+:data:`repro._validation.COST_SYMBOLS`:
+
+==========  =====================================================
+``n``       network nodes
+``m``       network edges
+``q``       quorums in the system
+``c``       candidate placements / sweep width
+==========  =====================================================
+
+A bound (:class:`CostBound`) is a sum of monomials; each
+:class:`Monomial` is a product of symbol powers, optional ``log``
+factors (display-only: they never decide a comparison) and optional
+``exp`` markers for exponential growth (``exp(n)``, also spelled
+``2**n``).  Inference walks each function body once, multiplying the
+enclosing-loop context through ``for`` statements and comprehensions
+whose iterables it *recognizes* — ``range(x)`` / ``len(x)`` chains,
+``enumerate`` / ``zip`` / ``sorted`` wrappers, and name heuristics
+(anything mentioning nodes maps to ``n``, edges to ``m``, quorums to
+``q``, candidates to ``c``).  Costs compose interprocedurally along the
+resolved call graph: each call site contributes *loop context times
+callee summary*, declared costs (``@cost``) are trusted as summaries,
+and undeclared call cycles are widened to the ``unbounded`` top element
+once their degree exceeds :data:`WIDENING_CAP` — the fixpoint therefore
+always terminates.
+
+The analysis is **optimistic about what it cannot see**, in exactly the
+spirit of the effect tier: unrecognized iterables and ``while`` loops
+count as constant trip counts, method calls and third-party functions
+as constant cost.  It under-approximates, so "inferred exceeds
+declared" (R500) is always a real finding, while a clean run is
+evidence, not proof — ``--profile-check`` (R504) closes the loop
+empirically with measured timings.
+
+Besides the inference this module owns the declaration parser for
+``@cost``, the witness scans the R501-R503 rules consume (allocations
+inside symbolic loops, dense all-pairs :class:`~repro.network.metric.
+Metric` builds, ``*_reference`` oracle calls), the ``repro cost`` table
+document and its renderers, and the schema of the R504 telemetry file.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from .._validation import COST_SCALES, COST_SYMBOLS, cost_expression_problems
+from ..exceptions import LintError
+from .astutils import callee_name, dotted_name
+from .callgraph import FunctionInfo
+from .effects import entry_point_names
+from .interproc import ProgramContext
+
+__all__ = [
+    "Monomial",
+    "CostBound",
+    "CostDeclaration",
+    "LocalCost",
+    "FunctionCost",
+    "AllocationSite",
+    "DenseBuildSite",
+    "ReferenceCallSite",
+    "parse_cost_expression",
+    "declared_cost",
+    "analyze_costs",
+    "solver_reachable",
+    "reachable_from",
+    "build_cost_table",
+    "render_cost_table_text",
+    "render_cost_table_markdown",
+    "render_cost_table_json",
+    "CostObservation",
+    "load_cost_telemetry",
+    "validate_cost_telemetry",
+    "stale_declarations",
+    "COST_TABLE_KIND",
+    "COST_TABLE_VERSION",
+    "TELEMETRY_KIND",
+    "TELEMETRY_VERSION",
+    "WIDENING_CAP",
+    "R504_TOLERANCE",
+]
+
+#: Document identifier of the ``repro cost`` table.
+COST_TABLE_KIND = "repro-cost-table"
+#: Schema version of the cost-table document.
+COST_TABLE_VERSION = 1
+#: Document identifier of the R504 telemetry file.
+TELEMETRY_KIND = "repro-cost-telemetry"
+#: Schema version of the R504 telemetry file.
+TELEMETRY_VERSION = 1
+#: Per-symbol polynomial degree beyond which an undeclared call cycle is
+#: widened to the unbounded top element.  Real code in this repository
+#: peaks at cubic; anything the fixpoint drives past this cap is growing
+#: through recursion, not through honest loop nesting.
+WIDENING_CAP = 6
+#: Slack added to a declared degree before R504 calls a measured
+#: exponent a contradiction.  Log factors, cache warmup and constant
+#: overheads all bend a two-point log-log fit; one-third of a degree is
+#: comfortably above that noise while still catching an undeclared
+#: extra factor of ``n``.
+R504_TOLERANCE = 0.35
+
+_SYMBOL_INDEX: Mapping[str, int] = {
+    symbol: index for index, symbol in enumerate(COST_SYMBOLS)
+}
+_ZEROS = (0,) * len(COST_SYMBOLS)
+
+#: Substring heuristics mapping iterable names to cost symbols, first
+#: match wins.  ``system`` iterates a quorum system's quorums; ``job``
+#: and ``machine`` cover the GAP reduction (jobs are quorums, machines
+#: are nodes).
+_NAME_HINTS: tuple[tuple[str, str], ...] = (
+    ("node", "n"),
+    ("vertex", "n"),
+    ("machine", "n"),
+    ("edge", "m"),
+    ("quorum", "q"),
+    ("system", "q"),
+    ("job", "q"),
+    ("cand", "c"),
+)
+
+#: Iterable wrappers that preserve (or index) what they iterate.
+_TRANSPARENT_ITERABLES = frozenset(
+    {"enumerate", "sorted", "reversed", "list", "tuple", "set", "frozenset"}
+)
+
+#: numpy allocation constructors R501 watches inside symbolic loops.
+_ALLOCATORS = frozenset(
+    {
+        "zeros", "ones", "empty", "full", "eye", "arange", "linspace",
+        "zeros_like", "ones_like", "empty_like", "full_like",
+    }
+)
+
+#: ``*_reference`` scalar oracles (R503 / the R203 pairing convention).
+_REFERENCE_PATTERN = re.compile(r"_reference$")
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """One product term: symbol powers, log factors, exponential markers.
+
+    ``poly``, ``logs`` and ``expo`` are parallel to
+    :data:`~repro._validation.COST_SYMBOLS`.  ``logs`` is display-only —
+    coverage comparisons ignore it in both directions, so ``log(n)``
+    can annotate a binary search without ever deciding a finding.
+    """
+
+    poly: tuple[int, ...] = _ZEROS
+    logs: tuple[int, ...] = _ZEROS
+    expo: tuple[int, ...] = _ZEROS
+
+    @staticmethod
+    def unit() -> "Monomial":
+        """The constant monomial ``1``."""
+        return Monomial()
+
+    @staticmethod
+    def symbol(name: str) -> "Monomial":
+        """The degree-one monomial of one cost symbol."""
+        index = _SYMBOL_INDEX[name]
+        poly = tuple(1 if i == index else 0 for i in range(len(COST_SYMBOLS)))
+        return Monomial(poly=poly)
+
+    def times(self, other: "Monomial") -> "Monomial":
+        """The product of two monomials (exponents add)."""
+        return Monomial(
+            poly=tuple(a + b for a, b in zip(self.poly, other.poly)),
+            logs=tuple(a + b for a, b in zip(self.logs, other.logs)),
+            expo=tuple(a + b for a, b in zip(self.expo, other.expo)),
+        )
+
+    def covered_by(self, declared: "Monomial") -> bool:
+        """Whether *declared* is an upper bound for this monomial.
+
+        Per symbol: an exponential on the declared side absorbs any
+        polynomial degree; otherwise polynomial degrees compare
+        pointwise.  Log factors never decide the comparison.
+        """
+        return all(
+            se <= de and (sp <= dp or de >= 1)
+            for sp, se, dp, de in zip(
+                self.poly, self.expo, declared.poly, declared.expo
+            )
+        )
+
+    def dominates(self, other: "Monomial") -> bool:
+        """Whether this monomial renders *other* redundant in a sum."""
+        return (
+            all(a >= b for a, b in zip(self.poly, other.poly))
+            and all(a >= b for a, b in zip(self.logs, other.logs))
+            and all(a >= b for a, b in zip(self.expo, other.expo))
+        )
+
+    @property
+    def constant(self) -> bool:
+        """Whether this is the constant monomial (no symbol appears)."""
+        return not any(self.poly) and not any(self.expo)
+
+    def degree(self, symbol: str) -> float:
+        """Polynomial degree in *symbol*; ``inf`` when exponential."""
+        index = _SYMBOL_INDEX[symbol]
+        if self.expo[index]:
+            return float("inf")
+        return float(self.poly[index])
+
+    def render(self) -> str:
+        """Canonical text form, ``"1"`` for the constant monomial."""
+        factors: list[str] = []
+        for index, symbol in enumerate(COST_SYMBOLS):
+            if self.expo[index]:
+                factors.append(f"exp({symbol})")
+            if self.poly[index] == 1:
+                factors.append(symbol)
+            elif self.poly[index] > 1:
+                factors.append(f"{symbol}**{self.poly[index]}")
+        for index, symbol in enumerate(COST_SYMBOLS):
+            factors.extend(f"log({symbol})" for _ in range(self.logs[index]))
+        return " * ".join(factors) if factors else "1"
+
+    def sort_key(self) -> tuple[int, int, tuple[int, ...], str]:
+        """Stable ordering: heaviest terms first within a rendered sum."""
+        return (
+            -sum(self.expo),
+            -sum(self.poly),
+            tuple(-p for p in self.poly),
+            self.render(),
+        )
+
+
+@dataclass(frozen=True)
+class CostBound:
+    """A sum of monomials, or the ``unbounded`` top element."""
+
+    monomials: frozenset[Monomial] = frozenset({Monomial.unit()})
+    unbounded: bool = False
+    #: Why the bound was widened to top (set only when ``unbounded``).
+    reason: str = ""
+
+    @staticmethod
+    def constant() -> "CostBound":
+        """The O(1) bound."""
+        return CostBound()
+
+    @staticmethod
+    def top(reason: str) -> "CostBound":
+        """The unbounded top element, carrying its widening witness."""
+        return CostBound(monomials=frozenset(), unbounded=True, reason=reason)
+
+    @staticmethod
+    def of(monomials: Iterable[Monomial]) -> "CostBound":
+        """A normalized bound over *monomials* (dominated terms dropped)."""
+        terms = set(monomials) or {Monomial.unit()}
+        kept = {
+            term
+            for term in terms
+            if not any(
+                other != term and other.dominates(term) for other in terms
+            )
+        }
+        return CostBound(monomials=frozenset(kept))
+
+    def plus(self, other: "CostBound") -> "CostBound":
+        """The sum (pointwise max) of two bounds."""
+        if self.unbounded:
+            return self
+        if other.unbounded:
+            return other
+        return CostBound.of(self.monomials | other.monomials)
+
+    def times_monomial(self, factor: Monomial) -> "CostBound":
+        """This bound scaled by one context monomial."""
+        if self.unbounded:
+            return self
+        return CostBound.of(term.times(factor) for term in self.monomials)
+
+    def covered_by(self, declared: "CostBound") -> bool:
+        """Whether *declared* upper-bounds this inferred cost."""
+        if declared.unbounded:
+            return True
+        if self.unbounded:
+            return False
+        return all(
+            any(term.covered_by(upper) for upper in declared.monomials)
+            for term in self.monomials
+        )
+
+    def degree(self, symbol: str) -> float:
+        """Maximum degree in *symbol* across monomials; ``inf`` on top."""
+        if self.unbounded:
+            return float("inf")
+        return max(term.degree(symbol) for term in self.monomials)
+
+    def render(self) -> str:
+        """Canonical text form, ``"unbounded"`` for the top element."""
+        if self.unbounded:
+            return "unbounded"
+        ordered = sorted(self.monomials, key=Monomial.sort_key)
+        return " + ".join(term.render() for term in ordered)
+
+    def exceeds_cap(self) -> bool:
+        """Whether any monomial's degree passed :data:`WIDENING_CAP`."""
+        return any(
+            degree > WIDENING_CAP
+            for term in self.monomials
+            for degree in (*term.poly, *term.expo)
+        )
+
+
+def parse_cost_expression(text: str) -> tuple[CostBound | None, tuple[str, ...]]:
+    """Parse a ``@cost`` expression string into a :class:`CostBound`.
+
+    Returns ``(bound, ())`` on success and ``(None, problems)`` when the
+    expression violates the grammar — the same grammar
+    :func:`repro._validation.cost_expression_problems` enforces at
+    decoration time, so the evaluator below only ever sees valid shapes.
+    """
+    problems = cost_expression_problems(text)
+    if problems:
+        return None, problems
+    tree = ast.parse(text, mode="eval")
+    return _evaluate(tree.body), ()
+
+
+def _evaluate(node: ast.expr) -> CostBound:
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Add):
+            return _evaluate(node.left).plus(_evaluate(node.right))
+        if isinstance(node.op, ast.Mult):
+            left = _evaluate(node.left)
+            right = _evaluate(node.right)
+            return CostBound.of(
+                a.times(b) for a in left.monomials for b in right.monomials
+            )
+        if isinstance(node.op, ast.Pow):
+            if isinstance(node.left, ast.Name):
+                assert isinstance(node.right, ast.Constant)
+                base = Monomial.symbol(node.left.id)
+                result = Monomial.unit()
+                for _ in range(int(node.right.value)):
+                    result = result.times(base)
+                return CostBound.of([result])
+            # the 2**sym exponential spelling
+            assert isinstance(node.right, ast.Name)
+            return CostBound.of([_exponential(node.right.id)])
+    if isinstance(node, ast.Name):
+        return CostBound.of([Monomial.symbol(node.id)])
+    if isinstance(node, ast.Constant):
+        return CostBound.constant()
+    assert isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+    argument = node.args[0]
+    assert isinstance(argument, ast.Name)
+    if node.func.id == "log":
+        index = _SYMBOL_INDEX[argument.id]
+        logs = tuple(
+            1 if i == index else 0 for i in range(len(COST_SYMBOLS))
+        )
+        return CostBound.of([Monomial(logs=logs)])
+    return CostBound.of([_exponential(argument.id)])
+
+
+def _exponential(symbol: str) -> Monomial:
+    index = _SYMBOL_INDEX[symbol]
+    expo = tuple(1 if i == index else 0 for i in range(len(COST_SYMBOLS)))
+    return Monomial(expo=expo)
+
+
+@dataclass(frozen=True)
+class CostDeclaration:
+    """One parsed ``@cost`` decorator."""
+
+    #: The raw expression string as written in the decorator.
+    expression: str
+    #: The parsed bound, ``None`` when the expression is malformed.
+    bound: CostBound | None
+    #: The ``scale=`` tag, when present.
+    scale: str | None
+    #: 1-based line of the decorator.
+    line: int
+    #: Malformed-declaration messages (bad grammar, non-literal args).
+    problems: tuple[str, ...]
+
+
+def declared_cost(info: FunctionInfo) -> CostDeclaration | None:
+    """Parse a ``@cost(...)`` decorator off one function, statically."""
+    for decorator in info.node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = dotted_name(decorator.func)
+        if name is None or name.rsplit(".", 1)[-1] != "cost":
+            continue
+        problems: list[str] = []
+        expression = ""
+        if len(decorator.args) != 1:
+            problems.append("cost() takes exactly one expression string")
+        elif isinstance(decorator.args[0], ast.Constant) and isinstance(
+            decorator.args[0].value, str
+        ):
+            expression = decorator.args[0].value
+        else:
+            problems.append("the cost expression must be a string literal")
+        scale: str | None = None
+        for keyword in decorator.keywords:
+            if keyword.arg != "scale":
+                problems.append(
+                    f"cost() got an unexpected keyword {keyword.arg!r}"
+                )
+            elif isinstance(keyword.value, ast.Constant) and isinstance(
+                keyword.value.value, str
+            ):
+                if keyword.value.value in COST_SCALES:
+                    scale = keyword.value.value
+                else:
+                    problems.append(
+                        f"unknown cost scale {keyword.value.value!r}; "
+                        f"known: {sorted(COST_SCALES)}"
+                    )
+            else:
+                problems.append("scale= must be a string literal")
+        bound: CostBound | None = None
+        if expression:
+            bound, parse_problems = parse_cost_expression(expression)
+            problems.extend(parse_problems)
+        return CostDeclaration(
+            expression=expression,
+            bound=bound,
+            scale=scale,
+            line=decorator.lineno,
+            problems=tuple(problems),
+        )
+    return None
+
+
+@dataclass(frozen=True)
+class AllocationSite:
+    """One array allocation inside a symbolic loop (R501 witness)."""
+
+    line: int
+    detail: str
+    context: Monomial
+
+
+@dataclass(frozen=True)
+class DenseBuildSite:
+    """One dense all-pairs metric materialization (R502 witness)."""
+
+    line: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class ReferenceCallSite:
+    """One ``*_reference`` oracle call (R503 witness)."""
+
+    line: int
+    text: str
+
+
+@dataclass(frozen=True)
+class LocalCost:
+    """What one function's own body contributes, before call composition."""
+
+    #: Loop-structure bound of the body itself.
+    work: CostBound
+    #: Loop context at each call expression, keyed by ``(line, text)``
+    #: so the resolved :class:`~repro.lint.callgraph.CallSite` list can
+    #: be joined back to its context.
+    call_contexts: Mapping[tuple[int, str], Monomial]
+    allocations: tuple[AllocationSite, ...]
+    dense_builds: tuple[DenseBuildSite, ...]
+    reference_calls: tuple[ReferenceCallSite, ...]
+
+
+def _hint_symbol(name: str) -> str | None:
+    lowered = name.lower()
+    if lowered in _SYMBOL_INDEX:
+        return lowered
+    for fragment, symbol in _NAME_HINTS:
+        if fragment in lowered:
+            return symbol
+    return None
+
+
+def _iterable_symbol(node: ast.expr) -> str | None:
+    """The cost symbol an iterable expression ranges over, if recognized."""
+    if isinstance(node, ast.Name):
+        return _hint_symbol(node.id)
+    if isinstance(node, ast.Attribute):
+        return _hint_symbol(node.attr)
+    if isinstance(node, ast.Call):
+        name = callee_name(node)
+        if name == "range":
+            # the trip count is governed by stop: args[1] in the
+            # (start, stop[, step]) form, args[0] otherwise
+            ordered = (
+                [node.args[1], node.args[0], *node.args[2:]]
+                if len(node.args) >= 2
+                else list(node.args)
+            )
+            for argument in ordered:
+                symbol = _iterable_symbol(argument)
+                if symbol is not None:
+                    return symbol
+            return None
+        if name == "len" and node.args:
+            return _iterable_symbol(node.args[0])
+        if name == "zip":
+            for argument in node.args:
+                symbol = _iterable_symbol(argument)
+                if symbol is not None:
+                    return symbol
+            return None
+        if name in _TRANSPARENT_ITERABLES and node.args:
+            return _iterable_symbol(node.args[0])
+        if name is not None:
+            return _hint_symbol(name)
+    if isinstance(node, ast.Subscript):
+        return _iterable_symbol(node.value)
+    return None
+
+
+def _is_dense_metric_build(node: ast.Call) -> str | None:
+    """Describe *node* as a dense all-pairs metric build, or ``None``."""
+    name = callee_name(node)
+    dotted = dotted_name(node.func)
+    if name == "from_network" or (
+        dotted is not None and dotted.endswith("Metric.from_network")
+    ):
+        return "Metric.from_network materializes the all-pairs matrix"
+    if name == "Metric":
+        return "Metric(...) holds a dense all-pairs matrix"
+    if name == "dijkstra_batched":
+        has_sources = len(node.args) >= 2 or any(
+            keyword.arg == "sources"
+            and not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+            )
+            for keyword in node.keywords
+        )
+        if not has_sources:
+            return "dijkstra_batched over all sources is an all-pairs build"
+    return None
+
+
+class _BodyScan:
+    """One pass over a function body, threading the loop-context monomial."""
+
+    def __init__(self) -> None:
+        self.work: set[Monomial] = {Monomial.unit()}
+        self.call_contexts: dict[tuple[int, str], Monomial] = {}
+        self.allocations: list[AllocationSite] = []
+        self.dense_builds: list[DenseBuildSite] = []
+        self.reference_calls: list[ReferenceCallSite] = []
+
+    def scan(self, body: Sequence[ast.stmt], context: Monomial) -> None:
+        for statement in body:
+            if isinstance(statement, (ast.For, ast.AsyncFor)):
+                symbol = _iterable_symbol(statement.iter)
+                inner = (
+                    context.times(Monomial.symbol(symbol))
+                    if symbol is not None
+                    else context
+                )
+                self.work.add(inner)
+                self.expr(statement.iter, context)
+                self.expr(statement.target, context)
+                self.scan(statement.body, inner)
+                self.scan(statement.orelse, context)
+            elif isinstance(statement, ast.While):
+                # Unknown trip count: optimistically constant (documented).
+                self.expr(statement.test, context)
+                self.scan(statement.body, context)
+                self.scan(statement.orelse, context)
+            elif isinstance(statement, ast.If):
+                self.expr(statement.test, context)
+                self.scan(statement.body, context)
+                self.scan(statement.orelse, context)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                for item in statement.items:
+                    self.expr(item.context_expr, context)
+                self.scan(statement.body, context)
+            elif isinstance(statement, ast.Try):
+                self.scan(statement.body, context)
+                for handler in statement.handlers:
+                    self.scan(handler.body, context)
+                self.scan(statement.orelse, context)
+                self.scan(statement.finalbody, context)
+            elif isinstance(statement, ast.Match):
+                self.expr(statement.subject, context)
+                for case in statement.cases:
+                    self.scan(case.body, context)
+            elif isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                # Nested definitions run in a different dynamic context;
+                # the call graph skips them, so the cost model does too.
+                continue
+            else:
+                for child in ast.iter_child_nodes(statement):
+                    if isinstance(child, ast.expr):
+                        self.expr(child, context)
+
+    def expr(self, node: ast.expr, context: Monomial) -> None:
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            inner = context
+            for generator in node.generators:
+                symbol = _iterable_symbol(generator.iter)
+                if symbol is not None:
+                    inner = inner.times(Monomial.symbol(symbol))
+            self.work.add(inner)
+            for index, generator in enumerate(node.generators):
+                # The first iterable is evaluated in the outer context;
+                # later ones re-evaluate per outer element.
+                self.expr(generator.iter, context if index == 0 else inner)
+                for condition in generator.ifs:
+                    self.expr(condition, inner)
+            if isinstance(node, ast.DictComp):
+                self.expr(node.key, inner)
+                self.expr(node.value, inner)
+            else:
+                self.expr(node.elt, inner)
+            return
+        if isinstance(node, ast.Lambda):
+            self.expr(node.body, context)
+            return
+        if isinstance(node, ast.Call):
+            self.record_call(node, context)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child, context)
+
+    def record_call(self, node: ast.Call, context: Monomial) -> None:
+        text = dotted_name(node.func) or "<dynamic>"
+        key = (node.lineno, text)
+        previous = self.call_contexts.get(key)
+        # Two calls to the same target on one line: keep the heavier
+        # context (the safe over-approximation for the join).
+        if previous is None or context.dominates(previous):
+            self.call_contexts[key] = context
+        name = callee_name(node)
+        if name in _ALLOCATORS and not context.constant:
+            self.allocations.append(
+                AllocationSite(
+                    line=node.lineno,
+                    detail=(
+                        f"{text}(...) allocates inside an "
+                        f"O({context.render()}) loop"
+                    ),
+                    context=context,
+                )
+            )
+        dense = _is_dense_metric_build(node)
+        if dense is not None:
+            self.dense_builds.append(
+                DenseBuildSite(line=node.lineno, detail=dense)
+            )
+        if name is not None and _REFERENCE_PATTERN.search(name):
+            self.reference_calls.append(
+                ReferenceCallSite(line=node.lineno, text=text)
+            )
+
+
+def _local_cost(info: FunctionInfo) -> LocalCost:
+    scan = _BodyScan()
+    scan.scan(info.node.body, Monomial.unit())
+    return LocalCost(
+        work=CostBound.of(scan.work),
+        call_contexts=dict(scan.call_contexts),
+        allocations=tuple(scan.allocations),
+        dense_builds=tuple(scan.dense_builds),
+        reference_calls=tuple(scan.reference_calls),
+    )
+
+
+@dataclass(frozen=True)
+class FunctionCost:
+    """The complete cost picture of one function."""
+
+    qualified: str
+    local: LocalCost
+    declared: CostDeclaration | None
+    inferred: CostBound
+
+
+def analyze_costs(program: ProgramContext) -> dict[str, FunctionCost]:
+    """Infer a symbolic cost bound for every module-level function.
+
+    Declared costs are trusted as callee summaries (they are checked
+    against their own inference separately, so trust does not launder a
+    lie — it only breaks composition cycles).  Undeclared functions
+    iterate to a fixpoint; a cycle that keeps growing a monomial past
+    :data:`WIDENING_CAP` is widened to the unbounded top element, which
+    then propagates to its callers.
+    """
+    locals_map: dict[str, LocalCost] = {}
+    declarations: dict[str, CostDeclaration | None] = {}
+    for qualified, info in program.calls.functions.items():
+        locals_map[qualified] = _local_cost(info)
+        declarations[qualified] = declared_cost(info)
+
+    # Join each resolved call edge to its recorded loop context.
+    edges: dict[str, list[tuple[str, Monomial]]] = {
+        qualified: [] for qualified in program.calls.functions
+    }
+    for site in program.calls.calls:
+        if site.callee is None or site.caller not in locals_map:
+            continue
+        if site.callee not in program.calls.functions:
+            continue
+        context = locals_map[site.caller].call_contexts.get(
+            (site.line, site.text), Monomial.unit()
+        )
+        edges[site.caller].append((site.callee, context))
+
+    def trusted_summary(qualified: str) -> CostBound | None:
+        declaration = declarations.get(qualified)
+        if declaration is not None and declaration.bound is not None:
+            return declaration.bound
+        return None
+
+    summaries: dict[str, CostBound] = {}
+    for qualified in program.calls.functions:
+        trusted = trusted_summary(qualified)
+        summaries[qualified] = (
+            trusted if trusted is not None else locals_map[qualified].work
+        )
+
+    changed = True
+    while changed:
+        changed = False
+        for qualified in program.calls.functions:
+            if trusted_summary(qualified) is not None:
+                continue
+            updated = locals_map[qualified].work
+            for callee, context in edges[qualified]:
+                # Self-edges included: plain self-recursion is a no-op
+                # under the join, while recursion through a loop context
+                # keeps growing until the cap below widens it to top.
+                updated = updated.plus(
+                    summaries[callee].times_monomial(context)
+                )
+            if not updated.unbounded and updated.exceeds_cap():
+                updated = CostBound.top(
+                    f"call cycle through {qualified!r} keeps growing the "
+                    f"bound past degree {WIDENING_CAP}; widened to top"
+                )
+            if updated != summaries[qualified]:
+                summaries[qualified] = updated
+                changed = True
+
+    # The fixpoint computed summaries; the *inferred* cost of a declared
+    # function must not use its own declaration (that would make R500
+    # vacuous), so recompute one composition step from callee summaries.
+    inferred: dict[str, CostBound] = {}
+    for qualified in program.calls.functions:
+        result = locals_map[qualified].work
+        for callee, context in edges[qualified]:
+            if callee == qualified:
+                continue
+            result = result.plus(summaries[callee].times_monomial(context))
+        if not result.unbounded and result.exceeds_cap():
+            result = CostBound.top(
+                f"composition at {qualified!r} exceeds degree "
+                f"{WIDENING_CAP}; widened to top"
+            )
+        inferred[qualified] = result
+
+    return {
+        qualified: FunctionCost(
+            qualified=qualified,
+            local=locals_map[qualified],
+            declared=declarations[qualified],
+            inferred=inferred[qualified],
+        )
+        for qualified in sorted(program.calls.functions)
+    }
+
+
+def reachable_from(
+    program: ProgramContext, roots: Iterable[str]
+) -> frozenset[str]:
+    """Functions reachable from *roots* over resolved call edges."""
+    frontier = list(roots)
+    reachable = set(frontier)
+    while frontier:
+        current = frontier.pop()
+        for callee in program.calls.resolved_callees(current):
+            if callee not in reachable:
+                reachable.add(callee)
+                frontier.append(callee)
+    return frozenset(reachable)
+
+
+def solver_reachable(program: ProgramContext) -> frozenset[str]:
+    """Functions reachable from ``solve_*`` / ``optimal_*`` entry points.
+
+    This is the *hot path* of R501/R503 — deliberately narrower than
+    :meth:`~repro.lint.interproc.ProgramContext.reachable_functions`,
+    which seeds from the CLI entry roots and would drag reporting and
+    test-support code into the hot set.
+    """
+    return reachable_from(program, entry_point_names(program))
+
+
+def build_cost_table(
+    program: ProgramContext, costs: Mapping[str, FunctionCost]
+) -> dict[str, object]:
+    """Assemble the ``repro cost`` JSON document.
+
+    Covers every solver entry point plus every ``@cost``-declared
+    function, mirroring the parallel-safety certificate's coverage rule.
+    """
+    entry_points = set(entry_point_names(program))
+    covered = set(entry_points)
+    for qualified, record in costs.items():
+        if record.declared is not None:
+            covered.add(qualified)
+
+    functions: dict[str, dict[str, object]] = {}
+    for qualified in sorted(covered):
+        record = costs.get(qualified)
+        if record is None:
+            continue
+        info = program.calls.functions[qualified]
+        declaration = record.declared
+        declared_bound = (
+            declaration.bound if declaration is not None else None
+        )
+        functions[qualified] = {
+            "module": info.module,
+            "name": info.name,
+            "line": info.line,
+            "declared": (
+                declaration.expression if declaration is not None else None
+            ),
+            "inferred": record.inferred.render(),
+            "scale": declaration.scale if declaration is not None else None,
+            "covered": (
+                record.inferred.covered_by(declared_bound)
+                if declared_bound is not None
+                else None
+            ),
+            "entry_point": qualified in entry_points,
+        }
+
+    return {
+        "kind": COST_TABLE_KIND,
+        "version": COST_TABLE_VERSION,
+        "symbols": list(COST_SYMBOLS),
+        "functions": functions,
+    }
+
+
+def _table_rows(document: Mapping[str, object]) -> list[tuple[str, ...]]:
+    functions = document.get("functions")
+    assert isinstance(functions, Mapping)
+    rows: list[tuple[str, ...]] = []
+    for qualified in sorted(functions):
+        entry = functions[qualified]
+        assert isinstance(entry, Mapping)
+        declared = entry.get("declared")
+        covered = entry.get("covered")
+        if covered is None:
+            verdict = "undeclared"
+        elif covered:
+            verdict = "ok"
+        else:
+            verdict = "MISMATCH"
+        rows.append(
+            (
+                qualified,
+                str(declared) if declared is not None else "-",
+                str(entry.get("inferred", "-")),
+                str(entry.get("scale") or "-"),
+                verdict,
+            )
+        )
+    return rows
+
+
+def render_cost_table_text(document: Mapping[str, object]) -> str:
+    """Aligned-columns rendering for terminals."""
+    header = ("function", "declared", "inferred", "scale", "verdict")
+    rows = [header, *_table_rows(document)]
+    widths = [
+        max(len(row[column]) for row in rows)
+        for column in range(len(header))
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_cost_table_markdown(document: Mapping[str, object]) -> str:
+    """README-embeddable markdown table."""
+    lines = [
+        "| function | declared | inferred | scale | verdict |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for row in _table_rows(document):
+        cells = (row[0], f"`{row[1]}`", f"`{row[2]}`", row[3], row[4])
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_cost_table_json(document: Mapping[str, object]) -> str:
+    """Stable JSON text of the cost-table document."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+@dataclass(frozen=True)
+class CostObservation:
+    """One timed run at a known instance size (R504 input)."""
+
+    #: Qualified name of the measured function.
+    function: str
+    #: The cost symbol the experiment varied.
+    symbol: str
+    #: The instance size along that symbol.
+    size: int
+    #: Measured wall seconds.
+    seconds: float
+
+
+def validate_cost_telemetry(document: object) -> tuple[str, ...]:
+    """Schema-check a cost-telemetry document; returns problem messages."""
+    problems: list[str] = []
+    if not isinstance(document, Mapping):
+        return ("cost telemetry must be a JSON object",)
+    if document.get("kind") != TELEMETRY_KIND:
+        problems.append(f"telemetry 'kind' must be {TELEMETRY_KIND!r}")
+    if document.get("version") != TELEMETRY_VERSION:
+        problems.append(f"telemetry 'version' must be {TELEMETRY_VERSION}")
+    observations = document.get("observations")
+    if not isinstance(observations, list):
+        problems.append("telemetry 'observations' must be a list")
+        return tuple(problems)
+    for index, row in enumerate(observations):
+        if not isinstance(row, Mapping):
+            problems.append(f"observation {index} must be an object")
+            continue
+        if not isinstance(row.get("function"), str):
+            problems.append(f"observation {index}: 'function' must be a string")
+        if row.get("symbol") not in COST_SYMBOLS:
+            problems.append(
+                f"observation {index}: 'symbol' must be one of "
+                f"{', '.join(COST_SYMBOLS)}"
+            )
+        size = row.get("size")
+        if not isinstance(size, int) or isinstance(size, bool) or size <= 0:
+            problems.append(
+                f"observation {index}: 'size' must be a positive integer"
+            )
+        seconds = row.get("seconds")
+        if not isinstance(seconds, (int, float)) or isinstance(
+            seconds, bool
+        ) or seconds <= 0:
+            problems.append(
+                f"observation {index}: 'seconds' must be a positive number"
+            )
+    return tuple(problems)
+
+
+def load_cost_telemetry(path: Path | str) -> tuple[CostObservation, ...]:
+    """Read and validate an R504 telemetry file."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read telemetry {str(path)!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(
+            f"telemetry {str(path)!r} is not valid JSON: {exc}"
+        ) from exc
+    problems = validate_cost_telemetry(document)
+    if problems:
+        raise LintError(
+            f"telemetry {str(path)!r} is malformed: " + "; ".join(problems)
+        )
+    assert isinstance(document, Mapping)
+    observations = document["observations"]
+    assert isinstance(observations, list)
+    return tuple(
+        CostObservation(
+            function=row["function"],
+            symbol=row["symbol"],
+            size=int(row["size"]),
+            seconds=float(row["seconds"]),
+        )
+        for row in observations
+    )
+
+
+@dataclass(frozen=True)
+class StaleDeclaration:
+    """One declaration the measurements contradict (R504 witness)."""
+
+    qualified: str
+    symbol: str
+    declared_degree: float
+    fitted_exponent: float
+    sizes: tuple[int, ...]
+
+
+def stale_declarations(
+    costs: Mapping[str, FunctionCost],
+    observations: Sequence[CostObservation],
+    *,
+    tolerance: float = R504_TOLERANCE,
+) -> tuple[StaleDeclaration, ...]:
+    """Declarations whose measured scaling exceeds the declared degree.
+
+    Observations are grouped by ``(function, symbol)``; groups with
+    fewer than two distinct sizes are skipped (no slope to fit), as are
+    functions without a well-formed declaration.  The comparison is
+    one-sided: measuring *better* than declared is never a finding —
+    declarations are upper bounds.
+    """
+    # Lazy import keeps deps-only code paths free of the obs substrate.
+    from ..obs.report import fit_scaling_exponent
+
+    grouped: dict[tuple[str, str], list[CostObservation]] = {}
+    for observation in observations:
+        grouped.setdefault(
+            (observation.function, observation.symbol), []
+        ).append(observation)
+
+    stale: list[StaleDeclaration] = []
+    for (qualified, symbol), group in sorted(grouped.items()):
+        record = costs.get(qualified)
+        if record is None or record.declared is None:
+            continue
+        if record.declared.bound is None:
+            continue
+        sizes = [observation.size for observation in group]
+        if len(set(sizes)) < 2:
+            continue
+        fitted = fit_scaling_exponent(
+            [float(size) for size in sizes],
+            [observation.seconds for observation in group],
+        )
+        declared_degree = record.declared.bound.degree(symbol)
+        if fitted > declared_degree + tolerance:
+            stale.append(
+                StaleDeclaration(
+                    qualified=qualified,
+                    symbol=symbol,
+                    declared_degree=declared_degree,
+                    fitted_exponent=fitted,
+                    sizes=tuple(sorted(set(sizes))),
+                )
+            )
+    return tuple(stale)

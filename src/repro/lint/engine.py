@@ -32,11 +32,14 @@ from .findings import Finding, sort_findings
 from .suppressions import ALL_RULES, SuppressionTable, collect_suppressions
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .cost_rules import CostContext
+    from .costmodel import CostObservation
     from .dataflow_rules import DataflowContext
     from .effect_rules import EffectContext
     from .interproc import ProgramContext
 
 __all__ = [
+    "CostRule",
     "DataflowRule",
     "EffectRule",
     "ModuleContext",
@@ -287,7 +290,25 @@ class EffectRule(ABC):
         """Yield findings for the analyzed program; must not mutate it."""
 
 
-AnyRule = Rule | ProgramRule | DataflowRule | EffectRule
+class CostRule(ABC):
+    """One asymptotic-cost invariant (the R500 series).
+
+    Like :class:`DataflowRule`, deliberately not a :class:`ProgramRule`
+    subclass: these rules additionally need the symbolic cost fixpoint
+    and the solver-reachability set, which only ``lint --cost`` builds
+    (on top of the same :class:`~repro.lint.interproc.ProgramContext`).
+    """
+
+    id: str
+    name: str
+    summary: str
+
+    @abstractmethod
+    def check_cost(self, context: "CostContext") -> Iterable[Finding]:
+        """Yield findings for the analyzed program; must not mutate it."""
+
+
+AnyRule = Rule | ProgramRule | DataflowRule | EffectRule | CostRule
 
 _REGISTRY: dict[str, AnyRule] = {}
 
@@ -450,6 +471,8 @@ def lint_paths(
     whole_program: bool = False,
     dataflow: bool = False,
     effects: bool = False,
+    cost: bool = False,
+    cost_telemetry: "Sequence[CostObservation]" = (),
     cache: ParseCache | None = None,
 ) -> list[Finding]:
     """Lint files and directories (recursively); the main library entry.
@@ -461,9 +484,13 @@ def lint_paths(
     abstract-interpretation substrate and runs the R200-series contract
     rules (see :mod:`repro.lint.dataflow_rules`); ``effects=True`` the
     globals census plus effect fixpoint and the R400-series rules (see
-    :mod:`repro.lint.effect_rules`).  Each implies the program context,
-    but not the R100 rules themselves.  Pass a long-lived *cache* to
-    reuse parses across runs; entries invalidate when a file's mtime
+    :mod:`repro.lint.effect_rules`); ``cost=True`` the symbolic cost
+    fixpoint and the R500-series rules (see
+    :mod:`repro.lint.cost_rules`), with *cost_telemetry* feeding R504's
+    measured-scaling check.  Each implies the program context, but not
+    the R100 rules themselves; any combination of tier flags shares the
+    single program context and parse pass.  Pass a long-lived *cache*
+    to reuse parses across runs; entries invalidate when a file's mtime
     changes.
     """
     active_config = config if config is not None else LintConfig()
@@ -480,7 +507,7 @@ def lint_paths(
         findings.extend(
             _suppression_findings(parsed.path, parsed.suppressions)
         )
-    if whole_program or dataflow or effects:
+    if whole_program or dataflow or effects or cost:
         # Runtime import breaks the engine <-> interproc module cycle;
         # both live in the same layer so R100 stays satisfied.
         from .interproc import build_program_context
@@ -524,6 +551,21 @@ def lint_paths(
                 ):
                     continue
                 for finding in rule.check_effects(effect_context):
+                    if not program.is_suppressed(finding):
+                        findings.append(finding)
+        if cost:
+            from .cost_rules import build_cost_context
+
+            cost_context = build_cost_context(
+                program, telemetry=cost_telemetry
+            )
+            for rule_id in sorted(_REGISTRY):
+                rule = _REGISTRY[rule_id]
+                if not isinstance(rule, CostRule) or not active_config.wants(
+                    rule_id
+                ):
+                    continue
+                for finding in rule.check_cost(cost_context):
                     if not program.is_suppressed(finding):
                         findings.append(finding)
     return sort_findings(findings)

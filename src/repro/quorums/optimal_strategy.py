@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .._validation import cost
 from ..lp import Model
 from .base import QuorumSystem
 from .strategy import AccessStrategy
@@ -45,6 +46,7 @@ class OptimalStrategyResult:
     load: float
 
 
+@cost("n * q**2")
 def optimal_strategy(  # repro-lint: disable=R001 (input pre-validated by type)
     system: QuorumSystem,
 ) -> OptimalStrategyResult:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .._validation import require
+from .._validation import cost, require
 from ..exceptions import ValidationError
 from .precedence import Job, SchedulingInstance
 
@@ -28,6 +28,7 @@ class ExactSchedule:
     cost: float
 
 
+@cost("exp(q)")
 def solve_scheduling_exact(instance: SchedulingInstance) -> ExactSchedule:
     """Find an optimal linear extension by branch-and-bound.
 

@@ -5,6 +5,7 @@ seed, same values and checksums), and presence — but never assertion —
 of the timing fields, which vary with machine load by nature.
 """
 
+import copy
 import json
 
 import pytest
@@ -16,7 +17,16 @@ from repro.experiments import (
     run_bench,
     validate_bench_report,
 )
-from repro.experiments.bench import _CASE_TIMING_KEYS, _CASE_VALUE_KEYS
+from repro.experiments.bench import (
+    _CASE_TIMING_KEYS,
+    _CASE_VALUE_KEYS,
+    DEFAULT_NOISE_BAND,
+    BenchComparison,
+    BenchDelta,
+    compare_bench_reports,
+    render_bench_comparison_markdown,
+    render_bench_comparison_text,
+)
 
 
 def _strip_timings(report: dict) -> dict:
@@ -130,3 +140,212 @@ class TestCLI:
         assert roots and roots[0].name == "bench.run"
         # The wrapped QPP sweep gives the tree real depth.
         assert max(root.max_depth for root in roots) >= 3
+
+
+@pytest.fixture(scope="module")
+def baseline_report() -> dict:
+    return run_bench(quick=True, seed=0)
+
+
+def _delta(comparison: BenchComparison, case: str, metric: str) -> BenchDelta:
+    matches = [
+        d for d in comparison.deltas if d.case == case and d.metric == metric
+    ]
+    assert len(matches) == 1, f"expected one delta for {case}.{metric}"
+    return matches[0]
+
+
+class TestCompareBenchReports:
+    def test_identical_reports_have_no_regressions(self, baseline_report):
+        comparison = compare_bench_reports(baseline_report, baseline_report)
+        assert comparison.noise_band == DEFAULT_NOISE_BAND
+        assert not comparison.regressions
+        assert not comparison.notes
+        assert all(d.verdict == "ok" for d in comparison.deltas)
+        # Every timing metric of every case is covered.
+        covered = {(d.case, d.metric) for d in comparison.deltas}
+        expected = {
+            (case, metric)
+            for case, metrics in _CASE_TIMING_KEYS.items()
+            for metric in metrics
+        }
+        assert covered == expected
+
+    def test_slower_seconds_is_a_regression(self, baseline_report):
+        new = copy.deepcopy(baseline_report)
+        new["cases"]["ssqpp_solve"]["solve_seconds"] *= 3.0
+        comparison = compare_bench_reports(baseline_report, new)
+        delta = _delta(comparison, "ssqpp_solve", "solve_seconds")
+        assert delta.verdict == "regression"
+        assert delta.ratio == pytest.approx(3.0)
+        assert comparison.regressions == (delta,)
+
+    def test_faster_seconds_is_an_improvement(self, baseline_report):
+        new = copy.deepcopy(baseline_report)
+        new["cases"]["qpp_sweep"]["sweep_seconds"] /= 4.0
+        comparison = compare_bench_reports(baseline_report, new)
+        delta = _delta(comparison, "qpp_sweep", "sweep_seconds")
+        assert delta.verdict == "improved"
+        assert not comparison.regressions
+        assert comparison.improvements == (delta,)
+
+    def test_lower_speedup_is_a_regression(self, baseline_report):
+        # speedup is higher-is-better: the band mirrors for it.
+        new = copy.deepcopy(baseline_report)
+        new["cases"]["average_max_delay"]["speedup"] /= 3.0
+        comparison = compare_bench_reports(baseline_report, new)
+        delta = _delta(comparison, "average_max_delay", "speedup")
+        assert delta.verdict == "regression"
+
+    def test_higher_speedup_is_an_improvement(self, baseline_report):
+        new = copy.deepcopy(baseline_report)
+        new["cases"]["average_max_delay"]["speedup"] *= 3.0
+        comparison = compare_bench_reports(baseline_report, new)
+        delta = _delta(comparison, "average_max_delay", "speedup")
+        assert delta.verdict == "improved"
+
+    def test_moves_inside_the_noise_band_are_ok(self, baseline_report):
+        new = copy.deepcopy(baseline_report)
+        new["cases"]["ssqpp_solve"]["solve_seconds"] *= 1.10
+        comparison = compare_bench_reports(baseline_report, new)
+        assert _delta(comparison, "ssqpp_solve", "solve_seconds").verdict == "ok"
+
+    def test_noise_band_is_configurable(self, baseline_report):
+        new = copy.deepcopy(baseline_report)
+        new["cases"]["ssqpp_solve"]["solve_seconds"] *= 3.0
+        generous = compare_bench_reports(baseline_report, new, noise_band=5.0)
+        assert not generous.regressions
+        strict = compare_bench_reports(baseline_report, new, noise_band=0.05)
+        assert strict.regressions
+
+    def test_checksum_drift_is_a_note_not_a_regression(self, baseline_report):
+        new = copy.deepcopy(baseline_report)
+        new["cases"]["qpp_sweep"]["checksum"] = "0" * 64
+        comparison = compare_bench_reports(baseline_report, new)
+        assert not comparison.regressions
+        assert any("checksum drift" in note for note in comparison.notes)
+
+    def test_quick_and_seed_mismatches_become_notes(self, baseline_report):
+        new = copy.deepcopy(baseline_report)
+        new["quick"] = not new["quick"]
+        new["seed"] = new["seed"] + 1
+        comparison = compare_bench_reports(baseline_report, new)
+        assert any("quick-mode mismatch" in note for note in comparison.notes)
+        assert any("seed mismatch" in note for note in comparison.notes)
+
+    def test_non_positive_old_timing_is_skipped_with_a_note(self, baseline_report):
+        old = copy.deepcopy(baseline_report)
+        old["cases"]["ssqpp_solve"]["solve_seconds"] = 0.0
+        comparison = compare_bench_reports(old, baseline_report)
+        assert not [
+            d for d in comparison.deltas
+            if d.case == "ssqpp_solve" and d.metric == "solve_seconds"
+        ]
+        assert any("non-positive" in note for note in comparison.notes)
+
+    def test_invalid_reports_are_rejected(self, baseline_report):
+        broken = copy.deepcopy(baseline_report)
+        del broken["cases"]["qpp_sweep"]
+        with pytest.raises(ValidationError, match="missing case"):
+            compare_bench_reports(broken, baseline_report)
+        with pytest.raises(ValidationError, match="missing case"):
+            compare_bench_reports(baseline_report, broken)
+
+    def test_negative_noise_band_is_rejected(self, baseline_report):
+        with pytest.raises(ValidationError, match="noise_band"):
+            compare_bench_reports(
+                baseline_report, baseline_report, noise_band=-0.1
+            )
+
+
+class TestComparisonRenderers:
+    def test_text_render_flags_the_regression(self, baseline_report):
+        new = copy.deepcopy(baseline_report)
+        new["cases"]["ssqpp_solve"]["solve_seconds"] *= 3.0
+        text = render_bench_comparison_text(
+            compare_bench_reports(baseline_report, new)
+        )
+        assert "!! ssqpp_solve.solve_seconds" in text
+        assert "1 regression(s) beyond the noise band" in text
+
+    def test_text_render_reports_a_clean_pass(self, baseline_report):
+        text = render_bench_comparison_text(
+            compare_bench_reports(baseline_report, baseline_report)
+        )
+        assert "no regressions beyond the noise band" in text
+
+    def test_markdown_render_is_a_speedup_history_table(self, baseline_report):
+        markdown = render_bench_comparison_markdown(
+            compare_bench_reports(baseline_report, baseline_report)
+        )
+        lines = markdown.splitlines()
+        assert "| case | metric | old | new | ratio | verdict |" in lines
+        rows = [line for line in lines if line.startswith("| ") and " ok |" in line]
+        total_metrics = sum(len(m) for m in _CASE_TIMING_KEYS.values())
+        assert len(rows) == total_metrics
+
+
+class TestCompareCLI:
+    def test_two_path_compare_exits_one_on_regression(
+        self, baseline_report, tmp_path, capsys
+    ):
+        new = copy.deepcopy(baseline_report)
+        new["cases"]["ssqpp_solve"]["solve_seconds"] *= 3.0
+        old_path = tmp_path / "old.json"
+        new_path = tmp_path / "new.json"
+        old_path.write_text(json.dumps(baseline_report))
+        new_path.write_text(json.dumps(new))
+        code = main(
+            ["bench", "--compare", str(old_path), str(new_path)]
+        )
+        assert code == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_two_path_compare_exits_zero_when_clean(
+        self, baseline_report, tmp_path, capsys
+    ):
+        old_path = tmp_path / "old.json"
+        old_path.write_text(json.dumps(baseline_report))
+        code = main(["bench", "--compare", str(old_path), str(old_path)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_markdown_flag_renders_the_table(self, baseline_report, tmp_path, capsys):
+        old_path = tmp_path / "old.json"
+        old_path.write_text(json.dumps(baseline_report))
+        main(
+            ["bench", "--compare", str(old_path), str(old_path), "--markdown"]
+        )
+        assert "| case | metric | old | new | ratio | verdict |" in (
+            capsys.readouterr().out
+        )
+
+    def test_more_than_two_paths_is_rejected(
+        self, baseline_report, tmp_path, capsys
+    ):
+        old_path = tmp_path / "old.json"
+        old_path.write_text(json.dumps(baseline_report))
+        code = main(
+            ["bench", "--compare", str(old_path), str(old_path), str(old_path)]
+        )
+        assert code == 2
+        assert "--compare takes" in capsys.readouterr().err
+
+    def test_one_path_runs_fresh_and_compares(
+        self, baseline_report, tmp_path, capsys
+    ):
+        old_path = tmp_path / "old.json"
+        out_path = tmp_path / "fresh.json"
+        old_path.write_text(json.dumps(baseline_report))
+        # A huge band keeps host-speed noise from failing the test;
+        # the exit code and the rendered table are what we assert.
+        code = main(
+            [
+                "bench", "--quick", "--out", str(out_path),
+                "--compare", str(old_path), "--noise-band", "1000",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "bench comparison" in captured
+        validate_bench_report(json.loads(out_path.read_text()))

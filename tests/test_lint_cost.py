@@ -1,0 +1,1156 @@
+"""The cost tier: symbolic bounds, rules R500-R504, and ``repro cost``.
+
+Each rule is exercised positively (it fires on a synthetic violating
+package) and negatively (the corrected twin stays silent), plus unit
+coverage for the ``@cost`` declaration grammar, the monomial/bound
+algebra, the loop-structure inference (including the CFG corner cases:
+``while``/``else``, ``enumerate``/``zip``, multi-generator
+comprehensions, ``try``/``finally``), the interprocedural fixpoint with
+widening, the R504 telemetry schema and log-log fit, the cost-table
+document and its renderers, and the rule-selection prefixes that let
+``--select``/``--ignore`` address a whole tier.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro._validation import (
+    COST_SCALES,
+    COST_SYMBOLS,
+    cost,
+    cost_expression_problems,
+)
+from repro.exceptions import LintError, ValidationError
+from repro.lint import (
+    CostBound,
+    CostContext,
+    CostRule,
+    Finding,
+    FunctionCost,
+    LintConfig,
+    Monomial,
+    ParseCache,
+    analyze_costs,
+    build_cost_context,
+    build_cost_table,
+    lint_paths,
+    load_cost_telemetry,
+    parse_cost_expression,
+    registered_rules,
+    render_cost_table_json,
+    render_cost_table_markdown,
+    render_cost_table_text,
+    validate_cost_telemetry,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.config import _rule_matches
+from repro.lint.cost_rules import (
+    CostDeclarationRule,
+    DenseMetricScaleRule,
+    HotLoopAllocationRule,
+    ReferenceOnHotPathRule,
+    StaleCostDeclarationRule,
+)
+from repro.lint.costmodel import (
+    COST_TABLE_KIND,
+    COST_TABLE_VERSION,
+    R504_TOLERANCE,
+    TELEMETRY_KIND,
+    TELEMETRY_VERSION,
+    WIDENING_CAP,
+    AllocationSite,
+    CostDeclaration,
+    CostObservation,
+    DenseBuildSite,
+    LocalCost,
+    ReferenceCallSite,
+    declared_cost,
+    reachable_from,
+    solver_reachable,
+    stale_declarations,
+)
+from repro.lint.engine import iter_python_files
+from repro.lint.interproc import build_program_context
+from repro.obs.report import fit_scaling_exponent
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def write_package(root: Path, name: str, modules: dict[str, str]) -> Path:
+    """Materialize a synthetic package under *root*."""
+    package = root / name
+    package.mkdir(parents=True, exist_ok=True)
+    if "__init__" not in modules:
+        (package / "__init__.py").write_text("", encoding="utf-8")
+    for module, source in modules.items():
+        (package / f"{module}.py").write_text(
+            textwrap.dedent(source), encoding="utf-8"
+        )
+    return package
+
+
+def build_context(package: Path, **overrides: object):
+    """Program context over one synthetic package."""
+    overrides.setdefault("library_packages", (package.name,))
+    config = replace(LintConfig(), validated_packages=(), **overrides)
+    cache = ParseCache()
+    parsed = [cache.parsed(p) for p in iter_python_files([package], config)]
+    return build_program_context(parsed, config, cache=cache)
+
+
+def costs_of(package: Path, **overrides: object) -> dict[str, FunctionCost]:
+    return analyze_costs(build_context(package, **overrides))
+
+
+def cost_by_name(costs: dict[str, FunctionCost], name: str) -> FunctionCost:
+    return next(c for q, c in costs.items() if q.endswith(f".{name}"))
+
+
+def run_cost_rules(
+    package: Path, rule_id: str, **overrides: object
+) -> list[Finding]:
+    overrides.setdefault("validated_packages", ())
+    overrides.setdefault("library_packages", (package.name,))
+    config = replace(LintConfig(), select=frozenset({rule_id}), **overrides)
+    return lint_paths([package], config, cost=True)
+
+
+def telemetry_file(tmp_path: Path, observations: list[dict]) -> Path:
+    path = tmp_path / "telemetry.json"
+    path.write_text(
+        json.dumps(
+            {
+                "kind": TELEMETRY_KIND,
+                "version": TELEMETRY_VERSION,
+                "observations": observations,
+            }
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+# -- the @cost decorator (runtime side) ---------------------------------------------
+
+
+def test_cost_decorator_attaches_expression_without_wrapping():
+    @cost("n**2 * q", scale="large")
+    def fn():
+        return 7
+
+    assert fn() == 7  # no wrapper: the function object is returned as-is
+    assert fn.__cost__ == "n**2 * q"
+    assert fn.__cost_scale__ == "large"
+
+
+def test_cost_decorator_default_scale_is_none():
+    @cost("n + q * log(q)")
+    def fn():
+        return 1
+
+    assert fn.__cost_scale__ is None
+
+
+def test_cost_decorator_rejects_bad_grammar_and_scale():
+    with pytest.raises(ValidationError):
+        cost("n - 1")
+    with pytest.raises(ValidationError):
+        cost("n ** k")
+    with pytest.raises(ValidationError):
+        cost("n", scale="galactic")
+    assert "large" in COST_SCALES
+
+
+@pytest.mark.parametrize(
+    "expression",
+    ["n", "1", "n**2 * c + q * log(n)", "exp(n) * q", "2**n", "n * m + 5"],
+)
+def test_grammar_accepts_documented_forms(expression):
+    assert cost_expression_problems(expression) == ()
+
+
+@pytest.mark.parametrize(
+    "expression",
+    ["n - 1", "n / q", "x", "n ** k", "log(2)", "n**-1", "3**n", "q()"],
+)
+def test_grammar_rejects_everything_else(expression):
+    assert cost_expression_problems(expression)
+
+
+# -- the monomial / bound algebra ---------------------------------------------------
+
+
+class TestCostAlgebra:
+    def test_parse_renders_canonically(self):
+        bound, problems = parse_cost_expression("q * log(n) + n**2 * c")
+        assert problems == ()
+        assert bound is not None
+        assert bound.render() == "n**2 * c + q * log(n)"
+
+    def test_sum_normalization_drops_dominated_terms(self):
+        bound, _ = parse_cost_expression("n * q + n + q + 1")
+        assert bound is not None
+        assert bound.render() == "n * q"
+
+    def test_exponential_absorbs_any_polynomial_degree(self):
+        declared, _ = parse_cost_expression("exp(n)")
+        inferred, _ = parse_cost_expression("n**5")
+        assert inferred is not None and declared is not None
+        assert inferred.covered_by(declared)
+        assert not declared.covered_by(inferred)
+
+    def test_two_to_the_n_is_the_same_exponential(self):
+        spelled, _ = parse_cost_expression("2**n")
+        named, _ = parse_cost_expression("exp(n)")
+        assert spelled == named
+
+    def test_log_factors_never_decide_coverage(self):
+        declared, _ = parse_cost_expression("n")
+        inferred, _ = parse_cost_expression("n * log(n)")
+        assert inferred is not None and declared is not None
+        assert inferred.covered_by(declared)
+        assert declared.covered_by(inferred)
+
+    def test_coverage_is_per_symbol_pointwise(self):
+        declared, _ = parse_cost_expression("n**2 * q")
+        too_wide, _ = parse_cost_expression("n * q**2")
+        assert too_wide is not None and declared is not None
+        assert not too_wide.covered_by(declared)
+
+    def test_monomial_product_adds_exponents(self):
+        n = Monomial.symbol("n")
+        assert n.times(n).degree("n") == 2.0
+        assert n.times(Monomial.unit()) == n
+
+    def test_top_element_is_covered_only_by_top(self):
+        top = CostBound.top("widened in a test")
+        poly, _ = parse_cost_expression("n**4")
+        assert poly is not None
+        assert not top.covered_by(poly)
+        assert poly.covered_by(top)
+        assert top.render() == "unbounded"
+        assert "widened" in top.reason
+
+    def test_degree_reads_inf_for_exponentials(self):
+        bound, _ = parse_cost_expression("exp(q) * n")
+        assert bound is not None
+        assert bound.degree("q") == float("inf")
+        assert bound.degree("n") == 1.0
+        assert bound.degree("m") == 0.0
+
+    def test_symbols_vocabulary_is_the_papers(self):
+        assert COST_SYMBOLS == ("n", "m", "q", "c")
+
+
+# -- loop-structure inference (the CFG corner cases as cost cases) ------------------
+
+
+class TestInference:
+    def _infer(self, tmp_path: Path, body: str) -> str:
+        package = write_package(
+            tmp_path, "infpkg", {"mod": '"""m."""\n\n__all__ = []\n\n' + body}
+        )
+        costs = costs_of(package)
+        return cost_by_name(costs, "target").inferred.render()
+
+    def test_nested_loops_multiply(self, tmp_path):
+        body = """
+        def target(nodes, quorums):
+            total = 0.0
+            for node in nodes:
+                for quorum in quorums:
+                    total += 1.0
+            return total
+        """
+        assert self._infer(tmp_path, textwrap.dedent(body)) == "n * q"
+
+    def test_range_len_chain_is_unwrapped(self, tmp_path):
+        body = """
+        def target(nodes):
+            out = []
+            for index in range(len(nodes)):
+                out.append(index)
+            return out
+        """
+        assert self._infer(tmp_path, textwrap.dedent(body)) == "n"
+
+    def test_range_stop_argument_governs_the_trip_count(self, tmp_path):
+        body = """
+        def target(quorums):
+            total = 0
+            for index in range(2, len(quorums)):
+                total += index
+            return total
+        """
+        assert self._infer(tmp_path, textwrap.dedent(body)) == "q"
+
+    def test_enumerate_and_zip_are_transparent(self, tmp_path):
+        body = """
+        def target(nodes, quorums):
+            for index, node in enumerate(nodes):
+                pass
+            for node, quorum in zip(nodes, quorums):
+                pass
+            return 0
+        """
+        assert self._infer(tmp_path, textwrap.dedent(body)) == "n"
+
+    def test_multi_generator_comprehension_multiplies(self, tmp_path):
+        body = """
+        def target(nodes, quorums):
+            return [
+                (node, quorum) for node in nodes for quorum in quorums
+            ]
+        """
+        assert self._infer(tmp_path, textwrap.dedent(body)) == "n * q"
+
+    def test_while_loop_is_optimistically_constant(self, tmp_path):
+        body = """
+        def target(nodes):
+            count = 0
+            while count < 10:
+                count += 1
+            else:
+                count = -1
+            return count
+        """
+        assert self._infer(tmp_path, textwrap.dedent(body)) == "1"
+
+    def test_for_else_branch_runs_outside_the_loop(self, tmp_path):
+        body = """
+        def target(nodes, quorums):
+            for node in nodes:
+                pass
+            else:
+                for quorum in quorums:
+                    pass
+            return 0
+        """
+        assert self._infer(tmp_path, textwrap.dedent(body)) == "n + q"
+
+    def test_try_finally_bodies_are_scanned(self, tmp_path):
+        body = """
+        def target(nodes, quorums):
+            try:
+                for node in nodes:
+                    pass
+            finally:
+                for quorum in quorums:
+                    pass
+            return 0
+        """
+        assert self._infer(tmp_path, textwrap.dedent(body)) == "n + q"
+
+    def test_unrecognized_iterables_stay_constant(self, tmp_path):
+        body = """
+        def target(stuff):
+            for item in stuff:
+                pass
+            return 0
+        """
+        assert self._infer(tmp_path, textwrap.dedent(body)) == "1"
+
+    def test_nested_function_bodies_are_not_charged(self, tmp_path):
+        body = """
+        def target(nodes):
+            def helper():
+                for node in nodes:
+                    for other in nodes:
+                        pass
+            return helper
+        """
+        assert self._infer(tmp_path, textwrap.dedent(body)) == "1"
+
+
+class TestInterproceduralComposition:
+    def test_callee_cost_multiplies_by_loop_context(self, tmp_path):
+        package = write_package(
+            tmp_path,
+            "comppkg",
+            {
+                "mod": '''
+                """m."""
+
+                __all__ = []
+
+                def inner(quorums):
+                    for quorum in quorums:
+                        pass
+
+                def target(nodes, quorums):
+                    for node in nodes:
+                        inner(quorums)
+                '''
+            },
+        )
+        costs = costs_of(package)
+        assert cost_by_name(costs, "target").inferred.render() == "n * q"
+
+    def test_declared_callees_are_trusted_summaries(self, tmp_path):
+        package = write_package(
+            tmp_path,
+            "trustpkg",
+            {
+                "mod": '''
+                """m."""
+
+                from repro._validation import cost
+
+                __all__ = []
+
+                @cost("n**3")
+                def heavy(nodes):
+                    return 0
+
+                def target(nodes):
+                    return heavy(nodes)
+                '''
+            },
+        )
+        costs = costs_of(package)
+        assert cost_by_name(costs, "target").inferred.render() == "n**3"
+
+    def test_inference_never_uses_a_functions_own_declaration(self, tmp_path):
+        package = write_package(
+            tmp_path,
+            "honestpkg",
+            {
+                "mod": '''
+                """m."""
+
+                from repro._validation import cost
+
+                __all__ = []
+
+                @cost("1")
+                def target(nodes, quorums):
+                    for node in nodes:
+                        for quorum in quorums:
+                            pass
+                '''
+            },
+        )
+        record = cost_by_name(costs_of(package), "target")
+        assert record.inferred.render() == "n * q"
+        assert record.declared is not None
+        assert record.declared.bound is not None
+        assert not record.inferred.covered_by(record.declared.bound)
+
+    def test_recursive_loop_cycles_widen_to_top(self, tmp_path):
+        package = write_package(
+            tmp_path,
+            "cyclepkg",
+            {
+                "mod": '''
+                """m."""
+
+                __all__ = []
+
+                def spin(nodes):
+                    for node in nodes:
+                        spin(nodes)
+
+                def target(nodes):
+                    return spin(nodes)
+                '''
+            },
+        )
+        record = cost_by_name(costs_of(package), "target")
+        assert record.inferred.unbounded
+        assert str(WIDENING_CAP) in record.inferred.reason or "widened" in (
+            record.inferred.reason
+        )
+
+    def test_plain_self_recursion_does_not_widen(self, tmp_path):
+        package = write_package(
+            tmp_path,
+            "recpkg",
+            {
+                "mod": '''
+                """m."""
+
+                __all__ = []
+
+                def target(nodes):
+                    if not nodes:
+                        return 0
+                    return target(nodes[1:])
+                '''
+            },
+        )
+        record = cost_by_name(costs_of(package), "target")
+        assert not record.inferred.unbounded
+
+
+# -- the @cost declaration parser (static side) -------------------------------------
+
+
+class TestDeclaredCost:
+    def _info(self, tmp_path: Path, source: str):
+        package = write_package(tmp_path, "declpkg", {"mod": source})
+        program = build_context(package)
+        return next(
+            info
+            for q, info in program.calls.functions.items()
+            if q.endswith(".target")
+        )
+
+    def test_well_formed_declaration_parses(self, tmp_path):
+        declaration = declared_cost(
+            self._info(
+                tmp_path,
+                '"""m."""\n\n__all__ = []\n\n'
+                'import repro\n\n'
+                '@repro._validation.cost("n * q", scale="medium")\n'
+                "def target():\n    return 0\n",
+            )
+        )
+        assert isinstance(declaration, CostDeclaration)
+        assert declaration.expression == "n * q"
+        assert declaration.scale == "medium"
+        assert declaration.problems == ()
+        assert declaration.bound is not None
+
+    def test_undeclared_function_returns_none(self, tmp_path):
+        info = self._info(
+            tmp_path, '"""m."""\n\n__all__ = []\n\ndef target():\n    return 0\n'
+        )
+        assert declared_cost(info) is None
+
+    def test_non_literal_expression_is_a_problem(self, tmp_path):
+        declaration = declared_cost(
+            self._info(
+                tmp_path,
+                '"""m."""\n\n__all__ = []\n\nEXPR = "n"\n\n'
+                "from repro._validation import cost\n\n"
+                "@cost(EXPR)\ndef target():\n    return 0\n",
+            )
+        )
+        assert declaration is not None
+        assert any("string literal" in p for p in declaration.problems)
+
+    def test_unknown_scale_and_keyword_are_problems(self, tmp_path):
+        declaration = declared_cost(
+            self._info(
+                tmp_path,
+                '"""m."""\n\n__all__ = []\n\n'
+                "from repro._validation import cost\n\n"
+                '@cost("n", scale="huge")\ndef target():\n    return 0\n',
+            )
+        )
+        assert declaration is not None
+        assert any("huge" in p for p in declaration.problems)
+
+
+# -- R500: declared vs inferred -----------------------------------------------------
+
+
+ENTRY_OK = '''
+"""m."""
+
+from repro._validation import cost
+
+__all__ = ["solve_thing"]
+
+@cost("n * q")
+def solve_thing(nodes, quorums):
+    for node in nodes:
+        for quorum in quorums:
+            pass
+    return 0
+'''
+
+ENTRY_UNDECLARED = '''
+"""m."""
+
+__all__ = ["solve_thing"]
+
+def solve_thing(nodes, quorums):
+    for node in nodes:
+        for quorum in quorums:
+            pass
+    return 0
+'''
+
+ENTRY_LYING = '''
+"""m."""
+
+from repro._validation import cost
+
+__all__ = ["solve_thing"]
+
+@cost("n")
+def solve_thing(nodes, quorums):
+    for node in nodes:
+        for quorum in quorums:
+            pass
+    return 0
+'''
+
+
+class TestCostDeclarationRule:
+    def test_missing_entry_point_declaration_fires(self, tmp_path):
+        package = write_package(tmp_path, "r500pkg", {"mod": ENTRY_UNDECLARED})
+        findings = run_cost_rules(package, "R500")
+        assert len(findings) == 1
+        assert "no @cost declaration" in findings[0].message
+        assert "O(n * q)" in findings[0].message
+
+    def test_covering_declaration_is_silent(self, tmp_path):
+        package = write_package(tmp_path, "r500ok", {"mod": ENTRY_OK})
+        assert run_cost_rules(package, "R500") == []
+
+    def test_too_tight_declaration_fires(self, tmp_path):
+        package = write_package(tmp_path, "r500bad", {"mod": ENTRY_LYING})
+        findings = run_cost_rules(package, "R500")
+        assert len(findings) == 1
+        assert "declared O(n)" in findings[0].message
+        assert "infers O(n * q)" in findings[0].message
+
+    def test_over_declaration_is_legal(self, tmp_path):
+        generous = ENTRY_OK.replace('@cost("n * q")', '@cost("exp(n) * q")')
+        package = write_package(tmp_path, "r500gen", {"mod": generous})
+        assert run_cost_rules(package, "R500") == []
+
+    def test_malformed_declaration_fires(self, tmp_path):
+        malformed = ENTRY_OK.replace('@cost("n * q")', '@cost("n - q")')
+        package = write_package(tmp_path, "r500mal", {"mod": malformed})
+        findings = run_cost_rules(package, "R500")
+        assert findings and "malformed @cost" in findings[0].message
+
+    def test_private_helpers_need_no_declaration(self, tmp_path):
+        package = write_package(
+            tmp_path,
+            "r500priv",
+            {
+                "mod": '"""m."""\n\n__all__ = []\n\n'
+                "def _helper(nodes):\n"
+                "    for node in nodes:\n        pass\n"
+            },
+        )
+        assert run_cost_rules(package, "R500") == []
+
+    def test_exemption_silences_the_entry_point(self, tmp_path):
+        package = write_package(tmp_path, "r500ex", {"mod": ENTRY_UNDECLARED})
+        findings = run_cost_rules(
+            package,
+            "R500",
+            exempt=frozenset({"R500:r500ex.mod.solve_thing"}),
+        )
+        assert findings == []
+
+    def test_rule_is_registered(self):
+        rule = registered_rules()["R500"]
+        assert isinstance(rule, CostDeclarationRule)
+        assert isinstance(rule, CostRule)
+
+
+# -- R501: allocations inside symbolic loops ----------------------------------------
+
+
+R501_BAD = '''
+"""m."""
+
+import numpy as np
+
+__all__ = ["solve_thing"]
+
+def _inner(nodes):
+    for node in nodes:
+        buffer = np.zeros(len(nodes))
+    return buffer
+
+def solve_thing(nodes):
+    return _inner(nodes)
+'''
+
+
+class TestHotLoopAllocationRule:
+    def test_undeclared_hot_path_allocation_fires(self, tmp_path):
+        package = write_package(tmp_path, "r501pkg", {"mod": R501_BAD})
+        findings = run_cost_rules(package, "R501")
+        assert len(findings) == 1
+        assert "allocates inside an O(n) loop" in findings[0].message
+
+    def test_declaring_the_bound_settles_it(self, tmp_path):
+        declared = R501_BAD.replace(
+            "def _inner(nodes):",
+            'from repro._validation import cost\n\n'
+            '@cost("n**2")\ndef _inner(nodes):',
+        )
+        package = write_package(tmp_path, "r501ok", {"mod": declared})
+        assert run_cost_rules(package, "R501") == []
+
+    def test_hoisted_allocation_is_silent(self, tmp_path):
+        hoisted = R501_BAD.replace(
+            "    for node in nodes:\n        buffer = np.zeros(len(nodes))",
+            "    buffer = np.zeros(len(nodes))\n    for node in nodes:\n        pass",
+        )
+        package = write_package(tmp_path, "r501h", {"mod": hoisted})
+        assert run_cost_rules(package, "R501") == []
+
+    def test_off_hot_path_allocation_is_silent(self, tmp_path):
+        cold = R501_BAD.replace(
+            '__all__ = ["solve_thing"]', "__all__ = []"
+        ).replace("def solve_thing", "def report_thing")
+        package = write_package(tmp_path, "r501cold", {"mod": cold})
+        assert run_cost_rules(package, "R501") == []
+
+    def test_rule_is_registered(self):
+        assert isinstance(registered_rules()["R501"], HotLoopAllocationRule)
+
+
+# -- R502: dense metric builds behind scale='large' ---------------------------------
+
+
+R502_BAD = '''
+"""m."""
+
+from repro._validation import cost
+from repro.network.metric import Metric
+
+__all__ = ["solve_thing"]
+
+def _build(network):
+    return Metric.from_network(network)
+
+@cost("n**2", scale="large")
+def solve_thing(network):
+    return _build(network)
+'''
+
+
+class TestDenseMetricScaleRule:
+    def test_scale_large_reaching_dense_build_fires(self, tmp_path):
+        package = write_package(tmp_path, "r502pkg", {"mod": R502_BAD})
+        findings = run_cost_rules(package, "R502")
+        assert len(findings) == 1
+        assert "scale='large'" in findings[0].message
+        assert "all-pairs" in findings[0].message
+
+    def test_untagged_function_may_build_dense(self, tmp_path):
+        untagged = R502_BAD.replace(
+            '@cost("n**2", scale="large")', '@cost("n**2")'
+        )
+        package = write_package(tmp_path, "r502ok", {"mod": untagged})
+        assert run_cost_rules(package, "R502") == []
+
+    def test_batched_with_explicit_sources_is_sparse(self, tmp_path):
+        sparse = R502_BAD.replace(
+            "from repro.network.metric import Metric",
+            "from repro.network.metric import dijkstra_batched",
+        ).replace(
+            "return Metric.from_network(network)",
+            "return dijkstra_batched(network, sources=[0])",
+        )
+        package = write_package(tmp_path, "r502sp", {"mod": sparse})
+        assert run_cost_rules(package, "R502") == []
+
+    def test_rule_is_registered(self):
+        assert isinstance(registered_rules()["R502"], DenseMetricScaleRule)
+
+
+# -- R503: reference oracles on hot paths -------------------------------------------
+
+
+R503_BAD = '''
+"""m."""
+
+__all__ = ["solve_thing"]
+
+def delay_reference(xs):
+    return sum(xs)
+
+def solve_thing(xs):
+    return delay_reference(xs)
+'''
+
+
+class TestReferenceOnHotPathRule:
+    def test_oracle_call_on_hot_path_fires(self, tmp_path):
+        package = write_package(tmp_path, "r503pkg", {"mod": R503_BAD})
+        findings = run_cost_rules(package, "R503")
+        assert len(findings) == 1
+        assert "delay_reference" in findings[0].message
+        assert "vectorized twin" in findings[0].message
+
+    def test_vectorized_twin_is_fine(self, tmp_path):
+        fixed = R503_BAD.replace(
+            "return delay_reference(xs)", "return delay(xs)"
+        ).replace("def delay_reference", "def delay")
+        package = write_package(tmp_path, "r503ok", {"mod": fixed})
+        assert run_cost_rules(package, "R503") == []
+
+    def test_oracles_outside_the_hot_set_are_fine(self, tmp_path):
+        cold = R503_BAD.replace(
+            '__all__ = ["solve_thing"]', "__all__ = []"
+        ).replace("def solve_thing", "def check_thing")
+        package = write_package(tmp_path, "r503cold", {"mod": cold})
+        assert run_cost_rules(package, "R503") == []
+
+    def test_rule_is_registered(self):
+        assert isinstance(registered_rules()["R503"], ReferenceOnHotPathRule)
+
+
+# -- R504: profile-guided verification ----------------------------------------------
+
+
+R504_PACKAGE = '''
+"""m."""
+
+from repro._validation import cost
+
+__all__ = ["solve_thing"]
+
+@cost("n")
+def solve_thing(nodes):
+    for node in nodes:
+        pass
+    return 0
+'''
+
+
+class TestStaleCostDeclarationRule:
+    """R504 against *recorded fixture telemetry* — no live timing."""
+
+    def _context(self, tmp_path: Path, observations: list[CostObservation]):
+        package = write_package(tmp_path, "r504pkg", {"mod": R504_PACKAGE})
+        program = build_context(package)
+        return build_cost_context(program, telemetry=observations)
+
+    @staticmethod
+    def _observe(sizes_seconds: list[tuple[int, float]]):
+        return [
+            CostObservation(
+                function="r504pkg.mod.solve_thing",
+                symbol="n",
+                size=size,
+                seconds=seconds,
+            )
+            for size, seconds in sizes_seconds
+        ]
+
+    def test_falsified_declaration_is_flagged(self, tmp_path):
+        """The acceptance-criteria regression: declared O(n), measured n^2."""
+        context = self._context(
+            tmp_path, self._observe([(64, 0.10), (256, 1.60)])
+        )
+        stale = stale_declarations(context.costs, context.telemetry)
+        assert len(stale) == 1
+        assert stale[0].symbol == "n"
+        assert stale[0].declared_degree == 1.0
+        assert stale[0].fitted_exponent == pytest.approx(2.0)
+        findings = list(
+            StaleCostDeclarationRule().check_cost(context)
+        )
+        assert len(findings) == 1
+        assert "n^2.00" in findings[0].message
+        assert "update the declaration" in findings[0].message
+
+    def test_measuring_better_than_declared_is_never_a_finding(self, tmp_path):
+        context = self._context(
+            tmp_path, self._observe([(64, 0.10), (256, 0.40)])
+        )
+        assert stale_declarations(context.costs, context.telemetry) == ()
+
+    def test_tolerance_absorbs_log_factor_noise(self, tmp_path):
+        # n log n over a 4x range fits ~1.17 — within 1 + R504_TOLERANCE.
+        context = self._context(
+            tmp_path, self._observe([(64, 0.064), (256, 0.3413)])
+        )
+        assert R504_TOLERANCE == pytest.approx(0.35)
+        assert stale_declarations(context.costs, context.telemetry) == ()
+
+    def test_single_size_groups_are_skipped(self, tmp_path):
+        context = self._context(
+            tmp_path, self._observe([(64, 0.1), (64, 99.0)])
+        )
+        assert stale_declarations(context.costs, context.telemetry) == ()
+
+    def test_unknown_functions_are_skipped(self, tmp_path):
+        observations = [
+            CostObservation("r504pkg.mod.someone_else", "n", 64, 1.0),
+            CostObservation("r504pkg.mod.someone_else", "n", 256, 64.0),
+        ]
+        context = self._context(tmp_path, observations)
+        assert stale_declarations(context.costs, context.telemetry) == ()
+
+    def test_rule_is_silent_without_telemetry(self, tmp_path):
+        context = self._context(tmp_path, [])
+        assert list(StaleCostDeclarationRule().check_cost(context)) == []
+        assert isinstance(registered_rules()["R504"], StaleCostDeclarationRule)
+
+    def test_profile_check_cli_flags_the_lie(self, tmp_path, capsys):
+        """End-to-end: ``repro lint --profile-check`` exits 1 on a stale bound."""
+        package = write_package(tmp_path, "r504cli", {"mod": R504_PACKAGE})
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\nlibrary-packages = ["r504cli"]\n',
+            encoding="utf-8",
+        )
+        telemetry = telemetry_file(
+            tmp_path,
+            [
+                {
+                    "function": "r504cli.mod.solve_thing",
+                    "symbol": "n",
+                    "size": size,
+                    "seconds": seconds,
+                }
+                for size, seconds in [(64, 0.10), (256, 1.60)]
+            ],
+        )
+        code = lint_main(
+            [
+                str(package),
+                "--select",
+                "R504",
+                "--profile-check",
+                str(telemetry),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "R504" in out and "n^2.00" in out
+
+
+class TestTelemetrySchema:
+    def test_loader_round_trips_a_valid_file(self, tmp_path):
+        path = telemetry_file(
+            tmp_path,
+            [{"function": "a.b", "symbol": "q", "size": 10, "seconds": 0.5}],
+        )
+        observations = load_cost_telemetry(path)
+        assert observations == (
+            CostObservation(function="a.b", symbol="q", size=10, seconds=0.5),
+        )
+
+    def test_schema_rejects_bad_rows(self):
+        problems = validate_cost_telemetry(
+            {
+                "kind": TELEMETRY_KIND,
+                "version": TELEMETRY_VERSION,
+                "observations": [
+                    {"function": 3, "symbol": "z", "size": 0, "seconds": -1},
+                ],
+            }
+        )
+        assert len(problems) == 4
+
+    def test_schema_rejects_wrong_kind_and_shape(self):
+        assert validate_cost_telemetry([]) == (
+            "cost telemetry must be a JSON object",
+        )
+        problems = validate_cost_telemetry({"kind": "nope", "version": 99})
+        assert any(TELEMETRY_KIND in p for p in problems)
+
+    def test_loader_raises_lint_error_on_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(LintError):
+            load_cost_telemetry(path)
+        with pytest.raises(LintError):
+            load_cost_telemetry(tmp_path / "missing.json")
+
+
+def test_fit_scaling_exponent_recovers_known_slopes():
+    assert fit_scaling_exponent([100, 200, 400], [1.0, 4.0, 16.0]) == (
+        pytest.approx(2.0)
+    )
+    assert fit_scaling_exponent([10, 100], [3.0, 30.0]) == pytest.approx(1.0)
+
+
+def test_fit_scaling_exponent_validates_inputs():
+    with pytest.raises(ValidationError):
+        fit_scaling_exponent([10], [1.0])
+    with pytest.raises(ValidationError):
+        fit_scaling_exponent([10, 10], [1.0, 2.0])
+    with pytest.raises(ValidationError):
+        fit_scaling_exponent([10, 20], [0.0, 2.0])
+
+
+# -- the cost-table document and renderers ------------------------------------------
+
+
+class TestCostTable:
+    def _document(self, tmp_path: Path, source: str = ENTRY_OK):
+        package = write_package(tmp_path, "tblpkg", {"mod": source})
+        program = build_context(package)
+        return build_cost_table(program, analyze_costs(program))
+
+    def test_schema_and_coverage(self, tmp_path):
+        document = self._document(tmp_path)
+        assert document["kind"] == COST_TABLE_KIND
+        assert document["version"] == COST_TABLE_VERSION
+        assert document["symbols"] == list(COST_SYMBOLS)
+        functions = document["functions"]
+        assert list(functions) == ["tblpkg.mod.solve_thing"]
+        entry = functions["tblpkg.mod.solve_thing"]
+        assert entry["declared"] == "n * q"
+        assert entry["inferred"] == "n * q"
+        assert entry["covered"] is True
+        assert entry["entry_point"] is True
+
+    def test_undeclared_entry_point_shows_as_undeclared(self, tmp_path):
+        document = self._document(tmp_path, ENTRY_UNDECLARED)
+        text = render_cost_table_text(document)
+        assert "undeclared" in text
+
+    def test_text_renderer_headers_and_verdicts(self, tmp_path):
+        text = render_cost_table_text(self._document(tmp_path))
+        lines = text.splitlines()
+        assert lines[0].split() == [
+            "function", "declared", "inferred", "scale", "verdict",
+        ]
+        assert "ok" in lines[-1]
+
+    def test_markdown_renderer_is_a_table(self, tmp_path):
+        markdown = render_cost_table_markdown(self._document(tmp_path))
+        assert markdown.startswith("| function |")
+        assert "| `n * q` | `n * q` |" in markdown
+
+    def test_json_renderer_round_trips(self, tmp_path):
+        document = self._document(tmp_path)
+        assert json.loads(render_cost_table_json(document)) == document
+
+    def test_mismatch_renders_loudly(self, tmp_path):
+        text = render_cost_table_text(self._document(tmp_path, ENTRY_LYING))
+        assert "MISMATCH" in text
+
+
+def test_hot_path_is_seeded_from_entry_points_not_cli_roots(tmp_path):
+    package = write_package(
+        tmp_path,
+        "hotpkg",
+        {
+            "mod": '''
+            """m."""
+
+            __all__ = ["solve_thing"]
+
+            def _support(xs):
+                return list(xs)
+
+            def _bench_helper(xs):
+                return list(xs)
+
+            def solve_thing(xs):
+                return _support(xs)
+            '''
+        },
+    )
+    program = build_context(package)
+    hot = solver_reachable(program)
+    assert "hotpkg.mod.solve_thing" in hot
+    assert "hotpkg.mod._support" in hot
+    assert "hotpkg.mod._bench_helper" not in hot
+    assert reachable_from(program, []) == frozenset()
+
+
+def test_witness_types_capture_line_and_detail(tmp_path):
+    package = write_package(
+        tmp_path,
+        "witpkg",
+        {
+            "mod": '''
+            """m."""
+
+            import numpy as np
+            from repro.network.metric import Metric
+
+            __all__ = []
+
+            def worker(nodes, network):
+                for node in nodes:
+                    scratch = np.zeros(3)
+                metric = Metric.from_network(network)
+                check_reference(nodes)
+                return scratch, metric
+
+            def check_reference(nodes):
+                return len(nodes)
+            '''
+        },
+    )
+    record = cost_by_name(costs_of(package), "worker")
+    local = record.local
+    assert isinstance(local, LocalCost)
+    (allocation,) = local.allocations
+    assert isinstance(allocation, AllocationSite)
+    assert "O(n) loop" in allocation.detail
+    (dense,) = local.dense_builds
+    assert isinstance(dense, DenseBuildSite)
+    assert "all-pairs" in dense.detail
+    (oracle,) = local.reference_calls
+    assert isinstance(oracle, ReferenceCallSite)
+    assert oracle.text == "check_reference"
+
+
+# -- rule selection: tier prefixes, baselines, suppressions -------------------------
+
+
+class TestRuleSelection:
+    def test_prefix_matching_semantics(self):
+        assert _rule_matches("R500", ["R5"])
+        assert _rule_matches("R504", ["R50"])
+        assert _rule_matches("R500", ["R500"])
+        assert not _rule_matches("R400", ["R5"])
+        assert not _rule_matches("R500", ["R504"])
+        # A full-length id never acts as a prefix of a longer id.
+        assert not _rule_matches("R5000", ["R500"])
+
+    def test_config_wants_honors_prefixes(self):
+        config = replace(LintConfig(), select=frozenset({"R5"}))
+        assert config.wants("R503")
+        assert not config.wants("R203")
+        ignored = replace(LintConfig(), ignore=frozenset({"R5"}))
+        assert not ignored.wants("R500")
+        assert ignored.wants("R400")
+
+    def test_ignore_prefix_beats_explicit_select(self):
+        config = replace(
+            LintConfig(),
+            select=frozenset({"R500"}),
+            ignore=frozenset({"R5"}),
+        )
+        assert not config.wants("R500")
+
+    def test_tier_prefix_selects_the_whole_cost_tier(self, tmp_path):
+        package = write_package(tmp_path, "selpkg", {"mod": ENTRY_UNDECLARED})
+        config = replace(
+            LintConfig(),
+            select=frozenset({"R5"}),
+            validated_packages=(),
+            library_packages=("selpkg",),
+        )
+        findings = lint_paths([package], config, cost=True)
+        assert {f.rule_id for f in findings} == {"R500"}
+
+    def test_inline_suppression_silences_a_cost_finding(self, tmp_path):
+        suppressed = ENTRY_UNDECLARED.replace(
+            "def solve_thing(nodes, quorums):",
+            "def solve_thing(nodes, quorums):  # repro-lint: disable=R500",
+        )
+        package = write_package(tmp_path, "suppkg", {"mod": suppressed})
+        assert run_cost_rules(package, "R500") == []
+
+    def test_baseline_filters_known_findings(self, tmp_path, capsys):
+        package = write_package(tmp_path, "basepkg", {"mod": ENTRY_UNDECLARED})
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\nlibrary-packages = ["basepkg"]\n',
+            encoding="utf-8",
+        )
+        argv = [str(package), "--select", "R5", "--cost"]
+        assert lint_main([*argv, "--format", "json"]) == 1
+        report = capsys.readouterr().out
+        assert json.loads(report)["findings"]
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(report, encoding="utf-8")
+        assert lint_main([*argv, "--baseline", str(baseline)]) == 0
+        assert "clean" in capsys.readouterr().out

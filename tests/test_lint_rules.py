@@ -62,6 +62,11 @@ def test_all_rules_registered():
         "R402",
         "R403",
         "R404",
+        "R500",
+        "R501",
+        "R502",
+        "R503",
+        "R504",
     }
 
 

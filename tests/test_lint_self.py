@@ -19,10 +19,22 @@ SRC = REPO_ROOT / "src"
 
 
 def _run(
-    paths: list[Path], *, whole_program: bool = False, dataflow: bool = False
+    paths: list[Path],
+    *,
+    whole_program: bool = False,
+    dataflow: bool = False,
+    effects: bool = False,
+    cost: bool = False,
 ) -> list[Finding]:
     config = load_config(search_from=REPO_ROOT)
-    return lint_paths(paths, config, whole_program=whole_program, dataflow=dataflow)
+    return lint_paths(
+        paths,
+        config,
+        whole_program=whole_program,
+        dataflow=dataflow,
+        effects=effects,
+        cost=cost,
+    )
 
 
 def _report(findings: list[Finding]) -> str:
@@ -55,13 +67,41 @@ def test_src_is_dataflow_clean():
 
 
 @pytest.mark.skipif(not SRC.is_dir(), reason="source tree not present")
+def test_src_is_effects_and_cost_clean():
+    """The effect (R400s) and cost (R500s) tiers must also hold over src.
+
+    Every solver entry point carries a ``@cost`` declaration that covers
+    its inferred bound, no hot path allocates superlinearly without
+    declaring it, and no ``scale="large"`` function reaches a dense
+    all-pairs metric build.
+    """
+    findings = _run([SRC], effects=True, cost=True)
+    assert not findings, (
+        f"repro lint src --effects --cost must stay clean:\n{_report(findings)}"
+    )
+
+
+@pytest.mark.skipif(not SRC.is_dir(), reason="source tree not present")
 def test_whole_program_run_parses_each_file_exactly_once():
-    """One run = one parse per file, including the R104 usage-root scan."""
+    """One run = one parse per file, across all four tiers at once.
+
+    ``--whole-program --dataflow --effects --cost`` share one
+    ``ProgramContext``; adding a tier must never re-parse the tree
+    (including the R104 usage-root scan).
+    """
     from repro.lint import ParseCache
 
     cache = ParseCache()
     config = load_config(search_from=REPO_ROOT)
-    lint_paths([SRC], config, whole_program=True, dataflow=True, cache=cache)
+    lint_paths(
+        [SRC],
+        config,
+        whole_program=True,
+        dataflow=True,
+        effects=True,
+        cost=True,
+        cache=cache,
+    )
     assert cache.parse_counts, "expected the run to parse files"
     over_parsed = {
         str(path): count for path, count in cache.parse_counts.items() if count != 1
