@@ -4,10 +4,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline effects cost trace bench bench-compare profile
+.PHONY: test test-scale lint lint-baseline effects cost trace bench bench-compare bench-large profile
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The scale tier: tests marked @pytest.mark.scale (thousand-node lazy
+# metric solves, minutes not seconds). Excluded from the default run by
+# the addopts marker filter; CI runs this as a separate non-blocking job.
+test-scale:
+	$(PYTHON) -m pytest -q -m scale
 
 # The full static tier: per-file rules, whole-program R100-series, the
 # R200-series dataflow/contract rules, the R400-series
@@ -49,6 +55,13 @@ bench:
 # hot path) trip it.
 bench-compare:
 	$(PYTHON) -m repro bench --quick --out BENCH_COMPARE.json --compare BENCH_3.json --noise-band 4.0
+
+# The large-scale series: the full micro-suite plus the qpp_lazy_large
+# case (a 10k-node QPP solve through the lazy metric, asserting no dense
+# n x n build). Compared against the committed report the same way —
+# the extra case shows up as a "new series" note, never a regression.
+bench-large:
+	$(PYTHON) -m repro bench --quick --large --out BENCH_LARGE.json --compare BENCH_3.json --noise-band 4.0
 
 # Trace + metrics view of the bench micro-suite (docs/observability.md).
 # Wrap any other subcommand the same way: `python -m repro profile <cmd>`.

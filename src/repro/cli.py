@@ -351,9 +351,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from .obs.trace import JsonlSpanSink, collect
 
         with JsonlSpanSink(args.trace_out) as sink, collect(sink):
-            report = run_bench(quick=args.quick, seed=args.seed)
+            report = run_bench(
+                quick=args.quick, seed=args.seed,
+                large=args.large, large_nodes=args.large_nodes,
+            )
     else:
-        report = run_bench(quick=args.quick, seed=args.seed)
+        report = run_bench(
+            quick=args.quick, seed=args.seed,
+            large=args.large, large_nodes=args.large_nodes,
+        )
     validate_bench_report(report)
     io.save_json(report, args.out)
     table = ResultTable(
@@ -569,6 +575,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--markdown", action="store_true",
         help="render the --compare result as a markdown speedup table",
+    )
+    p_bench.add_argument(
+        "--large", action="store_true",
+        help="also run the qpp_lazy_large case: a full QPP solve on a "
+        "large geometric graph via the lazy-metric path, asserting that "
+        "no dense n x n matrix is ever built",
+    )
+    p_bench.add_argument(
+        "--large-nodes", type=int, default=10_000, dest="large_nodes",
+        help="node count for the --large case (default: 10000)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

@@ -22,6 +22,7 @@ the two paths agree to 1e-12.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -38,13 +39,24 @@ from ._kernels import (
     quorum_member_matrix,
 )
 
+if TYPE_CHECKING:
+    from ..network.lazymetric import LandmarkOracle, MetricView
+
+#: Rows per streamed kernel call when a placement is evaluated against a
+#: metric without a ``matrix`` attribute (e.g. ``LazyMetric``).  Chosen
+#: so a block of a 10^5-node metric stays around 400 MB of transient
+#: float64 — never the full ``n x n`` matrix.
+_EVAL_BLOCK_ROWS = 512
+
 __all__ = [
     "Placement",
     "max_delay",
     "expected_max_delay",
     "expected_max_delay_reference",
     "average_max_delay",
+    "average_max_delay_bounds",
     "average_max_delay_reference",
+    "average_max_delay_via_sources",
     "total_delay_cost",
     "expected_total_delay",
     "expected_total_delay_reference",
@@ -206,14 +218,25 @@ def max_delay(placement: Placement, client: Node, quorum_index: int) -> float:
 
 
 def expected_max_delay(
-    placement: Placement, strategy: AccessStrategy, client: Node
+    placement: Placement,
+    strategy: AccessStrategy,
+    client: Node,
+    *,
+    metric: "MetricView | None" = None,
 ) -> float:
     """``Delta_f(v)``: expected max-delay for *client* under *strategy*
     (equation (2)).  Dispatches to the array kernel on the client's
-    distance row."""
+    distance row.
+
+    Any :class:`~repro.network.lazymetric.MetricView` may be supplied as
+    *metric* (defaulting to the network's cached dense metric); a
+    :class:`~repro.network.lazymetric.LazyMetric` pulls exactly one
+    distance row instead of forcing the ``n x n`` build.
+    """
     _check_strategy(placement, strategy)
-    metric = placement.network.metric()
-    row = metric.matrix[metric.node_index(client)][np.newaxis, :]
+    if metric is None:
+        metric = placement.network.metric()
+    row = metric.distances_from(client)[np.newaxis, :]
     members, probabilities = _support_arrays(placement, strategy)
     return float(
         expected_max_delays(
@@ -223,32 +246,59 @@ def expected_max_delay(
 
 
 def expected_max_delay_reference(
-    placement: Placement, strategy: AccessStrategy, client: Node
+    placement: Placement,
+    strategy: AccessStrategy,
+    client: Node,
+    *,
+    metric: "MetricView | None" = None,
 ) -> float:
     """Scalar oracle for :func:`expected_max_delay`: the paper-literal
     loop over supported quorums and their members, one ``d(v, f(u))``
     lookup at a time.  Kept as the equivalence/bench baseline."""
     _check_strategy(placement, strategy)
-    network = placement.network
+    distance = (
+        placement.network.distance if metric is None else metric.distance
+    )
     total = 0.0
     for index in strategy.support():
         worst = 0.0
         for u in placement.system.quorums[index]:
-            worst = max(worst, network.distance(client, placement[u]))
+            worst = max(worst, distance(client, placement[u]))
         total += strategy.probability(index) * worst
     return total
 
 
 def _per_client_expected_max_delay(
-    placement: Placement, strategy: AccessStrategy
+    placement: Placement,
+    strategy: AccessStrategy,
+    *,
+    metric: "MetricView | None" = None,
 ) -> np.ndarray:
-    """``Delta_f(v)`` for every client ``v`` in one kernel call."""
+    """``Delta_f(v)`` for every client ``v``.
+
+    A metric exposing ``matrix`` (the dense :class:`Metric`) is handed
+    to the kernel whole, exactly as before.  Any other
+    :class:`~repro.network.lazymetric.MetricView` is streamed through
+    the kernel in row blocks of ``_EVAL_BLOCK_ROWS`` clients, so peak
+    memory stays proportional to the block — the per-client values are
+    identical because the kernel treats clients independently.
+    """
     _check_strategy(placement, strategy)
-    metric = placement.network.metric()
+    if metric is None:
+        metric = placement.network.metric()
     members, probabilities = _support_arrays(placement, strategy)
-    return expected_max_delays(
-        metric.matrix, placement.image_node_indices(), members, probabilities
-    )
+    image = placement.image_node_indices()
+    matrix = getattr(metric, "matrix", None)
+    if matrix is not None:
+        return expected_max_delays(matrix, image, members, probabilities)
+    n = metric.size
+    per_client = np.empty(n, dtype=float)
+    for start in range(0, n, _EVAL_BLOCK_ROWS):
+        stop = min(start + _EVAL_BLOCK_ROWS, n)
+        per_client[start:stop] = expected_max_delays(
+            metric.row_block(start, stop), image, members, probabilities
+        )
+    return per_client
 
 
 def average_max_delay(
@@ -256,12 +306,75 @@ def average_max_delay(
     strategy: AccessStrategy,
     *,
     rates: Mapping[Node, float] | None = None,
+    metric: "MetricView | None" = None,
 ) -> float:
     """``Avg_v Delta_f(v)`` — the objective of the Quorum Placement
     Problem (Problem 1.1), optionally weighted by client access rates."""
-    per_client = _per_client_expected_max_delay(placement, strategy)
+    per_client = _per_client_expected_max_delay(placement, strategy, metric=metric)
     weights = _client_weights(placement.network, rates)
     return float(per_client @ weights)
+
+
+def average_max_delay_via_sources(
+    placement: Placement,
+    strategy: AccessStrategy,
+    metric: "MetricView",
+    *,
+    rates: Mapping[Node, float] | None = None,
+) -> float:
+    """:func:`average_max_delay` using ``O(|image|)`` metric rows.
+
+    Exploits metric symmetry: ``d(v, f(u)) = d(f(u), v)``, so the
+    distance *columns* of the image nodes are the image nodes' *rows* —
+    for a lazy metric that means a handful of row pulls instead of all
+    ``n``.  The price is bitwise identity: computed shortest-path
+    matrices are symmetric only to ~1e-9 (summation order differs along
+    reversed paths), so the result can differ from
+    :func:`average_max_delay` in the last ulp.  The large-scale QPP
+    sweep uses this consistently for every candidate, so its *relative*
+    comparisons are unaffected.
+    """
+    _check_strategy(placement, strategy)
+    members, probabilities = _support_arrays(placement, strategy)
+    image = placement.image_node_indices()
+    unique, inverse = np.unique(image, return_inverse=True)
+    nodes = placement.network.nodes
+    columns = np.stack(
+        [metric.distances_from(nodes[int(i)]) for i in unique], axis=1
+    )
+    per_client = expected_max_delays(
+        columns, inverse.astype(np.intp), members, probabilities
+    )
+    weights = _client_weights(placement.network, rates)
+    return float(per_client @ weights)
+
+
+def average_max_delay_bounds(
+    placement: Placement,
+    strategy: AccessStrategy,
+    oracle: "LandmarkOracle",
+    *,
+    rates: Mapping[Node, float] | None = None,
+) -> tuple[float, float]:
+    """Certified ``[lower, upper]`` bracket of :func:`average_max_delay`.
+
+    Substitutes the oracle's landmark bounds for the exact distance
+    columns of the placement's image nodes: every per-client expected
+    max-delay is sandwiched because the kernel is monotone in each
+    distance entry.  Costs ``O(k n |image|)`` oracle work and **zero**
+    exact distance rows — this is what lets the large-scale candidate
+    sweep discard hopeless relay sources before pulling real rows.
+    """
+    _check_strategy(placement, strategy)
+    members, probabilities = _support_arrays(placement, strategy)
+    image = placement.image_node_indices()
+    unique, inverse = np.unique(image, return_inverse=True)
+    lower_columns, upper_columns = oracle.bounds_columns(unique)
+    remapped = inverse.astype(np.intp)
+    per_lower = expected_max_delays(lower_columns, remapped, members, probabilities)
+    per_upper = expected_max_delays(upper_columns, remapped, members, probabilities)
+    weights = _client_weights(placement.network, rates)
+    return float(per_lower @ weights), float(per_upper @ weights)
 
 
 def average_max_delay_reference(
@@ -269,6 +382,7 @@ def average_max_delay_reference(
     strategy: AccessStrategy,
     *,
     rates: Mapping[Node, float] | None = None,
+    metric: "MetricView | None" = None,
 ) -> float:
     """Scalar oracle for :func:`average_max_delay`: per-client loop over
     :func:`expected_max_delay_reference`."""
@@ -279,7 +393,9 @@ def average_max_delay_reference(
         weight = float(weights[i])
         if weight <= 0.0:
             continue
-        total += weight * expected_max_delay_reference(placement, strategy, client)
+        total += weight * expected_max_delay_reference(
+            placement, strategy, client, metric=metric
+        )
     return total
 
 
@@ -302,7 +418,11 @@ def total_delay_cost(placement: Placement, client: Node, quorum_index: int) -> f
 
 
 def expected_total_delay(
-    placement: Placement, strategy: AccessStrategy, client: Node
+    placement: Placement,
+    strategy: AccessStrategy,
+    client: Node,
+    *,
+    metric: "MetricView | None" = None,
 ) -> float:
     """``Gamma_f(v) = sum_Q p(Q) gamma_f(v, Q)``.
 
@@ -310,8 +430,9 @@ def expected_total_delay(
     — each element contributes its distance weighted by its load.
     """
     _check_strategy(placement, strategy)
-    metric = placement.network.metric()
-    row = metric.matrix[metric.node_index(client)][np.newaxis, :]
+    if metric is None:
+        metric = placement.network.metric()
+    row = metric.distances_from(client)[np.newaxis, :]
     return float(
         expected_total_delays(
             row, placement.image_node_indices(), strategy.load_array()
@@ -320,17 +441,23 @@ def expected_total_delay(
 
 
 def expected_total_delay_reference(
-    placement: Placement, strategy: AccessStrategy, client: Node
+    placement: Placement,
+    strategy: AccessStrategy,
+    client: Node,
+    *,
+    metric: "MetricView | None" = None,
 ) -> float:
     """Scalar oracle for :func:`expected_total_delay`: the paper-literal
     double loop ``sum_Q p(Q) sum_{u in Q} d(v, f(u))``."""
     _check_strategy(placement, strategy)
-    network = placement.network
+    distance = (
+        placement.network.distance if metric is None else metric.distance
+    )
     total = 0.0
     for index in strategy.support():
         cost = 0.0
         for u in placement.system.quorums[index]:
-            cost += network.distance(client, placement[u])
+            cost += distance(client, placement[u])
         total += strategy.probability(index) * cost
     return total
 
@@ -340,15 +467,32 @@ def average_total_delay(
     strategy: AccessStrategy,
     *,
     rates: Mapping[Node, float] | None = None,
+    metric: "MetricView | None" = None,
 ) -> float:
-    """``Avg_v Gamma_f(v)`` — the objective of Section 5 (Theorem 1.4)."""
+    """``Avg_v Gamma_f(v)`` — the objective of Section 5 (Theorem 1.4).
+
+    Streams row blocks when *metric* has no dense ``matrix`` (see
+    :func:`_per_client_expected_max_delay` for the dispatch contract).
+    """
     _check_strategy(placement, strategy)
-    metric = placement.network.metric()
+    if metric is None:
+        metric = placement.network.metric()
     weights = _client_weights(placement.network, rates)
-    per_client = expected_total_delays(
-        metric.matrix, placement.image_node_indices(), strategy.load_array()
-    )
-    return float(per_client @ weights)
+    image = placement.image_node_indices()
+    loads = strategy.load_array()
+    matrix = getattr(metric, "matrix", None)
+    if matrix is not None:
+        per_client = expected_total_delays(matrix, image, loads)
+        return float(per_client @ weights)
+    n = metric.size
+    total = 0.0
+    for start in range(0, n, _EVAL_BLOCK_ROWS):
+        stop = min(start + _EVAL_BLOCK_ROWS, n)
+        block_values = expected_total_delays(
+            metric.row_block(start, stop), image, loads
+        )
+        total += float(block_values @ weights[start:stop])
+    return total
 
 
 def average_total_delay_reference(
@@ -356,6 +500,7 @@ def average_total_delay_reference(
     strategy: AccessStrategy,
     *,
     rates: Mapping[Node, float] | None = None,
+    metric: "MetricView | None" = None,
 ) -> float:
     """Scalar oracle for :func:`average_total_delay`: per-client loop over
     :func:`expected_total_delay_reference`."""
@@ -366,7 +511,9 @@ def average_total_delay_reference(
         weight = float(weights[i])
         if weight <= 0.0:
             continue
-        total += weight * expected_total_delay_reference(placement, strategy, client)
+        total += weight * expected_total_delay_reference(
+            placement, strategy, client, metric=metric
+        )
     return total
 
 

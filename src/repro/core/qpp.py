@@ -35,12 +35,19 @@ from .._compat import solver_api
 from .._results import Provenance, SolveResult
 from .._validation import check_positive, cost, effects, require
 from ..network.graph import Network, Node
-from ..obs.metrics import telemetry_scope
+from ..network.lazymetric import LandmarkOracle
+from ..obs.metrics import counter, telemetry_scope
 from ..obs.trace import span
 from ..parallel import parallel_map
 from ..quorums.base import QuorumSystem
 from ..quorums.strategy import AccessStrategy
-from .placement import Placement, _client_weights, average_max_delay
+from .placement import (
+    Placement,
+    _client_weights,
+    average_max_delay,
+    average_max_delay_bounds,
+    average_max_delay_via_sources,
+)
 from .ssqpp import SSQPPLPFactory, SSQPPResult, solve_ssqpp
 
 __all__ = ["QPPResult", "solve_qpp", "average_strategy"]
@@ -143,6 +150,10 @@ def solve_qpp(
     parallel: str | None = None,
     certificate: Mapping[str, Any] | str | Path | None = None,
     max_workers: int | None = None,
+    scale: str | None = None,
+    landmarks: int = 16,
+    horizon: int | str | None = "auto",
+    prune: bool = True,
 ) -> QPPResult:
     """Solve the Quorum Placement Problem (Theorem 1.2).
 
@@ -178,12 +189,62 @@ def solve_qpp(
         (:class:`~repro.exceptions.ParallelSafetyError`).
     max_workers:
         Pool size for ``parallel="process"`` (default: executor choice).
+    scale:
+        ``None`` or ``"dense"`` (equivalent) run the classic sweep over
+        the dense cached metric.  ``"large"`` switches to the lazy-metric
+        sweep: distances come from :meth:`Network.lazy_metric` (rows on
+        demand, never an ``n x n`` matrix), candidates default to a
+        farthest-point landmark set, each single-source LP is restricted
+        to a capacity-adaptive prefix of nodes near the source, and
+        oracle bounds prune the exact evaluation of hopeless candidates.
+    landmarks:
+        Landmark count for the ``scale="large"`` oracle (and the default
+        candidate set).  Ignored otherwise.
+    horizon:
+        ``scale="large"`` placement-domain control: ``"auto"`` sizes a
+        capacity-adaptive prefix per candidate, an integer fixes the
+        prefix length, ``None`` keeps the full domain (exact but slow).
+        Restricting the domain voids the certified lower bound — the
+        result then reports ``optimum_lower_bound = 0.0``.
+    prune:
+        In ``scale="large"``, skip exact evaluation of a candidate whose
+        oracle *lower* bound already matches or exceeds the incumbent.
+        Never changes the returned placement, objective, or source
+        (test-asserted); set ``False`` to force every exact evaluation.
     """
     check_positive(alpha - 1.0, "alpha - 1")
     require(
         parallel in (None, "process"),
         f"parallel must be None or 'process', got {parallel!r}",
     )
+    require(
+        scale in (None, "dense", "large"),
+        f"scale must be None, 'dense' or 'large', got {scale!r}",
+    )
+    require(
+        horizon is None or horizon == "auto"
+        or (isinstance(horizon, int) and not isinstance(horizon, bool) and horizon >= 1),
+        f"horizon must be None, 'auto' or a positive int, got {horizon!r}",
+    )
+    if scale == "large":
+        require(
+            parallel is None,
+            "scale='large' sweeps serially over the shared lazy metric; "
+            "parallel='process' is not supported",
+        )
+        return _solve_qpp_large(
+            system,
+            strategy,
+            network=network,
+            alpha=alpha,
+            candidate_sources=candidate_sources,
+            rates=rates,
+            lp_method=lp_method,
+            formulation=formulation,
+            landmarks=landmarks,
+            horizon=horizon,
+            prune=prune,
+        )
     candidates = list(candidate_sources) if candidate_sources is not None else list(network.nodes)
     require(len(candidates) > 0, "at least one candidate source is required")
     # Dedupe while preserving order: repeated candidates would waste
@@ -263,6 +324,198 @@ def solve_qpp(
         load_violation_factor=best.max_load_factor,
         provenance=Provenance.of(
             "qpp.relay-sweep", "Thm 1.2", alpha=alpha, formulation=formulation
+        ),
+        source=best_source,
+        alpha=alpha,
+        approximation_factor=5.0 * alpha / (alpha - 1.0),
+        load_factor_bound=alpha + 1.0,
+        optimum_lower_bound=lower_bound,
+        per_source=per_source,
+        telemetry=telemetry.snapshot,
+    )
+
+
+#: Minimum prefix length of the ``horizon="auto"`` placement domain.
+_HORIZON_FLOOR = 32
+
+#: ``horizon="auto"`` grows the prefix until its cumulative capacity
+#: reaches this multiple of ``(alpha + 1) * total_load`` — generous
+#: headroom over the Theorem 1.2 load bound, so the restricted LP is
+#: never starved for capacity.
+_HORIZON_CAPACITY_FACTOR = 4.0
+
+
+def _capacity_prefix_domain(
+    network: Network,
+    ordered: Sequence[Node],
+    *,
+    alpha: float,
+    total_load: float,
+    max_load: float,
+    horizon: int | str | None,
+) -> list[Node] | None:
+    """The restricted placement domain for one candidate source.
+
+    *ordered* is every node sorted by distance from the source.  Returns
+    ``None`` for ``horizon=None`` (unrestricted); otherwise a prefix —
+    fixed-length for an integer horizon, capacity-adaptive for
+    ``"auto"`` — patched, if necessary, with the nearest node able to
+    host the heaviest element so the restricted LP stays feasible
+    whenever the unrestricted one is.
+    """
+    if horizon is None:
+        return None
+    n = len(ordered)
+    if isinstance(horizon, int):
+        cut = min(horizon, n)
+    else:
+        cut = min(_HORIZON_FLOOR, n)
+        target = _HORIZON_CAPACITY_FACTOR * (alpha + 1.0) * total_load
+        cumulative = sum(network.capacity(node) for node in ordered[:cut])
+        while cut < n and cumulative < target:
+            cumulative += network.capacity(ordered[cut])
+            cut += 1
+    domain = list(ordered[:cut])
+    if not any(network.capacity(node) + 1e-12 >= max_load for node in domain):
+        for node in ordered[cut:]:
+            if network.capacity(node) + 1e-12 >= max_load:
+                domain.append(node)
+                break
+    return domain
+
+
+# paper: Thm 1.2, Thm 3.3, §3
+@cost("n**2 * q * c", scale="large")
+@effects("reads-global", "writes-metrics")
+def _solve_qpp_large(
+    system: QuorumSystem,
+    strategy: AccessStrategy,
+    *,
+    network: Network,
+    alpha: float,
+    candidate_sources: Sequence[Node] | None,
+    rates: Mapping[Node, float] | None,
+    lp_method: str,
+    formulation: str,
+    landmarks: int,
+    horizon: int | str | None,
+    prune: bool,
+) -> QPPResult:
+    """The ``scale="large"`` sweep behind :func:`solve_qpp`.
+
+    Identical selection semantics to the dense sweep — candidates in
+    order, strict ``<`` updates — but every distance flows through the
+    network's shared :class:`~repro.network.lazymetric.LazyMetric`, so
+    no ``n x n`` matrix is ever materialized.  Exact candidate values
+    come from :func:`average_max_delay_via_sources` (``O(|image|)`` row
+    pulls; matches the dense evaluator up to metric-symmetry ulp).
+    Three scale levers:
+
+    1. **Candidates** default to a greedy farthest-point landmark set
+       (``landmarks`` of them) instead of all ``n`` nodes.
+    2. **Horizon** restricts each candidate's LP to nodes near the
+       source (see :func:`_capacity_prefix_domain`).  Restriction voids
+       the Theorem 3.3 certificate: the restricted LP optimum
+       upper-bounds the true ``Z*``, so the result reports
+       ``optimum_lower_bound = 0.0`` whenever any domain was restricted.
+    3. **Pruning** skips the exact streamed evaluation of a candidate
+       whose oracle lower bound already reaches the incumbent — sound
+       because the exact value can only be larger, so the strict ``<``
+       selection could not have switched to it anyway.
+    """
+    view = network.lazy_metric()
+    k = max(1, min(int(landmarks), network.size))
+    oracle = LandmarkOracle.build(view, k)
+    if candidate_sources is not None:
+        candidates = list(dict.fromkeys(candidate_sources))
+    else:
+        candidates = list(oracle.landmarks)
+    require(len(candidates) > 0, "at least one candidate source is required")
+    for node in candidates:
+        network.node_index(node)
+    weights = _client_weights(network, rates)
+    loads = strategy.load_array()
+    total_load = float(loads.sum())
+    max_load = float(loads.max()) if loads.size else 0.0
+
+    pruned = counter("qpp.prune.skipped")
+    evaluated = counter("qpp.prune.evaluated")
+
+    best: SSQPPResult | None = None
+    best_delay = float("inf")
+    best_source: Node | None = None
+    lower_bound = float("inf")
+    restricted = False
+    per_source: dict[Node, SSQPPResult] = {}
+
+    with telemetry_scope() as telemetry, span(
+        "qpp.sweep.large",
+        candidates=len(candidates),
+        alpha=alpha,
+        landmarks=k,
+    ):
+        for source in candidates:
+            ordered = view.nodes_by_distance(source)
+            domain = _capacity_prefix_domain(
+                network,
+                ordered,
+                alpha=alpha,
+                total_load=total_load,
+                max_load=max_load,
+                horizon=horizon,
+            )
+            with span(
+                "qpp.candidate",
+                source=source,
+                domain=network.size if domain is None else len(domain),
+            ):
+                result = solve_ssqpp(
+                    system,
+                    strategy,
+                    network=network,
+                    source=source,
+                    alpha=alpha,
+                    lp_method=lp_method,
+                    formulation=formulation,
+                    metric=view,
+                    placement_nodes=domain,
+                )
+            per_source[source] = result
+            if domain is None:
+                to_source = float(weights @ view.distances_from(source))
+                lower_bound = min(lower_bound, (to_source + result.lp_value) / 5.0)
+            else:
+                restricted = True
+            if prune and best is not None:
+                bound_low, _ = average_max_delay_bounds(
+                    result.placement, strategy, oracle, rates=rates
+                )
+                if bound_low >= best_delay:
+                    pruned.inc()
+                    continue
+            evaluated.inc()
+            realized = average_max_delay_via_sources(
+                result.placement, strategy, view, rates=rates
+            )
+            if realized < best_delay:
+                best_delay = realized
+                best = result
+                best_source = source
+
+    assert best is not None and best_source is not None
+    if restricted or lower_bound == float("inf"):
+        lower_bound = 0.0
+    return QPPResult(
+        placement=best.placement,
+        objective=best_delay,
+        load_violation_factor=best.max_load_factor,
+        provenance=Provenance.of(
+            "qpp.relay-sweep-large",
+            "Thm 1.2",
+            alpha=alpha,
+            formulation=formulation,
+            landmarks=k,
+            horizon=horizon,
         ),
         source=best_source,
         alpha=alpha,

@@ -120,6 +120,18 @@ class SSQPPLPFactory:
 
     One factory serves one ``(system, strategy, network, formulation)``
     combination; at most one source can be attached at a time.
+
+    Two large-scale knobs widen the constructor without changing any
+    default behaviour:
+
+    * ``metric`` — any :class:`~repro.network.lazymetric.MetricView`
+      (e.g. a :class:`~repro.network.lazymetric.LazyMetric`) to use for
+      the distance ordering instead of forcing the dense cached build.
+    * ``placement_nodes`` — restrict the placement domain (and the LP's
+      variables, capacity rows and distance ranks) to a subset of the
+      network.  The LP then solves the *restricted* problem: its optimum
+      upper-bounds the unrestricted ``Z*``, so certified lower bounds
+      derived from it are void — callers must not propagate them.
     """
 
     def __init__(
@@ -129,6 +141,8 @@ class SSQPPLPFactory:
         network: Network,
         *,
         formulation: str = "prefix",
+        metric: "object | None" = None,
+        placement_nodes: "list[Node] | tuple[Node, ...] | None" = None,
     ) -> None:
         if formulation not in ("prefix", "cumulative"):
             raise ValidationError(
@@ -139,12 +153,25 @@ class SSQPPLPFactory:
         self._strategy = strategy
         self._network = network
         self._formulation = formulation
-        self._metric = network.metric()
+        self._explicit_metric = metric
+        self._metric = metric if metric is not None else network.metric()
+        if placement_nodes is None:
+            self._domain: tuple[Node, ...] | None = None
+            domain_nodes: tuple[Node, ...] = network.nodes
+        else:
+            self._domain = tuple(placement_nodes)
+            if not self._domain:
+                raise ValidationError("placement_nodes must not be empty")
+            if len(set(self._domain)) != len(self._domain):
+                raise ValidationError("placement_nodes contains duplicates")
+            for node in self._domain:
+                network.node_index(node)
+            domain_nodes = self._domain
         self._support = _supported_quorums(strategy)
         universe = system.universe
         self._loads = {u: strategy.load(u) for u in universe}
 
-        capacities = {node: network.capacity(node) for node in network.nodes}
+        capacities = {node: network.capacity(node) for node in domain_nodes}
         for u in universe:
             if self._loads[u] > _ZERO and not any(
                 self._loads[u] <= cap + _ZERO for cap in capacities.values()
@@ -161,7 +188,7 @@ class SSQPPLPFactory:
         # simply omitted.
         self._x_by_node: dict[tuple[Node, Element], object] = {}
         element_vars: dict[Element, list] = {u: [] for u in universe}
-        for node in network.nodes:
+        for node in domain_nodes:
             cap = capacities[node]
             for u in universe:
                 if self._loads[u] <= cap + _ZERO:
@@ -181,7 +208,7 @@ class SSQPPLPFactory:
 
         # (12): fractional load within capacity (vacuous for uncapacitated
         # nodes, so those constraints are omitted).
-        for node in network.nodes:
+        for node in domain_nodes:
             if not math.isfinite(capacities[node]):
                 continue
             terms = [
@@ -223,19 +250,29 @@ class SSQPPLPFactory:
         """The underlying (shared) model; solve only while attached."""
         return self._model
 
+    @property
+    def placement_nodes(self) -> tuple[Node, ...] | None:
+        """The restricted placement domain, or ``None`` for the whole network."""
+        return self._domain
+
     def matches(
         self,
         system: QuorumSystem,
         strategy: AccessStrategy,
         network: Network,
         formulation: str,
+        metric: "object | None" = None,
+        placement_nodes: "list[Node] | tuple[Node, ...] | None" = None,
     ) -> bool:
         """Whether this factory was built for exactly these inputs."""
+        domain = tuple(placement_nodes) if placement_nodes is not None else None
         return (
             self._system == system
             and self._strategy is strategy
             and self._network is network
             and self._formulation == formulation
+            and self._explicit_metric is metric
+            and self._domain == domain
         )
 
     # -- per-candidate structure -----------------------------------------------------
@@ -256,8 +293,24 @@ class SSQPPLPFactory:
         self._network.node_index(source)
         system, strategy, model = self._system, self._strategy, self._model
         support = self._support
-        ordered_nodes = self._metric.nodes_by_distance(source)
-        distances = [self._metric.distance(source, node) for node in ordered_nodes]
+        if self._domain is None:
+            ordered_nodes = self._metric.nodes_by_distance(source)
+            distances = [
+                self._metric.distance(source, node) for node in ordered_nodes
+            ]
+        else:
+            # Rank only the restricted domain by distance from the source,
+            # tie-broken by node index exactly like nodes_by_distance.
+            row = self._metric.distances_from(source)
+            all_nodes = self._network.nodes
+            indices = np.fromiter(
+                (self._network.node_index(node) for node in self._domain),
+                dtype=np.intp,
+                count=len(self._domain),
+            )
+            order = indices[np.lexsort((indices, row[indices]))]
+            ordered_nodes = [all_nodes[int(i)] for i in order]
+            distances = [float(row[int(i)]) for i in order]
         n = len(ordered_nodes)
         x_element: dict[tuple[int, Element], object] = {
             (t, u): self._x_by_node[(node, u)]
@@ -468,6 +521,8 @@ def solve_ssqpp(
     lp_method: str = "highs",
     formulation: str = "prefix",
     factory: SSQPPLPFactory | None = None,
+    metric: "object | None" = None,
+    placement_nodes: "list[Node] | tuple[Node, ...] | None" = None,
 ) -> SSQPPResult:
     """Solve the Single-Source Quorum Placement Problem approximately.
 
@@ -485,6 +540,13 @@ def solve_ssqpp(
     :func:`repro.core.qpp.solve_qpp` does this.  The factory is released
     (rolled back to its base) before returning.
 
+    ``metric`` and ``placement_nodes`` thread straight to
+    :class:`SSQPPLPFactory`: a lazy metric avoids the dense all-pairs
+    build, and a restricted domain shrinks the LP for large networks.
+    With ``placement_nodes`` set, ``lp_value`` bounds only the
+    *restricted* problem — it is **not** a lower bound on the
+    unrestricted optimum.
+
     Raises
     ------
     InfeasibleError
@@ -494,11 +556,20 @@ def solve_ssqpp(
     network.node_index(source)
 
     if factory is None:
-        factory = SSQPPLPFactory(system, strategy, network, formulation=formulation)
+        factory = SSQPPLPFactory(
+            system,
+            strategy,
+            network,
+            formulation=formulation,
+            metric=metric,
+            placement_nodes=placement_nodes,
+        )
     else:
         require(
             isinstance(factory, SSQPPLPFactory)
-            and factory.matches(system, strategy, network, formulation),
+            and factory.matches(
+                system, strategy, network, formulation, metric, placement_nodes
+            ),
             "factory was built for different inputs",
         )
     with span(
@@ -557,7 +628,7 @@ def solve_ssqpp(
             rounded = round_fractional_assignment(fractional)
 
         placement = Placement(system, network, rounded.assignment)
-        delay = expected_max_delay(placement, strategy, source)
+        delay = expected_max_delay(placement, strategy, source, metric=metric)
 
         max_factor = 0.0
         for node, load in node_loads(placement, strategy).items():

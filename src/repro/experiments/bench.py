@@ -55,6 +55,13 @@ the timing fields it is run-dependent (the determinism tests strip it).
           "average_delay": float, "lower_bound": float, "checksum": str,
           "sweep_seconds": float,
         },
+        # optional, written by ``repro bench --large`` only:
+        "qpp_lazy_large": {
+          "network": str, "nodes": int, "candidates": int,
+          "average_delay": float, "metric_builds": int, "row_misses": int,
+          "row_peak": int, "pruned": int, "checksum": str,
+          "solve_seconds": float,
+        },
       },
     }
 
@@ -140,6 +147,28 @@ _CASE_TIMING_KEYS = {
     "qpp_sweep": ("sweep_seconds",),
 }
 
+#: Cases that only appear in some reports (e.g. ``repro bench --large``).
+#: Validated when present; a report without them is still complete, and
+#: the trajectory comparison treats one-sided presence as a note — a new
+#: series is not a regression.
+_OPTIONAL_CASE_VALUE_KEYS = {
+    "qpp_lazy_large": (
+        "network",
+        "nodes",
+        "candidates",
+        "average_delay",
+        "metric_builds",
+        "row_misses",
+        "row_peak",
+        "pruned",
+        "checksum",
+    ),
+}
+
+_OPTIONAL_CASE_TIMING_KEYS = {
+    "qpp_lazy_large": ("solve_seconds",),
+}
+
 
 def _checksum(values) -> str:
     """sha256 of the JSON encoding of *values*, floats rounded to 9 dp."""
@@ -174,18 +203,33 @@ def _evaluator_network(seed: int) -> Network:
     return uniform_capacities(network, 2.0)
 
 
-def run_bench(*, quick: bool = True, seed: int = 0) -> dict:
+def run_bench(
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    large: bool = False,
+    large_nodes: int = 10_000,
+) -> dict:
     """Run the deterministic micro-suite and return the report dict.
 
     ``quick`` trims the repeat count (CI mode); result values and
     checksums are identical either way because every case is seeded.
+
+    ``large`` additionally runs the optional ``qpp_lazy_large`` case: a
+    full QPP solve on a ``large_nodes``-node geometric graph through the
+    lazy-metric path, with a hard assertion — enforced via the
+    :mod:`repro.obs` metric-cache counters — that no dense ``n x n``
+    matrix was ever built.
     """
     check_integer_in_range(seed, "seed", low=0)
+    check_integer_in_range(large_nodes, "large_nodes", low=1)
     repeats = 1 if quick else 3
     cases: dict[str, dict] = {}
 
     with telemetry_scope() as telemetry, span("bench.run", quick=quick, seed=seed):
         _run_cases(cases, repeats=repeats, seed=seed)
+        if large:
+            _run_large_case(cases, seed=seed, nodes=large_nodes)
 
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -338,6 +382,57 @@ def _run_cases(cases: dict[str, dict], *, repeats: int, seed: int) -> None:
     }
 
 
+def _run_large_case(cases: dict[str, dict], *, seed: int, nodes: int) -> None:
+    """The optional ``qpp_lazy_large`` case: QPP at 10^4 nodes, lazily.
+
+    Solves QPP on a *nodes*-node random geometric graph with
+    ``scale="large"`` and asserts — through the metric-cache telemetry —
+    that the dense all-pairs matrix was never materialized: zero
+    ``Metric`` builds, and a row-cache peak far below ``n``.
+    """
+    from ..obs.metrics import gauge
+
+    rng = np.random.default_rng(seed)
+    # Radius ~2x the connectivity threshold sqrt(ln n / (pi n)) keeps the
+    # instance connected (modulo the generator's union-find patch) while
+    # the graph stays sparse.
+    radius = 2.0 * float(np.sqrt(np.log(max(nodes, 2)) / (np.pi * nodes)))
+    network = uniform_capacities(
+        random_geometric_network(nodes, radius, rng=rng), 2.0
+    )
+    system = majority(5)
+    strategy = AccessStrategy.uniform(system)
+
+    solve_seconds, result = _best_of(
+        1,
+        lambda: solve_qpp(system, strategy, network=network, scale="large"),
+    )
+    cache = network.metric_cache_info()
+    row_peak = float(gauge("metric.cache.row_peak").value)
+    require(
+        cache.builds == 0,
+        "qpp_lazy_large materialized a dense metric "
+        f"({cache.builds} build(s)) — the lazy path must never do that",
+    )
+    require(
+        row_peak < network.size,
+        f"qpp_lazy_large cached {row_peak:g} rows, not << n={network.size}",
+    )
+    pruned = result.telemetry.metrics.get("qpp.prune.skipped", 0.0)
+    cases["qpp_lazy_large"] = {
+        "network": network.name,
+        "nodes": network.size,
+        "candidates": len(result.per_source),
+        "average_delay": float(result.objective),
+        "metric_builds": int(cache.builds),
+        "row_misses": int(cache.row_misses),
+        "row_peak": int(row_peak),
+        "pruned": int(pruned),
+        "checksum": _checksum(float(result.objective)),
+        "solve_seconds": solve_seconds,
+    }
+
+
 def validate_bench_report(report: dict) -> None:
     """Raise :class:`ValidationError` unless *report* matches schema v2."""
     require(isinstance(report, dict), "report must be a dict")
@@ -359,19 +454,32 @@ def validate_bench_report(report: dict) -> None:
     )
     cases = report["cases"]
     require(isinstance(cases, dict), "report['cases'] must be a dict")
-    for name, value_keys in _CASE_VALUE_KEYS.items():
+    for name in _CASE_VALUE_KEYS:
         if name not in cases:
             raise ValidationError(f"bench report is missing case {name!r}")
-        case = cases[name]
-        require(isinstance(case, dict), f"case {name!r} must be a dict")
-        for key in value_keys + _CASE_TIMING_KEYS[name]:
-            if key not in case:
-                raise ValidationError(f"case {name!r} is missing key {key!r}")
-        checksum = case["checksum"]
-        require(
-            isinstance(checksum, str) and len(checksum) == 64,
-            f"case {name!r} has a malformed checksum",
-        )
+    for name, value_keys in _CASE_VALUE_KEYS.items():
+        _validate_case(name, cases[name], value_keys, _CASE_TIMING_KEYS[name])
+    # Optional cases (e.g. ``--large``) are validated only when present.
+    for name, value_keys in _OPTIONAL_CASE_VALUE_KEYS.items():
+        if name in cases:
+            _validate_case(
+                name, cases[name], value_keys, _OPTIONAL_CASE_TIMING_KEYS[name]
+            )
+
+
+def _validate_case(
+    name: str, case: object, value_keys: tuple, timing_keys: tuple
+) -> None:
+    require(isinstance(case, dict), f"case {name!r} must be a dict")
+    assert isinstance(case, dict)
+    for key in value_keys + timing_keys:
+        if key not in case:
+            raise ValidationError(f"case {name!r} is missing key {key!r}")
+    checksum = case["checksum"]
+    require(
+        isinstance(checksum, str) and len(checksum) == 64,
+        f"case {name!r} has a malformed checksum",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -468,7 +576,22 @@ def compare_bench_reports(
         )
 
     deltas: list[BenchDelta] = []
-    for case_name, timing_keys in _CASE_TIMING_KEYS.items():
+    all_timing_keys = {**_CASE_TIMING_KEYS, **_OPTIONAL_CASE_TIMING_KEYS}
+    for case_name, timing_keys in all_timing_keys.items():
+        in_old = case_name in old["cases"]
+        in_new = case_name in new["cases"]
+        if not in_old and not in_new:
+            continue
+        if in_old != in_new:
+            # A series present on only one side is new (or retired), not
+            # a regression: the ratchet keeps working across the commit
+            # that introduces an optional case.
+            side = "new" if in_new else "old"
+            notes.append(
+                f"case {case_name!r}: only in the {side} report "
+                "(new series, not compared)"
+            )
+            continue
         old_case = old["cases"][case_name]
         new_case = new["cases"][case_name]
         if old_case["checksum"] != new_case["checksum"]:

@@ -42,34 +42,58 @@ Node = Hashable
 #: ``functools.lru_cache`` ``cache_clear`` idiom).
 _BUILDS = counter("metric.cache.builds")
 _HITS = counter("metric.cache.hits")
+#: The lazy-metric LRU row cache reports into the same family; the
+#: counters are owned by :mod:`repro.network.lazymetric` (which creates
+#: the identical registry entries) — referencing them here keeps
+#: :func:`metric_cache_info` / :func:`metric_cache_clear` the one-stop
+#: telemetry surface for *both* metric caches.
+_ROW_HITS = counter("metric.cache.row_hits")
+_ROW_MISSES = counter("metric.cache.row_misses")
+_ROW_EVICTIONS = counter("metric.cache.row_evictions")
 
 
 def metric_cache_info() -> "MetricCacheInfo":
-    """Aggregate build/hit counters over all networks in this process.
+    """Aggregate metric-cache counters over all networks in this process.
 
-    Reads the ``metric.cache.builds`` / ``metric.cache.hits`` counters
-    of the default metrics registry.
+    Reads the ``metric.cache.*`` counters of the default metrics
+    registry: dense ``builds``/``hits`` plus the lazy-metric LRU row
+    counters ``row_hits``/``row_misses``/``row_evictions``.
     """
-    return MetricCacheInfo(int(_BUILDS.value), int(_HITS.value))
+    return MetricCacheInfo(
+        int(_BUILDS.value),
+        int(_HITS.value),
+        int(_ROW_HITS.value),
+        int(_ROW_MISSES.value),
+        int(_ROW_EVICTIONS.value),
+    )
 
 
 def metric_cache_clear() -> None:
     """Reset the aggregate counters (e.g. between tests)."""
     _BUILDS.reset()
     _HITS.reset()
+    _ROW_HITS.reset()
+    _ROW_MISSES.reset()
+    _ROW_EVICTIONS.reset()
 
 
 class MetricCacheInfo(NamedTuple):
-    """Counters for the per-network metric cache (see :meth:`Network.metric`).
+    """Counters for the per-network metric caches (see
+    :meth:`Network.metric` and :meth:`Network.lazy_metric`).
 
     ``builds`` is how many times the dense all-pairs matrix was actually
     computed (at most 1 per network); ``hits`` counts the calls served
-    from the cache.  The test suite asserts the invariant; the counters
-    also make cache behaviour visible in benchmarks.
+    from the cache.  ``row_hits``/``row_misses``/``row_evictions`` are
+    the lazy-metric LRU row-cache totals (zero when only the dense path
+    ran).  The trailing fields default to zero so pre-lazy call sites
+    constructing ``MetricCacheInfo(builds, hits)`` keep working.
     """
 
     builds: int
     hits: int
+    row_hits: int = 0
+    row_misses: int = 0
+    row_evictions: int = 0
 EdgeSpec = Union[tuple, "tuple[Node, Node]", "tuple[Node, Node, float]"]
 
 
@@ -112,6 +136,7 @@ class Network:
         "_metric",
         "_metric_builds",
         "_metric_hits",
+        "_lazy_metric",
     )
 
     def __init__(
@@ -169,9 +194,10 @@ class Network:
             self._capacities = caps
 
         self.name = name
-        self._metric = None  # lazily built Metric
+        self._metric = None  # lazily built dense Metric
         self._metric_builds = 0
         self._metric_hits = 0
+        self._lazy_metric = None  # lazily built LazyMetric view
 
     # -- basic accessors --------------------------------------------------------------
 
@@ -248,22 +274,62 @@ class Network:
             _HITS.inc()
         return self._metric
 
+    def lazy_metric(self, *, max_cached_rows: int | None = None):
+        """A shared lazy row-on-demand metric view of this network.
+
+        Returns a :class:`repro.network.lazymetric.LazyMetric`, built on
+        first use and cached on the network (like :meth:`metric`, but
+        holding ``O(max_cached_rows * n)`` memory instead of the dense
+        ``n x n`` matrix).  Disconnected networks are allowed — unreachable
+        pairs read ``inf``.  Pass *max_cached_rows* on the first call to
+        size the LRU; later calls reuse the existing view and reject a
+        conflicting size.
+        """
+        from .lazymetric import DEFAULT_MAX_CACHED_ROWS, LazyMetric
+
+        if self._lazy_metric is None:
+            rows = DEFAULT_MAX_CACHED_ROWS if max_cached_rows is None else max_cached_rows
+            with span("metric.lazy_init", network=self.name, nodes=self.size):
+                self._lazy_metric = LazyMetric(self, max_cached_rows=rows)
+        elif (
+            max_cached_rows is not None
+            and self._lazy_metric.max_cached_rows != max_cached_rows
+        ):
+            raise ValidationError(
+                f"lazy metric already built with max_cached_rows="
+                f"{self._lazy_metric.max_cached_rows}; call "
+                "metric_cache_clear() before resizing"
+            )
+        return self._lazy_metric
+
     def metric_cache_info(self) -> MetricCacheInfo:
-        """Build/hit counters of the cached metric (dense matrix computed
-        at most once per network; every evaluator shares it)."""
-        return MetricCacheInfo(self._metric_builds, self._metric_hits)
+        """Counters of this network's metric caches: dense build/hit plus
+        the lazy view's LRU row statistics (zero if never built)."""
+        lazy = self._lazy_metric
+        if lazy is None:
+            return MetricCacheInfo(self._metric_builds, self._metric_hits)
+        info = lazy.cache_info()
+        return MetricCacheInfo(
+            self._metric_builds,
+            self._metric_hits,
+            info.hits,
+            info.misses,
+            info.evictions,
+        )
 
     def metric_cache_clear(self) -> None:
-        """Drop the cached metric and zero this network's counters.
+        """Drop the cached metrics and zero this network's counters.
 
         Mirrors ``functools.lru_cache``'s ``cache_clear``: the next
         :meth:`metric` call recomputes the dense matrix and counts as a
-        fresh build. The process-wide aggregates are left untouched —
+        fresh build, and the next :meth:`lazy_metric` call builds a fresh
+        (resizable) view. The process-wide aggregates are left untouched —
         reset those with the module-level :func:`metric_cache_clear`.
         """
         self._metric = None
         self._metric_builds = 0
         self._metric_hits = 0
+        self._lazy_metric = None
 
     def distance(self, u: Node, v: Node) -> float:
         """Shortest-path distance ``d(u, v)``."""

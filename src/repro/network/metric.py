@@ -140,9 +140,15 @@ class Metric:
     """A finite metric space over an ordered node set.
 
     Stores the full ``n x n`` distance matrix.  Construction from a
-    network runs Dijkstra from every node (``O(n (m + n) log n)``), which
-    is the right trade-off here: every placement algorithm consumes
-    all-pairs distances repeatedly.
+    network runs Dijkstra from every node (``O(n (m + n) log n)``).
+    Dense storage pays off when every placement algorithm consumes
+    all-pairs distances repeatedly *and* ``n`` stays in the hundreds; at
+    the 10^3-10^5 nodes the large-scale paths target, the ``O(n^2)``
+    matrix is the bottleneck and
+    :class:`repro.network.lazymetric.LazyMetric` (same
+    :class:`~repro.network.lazymetric.MetricView` surface, rows on
+    demand behind an LRU) is the right choice — see
+    ``docs/performance.md``.
     """
 
     __slots__ = ("_nodes", "_index", "_matrix")
@@ -218,6 +224,35 @@ class Metric:
         """Row of distances from *source*, in node order."""
         row: NDArray[np.float64] = self._matrix[self.node_index(source)]
         return row
+
+    def row_block(self, start: int, stop: int) -> NDArray[np.float64]:
+        """Rows ``start:stop`` of the distance matrix (a zero-copy view).
+
+        Part of the :class:`~repro.network.lazymetric.MetricView`
+        surface: evaluators that stream a lazy metric block-by-block get
+        the identical values here without any copying.
+        """
+        if not (0 <= start <= stop <= self.size):
+            raise ValidationError(
+                f"row block [{start}, {stop}) out of range for size {self.size}"
+            )
+        block: NDArray[np.float64] = self._matrix[start:stop]
+        return block
+
+    def submatrix(
+        self, sources: Sequence[Node], targets: Sequence[Node] | None = None
+    ) -> NDArray[np.float64]:
+        """Distances from *sources* to *targets* (default: all nodes)."""
+        source_indices = np.asarray(
+            [self.node_index(v) for v in sources], dtype=np.intp
+        )
+        rows: NDArray[np.float64] = self._matrix[source_indices]
+        if targets is None:
+            return rows
+        target_indices = np.asarray(
+            [self.node_index(v) for v in targets], dtype=np.intp
+        )
+        return rows[:, target_indices]
 
     # -- metric-space utilities -----------------------------------------------------
 

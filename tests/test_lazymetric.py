@@ -1,0 +1,225 @@
+"""Property-based equivalence tier for the sparse/lazy metric layer.
+
+The contract under test: :class:`repro.network.lazymetric.LazyMetric`
+is *byte-identical* to the dense :class:`repro.network.metric.Metric`
+on every surface they share — rows, pairwise lookups, row blocks,
+submatrices, and the §3.3 distance ordering — because both funnel
+through the same batched scipy Dijkstra and scipy treats sources
+independently.  Hypothesis drives seeded random geometric and random
+tree instances; disconnected graphs (which the dense type rejects) are
+checked against the raw batched Dijkstra matrix instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.network import (
+    LazyMetric,
+    Metric,
+    MetricView,
+    Network,
+    dijkstra_batched,
+    random_geometric_network,
+)
+
+# -- instance generators --------------------------------------------------------------
+
+
+@st.composite
+def geometric_networks(draw):
+    """Seeded random geometric networks (the paper's experimental substrate)."""
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    n = draw(st.integers(min_value=2, max_value=24))
+    radius = draw(st.sampled_from([0.3, 0.5, 0.8]))
+    return random_geometric_network(n, radius, rng=np.random.default_rng(seed))
+
+
+@st.composite
+def tree_networks(draw):
+    """Random trees: connected by construction, no generator patching."""
+    n = draw(st.integers(min_value=2, max_value=16))
+    edges = []
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        length = draw(st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+        edges.append((parent, node, length))
+    return Network(range(n), edges)
+
+
+@st.composite
+def disconnected_networks(draw):
+    """Two disjoint random trees — dense ``Metric`` rejects these."""
+    sizes = draw(st.tuples(st.integers(2, 6), st.integers(2, 6)))
+    edges = []
+    offset = 0
+    for size in sizes:
+        for node in range(1, size):
+            parent = draw(st.integers(min_value=0, max_value=node - 1))
+            edges.append((offset + parent, offset + node, 1.0))
+        offset += size
+    return Network(range(offset), edges)
+
+
+def _adjacency(network: Network) -> dict:
+    return {
+        u: {v: network.edge_length(u, v) for v in network.neighbors(u)}
+        for u in network.nodes
+    }
+
+
+def _assert_bytes_equal(lazy_array, dense_array):
+    lazy_array = np.ascontiguousarray(lazy_array)
+    dense_array = np.ascontiguousarray(dense_array)
+    assert lazy_array.shape == dense_array.shape
+    assert lazy_array.dtype == dense_array.dtype
+    assert lazy_array.tobytes() == dense_array.tobytes()
+
+
+# -- dense equivalence ----------------------------------------------------------------
+
+
+class TestDenseEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(network=st.one_of(geometric_networks(), tree_networks()))
+    def test_rows_pairs_and_ordering_match_dense(self, network):
+        dense = Metric.from_network(network)
+        lazy = LazyMetric(network)
+        for source in network.nodes:
+            _assert_bytes_equal(
+                lazy.distances_from(source), dense.distances_from(source)
+            )
+            assert lazy.nodes_by_distance(source) == dense.nodes_by_distance(source)
+        u, v = network.nodes[0], network.nodes[-1]
+        assert lazy.distance(u, v) == dense.distance(u, v)
+        assert lazy.distance(u, u) == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        network=st.one_of(geometric_networks(), tree_networks()),
+        data=st.data(),
+    )
+    def test_row_blocks_and_submatrices_match_dense(self, network, data):
+        dense = Metric.from_network(network)
+        lazy = LazyMetric(network)
+        n = network.size
+        start = data.draw(st.integers(min_value=0, max_value=n - 1))
+        stop = data.draw(st.integers(min_value=start, max_value=n))
+        _assert_bytes_equal(lazy.row_block(start, stop), dense.row_block(start, stop))
+        sources = data.draw(
+            st.lists(st.sampled_from(list(network.nodes)), min_size=1, max_size=4)
+        )
+        targets = data.draw(
+            st.one_of(
+                st.none(),
+                st.lists(
+                    st.sampled_from(list(network.nodes)), min_size=1, max_size=4
+                ),
+            )
+        )
+        _assert_bytes_equal(
+            lazy.submatrix(sources, targets), dense.submatrix(sources, targets)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(network=geometric_networks())
+    def test_tiny_lru_still_byte_identical(self, network):
+        """Evicting aggressively (capacity 1) must never change values."""
+        dense = Metric.from_network(network)
+        lazy = LazyMetric(network, max_cached_rows=1)
+        for source in network.nodes:
+            _assert_bytes_equal(
+                lazy.distances_from(source), dense.distances_from(source)
+            )
+        # Revisit the first row after it was evicted: recomputed, not stale.
+        first = network.nodes[0]
+        _assert_bytes_equal(lazy.distances_from(first), dense.distances_from(first))
+        info = lazy.cache_info()
+        assert info.cached_rows == 1
+        assert info.evictions >= network.size - 1
+
+    def test_batch_larger_than_capacity_survives_mid_batch_eviction(self):
+        """Regression: storing a batch's misses can evict rows of the
+        same request (hits refreshed earlier, or misses stored earlier
+        in an over-capacity batch) — assembly must not re-read them
+        from the cache."""
+        network = random_geometric_network(12, 0.8, rng=np.random.default_rng(0))
+        dense = Metric.from_network(network)
+        lazy = LazyMetric(network, max_cached_rows=3)
+        # Seed a few rows as cache hits sitting in old LRU positions...
+        for source in network.nodes[:3]:
+            lazy.distances_from(source)
+        # ...then request everything: 3 hits + 9 misses through a
+        # 3-row cache forces eviction while the batch is in flight.
+        _assert_bytes_equal(lazy.row_block(0, network.size), dense.matrix)
+        _assert_bytes_equal(
+            lazy.submatrix(network.nodes), dense.submatrix(network.nodes)
+        )
+
+
+# -- disconnected and degenerate instances --------------------------------------------
+
+
+class TestEdgeCases:
+    @settings(max_examples=20, deadline=None)
+    @given(network=disconnected_networks())
+    def test_disconnected_rows_match_batched_dijkstra(self, network):
+        """Dense ``Metric`` raises on disconnection; the lazy view reports
+        ``inf`` exactly as the batched Dijkstra does."""
+        with pytest.raises(ValidationError):
+            Metric.from_network(network)
+        full = dijkstra_batched(_adjacency(network))
+        lazy = LazyMetric(network)
+        for i, source in enumerate(network.nodes):
+            _assert_bytes_equal(lazy.distances_from(source), full[i])
+        assert not np.all(np.isfinite(lazy.row_block(0, network.size)))
+
+    def test_disconnected_ordering_puts_unreachable_last(self):
+        network = Network(range(4), [(0, 1, 1.0), (2, 3, 1.0)])
+        lazy = LazyMetric(network)
+        assert lazy.nodes_by_distance(0) == [0, 1, 2, 3]
+        assert lazy.nodes_by_distance(2) == [2, 3, 0, 1]
+
+    def test_single_node_network(self):
+        network = Network(range(1), [])
+        lazy = LazyMetric(network)
+        assert lazy.size == 1
+        _assert_bytes_equal(lazy.distances_from(0), np.zeros(1))
+        assert lazy.distance(0, 0) == 0.0
+        assert lazy.nodes_by_distance(0) == [0]
+        _assert_bytes_equal(lazy.row_block(0, 1), np.zeros((1, 1)))
+        assert lazy.row_block(0, 0).shape == (0, 1)
+
+    def test_unknown_node_and_bad_block_rejected(self, small_network):
+        lazy = LazyMetric(small_network)
+        with pytest.raises(ValidationError):
+            lazy.distances_from("nope")
+        with pytest.raises(ValidationError):
+            lazy.node_index("nope")
+        with pytest.raises(ValidationError):
+            lazy.row_block(0, small_network.size + 1)
+        with pytest.raises(ValidationError):
+            lazy.row_block(-1, 2)
+
+    def test_rows_are_read_only(self, small_network):
+        lazy = LazyMetric(small_network)
+        row = lazy.distances_from(small_network.nodes[0])
+        with pytest.raises(ValueError):
+            row[0] = 1.0
+
+
+# -- protocol conformance -------------------------------------------------------------
+
+
+class TestMetricViewProtocol:
+    def test_both_implementations_satisfy_the_protocol(self, small_network):
+        assert isinstance(Metric.from_network(small_network), MetricView)
+        assert isinstance(LazyMetric(small_network), MetricView)
+
+    def test_lazy_metric_never_exposes_a_matrix(self, small_network):
+        """The deliberate omission that keeps lazy call sites honest."""
+        assert not hasattr(LazyMetric(small_network), "matrix")

@@ -158,7 +158,8 @@ class TestDenseMatrixCache:
         assert info.builds == 1
         assert info.hits == 1
         metric_cache_clear()
-        assert metric_cache_info() == (0, 0)
+        cleared = metric_cache_info()
+        assert cleared.builds == 0 and cleared.hits == 0
         # Instance counters are independent of the aggregate reset.
         assert network.metric_cache_info().builds == 1
 
@@ -166,7 +167,8 @@ class TestDenseMatrixCache:
         network = grid_network(3, 3)
         first = network.metric()
         network.metric_cache_clear()
-        assert network.metric_cache_info() == (0, 0)
+        cleared = network.metric_cache_info()
+        assert cleared.builds == 0 and cleared.hits == 0
         second = network.metric()
         assert second is not first
         assert network.metric_cache_info().builds == 1

@@ -1,0 +1,79 @@
+"""The scale tier: thousand-node solves through the lazy metric layer.
+
+Every test here carries ``@pytest.mark.scale`` and is excluded from the
+tier-1 run by the ``addopts`` marker filter in pyproject.toml; ``make
+test-scale`` (CI's non-blocking scale job) runs them.  The point is the
+acceptance bar of the lazy tier at a size where a dense build would be
+32 MB and minutes of Dijkstra: the solve must finish while the obs
+registry proves no n x n matrix was ever materialized.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import solve_qpp, solve_total_delay
+from repro.network import (
+    metric_cache_info,
+    random_geometric_network,
+    uniform_capacities,
+)
+from repro.obs.metrics import gauge
+from repro.quorums import AccessStrategy, majority
+
+NODES = 2_000
+
+
+@pytest.fixture(scope="module")
+def large_network():
+    # The connectivity-threshold radius (~2x sqrt(ln n / pi n)) keeps the
+    # instance connected with overwhelming probability at a few thousand
+    # nodes without densifying the edge set.
+    radius = 2.0 * math.sqrt(math.log(NODES) / (math.pi * NODES))
+    network = random_geometric_network(
+        NODES, radius, rng=np.random.default_rng(2025)
+    )
+    return uniform_capacities(network, 2.0)
+
+
+@pytest.mark.scale
+def test_qpp_solves_at_scale_without_a_dense_build(large_network):
+    system = majority(5)
+    result = solve_qpp(
+        system,
+        AccessStrategy.uniform(system),
+        network=large_network,
+        alpha=2.0,
+        scale="large",
+    )
+    info = metric_cache_info()
+    # The hard acceptance bar: zero dense metric builds, and the row
+    # cache never approached full materialization.
+    assert info.builds == 0
+    assert info.row_misses > 0
+    assert gauge("metric.cache.row_peak").value < large_network.size
+    # Theorem 1.2 shape checks on the result itself.
+    assert result.objective > 0.0
+    assert math.isfinite(result.objective)
+    assert result.load_violation_factor <= result.load_factor_bound + 1e-9
+    assert result.source in large_network.nodes
+    assert result.provenance.algorithm == "qpp.relay-sweep-large"
+    assert result.telemetry is not None
+    assert result.telemetry.metrics.get("qpp.prune.evaluated", 0.0) >= 1
+
+
+@pytest.mark.scale
+def test_total_delay_solves_at_scale_without_a_dense_build(large_network):
+    system = majority(3)
+    result = solve_total_delay(
+        system,
+        AccessStrategy.uniform(system),
+        network=large_network,
+        scale="large",
+    )
+    assert metric_cache_info().builds == 0
+    assert result.objective > 0.0
+    assert math.isfinite(result.objective)
