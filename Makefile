@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-scale lint lint-baseline effects cost trace bench bench-compare bench-large profile
+.PHONY: test test-scale lint lint-baseline effects cost errors trace bench bench-compare bench-large profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,10 +17,11 @@ test-scale:
 
 # The full static tier: per-file rules, whole-program R100-series, the
 # R200-series dataflow/contract rules, the R400-series
-# effect/concurrency rules, and the R500-series asymptotic cost rules,
-# ratcheted against the committed baseline. CI runs exactly this.
+# effect/concurrency rules, the R500-series asymptotic cost rules, and
+# the R600-series exception-flow/resource-safety rules, ratcheted
+# against the committed baseline. CI runs exactly this.
 lint:
-	$(PYTHON) -m repro lint src --whole-program --dataflow --effects --cost --baseline lint-baseline.json
+	$(PYTHON) -m repro lint src --whole-program --dataflow --effects --cost --errors --baseline lint-baseline.json
 
 # Run the effect tier and (re)generate the parallel-safety certificate
 # consumed by repro.parallel.parallel_map (docs/static_analysis.md).
@@ -34,12 +35,20 @@ effects:
 cost:
 	$(PYTHON) -m repro cost src --check
 
+# Run the error tier and (re)generate the error-contract certificate
+# consumed by repro.resilience.retrying (docs/static_analysis.md).
+# --check exits 1 unless every solver entry point declares @raises
+# covering its inferred escape set; CI uploads the JSON document.
+errors:
+	$(PYTHON) -m repro errors src --check
+	$(PYTHON) -m repro lint src --errors --error-contract error-contract.json
+
 # Refresh the ratchet. Run this ONLY when a finding is a deliberate,
 # reviewed exception: the regenerated lint-baseline.json is committed
 # alongside the change, so the diff shows exactly which findings were
 # grandfathered. New findings not in the baseline always fail `make lint`.
 lint-baseline:
-	$(PYTHON) -m repro lint src --whole-program --dataflow --effects --cost --format json > lint-baseline.json
+	$(PYTHON) -m repro lint src --whole-program --dataflow --effects --cost --errors --format json > lint-baseline.json
 
 # Paper-theorem traceability matrix (what R204 checks).
 trace:

@@ -33,6 +33,8 @@ __all__ = [
     "cost_expression_problems",
     "COST_SYMBOLS",
     "COST_SCALES",
+    "raises",
+    "exception_name_problems",
 ]
 
 #: Tolerance used when validating probability vectors and comparing loads.
@@ -524,6 +526,69 @@ def cost(expression: str, *, scale: str | None = None) -> Callable[[_F], _F]:
     def decorate(func: _F) -> _F:
         func.__cost__ = expression  # type: ignore[attr-defined]
         func.__cost_scale__ = scale  # type: ignore[attr-defined]
+        return func
+
+    return decorate
+
+
+def exception_name_problems(name: Any) -> tuple[str, ...]:
+    """Syntax-check one :func:`raises` entry; returns problem messages.
+
+    An entry must be a bare exception *class name* (a Python
+    identifier, conventionally CapWords like ``"InfeasibleError"``) —
+    not a dotted path and not a class object, so the declaration can be
+    read off the AST by the static tier without import machinery.  An
+    empty tuple means the entry is well-formed.
+    """
+    if not isinstance(name, str):
+        return (f"exception names must be strings, got {name!r}",)
+    if not name.isidentifier():
+        return (
+            f"exception name {name!r} must be a bare class name "
+            "(a Python identifier, no dots)",
+        )
+    if not name[:1].isupper():
+        return (
+            f"exception name {name!r} must be CapWords "
+            "(a class name, not an instance)",
+        )
+    return ()
+
+
+def raises(*names: str, transient: Sequence[str] = ()) -> Callable[[_F], _F]:
+    """Declare a function's escaping-exception contract for the linter.
+
+    *names* are the exception class names the function may let escape
+    (e.g. ``@raises("InfeasibleError", "ValidationError")``); the
+    keyword-only ``transient`` tuple marks the subset that is safe to
+    retry (e.g. ``transient=("SolverError",)`` for solver-level
+    breakdowns that a fresh attempt can clear).  Transient names are
+    implicitly part of the escape set and need not be repeated
+    positionally.  ``@raises()`` declares the empty escape set.
+
+    The declaration is attached as ``__raises__`` / ``__raises_transient__``
+    and checked *statically* against the interprocedurally inferred
+    escape set by ``repro lint --errors`` (rule R600); validated entry
+    points are published in the ``repro-error-contract`` certificate
+    that :func:`repro.resilience.retrying` gates retries on.  Like
+    :func:`effects` and :func:`cost`, no wrapper is installed: the
+    function object is returned unchanged (so it stays picklable for
+    process pools) and the declaration costs nothing at call time.
+    """
+    problems: list[str] = []
+    for entry in (*names, *transient):
+        problems.extend(exception_name_problems(entry))
+    if problems:
+        raise ValidationError(
+            "malformed raises declaration: " + "; ".join(problems)
+        )
+    declared = frozenset(names) | frozenset(transient)
+
+    def decorate(func: _F) -> _F:
+        func.__raises__ = declared  # type: ignore[attr-defined]
+        func.__raises_transient__ = frozenset(  # type: ignore[attr-defined]
+            transient
+        )
         return func
 
     return decorate

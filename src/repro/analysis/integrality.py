@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .._validation import check_integer_in_range, check_positive, cost
+from .._validation import check_integer_in_range, check_positive, cost, raises
 from ..core.ssqpp import build_ssqpp_lp
 from ..network.generators import broom_network
 from ..network.graph import Network
@@ -68,6 +68,7 @@ def _single_quorum_system(n: int) -> tuple[QuorumSystem, AccessStrategy]:
 
 
 @cost("n**2 * q**2")
+@raises("ValidationError")
 def solve_gap_instance_lp(
     system: QuorumSystem,
     strategy: AccessStrategy,

@@ -10,6 +10,8 @@ Exposes the library's planning loop to shells and scripts::
     python -m repro profile bench --quick         # trace + metrics of any command
     python -m repro lint src --whole-program      # invariant linter (R001-R104)
     python -m repro lint src --dataflow           # contract/dataflow rules (R200-R204)
+    python -m repro lint src --errors             # exception-flow rules (R600-R604)
+    python -m repro errors --check                # @raises vs inferred escape sets
     python -m repro deps src --dot                # module import graph
     python -m repro trace --json                  # theorem traceability matrix
 
@@ -48,10 +50,12 @@ from .exceptions import ReproError, ValidationError
 from .lint.cli import (
     add_cost_arguments,
     add_deps_arguments,
+    add_errors_arguments,
     add_lint_arguments,
     add_trace_arguments,
     run_cost,
     run_deps,
+    run_errors,
     run_lint,
     run_trace,
 )
@@ -491,6 +495,10 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return run_cost(args)
 
 
+def _cmd_errors(args: argparse.Namespace) -> int:
+    return run_errors(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -616,7 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="run the invariant linter (R001-R504) over source paths",
+        help="run the invariant linter (R001-R604) over source paths",
         description="AST-based invariant linter; exit 0 clean, 1 findings. "
         "See docs/static_analysis.md for the rule catalogue.",
     )
@@ -632,6 +640,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_cost_arguments(p_cost)
     p_cost.set_defaults(func=_cmd_cost)
+
+    p_errors = sub.add_parser(
+        "errors",
+        help="render the declared/inferred exception-escape table (R600's view)",
+        description="Escape sets per solver entry point: @raises "
+        "declarations vs interprocedural inference; --check exits 1 on "
+        "gaps. The same analysis emits the error contract that "
+        "repro.resilience.retrying gates on. See docs/static_analysis.md.",
+    )
+    add_errors_arguments(p_errors)
+    p_errors.set_defaults(func=_cmd_errors)
 
     p_deps = sub.add_parser(
         "deps",

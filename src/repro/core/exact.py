@@ -20,7 +20,7 @@ from typing import Callable
 import numpy as np
 
 from .._compat import solver_api
-from .._validation import cost, require
+from .._validation import cost, raises, require
 from ..exceptions import InfeasibleError, ValidationError
 from ..network.graph import Network, Node
 from ..obs.trace import span
@@ -144,6 +144,7 @@ def _enumerate_optimal(
 
 @solver_api(legacy_positional=("network", "source"))
 @cost("exp(n) * q")
+@raises("InfeasibleError", "ValidationError")
 def solve_ssqpp_exact(
     system: QuorumSystem,
     strategy: AccessStrategy,
@@ -163,6 +164,7 @@ def solve_ssqpp_exact(
 
 @solver_api(legacy_positional=("network",))
 @cost("exp(n) * q")
+@raises("InfeasibleError", "ValidationError")
 def solve_qpp_exact(
     system: QuorumSystem,
     strategy: AccessStrategy,
@@ -181,6 +183,7 @@ def solve_qpp_exact(
 
 @solver_api(legacy_positional=("network",))
 @cost("exp(n) * q")
+@raises("InfeasibleError", "ValidationError")
 def solve_total_delay_exact(
     system: QuorumSystem,
     strategy: AccessStrategy,

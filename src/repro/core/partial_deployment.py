@@ -37,7 +37,7 @@ from itertools import permutations
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
-from .._validation import check_integer_in_range, cost, require
+from .._validation import check_integer_in_range, cost, raises, require
 from ..exceptions import ValidationError
 from ..network.graph import Network, Node
 from ..quorums.base import Element, QuorumSystem
@@ -109,6 +109,7 @@ def _deployment_cost(
 
 
 @cost("n * q**2")
+@raises("ValidationError")
 def solve_partial_deployment(
     system: QuorumSystem,
     network: Network,
@@ -183,6 +184,7 @@ def solve_partial_deployment(
 
 
 @cost("exp(n) * q**2")
+@raises("ValidationError")
 def solve_partial_deployment_exact(
     system: QuorumSystem, network: Network
 ) -> PartialDeployment:

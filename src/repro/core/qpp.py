@@ -33,12 +33,13 @@ import numpy as np
 
 from .._compat import solver_api
 from .._results import Provenance, SolveResult
-from .._validation import check_positive, cost, effects, require
+from .._validation import check_positive, cost, effects, raises, require
 from ..network.graph import Network, Node
 from ..network.lazymetric import LandmarkOracle
 from ..obs.metrics import counter, telemetry_scope
 from ..obs.trace import span
 from ..parallel import parallel_map
+from ..resilience import fault_point
 from ..quorums.base import QuorumSystem
 from ..quorums.strategy import AccessStrategy
 from .placement import (
@@ -137,6 +138,7 @@ def _qpp_candidate_worker(
 # paper: Thm 1.2, Thm 3.3, §3
 @solver_api(legacy_positional=("network",))
 @cost("n**2 * q * c")
+@raises("ParallelSafetyError", "ValidationError", transient=("SolverError",))
 def solve_qpp(
     system: QuorumSystem,
     strategy: AccessStrategy,
@@ -292,6 +294,7 @@ def solve_qpp(
             results = []
             for source in candidates:
                 with span("qpp.candidate", source=source):
+                    fault_point("qpp.candidate")
                     results.append(
                         solve_ssqpp(
                             system,
@@ -469,6 +472,7 @@ def _solve_qpp_large(
                 source=source,
                 domain=network.size if domain is None else len(domain),
             ):
+                fault_point("qpp.candidate")
                 result = solve_ssqpp(
                     system,
                     strategy,

@@ -21,7 +21,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from .._compat import solver_api
-from .._validation import check_probability, cost
+from .._validation import check_probability, cost, raises
 from ..network.graph import Network, Node
 from ..quorums.readwrite import ReadWriteQuorumSystem
 from ..quorums.strategy import AccessStrategy
@@ -64,6 +64,7 @@ class RWPlacementResult:
 
 @solver_api(legacy_positional=("source",))
 @cost("n**2 * q")
+@raises("ValidationError", transient=("SolverError",))
 def solve_rw_ssqpp(
     rw_system: ReadWriteQuorumSystem,
     network: Network,
@@ -80,6 +81,7 @@ def solve_rw_ssqpp(
 
 
 @cost("n**2 * q * c")
+@raises("ValidationError", transient=("SolverError",))
 def solve_rw_placement(
     rw_system: ReadWriteQuorumSystem,
     network: Network,

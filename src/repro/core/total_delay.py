@@ -25,7 +25,7 @@ import numpy as np
 
 from .._compat import solver_api
 from .._results import Provenance, SolveResult
-from .._validation import cost, require
+from .._validation import cost, raises, require
 from ..gap.instance import GAPInstance
 from ..gap.solver import GAPSolution, solve_gap
 from ..network.graph import Network, Node
@@ -99,6 +99,7 @@ class TotalDelayResult(SolveResult):
 # paper: Thm 1.4, §5
 @solver_api(legacy_positional=("network",))
 @cost("n**2 * q**2")
+@raises("InfeasibleError", "ValidationError", transient=("SolverError",))
 def solve_total_delay(
     system: QuorumSystem,
     strategy: AccessStrategy,

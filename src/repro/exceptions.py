@@ -18,6 +18,8 @@ __all__ = [
     "CapacityError",
     "LintError",
     "ParallelSafetyError",
+    "ErrorContractError",
+    "DeadlineExceededError",
 ]
 
 
@@ -90,4 +92,25 @@ class ParallelSafetyError(ReproError):
     tier's effect certificate (``repro lint --effects --certificate``),
     or when no certificate is available at all.  The serial fallback
     (``on_uncertified="serial"``) downgrades this to a warning.
+    """
+
+
+class ErrorContractError(ReproError):
+    """A callable failed the error-contract gate.
+
+    Raised by :func:`repro.resilience.retrying` when the function it is
+    asked to guard has no entry in the error-contract certificate
+    (``repro lint --errors --error-contract``), when no certificate is
+    available at all, or when the function raises an exception the
+    contract never declared — the contract was violated, so the failure
+    is surfaced loudly instead of being retried blindly.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A deadline-guarded call exceeded its wall-clock budget.
+
+    Raised by :func:`repro.resilience.deadline`.  The check is
+    cooperative: the wrapped call is never interrupted mid-flight, the
+    budget is checked between attempts and after completion.
     """

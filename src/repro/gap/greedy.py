@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import cost
+from .._validation import cost, raises
 from ..exceptions import InfeasibleError
 from .instance import GAPInstance, Label
 
@@ -30,6 +30,7 @@ class GreedyAssignment:
 
 
 @cost("n * q + q * log(q)")
+@raises("InfeasibleError")
 def solve_gap_greedy(instance: GAPInstance) -> GreedyAssignment:
     """Greedy cheapest-feasible-machine assignment.
 

@@ -55,6 +55,7 @@ from __future__ import annotations
 from . import cost_rules as _cost_rules  # noqa: F401  (registers R5xx)
 from . import dataflow_rules as _dataflow_rules  # noqa: F401  (registers R2xx)
 from . import effect_rules as _effect_rules  # noqa: F401  (registers R4xx)
+from . import error_rules as _error_rules  # noqa: F401  (registers R6xx)
 from . import rules as _rules  # noqa: F401  (imports register the ruleset)
 from .config import LintConfig, config_from_table, load_config, merge_cli_options
 from .contracts import FunctionContract, extract_module_contracts
@@ -74,6 +75,19 @@ from .costmodel import (
 )
 from .dataflow_rules import DataflowContext, build_dataflow_context
 from .effect_rules import EffectContext, build_effect_context
+from .error_rules import ErrorContext, build_error_context
+from .excflow import (
+    FunctionErrors,
+    analyze_errors,
+    build_error_contract,
+    build_error_contract_for_paths,
+    build_error_table,
+    render_error_contract,
+    render_error_table_markdown,
+    render_error_table_text,
+    validate_error_contract,
+)
+from .resources import ResourceReport, analyze_resources
 from .effects import (
     FunctionEffects,
     analyze_effects,
@@ -86,6 +100,7 @@ from .engine import (
     CostRule,
     DataflowRule,
     EffectRule,
+    ErrorRule,
     ModuleContext,
     ParseCache,
     ParsedFile,
@@ -119,10 +134,13 @@ __all__ = [
     "DataflowRule",
     "EffectContext",
     "EffectRule",
+    "ErrorContext",
+    "ErrorRule",
     "Finding",
     "FunctionContract",
     "FunctionCost",
     "FunctionEffects",
+    "FunctionErrors",
     "GlobalsInventory",
     "ImportEdge",
     "LintConfig",
@@ -133,17 +151,24 @@ __all__ = [
     "ParsedFile",
     "ProgramContext",
     "ProgramRule",
+    "ResourceReport",
     "Rule",
     "SuppressionTable",
     "TraceMatrix",
     "analyze_costs",
     "analyze_effects",
+    "analyze_errors",
+    "analyze_resources",
     "build_certificate",
     "build_certificate_for_paths",
     "build_cost_context",
     "build_cost_table",
     "build_dataflow_context",
     "build_effect_context",
+    "build_error_context",
+    "build_error_contract",
+    "build_error_contract_for_paths",
+    "build_error_table",
     "build_globals_inventory",
     "build_matrix",
     "build_program_context",
@@ -165,6 +190,9 @@ __all__ = [
     "render_cost_table_json",
     "render_cost_table_markdown",
     "render_cost_table_text",
+    "render_error_contract",
+    "render_error_table_markdown",
+    "render_error_table_text",
     "render_json",
     "render_matrix_json",
     "render_matrix_markdown",
@@ -173,4 +201,5 @@ __all__ = [
     "sort_findings",
     "validate_certificate",
     "validate_cost_telemetry",
+    "validate_error_contract",
 ]

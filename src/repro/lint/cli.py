@@ -34,10 +34,13 @@ __all__ = [
     "add_deps_arguments",
     "add_trace_arguments",
     "add_cost_arguments",
+    "add_errors_arguments",
+    "render_rule_index_markdown",
     "run_lint",
     "run_deps",
     "run_trace",
     "run_cost",
+    "run_errors",
     "main",
 ]
 
@@ -123,6 +126,30 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--effects",
     )
     parser.add_argument(
+        "--errors",
+        action="store_true",
+        help="also run the R600-series exception-flow and "
+        "resource-safety rules (escape sets vs @raises declarations, "
+        "resource leaks on exceptional paths, broad handlers on hot "
+        "paths, non-ReproError entry-point escapes, unclosed scopes)",
+    )
+    parser.add_argument(
+        "--error-contract",
+        default=None,
+        metavar="OUT",
+        dest="error_contract",
+        help="write the JSON error-contract certificate (every solver "
+        "entry point with its inferred escape set and declared "
+        "transient failures) to OUT; implies --errors",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="OUT",
+        help="additionally write the findings (including in-source "
+        "suppressed ones) as a SARIF 2.1.0 document to OUT",
+    )
+    parser.add_argument(
         "--fail-on",
         choices=("any", "r1xx-only"),
         default="any",
@@ -141,6 +168,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="with --list-rules, render the rule index as the markdown "
+        "table embedded in docs/static_analysis.md",
     )
 
 
@@ -232,9 +265,40 @@ def _gates_exit(finding: Finding, fail_on: str) -> bool:
     return True
 
 
+#: Rule-id series -> the lint tier (and flag) that runs it.
+_TIER_BY_SERIES = {
+    "R0": "per-file",
+    "R1": "whole-program (`--whole-program`)",
+    "R2": "dataflow (`--dataflow`)",
+    "R3": "per-file",
+    "R4": "effects (`--effects`)",
+    "R5": "cost (`--cost`)",
+    "R6": "errors (`--errors`)",
+}
+
+
+def render_rule_index_markdown() -> str:
+    """The registered-rule index as the markdown table embedded in
+    ``docs/static_analysis.md`` (``repro lint --list-rules --markdown``;
+    a drift test keeps the doc in sync with the registry)."""
+    lines = [
+        "| Rule | Name | Tier | Checks |",
+        "| --- | --- | --- | --- |",
+    ]
+    for rule_id, rule in sorted(registered_rules().items()):
+        tier = _TIER_BY_SERIES.get(rule_id[:2], "per-file")
+        lines.append(
+            f"| {rule_id} | `{rule.name}` | {tier} | {rule.summary} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a parsed ``lint`` invocation; returns the exit code."""
     if args.list_rules:
+        if getattr(args, "markdown", False):
+            print(render_rule_index_markdown(), end="")
+            return 0
         for rule_id, rule in sorted(registered_rules().items()):
             print(f"{rule_id} {rule.name}: {rule.summary}")
         return 0
@@ -247,11 +311,19 @@ def run_lint(args: argparse.Namespace) -> int:
     wants_cost = bool(getattr(args, "cost", False)) or (
         telemetry_path is not None
     )
+    contract_path = getattr(args, "error_contract", None)
+    wants_errors = bool(getattr(args, "errors", False)) or (
+        contract_path is not None
+    )
     telemetry: tuple[CostObservation, ...] = ()
     if telemetry_path is not None:
         from .costmodel import load_cost_telemetry
 
         telemetry = load_cost_telemetry(telemetry_path)
+    sarif_path = getattr(args, "sarif", None)
+    suppressed: list[Finding] | None = (
+        [] if sarif_path is not None else None
+    )
     cache = ParseCache()
     findings = lint_paths(
         args.paths,
@@ -260,8 +332,10 @@ def run_lint(args: argparse.Namespace) -> int:
         dataflow=bool(getattr(args, "dataflow", False)),
         effects=wants_effects,
         cost=wants_cost,
+        errors=wants_errors,
         cost_telemetry=telemetry,
         cache=cache,
+        suppressed_sink=suppressed,
     )
     if certificate_path is not None:
         # The shared cache keeps this a zero-reparse pass over the same
@@ -279,6 +353,20 @@ def run_lint(args: argparse.Namespace) -> int:
             raise LintError(
                 f"cannot write certificate {certificate_path!r}: {exc}"
             ) from exc
+    if contract_path is not None:
+        from .excflow import build_error_contract_for_paths, render_error_contract
+
+        contract = build_error_contract_for_paths(
+            args.paths, config, cache=cache
+        )
+        try:
+            Path(contract_path).write_text(
+                render_error_contract(contract), encoding="utf-8"
+            )
+        except OSError as exc:
+            raise LintError(
+                f"cannot write error contract {contract_path!r}: {exc}"
+            ) from exc
     baseline_path = getattr(args, "baseline", None)
     if baseline_path is not None:
         known = _load_baseline(baseline_path)
@@ -287,6 +375,18 @@ def run_lint(args: argparse.Namespace) -> int:
             for finding in findings
             if (finding.path, finding.rule_id, finding.message) not in known
         ]
+    if sarif_path is not None:
+        from .sarif import render_sarif
+
+        try:
+            Path(sarif_path).write_text(
+                render_sarif(findings, suppressed=suppressed or ()),
+                encoding="utf-8",
+            )
+        except OSError as exc:
+            raise LintError(
+                f"cannot write SARIF report {sarif_path!r}: {exc}"
+            ) from exc
     if args.output_format == "json":
         print(render_json(findings))
     elif findings:
@@ -425,6 +525,81 @@ def run_cost(args: argparse.Namespace) -> int:
         for entry in functions.values():
             assert isinstance(entry, dict)
             if entry.get("covered") is not True:
+                return 1
+    return 0
+
+
+def add_errors_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``errors`` options to *parser*."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="implementation files or directories to analyze (default: src)",
+    )
+    rendering = parser.add_mutually_exclusive_group()
+    rendering.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="emit the stable machine-readable error-table document",
+    )
+    rendering.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown table suitable for embedding in README",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml to read [tool.repro-lint] from "
+        "(default: nearest one above the first path)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every solver entry point declares @raises, "
+        "every declaration covers its inferred escape set, and no "
+        "declaration is malformed",
+    )
+
+
+def run_errors(args: argparse.Namespace) -> int:
+    """Execute a parsed ``errors`` invocation; returns the exit code."""
+    # Runtime import: the error table shares the parse substrate, but
+    # the deps-only code path must not pay for it.
+    from .engine import iter_python_files
+    from .excflow import (
+        analyze_errors,
+        build_error_table,
+        build_exception_hierarchy,
+        render_error_table_markdown,
+        render_error_table_text,
+    )
+    from .interproc import build_program_context
+
+    config = _base_config(args)
+    cache = ParseCache()
+    parsed = [cache.parsed(path) for path in iter_python_files(args.paths, config)]
+    program = build_program_context(parsed, config, cache=cache)
+    hierarchy = build_exception_hierarchy(program)
+    errors_map = analyze_errors(program, hierarchy)
+    document = build_error_table(program, errors_map, hierarchy)
+    if args.json_output:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    elif args.markdown:
+        print(render_error_table_markdown(document))
+    else:
+        print(render_error_table_text(document))
+    if args.check:
+        functions = document["functions"]
+        assert isinstance(functions, dict)
+        for entry in functions.values():
+            assert isinstance(entry, dict)
+            if entry.get("problems") or entry.get("uncovered"):
+                return 1
+            if entry.get("entry_point") and entry.get("declared") is None:
                 return 1
     return 0
 

@@ -36,12 +36,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .costmodel import CostObservation
     from .dataflow_rules import DataflowContext
     from .effect_rules import EffectContext
+    from .error_rules import ErrorContext
     from .interproc import ProgramContext
 
 __all__ = [
     "CostRule",
     "DataflowRule",
     "EffectRule",
+    "ErrorRule",
     "ModuleContext",
     "ParseCache",
     "ParsedFile",
@@ -308,7 +310,26 @@ class CostRule(ABC):
         """Yield findings for the analyzed program; must not mutate it."""
 
 
-AnyRule = Rule | ProgramRule | DataflowRule | EffectRule | CostRule
+class ErrorRule(ABC):
+    """One exception-flow / resource-safety invariant (the R600 series).
+
+    Like :class:`DataflowRule`, deliberately not a :class:`ProgramRule`
+    subclass: these rules additionally need the interprocedural escape
+    fixpoint, the project exception hierarchy and the resource-lifecycle
+    report, which only ``lint --errors`` builds (on top of the same
+    :class:`~repro.lint.interproc.ProgramContext`).
+    """
+
+    id: str
+    name: str
+    summary: str
+
+    @abstractmethod
+    def check_errors(self, context: "ErrorContext") -> Iterable[Finding]:
+        """Yield findings for the analyzed program; must not mutate it."""
+
+
+AnyRule = Rule | ProgramRule | DataflowRule | EffectRule | CostRule | ErrorRule
 
 _REGISTRY: dict[str, AnyRule] = {}
 
@@ -377,7 +398,9 @@ def iter_python_files(
             yield candidate
 
 
-def _run_file_rules(ctx: ModuleContext) -> list[Finding]:
+def _run_file_rules(
+    ctx: ModuleContext, suppressed_sink: list[Finding] | None = None
+) -> list[Finding]:
     """Run every selected per-file rule against one module context."""
     findings: list[Finding] = []
     for rule_id in sorted(_REGISTRY):
@@ -387,6 +410,8 @@ def _run_file_rules(ctx: ModuleContext) -> list[Finding]:
         for finding in rule.check(ctx):
             if not ctx.suppressions.is_suppressed(finding.rule_id, finding.line):
                 findings.append(finding)
+            elif suppressed_sink is not None:
+                suppressed_sink.append(finding)
     return findings
 
 
@@ -472,8 +497,10 @@ def lint_paths(
     dataflow: bool = False,
     effects: bool = False,
     cost: bool = False,
+    errors: bool = False,
     cost_telemetry: "Sequence[CostObservation]" = (),
     cache: ParseCache | None = None,
+    suppressed_sink: list[Finding] | None = None,
 ) -> list[Finding]:
     """Lint files and directories (recursively); the main library entry.
 
@@ -487,11 +514,16 @@ def lint_paths(
     :mod:`repro.lint.effect_rules`); ``cost=True`` the symbolic cost
     fixpoint and the R500-series rules (see
     :mod:`repro.lint.cost_rules`), with *cost_telemetry* feeding R504's
-    measured-scaling check.  Each implies the program context, but not
-    the R100 rules themselves; any combination of tier flags shares the
-    single program context and parse pass.  Pass a long-lived *cache*
-    to reuse parses across runs; entries invalidate when a file's mtime
-    changes.
+    measured-scaling check; ``errors=True`` the exception-escape
+    fixpoint plus resource-lifecycle report and the R600-series rules
+    (see :mod:`repro.lint.error_rules`).  Each implies the program
+    context, but not the R100 rules themselves; any combination of tier
+    flags shares the single program context and parse pass.  Pass a
+    long-lived *cache* to reuse parses across runs; entries invalidate
+    when a file's mtime changes.  *suppressed_sink*, when given,
+    collects the findings that inline suppressions silenced — SARIF
+    output maps them to ``suppressions`` entries instead of dropping
+    them.
     """
     active_config = config if config is not None else LintConfig()
     active_cache = cache if cache is not None else ParseCache()
@@ -503,11 +535,13 @@ def lint_paths(
         if parsed.parse_error is not None:
             findings.append(parsed.parse_error)
             continue
-        findings.extend(_run_file_rules(parsed.context(active_config)))
+        findings.extend(
+            _run_file_rules(parsed.context(active_config), suppressed_sink)
+        )
         findings.extend(
             _suppression_findings(parsed.path, parsed.suppressions)
         )
-    if whole_program or dataflow or effects or cost:
+    if whole_program or dataflow or effects or cost or errors:
         # Runtime import breaks the engine <-> interproc module cycle;
         # both live in the same layer so R100 stays satisfied.
         from .interproc import build_program_context
@@ -515,57 +549,49 @@ def lint_paths(
         program = build_program_context(
             parsed_files, active_config, cache=active_cache
         )
-        if whole_program:
+
+        def collect(produced: Iterable[Finding]) -> None:
+            for finding in produced:
+                if not program.is_suppressed(finding):
+                    findings.append(finding)
+                elif suppressed_sink is not None:
+                    suppressed_sink.append(finding)
+
+        def tier_rules(rule_type: type) -> "Iterator[AnyRule]":
             for rule_id in sorted(_REGISTRY):
                 rule = _REGISTRY[rule_id]
-                if not isinstance(rule, ProgramRule) or not active_config.wants(
-                    rule_id
-                ):
-                    continue
-                for finding in rule.check_program(program):
-                    if not program.is_suppressed(finding):
-                        findings.append(finding)
+                if isinstance(rule, rule_type) and active_config.wants(rule_id):
+                    yield rule
+
+        if whole_program:
+            for rule in tier_rules(ProgramRule):
+                collect(rule.check_program(program))
         if dataflow:
             from .dataflow_rules import build_dataflow_context
 
             context = build_dataflow_context(
                 program, cache=active_cache
             )
-            for rule_id in sorted(_REGISTRY):
-                rule = _REGISTRY[rule_id]
-                if not isinstance(rule, DataflowRule) or not active_config.wants(
-                    rule_id
-                ):
-                    continue
-                for finding in rule.check_dataflow(context):
-                    if not program.is_suppressed(finding):
-                        findings.append(finding)
+            for rule in tier_rules(DataflowRule):
+                collect(rule.check_dataflow(context))
         if effects:
             from .effect_rules import build_effect_context
 
             effect_context = build_effect_context(program)
-            for rule_id in sorted(_REGISTRY):
-                rule = _REGISTRY[rule_id]
-                if not isinstance(rule, EffectRule) or not active_config.wants(
-                    rule_id
-                ):
-                    continue
-                for finding in rule.check_effects(effect_context):
-                    if not program.is_suppressed(finding):
-                        findings.append(finding)
+            for rule in tier_rules(EffectRule):
+                collect(rule.check_effects(effect_context))
         if cost:
             from .cost_rules import build_cost_context
 
             cost_context = build_cost_context(
                 program, telemetry=cost_telemetry
             )
-            for rule_id in sorted(_REGISTRY):
-                rule = _REGISTRY[rule_id]
-                if not isinstance(rule, CostRule) or not active_config.wants(
-                    rule_id
-                ):
-                    continue
-                for finding in rule.check_cost(cost_context):
-                    if not program.is_suppressed(finding):
-                        findings.append(finding)
+            for rule in tier_rules(CostRule):
+                collect(rule.check_cost(cost_context))
+        if errors:
+            from .error_rules import build_error_context
+
+            error_context = build_error_context(program)
+            for rule in tier_rules(ErrorRule):
+                collect(rule.check_errors(error_context))
     return sort_findings(findings)

@@ -1,0 +1,341 @@
+"""The R600-series exception-flow and resource-safety rules.
+
+Built on the interprocedural escape analysis (:mod:`repro.lint.excflow`)
+and the resource-lifecycle analysis (:mod:`repro.lint.resources`):
+
+============  =========================================================
+``R600``      inferred escape sets must be covered by ``@raises``
+              declarations (and every solver entry point must declare)
+``R601``      no resource (pool, file, span sink, LP checkpoint) leaked
+              on an exceptional path
+``R602``      no swallowed or over-broad ``except`` on a solver hot path
+``R603``      no non-``ReproError`` exception escaping an entry point
+              (the interprocedural upgrade of R103's builtin denylist)
+``R604``      metrics/span scopes must be closed on every CFG path
+============  =========================================================
+
+These rules run only under ``repro lint --errors``; they see the same
+parse-once files as everything else.  Findings honor inline suppressions
+and ``"R6xx:qualified.name"`` config exemptions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from .engine import ErrorRule, register_rule
+from .excflow import (
+    PROGRAMMING_ERRORS,
+    REPRO_BASE_EXCEPTION,
+    ExceptionHierarchy,
+    FunctionErrors,
+    analyze_errors,
+    build_exception_hierarchy,
+)
+from .findings import Finding
+from .interproc import ProgramContext, _in_packages
+from .resources import ResourceReport, analyze_resources
+
+__all__ = [
+    "ErrorContext",
+    "build_error_context",
+]
+
+#: Handler names R602 treats as over-broad on a solver hot path.
+_BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+
+@dataclass
+class ErrorContext:
+    """Everything a :class:`~repro.lint.engine.ErrorRule` may inspect."""
+
+    #: The shared whole-program view (files, call graph, config).
+    program: ProgramContext
+    #: Builtin + analyzed exception class hierarchy.
+    hierarchy: ExceptionHierarchy
+    #: Inferred (and declared) error surface of every analyzed function.
+    errors: Mapping[str, FunctionErrors]
+    #: Resource/scope lifecycle findings.
+    resources: ResourceReport
+    #: Solver entry points (public ``solve_*`` / ``optimal_*``).
+    entry_points: tuple[str, ...] = field(default_factory=tuple)
+    #: Functions reachable from the entry points over resolved calls —
+    #: the "solver hot path" R602 judges.
+    hot_path: frozenset[str] = field(default_factory=frozenset)
+
+
+def build_error_context(program: ProgramContext) -> ErrorContext:
+    """Run the escape fixpoint and lifecycle analysis over one program."""
+    from .effects import entry_point_names
+
+    hierarchy = build_exception_hierarchy(program)
+    errors = analyze_errors(program, hierarchy)
+    entry_points = entry_point_names(program)
+    frontier = list(entry_points)
+    hot_path = set(frontier)
+    while frontier:
+        current = frontier.pop()
+        for callee in program.calls.resolved_callees(current):
+            if callee not in hot_path:
+                hot_path.add(callee)
+                frontier.append(callee)
+    return ErrorContext(
+        program=program,
+        hierarchy=hierarchy,
+        errors=errors,
+        resources=analyze_resources(program),
+        entry_points=entry_points,
+        hot_path=frozenset(hot_path),
+    )
+
+
+def _witness_clause(errors: FunctionErrors, exception: str) -> str:
+    witness = errors.escapes.get(exception)
+    if witness is None:
+        return ""
+    if witness.origin == errors.qualified:
+        return f" (raised at line {witness.line})"
+    return f" (via {witness.origin!r}, line {witness.line})"
+
+
+@register_rule
+class RaisesDeclarationRule(ErrorRule):
+    """R600: inferred escape sets must be covered by ``@raises``.
+
+    A declaration is a machine-checked promise: the error-contract
+    certificate (and the retry gate built on it) trusts declared escape
+    sets, so an annotation narrower than the inferred reality would let
+    :func:`repro.resilience.retrying` misclassify a real failure.
+    Coverage is hierarchy-aware — declaring ``InfeasibleError`` covers a
+    ``CapacityError`` raised three calls down — and over-declaration is
+    legal (declaring exceptions the analysis cannot see through method
+    calls is the sanctioned idiom).  Solver entry points must declare:
+    an entry point without ``@raises`` has no contract to publish.
+    """
+
+    id = "R600"
+    name = "raises-declaration"
+    summary = "inferred escape sets must be covered by @raises declarations"
+
+    def check_errors(self, context: ErrorContext) -> Iterable[Finding]:
+        program = context.program
+        undeclared_entries = set(context.entry_points)
+        for qualified, errors in context.errors.items():
+            if errors.declared is not None:
+                undeclared_entries.discard(qualified)
+            if errors.declared is None and not errors.declared_problems:
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            info = program.calls.functions[qualified]
+            line = (
+                errors.declared_line
+                if errors.declared_line is not None
+                else info.line
+            )
+            for problem in errors.declared_problems:
+                yield program.finding(
+                    info.module, line, self.id,
+                    f"malformed @raises declaration on {info.name!r}: "
+                    f"{problem}",
+                )
+            if errors.declared is None:
+                continue
+            for exception in sorted(errors.escapes):
+                if context.hierarchy.covers(errors.declared, exception):
+                    continue
+                yield program.finding(
+                    info.module, line, self.id,
+                    f"{info.name!r} declares @raises"
+                    f"({sorted(errors.declared)}) but the analysis infers "
+                    f"{exception!r} can escape"
+                    f"{_witness_clause(errors, exception)}; widen the "
+                    "declaration or catch it at the boundary",
+                )
+        for qualified in sorted(undeclared_entries):
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            info = program.calls.functions[qualified]
+            yield program.finding(
+                info.module, info.line, self.id,
+                f"solver entry point {info.name!r} carries no @raises "
+                "declaration; declare its escape set so the error "
+                "contract can publish it, or exempt with "
+                f"'R600:{qualified}'",
+            )
+
+
+@register_rule
+class ResourceLeakRule(ErrorRule):
+    """R601: no resource leaked on an exceptional path.
+
+    A process pool, file handle, span sink or LP-model checkpoint that
+    is not ``with``-managed or released in a ``finally`` is abandoned
+    the moment an ``InfeasibleError`` interrupts the sweep holding it —
+    the failure mode only shows up as descriptor/worker exhaustion under
+    sustained serving traffic.  The lifecycle analysis
+    (:mod:`repro.lint.resources`) classifies each leak: never released,
+    released only on fall-through paths, or an unprotected window
+    between acquisition and its ``try/finally``.
+    """
+
+    id = "R601"
+    name = "resource-leak"
+    summary = "resources must be released on all paths (with or try/finally)"
+
+    def check_errors(self, context: ErrorContext) -> Iterable[Finding]:
+        program = context.program
+        for leak in context.resources.leaks:
+            info = program.calls.functions.get(leak.function)
+            if info is None:
+                continue
+            if not _in_packages(info.module, program.config.library_packages):
+                continue
+            if program.config.is_exempt(self.id, leak.function):
+                continue
+            yield program.finding(
+                info.module, leak.line, self.id,
+                f"{info.name!r}: {leak.detail}; or exempt with "
+                f"'R601:{leak.function}'",
+            )
+
+
+@register_rule
+class BroadHandlerRule(ErrorRule):
+    """R602: no swallowed or over-broad ``except`` on a solver hot path.
+
+    ``except Exception:`` (or a bare ``except:``) on a function the
+    solver entry points can reach hides real defects — a ``TypeError``
+    from a broken kernel is silently converted into "infeasible" — and
+    defeats both the escape analysis and the retry gate, which can only
+    trust declared failure modes.  A broad handler that *re-raises* is
+    legal (narrow-log-reraise is a sanctioned idiom); one that swallows
+    is the finding.
+    """
+
+    id = "R602"
+    name = "broad-handler"
+    summary = "solver hot paths must not swallow broad exception classes"
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+        return False
+
+    def check_errors(self, context: ErrorContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified in sorted(context.hot_path):
+            info = program.calls.functions.get(qualified)
+            if info is None:
+                continue
+            if not _in_packages(info.module, program.config.library_packages):
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Try):
+                    continue
+                for handler in node.handlers:
+                    label: str | None = None
+                    if handler.type is None:
+                        label = "a bare 'except:'"
+                    else:
+                        elements = (
+                            handler.type.elts
+                            if isinstance(handler.type, ast.Tuple)
+                            else [handler.type]
+                        )
+                        for element in elements:
+                            name = getattr(element, "id", None)
+                            if name in _BROAD_HANDLERS:
+                                label = f"'except {name}'"
+                                break
+                    if label is None or self._reraises(handler):
+                        continue
+                    yield program.finding(
+                        info.module, handler.lineno, self.id,
+                        f"{info.name!r} is on a solver hot path but "
+                        f"{label} swallows everything it catches; narrow "
+                        "the handler to the failures this code expects "
+                        "(or re-raise), or exempt with "
+                        f"'R602:{qualified}'",
+                    )
+
+
+@register_rule
+class EntryPointEscapeRule(ErrorRule):
+    """R603: no non-``ReproError`` exception escaping an entry point.
+
+    The interprocedural upgrade of R103: instead of a denylist of
+    builtin names seeded from raise sites, the full escape analysis
+    decides what reaches the public boundary, and the project hierarchy
+    decides what counts as deliberate (anything descending from
+    ``ReproError``).  Programming-error classes (``TypeError``,
+    ``NotImplementedError``, ``AssertionError``) stay legal, matching
+    the convention in ``repro.exceptions``.
+    """
+
+    id = "R603"
+    name = "entry-point-escape"
+    summary = "only ReproError subclasses may escape solver entry points"
+
+    def check_errors(self, context: ErrorContext) -> Iterable[Finding]:
+        program = context.program
+        for qualified in context.entry_points:
+            errors = context.errors.get(qualified)
+            if errors is None:
+                continue
+            if program.config.is_exempt(self.id, qualified):
+                continue
+            info = program.calls.functions[qualified]
+            for exception in sorted(errors.escapes):
+                if exception in PROGRAMMING_ERRORS:
+                    continue
+                if context.hierarchy.is_repro_error(exception):
+                    continue
+                yield program.finding(
+                    info.module, info.line, self.id,
+                    f"solver entry point {info.name!r} can let "
+                    f"{exception!r} escape"
+                    f"{_witness_clause(errors, exception)}, which is not "
+                    f"a {REPRO_BASE_EXCEPTION} subclass; catch it at the "
+                    "boundary and re-raise a library exception, or "
+                    f"exempt with 'R603:{qualified}'",
+                )
+
+
+@register_rule
+class ScopeClosureRule(ErrorRule):
+    """R604: metrics/span scopes must be closed on every CFG path.
+
+    A ``span(...)`` / ``telemetry_scope()`` / ``collect(...)`` created
+    outside a ``with`` block never runs its ``__exit__`` on exceptional
+    paths, so the span stack corrupts (children attach to a dead parent)
+    and counter scopes bleed into whatever solve runs next.  The only
+    closure Python guarantees is the context-manager protocol, so that
+    is what this rule demands.
+    """
+
+    id = "R604"
+    name = "scope-closure"
+    summary = "obs spans and telemetry scopes must be with-managed"
+
+    def check_errors(self, context: ErrorContext) -> Iterable[Finding]:
+        program = context.program
+        for problem in context.resources.scope_problems:
+            info = program.calls.functions.get(problem.function)
+            if info is None:
+                continue
+            if not _in_packages(info.module, program.config.library_packages):
+                continue
+            if program.config.is_exempt(self.id, problem.function):
+                continue
+            yield program.finding(
+                info.module, problem.line, self.id,
+                f"{info.name!r}: {problem.detail}; or exempt with "
+                f"'R604:{problem.function}'",
+            )

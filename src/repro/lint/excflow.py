@@ -1,0 +1,784 @@
+"""Interprocedural exception-propagation analysis and the error contract.
+
+Every module-level function of the analyzed program is summarized by its
+*escape set*: the exception class names a call can let propagate to the
+caller.  Unlike the seeded builtin-escape pass behind R103, this tier
+models the actual control flow of exceptions:
+
+* ``try/except/else/finally`` structure — only the ``try`` body is
+  protected by the handlers; handler, ``else`` and ``finally`` code
+  raises past them;
+* caught-context narrowing — a handler removes from the in-flight set
+  exactly the exceptions it catches, walking a *project-aware* class
+  hierarchy (``except ReproError`` catches ``InfeasibleError``,
+  ``except InfeasibleError`` catches ``CapacityError``) built from the
+  analyzed class definitions merged with the builtin hierarchy;
+* bare re-raises — ``raise`` inside ``except X:`` re-raises the
+  narrowed set the handler caught (not "anything"), and ``raise err``
+  of the handler's ``as`` alias is treated the same way;
+* ``raise New(...) from err`` chains — the new exception escapes, the
+  cause is context only;
+* call flow — escape sets of resolved callees (including
+  ``functools.partial`` bindings) enter at the call site and are
+  filtered by the handlers protecting it, propagated to a fixpoint so
+  cycles of mutually recursive helpers converge.
+
+The analysis is **optimistic about unresolved callees** (methods,
+builtins, third-party functions) — the same module-level-functions
+approximation the call graph documents: it proves what it can see, and
+``@raises`` declarations plus R600/R603 keep the visible part honest.
+Nested function bodies are not entered (they raise when the closure
+runs, and the call graph records no sites inside them either).
+
+The inferred map feeds the R600-series rules
+(:mod:`repro.lint.error_rules`) and :func:`build_error_contract`, which
+emits the JSON **error-contract certificate** consumed by
+:func:`repro.resilience.retrying`: every ``solve_*`` / ``optimal_*``
+entry point plus every ``@raises``-declared function, each with its
+escape set and the declared *transient* subset that is safe to retry.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from .._validation import exception_name_problems
+from .astutils import dotted_name
+from .callgraph import _BUILTIN_PARENTS, FunctionInfo
+from .config import LintConfig
+from .engine import ParseCache, iter_python_files
+from .interproc import ProgramContext, _in_packages, build_program_context
+
+__all__ = [
+    "FunctionErrors",
+    "ExceptionHierarchy",
+    "build_exception_hierarchy",
+    "analyze_errors",
+    "build_error_contract",
+    "build_error_contract_for_paths",
+    "validate_error_contract",
+    "render_error_contract",
+    "build_error_table",
+    "render_error_table_text",
+    "render_error_table_markdown",
+    "CONTRACT_KIND",
+    "CONTRACT_VERSION",
+    "REPRO_BASE_EXCEPTION",
+    "PROGRAMMING_ERRORS",
+]
+
+#: Document identifier of the emitted certificate.
+CONTRACT_KIND = "repro-error-contract"
+#: Schema version of the certificate document.
+CONTRACT_VERSION = 1
+#: Document identifier of the ``repro errors`` table.
+ERROR_TABLE_KIND = "repro-error-table"
+#: Schema version of the table document.
+ERROR_TABLE_VERSION = 1
+
+#: The base class every deliberate library exception must descend from
+#: (rule R603 and the certificate policy).
+REPRO_BASE_EXCEPTION = "ReproError"
+
+#: Exceptions that signal *programming errors* (API misuse, broken
+#: invariants), not library failure modes: R603 does not demand these be
+#: wrapped in :data:`REPRO_BASE_EXCEPTION` subclasses, matching the
+#: convention stated in ``repro.exceptions``.
+PROGRAMMING_ERRORS = frozenset(
+    {"TypeError", "NotImplementedError", "AssertionError", "KeyboardInterrupt"}
+)
+
+
+@dataclass(frozen=True)
+class RaiseWitness:
+    """Why one exception name is in a function's escape set."""
+
+    #: The escaping exception class name.
+    exception: str
+    #: Qualified function whose body raises it directly.
+    origin: str
+    #: 1-based line of the originating raise site.
+    line: int
+    #: Human-readable description of the site.
+    detail: str
+
+
+@dataclass(frozen=True)
+class FunctionErrors:
+    """The inferred (and, if present, declared) error surface of one function."""
+
+    qualified: str
+    #: Exceptions the function's own body can let escape, by name.
+    local: Mapping[str, RaiseWitness]
+    #: Transitive escape set (own body plus resolved callees), by name.
+    escapes: Mapping[str, RaiseWitness]
+    #: Declared escape set (``@raises``), ``None`` when undeclared;
+    #: the empty set means declared never-raising.
+    declared: frozenset[str] | None
+    #: Declared transient (retry-safe) subset.
+    declared_transient: frozenset[str]
+    #: Line of the declaration decorator, when present.
+    declared_line: int | None
+    #: Malformed-declaration messages (non-literal args, bad names).
+    declared_problems: tuple[str, ...]
+
+    def escape_names(self) -> tuple[str, ...]:
+        """Sorted inferred escaping exception names."""
+        return tuple(sorted(self.escapes))
+
+
+class ExceptionHierarchy:
+    """Class hierarchy over builtin and analyzed exception classes.
+
+    Answers ``except``-clause matching questions with project classes
+    resolved precisely (``except InfeasibleError`` catches
+    ``CapacityError``).  Unknown names — classes the analysis never saw —
+    are assumed to descend directly from ``Exception``, mirroring
+    :func:`repro.lint.callgraph.catches`.
+    """
+
+    def __init__(self, bases: Mapping[str, tuple[str, ...]]) -> None:
+        #: class name -> direct base names, for analyzed classes.
+        self._bases = dict(bases)
+
+    def ancestors(self, name: str) -> frozenset[str]:
+        """All classes *name* descends from, including itself."""
+        seen: set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in self._bases:
+                frontier.extend(self._bases[current])
+            elif current in _BUILTIN_PARENTS:
+                frontier.append(_BUILTIN_PARENTS[current])
+            elif current not in ("BaseException", "object"):
+                # Unknown class: assume it descends from Exception.
+                frontier.append("Exception")
+        seen.discard("object")
+        return frozenset(seen)
+
+    def catches(self, raised: str, handlers: Sequence[str]) -> bool:
+        """Whether an ``except`` clause over *handlers* catches *raised*."""
+        return bool(self.ancestors(raised) & set(handlers))
+
+    def covers(self, declared: frozenset[str], raised: str) -> bool:
+        """Whether a ``@raises`` set covers *raised* (exact or ancestor)."""
+        return bool(self.ancestors(raised) & declared)
+
+    def is_repro_error(self, name: str) -> bool:
+        """Whether *name* descends from :data:`REPRO_BASE_EXCEPTION`."""
+        return REPRO_BASE_EXCEPTION in self.ancestors(name)
+
+    def is_exception(self, name: str) -> bool:
+        """Whether *name* is a known analyzed exception class."""
+        return name in self._bases
+
+    def as_dict(self) -> dict[str, list[str]]:
+        """Analyzed exception classes -> sorted proper ancestors."""
+        return {
+            name: sorted(self.ancestors(name) - {name})
+            for name in sorted(self._bases)
+        }
+
+
+def build_exception_hierarchy(program: ProgramContext) -> ExceptionHierarchy:
+    """Collect exception class definitions from every analyzed module.
+
+    A class counts as an exception when its base-name chain reaches
+    ``BaseException`` (through other analyzed classes or the builtin
+    table).  Non-exception classes never appear in raise/except clauses,
+    so keeping them out keeps the hierarchy document small.
+    """
+    candidate_bases: dict[str, tuple[str, ...]] = {}
+    for parsed in program.files.values():
+        if parsed.tree is None:
+            continue
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            names = []
+            for base in node.bases:
+                name = dotted_name(base)
+                if name is not None:
+                    names.append(name.rsplit(".", 1)[-1])
+            if names:
+                candidate_bases.setdefault(node.name, tuple(names))
+
+    def reaches_base_exception(name: str, trail: frozenset[str]) -> bool:
+        if name in ("Exception", "BaseException"):
+            return True
+        if name in _BUILTIN_PARENTS:
+            return True
+        if name in trail:
+            return False
+        for base in candidate_bases.get(name, ()):
+            if reaches_base_exception(base, trail | {name}):
+                return True
+        return False
+
+    return ExceptionHierarchy(
+        {
+            name: bases
+            for name, bases in candidate_bases.items()
+            if reaches_base_exception(name, frozenset())
+        }
+    )
+
+
+def _declared_raises(
+    info: FunctionInfo,
+) -> tuple[
+    frozenset[str] | None, frozenset[str], int | None, tuple[str, ...]
+]:
+    """Parse a ``@raises(...)`` decorator off one function, statically."""
+    for decorator in info.node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = dotted_name(decorator.func)
+        if name is None or name.rsplit(".", 1)[-1] != "raises":
+            continue
+        problems: list[str] = []
+        names: set[str] = set()
+        transient: set[str] = set()
+
+        def literal(node: ast.expr) -> str | None:
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                issues = exception_name_problems(node.value)
+                if issues:
+                    problems.extend(issues)
+                    return None
+                return node.value
+            problems.append("exception names must be string literals")
+            return None
+
+        for argument in decorator.args:
+            value = literal(argument)
+            if value is not None:
+                names.add(value)
+        for keyword in decorator.keywords:
+            if keyword.arg != "transient":
+                problems.append(
+                    f"unknown raises() keyword {keyword.arg!r}; "
+                    "only 'transient' is accepted"
+                )
+                continue
+            if isinstance(keyword.value, (ast.Tuple, ast.List)):
+                for element in keyword.value.elts:
+                    value = literal(element)
+                    if value is not None:
+                        transient.add(value)
+            else:
+                problems.append(
+                    "transient= must be a tuple/list of string literals"
+                )
+        declared = frozenset(names) | frozenset(transient)
+        return declared, frozenset(transient), decorator.lineno, tuple(problems)
+    return None, frozenset(), None, ()
+
+
+def _handler_names(handler: ast.ExceptHandler) -> tuple[str, ...]:
+    """The exception class names one ``except`` clause matches.
+
+    A bare ``except:`` matches everything, modeled as ``BaseException``.
+    """
+    if handler.type is None:
+        return ("BaseException",)
+    elements = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: list[str] = []
+    for element in elements:
+        name = dotted_name(element)
+        if name is not None:
+            names.append(name.rsplit(".", 1)[-1])
+    return tuple(names)
+
+
+def _own_calls(statement: ast.stmt) -> Iterator[ast.Call]:
+    """Call expressions at one statement's own level (nested ``ast.stmt``
+    subtrees are walked separately by the evaluator, so descending into
+    them here would double-count their call sites)."""
+    stack: list[ast.AST] = [statement]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                continue
+            stack.append(child)
+
+
+class _FunctionEvaluator:
+    """Computes one function's escape set given current callee summaries.
+
+    Re-run under the fixpoint loop: the result is monotone in the
+    summaries (growing callee sets only grow the in-flight sets entering
+    each ``try``), so iteration terminates on the finite lattice of
+    exception names mentioned anywhere in the program.
+    """
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        hierarchy: ExceptionHierarchy,
+        callees_at_line: Mapping[int, tuple[str, ...]],
+    ) -> None:
+        self._info = info
+        self._hierarchy = hierarchy
+        self._callees_at_line = callees_at_line
+
+    def escapes(
+        self, summaries: Mapping[str, Mapping[str, RaiseWitness]]
+    ) -> dict[str, RaiseWitness]:
+        return self._body(
+            list(self._info.node.body), None, {}, summaries
+        )
+
+    def _body(
+        self,
+        body: list[ast.stmt],
+        alias: str | None,
+        caught: Mapping[str, RaiseWitness],
+        summaries: Mapping[str, Mapping[str, RaiseWitness]],
+    ) -> dict[str, RaiseWitness]:
+        """Escapes of a statement list.
+
+        *alias*/*caught* describe the innermost enclosing ``except``
+        handler: the ``as`` name (if any) and the narrowed set it caught,
+        which a bare ``raise`` (or ``raise alias``) re-raises.
+        """
+        escapes: dict[str, RaiseWitness] = {}
+
+        def merge(more: Mapping[str, RaiseWitness]) -> None:
+            for name, witness in more.items():
+                escapes.setdefault(name, witness)
+
+        for statement in body:
+            if isinstance(statement, ast.Try):
+                merge(self._try(statement, alias, caught, summaries))
+                continue
+            if isinstance(statement, ast.Raise):
+                merge(self._raise(statement, alias, caught))
+                continue
+            for node in _own_calls(statement):
+                for callee in self._callees_at_line.get(node.lineno, ()):
+                    merge(summaries.get(callee, {}))
+            children: list[ast.stmt] = []
+            if isinstance(
+                statement, (ast.If, ast.For, ast.AsyncFor, ast.While)
+            ):
+                children = [*statement.body, *statement.orelse]
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                children = list(statement.body)
+            elif isinstance(statement, ast.Match):
+                children = [s for case in statement.cases for s in case.body]
+            if children:
+                merge(self._body(children, alias, caught, summaries))
+        return escapes
+
+    def _try(
+        self,
+        statement: ast.Try,
+        alias: str | None,
+        caught: Mapping[str, RaiseWitness],
+        summaries: Mapping[str, Mapping[str, RaiseWitness]],
+    ) -> dict[str, RaiseWitness]:
+        remaining = self._body(
+            list(statement.body), alias, caught, summaries
+        )
+        escapes: dict[str, RaiseWitness] = {}
+
+        def merge(more: Mapping[str, RaiseWitness]) -> None:
+            for name, witness in more.items():
+                escapes.setdefault(name, witness)
+
+        for handler in statement.handlers:
+            names = _handler_names(handler)
+            caught_here = {
+                exception: witness
+                for exception, witness in remaining.items()
+                if self._hierarchy.catches(exception, names)
+            }
+            for exception in caught_here:
+                del remaining[exception]
+            handler_alias = handler.name
+            merge(
+                self._body(
+                    list(handler.body), handler_alias, caught_here, summaries
+                )
+            )
+        merge(remaining)
+        merge(self._body(list(statement.orelse), alias, caught, summaries))
+        merge(self._body(list(statement.finalbody), alias, caught, summaries))
+        return escapes
+
+    def _raise(
+        self,
+        statement: ast.Raise,
+        alias: str | None,
+        caught: Mapping[str, RaiseWitness],
+    ) -> dict[str, RaiseWitness]:
+        if statement.exc is None:
+            # Bare re-raise: the handler's narrowed caught set escapes.
+            return dict(caught)
+        target = (
+            statement.exc.func
+            if isinstance(statement.exc, ast.Call)
+            else statement.exc
+        )
+        name = dotted_name(target)
+        if name is None:
+            return {}
+        name = name.rsplit(".", 1)[-1]
+        if alias is not None and name == alias:
+            # ``raise err`` of the handler's ``as`` alias: same as bare.
+            return dict(caught)
+        if not name[:1].isupper():
+            # A lowercase name is a variable holding an instance we
+            # cannot type statically; stay optimistic like unresolved
+            # callees — @raises declarations keep the boundary honest.
+            return {}
+        return {
+            name: RaiseWitness(
+                exception=name,
+                origin=self._info.qualified,
+                line=statement.lineno,
+                detail=f"raised at {self._info.qualified}:{statement.lineno}",
+            )
+        }
+
+
+def analyze_errors(
+    program: ProgramContext,
+    hierarchy: ExceptionHierarchy | None = None,
+) -> dict[str, FunctionErrors]:
+    """Infer the escape set of every module-level function.
+
+    Each function's evaluator re-walks its body under the current callee
+    summaries until a fixpoint is reached; every escaping name keeps the
+    witness of the function that raised it, for attributable findings.
+    """
+    if hierarchy is None:
+        hierarchy = build_exception_hierarchy(program)
+
+    evaluators: dict[str, _FunctionEvaluator] = {}
+    declared: dict[
+        str,
+        tuple[frozenset[str] | None, frozenset[str], int | None, tuple[str, ...]],
+    ] = {}
+    for qualified, info in program.calls.functions.items():
+        callees_at_line: dict[int, list[str]] = {}
+        for site in program.calls.calls_from(qualified):
+            if site.callee is not None and site.callee != qualified:
+                callees_at_line.setdefault(site.line, []).append(site.callee)
+        evaluators[qualified] = _FunctionEvaluator(
+            info,
+            hierarchy,
+            {line: tuple(names) for line, names in callees_at_line.items()},
+        )
+        declared[qualified] = _declared_raises(info)
+
+    local = {
+        qualified: evaluator.escapes({})
+        for qualified, evaluator in evaluators.items()
+    }
+    summaries: dict[str, dict[str, RaiseWitness]] = {
+        qualified: dict(escapes) for qualified, escapes in local.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualified, evaluator in evaluators.items():
+            updated = evaluator.escapes(summaries)
+            if set(updated) - set(summaries[qualified]):
+                changed = True
+            # Keep first-seen witnesses stable across iterations.
+            for name, witness in summaries[qualified].items():
+                updated[name] = witness
+            summaries[qualified] = updated
+
+    return {
+        qualified: FunctionErrors(
+            qualified=qualified,
+            local=dict(sorted(local[qualified].items())),
+            escapes=dict(sorted(summaries[qualified].items())),
+            declared=declared[qualified][0],
+            declared_transient=declared[qualified][1],
+            declared_line=declared[qualified][2],
+            declared_problems=declared[qualified][3],
+        )
+        for qualified in sorted(program.calls.functions)
+    }
+
+
+def _covered_entries(
+    program: ProgramContext, errors_map: Mapping[str, FunctionErrors]
+) -> tuple[str, ...]:
+    """Entry points plus every ``@raises``-declared function."""
+    from .effects import entry_point_names
+
+    covered = set(entry_point_names(program))
+    for qualified, errors in errors_map.items():
+        if errors.declared is not None:
+            covered.add(qualified)
+    return tuple(sorted(covered))
+
+
+def build_error_contract(
+    program: ProgramContext,
+    errors_map: Mapping[str, FunctionErrors],
+    hierarchy: ExceptionHierarchy,
+) -> dict[str, object]:
+    """Assemble the JSON error-contract certificate document.
+
+    Covers every solver entry point (``solve_*`` / ``optimal_*``) plus
+    every ``@raises``-declared function.  The published ``raises`` set is
+    the union of declaration and inference — the safe contract even when
+    the two disagree (R600 reports the disagreement separately).
+    """
+    from .effects import ENTRY_POINT_PATTERN
+
+    functions: dict[str, dict[str, object]] = {}
+    for qualified in _covered_entries(program, errors_map):
+        errors = errors_map.get(qualified)
+        if errors is None:
+            continue
+        info = program.calls.functions[qualified]
+        contract = frozenset(errors.escapes) | (errors.declared or frozenset())
+        functions[qualified] = {
+            "module": info.module,
+            "name": info.name,
+            "line": info.line,
+            "raises": sorted(contract),
+            "transient": sorted(errors.declared_transient),
+            "declared": (
+                sorted(errors.declared)
+                if errors.declared is not None
+                else None
+            ),
+            "entry_point": bool(ENTRY_POINT_PATTERN.match(info.name)),
+        }
+
+    return {
+        "kind": CONTRACT_KIND,
+        "version": CONTRACT_VERSION,
+        "policy": {
+            "base": REPRO_BASE_EXCEPTION,
+            "programming_errors": sorted(PROGRAMMING_ERRORS),
+        },
+        "hierarchy": hierarchy.as_dict(),
+        "functions": functions,
+    }
+
+
+def build_error_contract_for_paths(
+    paths: Sequence[Path | str],
+    config: LintConfig | None = None,
+    *,
+    cache: ParseCache | None = None,
+) -> dict[str, object]:
+    """Parse *paths* and emit their error contract (CLI / test entry).
+
+    Pass the run's shared :class:`ParseCache` to preserve the
+    parse-exactly-once contract when the linter already read the files.
+    """
+    active_config = config if config is not None else LintConfig()
+    active_cache = cache if cache is not None else ParseCache()
+    parsed = [
+        active_cache.parsed(path)
+        for path in iter_python_files(paths, active_config)
+    ]
+    program = build_program_context(parsed, active_config, cache=active_cache)
+    hierarchy = build_exception_hierarchy(program)
+    errors_map = analyze_errors(program, hierarchy)
+    return build_error_contract(program, errors_map, hierarchy)
+
+
+def validate_error_contract(document: object) -> tuple[str, ...]:
+    """Schema-check a contract document; returns problem messages.
+
+    An empty tuple means the document is valid.  The same structural
+    rules are enforced (more leniently) by
+    :func:`repro.resilience.load_certificate`, which cannot import this
+    module — keep the two in sync.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ("error contract must be a JSON object",)
+    if document.get("kind") != CONTRACT_KIND:
+        problems.append(f"contract 'kind' must be {CONTRACT_KIND!r}")
+    if document.get("version") != CONTRACT_VERSION:
+        problems.append(f"contract 'version' must be {CONTRACT_VERSION}")
+    policy = document.get("policy")
+    if not isinstance(policy, dict) or not isinstance(
+        policy.get("base"), str
+    ):
+        problems.append("contract 'policy.base' must be a string")
+    hierarchy = document.get("hierarchy")
+    if not isinstance(hierarchy, dict) or not all(
+        isinstance(name, str)
+        and isinstance(ancestors, list)
+        and all(isinstance(entry, str) for entry in ancestors)
+        for name, ancestors in hierarchy.items()
+    ):
+        problems.append(
+            "contract 'hierarchy' must map class names to ancestor lists"
+        )
+    functions = document.get("functions")
+    if not isinstance(functions, dict):
+        problems.append("contract 'functions' must be an object")
+        return tuple(problems)
+    for qualified, entry in functions.items():
+        if not isinstance(entry, dict):
+            problems.append(f"function entry {qualified!r} must be an object")
+            continue
+        for key in ("raises", "transient"):
+            value = entry.get(key)
+            if not isinstance(value, list) or not all(
+                isinstance(name, str) for name in value
+            ):
+                problems.append(
+                    f"function {qualified!r}: {key!r} must list exception names"
+                )
+        raises_set = set(entry.get("raises") or ())
+        transient_set = set(entry.get("transient") or ())
+        if not transient_set <= raises_set:
+            problems.append(
+                f"function {qualified!r}: transient names must be a subset "
+                "of 'raises'"
+            )
+        for key in ("module", "name"):
+            if not isinstance(entry.get(key), str):
+                problems.append(
+                    f"function {qualified!r}: {key!r} must be a string"
+                )
+        if not isinstance(entry.get("entry_point"), bool):
+            problems.append(
+                f"function {qualified!r}: 'entry_point' must be a boolean"
+            )
+    return tuple(problems)
+
+
+def render_error_contract(document: Mapping[str, object]) -> str:
+    """Stable JSON text of a contract document."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def build_error_table(
+    program: ProgramContext,
+    errors_map: Mapping[str, FunctionErrors],
+    hierarchy: ExceptionHierarchy,
+) -> dict[str, object]:
+    """The declared-vs-inferred table behind ``repro errors``."""
+    from .effects import entry_point_names
+
+    entry_points = frozenset(entry_point_names(program))
+    rows: dict[str, dict[str, object]] = {}
+    for qualified in _covered_entries(program, errors_map):
+        errors = errors_map.get(qualified)
+        if errors is None:
+            continue
+        info = program.calls.functions[qualified]
+        uncovered = (
+            tuple(
+                sorted(
+                    name
+                    for name in errors.escapes
+                    if not hierarchy.covers(errors.declared, name)
+                )
+            )
+            if errors.declared is not None
+            else ()
+        )
+        rows[qualified] = {
+            "module": info.module,
+            "name": info.name,
+            "line": info.line,
+            "declared": (
+                sorted(errors.declared)
+                if errors.declared is not None
+                else None
+            ),
+            "transient": sorted(errors.declared_transient),
+            "inferred": sorted(errors.escapes),
+            "uncovered": list(uncovered),
+            "problems": list(errors.declared_problems),
+            "entry_point": qualified in entry_points,
+        }
+    return {
+        "kind": ERROR_TABLE_KIND,
+        "version": ERROR_TABLE_VERSION,
+        "functions": rows,
+    }
+
+
+def _format_names(names: object) -> str:
+    if names is None:
+        return "(undeclared)"
+    if not names:
+        return "(none)"
+    assert isinstance(names, list)
+    return ", ".join(names)
+
+
+def render_error_table_text(document: Mapping[str, object]) -> str:
+    """Human-readable declared-vs-inferred listing."""
+    lines: list[str] = []
+    functions = document.get("functions")
+    assert isinstance(functions, dict)
+    for qualified in sorted(functions):
+        entry = functions[qualified]
+        lines.append(f"{qualified}")
+        lines.append(f"  declared: {_format_names(entry['declared'])}")
+        if entry["transient"]:
+            lines.append(f"  transient: {_format_names(entry['transient'])}")
+        lines.append(f"  inferred: {_format_names(entry['inferred'])}")
+        for name in entry["uncovered"]:
+            lines.append(f"  UNCOVERED: {name}")
+        for problem in entry["problems"]:
+            lines.append(f"  PROBLEM: {problem}")
+    uncovered = sum(len(entry["uncovered"]) for entry in functions.values())
+    lines.append(
+        f"{len(functions)} functions, {uncovered} uncovered escapes"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_error_table_markdown(document: Mapping[str, object]) -> str:
+    """Markdown table of the declared-vs-inferred error surface."""
+    lines = [
+        "| Function | Declared | Transient | Inferred | Status |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    functions = document.get("functions")
+    assert isinstance(functions, dict)
+    for qualified in sorted(functions):
+        entry = functions[qualified]
+        if entry["problems"]:
+            status = "malformed"
+        elif entry["declared"] is None:
+            status = "undeclared"
+        elif entry["uncovered"]:
+            status = "uncovered: " + ", ".join(entry["uncovered"])
+        else:
+            status = "ok"
+        lines.append(
+            "| `{0}` | {1} | {2} | {3} | {4} |".format(
+                qualified,
+                _format_names(entry["declared"]),
+                _format_names(entry["transient"]) if entry["transient"] else "—",
+                _format_names(entry["inferred"]),
+                status,
+            )
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,548 @@
+"""Resource-lifecycle analysis: acquisitions must release on every path.
+
+The serving-layer failure mode this guards against: an
+``InfeasibleError`` mid-sweep abandons an open process pool, span sink
+or LP-model checkpoint, and the leak only shows up under sustained
+traffic.  The analysis tracks *acquisitions* inside every module-level
+function:
+
+==================  ===================================================
+``pool``            ``ProcessPoolExecutor`` / ``ThreadPoolExecutor`` /
+                    ``Pool`` constructions (released by ``shutdown`` /
+                    ``terminate``)
+``file``            ``open(...)`` handles (released by ``close``)
+``span-sink``       ``JsonlSpanSink(...)`` trace sinks (``close``)
+``checkpoint``      ``<model>.checkpoint()`` LP build-state snapshots
+                    (released by ``<model>.rollback(mark)``)
+==================  ===================================================
+
+and *scopes* — ``span(...)``, ``telemetry_scope()``, ``collect(...)``
+context managers whose ``__exit__`` is what closes the measurement.
+
+An acquisition is **exception-safe** only when it is ``with``-managed
+(directly, re-entered via ``with name:`` / ``closing(name)`` /
+``enter_context(...)``) or released inside the ``finally`` of a ``try``
+that starts no later than the statement after the acquisition — the two
+idioms whose release Python guarantees on exceptional paths.  Releases
+anywhere else are classified over the function's CFG
+(:mod:`repro.lint.cfg`): if some fall-through path reaches the exit
+without passing a release block the resource leaks outright; if every
+fall-through path releases, the leak is exception-only (any raise
+between acquisition and release abandons it), which is still a finding
+— that is exactly the mid-sweep case above.
+
+Scopes have no release method at all, so anything but ``with`` /
+``enter_context`` usage is reported (R604).  Findings are consumed by
+rules R601/R604 in :mod:`repro.lint.error_rules`; methods are out of
+scope, matching the call graph's module-level-functions approximation.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+
+from .astutils import dotted_name
+from .callgraph import FunctionInfo
+from .cfg import CALL, ControlFlowGraph, build_cfg
+from .interproc import ProgramContext
+
+__all__ = [
+    "ResourceReport",
+    "analyze_resources",
+]
+
+#: Constructor name (tail) -> (resource kind, release method names).
+RESOURCE_KINDS: Mapping[str, tuple[str, frozenset[str]]] = {
+    "ProcessPoolExecutor": ("pool", frozenset({"shutdown", "terminate"})),
+    "ThreadPoolExecutor": ("pool", frozenset({"shutdown", "terminate"})),
+    "Pool": ("pool", frozenset({"shutdown", "terminate", "close", "join"})),
+    "open": ("file", frozenset({"close"})),
+    "JsonlSpanSink": ("span-sink", frozenset({"close"})),
+}
+
+#: Method-call acquisitions: attribute name -> (kind, release methods on
+#: the *same receiver*).
+METHOD_ACQUISITIONS: Mapping[str, tuple[str, frozenset[str]]] = {
+    "checkpoint": ("checkpoint", frozenset({"rollback"})),
+}
+
+#: Calls producing measurement scopes that must be ``with``-managed.
+SCOPE_CALLEES = frozenset({"span", "telemetry_scope", "collect"})
+
+#: Leak classifications (the ``reason`` field of :class:`ResourceLeak`).
+NEVER_RELEASED = "never-released"
+EXCEPTIONAL_PATH = "exceptional-path"
+FALLTHROUGH_PATH = "fallthrough-path"
+GAP_BEFORE_TRY = "gap-before-try"
+
+
+@dataclass(frozen=True)
+class ResourceLeak:
+    """One acquisition that is not released on every path."""
+
+    #: Qualified function holding the acquisition.
+    function: str
+    #: Resource kind (``pool`` / ``file`` / ``span-sink`` / ``checkpoint``).
+    kind: str
+    #: Bound variable name (empty when the value is dropped).
+    name: str
+    #: 1-based line of the acquisition.
+    line: int
+    #: Why the acquisition is unsafe (one of the module constants).
+    reason: str
+    #: Human-readable elaboration.
+    detail: str
+
+
+@dataclass(frozen=True)
+class ScopeProblem:
+    """One ``span``/``telemetry_scope``/``collect`` not ``with``-managed."""
+
+    function: str
+    #: The scope callee name.
+    callee: str
+    line: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """All lifecycle findings of one analyzed program."""
+
+    leaks: tuple[ResourceLeak, ...]
+    scope_problems: tuple[ScopeProblem, ...]
+
+
+@dataclass(frozen=True)
+class _Acquisition:
+    kind: str
+    name: str
+    statement: ast.stmt
+    value: ast.Call
+    release_methods: frozenset[str]
+    #: Receiver name for method acquisitions (``model`` in
+    #: ``model.checkpoint()``), ``None`` for constructors.
+    receiver: str | None
+
+
+def _call_tail(node: ast.Call) -> str | None:
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+def _resource_call(node: ast.Call) -> tuple[str, frozenset[str], str | None] | None:
+    """Classify *node* as a resource acquisition, if it is one."""
+    tail = _call_tail(node)
+    if tail is None:
+        return None
+    if tail in RESOURCE_KINDS and not isinstance(node.func, ast.Attribute):
+        kind, releases = RESOURCE_KINDS[tail]
+        return kind, releases, None
+    if (
+        tail in RESOURCE_KINDS
+        and isinstance(node.func, ast.Attribute)
+        and tail != "open"
+    ):
+        # Qualified constructors (``futures.ProcessPoolExecutor(...)``).
+        kind, releases = RESOURCE_KINDS[tail]
+        return kind, releases, None
+    if isinstance(node.func, ast.Attribute) and tail in METHOD_ACQUISITIONS:
+        kind, releases = METHOD_ACQUISITIONS[tail]
+        receiver = None
+        if isinstance(node.func.value, ast.Name):
+            receiver = node.func.value.id
+        return kind, releases, receiver
+    return None
+
+
+def _statements(body: list[ast.stmt]) -> Iterator[ast.stmt]:
+    """All statements of a function body, nested defs excluded."""
+    for statement in body:
+        yield statement
+        children: list[ast.stmt] = []
+        if isinstance(statement, (ast.If, ast.For, ast.AsyncFor, ast.While)):
+            children = [*statement.body, *statement.orelse]
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            children = list(statement.body)
+        elif isinstance(statement, ast.Try):
+            children = [
+                *statement.body,
+                *(s for handler in statement.handlers for s in handler.body),
+                *statement.orelse,
+                *statement.finalbody,
+            ]
+        elif isinstance(statement, ast.Match):
+            children = [s for case in statement.cases for s in case.body]
+        if children:
+            yield from _statements(children)
+
+
+def _own_expressions(statement: ast.stmt) -> Iterator[ast.AST]:
+    stack: list[ast.AST] = [statement]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                continue
+            stack.append(child)
+
+
+def _with_managed_calls(info: FunctionInfo) -> set[int]:
+    """``id()`` of every Call used directly as a ``with`` item or passed
+    to ``enter_context`` / ``closing``."""
+    managed: set[int] = set()
+    for statement in _statements(list(info.node.body)):
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                if isinstance(item.context_expr, ast.Call):
+                    managed.add(id(item.context_expr))
+    for statement in _statements(list(info.node.body)):
+        for node in _own_expressions(statement):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = _call_tail(node)
+            if tail in ("enter_context", "closing"):
+                for argument in node.args:
+                    if isinstance(argument, ast.Call):
+                        managed.add(id(argument))
+    return managed
+
+
+def _with_entered_names(info: FunctionInfo) -> set[str]:
+    """Names later entered as context managers (``with name:`` or
+    ``with closing(name):``), whose ``__exit__`` performs the release."""
+    names: set[str] = set()
+    for statement in _statements(list(info.node.body)):
+        if not isinstance(statement, (ast.With, ast.AsyncWith)):
+            continue
+        for item in statement.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Name):
+                names.add(expr.id)
+            elif isinstance(expr, ast.Call):
+                tail = _call_tail(expr)
+                if tail in ("closing", "enter_context"):
+                    for argument in expr.args:
+                        if isinstance(argument, ast.Name):
+                            names.add(argument.id)
+    return names
+
+
+def _release_calls(
+    info: FunctionInfo, acquisition: _Acquisition
+) -> list[ast.Call]:
+    """Calls that release *acquisition* (``name.close()``-style, or
+    ``receiver.rollback(...)`` for checkpoints)."""
+    owner = (
+        acquisition.receiver
+        if acquisition.receiver is not None
+        else acquisition.name
+    )
+    if not owner:
+        return []
+    releases: list[ast.Call] = []
+    for statement in _statements(list(info.node.body)):
+        for node in _own_expressions(statement):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in acquisition.release_methods
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == owner
+            ):
+                releases.append(node)
+    return releases
+
+
+def _finally_protected(
+    info: FunctionInfo, acquisition: _Acquisition, releases: list[ast.Call]
+) -> tuple[bool, str | None]:
+    """Whether a release in some ``finally`` covers the acquisition.
+
+    Covered positions: the acquisition statement sits inside the ``try``
+    body itself, or it immediately precedes the ``try`` in the same
+    statement list (the standard acquire-then-``try/finally`` idiom).
+    Returns ``(protected, gap_detail)`` — *gap_detail* is set when a
+    ``finally`` release exists but statements between the acquisition
+    and the ``try`` leave an unprotected window.
+    """
+    release_ids = {id(node) for node in releases}
+
+    def contains_release(body: list[ast.stmt]) -> bool:
+        for statement in _statements(list(body)):
+            for node in _own_expressions(statement):
+                if id(node) in release_ids:
+                    return True
+        return False
+
+    def contains_statement(body: list[ast.stmt], target: ast.stmt) -> bool:
+        return any(s is target for s in _statements(list(body)))
+
+    gap: str | None = None
+    for statement in _statements(list(info.node.body)):
+        if not isinstance(statement, ast.Try):
+            continue
+        if not contains_release(statement.finalbody):
+            continue
+        if contains_statement(statement.body, acquisition.statement):
+            return True, None
+        # Acquire-before-try: find the try in the lists that could hold
+        # both; protected only when nothing runs in between.
+        for body in _sibling_lists(info.node):
+            if statement not in body or acquisition.statement not in body:
+                continue
+            acq_index = body.index(acquisition.statement)
+            try_index = body.index(statement)
+            if try_index == acq_index + 1:
+                return True, None
+            if try_index > acq_index:
+                gap = (
+                    f"statements between the acquisition (line "
+                    f"{acquisition.statement.lineno}) and the protecting "
+                    f"try (line {statement.lineno}) can raise and leak it"
+                )
+    return False, gap
+
+
+def _sibling_lists(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[list[ast.stmt]]:
+    """Every statement list of the function body (nested defs excluded)."""
+    stack: list[list[ast.stmt]] = [list(node.body)]
+    while stack:
+        body = stack.pop()
+        yield body
+        for statement in body:
+            if isinstance(statement, (ast.If, ast.For, ast.AsyncFor, ast.While)):
+                stack.append(list(statement.body))
+                stack.append(list(statement.orelse))
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                stack.append(list(statement.body))
+            elif isinstance(statement, ast.Try):
+                stack.append(list(statement.body))
+                for handler in statement.handlers:
+                    stack.append(list(handler.body))
+                stack.append(list(statement.orelse))
+                stack.append(list(statement.finalbody))
+            elif isinstance(statement, ast.Match):
+                for case in statement.cases:
+                    stack.append(list(case.body))
+
+
+def _fallthrough_leaks(
+    cfg: ControlFlowGraph,
+    acquisition: _Acquisition,
+    releases: list[ast.Call],
+) -> bool:
+    """Whether some CFG path from the acquisition reaches the exit
+    without passing a release call (the fall-through classification; the
+    CFG does not model implicit exception edges outside ``try`` bodies,
+    which is exactly why a ``True`` here means the leak is unconditional,
+    not merely exceptional)."""
+    release_ids = {id(node) for node in releases}
+    acquired_block: int | None = None
+    release_blocks: set[int] = set()
+    for block in cfg.blocks:
+        for event in block.events:
+            if id(event.node) == id(acquisition.value):
+                acquired_block = block.index
+            if event.kind == CALL and id(event.node) in release_ids:
+                release_blocks.add(block.index)
+    if acquired_block is None:
+        return False
+    frontier = [acquired_block]
+    seen = {acquired_block}
+    while frontier:
+        current = frontier.pop()
+        if current == cfg.exit:
+            return True
+        if current != acquired_block and current in release_blocks:
+            continue
+        for successor in cfg.blocks[current].successors:
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return False
+
+
+def _function_leaks(info: FunctionInfo) -> Iterator[ResourceLeak]:
+    managed_calls = _with_managed_calls(info)
+    entered_names = _with_entered_names(info)
+    acquisitions: list[_Acquisition] = []
+    for statement in _statements(list(info.node.body)):
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            continue
+        value: ast.expr | None = None
+        targets: list[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            value = statement.value
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            value = statement.value
+            targets = [statement.target]
+        elif isinstance(statement, ast.Expr):
+            value = statement.value
+        else:
+            continue
+        if not isinstance(value, ast.Call) or id(value) in managed_calls:
+            continue
+        classified = _resource_call(value)
+        if classified is None:
+            continue
+        kind, release_methods, receiver = classified
+        name = ""
+        if len(targets) == 1 and isinstance(targets[0], ast.Name):
+            name = targets[0].id
+        acquisitions.append(
+            _Acquisition(
+                kind=kind,
+                name=name,
+                statement=statement,
+                value=value,
+                release_methods=release_methods,
+                receiver=receiver,
+            )
+        )
+
+    cfg: ControlFlowGraph | None = None
+    for acquisition in acquisitions:
+        if acquisition.name and acquisition.name in entered_names:
+            continue
+        releases = _release_calls(info, acquisition)
+        label = acquisition.name or f"<dropped {acquisition.kind}>"
+        if not releases:
+            yield ResourceLeak(
+                function=info.qualified,
+                kind=acquisition.kind,
+                name=acquisition.name,
+                line=acquisition.value.lineno,
+                reason=NEVER_RELEASED,
+                detail=(
+                    f"{acquisition.kind} {label!r} is never released; "
+                    "manage it with 'with' or release it in a try/finally"
+                ),
+            )
+            continue
+        protected, gap = _finally_protected(info, acquisition, releases)
+        if protected:
+            continue
+        if gap is not None:
+            yield ResourceLeak(
+                function=info.qualified,
+                kind=acquisition.kind,
+                name=acquisition.name,
+                line=acquisition.value.lineno,
+                reason=GAP_BEFORE_TRY,
+                detail=f"{acquisition.kind} {label!r}: {gap}",
+            )
+            continue
+        if cfg is None:
+            cfg = build_cfg(info.node)
+        if _fallthrough_leaks(cfg, acquisition, releases):
+            yield ResourceLeak(
+                function=info.qualified,
+                kind=acquisition.kind,
+                name=acquisition.name,
+                line=acquisition.value.lineno,
+                reason=FALLTHROUGH_PATH,
+                detail=(
+                    f"{acquisition.kind} {label!r} reaches the function "
+                    "exit without a release on some fall-through path"
+                ),
+            )
+        else:
+            yield ResourceLeak(
+                function=info.qualified,
+                kind=acquisition.kind,
+                name=acquisition.name,
+                line=acquisition.value.lineno,
+                reason=EXCEPTIONAL_PATH,
+                detail=(
+                    f"{acquisition.kind} {label!r} is released on every "
+                    "fall-through path but leaks when an exception "
+                    "interrupts the function; move the release into a "
+                    "finally or use 'with'"
+                ),
+            )
+
+
+def _shadowed_names(info: FunctionInfo) -> set[str]:
+    """Function names defined inside *info* (nested defs shadow the obs
+    helpers: a local ``collect`` closure is not ``repro.obs.collect``)."""
+    shadowed: set[str] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not info.node:
+                shadowed.add(node.name)
+    return shadowed
+
+
+def _function_scope_problems(
+    info: FunctionInfo, module_names: frozenset[str]
+) -> Iterator[ScopeProblem]:
+    managed_calls = _with_managed_calls(info)
+    entered_names = _with_entered_names(info)
+    shadowed = _shadowed_names(info) | module_names
+    for statement in _statements(list(info.node.body)):
+        assigned: str | None = None
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            continue
+        if isinstance(statement, ast.Assign) and (
+            len(statement.targets) == 1
+            and isinstance(statement.targets[0], ast.Name)
+        ):
+            assigned = statement.targets[0].id
+        for node in _own_expressions(statement):
+            if not isinstance(node, ast.Call) or id(node) in managed_calls:
+                continue
+            tail = _call_tail(node)
+            if tail not in SCOPE_CALLEES or tail in shadowed:
+                continue
+            if isinstance(node.func, ast.Attribute):
+                # ``module.span`` is fine to track, but skip method
+                # calls like ``self.span`` whose receiver we cannot type.
+                if not isinstance(node.func.value, ast.Name):
+                    continue
+            if (
+                assigned is not None
+                and isinstance(statement, ast.Assign)
+                and statement.value is node
+                and assigned in entered_names
+            ):
+                continue
+            yield ScopeProblem(
+                function=info.qualified,
+                callee=tail,
+                line=node.lineno,
+                detail=(
+                    f"{tail}(...) creates a measurement scope that is "
+                    "never entered with 'with'; its __exit__ is what "
+                    "closes the span/scope on exceptional paths"
+                ),
+            )
+
+
+def analyze_resources(program: ProgramContext) -> ResourceReport:
+    """Run the lifecycle analysis over every module-level function."""
+    leaks: list[ResourceLeak] = []
+    scope_problems: list[ScopeProblem] = []
+    module_functions: dict[str, set[str]] = {}
+    for info in program.calls.functions.values():
+        module_functions.setdefault(info.module, set()).add(info.name)
+    for qualified in sorted(program.calls.functions):
+        info = program.calls.functions[qualified]
+        leaks.extend(_function_leaks(info))
+        locally_defined = frozenset(
+            module_functions.get(info.module, set()) & SCOPE_CALLEES
+        )
+        scope_problems.extend(
+            _function_scope_problems(info, locally_defined)
+        )
+    return ResourceReport(
+        leaks=tuple(leaks), scope_problems=tuple(scope_problems)
+    )

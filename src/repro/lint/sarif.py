@@ -1,0 +1,122 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format code-scanning UIs (GitHub code scanning,
+VS Code SARIF viewer) consume; ``repro lint --sarif out.sarif`` writes
+one so CI annotations come from the same single-parse run as the text
+report.  The document carries the full registered rule catalogue as
+``tool.driver.rules`` (id, name, summary, help URI into
+``docs/static_analysis.md``), every reported finding as a ``result``,
+and — unusually for linters — every *suppressed* finding too, mapped to
+a SARIF ``suppressions: [{"kind": "inSource"}]`` entry so dashboards can
+audit what ``# repro-lint: disable=...`` comments hide rather than
+losing them.
+
+The renderer is deliberately dependency-free and emits deterministic
+output (sorted rules, findings in engine order, two-space indent) so the
+artifact diffs cleanly between CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+
+from .engine import registered_rules
+from .findings import Finding
+
+__all__ = ["render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Anchor page for every rule's ``helpUri``.
+_DOCS_URI = "docs/static_analysis.md"
+
+
+def _rule_descriptors() -> list[dict[str, object]]:
+    descriptors: list[dict[str, object]] = []
+    for rule_id in sorted(registered_rules()):
+        rule = registered_rules()[rule_id]
+        descriptors.append(
+            {
+                "id": rule_id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "helpUri": f"{_DOCS_URI}#{rule_id.lower()}",
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return descriptors
+
+
+def _result(
+    finding: Finding,
+    rule_index: dict[str, int],
+    *,
+    suppressed: bool,
+) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column,
+                    },
+                }
+            }
+        ],
+    }
+    index = rule_index.get(finding.rule_id)
+    if index is not None:
+        result["ruleIndex"] = index
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    *,
+    suppressed: Iterable[Finding] = (),
+) -> str:
+    """Render *findings* (plus in-source-*suppressed* ones) as SARIF."""
+    rules = _rule_descriptors()
+    rule_index = {
+        str(descriptor["id"]): position
+        for position, descriptor in enumerate(rules)
+    }
+    results = [
+        _result(finding, rule_index, suppressed=False) for finding in findings
+    ]
+    results.extend(
+        _result(finding, rule_index, suppressed=True)
+        for finding in suppressed
+    )
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _DOCS_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

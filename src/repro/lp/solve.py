@@ -19,7 +19,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
-from .._validation import cost
+from .._validation import cost, raises
 from ..exceptions import InfeasibleError, SolverError, UnboundedError
 from ..obs.metrics import counter
 from ..obs.trace import span
@@ -154,6 +154,7 @@ def _compile(model: Model):
 
 
 @cost("n**2 * q**2")
+@raises("InfeasibleError", "UnboundedError", transient=("SolverError",))
 def solve_model(model: Model, method: str = "highs") -> Solution:
     """Solve *model* and return its optimal :class:`Solution`.
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .._validation import cost
+from .._validation import cost, raises
 from ..lp import Model
 from .base import QuorumSystem
 from .strategy import AccessStrategy
@@ -47,6 +47,7 @@ class OptimalStrategyResult:
 
 
 @cost("n * q**2")
+@raises("ValidationError")
 def optimal_strategy(  # repro-lint: disable=R001 (input pre-validated by type)
     system: QuorumSystem,
 ) -> OptimalStrategyResult:

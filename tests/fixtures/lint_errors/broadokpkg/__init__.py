@@ -1,0 +1,1 @@
+"""Fixture: a broad handler that re-raises is sanctioned (R602 clean)."""

@@ -1,0 +1,10 @@
+"""Log-and-reraise keeps the failure visible."""
+
+__all__ = ["evaluate"]
+
+
+def evaluate(item):
+    try:
+        return 1.0 / float(item)
+    except Exception:
+        raise

@@ -1,0 +1,1 @@
+"""Fixture: a swallowing broad handler on a solver hot path (R602)."""

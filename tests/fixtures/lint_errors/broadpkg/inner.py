@@ -1,0 +1,10 @@
+"""Swallowing 'except Exception' hides real defects."""
+
+__all__ = ["evaluate"]
+
+
+def evaluate(item):
+    try:
+        return 1.0 / float(item)
+    except Exception:
+        return 0.0

@@ -1,0 +1,1 @@
+"""Fixture: the failure is converted to a ReproError subclass (R603 clean)."""

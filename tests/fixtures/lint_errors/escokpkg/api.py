@@ -1,0 +1,13 @@
+"""solve_lookup converts the helper's KeyError at the boundary."""
+
+from .errors import MissingKeyError
+from .helper import lookup
+
+__all__ = ["solve_lookup"]
+
+
+def solve_lookup(table, key):
+    try:
+        return lookup(table, key)
+    except KeyError as error:
+        raise MissingKeyError(str(error)) from error

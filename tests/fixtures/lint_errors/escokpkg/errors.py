@@ -1,0 +1,11 @@
+"""Library exception hierarchy rooted at ReproError (by name)."""
+
+__all__ = ["ReproError", "MissingKeyError"]
+
+
+class ReproError(Exception):
+    pass
+
+
+class MissingKeyError(ReproError):
+    pass

@@ -1,0 +1,9 @@
+"""Raises a builtin the entry point converts."""
+
+__all__ = ["lookup"]
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(key)
+    return table[key]

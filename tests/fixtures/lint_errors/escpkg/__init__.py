@@ -1,0 +1,1 @@
+"""Fixture: a builtin escapes a solver entry point (R603)."""

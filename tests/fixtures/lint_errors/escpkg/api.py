@@ -1,0 +1,9 @@
+"""solve_lookup lets the helper's KeyError reach callers."""
+
+from .helper import lookup
+
+__all__ = ["solve_lookup"]
+
+
+def solve_lookup(table, key):
+    return lookup(table, key)

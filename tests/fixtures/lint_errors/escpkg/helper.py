@@ -1,0 +1,9 @@
+"""Raises a builtin the entry point never converts."""
+
+__all__ = ["lookup"]
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(key)
+    return table[key]

@@ -1,0 +1,1 @@
+"""Fixture: the same resources, exception-safely managed (R601 clean)."""

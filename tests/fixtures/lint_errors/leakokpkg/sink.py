@@ -1,0 +1,15 @@
+"""Stand-in trace sink so the fixture stays import-free."""
+
+__all__ = ["JsonlSpanSink"]
+
+
+class JsonlSpanSink:
+    def __init__(self, path):
+        self.path = path
+        self.rows = []
+
+    def write(self, row):
+        self.rows.append(row)
+
+    def close(self):
+        self.rows = []

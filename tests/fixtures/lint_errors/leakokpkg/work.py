@@ -1,0 +1,22 @@
+"""'with'-managed pool and try/finally sink: released on every path."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .sink import JsonlSpanSink
+
+__all__ = ["sweep", "record"]
+
+
+def sweep(jobs):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(len, jobs))
+
+
+def record(path, rows):
+    sink = JsonlSpanSink(path)
+    try:
+        for row in rows:
+            sink.write(row)
+    finally:
+        sink.close()
+    return len(rows)

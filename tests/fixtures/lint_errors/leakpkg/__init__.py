@@ -1,0 +1,1 @@
+"""Fixture: resources leak on exceptional paths (R601)."""

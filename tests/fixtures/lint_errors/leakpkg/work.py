@@ -1,0 +1,22 @@
+"""A pool without 'with' and a sink released only on fall-through."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .sink import JsonlSpanSink
+
+__all__ = ["sweep", "record"]
+
+
+def sweep(jobs):
+    pool = ProcessPoolExecutor(max_workers=2)
+    results = list(pool.map(len, jobs))
+    pool.shutdown()
+    return results
+
+
+def record(path, rows):
+    sink = JsonlSpanSink(path)
+    for row in rows:
+        sink.write(row)
+    sink.close()
+    return len(rows)

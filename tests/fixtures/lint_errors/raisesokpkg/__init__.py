@@ -1,0 +1,1 @@
+"""Fixture: covered, hierarchy-aware declarations (R600 clean)."""

@@ -1,0 +1,13 @@
+"""Declaring the base class covers the concrete subclass raised below."""
+
+from .decl import raises
+from .errors import MissingKeyError
+
+__all__ = ["solve_lookup"]
+
+
+@raises("InputError")
+def solve_lookup(table, key):
+    if key not in table:
+        raise MissingKeyError(str(key))
+    return table[key]

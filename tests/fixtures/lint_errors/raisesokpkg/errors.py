@@ -1,0 +1,15 @@
+"""A two-level hierarchy to prove coverage is subclass-aware."""
+
+__all__ = ["ReproError", "InputError", "MissingKeyError"]
+
+
+class ReproError(Exception):
+    pass
+
+
+class InputError(ReproError):
+    pass
+
+
+class MissingKeyError(InputError):
+    pass

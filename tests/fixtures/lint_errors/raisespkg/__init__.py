@@ -1,0 +1,1 @@
+"""Fixture: @raises declarations that disagree with reality (R600)."""

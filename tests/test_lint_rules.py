@@ -67,6 +67,11 @@ def test_all_rules_registered():
         "R502",
         "R503",
         "R504",
+        "R600",
+        "R601",
+        "R602",
+        "R603",
+        "R604",
     }
 
 

@@ -25,6 +25,7 @@ def _run(
     dataflow: bool = False,
     effects: bool = False,
     cost: bool = False,
+    errors: bool = False,
 ) -> list[Finding]:
     config = load_config(search_from=REPO_ROOT)
     return lint_paths(
@@ -34,6 +35,7 @@ def _run(
         dataflow=dataflow,
         effects=effects,
         cost=cost,
+        errors=errors,
     )
 
 
@@ -82,10 +84,25 @@ def test_src_is_effects_and_cost_clean():
 
 
 @pytest.mark.skipif(not SRC.is_dir(), reason="source tree not present")
-def test_whole_program_run_parses_each_file_exactly_once():
-    """One run = one parse per file, across all four tiers at once.
+def test_src_is_errors_clean():
+    """The error tier (R600-R604) must also hold over src.
 
-    ``--whole-program --dataflow --effects --cost`` share one
+    Every public solver entry point carries a ``@raises`` declaration
+    covering its inferred escape set, no resource leaks on exceptional
+    paths, no broad handlers on hot paths, and nothing but ReproError
+    subclasses escape the entry points.
+    """
+    findings = _run([SRC], errors=True)
+    assert not findings, (
+        f"repro lint src --errors must stay clean:\n{_report(findings)}"
+    )
+
+
+@pytest.mark.skipif(not SRC.is_dir(), reason="source tree not present")
+def test_whole_program_run_parses_each_file_exactly_once():
+    """One run = one parse per file, across all five tiers at once.
+
+    ``--whole-program --dataflow --effects --cost --errors`` share one
     ``ProgramContext``; adding a tier must never re-parse the tree
     (including the R104 usage-root scan).
     """
@@ -100,6 +117,7 @@ def test_whole_program_run_parses_each_file_exactly_once():
         dataflow=True,
         effects=True,
         cost=True,
+        errors=True,
         cache=cache,
     )
     assert cache.parse_counts, "expected the run to parse files"

@@ -1,0 +1,386 @@
+"""Contract-gated retries, deadlines and seeded fault injection.
+
+The acceptance bar mirrors the parallel layer's: the retry wrapper must
+recover *byte-identically* from a transient ``SolverError`` injected
+mid-sweep into :func:`solve_qpp` — same objective, winning source,
+lower bound and placement as the undisturbed run — and the contract
+gate must fail closed: no certificate, an uncovered callable, or an
+exception the contract never declared all refuse rather than guess.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    ErrorContractError,
+    InfeasibleError,
+    SolverError,
+    ValidationError,
+)
+from repro.lint import build_error_contract_for_paths
+from repro.network import random_geometric_network, uniform_capacities
+from repro.obs.metrics import counter
+from repro.quorums import AccessStrategy, majority
+from repro.resilience import (
+    CONTRACT_ENV_VAR,
+    Deadline,
+    contract_entry,
+    deadline,
+    fault_point,
+    inject_faults,
+    load_certificate,
+    retrying,
+    seeded_faults,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+pytestmark = pytest.mark.skipif(
+    not SRC.is_dir(), reason="source tree not present"
+)
+
+
+@pytest.fixture(scope="module")
+def contract():
+    """The real error contract over ``src`` — what CI ships as an artifact."""
+    return build_error_contract_for_paths([SRC])
+
+
+@pytest.fixture(scope="module")
+def qpp_instance():
+    rng = np.random.default_rng(11)
+    network = uniform_capacities(
+        random_geometric_network(20, 0.4, rng=rng), 1.0
+    )
+    system = majority(3)
+    strategy = AccessStrategy.uniform(system)
+    candidates = list(network.nodes)[:4]
+    return system, strategy, network, candidates
+
+
+# -- load_certificate -------------------------------------------------------------
+
+
+class TestLoadCertificate:
+    def test_none_without_env_is_no_contract(self, monkeypatch):
+        monkeypatch.delenv(CONTRACT_ENV_VAR, raising=False)
+        assert load_certificate(None) is None
+
+    def test_env_var_is_consulted(self, monkeypatch, tmp_path, contract):
+        path = tmp_path / "contract.json"
+        path.write_text(json.dumps(contract), encoding="utf-8")
+        monkeypatch.setenv(CONTRACT_ENV_VAR, str(path))
+        document = load_certificate(None)
+        assert document is not None
+        assert document["kind"] == "repro-error-contract"
+
+    def test_mapping_passes_through(self, contract):
+        assert load_certificate(contract)["functions"]
+
+    def test_missing_file_is_an_error_not_absence(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            load_certificate(tmp_path / "nope.json")
+
+    def test_bad_json_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{", encoding="utf-8")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_certificate(path)
+
+    def test_wrong_kind_is_rejected(self):
+        with pytest.raises(ValidationError, match="kind"):
+            load_certificate({"kind": "something-else", "functions": {}})
+
+    def test_missing_functions_is_rejected(self):
+        with pytest.raises(ValidationError, match="functions"):
+            load_certificate({"kind": "repro-error-contract"})
+
+
+# -- the contract over src --------------------------------------------------------
+
+
+class TestContractContents:
+    def test_every_entry_point_is_covered_and_declared(self, contract):
+        entries = [
+            entry
+            for entry in contract["functions"].values()
+            if entry["entry_point"]
+        ]
+        assert len(entries) >= 21
+        assert all(entry["declared"] is not None for entry in entries)
+
+    def test_solve_qpp_declares_transient_solver_error(self, contract):
+        entry = contract["functions"]["repro.core.qpp.solve_qpp"]
+        assert "SolverError" in entry["transient"]
+        assert "ValidationError" in entry["raises"]
+
+    def test_contract_entry_resolves_callables(self, contract):
+        from repro.core import solve_qpp
+
+        entry = contract_entry(contract, solve_qpp)
+        assert entry is not None
+        assert entry["entry_point"] is True
+
+        assert contract_entry(contract, lambda x: x) is None
+
+
+# -- retrying ---------------------------------------------------------------------
+
+
+def _named(fn, qualified="repro.core.qpp.solve_qpp"):
+    """Give a test stub the qualified name of a covered entry point."""
+    module, _, name = qualified.rpartition(".")
+    fn.__module__ = module
+    fn.__qualname__ = name
+    return fn
+
+
+class TestRetrying:
+    def test_requires_a_contract(self, monkeypatch):
+        monkeypatch.delenv(CONTRACT_ENV_VAR, raising=False)
+        with pytest.raises(ErrorContractError, match="no error contract"):
+            retrying(_named(lambda: None))
+
+    def test_requires_coverage(self, contract):
+        def orphan():
+            return None
+
+        with pytest.raises(ErrorContractError, match="not covered"):
+            retrying(
+                _named(orphan, "repro.core.qpp.not_in_the_contract"),
+                certificate=contract,
+            )
+
+    def test_rejects_unnameable_callables(self, contract):
+        with pytest.raises(ErrorContractError, match="lambda"):
+            retrying(lambda: None, certificate=contract)
+
+    def test_validates_attempts_and_backoff(self, contract):
+        fn = _named(lambda: None)
+        with pytest.raises(ValidationError, match="attempts"):
+            retrying(fn, certificate=contract, attempts=0)
+        with pytest.raises(ValidationError, match="backoff"):
+            retrying(fn, certificate=contract, backoff=-1.0)
+
+    def test_transient_failures_are_retried(self, contract):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise SolverError("transient")
+            return "ok"
+
+        before = counter("resilience.retry.count").value
+        wrapped = retrying(_named(flaky), certificate=contract, attempts=3)
+        assert wrapped() == "ok"
+        assert calls["n"] == 3
+        assert counter("resilience.retry.count").value == before + 2
+
+    def test_exhausted_attempts_give_up(self, contract):
+        def always():
+            raise SolverError("never recovers")
+
+        before = counter("resilience.giveup.count").value
+        wrapped = retrying(_named(always), certificate=contract, attempts=2)
+        with pytest.raises(SolverError):
+            wrapped()
+        assert counter("resilience.giveup.count").value == before + 1
+
+    def test_declared_nontransient_is_not_retried(self, contract):
+        calls = {"n": 0}
+
+        def infeasible():
+            calls["n"] += 1
+            raise InfeasibleError("no placement fits")
+
+        wrapped = retrying(
+            _named(infeasible, "repro.gap.solver.solve_gap"),
+            certificate=contract,
+            attempts=5,
+        )
+        with pytest.raises(InfeasibleError):
+            wrapped()
+        assert calls["n"] == 1
+
+    def test_undeclared_exception_raises_contract_error(self, contract):
+        def surprising():
+            raise KeyError("nobody declared this")
+
+        wrapped = retrying(_named(surprising), certificate=contract)
+        with pytest.raises(ErrorContractError, match="does not\n?.*declare"):
+            wrapped()
+
+    def test_programming_errors_propagate_verbatim(self, contract):
+        def broken():
+            raise TypeError("a real bug")
+
+        wrapped = retrying(_named(broken), certificate=contract)
+        with pytest.raises(TypeError):
+            wrapped()
+
+    def test_subclass_of_declared_is_covered_at_runtime(self, contract):
+        # solve_gap declares ValidationError; IntersectionError descends
+        # from it, so the MRO walk must classify it as declared.
+        from repro.exceptions import IntersectionError
+
+        def raises_subclass():
+            raise IntersectionError(frozenset({1}), frozenset({2}))
+
+        wrapped = retrying(
+            _named(raises_subclass, "repro.gap.solver.solve_gap"),
+            certificate=contract,
+        )
+        with pytest.raises(IntersectionError):
+            wrapped()
+
+    def test_backoff_schedule_is_exponential(self, contract):
+        sleeps: list[float] = []
+
+        def always():
+            raise SolverError("flaky")
+
+        wrapped = retrying(
+            _named(always),
+            certificate=contract,
+            attempts=4,
+            backoff=0.1,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(SolverError):
+            wrapped()
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+
+# -- deadline ---------------------------------------------------------------------
+
+
+class TestDeadline:
+    def test_cooperative_check_between_attempts(self, contract):
+        ticks = iter([0.0, 0.0, 10.0, 10.0, 10.0])
+
+        def always():
+            raise SolverError("flaky")
+
+        budget = deadline(1.0, clock=lambda: next(ticks))
+        wrapped = retrying(
+            _named(always), certificate=contract, attempts=5, deadline=budget
+        )
+        with pytest.raises(DeadlineExceededError, match="deadline of 1s"):
+            wrapped()
+
+    def test_never_interrupts_a_successful_call(self, contract):
+        ticks = iter([0.0, 0.0, 100.0])
+        budget = deadline(1.0, clock=lambda: next(ticks))
+        wrapped = retrying(
+            _named(lambda: "done"), certificate=contract, deadline=budget
+        )
+        # First (and only) attempt starts inside the budget; the slow
+        # result is still returned — the deadline never preempts.
+        assert wrapped() == "done"
+
+    def test_remaining_and_expired(self):
+        ticks = iter([0.0, 0.3, 2.0, 2.0, 2.0, 2.0])
+        budget = Deadline(1.0, clock=lambda: next(ticks))
+        assert budget.remaining() == pytest.approx(0.7)
+        assert budget.expired()
+        with pytest.raises(DeadlineExceededError):
+            budget.check("test")
+
+    def test_validates_seconds(self):
+        with pytest.raises(ValidationError, match="seconds"):
+            Deadline(0.0)
+
+
+# -- fault injection --------------------------------------------------------------
+
+
+class TestFaultInjection:
+    def test_fault_point_is_a_noop_when_unarmed(self):
+        fault_point("qpp.candidate")  # must not raise
+
+    def test_explicit_schedule_fires_once(self):
+        hits = []
+        with inject_faults({"p": [SolverError("one")]}):
+            with pytest.raises(SolverError):
+                fault_point("p")
+            fault_point("p")  # queue drained: passes through
+            hits.append(True)
+        assert hits == [True]
+        fault_point("p")  # disarmed outside the context
+
+    def test_schedule_validates_instances(self):
+        with pytest.raises(ValidationError, match="exception instance"):
+            with inject_faults({"p": [SolverError]}):  # class, not instance
+                pass
+
+    def test_seeded_schedule_is_deterministic(self):
+        def trace():
+            outcomes = []
+            with seeded_faults(seed=3, rate=0.5, points=("p",)):
+                for _ in range(12):
+                    try:
+                        fault_point("p")
+                        outcomes.append(0)
+                    except SolverError:
+                        outcomes.append(1)
+            return outcomes
+
+        first, second = trace(), trace()
+        assert first == second
+        assert 0 < sum(first) < 12
+
+    def test_seeded_rate_is_validated(self):
+        with pytest.raises(ValidationError, match="rate"):
+            with seeded_faults(seed=0, rate=1.5):
+                pass
+
+
+# -- the headline: byte-identical mid-sweep recovery ------------------------------
+
+
+class TestMidSweepRecovery:
+    def test_retrying_recovers_byte_identically(self, contract, qpp_instance):
+        from repro.core import solve_qpp
+
+        system, strategy, network, candidates = qpp_instance
+        baseline = solve_qpp(
+            system, strategy, network=network, candidate_sources=candidates
+        )
+        wrapped = retrying(solve_qpp, certificate=contract, attempts=2)
+        with inject_faults(
+            {"qpp.candidate": [SolverError("injected mid-sweep")]}
+        ):
+            recovered = wrapped(
+                system,
+                strategy,
+                network=network,
+                candidate_sources=candidates,
+            )
+        assert recovered.objective == baseline.objective
+        assert recovered.source == baseline.source
+        assert recovered.optimum_lower_bound == baseline.optimum_lower_bound
+        assert {
+            u: recovered.placement[u] for u in system.universe
+        } == {u: baseline.placement[u] for u in system.universe}
+
+    def test_without_retrying_the_fault_escapes(self, qpp_instance):
+        from repro.core import solve_qpp
+
+        system, strategy, network, candidates = qpp_instance
+        with inject_faults(
+            {"qpp.candidate": [SolverError("injected mid-sweep")]}
+        ):
+            with pytest.raises(SolverError, match="injected"):
+                solve_qpp(
+                    system,
+                    strategy,
+                    network=network,
+                    candidate_sources=candidates,
+                )
