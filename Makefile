@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-scale lint lint-baseline effects cost errors trace bench bench-compare bench-large profile
+.PHONY: test test-scale lint lint-baseline effects cost errors trace bench bench-compare bench-large profile serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -56,6 +56,18 @@ trace:
 
 bench:
 	$(PYTHON) -m repro bench --quick --out BENCH_3.json
+
+# End-to-end smoke of the serving layer (docs/serving.md): a short
+# scripted JSONL session through `repro serve` — queries, a demand
+# update, a forced re-solve — that must exit 0 (no error responses).
+serve-smoke:
+	printf '%s\n' \
+	  '{"kind": "repro-serve-request", "schema_version": 1, "id": 1, "op": "query", "client": 0}' \
+	  '{"kind": "repro-serve-request", "schema_version": 1, "id": 2, "op": "update", "client": 1, "rate": 25.0}' \
+	  '{"kind": "repro-serve-request", "schema_version": 1, "id": 3, "op": "query", "client": 1}' \
+	  '{"kind": "repro-serve-request", "schema_version": 1, "id": 4, "op": "resolve"}' \
+	  '{"kind": "repro-serve-request", "schema_version": 1, "id": 5, "op": "stats"}' \
+	  | $(PYTHON) -m repro serve majority:3 cycle:12 --capacity 2.0 --max-batch 2
 
 # The bench trajectory ratchet (docs/performance.md): run the suite
 # fresh and compare its timing trajectory against the committed

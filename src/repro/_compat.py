@@ -6,9 +6,14 @@ more arguments positionally, and a few used parameter names that have
 since been unified (``method`` → ``lp_method``, ``value`` →
 ``capacity``).  :func:`solver_api` wraps a canonically-declared
 function so both legacy forms keep working — with a
-:class:`DeprecationWarning` — while ``inspect.signature`` (and
-therefore the API docs and tests) see the canonical signature through
-``functools.wraps``.
+:class:`FutureWarning` announcing their removal in the next major
+release — while ``inspect.signature`` (and therefore the API docs and
+tests) see the canonical signature through ``functools.wraps``.
+
+The warnings graduated from :class:`DeprecationWarning` to
+:class:`FutureWarning` one release later, so they now surface in user
+code by default (``DeprecationWarning`` is hidden outside ``__main__``);
+each message names the canonical replacement.
 """
 
 from __future__ import annotations
@@ -66,11 +71,14 @@ def solver_api(
                         f"arguments but {len(args)} were given"
                     )
                 names = list(legacy_positional[: len(extra)])
+                keywords = ", ".join(f"{n}=..." for n in names)
                 warnings.warn(
                     f"passing {', '.join(repr(n) for n in names)} to "
-                    f"{fn.__name__}() positionally is deprecated; pass "
-                    "keyword argument(s) instead (see docs/api.md)",
-                    DeprecationWarning,
+                    f"{fn.__name__}() positionally is deprecated and will "
+                    "stop working in the next major release; pass "
+                    f"{keywords} as keyword argument(s) instead "
+                    "(see docs/api.md)",
+                    FutureWarning,
                     stacklevel=2,
                 )
                 for name, value in zip(names, extra):
@@ -89,9 +97,10 @@ def solver_api(
                             f"(deprecated) and {new!r}"
                         )
                     warnings.warn(
-                        f"parameter {old!r} of {fn.__name__}() is deprecated; "
+                        f"parameter {old!r} of {fn.__name__}() is deprecated "
+                        "and will be removed in the next major release; "
                         f"use {new!r} (see docs/api.md)",
-                        DeprecationWarning,
+                        FutureWarning,
                         stacklevel=2,
                     )
                     kwargs[new] = kwargs.pop(old)

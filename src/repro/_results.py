@@ -14,8 +14,10 @@ re-exported as :mod:`repro.core.results`.
 Backward compatibility: each subclass lists its pre-unification
 attribute names in ``_legacy_aliases`` (e.g. ``average_delay`` →
 ``objective``).  Reading a legacy name still works but emits a
-:class:`DeprecationWarning`; so does legacy tuple-style unpacking of a
-result.
+:class:`FutureWarning` naming the canonical field; so does legacy
+tuple-style unpacking of a result.  Both paths are scheduled for
+removal in the next major release (graduated from
+:class:`DeprecationWarning` one release after the unification landed).
 """
 
 from __future__ import annotations
@@ -61,8 +63,14 @@ class Provenance:
 
 
 def warn_legacy(message: str, *, stacklevel: int = 3) -> None:
-    """Emit the library's deprecation warning for a legacy access path."""
-    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    """Emit the library's removal warning for a legacy access path.
+
+    A :class:`FutureWarning` (visible by default in user code, unlike
+    ``DeprecationWarning``): every legacy path it guards disappears in
+    the next major release, and *message* names the canonical
+    replacement to migrate to.
+    """
+    warnings.warn(message, FutureWarning, stacklevel=stacklevel)
 
 
 @dataclass(frozen=True)
@@ -110,7 +118,8 @@ class SolveResult:
                 f"{type(self).__name__!r} object has no attribute {name!r}"
             )
         warn_legacy(
-            f"{type(self).__name__}.{name} is deprecated; "
+            f"{type(self).__name__}.{name} is deprecated and will be "
+            f"removed in the next major release; "
             f"use {type(self).__name__}.{canonical}"
         )
         return getattr(self, canonical)
@@ -121,9 +130,9 @@ class SolveResult:
         Deprecated; read the named fields instead.
         """
         warn_legacy(
-            f"tuple unpacking of {type(self).__name__} is deprecated; "
-            "read the named fields (placement, objective, "
-            "load_violation_factor)",
+            f"tuple unpacking of {type(self).__name__} is deprecated and "
+            "will stop working in the next major release; read the named "
+            "fields (placement, objective, load_violation_factor)",
             stacklevel=2,
         )
         yield self.placement

@@ -26,6 +26,7 @@ __all__ = [
     "check_probability_vector",
     "check_integer_in_range",
     "check_finite",
+    "check_scale",
     "contract",
     "effects",
     "EFFECT_KINDS",
@@ -109,6 +110,26 @@ def check_integer_in_range(
     if high is not None and value > high:
         raise ValidationError(f"{name} must be <= {high}, got {value}")
     return value
+
+
+#: The closed set of values accepted by every solver ``scale=`` keyword.
+SCALE_VALUES = (None, "dense", "large")
+
+
+def check_scale(scale: str | None) -> str | None:
+    """Validate a solver ``scale=`` keyword and return it unchanged.
+
+    The shared gate behind every entry point that routes between the
+    dense metric and the lazy/streamed large-scale path (``docs/api.md``
+    documents the matrix): ``None`` and ``"dense"`` mean the classic
+    dense ``(n, n)`` metric, ``"large"`` routes all distance access
+    through :meth:`repro.network.Network.lazy_metric`.
+    """
+    if scale not in SCALE_VALUES:
+        raise ValidationError(
+            f"scale must be one of {SCALE_VALUES}, got {scale!r}"
+        )
+    return scale
 
 
 #: Environment switch for runtime contract enforcement.  The static

@@ -61,6 +61,7 @@ from .lint.cli import (
 )
 from .network import generators
 from .network.graph import Network
+from .serve import PlacementService, serve_session
 from .quorums import (
     AccessStrategy,
     QuorumSystem,
@@ -246,6 +247,47 @@ def _cmd_place(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    system = parse_system_spec(args.system)
+    network = parse_network_spec(args.network, seed=args.seed)
+    if args.capacity is not None:
+        network = network.with_capacities(float(args.capacity))
+    if args.strategy == "uniform":
+        strategy = AccessStrategy.uniform(system)
+    else:
+        strategy = optimal_strategy(system).strategy
+    service = PlacementService(
+        system,
+        strategy,
+        network,
+        alpha=args.alpha,
+        drift_threshold=args.drift_threshold,
+        max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        scale=args.scale,
+        landmarks=args.landmarks,
+        retry_certificate=args.retry_certificate,
+        warm_limit=args.warm_limit,
+    )
+    source = sys.stdin if args.input == "-" else open(args.input, encoding="utf-8")
+    sink = sys.stdout if args.out == "-" else open(args.out, "w", encoding="utf-8")
+    try:
+        summary = serve_session(service, source, sink)
+    finally:
+        if source is not sys.stdin:
+            source.close()
+        if sink is not sys.stdout:
+            sink.close()
+    print(
+        f"served {summary.responses} response(s) to {summary.requests} "
+        f"request(s) in {summary.ticks} tick(s): "
+        f"{summary.resolves} re-solve(s), {summary.errors} error(s), "
+        f"final snapshot v{summary.final_version}",
+        file=sys.stderr,
+    )
+    return 0 if summary.errors == 0 else 1
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     placement = io.placement_from_dict(io.load_json(args.placement))
     strategy = AccessStrategy.uniform(placement.system)
@@ -375,7 +417,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         timing = next(
             case[key]
             for key in ("vectorized_seconds", "batched_seconds",
-                        "solve_seconds", "sweep_seconds")
+                        "solve_seconds", "sweep_seconds", "p99_seconds")
             if key in case
         )
         value = next(
@@ -533,6 +575,48 @@ def build_parser() -> argparse.ArgumentParser:
                          default="uniform")
     p_place.add_argument("--out", default=None, help="write placement JSON here")
     p_place.set_defaults(func=_cmd_place)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve placement queries over JSONL (docs/serving.md)",
+        description="Long-running placement service: reads repro-serve-"
+        "request documents (one JSON object per line) from --input, "
+        "answers each from the current placement snapshot, and re-solves "
+        "when accumulated demand updates drift the objective past "
+        "--drift-threshold. Responses go to --out; the session summary "
+        "goes to stderr.",
+    )
+    p_serve.add_argument("system", help="system spec, e.g. majority:5")
+    p_serve.add_argument("network", help="network spec, e.g. geometric:500:0.1")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--capacity", type=float, default=None,
+                         help="uniform node capacity (default: uncapacitated)")
+    p_serve.add_argument("--alpha", type=float, default=2.0)
+    p_serve.add_argument("--strategy", choices=("uniform", "optimal"),
+                         default="uniform")
+    p_serve.add_argument("--scale", choices=("dense", "large"), default=None,
+                         help="'large' routes re-solves and snapshot "
+                         "evaluation through the lazy metric layer")
+    p_serve.add_argument("--landmarks", type=int, default=16,
+                         help="scale='large' oracle size / default sweep width")
+    p_serve.add_argument("--drift-threshold", type=float, default=0.1,
+                         help="relative objective drift that triggers a "
+                         "re-solve (default 0.1)")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="requests drained per tick (default 64)")
+    p_serve.add_argument("--queue-limit", type=int, default=4096,
+                         help="bounded request queue size (default 4096)")
+    p_serve.add_argument("--warm-limit", type=int, default=None,
+                         help="restrict re-solves to the N best relay "
+                         "candidates of the previous solve")
+    p_serve.add_argument("--retry-certificate", default=None,
+                         help="error-contract JSON enabling retrying() "
+                         "around re-solves (see docs/resilience.md)")
+    p_serve.add_argument("--input", default="-",
+                         help="JSONL request file, or - for stdin")
+    p_serve.add_argument("--out", default="-",
+                         help="JSONL response file, or - for stdout")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_eval = sub.add_parser("evaluate", help="evaluate a saved placement")
     p_eval.add_argument("placement", help="path to a placement JSON file")

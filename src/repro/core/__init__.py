@@ -72,9 +72,10 @@ from .placement import (
     max_delay,
     node_loads,
     node_loads_reference,
+    per_client_expected_max_delay,
     total_delay_cost,
 )
-from .qpp import QPPResult, average_strategy, solve_qpp
+from .qpp import QPPResult, average_strategy, solve_qpp, warm_candidates
 from .results import Provenance, SolveResult
 from .rw_placement import RWPlacementResult, solve_rw_placement, solve_rw_ssqpp
 from .relay import (
@@ -148,6 +149,7 @@ __all__ = [
     "node_loads_reference",
     "optimal_grid_placement",
     "optimal_majority_placement",
+    "per_client_expected_max_delay",
     "random_placement",
     "reduce_scheduling_to_ssqpp",
     "relay_analysis",
@@ -158,12 +160,13 @@ __all__ = [
     "solve_qpp",
     "solve_qpp_exact",
     "solve_rw_placement",
-    "solve_scalarized_placement",
     "solve_rw_ssqpp",
+    "solve_scalarized_placement",
     "solve_ssqpp",
     "solve_ssqpp_exact",
     "solve_total_delay",
     "solve_total_delay_exact",
     "strategy_delay_frontier",
     "total_delay_cost",
+    "warm_candidates",
 ]

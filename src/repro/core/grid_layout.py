@@ -147,7 +147,8 @@ class GridLayoutResult(SolveResult):
     ``objective`` equals :func:`grid_matrix_delay` of the arranged
     distance matrix, which Theorem B.1 certifies as the minimum over all
     capacity-respecting placements; the pre-unification name ``delay``
-    still resolves but emits a :class:`DeprecationWarning`.
+    still resolves but emits a :class:`FutureWarning` (removal scheduled
+    for the next major release).
     """
 
     strategy: AccessStrategy

@@ -82,7 +82,8 @@ class MajorityLayoutResult(SolveResult):
     the closed-form (19) evaluated on the chosen slot distances.  The
     two agree to numerical precision — the test suite asserts it.  The
     pre-unification name ``delay`` still resolves but emits a
-    :class:`DeprecationWarning`.
+    :class:`FutureWarning` (removal scheduled for the next major
+    release).
     """
 
     strategy: AccessStrategy

@@ -37,7 +37,7 @@ from itertools import permutations
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
-from .._validation import check_integer_in_range, cost, raises, require
+from .._validation import check_integer_in_range, check_scale, cost, raises, require
 from ..exceptions import ValidationError
 from ..network.graph import Network, Node
 from ..quorums.base import Element, QuorumSystem
@@ -84,17 +84,31 @@ def _check_shape(system: QuorumSystem, network: Network) -> None:
 
 
 def _gamma_matrix(
-    system: QuorumSystem, network: Network, element_to_node: list[int]
+    system: QuorumSystem,
+    network: Network,
+    element_to_node: list[int],
+    metric: object,
 ) -> np.ndarray:
-    """``gamma[v_index, quorum_index]`` for a fixed element placement."""
-    metric = network.metric()
-    matrix = metric.matrix
+    """``gamma[v_index, quorum_index]`` for a fixed element placement.
+
+    Works against any :class:`~repro.network.lazymetric.MetricView`: a
+    dense metric is sliced by columns as before, while a lazy view uses
+    metric symmetry (``d(v, h) = d(h, v)``) to sum the *rows* of the
+    ``O(q)`` host nodes — never materializing all ``n`` rows.
+    """
+    matrix = getattr(metric, "matrix", None)
     n = network.size
+    nodes = network.nodes
     gamma = np.zeros((n, len(system)))
     element_index = {u: i for i, u in enumerate(system.universe)}
     for j, quorum in enumerate(system.quorums):
         hosts = [element_to_node[element_index[u]] for u in quorum]
-        gamma[:, j] = matrix[:, hosts].sum(axis=1)
+        if matrix is not None:
+            gamma[:, j] = matrix[:, hosts].sum(axis=1)
+        else:
+            gamma[:, j] = np.sum(
+                [metric.distances_from(nodes[h]) for h in hosts], axis=0
+            )
     return gamma
 
 
@@ -103,8 +117,9 @@ def _deployment_cost(
     network: Network,
     element_to_node: list[int],
     client_to_quorum: list[int],
+    metric: object,
 ) -> float:
-    gamma = _gamma_matrix(system, network, element_to_node)
+    gamma = _gamma_matrix(system, network, element_to_node, metric)
     return float(np.mean([gamma[v, client_to_quorum[v]] for v in range(network.size)]))
 
 
@@ -115,35 +130,50 @@ def solve_partial_deployment(
     network: Network,
     *,
     max_rounds: int = 20,
+    metric: object | None = None,
+    scale: str | None = None,
 ) -> PartialDeployment:
     """Alternating Hungarian optimization of ``(f, q)``.
 
     Starts from the identity placement and alternates exact assignment
     solves until neither bijection improves (or *max_rounds*).
+
+    ``scale="large"`` (the shared ``scale=`` gate, ``docs/api.md``)
+    routes all distance access through the network's lazy metric —
+    every cost matrix is assembled from ``O(q)`` symmetric row pulls
+    per quorum instead of the dense ``(n, n)`` build.  An explicit
+    ``metric=`` (any :class:`~repro.network.lazymetric.MetricView`)
+    takes precedence.
     """
     _check_shape(system, network)
     check_integer_in_range(max_rounds, "max_rounds", low=1)
+    check_scale(scale)
     n = network.size
-    metric = network.metric()
-    matrix = metric.matrix
+    if metric is None:
+        metric = network.lazy_metric() if scale == "large" else network.metric()
+    matrix = getattr(metric, "matrix", None)
     universe = list(system.universe)
     element_index = {u: i for i, u in enumerate(universe)}
 
     element_to_node = list(range(n))  # f: universe order -> node index
     client_to_quorum = list(range(n))  # q: node index -> quorum index
-    best = _deployment_cost(system, network, element_to_node, client_to_quorum)
+    best = _deployment_cost(
+        system, network, element_to_node, client_to_quorum, metric
+    )
 
     iterations = 0
     for _ in range(max_rounds):
         improved = False
 
         # Step 1: optimal q for fixed f (clients x quorums assignment).
-        gamma = _gamma_matrix(system, network, element_to_node)
+        gamma = _gamma_matrix(system, network, element_to_node, metric)
         rows, columns = linear_sum_assignment(gamma)
         candidate_q = [0] * n
         for v, j in zip(rows, columns):
             candidate_q[int(v)] = int(j)
-        cost_q = _deployment_cost(system, network, element_to_node, candidate_q)
+        cost_q = _deployment_cost(
+            system, network, element_to_node, candidate_q, metric
+        )
         if cost_q < best - 1e-12:
             client_to_quorum = candidate_q
             best = cost_q
@@ -153,13 +183,20 @@ def solve_partial_deployment(
         # cost(u, w) = sum over clients v whose quorum contains u of d(v, w).
         demand = np.zeros((len(universe), n))
         for v in range(n):
+            row = (
+                matrix[v, :]
+                if matrix is not None
+                else metric.distances_from(network.nodes[v])
+            )
             for u in system.quorums[client_to_quorum[v]]:
-                demand[element_index[u], :] += matrix[v, :]
+                demand[element_index[u], :] += row
         rows, columns = linear_sum_assignment(demand)
         candidate_f = [0] * len(universe)
         for i, w in zip(rows, columns):
             candidate_f[int(i)] = int(w)
-        cost_f = _deployment_cost(system, network, candidate_f, client_to_quorum)
+        cost_f = _deployment_cost(
+            system, network, candidate_f, client_to_quorum, metric
+        )
         if cost_f < best - 1e-12:
             element_to_node = candidate_f
             best = cost_f
@@ -196,11 +233,12 @@ def solve_partial_deployment_exact(
             f"exact partial deployment supports n <= {_MAX_EXACT_SIZE} (got {n})"
         )
     universe = list(system.universe)
+    dense = network.metric()
     best_cost = np.inf
     best_f: tuple[int, ...] | None = None
     best_q: tuple[int, ...] | None = None
     for f_perm in permutations(range(n)):
-        gamma = _gamma_matrix(system, network, list(f_perm))
+        gamma = _gamma_matrix(system, network, list(f_perm), dense)
         # For a fixed f, the best q is itself an assignment problem —
         # solve it exactly instead of enumerating all q permutations.
         rows, columns = linear_sum_assignment(gamma)

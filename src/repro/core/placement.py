@@ -55,6 +55,7 @@ __all__ = [
     "expected_max_delay_reference",
     "average_max_delay",
     "average_max_delay_bounds",
+    "per_client_expected_max_delay",
     "average_max_delay_reference",
     "average_max_delay_via_sources",
     "total_delay_cost",
@@ -299,6 +300,27 @@ def _per_client_expected_max_delay(
             metric.row_block(start, stop), image, members, probabilities
         )
     return per_client
+
+
+def per_client_expected_max_delay(
+    placement: Placement,
+    strategy: AccessStrategy,
+    *,
+    metric: "MetricView | None" = None,
+) -> np.ndarray:
+    """The full ``Delta_f(v)`` vector, one entry per client index.
+
+    This is the vectorized evaluator behind :func:`average_max_delay`,
+    exposed because the vector itself is reusable: it depends only on
+    the placement and strategy, *not* on the client access rates, so a
+    consumer holding it can re-weigh the objective under any demand
+    distribution with a single dot product.  The serving layer
+    (:mod:`repro.serve`) caches exactly this vector per published
+    snapshot — a delay query becomes one array lookup and the drift
+    bound one dot product.  Callers must treat the returned array as
+    read-only.
+    """
+    return _per_client_expected_max_delay(placement, strategy, metric=metric)
 
 
 def average_max_delay(

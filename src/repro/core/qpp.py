@@ -33,7 +33,15 @@ import numpy as np
 
 from .._compat import solver_api
 from .._results import Provenance, SolveResult
-from .._validation import check_positive, cost, effects, raises, require
+from .._validation import (
+    check_integer_in_range,
+    check_positive,
+    check_scale,
+    cost,
+    effects,
+    raises,
+    require,
+)
 from ..network.graph import Network, Node
 from ..network.lazymetric import LandmarkOracle
 from ..obs.metrics import counter, telemetry_scope
@@ -51,7 +59,7 @@ from .placement import (
 )
 from .ssqpp import SSQPPLPFactory, SSQPPResult, solve_ssqpp
 
-__all__ = ["QPPResult", "solve_qpp", "average_strategy"]
+__all__ = ["QPPResult", "solve_qpp", "average_strategy", "warm_candidates"]
 
 
 @dataclass(frozen=True)
@@ -61,7 +69,8 @@ class QPPResult(SolveResult):
     ``objective`` is the realized QPP objective ``Avg_v Delta_f(v)`` and
     ``load_violation_factor`` the realized worst ``load_f(v)/cap(v)``;
     the pre-unification name ``average_delay`` still resolves but emits
-    a :class:`DeprecationWarning`.
+    a :class:`FutureWarning` (removal scheduled for the next major
+    release).
 
     Attributes
     ----------
@@ -219,10 +228,7 @@ def solve_qpp(
         parallel in (None, "process"),
         f"parallel must be None or 'process', got {parallel!r}",
     )
-    require(
-        scale in (None, "dense", "large"),
-        f"scale must be None, 'dense' or 'large', got {scale!r}",
-    )
+    check_scale(scale)
     require(
         horizon is None or horizon == "auto"
         or (isinstance(horizon, int) and not isinstance(horizon, bool) and horizon >= 1),
@@ -529,6 +535,35 @@ def _solve_qpp_large(
         per_source=per_source,
         telemetry=telemetry.snapshot,
     )
+
+
+def warm_candidates(previous: QPPResult, *, limit: int = 8) -> list[Node]:
+    """Candidate sources for an incremental re-solve, best-first.
+
+    The relay-sweep structure is what makes QPP re-solves incremental:
+    when the access distribution drifts, the best relay node rarely
+    jumps far, so re-running :func:`solve_qpp` over the most promising
+    relays of the *previous* solve (its winner first, then the other
+    swept candidates ordered by their single-source delay at the relay)
+    recovers near-identical quality at a fraction of the sweep cost.
+    The serving layer (:mod:`repro.serve`) passes the returned list as
+    ``candidate_sources=`` on drift-triggered re-solves.
+
+    Note the usual restricted-sweep caveat (see ``candidate_sources``
+    above): the Theorem 1.2 guarantee is relative to the best candidate
+    *in the list*, so a warm re-solve trades the exhaustive-sweep bound
+    for speed.
+    """
+    check_integer_in_range(limit, "limit", low=1)
+    require(
+        len(previous.per_source) > 0,
+        "previous result carries no per-source diagnostics to warm from",
+    )
+    ranked = sorted(
+        previous.per_source,
+        key=lambda node: (node != previous.source, previous.per_source[node].delay),
+    )
+    return ranked[:limit]
 
 
 def average_strategy(

@@ -21,8 +21,9 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from .._compat import solver_api
-from .._validation import check_probability, cost, raises
+from .._validation import check_probability, check_scale, cost, raises
 from ..network.graph import Network, Node
+from ..network.lazymetric import LandmarkOracle
 from ..quorums.readwrite import ReadWriteQuorumSystem
 from ..quorums.strategy import AccessStrategy
 from .placement import Placement, average_max_delay
@@ -72,12 +73,29 @@ def solve_rw_ssqpp(
     source: Node,
     read_fraction: float,
     alpha: float = 2.0,
+    metric: object | None = None,
+    scale: str | None = None,
 ) -> SSQPPResult:
     """Single-source placement of a read/write workload (Theorem 3.7
-    applies unchanged: its guarantees never use intersection)."""
+    applies unchanged: its guarantees never use intersection).
+
+    ``metric=`` and ``scale=`` thread straight to
+    :func:`~repro.core.ssqpp.solve_ssqpp` (the shared ``scale=`` gate,
+    ``docs/api.md``): ``scale="large"`` routes distances through the
+    network's lazy metric instead of a dense all-pairs build.
+    """
     read_fraction = check_probability(read_fraction, "read_fraction")
+    check_scale(scale)
     system, strategy = rw_system.workload_weights(read_fraction)
-    return solve_ssqpp(system, strategy, network=network, source=source, alpha=alpha)
+    return solve_ssqpp(
+        system,
+        strategy,
+        network=network,
+        source=source,
+        alpha=alpha,
+        metric=metric,
+        scale=scale,
+    )
 
 
 @cost("n**2 * q * c")
@@ -89,29 +107,53 @@ def solve_rw_placement(
     read_fraction: float,
     alpha: float = 2.0,
     candidate_sources: Sequence[Node] | None = None,
+    scale: str | None = None,
+    landmarks: int = 16,
 ) -> RWPlacementResult:
     """All-clients placement of a read/write workload.
 
     Sweeps candidate sources with the single-source solver and keeps the
     best realized average delay.  The load bound ``(alpha+1)·cap`` is
     guaranteed; the delay carries no proven factor (see module docs).
+
+    ``scale="large"`` (the shared ``scale=`` gate, ``docs/api.md``)
+    routes every distance access through the network's lazy metric and,
+    when ``candidate_sources`` is not given, restricts the sweep to a
+    farthest-point landmark set of size *landmarks* instead of every
+    node — the same default the large-scale QPP sweep uses.
     """
     read_fraction = check_probability(read_fraction, "read_fraction")
+    check_scale(scale)
     system, strategy = rw_system.workload_weights(read_fraction)
+    if scale == "large":
+        metric = network.lazy_metric()
+        if candidate_sources is None:
+            oracle = LandmarkOracle.build(metric, landmarks)
+            candidate_sources = oracle.landmarks
+    else:
+        metric = network.metric()
     candidates = (
         list(candidate_sources) if candidate_sources is not None else list(network.nodes)
     )
-    metric = network.metric()
 
     best_result: SSQPPResult | None = None
     best_delay = float("inf")
     best_source: Node | None = None
     lower_bound = float("inf")
     for source in candidates:
-        result = solve_ssqpp(system, strategy, network=network, source=source, alpha=alpha)
+        result = solve_ssqpp(
+            system,
+            strategy,
+            network=network,
+            source=source,
+            alpha=alpha,
+            metric=metric if scale == "large" else None,
+        )
         to_source = float(metric.distances_from(source).mean())
         lower_bound = min(lower_bound, (to_source + result.lp_value) / 5.0)
-        delay = average_max_delay(result.placement, strategy)
+        delay = average_max_delay(
+            result.placement, strategy, metric=metric if scale == "large" else None
+        )
         if delay < best_delay:
             best_delay = delay
             best_result = result

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._compat import solver_api
-from .._validation import check_positive, cost, raises, require
+from .._validation import check_positive, check_scale, cost, raises, require
 from ..exceptions import InfeasibleError, ValidationError
 from ..obs.trace import span
 from ..gap.instance import GAPInstance
@@ -524,6 +524,7 @@ def solve_ssqpp(
     factory: SSQPPLPFactory | None = None,
     metric: "object | None" = None,
     placement_nodes: "list[Node] | tuple[Node, ...] | None" = None,
+    scale: str | None = None,
 ) -> SSQPPResult:
     """Solve the Single-Source Quorum Placement Problem approximately.
 
@@ -548,13 +549,22 @@ def solve_ssqpp(
     *restricted* problem — it is **not** a lower bound on the
     unrestricted optimum.
 
+    ``scale="large"`` is shorthand for ``metric=network.lazy_metric()``
+    (the shared ``scale=`` gate, ``docs/api.md``): distances stream
+    through the lazy row cache instead of a dense all-pairs build.  An
+    explicit ``metric=`` (or a pre-built ``factory=``, which owns its
+    metric) takes precedence.
+
     Raises
     ------
     InfeasibleError
         When no capacity-respecting placement exists even fractionally.
     """
     check_positive(alpha - 1.0, "alpha - 1")
+    check_scale(scale)
     network.node_index(source)
+    if scale == "large" and metric is None and factory is None:
+        metric = network.lazy_metric()
 
     if factory is None:
         factory = SSQPPLPFactory(

@@ -25,7 +25,7 @@ import numpy as np
 
 from .._compat import solver_api
 from .._results import Provenance, SolveResult
-from .._validation import cost, raises, require
+from .._validation import check_scale, cost, raises, require
 from ..gap.instance import GAPInstance
 from ..gap.solver import GAPSolution, solve_gap
 from ..network.graph import Network, Node
@@ -73,7 +73,8 @@ class TotalDelayResult(SolveResult):
     ``objective`` is the realized average total delay and
     ``load_violation_factor`` the realized worst ``load_f(v)/cap(v)``;
     the pre-unification names ``delay``/``max_load_factor`` still
-    resolve but emit a :class:`DeprecationWarning`.
+    resolve but emit a :class:`FutureWarning` (removal scheduled for the
+    next major release).
 
     Theorem 5.1 guarantees ``objective <= optimum`` (the LP bound
     ``lp_value`` certifies it: ``objective <= lp_value <= OPT``) and
@@ -124,10 +125,7 @@ def solve_total_delay(
         strategy.system == system,
         "strategy does not match the quorum system",
     )
-    require(
-        scale in (None, "dense", "large"),
-        f"scale must be None, 'dense' or 'large', got {scale!r}",
-    )
+    check_scale(scale)
     with telemetry_scope() as telemetry, span(
         "total_delay.solve", nodes=network.size
     ):

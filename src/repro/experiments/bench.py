@@ -9,17 +9,19 @@ naturally are not, so consumers must treat ``*_seconds`` / ``speedup``
 fields as informational only — the regression tests assert the values
 and checksums, never the timings.
 
-Report schema (version 2)
+Report schema (version 3)
 -------------------------
 
-Version 2 adds a top-level ``"telemetry"`` block — the
+Version 2 added a top-level ``"telemetry"`` block — the
 :mod:`repro.obs` counter deltas and wall time of the whole run.  Like
 the timing fields it is run-dependent (the determinism tests strip it).
+Version 3 adds the required ``serve_qps`` case: query throughput and
+tail latency of the :mod:`repro.serve` snapshot cache.
 
 ::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "quick": bool,          # --quick mode (fewer repeats)
       "seed": int,            # RNG seed for the generated networks
       "telemetry": {
@@ -50,6 +52,13 @@ the timing fields it is run-dependent (the determinism tests strip it).
           "lp_value": float, "delay": float, "checksum": str,
           "solve_seconds": float,
         },
+        "serve_qps": {
+          "network": str, "system": str, "queries": int,
+          "value": float,             # mean served delay (deterministic)
+          "checksum": str,
+          "qps": float,               # batched queries answered per second
+          "p99_seconds": float,       # per-request p99 (single-request ticks)
+        },
         "qpp_sweep": {
           "network": str, "system": str, "candidates": int,
           "average_delay": float, "lower_bound": float, "checksum": str,
@@ -74,6 +83,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -106,6 +116,7 @@ from ..obs.trace import span
 from ..quorums.grid import grid
 from ..quorums.majority import majority
 from ..quorums.strategy import AccessStrategy
+from ..serve import PlacementService, serve_request
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -119,7 +130,7 @@ __all__ = [
     "validate_bench_report",
 ]
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: Required keys per case, beyond the timing fields.
 _CASE_VALUE_KEYS = {
@@ -136,6 +147,7 @@ _CASE_VALUE_KEYS = {
         "lower_bound",
         "checksum",
     ),
+    "serve_qps": ("network", "system", "queries", "value", "checksum"),
 }
 
 _CASE_TIMING_KEYS = {
@@ -145,6 +157,7 @@ _CASE_TIMING_KEYS = {
     "metric_batched": ("batched_seconds", "scalar_seconds", "speedup"),
     "ssqpp_solve": ("solve_seconds",),
     "qpp_sweep": ("sweep_seconds",),
+    "serve_qps": ("qps", "p99_seconds"),
 }
 
 #: Cases that only appear in some reports (e.g. ``repro bench --large``).
@@ -381,6 +394,58 @@ def _run_cases(cases: dict[str, dict], *, repeats: int, seed: int) -> None:
         "sweep_seconds": sweep_seconds,
     }
 
+    # -- serving: snapshot-cache query throughput (repro.serve) ------------------
+    # Queries are answered from the versioned snapshot's precomputed
+    # per-client vector, so the served values are deterministic (the
+    # checksum) while qps / p99 measure the cache's read path.  Phase 1
+    # drives full batches for throughput; phase 2 ticks one request at a
+    # time so the p99 is a true per-request latency.
+    service = PlacementService(
+        majority(5),
+        AccessStrategy.uniform(majority(5)),
+        network,
+        drift_threshold=float("inf"),
+        max_batch=64,
+        queue_limit=8192,
+        scale="large",
+        landmarks=8,
+    )
+    serve_rng = np.random.default_rng(seed)
+    clients = [
+        network.nodes[int(serve_rng.integers(0, network.size))]
+        for _ in range(1024)
+    ]
+    documents = [
+        serve_request("query", id=index, client=client)
+        for index, client in enumerate(clients)
+    ]
+    delays: list[float] = []
+    started = time.perf_counter()
+    for start in range(0, len(documents), service.max_batch):
+        for document in documents[start : start + service.max_batch]:
+            service.submit(document)
+        delays.extend(response["delay"] for response in service.tick())
+    elapsed = time.perf_counter() - started
+    latencies = []
+    for index, client in enumerate(clients[:256]):
+        document = serve_request("query", id=f"lat-{index}", client=client)
+        tick_start = time.perf_counter()
+        service.submit(document)
+        service.tick()
+        latencies.append(time.perf_counter() - tick_start)
+    latencies.sort()
+    p99 = latencies[max(0, math.ceil(0.99 * len(latencies)) - 1)]
+    mean_delay = float(np.mean(delays))
+    cases["serve_qps"] = {
+        "network": network.name,
+        "system": "majority(5)",
+        "queries": len(documents) + len(latencies),
+        "value": mean_delay,
+        "checksum": _checksum(mean_delay),
+        "qps": len(documents) / elapsed if elapsed > 0 else float("inf"),
+        "p99_seconds": p99,
+    }
+
 
 def _run_large_case(cases: dict[str, dict], *, seed: int, nodes: int) -> None:
     """The optional ``qpp_lazy_large`` case: QPP at 10^4 nodes, lazily.
@@ -434,7 +499,7 @@ def _run_large_case(cases: dict[str, dict], *, seed: int, nodes: int) -> None:
 
 
 def validate_bench_report(report: dict) -> None:
-    """Raise :class:`ValidationError` unless *report* matches schema v2."""
+    """Raise :class:`ValidationError` unless *report* matches schema v3."""
     require(isinstance(report, dict), "report must be a dict")
     for key in ("schema_version", "quick", "seed", "telemetry", "cases"):
         if key not in report:

@@ -33,7 +33,8 @@ class GAPSolution(SolveResult):
 
     ``placement`` is the job → machine assignment and ``objective`` its
     cost; the pre-unification names ``assignment``/``cost``/``lp_cost``
-    still resolve but emit a :class:`DeprecationWarning`.
+    still resolve but emit a :class:`FutureWarning` (removal scheduled
+    for the next major release).
 
     The Theorem 3.11 guarantees, restated on the result:
 

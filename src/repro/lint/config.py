@@ -61,6 +61,7 @@ DEFAULT_CHECKER_NAMES = frozenset(
         "check_probability",
         "check_probability_vector",
         "check_integer_in_range",
+        "check_scale",
         "unique_items",
     }
 )
@@ -101,6 +102,7 @@ DEFAULT_LAYERS: tuple[tuple[str, ...], ...] = (
     ("repro.quorums",),
     ("repro.gap", "repro.scheduling"),
     ("repro.core",),
+    ("repro.serve",),
     ("repro.io", "repro.lint", "repro.analysis", "repro.experiments"),
     ("repro.cli", "repro.__main__", "repro"),
 )

@@ -116,14 +116,33 @@ class Gauge:
         return f"Gauge({self.name!r}, value={self._value!r})"
 
 
+#: Sample-reservoir capacity per histogram.  Reaching it halves the
+#: retained samples and doubles the keep-stride, so memory stays bounded
+#: while coverage stays spread evenly over the whole observation stream.
+_RESERVOIR_LIMIT = 512
+
+
 class Histogram:
     """Streaming summary of observed values (count/total/min/max).
 
-    Deliberately keeps only O(1) state — enough for mean and range in
-    reports without buffering samples on hot paths.
+    The aggregate state is O(1); quantile estimates come from a bounded
+    *deterministic* sample reservoir (stride decimation, no RNG): every
+    ``stride``-th observation is retained, and when the reservoir fills
+    it drops every other sample and doubles the stride.  Identical
+    observation streams therefore always yield identical
+    :meth:`quantile` answers — replayable, unlike random reservoirs.
     """
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "_samples",
+        "_stride",
+        "_skip",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = _check_name(name)
@@ -131,6 +150,9 @@ class Histogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self._samples: list[float] = []
+        self._stride = 1
+        self._skip = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -140,10 +162,37 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if self._skip == 0:
+            self._samples.append(value)
+            if len(self._samples) >= _RESERVOIR_LIMIT:
+                # Deterministic decimation: keep every other sample.
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            self._skip = self._stride - 1
+        else:
+            self._skip -= 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained reservoir samples.
+
+        ``q`` is a fraction in ``[0, 1]`` (``0.99`` for p99).  Exact
+        while fewer than ``_RESERVOIR_LIMIT`` values have been observed;
+        an evenly-strided estimate afterwards.  Returns 0.0 when the
+        histogram is empty (mirroring :attr:`mean`).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(
+                f"quantile fraction must be in [0, 1], got {q!r}"
+            )
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = max(0, math.ceil(q * len(ordered)) - 1)
+        return ordered[index]
 
     def summary(self) -> dict[str, float]:
         """JSON-ready ``count/total/mean/min/max`` (min/max omitted empty)."""
@@ -162,6 +211,9 @@ class Histogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self._samples.clear()
+        self._stride = 1
+        self._skip = 0
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count!r})"

@@ -67,6 +67,7 @@ __all__ = [
     "fault_point",
     "inject_faults",
     "load_certificate",
+    "maybe_retrying",
     "retrying",
     "seeded_faults",
 ]
@@ -317,6 +318,37 @@ def retrying(
         raise AssertionError("unreachable: loop returns or raises")
 
     return wrapper
+
+
+def maybe_retrying(
+    fn: Callable[..., _R],
+    *,
+    certificate: Mapping[str, Any] | str | Path | None = None,
+    attempts: int = 3,
+    backoff: float = 0.0,
+    sleep: Callable[[float], None] = time.sleep,
+    deadline: Deadline | None = None,
+) -> Callable[..., _R]:
+    """:func:`retrying` when an error contract is available, else *fn*.
+
+    The opt-in variant for callers (the serving engine, notebooks) that
+    want contract-gated retries *when configured* but must keep working
+    without a certificate: :func:`retrying` itself deliberately fails
+    closed.  *certificate* follows :func:`load_certificate` semantics,
+    so with the default ``None`` the ``$REPRO_ERROR_CONTRACT``
+    environment variable still arms retries.
+    """
+    document = load_certificate(certificate)
+    if document is None:
+        return fn
+    return retrying(
+        fn,
+        certificate=document,
+        attempts=attempts,
+        backoff=backoff,
+        sleep=sleep,
+        deadline=deadline,
+    )
 
 
 # --------------------------------------------------------------------------

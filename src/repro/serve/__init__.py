@@ -1,0 +1,38 @@
+"""Placement-as-a-service: the online serving layer over the batch solvers.
+
+The paper solves QPP once, offline.  This package wraps that solver in
+a long-running, single-process service (ROADMAP item 2): an in-process
+:class:`PlacementService` with a versioned snapshot cache, request
+batching, and drift-triggered incremental re-solves, plus the JSONL
+session loop behind ``repro serve``.  Architecture, drift policy, and
+the frozen request/response schema are documented in
+``docs/serving.md``.
+"""
+
+from .cache import PlacementSnapshot, SnapshotCache
+from .engine import PlacementService
+from .loop import SessionSummary, serve_session
+from .schema import (
+    REQUEST_KIND,
+    REQUEST_OPS,
+    RESPONSE_KIND,
+    SERVE_SCHEMA_VERSION,
+    serve_request,
+    validate_serve_request,
+    validate_serve_response,
+)
+
+__all__ = [
+    "PlacementService",
+    "PlacementSnapshot",
+    "REQUEST_KIND",
+    "REQUEST_OPS",
+    "RESPONSE_KIND",
+    "SERVE_SCHEMA_VERSION",
+    "SessionSummary",
+    "SnapshotCache",
+    "serve_request",
+    "serve_session",
+    "validate_serve_request",
+    "validate_serve_response",
+]

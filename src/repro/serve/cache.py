@@ -1,0 +1,127 @@
+"""Versioned, immutable placement snapshots and their publish gate.
+
+A :class:`PlacementSnapshot` freezes everything the serving engine needs
+to answer a delay query without touching a solver: the placement, the
+solver result that produced it, the per-client expected-max-delay vector
+``Delta_f(v)`` (the paper's per-client objective, evaluated once with
+the vectorized kernel), and the client-weight vector the placement was
+solved for.  A query is then a single array lookup; the weighted
+objective is one dot product.
+
+:class:`SnapshotCache` is the single mutable cell.  Publishing is one
+reference assignment — readers either see the old snapshot or the new
+one, never a half-built state — and versions must increase by exactly
+one, so a stale or duplicate publish fails loudly instead of silently
+rewinding the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .._validation import require
+from ..exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from numpy.typing import NDArray
+
+__all__ = ["PlacementSnapshot", "SnapshotCache"]
+
+
+@dataclass(frozen=True)
+class PlacementSnapshot:
+    """One immutable, versioned answer to "where do the quorums live?".
+
+    ``per_client`` and ``weights`` are owned by the snapshot and must
+    not be mutated; ``objective == per_client @ weights`` is cached so
+    the drift bound against *new* weights is a dot product plus a
+    subtraction.
+    """
+
+    #: Strictly-increasing publish version, starting at 1.
+    version: int
+    #: The placement being served (``repro.core.Placement``).
+    placement: Any
+    #: The ``QPPResult`` (or compatible solve result) behind it.
+    result: Any
+    #: Telemetry captured by the producing solve, or ``None``.
+    telemetry: Any
+    #: ``Delta_f(v)`` per client index, under this placement.
+    per_client: "NDArray[np.float64]"
+    #: Normalized client weights the placement was solved against.
+    weights: "NDArray[np.float64]"
+    #: Cached ``float(per_client @ weights)``.
+    objective: float
+
+    def delay_for(self, client_index: int) -> float:
+        """The snapshot's expected max access delay for one client."""
+        require(
+            0 <= client_index < self.per_client.shape[0],
+            f"client index {client_index} out of range "
+            f"[0, {int(self.per_client.shape[0])})",
+        )
+        return float(self.per_client[client_index])
+
+    def projected_objective(self, weights: "NDArray[np.float64]") -> float:
+        """The *current* placement's objective under new *weights* —
+        the cheap delta bound that drives drift-triggered re-solves."""
+        require(
+            weights.shape == self.per_client.shape,
+            f"weight vector shape {tuple(weights.shape)} does not match "
+            f"the client population {tuple(self.per_client.shape)}",
+        )
+        return float(self.per_client @ weights)
+
+
+class SnapshotCache:
+    """The single publish point for :class:`PlacementSnapshot` records."""
+
+    __slots__ = ("_current", "_published")
+
+    def __init__(self) -> None:
+        self._current: PlacementSnapshot | None = None
+        self._published = 0
+
+    @property
+    def version(self) -> int:
+        """Version of the current snapshot (0 before the first publish)."""
+        return 0 if self._current is None else self._current.version
+
+    @property
+    def published(self) -> int:
+        """Total number of successful publishes."""
+        return self._published
+
+    @property
+    def current(self) -> PlacementSnapshot:
+        """The live snapshot; raises if nothing was ever published."""
+        if self._current is None:
+            raise ValidationError("snapshot cache is empty: nothing published yet")
+        return self._current
+
+    def next_version(self) -> int:
+        """The version the next published snapshot must carry."""
+        return self.version + 1
+
+    def publish(self, snapshot: PlacementSnapshot) -> PlacementSnapshot:
+        """Atomically install *snapshot* as the current version.
+
+        The version must be exactly ``current + 1``; on violation the
+        cache is left untouched (the old snapshot keeps serving).
+        """
+        require(
+            isinstance(snapshot, PlacementSnapshot),
+            "only PlacementSnapshot records can be published, "
+            f"got {type(snapshot).__name__}",
+        )
+        require(
+            snapshot.version == self.version + 1,
+            "snapshot versions must increase by exactly one: "
+            f"got {snapshot.version}, expected {self.version + 1}",
+        )
+        self._current = snapshot
+        self._published += 1
+        return snapshot

@@ -1,0 +1,169 @@
+"""The frozen ``repro-serve-request`` / ``repro-serve-response`` schema (v1).
+
+The serving loop (`repro serve`, :mod:`repro.serve.loop`) speaks JSONL:
+one request document per input line, one response document per output
+line.  Like the telemetry documents (:mod:`repro.obs.report`), the
+schema is validated strictly on *structure* and loosely on *values*:
+every required key must be present with the right shape, but the
+validators do not re-derive domain facts (whether a client exists, say —
+that is the engine's job, and it answers with an ``error`` response, not
+an exception).
+
+Version policy: ``schema_version`` is checked for equality.  Any change
+to the required keys below is a new schema version, never a silent edit.
+
+Request operations
+------------------
+
+========== ==========================================================
+``query``   ``client`` — answer ``Delta_f(client)`` from the snapshot
+``update``  ``client``, ``rate`` — add a demand-rate delta
+``stats``   service counters and current drift bound
+``resolve`` force a re-solve and snapshot publish
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from .._validation import require
+from ..exceptions import ValidationError
+
+__all__ = [
+    "REQUEST_KIND",
+    "REQUEST_OPS",
+    "RESPONSE_KIND",
+    "SERVE_SCHEMA_VERSION",
+    "serve_request",
+    "validate_serve_request",
+    "validate_serve_response",
+]
+
+#: Version of the request/response document layout described here.
+SERVE_SCHEMA_VERSION = 1
+
+#: ``kind`` discriminator of a request document.
+REQUEST_KIND = "repro-serve-request"
+
+#: ``kind`` discriminator of a response document.
+RESPONSE_KIND = "repro-serve-response"
+
+#: The closed set of request operations (schema v1).
+REQUEST_OPS = ("query", "update", "stats", "resolve")
+
+#: Extra required request keys per operation.
+_REQUEST_EXTRA_KEYS: dict[str, tuple[str, ...]] = {
+    "query": ("client",),
+    "update": ("client", "rate"),
+    "stats": (),
+    "resolve": (),
+}
+
+#: Response keys common to every operation.
+_RESPONSE_COMMON_KEYS = ("kind", "schema_version", "id", "op", "ok", "tick", "version")
+
+#: Extra required response keys per operation (successful responses).
+_RESPONSE_EXTRA_KEYS: dict[str, tuple[str, ...]] = {
+    "query": ("delay", "stale"),
+    "update": ("pending",),
+    "stats": ("queries", "stale_reads", "exact_reads", "resolves", "drift"),
+    "resolve": ("resolved",),
+    "error": ("error",),
+}
+
+
+def _require_key(document: Mapping[str, Any], key: str, label: str) -> Any:
+    if key not in document:
+        raise ValidationError(f"{label} is missing required key {key!r}")
+    return document[key]
+
+
+def serve_request(op: str, *, id: int | str, **fields: Any) -> dict[str, Any]:
+    """Build (and validate) a schema-v1 request document."""
+    document: dict[str, Any] = {
+        "kind": REQUEST_KIND,
+        "schema_version": SERVE_SCHEMA_VERSION,
+        "id": id,
+        "op": op,
+    }
+    document.update(fields)
+    validate_serve_request(document)
+    return document
+
+
+def validate_serve_request(document: Any) -> None:
+    """Check *document* against the request schema, raising
+    :class:`ValidationError` on the first structural violation."""
+    require(
+        isinstance(document, Mapping),
+        f"serve request must be a JSON object, got {type(document).__name__}",
+    )
+    label = "serve request"
+    kind = _require_key(document, "kind", label)
+    require(
+        kind == REQUEST_KIND,
+        f"{label} kind must be {REQUEST_KIND!r}, got {kind!r}",
+    )
+    version = _require_key(document, "schema_version", label)
+    require(
+        version == SERVE_SCHEMA_VERSION,
+        f"{label} schema_version must be {SERVE_SCHEMA_VERSION}, got {version!r}",
+    )
+    identifier = _require_key(document, "id", label)
+    require(
+        isinstance(identifier, (int, str)) and not isinstance(identifier, bool),
+        f"{label} id must be an integer or string, got {type(identifier).__name__}",
+    )
+    op = _require_key(document, "op", label)
+    require(
+        op in REQUEST_OPS,
+        f"{label} op must be one of {REQUEST_OPS}, got {op!r}",
+    )
+    for key in _REQUEST_EXTRA_KEYS[op]:
+        _require_key(document, key, f"{label} op={op!r}")
+    if op == "update":
+        rate = document["rate"]
+        require(
+            isinstance(rate, (int, float)) and not isinstance(rate, bool),
+            f"{label} rate must be a number, got {type(rate).__name__}",
+        )
+
+
+def validate_serve_response(document: Any) -> None:
+    """Check *document* against the response schema, raising
+    :class:`ValidationError` on the first structural violation."""
+    require(
+        isinstance(document, Mapping),
+        f"serve response must be a JSON object, got {type(document).__name__}",
+    )
+    label = "serve response"
+    for key in _RESPONSE_COMMON_KEYS:
+        _require_key(document, key, label)
+    require(
+        document["kind"] == RESPONSE_KIND,
+        f"{label} kind must be {RESPONSE_KIND!r}, got {document['kind']!r}",
+    )
+    require(
+        document["schema_version"] == SERVE_SCHEMA_VERSION,
+        f"{label} schema_version must be {SERVE_SCHEMA_VERSION}, "
+        f"got {document['schema_version']!r}",
+    )
+    ok = document["ok"]
+    require(isinstance(ok, bool), f"{label} ok must be a boolean, got {ok!r}")
+    op = document["op"]
+    if not ok:
+        op = "error"
+    require(
+        op in _RESPONSE_EXTRA_KEYS,
+        f"{label} op must be one of {tuple(_RESPONSE_EXTRA_KEYS)}, got {op!r}",
+    )
+    for key in _RESPONSE_EXTRA_KEYS[op]:
+        _require_key(document, key, f"{label} op={op!r}")
+    for key in ("tick", "version"):
+        value = document[key]
+        require(
+            isinstance(value, int) and not isinstance(value, bool),
+            f"{label} {key} must be an integer, got {type(value).__name__}",
+        )

@@ -1,6 +1,7 @@
 """The unified SolveResult contract and its backward-compat shims."""
 
 import dataclasses
+import warnings
 
 import numpy as np
 import pytest
@@ -90,24 +91,24 @@ class TestLegacyAttributeShims:
     def test_qpp_average_delay_warns_and_forwards(self, instance):
         system, strategy, network = instance
         result = solve_qpp(system, strategy, network=network)
-        with pytest.deprecated_call(match="average_delay"):
+        with pytest.warns(FutureWarning, match="average_delay"):
             assert result.average_delay == result.objective
 
     def test_total_delay_legacy_names_warn(self, instance):
         system, strategy, network = instance
         result = solve_total_delay(system, strategy, network=network)
-        with pytest.deprecated_call(match="delay"):
+        with pytest.warns(FutureWarning, match="delay"):
             assert result.delay == result.objective
-        with pytest.deprecated_call(match="max_load_factor"):
+        with pytest.warns(FutureWarning, match="max_load_factor"):
             assert result.max_load_factor == result.load_violation_factor
 
     def test_gap_legacy_names_warn(self):
         result = solve_gap(_gap_instance())
-        with pytest.deprecated_call(match="assignment"):
+        with pytest.warns(FutureWarning, match="assignment"):
             assert result.assignment == result.placement
-        with pytest.deprecated_call(match="cost"):
+        with pytest.warns(FutureWarning, match="cost"):
             assert result.cost == result.objective
-        with pytest.deprecated_call(match="lp_cost"):
+        with pytest.warns(FutureWarning, match="lp_cost"):
             assert result.lp_cost == result.lp_value
 
     def test_unknown_attribute_raises_without_warning(self, instance):
@@ -120,7 +121,7 @@ class TestLegacyAttributeShims:
 
     def test_tuple_unpacking_warns(self):
         result = solve_gap(_gap_instance())
-        with pytest.deprecated_call(match="tuple unpacking"):
+        with pytest.warns(FutureWarning, match="tuple unpacking"):
             placement, objective, factor = result
         assert placement == result.placement
         assert objective == result.objective
@@ -135,31 +136,31 @@ class TestLegacyAttributeShims:
 class TestKeywordOnlySignatures:
     def test_legacy_positional_network_warns(self, instance):
         system, strategy, network = instance
-        with pytest.deprecated_call(match="positionally is deprecated"):
+        with pytest.warns(FutureWarning, match="positionally is deprecated"):
             result = solve_qpp(system, strategy, network)
         assert isinstance(result, QPPResult)
 
     def test_legacy_positional_ssqpp_source_warns(self, instance):
         system, strategy, network = instance
         source = network.nodes[0]
-        with pytest.deprecated_call(match="positionally is deprecated"):
+        with pytest.warns(FutureWarning, match="positionally is deprecated"):
             legacy = solve_ssqpp(system, strategy, network, source)
         canonical = solve_ssqpp(system, strategy, network=network, source=source)
         assert legacy.delay == pytest.approx(canonical.delay)
 
     def test_double_supply_raises_type_error(self, instance):
         system, strategy, network = instance
-        with pytest.deprecated_call():
+        with pytest.warns(FutureWarning):
             with pytest.raises(TypeError, match="multiple values"):
                 solve_qpp(system, strategy, network, network=network)
 
     def test_method_alias_warns_on_solve_gap(self):
-        with pytest.deprecated_call(match="'method'.*deprecated"):
+        with pytest.warns(FutureWarning, match="'method'.*deprecated"):
             result = solve_gap(_gap_instance(), method="highs-ds")
         assert result.objective == pytest.approx(2.0)
 
     def test_value_alias_warns_on_uniform_capacities(self):
-        with pytest.deprecated_call(match="'value'.*deprecated"):
+        with pytest.warns(FutureWarning, match="'value'.*deprecated"):
             network = uniform_capacities(grid_network(2, 2), value=1.5)
         assert network.capacity(network.nodes[0]) == pytest.approx(1.5)
 
@@ -173,3 +174,60 @@ class TestKeywordOnlySignatures:
         parameters = inspect.signature(solve_qpp).parameters
         assert list(parameters)[:3] == ["system", "strategy", "network"]
         assert parameters["network"].kind is inspect.Parameter.KEYWORD_ONLY
+
+
+class TestFutureWarningGraduation:
+    """PR 5's deprecations graduated to FutureWarning with removal notes.
+
+    Every legacy path emits exactly ONE FutureWarning (never a
+    DeprecationWarning, never a duplicate) whose message names the
+    canonical replacement and announces removal.
+    """
+
+    @staticmethod
+    def _sole_future_warning(caught):
+        assert len(caught) == 1, [str(w.message) for w in caught]
+        warning = caught[0]
+        assert warning.category is FutureWarning
+        message = str(warning.message)
+        assert "next major release" in message
+        return message
+
+    def test_positional_network_single_warning_names_keyword(self, instance):
+        system, strategy, network = instance
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            solve_qpp(system, strategy, network)
+        message = self._sole_future_warning(caught)
+        assert "network=..." in message
+
+    def test_kwarg_alias_single_warning_names_canonical(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            solve_gap(_gap_instance(), method="highs-ds")
+        message = self._sole_future_warning(caught)
+        assert "'lp_method'" in message
+
+    def test_attribute_alias_single_warning_names_canonical(self):
+        result = solve_gap(_gap_instance())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result.cost
+        message = self._sole_future_warning(caught)
+        assert "GAPSolution.objective" in message
+
+    def test_tuple_unpacking_single_warning_names_fields(self):
+        result = solve_gap(_gap_instance())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _placement, _objective, _factor = result
+        message = self._sole_future_warning(caught)
+        assert "placement, objective, load_violation_factor" in message
+
+    def test_no_legacy_path_emits_deprecation_warning(self, instance):
+        system, strategy, network = instance
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            solve_qpp(system, strategy, network).average_delay
+        assert all(w.category is not DeprecationWarning for w in caught)
+        assert any(w.category is FutureWarning for w in caught)

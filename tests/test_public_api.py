@@ -19,8 +19,10 @@ PUBLIC_MODULES = [
     "repro.io",
     "repro.lp",
     "repro.network",
+    "repro.obs",
     "repro.quorums",
     "repro.scheduling",
+    "repro.serve",
     "repro.cli",
 ]
 
